@@ -1,0 +1,23 @@
+//! Baseline anomaly detectors the `sentinet` paper compares against.
+//!
+//! - [`HmmDetector`] — the Warrender–Forrest single-HMM
+//!   likelihood-threshold approach (paper ref. \[5\]): Baum–Welch
+//!   training on attack-free data, anomaly when `ln Pr{O|λ}` drops
+//!   below `η`. Embodies the three limitations §2 lists: arbitrary
+//!   hidden states, a mandatory clean training phase, and no
+//!   distribution or diagnosis.
+//! - [`MarkovDetector`] — the Jha–Tan–Maxion Markov-chain approach
+//!   (paper ref. \[11\]): miss-rate of unsupported transitions.
+//!
+//! Both operate on discrete symbol sequences; the experiment harness
+//! feeds them the same quantized window states the `sentinet` pipeline
+//! produces, so the comparison in `exp_baselines` is apples-to-apples.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod markov_detector;
+mod warrender;
+
+pub use markov_detector::MarkovDetector;
+pub use warrender::HmmDetector;

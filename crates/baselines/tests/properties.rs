@@ -1,0 +1,85 @@
+//! Property-based tests for the baseline detectors.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sentinet_baselines::{HmmDetector, MarkovDetector};
+use sentinet_hmm::{Hmm, StochasticMatrix};
+
+fn cyclic(period: usize, len: usize, states: usize) -> Vec<usize> {
+    (0..len).map(|t| (t / period) % states).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn markov_miss_rate_is_a_probability(
+        window in prop::collection::vec(0usize..3, 2..60),
+    ) {
+        let det = MarkovDetector::train(3, &[cyclic(2, 120, 3)], 0.01, 0.3).unwrap();
+        let r = det.miss_rate(&window).unwrap();
+        prop_assert!((0.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn markov_training_windows_never_flagged(
+        period in 1usize..5,
+        states in 2usize..4,
+    ) {
+        let train = cyclic(period, 200, states);
+        let det = MarkovDetector::train(states, &[train.clone()], 0.01, 0.3).unwrap();
+        // Any slice of the training sequence passes.
+        for start in [0usize, 7, 23] {
+            let w = &train[start..start + 40];
+            prop_assert!(!det.is_anomalous(w).unwrap(), "start {start}");
+        }
+    }
+
+    #[test]
+    fn hmm_detector_scores_decrease_with_corruption(
+        corrupt_every in 2usize..6,
+        seed in 0u64..50,
+    ) {
+        // Progressively corrupting a benign window cannot *increase*
+        // its likelihood under the trained model (statistically; we
+        // compare clean vs heavily corrupted).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = StochasticMatrix::from_rows(vec![vec![0.9, 0.1], vec![0.1, 0.9]]).unwrap();
+        let b = StochasticMatrix::from_rows(vec![vec![0.95, 0.05], vec![0.05, 0.95]]).unwrap();
+        let src = Hmm::new(a, b, vec![0.5, 0.5]).unwrap();
+        let train: Vec<Vec<usize>> = (0..4)
+            .map(|_| src.sample(100, &mut rng).unwrap().1)
+            .collect();
+        let mut det = HmmDetector::new(2, 2);
+        det.train(&train, &mut rng).unwrap();
+
+        let clean = src.sample(80, &mut rng).unwrap().1;
+        let mut corrupted = clean.clone();
+        for i in (0..corrupted.len()).step_by(corrupt_every) {
+            corrupted[i] = 1 - corrupted[i];
+        }
+        let s_clean = det.score(&clean).unwrap();
+        let s_corrupt = det.score(&corrupted).unwrap();
+        prop_assert!(
+            s_corrupt <= s_clean + 0.05,
+            "corruption raised the score: {s_clean} -> {s_corrupt}"
+        );
+    }
+
+    #[test]
+    fn hmm_detector_threshold_moves_with_z(
+        z1 in 0.5f64..2.0,
+        extra in 0.5f64..3.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let train: Vec<Vec<usize>> = (0..4).map(|_| cyclic(3, 90, 2)).collect();
+        let mut det = HmmDetector::new(2, 2);
+        det.train(&train, &mut rng).unwrap();
+        det.calibrate(&train, z1).unwrap();
+        let t1 = det.threshold().unwrap();
+        det.calibrate(&train, z1 + extra).unwrap();
+        let t2 = det.threshold().unwrap();
+        prop_assert!(t2 < t1, "larger z must lower the threshold: {t1} vs {t2}");
+    }
+}

@@ -1,0 +1,114 @@
+//! EXT-3 — parameter ablations.
+//!
+//! Sweeps the design knobs DESIGN.md calls out — learning factors,
+//! window size, observable-mean trim — on the stuck-at scenario and
+//! reports detection latency (windows from fault onset to track open)
+//! and classification outcome. This quantifies the sensitivity the
+//! paper only gestures at ("parameter w must be large enough … yet
+//! small enough").
+
+use sentinet_bench::stuck_at_scenario;
+use sentinet_core::{Diagnosis, ErrorType, Pipeline, PipelineConfig};
+use sentinet_sim::{SensorId, DAY_S};
+
+fn outcome(cfg: PipelineConfig, sample_period: u64) -> (Option<u64>, &'static str, f64) {
+    let (trace, _sim_cfg) = stuck_at_scenario(14, 31);
+    let mut p = Pipeline::new(cfg, sample_period);
+    p.process_trace(&trace);
+    let window_s = p.config().window_samples as u64 * sample_period;
+    // Fault onset: day 1 (drift begins) → window index at onset.
+    let onset_window = DAY_S / window_s;
+    let latency = p
+        .tracks(SensorId(6))
+        .and_then(|t| t.first().copied())
+        .map(|t| t.opened.saturating_sub(onset_window));
+    let label = match p.classify(SensorId(6)) {
+        Diagnosis::Error(ErrorType::StuckAt { .. }) => "stuck",
+        Diagnosis::Error(ErrorType::Calibration { .. }) => "calib",
+        Diagnosis::Error(ErrorType::Additive { .. }) => "addit",
+        Diagnosis::Error(ErrorType::Unknown) => "unknown",
+        Diagnosis::Attack(_) => "ATTACK!",
+        Diagnosis::ErrorFree => "missed",
+    };
+    // False raw alarms on a healthy sensor as the cost metric.
+    let hist = p.raw_alarm_history(SensorId(9)).unwrap_or(&[]);
+    let false_rate = if hist.is_empty() {
+        0.0
+    } else {
+        hist.iter().filter(|(_, r)| *r).count() as f64 / hist.len() as f64
+    };
+    (latency, label, false_rate)
+}
+
+fn report(name: &str, value: String, cfg: PipelineConfig, sample_period: u64) {
+    let (latency, label, false_rate) = outcome(cfg, sample_period);
+    println!(
+        "{:>18} {:>8} {:>22} {:>9} {:>11.2}%",
+        name,
+        value,
+        latency
+            .map(|l| format!("{l} windows"))
+            .unwrap_or_else(|| "not detected".into()),
+        label,
+        100.0 * false_rate
+    );
+}
+
+fn main() {
+    let period = 300;
+    println!("=== EXT-3: parameter ablations (stuck-at scenario, 14 days) ===");
+    println!(
+        "{:>18} {:>8} {:>22} {:>9} {:>12}",
+        "parameter", "value", "detection latency", "class", "false raw"
+    );
+
+    for gamma in [0.02, 0.05, 0.10, 0.30, 0.90] {
+        report(
+            "β=γ (new-sample)",
+            format!("{gamma}"),
+            PipelineConfig {
+                beta: gamma,
+                gamma,
+                ..Default::default()
+            },
+            period,
+        );
+    }
+    for w in [4u32, 8, 12, 24, 48] {
+        report(
+            "w (samples)",
+            format!("{w}"),
+            PipelineConfig {
+                window_samples: w,
+                ..Default::default()
+            },
+            period,
+        );
+    }
+    for alpha in [0.02, 0.10, 0.40] {
+        let mut cfg = PipelineConfig::default();
+        cfg.cluster.alpha = alpha;
+        report("α (clustering)", format!("{alpha}"), cfg, period);
+    }
+    for trim in [0.0, 0.05, 0.15, 0.30] {
+        report(
+            "observable trim",
+            format!("{trim}"),
+            PipelineConfig {
+                observable_trim: trim,
+                ..Default::default()
+            },
+            period,
+        );
+    }
+    for spawn in [5.0, 8.0, 14.0] {
+        let mut cfg = PipelineConfig::default();
+        cfg.cluster.spawn_threshold = spawn;
+        report("spawn threshold", format!("{spawn}"), cfg, period);
+    }
+    println!("\nreading: trim 0 lets the stuck sensor drag the observable state");
+    println!("(attack-like signatures appear — the robust-mean deviation earns its");
+    println!("keep); small windows raise the false raw-alarm rate, large ones");
+    println!("amortize noise but coarsen time; the stuck-at verdict itself is");
+    println!("insensitive to the learning factors because the fault is persistent.");
+}

@@ -1,0 +1,106 @@
+//! EXT-5 — sentinet versus the related-work baselines.
+//!
+//! §2 argues the Warrender–Forrest single-HMM detector (and by
+//! extension Markov-chain detectors) are hampered by (1) arbitrary
+//! hidden states, (2) a mandatory attack-free training phase, and (3)
+//! no diagnosis. This bench makes the comparison concrete on identical
+//! data: all three systems see the same quantized window-state
+//! sequences; the baselines get a *luxury* the paper denies them —
+//! a genuinely clean training prefix — and still only produce a binary
+//! verdict, while sentinet needs no clean phase and names the fault.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sentinet_baselines::{HmmDetector, MarkovDetector};
+use sentinet_bench::{run_pipeline, stuck_at_scenario};
+use sentinet_cluster::{ClusterConfig, ModelStates};
+use sentinet_sim::{SensorId, DAY_S};
+
+/// Quantizes one sensor's readings into state indices using fixed
+/// reference states (so all detectors share a symbol alphabet).
+fn quantize(trace: &sentinet_sim::Trace, sensor: SensorId, states: &ModelStates) -> Vec<usize> {
+    trace
+        .sensor_series(sensor)
+        .into_iter()
+        .map(|(_, r)| states.nearest(r.values()).expect("states non-empty").0)
+        .collect()
+}
+
+fn main() {
+    let (trace, cfg) = stuck_at_scenario(14, 55);
+    let reference = ModelStates::new(
+        vec![
+            vec![12.0, 94.0],
+            vec![17.0, 84.0],
+            vec![24.0, 70.0],
+            vec![31.0, 56.0],
+            vec![15.0, 1.0],
+        ],
+        ClusterConfig::default(),
+    );
+    let num_symbols = reference.num_slots();
+
+    println!("=== EXT-5: sentinet vs Warrender-Forrest HMM vs Markov chain ===");
+    println!("workload: 14 days, sensor 6 drifts to stuck-at from day 1\n");
+
+    // --- sentinet: no clean training phase at all.
+    let p = run_pipeline(&trace, &cfg);
+    let sentinet_verdict = p.classify(SensorId(6));
+    let healthy_verdict = p.classify(SensorId(9));
+    println!("sentinet (trained on the corrupted stream itself):");
+    println!("  sensor6: {sentinet_verdict}");
+    println!("  sensor9: {healthy_verdict}");
+
+    // --- baselines: trained on sensor 9's (clean) first week, tested on
+    // week 2 of sensors 6 and 9.
+    let mut rng = StdRng::seed_from_u64(5);
+    let clean_seq = quantize(&trace, SensorId(9), &reference);
+    let train: Vec<Vec<usize>> = clean_seq[..clean_seq.len() / 2]
+        .chunks(48)
+        .map(<[usize]>::to_vec)
+        .collect();
+
+    let split_time = 7 * DAY_S;
+    let test_windows = |sensor: SensorId| -> Vec<Vec<usize>> {
+        let series: Vec<usize> = trace
+            .sensor_series(sensor)
+            .into_iter()
+            .filter(|(t, _)| *t >= split_time)
+            .map(|(_, r)| reference.nearest(r.values()).expect("non-empty").0)
+            .collect();
+        series.chunks(48).map(<[usize]>::to_vec).collect()
+    };
+
+    let mut wf = HmmDetector::new(4, num_symbols);
+    wf.train(&train, &mut rng).expect("training data is valid");
+    wf.calibrate(&train, 3.0).expect("reference data is valid");
+    let mc =
+        MarkovDetector::train(num_symbols, &train, 0.01, 0.25).expect("training data is valid");
+
+    for (name, id) in [
+        ("faulty sensor6", SensorId(6)),
+        ("healthy sensor9", SensorId(9)),
+    ] {
+        let windows = test_windows(id);
+        let wf_flags = windows
+            .iter()
+            .filter(|w| wf.is_anomalous(w).unwrap_or(true))
+            .count();
+        let mc_flags = windows
+            .iter()
+            .filter(|w| mc.is_anomalous(w).unwrap_or(true))
+            .count();
+        println!(
+            "\n{name}: {}/{} windows flagged by Warrender-Forrest, {}/{} by Markov chain",
+            wf_flags,
+            windows.len(),
+            mc_flags,
+            windows.len()
+        );
+    }
+
+    println!("\nreading: both baselines *detect* the stuck sensor when granted a");
+    println!("clean training phase, but neither can (a) operate without one nor");
+    println!("(b) say WHAT is wrong — sentinet classifies the fault type and");
+    println!("localizes it while training on the corrupted stream itself.");
+}

@@ -1,0 +1,115 @@
+//! EXT-10 — loss-model ablation: Bernoulli vs Gilbert–Elliott bursts.
+//!
+//! The paper's GDI data lost packets in bursts (dying radios, fading);
+//! independent-loss simulations flatter a windowed detector because
+//! every window keeps a few readings from every sensor. This ablation
+//! matches the *average* loss rate across both models and compares
+//! detection latency and false alarms on the stuck-at scenario.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sentinet_core::{Diagnosis, ErrorType, Pipeline, PipelineConfig};
+use sentinet_inject::{inject_faults, FaultInjection, FaultModel};
+use sentinet_sim::{gdi, simulate, BurstLoss, SensorId, SimConfig, DAY_S};
+
+struct Outcome {
+    latency: Option<u64>,
+    class: &'static str,
+    false_raw: f64,
+    loss: f64,
+}
+
+fn run(cfg: &SimConfig, seed: u64) -> Outcome {
+    let clean = simulate(cfg, &mut StdRng::seed_from_u64(seed));
+    let trace = inject_faults(
+        &clean,
+        &[FaultInjection::from_onset(
+            SensorId(6),
+            FaultModel::StuckAt {
+                value: vec![15.0, 1.0],
+            },
+            DAY_S,
+        )],
+        &cfg.ranges,
+        &mut StdRng::seed_from_u64(seed ^ 0xB0B),
+    );
+    let mut p = Pipeline::new(PipelineConfig::default(), cfg.sample_period);
+    p.process_trace(&trace);
+    let onset = DAY_S / (12 * cfg.sample_period);
+    let latency = p
+        .tracks(SensorId(6))
+        .and_then(|t| t.first().copied())
+        .map(|t| t.opened.saturating_sub(onset));
+    let class = match p.classify(SensorId(6)) {
+        Diagnosis::Error(ErrorType::StuckAt { .. }) => "stuck",
+        Diagnosis::Error(_) => "other-error",
+        Diagnosis::Attack(_) => "ATTACK!",
+        Diagnosis::ErrorFree => "missed",
+    };
+    let hist = p.raw_alarm_history(SensorId(9)).unwrap_or(&[]);
+    let false_raw = if hist.is_empty() {
+        0.0
+    } else {
+        hist.iter().filter(|(_, r)| *r).count() as f64 / hist.len() as f64
+    };
+    Outcome {
+        latency,
+        class,
+        false_raw,
+        loss: trace.loss_rate(),
+    }
+}
+
+fn main() {
+    println!("=== EXT-10: Bernoulli vs Gilbert-Elliott loss (stuck-at scenario) ===");
+    println!(
+        "{:<26} {:>9} {:>14} {:>8} {:>11}",
+        "loss model", "avg loss", "latency (wd)", "class", "false raw"
+    );
+
+    let burst = BurstLoss {
+        p_enter_bad: 0.01,
+        p_exit_bad: 0.08,
+        loss_bad: 0.85,
+    };
+    let seeds = [61u64, 62, 63];
+    for (name, make) in [
+        (
+            "Bernoulli (matched avg)",
+            Box::new(|| {
+                let mut c = gdi::month_config();
+                c.duration = 14 * DAY_S;
+                c.loss_prob = burst.average_loss(gdi::LOSS_PROB);
+                c
+            }) as Box<dyn Fn() -> SimConfig>,
+        ),
+        (
+            "Gilbert-Elliott bursts",
+            Box::new(|| {
+                let mut c = gdi::month_config();
+                c.duration = 14 * DAY_S;
+                c.burst = Some(burst);
+                c
+            }),
+        ),
+    ] {
+        for &seed in &seeds {
+            let cfg = make();
+            let o = run(&cfg, seed);
+            println!(
+                "{:<26} {:>8.1}% {:>14} {:>8} {:>10.2}%",
+                name,
+                100.0 * o.loss,
+                o.latency
+                    .map(|l| l.to_string())
+                    .unwrap_or_else(|| "-".into()),
+                o.class,
+                100.0 * o.false_raw
+            );
+        }
+    }
+    println!("\nreading: at matched average loss, bursty links lengthen detection");
+    println!("latency slightly (whole windows of the faulty sensor go silent, and");
+    println!("silence is not evidence) but do not corrupt the classification —");
+    println!("the decisiveness rule already treats missing sensors as abstaining.");
+}

@@ -1,0 +1,130 @@
+//! EXT-4 — alarm-filter comparison: k-of-n vs SPRT vs CUSUM vs EWMA.
+//!
+//! §3.1 proposes the simple k-of-n filter and points at SPRT/CUSUM as
+//! "sophisticated approaches". This bench drives all four policies with
+//! synthetic raw-alarm streams (healthy rate vs faulty rate, matching
+//! the Fig. 12 regime) and reports detection latency and false-alarm
+//! behaviour per policy.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sentinet_filter::{AlarmFilter, Cusum, EwmaChart, KOfNFilter, SprtAlarmFilter};
+
+const HEALTHY_RATE: f64 = 0.015; // the paper's ≈ 1.5 % false raw alarms
+const FAULTY_RATE: f64 = 0.85;
+const STREAM_LEN: usize = 2_000;
+const TRIALS: u64 = 200;
+
+fn boolean_latency<F: AlarmFilter>(mut make: impl FnMut() -> F) -> (f64, f64) {
+    // Returns (mean detection latency on faulty streams, false filtered
+    // alarm probability per healthy stream).
+    let mut latencies = Vec::new();
+    let mut false_alarms = 0u64;
+    for trial in 0..TRIALS {
+        let mut rng = StdRng::seed_from_u64(9_000 + trial);
+        // Faulty stream: alarms at FAULTY_RATE from step 0.
+        let mut f = make();
+        let mut detected = None;
+        for step in 0..STREAM_LEN {
+            if f.push(rng.gen::<f64>() < FAULTY_RATE) {
+                detected = Some(step);
+                break;
+            }
+        }
+        if let Some(step) = detected {
+            latencies.push(step as f64);
+        }
+        // Healthy stream.
+        let mut h = make();
+        let mut fired = false;
+        for _ in 0..STREAM_LEN {
+            if h.push(rng.gen::<f64>() < HEALTHY_RATE) {
+                fired = true;
+                break;
+            }
+        }
+        if fired {
+            false_alarms += 1;
+        }
+    }
+    let mean_latency = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
+    (mean_latency, false_alarms as f64 / TRIALS as f64)
+}
+
+fn main() {
+    println!("=== EXT-4: alarm filter comparison ===");
+    println!(
+        "(healthy raw rate {:.1}%, faulty raw rate {:.0}%, {} trials)",
+        100.0 * HEALTHY_RATE,
+        100.0 * FAULTY_RATE,
+        TRIALS
+    );
+    println!(
+        "{:>16} {:>18} {:>22}",
+        "filter", "mean latency", "false alarm prob"
+    );
+
+    let (lat, fa) = boolean_latency(|| KOfNFilter::new(6, 10));
+    println!("{:>16} {:>15.1} wd {:>21.3}", "k-of-n (6/10)", lat, fa);
+    let (lat, fa) = boolean_latency(|| KOfNFilter::new(3, 5));
+    println!("{:>16} {:>15.1} wd {:>21.3}", "k-of-n (3/5)", lat, fa);
+    let (lat, fa) = boolean_latency(SprtAlarmFilter::balanced);
+    println!("{:>16} {:>15.1} wd {:>21.3}", "SPRT", lat, fa);
+
+    // CUSUM/EWMA operate on the numeric raw-alarm indicator stream.
+    fn numeric_latency<D, F>(mut make: F) -> (f64, f64)
+    where
+        F: FnMut() -> D,
+        D: FnMut(f64) -> bool,
+    {
+        let mut latencies = Vec::new();
+        let mut false_alarms = 0u64;
+        for trial in 0..TRIALS {
+            let mut rng = StdRng::seed_from_u64(11_000 + trial);
+            let mut faulty = make();
+            for step in 0..STREAM_LEN {
+                let x = if rng.gen::<f64>() < FAULTY_RATE {
+                    1.0
+                } else {
+                    0.0
+                };
+                if faulty(x) {
+                    latencies.push(step as f64);
+                    break;
+                }
+            }
+            let mut healthy = make();
+            let mut fired = false;
+            for _ in 0..STREAM_LEN {
+                let x = if rng.gen::<f64>() < HEALTHY_RATE {
+                    1.0
+                } else {
+                    0.0
+                };
+                fired |= healthy(x);
+            }
+            if fired {
+                false_alarms += 1;
+            }
+        }
+        (
+            latencies.iter().sum::<f64>() / latencies.len().max(1) as f64,
+            false_alarms as f64 / TRIALS as f64,
+        )
+    }
+
+    let (lat, fa) = numeric_latency(|| {
+        let mut c = Cusum::new(HEALTHY_RATE, 0.2, 2.0);
+        move |x| c.push(x)
+    });
+    println!("{:>16} {:>15.1} wd {:>21.3}", "CUSUM", lat, fa);
+    let (lat, fa) = numeric_latency(|| {
+        let mut e = EwmaChart::new(HEALTHY_RATE, 0.13, 0.05, 8.0);
+        move |x| e.push(x)
+    });
+    println!("{:>16} {:>15.1} wd {:>21.3}", "EWMA", lat, fa);
+
+    println!("\nreading: SPRT reaches a verdict fastest at matched error rates;");
+    println!("k-of-n is the simplest and fully deterministic; CUSUM/EWMA trade");
+    println!("latency against false-alarm rate through their thresholds.");
+}

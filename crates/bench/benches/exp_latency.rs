@@ -1,0 +1,132 @@
+//! EXT-8 — detectability threshold: fault magnitude vs detection.
+//!
+//! Sweeps the magnitude of calibration and additive faults and reports
+//! whether the fault is detected, how long detection takes, and the
+//! classification. The crossover locates the methodology's blind spot:
+//! displacements smaller than the model-state granularity (spawn
+//! threshold ≈ 8 units) keep the faulty readings inside their correct
+//! state's basin and are — by construction — invisible to a
+//! state-quantized detector.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sentinet_bench::clean_scenario;
+use sentinet_core::{Diagnosis, ErrorType, Pipeline, PipelineConfig};
+use sentinet_inject::{inject_faults, FaultInjection, FaultModel};
+use sentinet_sim::{SensorId, DAY_S};
+
+struct Row {
+    magnitude: String,
+    detected: bool,
+    latency: Option<u64>,
+    class: &'static str,
+}
+
+fn run(model: FaultModel, seed: u64) -> Row {
+    let (clean, cfg) = clean_scenario(14, seed);
+    let magnitude = match &model {
+        FaultModel::Calibration { gain } => format!("×{:.2}", gain[0]),
+        FaultModel::Additive { offset } => {
+            format!("{:+.1}", (offset[0].powi(2) + offset[1].powi(2)).sqrt())
+        }
+        _ => "?".into(),
+    };
+    let trace = inject_faults(
+        &clean,
+        &[FaultInjection::from_onset(SensorId(7), model, DAY_S)],
+        &cfg.ranges,
+        &mut StdRng::seed_from_u64(seed ^ 0xfeed),
+    );
+    let mut p = Pipeline::new(PipelineConfig::default(), cfg.sample_period);
+    p.process_trace(&trace);
+    let onset_window = DAY_S / (12 * cfg.sample_period);
+    let latency = p
+        .tracks(SensorId(7))
+        .and_then(|t| t.first().copied())
+        .map(|t| t.opened.saturating_sub(onset_window));
+    let class = match p.classify(SensorId(7)) {
+        Diagnosis::ErrorFree => "missed",
+        Diagnosis::Error(ErrorType::StuckAt { .. }) => "stuck",
+        Diagnosis::Error(ErrorType::Calibration { .. }) => "calib",
+        Diagnosis::Error(ErrorType::Additive { .. }) => "addit",
+        Diagnosis::Error(ErrorType::Unknown) => "unknown",
+        Diagnosis::Attack(_) => "ATTACK!",
+    };
+    Row {
+        magnitude,
+        detected: latency.is_some(),
+        latency,
+        class,
+    }
+}
+
+fn print_rows(title: &str, rows: &[Row]) {
+    println!("\n{title}");
+    println!(
+        "{:>10} {:>9} {:>18} {:>9}",
+        "magnitude", "detected", "latency (windows)", "class"
+    );
+    for r in rows {
+        println!(
+            "{:>10} {:>9} {:>18} {:>9}",
+            r.magnitude,
+            r.detected,
+            r.latency
+                .map(|l| l.to_string())
+                .unwrap_or_else(|| "-".into()),
+            r.class
+        );
+    }
+}
+
+fn main() {
+    println!("=== EXT-8: detectability threshold vs fault magnitude ===");
+    println!("(14-day GDI workload, fault onset day 1, sensor 7)");
+
+    let calib: Vec<Row> = [1.02, 1.05, 1.08, 1.12, 1.18, 1.25, 1.4]
+        .iter()
+        .map(|&g| {
+            run(
+                FaultModel::Calibration { gain: vec![g, g] },
+                900 + (g * 100.0) as u64,
+            )
+        })
+        .collect();
+    print_rows("calibration gain sweep:", &calib);
+
+    // Perpendicular additive offsets of growing norm.
+    let addit: Vec<Row> = [2.0, 4.0, 6.0, 9.0, 13.0, 18.0]
+        .iter()
+        .map(|&n| {
+            // Direction (2, 1)/√5 — perpendicular to the H = 118 − 2T curve.
+            let f = n / 5.0f64.sqrt();
+            run(
+                FaultModel::Additive {
+                    offset: vec![-2.0 * f, -f],
+                },
+                1_700 + n as u64,
+            )
+        })
+        .collect();
+    print_rows("additive offset sweep (norm, perpendicular):", &addit);
+
+    // The crossover: small magnitudes must be missed (blind spot), large
+    // ones detected and typed.
+    assert!(
+        !calib[0].detected,
+        "×1.02 should sit inside the state basin"
+    );
+    assert!(calib.last().unwrap().detected, "×1.40 must be detected");
+    assert!(!addit[0].detected, "2-unit offset should be sub-threshold");
+    assert!(
+        addit.last().unwrap().detected,
+        "18-unit offset must be detected"
+    );
+
+    println!("\nreading: detection crosses over where the displacement rivals half");
+    println!("the model-state spacing (~4 units). *Type* identification is best in");
+    println!("a band above that: push the magnitude further and the admissible-range");
+    println!("clamp (humidity ≤ 100) saturates the displaced states, collapsing the");
+    println!("one-to-one association — detection persists but the type degrades to");
+    println!("unknown. The paper notes the same clamping ceiling for attacks (§4.2).");
+}

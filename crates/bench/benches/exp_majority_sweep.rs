@@ -1,0 +1,70 @@
+//! EXT-2 — breaking point of the majority assumption.
+//!
+//! The methodology's Correct State Identification (Eq. 4) "assumes that
+//! the largest set of observations that cluster together always
+//! includes a majority of correct observations". This sweep compromises
+//! 0…8 of 10 sensors with a deletion attack and reports when detection
+//! collapses — empirically locating the assumption's breaking point.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sentinet_bench::{clean_scenario, run_pipeline};
+use sentinet_core::AttackType;
+use sentinet_inject::{first_k_sensors, inject_attacks, AttackInjection, AttackModel};
+use sentinet_sim::DAY_S;
+
+fn main() {
+    let days = 8;
+    println!("=== EXT-2: detection vs number of compromised sensors ===");
+    println!(
+        "{:>11} {:>10} {:>16} {:>14} {:>18}",
+        "compromised", "detected", "verdict", "honest framed", "sensor0 diagnosis"
+    );
+    let _ = StdRng::seed_from_u64(0);
+    for m in 0..=8u16 {
+        let (clean, cfg) = clean_scenario(days, 400 + m as u64);
+        let trace = if m == 0 {
+            clean
+        } else {
+            let attack = AttackInjection::from_onset(
+                first_k_sensors(m),
+                AttackModel::DynamicDeletion {
+                    freeze_at: vec![12.0, 94.0],
+                },
+                days / 2 * DAY_S,
+            );
+            inject_attacks(&clean, &[attack], &cfg.ranges)
+        };
+        let p = run_pipeline(&trace, &cfg);
+        let verdict = p.network_attack();
+        let label = match &verdict {
+            None => "none".to_string(),
+            Some(AttackType::DynamicDeletion { .. }) => "deletion".to_string(),
+            Some(AttackType::DynamicCreation { .. }) => "creation".to_string(),
+            Some(AttackType::DynamicChange { .. }) => "change".to_string(),
+            Some(AttackType::Mixed) => "mixed".to_string(),
+        };
+        // How many *honest* sensors got (falsely) alarmed?
+        let framed = (m..10)
+            .filter(|&s| p.ever_alarmed(sentinet_sim::SensorId(s)))
+            .count();
+        let s0 = if m == 0 {
+            "-".to_string()
+        } else {
+            p.classify(sentinet_sim::SensorId(0)).to_string()
+        };
+        println!(
+            "{:>11} {:>10} {:>16} {:>14} {:>18}",
+            m,
+            verdict.is_some(),
+            label,
+            framed,
+            s0
+        );
+    }
+    println!("\nexpected shape: reliable deletion verdicts at 2–3 compromised (the");
+    println!("paper's ⅓ operating point). A single attacker cannot move the trimmed");
+    println!("mean and is diagnosed per-sensor instead. Beyond 3, the ⅔ decisiveness");
+    println!("rule refuses ambiguous windows: the system goes silent (fail-safe) and");
+    println!("honest sensors stay unframed until the compromised set dominates.");
+}

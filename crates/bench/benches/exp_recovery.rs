@@ -1,0 +1,101 @@
+//! EXT-9 — recovery-action quality: data rehabilitation.
+//!
+//! The paper motivates fault/attack distinction with "initiat[ing] a
+//! correct recovery action" but never evaluates one. This bench does:
+//! for each recoverable fault type, apply the pipeline's recovery plan
+//! to the corrupted stream and measure how much of the error the
+//! inverted correction removes (mean absolute temperature error vs the
+//! clean ground truth).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sentinet_bench::{clean_scenario, run_pipeline};
+use sentinet_core::{RecoveryAction, RecoveryPlan};
+use sentinet_inject::{inject_faults, FaultInjection, FaultModel};
+use sentinet_sim::SensorId;
+
+fn evaluate(name: &str, sensor: SensorId, model: FaultModel, seed: u64) {
+    let (clean, cfg) = clean_scenario(14, seed);
+    let faulty = inject_faults(
+        &clean,
+        &[FaultInjection::from_onset(sensor, model, 0)],
+        &cfg.ranges,
+        &mut StdRng::seed_from_u64(seed ^ 0xBEEF),
+    );
+    let p = run_pipeline(&faulty, &cfg);
+    let plan = RecoveryPlan::from_pipeline(&p);
+    let action = plan.action(sensor).clone();
+
+    let corrupted = faulty.sensor_series(sensor);
+    let truth = clean.sensor_series(sensor);
+    let mut err_raw = 0.0;
+    let mut err_fixed = 0.0;
+    let mut kept = 0.0;
+    for ((_, bad), (_, good)) in corrupted.iter().zip(&truth) {
+        err_raw +=
+            (bad.values()[0] - good.values()[0]).abs() + (bad.values()[1] - good.values()[1]).abs();
+        if let Some(fixed) = action.rehabilitate(bad) {
+            err_fixed += (fixed.values()[0] - good.values()[0]).abs()
+                + (fixed.values()[1] - good.values()[1]).abs();
+            kept += 1.0;
+        }
+    }
+    let n = corrupted.len() as f64;
+    err_raw /= n;
+    let action_name = match &action {
+        RecoveryAction::None => "none",
+        RecoveryAction::Recalibrate { .. } => "recalibrate",
+        RecoveryAction::BiasCorrect { .. } => "bias-correct",
+        RecoveryAction::MaskAndService => "mask",
+        RecoveryAction::Quarantine { .. } => "quarantine",
+    };
+    if kept > 0.0 {
+        err_fixed /= kept;
+        let removed = 100.0 * (1.0 - err_fixed / err_raw);
+        println!(
+            "{:<22} {:>13} {:>11.2} {:>11.2} {:>10.0}%",
+            name, action_name, err_raw, err_fixed, removed
+        );
+    } else {
+        println!(
+            "{:<22} {:>13} {:>11.2} {:>11} {:>11}",
+            name, action_name, err_raw, "masked", "-"
+        );
+    }
+}
+
+fn main() {
+    println!("=== EXT-9: recovery quality (mean |error| vs clean truth) ===");
+    println!(
+        "{:<22} {:>13} {:>11} {:>11} {:>11}",
+        "fault", "action", "raw err", "fixed err", "removed"
+    );
+    evaluate(
+        "calibration ×1.15",
+        SensorId(7),
+        FaultModel::Calibration {
+            gain: vec![1.15, 1.15],
+        },
+        45,
+    );
+    evaluate(
+        "additive (−9, −4.5)",
+        SensorId(3),
+        FaultModel::Additive {
+            offset: vec![-9.0, -4.5],
+        },
+        46,
+    );
+    evaluate(
+        "stuck-at (15, 1)",
+        SensorId(6),
+        FaultModel::StuckAt {
+            value: vec![15.0, 1.0],
+        },
+        47,
+    );
+    println!("\nreading: parametric faults (calibration/additive) are *recoverable* —");
+    println!("the estimated inverse removes most of the error and the sensor keeps");
+    println!("contributing; a stuck sensor carries no information and is masked.");
+    println!("Distinguishing the cases is exactly why classification matters (§1).");
+}

@@ -1,0 +1,143 @@
+//! Criterion performance benches: the cost of every pipeline stage.
+//!
+//! The paper claims an "on-the-fly" technique cheap enough for a
+//! collector node; these measurements substantiate that for this
+//! implementation (window step, online HMM update, clustering round,
+//! classification, and the batch Baum–Welch the baselines need).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sentinet_bench::{clean_scenario, run_pipeline, stuck_at_scenario};
+use sentinet_cluster::{ClusterConfig, ModelStates};
+use sentinet_core::{Pipeline, PipelineConfig};
+use sentinet_hmm::{baum_welch, BaumWelchConfig, Hmm, OnlineHmmEstimator};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let (day_trace, cfg) = clean_scenario(1, 1);
+    c.bench_function("pipeline/process_one_day", |b| {
+        b.iter_batched(
+            || Pipeline::new(PipelineConfig::default(), cfg.sample_period),
+            |mut p| {
+                p.process_trace(black_box(&day_trace));
+                p
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let (week_trace, cfg2) = clean_scenario(7, 2);
+    c.bench_function("pipeline/process_one_week", |b| {
+        b.iter_batched(
+            || Pipeline::new(PipelineConfig::default(), cfg2.sample_period),
+            |mut p| {
+                p.process_trace(black_box(&week_trace));
+                p
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_classification(c: &mut Criterion) {
+    let (trace, cfg) = stuck_at_scenario(7, 3);
+    let p = run_pipeline(&trace, &cfg);
+    c.bench_function("classify/sensor", |b| {
+        b.iter(|| black_box(p.classify(black_box(sentinet_sim::SensorId(6)))))
+    });
+    c.bench_function("classify/network", |b| {
+        b.iter(|| black_box(p.network_attack()))
+    });
+}
+
+fn bench_hmm(c: &mut Criterion) {
+    let mut est = OnlineHmmEstimator::new(8, 9, 0.1, 0.1).expect("valid params");
+    let mut i = 0usize;
+    c.bench_function("hmm/online_observe", |b| {
+        b.iter(|| {
+            i = (i + 1) % 8;
+            est.observe(black_box(i), black_box((i * 3) % 9))
+                .expect("in range")
+        })
+    });
+
+    let mut rng = StdRng::seed_from_u64(4);
+    let truth = Hmm::random(6, 6, &mut rng).expect("valid dims");
+    let (_, obs) = truth.sample(288, &mut rng).expect("positive length");
+    c.bench_function("hmm/forward_288", |b| {
+        b.iter(|| truth.log_likelihood(black_box(&obs)).expect("valid"))
+    });
+    c.bench_function("hmm/viterbi_288", |b| {
+        b.iter(|| truth.viterbi(black_box(&obs)).expect("valid"))
+    });
+
+    let init = Hmm::random(6, 6, &mut rng).expect("valid dims");
+    let bw_cfg = BaumWelchConfig {
+        max_iters: 10,
+        tol: 0.0,
+        smoothing: 1e-6,
+    };
+    c.bench_function("hmm/baum_welch_10iters_288", |b| {
+        b.iter(|| {
+            baum_welch(
+                black_box(&init),
+                black_box(std::slice::from_ref(&obs)),
+                &bw_cfg,
+            )
+        })
+    });
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let points: Vec<Vec<f64>> = (0..10)
+        .map(|i| {
+            vec![
+                12.0 + (i % 4) as f64 * 6.0 + sentinet_sim::standard_normal(&mut rng),
+                94.0 - (i % 4) as f64 * 12.0 + sentinet_sim::standard_normal(&mut rng),
+            ]
+        })
+        .collect();
+    c.bench_function("cluster/update_round_10pts", |b| {
+        b.iter_batched(
+            || {
+                ModelStates::new(
+                    vec![
+                        vec![12.0, 94.0],
+                        vec![18.0, 82.0],
+                        vec![24.0, 70.0],
+                        vec![30.0, 58.0],
+                    ],
+                    ClusterConfig::default(),
+                )
+            },
+            |mut s| {
+                s.update(black_box(&points));
+                s
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let cfg = sentinet_sim::gdi::day_config();
+    c.bench_function("sim/generate_one_day", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(6),
+            |mut rng| sentinet_sim::simulate(black_box(&cfg), &mut rng),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_pipeline,
+    bench_classification,
+    bench_hmm,
+    bench_clustering,
+    bench_simulation
+);
+criterion_main!(benches);

@@ -1,0 +1,196 @@
+//! `inspect` — dump the pipeline's internal models for a named
+//! scenario (model-state slots, `B^CO` with evidence counts, per-sensor
+//! `B^CE`, and the classification verdicts).
+//!
+//! Usage: `cargo run -p sentinet-bench --bin inspect -- <scenario>`
+//! with scenario one of `calibration`, `additive`, `deletion`,
+//! `creation`, `change`, `farm`. Invaluable when tuning tolerances or
+//! diagnosing why a classification came out the way it did.
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sentinet_core::{Pipeline, PipelineConfig};
+use sentinet_inject::{
+    first_k_sensors, inject_attacks, inject_faults, AttackInjection, AttackModel, FaultInjection,
+    FaultModel,
+};
+use sentinet_sim::{gdi, simulate, SensorId, DAY_S};
+
+fn dump(p: &Pipeline, focus: &[u16]) {
+    let states = p.model_states().unwrap();
+    println!("slots: {}", states.num_slots());
+    for i in 0..states.num_slots() {
+        println!(
+            "  slot {i}: {:?} active={}",
+            states.centroid_any(i).map(|c| (c[0] as i32, c[1] as i32)),
+            states.centroid(i).is_some()
+        );
+    }
+    let m_co = p.m_co().unwrap();
+    println!("B^CO evidence: {:?}", m_co.observation_evidence());
+    println!("B^CO:\n{}", m_co.observation());
+    println!("network attack: {:?}", p.network_attack());
+    for &s in focus {
+        let id = SensorId(s);
+        println!("--- sensor {s}: alarmed={}", p.ever_alarmed(id));
+        if let Some(m_ce) = p.m_ce(id) {
+            println!("B^CE evidence: {:?}", m_ce.observation_evidence());
+            println!("B^CE (col0=bot):\n{}", m_ce.observation());
+        }
+        println!("classify: {}", p.classify(id));
+    }
+}
+
+fn main() {
+    let scenario = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "calibration".into());
+    let mut cfg = gdi::month_config();
+    cfg.duration = 14 * DAY_S;
+    match scenario.as_str() {
+        "calibration" => {
+            let clean = simulate(&cfg, &mut StdRng::seed_from_u64(4));
+            let faulty = inject_faults(
+                &clean,
+                &[FaultInjection::from_onset(
+                    SensorId(7),
+                    FaultModel::Calibration {
+                        gain: vec![1.15, 1.15],
+                    },
+                    0,
+                )],
+                &cfg.ranges,
+                &mut StdRng::seed_from_u64(40),
+            );
+            let mut p = Pipeline::new(PipelineConfig::default(), cfg.sample_period);
+            p.process_trace(&faulty);
+            dump(&p, &[7]);
+        }
+        "additive" => {
+            cfg.duration = 12 * DAY_S;
+            let mut rng = StdRng::seed_from_u64(99);
+            let clean = simulate(&cfg, &mut rng);
+            let faulty = inject_faults(
+                &clean,
+                &[FaultInjection::from_onset(
+                    SensorId(4),
+                    FaultModel::Additive {
+                        offset: vec![-9.0, -4.5],
+                    },
+                    2 * DAY_S,
+                )],
+                &cfg.ranges,
+                &mut rng,
+            );
+            let mut p = Pipeline::new(PipelineConfig::default(), cfg.sample_period);
+            p.process_trace(&faulty);
+            dump(&p, &[4]);
+        }
+        "deletion" => {
+            cfg.duration = 10 * DAY_S;
+            let clean = simulate(&cfg, &mut StdRng::seed_from_u64(6));
+            let attack = AttackInjection::from_onset(
+                first_k_sensors(3),
+                AttackModel::DynamicDeletion {
+                    freeze_at: vec![12.0, 94.0],
+                },
+                5 * DAY_S,
+            );
+            let attacked = inject_attacks(&clean, &[attack], &cfg.ranges);
+            let mut p = Pipeline::new(PipelineConfig::default(), cfg.sample_period);
+            p.process_trace(&attacked);
+            dump(&p, &[0, 5]);
+        }
+        "creation" => {
+            cfg.duration = 6 * DAY_S;
+            cfg.environment = sentinet_sim::EnvironmentModel::Constant(vec![12.0, 95.0]);
+            let clean = simulate(&cfg, &mut StdRng::seed_from_u64(7));
+            let attacks: Vec<AttackInjection> = (0..6)
+                .map(|i| AttackInjection {
+                    sensors: first_k_sensors(3),
+                    model: AttackModel::DynamicCreation {
+                        target: vec![25.0, 69.0],
+                    },
+                    start: 3 * DAY_S + i * 12 * 3600,
+                    end: Some(3 * DAY_S + i * 12 * 3600 + 6 * 3600),
+                })
+                .collect();
+            let attacked = inject_attacks(&clean, &attacks, &cfg.ranges);
+            let mut p = Pipeline::new(PipelineConfig::default(), cfg.sample_period);
+            p.process_trace(&attacked);
+            dump(&p, &[0, 5]);
+        }
+        "change" => {
+            cfg.duration = 10 * DAY_S;
+            let clean = simulate(&cfg, &mut StdRng::seed_from_u64(8));
+            let attack = AttackInjection::from_onset(
+                first_k_sensors(3),
+                AttackModel::DynamicChange {
+                    offset: vec![-15.0, 0.0],
+                },
+                0,
+            );
+            let attacked = inject_attacks(&clean, &[attack], &cfg.ranges);
+            let mut p = Pipeline::new(PipelineConfig::default(), cfg.sample_period);
+            p.process_trace(&attacked);
+            dump(&p, &[0, 5]);
+        }
+        "farm" => {
+            let day = 86_400u64;
+            let mut schedule = Vec::new();
+            for d in 0..10u64 {
+                let t0 = d * day;
+                schedule.push((t0, vec![20.0, 30.0, 40.0]));
+                schedule.push((t0 + 8 * 3600, vec![55.0, 55.0, 55.0]));
+                schedule.push((t0 + 12 * 3600, vec![80.0, 85.0, 70.0]));
+                schedule.push((t0 + 14 * 3600, vec![55.0, 55.0, 55.0]));
+                schedule.push((t0 + 19 * 3600, vec![85.0, 90.0, 72.0]));
+                schedule.push((t0 + 22 * 3600, vec![20.0, 30.0, 40.0]));
+            }
+            let fcfg = sentinet_sim::SimConfig {
+                num_sensors: 12,
+                sample_period: 60,
+                duration: 10 * day,
+                noise_std: vec![2.0, 3.0, 1.5],
+                ranges: vec![
+                    sentinet_sim::AttributeRange::new(0.0, 100.0),
+                    sentinet_sim::AttributeRange::new(0.0, 500.0),
+                    sentinet_sim::AttributeRange::new(0.0, 100.0),
+                ],
+                loss_prob: 0.02,
+                burst: None,
+                malformed_prob: 0.005,
+                environment: sentinet_sim::EnvironmentModel::Piecewise(schedule),
+            };
+            let mut rng = StdRng::seed_from_u64(2_006);
+            let clean = simulate(&fcfg, &mut rng);
+            let trace = inject_attacks(
+                &clean,
+                &[AttackInjection::from_onset(
+                    vec![SensorId(0), SensorId(1), SensorId(2), SensorId(3)],
+                    AttackModel::DynamicDeletion {
+                        freeze_at: vec![20.0, 30.0, 40.0],
+                    },
+                    5 * day,
+                )],
+                &fcfg.ranges,
+            );
+            let mut pcfg = PipelineConfig {
+                window_samples: 15,
+                ..Default::default()
+            };
+            pcfg.cluster.spawn_threshold = 18.0;
+            pcfg.cluster.merge_threshold = 8.0;
+            let mut p = Pipeline::new(pcfg, fcfg.sample_period);
+            let outcomes = p.process_trace(&trace);
+            let decisive_alarm_windows =
+                outcomes.iter().filter(|o| !o.raw_alarms.is_empty()).count();
+            println!(
+                "windows: {} with raw alarms: {}",
+                outcomes.len(),
+                decisive_alarm_windows
+            );
+            dump(&p, &[0, 11]);
+        }
+        other => panic!("unknown scenario {other}"),
+    }
+}

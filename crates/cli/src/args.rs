@@ -1,0 +1,371 @@
+//! Hand-rolled argument parsing (no external CLI crate on the approved
+//! dependency list; the grammar is small enough that a table-driven
+//! parser stays clearer than a framework).
+
+use sentinet_inject::{AttackModel, FaultModel};
+use sentinet_sim::SensorId;
+use std::fmt;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Generate a synthetic trace CSV.
+    Simulate(SimulateArgs),
+    /// Run the detection pipeline over a trace CSV.
+    Analyze(AnalyzeArgs),
+    /// Print usage.
+    Help,
+}
+
+/// Arguments of `sentinet simulate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateArgs {
+    /// Output CSV path.
+    pub output: String,
+    /// Simulated days.
+    pub days: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of sensors.
+    pub sensors: u16,
+    /// Optional fault injection: `(sensor, model)`.
+    pub fault: Option<(SensorId, FaultModel)>,
+    /// Optional attack injection: `(compromised count, model)`.
+    pub attack: Option<(u16, AttackModel)>,
+}
+
+/// Arguments of `sentinet analyze`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzeArgs {
+    /// Input CSV path.
+    pub input: String,
+    /// Sensor sampling period in seconds.
+    pub period: u64,
+    /// Observation window size in samples.
+    pub window: u32,
+    /// Observable-mean trim fraction.
+    pub trim: f64,
+    /// Emit the report as one summary line per sensor only.
+    pub quiet: bool,
+}
+
+/// Parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Usage text.
+pub const USAGE: &str = "\
+sentinet — detect and distinguish errors vs attacks in sensor traces
+
+USAGE:
+  sentinet simulate <out.csv> [--days N] [--seed S] [--sensors K]
+                    [--fault SENSOR:MODEL] [--attack COUNT:MODEL]
+  sentinet analyze <trace.csv> [--period SECS] [--window SAMPLES]
+                    [--trim FRACTION] [--quiet]
+  sentinet help
+
+FAULT MODELS (simulate --fault):
+  6:stuck=15,1        sensor 6 stuck at (15, 1)
+  7:calib=1.15,1.15   sensor 7 gains ×(1.15, 1.15)
+  3:add=-9,-4.5       sensor 3 offset (−9, −4.5)
+  5:noise=10,10       sensor 5 extra noise σ (10, 10)
+  2:outage=0.5        sensor 2 drops 50% of its packets
+
+ATTACK MODELS (simulate --attack):
+  3:delete=12,94      3 sensors pin the observed state at (12, 94)
+  3:create=25,69      3 sensors forge state (25, 69)
+  3:change=-15,0      3 sensors shift the observed state by (−15, 0)
+";
+
+fn parse_pair(s: &str, what: &str) -> Result<Vec<f64>, ParseError> {
+    let vals: Result<Vec<f64>, _> = s.split(',').map(str::parse).collect();
+    vals.map_err(|e| ParseError(format!("bad {what} values {s:?}: {e}")))
+}
+
+/// Parses `SENSOR:MODEL=ARGS` into a fault injection spec.
+pub fn parse_fault(spec: &str) -> Result<(SensorId, FaultModel), ParseError> {
+    let (sensor, rest) = spec
+        .split_once(':')
+        .ok_or_else(|| ParseError(format!("fault spec {spec:?} needs SENSOR:MODEL")))?;
+    let sensor: u16 = sensor
+        .parse()
+        .map_err(|e| ParseError(format!("bad sensor id {sensor:?}: {e}")))?;
+    let (model, args) = rest.split_once('=').unwrap_or((rest, ""));
+    let model = match model {
+        "stuck" => FaultModel::StuckAt {
+            value: parse_pair(args, "stuck")?,
+        },
+        "calib" => FaultModel::Calibration {
+            gain: parse_pair(args, "calibration")?,
+        },
+        "add" => FaultModel::Additive {
+            offset: parse_pair(args, "additive")?,
+        },
+        "noise" => FaultModel::RandomNoise {
+            std: parse_pair(args, "noise")?,
+        },
+        "outage" => FaultModel::Outage {
+            drop_prob: args
+                .parse()
+                .map_err(|e| ParseError(format!("bad outage probability {args:?}: {e}")))?,
+        },
+        other => {
+            return Err(ParseError(format!(
+                "unknown fault model {other:?} (stuck|calib|add|noise|outage)"
+            )))
+        }
+    };
+    Ok((SensorId(sensor), model))
+}
+
+/// Parses `COUNT:MODEL=ARGS` into an attack injection spec.
+pub fn parse_attack(spec: &str) -> Result<(u16, AttackModel), ParseError> {
+    let (count, rest) = spec
+        .split_once(':')
+        .ok_or_else(|| ParseError(format!("attack spec {spec:?} needs COUNT:MODEL")))?;
+    let count: u16 = count
+        .parse()
+        .map_err(|e| ParseError(format!("bad sensor count {count:?}: {e}")))?;
+    if count == 0 {
+        return Err(ParseError("attack needs at least one sensor".into()));
+    }
+    let (model, args) = rest.split_once('=').unwrap_or((rest, ""));
+    let model = match model {
+        "delete" => AttackModel::DynamicDeletion {
+            freeze_at: parse_pair(args, "deletion")?,
+        },
+        "create" => AttackModel::DynamicCreation {
+            target: parse_pair(args, "creation")?,
+        },
+        "change" => AttackModel::DynamicChange {
+            offset: parse_pair(args, "change")?,
+        },
+        other => {
+            return Err(ParseError(format!(
+                "unknown attack model {other:?} (delete|create|change)"
+            )))
+        }
+    };
+    Ok((count, model))
+}
+
+fn take_value<'a, I: Iterator<Item = &'a str>>(
+    flag: &str,
+    it: &mut I,
+) -> Result<&'a str, ParseError> {
+    it.next()
+        .ok_or_else(|| ParseError(format!("{flag} needs a value")))
+}
+
+/// Parses a full argument list (excluding the program name).
+pub fn parse<'a, I: IntoIterator<Item = &'a str>>(args: I) -> Result<Command, ParseError> {
+    let mut it = args.into_iter();
+    match it.next() {
+        None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
+        Some("simulate") => {
+            let output = take_value("simulate", &mut it)
+                .map_err(|_| ParseError("simulate needs an output path".into()))?
+                .to_string();
+            let mut parsed = SimulateArgs {
+                output,
+                days: 7,
+                seed: 1,
+                sensors: 10,
+                fault: None,
+                attack: None,
+            };
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--days" => {
+                        parsed.days = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad --days: {e}")))?
+                    }
+                    "--seed" => {
+                        parsed.seed = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad --seed: {e}")))?
+                    }
+                    "--sensors" => {
+                        parsed.sensors = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad --sensors: {e}")))?
+                    }
+                    "--fault" => parsed.fault = Some(parse_fault(take_value(flag, &mut it)?)?),
+                    "--attack" => parsed.attack = Some(parse_attack(take_value(flag, &mut it)?)?),
+                    other => return Err(ParseError(format!("unknown flag {other:?}"))),
+                }
+            }
+            if parsed.days == 0 || parsed.sensors == 0 {
+                return Err(ParseError("--days and --sensors must be positive".into()));
+            }
+            Ok(Command::Simulate(parsed))
+        }
+        Some("analyze") => {
+            let input = take_value("analyze", &mut it)
+                .map_err(|_| ParseError("analyze needs an input path".into()))?
+                .to_string();
+            let mut parsed = AnalyzeArgs {
+                input,
+                period: 300,
+                window: 12,
+                trim: 0.15,
+                quiet: false,
+            };
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--period" => {
+                        parsed.period = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad --period: {e}")))?
+                    }
+                    "--window" => {
+                        parsed.window = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad --window: {e}")))?
+                    }
+                    "--trim" => {
+                        parsed.trim = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad --trim: {e}")))?
+                    }
+                    "--quiet" => parsed.quiet = true,
+                    other => return Err(ParseError(format!("unknown flag {other:?}"))),
+                }
+            }
+            if parsed.period == 0 || parsed.window == 0 || !(0.0..0.5).contains(&parsed.trim) {
+                return Err(ParseError(
+                    "--period/--window must be positive, --trim in [0, 0.5)".into(),
+                ));
+            }
+            Ok(Command::Analyze(parsed))
+        }
+        Some(other) => Err(ParseError(format!(
+            "unknown command {other:?} (simulate|analyze|help)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_variants() {
+        assert_eq!(parse([]).unwrap(), Command::Help);
+        assert_eq!(parse(["help"]).unwrap(), Command::Help);
+        assert_eq!(parse(["--help"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn simulate_defaults() {
+        match parse(["simulate", "out.csv"]).unwrap() {
+            Command::Simulate(a) => {
+                assert_eq!(a.output, "out.csv");
+                assert_eq!(a.days, 7);
+                assert_eq!(a.sensors, 10);
+                assert!(a.fault.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn simulate_full_flags() {
+        match parse([
+            "simulate",
+            "t.csv",
+            "--days",
+            "3",
+            "--seed",
+            "9",
+            "--sensors",
+            "6",
+            "--fault",
+            "6:stuck=15,1",
+            "--attack",
+            "2:delete=12,94",
+        ])
+        .unwrap()
+        {
+            Command::Simulate(a) => {
+                assert_eq!(a.days, 3);
+                assert_eq!(a.seed, 9);
+                assert_eq!(a.sensors, 6);
+                let (s, f) = a.fault.unwrap();
+                assert_eq!(s, SensorId(6));
+                assert_eq!(
+                    f,
+                    FaultModel::StuckAt {
+                        value: vec![15.0, 1.0]
+                    }
+                );
+                let (n, m) = a.attack.unwrap();
+                assert_eq!(n, 2);
+                assert_eq!(
+                    m,
+                    AttackModel::DynamicDeletion {
+                        freeze_at: vec![12.0, 94.0]
+                    }
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn analyze_flags() {
+        match parse([
+            "analyze", "t.csv", "--period", "60", "--window", "15", "--trim", "0.1", "--quiet",
+        ])
+        .unwrap()
+        {
+            Command::Analyze(a) => {
+                assert_eq!(a.period, 60);
+                assert_eq!(a.window, 15);
+                assert!((a.trim - 0.1).abs() < 1e-12);
+                assert!(a.quiet);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_specs_parse() {
+        assert!(parse_fault("7:calib=1.15,1.15").is_ok());
+        assert!(parse_fault("3:add=-9,-4.5").is_ok());
+        assert!(parse_fault("5:noise=10,10").is_ok());
+        assert!(parse_fault("2:outage=0.5").is_ok());
+        assert!(parse_fault("bogus").is_err());
+        assert!(parse_fault("1:bogus=1").is_err());
+        assert!(parse_fault("1:stuck=abc").is_err());
+    }
+
+    #[test]
+    fn attack_specs_parse() {
+        assert!(parse_attack("3:create=25,69").is_ok());
+        assert!(parse_attack("3:change=-15,0").is_ok());
+        assert!(parse_attack("0:delete=1,1").is_err());
+        assert!(parse_attack("3:bogus=1,1").is_err());
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        let e = parse(["analyze"]).unwrap_err();
+        assert!(e.to_string().contains("input path"));
+        let e = parse(["simulate", "x", "--days", "0"]).unwrap_err();
+        assert!(e.to_string().contains("positive"));
+        let e = parse(["frobnicate"]).unwrap_err();
+        assert!(e.to_string().contains("unknown command"));
+        let e = parse(["analyze", "x", "--trim", "0.9"]).unwrap_err();
+        assert!(e.to_string().contains("trim"));
+    }
+}

@@ -1,0 +1,132 @@
+//! `sentinet` — command-line front end.
+//!
+//! Two subcommands close the loop for a downstream user:
+//!
+//! - `sentinet simulate out.csv --fault 6:stuck=15,1` generates a
+//!   GDI-like trace CSV with optional fault/attack injections;
+//! - `sentinet analyze out.csv` runs the full detection pipeline over
+//!   any trace CSV (simulated or real) and prints the diagnosis report
+//!   plus the recommended recovery plan.
+
+mod args;
+
+use args::{AnalyzeArgs, Command, SimulateArgs, USAGE};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sentinet_core::{Pipeline, PipelineConfig, RecoveryPlan};
+use sentinet_inject::{inject_attacks, inject_faults, AttackInjection, FaultInjection};
+use sentinet_sim::{gdi, read_trace, simulate, write_trace, SensorId, DAY_S};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match args::parse(argv.iter().map(String::as_str)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match parsed {
+        Command::Help => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Command::Simulate(a) => run_simulate(a),
+        Command::Analyze(a) => run_analyze(a),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_simulate(a: SimulateArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let mut cfg = gdi::month_config();
+    cfg.duration = a.days * DAY_S;
+    cfg.num_sensors = a.sensors;
+    let mut rng = StdRng::seed_from_u64(a.seed);
+    let mut trace = simulate(&cfg, &mut rng);
+    if let Some((sensor, model)) = a.fault {
+        if sensor.0 >= a.sensors {
+            return Err(
+                format!("fault sensor {} out of range (0..{})", sensor.0, a.sensors).into(),
+            );
+        }
+        trace = inject_faults(
+            &trace,
+            // Fault onset after one clean day (or immediately for
+            // single-day traces) so the bootstrap sees healthy data.
+            &[FaultInjection::from_onset(
+                sensor,
+                model,
+                if a.days > 1 { DAY_S } else { 0 },
+            )],
+            &cfg.ranges,
+            &mut rng,
+        );
+    }
+    if let Some((count, model)) = a.attack {
+        if count > a.sensors {
+            return Err(format!("cannot compromise {count} of {} sensors", a.sensors).into());
+        }
+        trace = inject_attacks(
+            &trace,
+            &[AttackInjection::from_onset(
+                (0..count).map(SensorId).collect(),
+                model,
+                a.days / 2 * DAY_S,
+            )],
+            &cfg.ranges,
+        );
+    }
+    let file = File::create(&a.output)?;
+    write_trace(&trace, 2, BufWriter::new(file))?;
+    println!(
+        "wrote {} records ({} days, {} sensors, {:.1}% lost/malformed) to {}",
+        trace.len(),
+        a.days,
+        a.sensors,
+        100.0 * trace.loss_rate(),
+        a.output
+    );
+    Ok(())
+}
+
+fn run_analyze(a: AnalyzeArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let file = File::open(&a.input)?;
+    let trace = read_trace(BufReader::new(file))?;
+    if trace.is_empty() {
+        return Err("trace contains no records".into());
+    }
+    let config = PipelineConfig {
+        window_samples: a.window,
+        observable_trim: a.trim,
+        ..Default::default()
+    };
+    let mut pipeline = Pipeline::new(config, a.period);
+    pipeline.process_trace(&trace);
+    let report = pipeline.report();
+    if a.quiet {
+        for s in &report.sensors {
+            println!("{}\t{}", s.sensor, s.diagnosis);
+        }
+    } else {
+        print!("{report}");
+        let plan = RecoveryPlan::from_pipeline(&pipeline);
+        println!("\nrecovery plan:");
+        for (id, action) in &plan.actions {
+            println!("  {id}: {action:?}");
+        }
+    }
+    // Exit semantics for scripting: nonzero when anything was flagged.
+    if report.flagged().count() > 0 || report.network_attack.is_some() {
+        std::process::exit(3);
+    }
+    Ok(())
+}

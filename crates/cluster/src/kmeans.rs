@@ -1,0 +1,233 @@
+//! Offline k-means (Lloyd's algorithm) with k-means++ seeding.
+//!
+//! The paper bootstraps the Model State Identification module with "an
+//! initial set estimate of 6 states that is determined by running an
+//! off-line clustering algorithm on the entire data" (§4.1). This module
+//! is that algorithm.
+
+use rand::Rng;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansResult {
+    /// Final centroids, `k × dims`.
+    pub centroids: Vec<Vec<f64>>,
+    /// Assignment of each input point to a centroid index.
+    pub assignments: Vec<usize>,
+    /// Total within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
+}
+
+/// Runs k-means++ seeding followed by Lloyd iterations.
+///
+/// Empty clusters are re-seeded on the farthest point from its centroid.
+/// Stops when assignments are stable or `max_iters` is reached.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `points` is empty, `k > points.len()`, or the
+/// points have inconsistent dimensions.
+pub fn kmeans<R: Rng + ?Sized>(
+    points: &[Vec<f64>],
+    k: usize,
+    max_iters: usize,
+    rng: &mut R,
+) -> KMeansResult {
+    assert!(k > 0, "k must be positive");
+    assert!(!points.is_empty(), "no points to cluster");
+    assert!(k <= points.len(), "k = {k} exceeds {} points", points.len());
+    let dims = points[0].len();
+    assert!(
+        points.iter().all(|p| p.len() == dims),
+        "inconsistent point dimensions"
+    );
+
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    while centroids.len() < k {
+        let d2: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| sq_dist(p, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = d2.iter().sum();
+        if total == 0.0 {
+            // All points coincide with existing centroids; duplicate one.
+            centroids.push(points[rng.gen_range(0..points.len())].clone());
+            continue;
+        }
+        let mut pick = rng.gen::<f64>() * total;
+        let mut chosen = points.len() - 1;
+        for (i, &d) in d2.iter().enumerate() {
+            pick -= d;
+            if pick <= 0.0 {
+                chosen = i;
+                break;
+            }
+        }
+        centroids.push(points[chosen].clone());
+    }
+
+    let mut assignments = vec![0usize; points.len()];
+    let mut iterations = 0;
+    for _ in 0..max_iters {
+        iterations += 1;
+        // Assignment step.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    sq_dist(p, &centroids[a])
+                        .partial_cmp(&sq_dist(p, &centroids[b]))
+                        .expect("distances are not NaN")
+                })
+                .expect("k > 0");
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0; dims]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in points.iter().zip(&assignments) {
+            counts[a] += 1;
+            for (s, &x) in sums[a].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed the empty cluster on the farthest point.
+                let far = points
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| {
+                        sq_dist(a, &centroids[assignments[0]])
+                            .partial_cmp(&sq_dist(b, &centroids[assignments[0]]))
+                            .expect("distances are not NaN")
+                    })
+                    .map(|(i, _)| i)
+                    .expect("points is non-empty");
+                centroids[c] = points[far].clone();
+                changed = true;
+            } else {
+                for (j, s) in sums[c].iter().enumerate() {
+                    centroids[c][j] = s / counts[c] as f64;
+                }
+            }
+        }
+        if !changed && iterations > 1 {
+            break;
+        }
+    }
+
+    let inertia = points
+        .iter()
+        .zip(&assignments)
+        .map(|(p, &a)| sq_dist(p, &centroids[a]))
+        .sum();
+    KMeansResult {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..30 {
+            let j = (i % 3) as f64;
+            pts.push(vec![
+                10.0 * j + (i as f64 % 5.0) * 0.1,
+                -10.0 * j + (i as f64 % 7.0) * 0.1,
+            ]);
+        }
+        pts
+    }
+
+    #[test]
+    fn recovers_three_blobs() {
+        let pts = blobs();
+        let mut rng = StdRng::seed_from_u64(1);
+        let res = kmeans(&pts, 3, 100, &mut rng);
+        assert!(res.inertia < 5.0, "inertia {}", res.inertia);
+        // Each blob's points share a cluster.
+        for base in 0..3 {
+            let c = res.assignments[base];
+            for i in (base..30).step_by(3) {
+                assert_eq!(res.assignments[i], c);
+            }
+        }
+    }
+
+    #[test]
+    fn k_equals_points_gives_zero_inertia() {
+        let pts = vec![vec![0.0], vec![1.0], vec![5.0]];
+        let mut rng = StdRng::seed_from_u64(3);
+        let res = kmeans(&pts, 3, 50, &mut rng);
+        assert!(res.inertia < 1e-18);
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let pts = vec![vec![1.0, 1.0], vec![3.0, 5.0]];
+        let mut rng = StdRng::seed_from_u64(5);
+        let res = kmeans(&pts, 1, 10, &mut rng);
+        assert!((res.centroids[0][0] - 2.0).abs() < 1e-12);
+        assert!((res.centroids[0][1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_points_dont_crash() {
+        let pts = vec![vec![2.0]; 10];
+        let mut rng = StdRng::seed_from_u64(6);
+        let res = kmeans(&pts, 3, 20, &mut rng);
+        assert_eq!(res.assignments.len(), 10);
+        assert!(res.inertia < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        kmeans(&[vec![1.0]], 0, 10, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn k_above_points_panics() {
+        kmeans(&[vec![1.0]], 2, 10, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no points")]
+    fn empty_points_panics() {
+        kmeans(&[], 1, 10, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let pts = blobs();
+        let a = kmeans(&pts, 3, 100, &mut StdRng::seed_from_u64(9));
+        let b = kmeans(&pts, 3, 100, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,459 @@
+//! Online Model State Identification (paper §3.1, Eqs. 5–6).
+//!
+//! Maintains the evolving set of model states `S = {s_1, …, s_M}` that
+//! synthetically describe the physical conditions traversed by the
+//! environment *and* by error/attack data. Each window:
+//!
+//! 1. every state's centroid moves toward the mean of the observations
+//!    mapped to it with learning factor `α` (Eq. 6);
+//! 2. states closer than `merge_threshold` merge (so correct data is
+//!    not split into small clusters);
+//! 3. an observation farther than `spawn_threshold` from every state
+//!    spawns a new state at its location.
+//!
+//! States occupy **stable slots**: merging deactivates a slot instead of
+//! re-indexing, so the HMM estimators tracking states by index stay
+//! consistent; spawning appends a new slot and the caller grows its
+//! HMMs. [`StateEvent`] reports what happened.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the online clustering module.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Learning factor `α ∈ (0, 1)` of Eq. 6 (paper default 0.10).
+    pub alpha: f64,
+    /// States closer than this (Euclidean) merge into one.
+    pub merge_threshold: f64,
+    /// Observations farther than this from every active state spawn a
+    /// new state.
+    pub spawn_threshold: f64,
+    /// Hard cap on the number of active states (the paper warns the
+    /// module "does not generate too many model states").
+    pub max_states: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 0.10,
+            merge_threshold: 4.0,
+            // The paper's GDI state set has ≈ 9-unit spacing between
+            // adjacent (temperature, humidity) states; spawning at 8
+            // reproduces that granularity, which is also what lets
+            // moderately displaced faulty data (e.g. a 10% calibration
+            // error) spawn its own error states.
+            spawn_threshold: 8.0,
+            max_states: 16,
+        }
+    }
+}
+
+/// A structural change to the state set during an update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StateEvent {
+    /// A new state slot was created (index of the new slot).
+    Spawned(usize),
+    /// Slot `from` was merged into slot `into` and deactivated.
+    Merged {
+        /// The deactivated slot.
+        from: usize,
+        /// The surviving slot.
+        into: usize,
+    },
+}
+
+/// The evolving set of model states.
+///
+/// # Examples
+///
+/// ```
+/// use sentinet_cluster::{ClusterConfig, ModelStates};
+///
+/// let mut states = ModelStates::new(
+///     vec![vec![12.0, 94.0], vec![31.0, 56.0]],
+///     ClusterConfig::default(),
+/// );
+/// let (l, _) = states.nearest(&[13.0, 93.0]).unwrap();
+/// assert_eq!(l, 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelStates {
+    centroids: Vec<Vec<f64>>,
+    active: Vec<bool>,
+    config: ClusterConfig,
+    dims: usize,
+}
+
+impl ModelStates {
+    /// Creates the state set from initial centroids (offline-clustered
+    /// historical data or random picks, per the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is empty, has inconsistent dimensions, or the
+    /// config has invalid parameters.
+    pub fn new(initial: Vec<Vec<f64>>, config: ClusterConfig) -> Self {
+        assert!(!initial.is_empty(), "need at least one initial state");
+        let dims = initial[0].len();
+        assert!(dims > 0, "states must have at least one attribute");
+        assert!(
+            initial.iter().all(|c| c.len() == dims),
+            "inconsistent state dimensions"
+        );
+        assert!(
+            config.alpha > 0.0 && config.alpha < 1.0,
+            "alpha must be in (0, 1)"
+        );
+        assert!(
+            config.merge_threshold >= 0.0 && config.spawn_threshold > config.merge_threshold,
+            "spawn threshold must exceed merge threshold"
+        );
+        assert!(config.max_states >= initial.len(), "max_states too small");
+        let active = vec![true; initial.len()];
+        Self {
+            centroids: initial,
+            active,
+            config,
+            dims,
+        }
+    }
+
+    /// Total slots ever allocated (active and merged-away).
+    pub fn num_slots(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Indices of currently active states.
+    pub fn active_states(&self) -> Vec<usize> {
+        (0..self.centroids.len())
+            .filter(|&i| self.active[i])
+            .collect()
+    }
+
+    /// Attribute dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The centroid of slot `i`, if the slot is active.
+    pub fn centroid(&self, i: usize) -> Option<&[f64]> {
+        if i < self.centroids.len() && self.active[i] {
+            Some(&self.centroids[i])
+        } else {
+            None
+        }
+    }
+
+    /// The centroid of slot `i` regardless of its active flag: a slot
+    /// merged away retains its last centroid, which classification
+    /// needs when interpreting historical HMM evidence against it.
+    pub fn centroid_any(&self, i: usize) -> Option<&[f64]> {
+        self.centroids.get(i).map(Vec::as_slice)
+    }
+
+    /// The nearest active state to `point` and its distance (Eq. 3).
+    ///
+    /// Returns `None` only if every slot has been merged away (cannot
+    /// happen: merges always leave the survivor active).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point` has the wrong dimensionality.
+    pub fn nearest(&self, point: &[f64]) -> Option<(usize, f64)> {
+        assert_eq!(point.len(), self.dims, "point dimension mismatch");
+        self.active_states()
+            .into_iter()
+            .map(|i| (i, dist(&self.centroids[i], point)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are not NaN"))
+    }
+
+    /// Maps each observation to its nearest state — the `l_j` labels of
+    /// Eq. 3.
+    pub fn assign(&self, points: &[Vec<f64>]) -> Vec<usize> {
+        points
+            .iter()
+            .map(|p| self.nearest(p).expect("at least one active state").0)
+            .collect()
+    }
+
+    /// Spawns a new state at `point` if it lies farther than the spawn
+    /// threshold from every active state (and the cap allows), returning
+    /// the new slot index.
+    ///
+    /// The detection pipeline uses this to guarantee the *observable*
+    /// state of Eq. 2 can name a window mean that an attack has shifted
+    /// into a region no sensor reading occupies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point` has the wrong dimensionality.
+    pub fn spawn_if_uncovered(&mut self, point: &[f64]) -> Option<usize> {
+        let (_, d) = self.nearest(point).expect("at least one active state");
+        if d > self.config.spawn_threshold && self.active_states().len() < self.config.max_states {
+            self.centroids.push(point.to_vec());
+            self.active.push(true);
+            Some(self.centroids.len() - 1)
+        } else {
+            None
+        }
+    }
+
+    /// Performs one full update round on a window's observations:
+    /// EWMA centroid update (Eq. 6), merge pass, spawn pass.
+    ///
+    /// Returns the structural events so callers can grow/mask their
+    /// per-state models.
+    pub fn update(&mut self, points: &[Vec<f64>]) -> Vec<StateEvent> {
+        let mut events = Vec::new();
+        if points.is_empty() {
+            return events;
+        }
+        let assignments = self.assign(points);
+
+        // Eq. 6: s_k ← (1-α)·s_k + α·mean(P_k) for non-empty P_k.
+        for k in self.active_states() {
+            let members: Vec<&Vec<f64>> = points
+                .iter()
+                .zip(&assignments)
+                .filter(|&(_, &a)| a == k)
+                .map(|(p, _)| p)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let inv = 1.0 / members.len() as f64;
+            for d in 0..self.dims {
+                let mean: f64 = members.iter().map(|p| p[d]).sum::<f64>() * inv;
+                self.centroids[k][d] =
+                    (1.0 - self.config.alpha) * self.centroids[k][d] + self.config.alpha * mean;
+            }
+        }
+
+        // Merge pass: collapse active states closer than the threshold.
+        // The lower-indexed slot survives (stable identity).
+        let act = self.active_states();
+        for (ai, &i) in act.iter().enumerate() {
+            if !self.active[i] {
+                continue;
+            }
+            for &j in act.iter().skip(ai + 1) {
+                if !self.active[j] {
+                    continue;
+                }
+                if dist(&self.centroids[i], &self.centroids[j]) < self.config.merge_threshold {
+                    // Survivor moves to the midpoint.
+                    for d in 0..self.dims {
+                        self.centroids[i][d] = (self.centroids[i][d] + self.centroids[j][d]) / 2.0;
+                    }
+                    self.active[j] = false;
+                    events.push(StateEvent::Merged { from: j, into: i });
+                }
+            }
+        }
+
+        // Spawn pass: points beyond the spawn threshold from every
+        // active state create new states (capped).
+        for p in points {
+            let (_, d) = self.nearest(p).expect("at least one active state");
+            if d > self.config.spawn_threshold
+                && self.active_states().len() < self.config.max_states
+            {
+                self.centroids.push(p.clone());
+                self.active.push(true);
+                events.push(StateEvent::Spawned(self.centroids.len() - 1));
+            }
+        }
+        events
+    }
+}
+
+fn dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).powi(2))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ClusterConfig {
+        ClusterConfig {
+            alpha: 0.5,
+            merge_threshold: 1.0,
+            spawn_threshold: 10.0,
+            max_states: 8,
+        }
+    }
+
+    #[test]
+    fn nearest_and_assign() {
+        let s = ModelStates::new(vec![vec![0.0, 0.0], vec![10.0, 0.0]], cfg());
+        let (i, d) = s.nearest(&[1.0, 0.0]).unwrap();
+        assert_eq!(i, 0);
+        assert!((d - 1.0).abs() < 1e-12);
+        assert_eq!(s.assign(&[vec![9.0, 0.0], vec![-1.0, 0.0]]), vec![1, 0]);
+    }
+
+    #[test]
+    fn ewma_update_moves_centroid_toward_mean() {
+        let mut s = ModelStates::new(
+            vec![vec![0.0]],
+            ClusterConfig {
+                alpha: 0.5,
+                merge_threshold: 0.1,
+                spawn_threshold: 100.0,
+                max_states: 4,
+            },
+        );
+        let ev = s.update(&[vec![2.0], vec![4.0]]); // mean 3 → centroid 1.5
+        assert!(ev.is_empty());
+        assert!((s.centroid(0).unwrap()[0] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_state_not_updated() {
+        let mut s = ModelStates::new(
+            vec![vec![0.0], vec![100.0]],
+            ClusterConfig {
+                alpha: 0.5,
+                merge_threshold: 0.1,
+                spawn_threshold: 200.0,
+                max_states: 4,
+            },
+        );
+        s.update(&[vec![1.0]]);
+        assert_eq!(s.centroid(1).unwrap(), &[100.0]);
+    }
+
+    #[test]
+    fn merge_deactivates_higher_slot() {
+        let mut s = ModelStates::new(vec![vec![0.0], vec![0.5]], cfg());
+        let ev = s.update(&[vec![0.25]]);
+        assert!(ev.contains(&StateEvent::Merged { from: 1, into: 0 }));
+        assert_eq!(s.active_states(), vec![0]);
+        assert!(s.centroid(1).is_none());
+        // Survivor at the midpoint of the two merged centroids.
+        let c = s.centroid(0).unwrap()[0];
+        assert!(c > 0.0 && c < 0.5);
+    }
+
+    #[test]
+    fn spawn_on_distant_observation() {
+        let mut s = ModelStates::new(vec![vec![0.0]], cfg());
+        let ev = s.update(&[vec![50.0]]);
+        assert!(matches!(ev.as_slice(), [StateEvent::Spawned(1)]), "{ev:?}");
+        assert_eq!(s.centroid(1).unwrap(), &[50.0]);
+        // Subsequent assignment maps nearby points to the new state.
+        assert_eq!(s.assign(&[vec![49.0]]), vec![1]);
+    }
+
+    #[test]
+    fn spawn_respects_max_states() {
+        let mut s = ModelStates::new(
+            vec![vec![0.0]],
+            ClusterConfig {
+                alpha: 0.1,
+                merge_threshold: 1.0,
+                spawn_threshold: 5.0,
+                max_states: 2,
+            },
+        );
+        s.update(&[vec![100.0]]); // spawns slot 1 (at cap now)
+        let ev = s.update(&[vec![-100.0]]); // would spawn, but capped
+        assert!(ev.is_empty());
+        assert_eq!(s.active_states().len(), 2);
+    }
+
+    #[test]
+    fn update_with_no_points_is_noop() {
+        let mut s = ModelStates::new(vec![vec![1.0]], cfg());
+        assert!(s.update(&[]).is_empty());
+        assert_eq!(s.centroid(0).unwrap(), &[1.0]);
+    }
+
+    #[test]
+    fn converges_to_stable_clusters() {
+        // Feed two alternating tight blobs; states settle on them.
+        let mut s = ModelStates::new(
+            vec![vec![3.0], vec![8.0]],
+            ClusterConfig {
+                alpha: 0.2,
+                merge_threshold: 1.0,
+                spawn_threshold: 20.0,
+                max_states: 4,
+            },
+        );
+        for _ in 0..100 {
+            s.update(&[vec![0.0], vec![0.1], vec![10.0], vec![10.1]]);
+        }
+        let c0 = s.centroid(0).unwrap()[0];
+        let c1 = s.centroid(1).unwrap()[0];
+        assert!((c0 - 0.05).abs() < 0.1, "c0 {c0}");
+        assert!((c1 - 10.05).abs() < 0.1, "c1 {c1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one initial state")]
+    fn empty_initial_panics() {
+        ModelStates::new(vec![], cfg());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn bad_alpha_panics() {
+        ModelStates::new(
+            vec![vec![0.0]],
+            ClusterConfig {
+                alpha: 1.0,
+                ..cfg()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "spawn threshold must exceed")]
+    fn bad_thresholds_panic() {
+        ModelStates::new(
+            vec![vec![0.0]],
+            ClusterConfig {
+                merge_threshold: 5.0,
+                spawn_threshold: 2.0,
+                ..cfg()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn nearest_dim_mismatch_panics() {
+        let s = ModelStates::new(vec![vec![0.0, 0.0]], cfg());
+        s.nearest(&[1.0]);
+    }
+
+    #[test]
+    fn gdi_like_two_dim_flow() {
+        // Four paper states, points near each: mapping must be stable.
+        let init = vec![
+            vec![12.0, 94.0],
+            vec![17.0, 84.0],
+            vec![24.0, 70.0],
+            vec![31.0, 56.0],
+        ];
+        let mut s = ModelStates::new(init, ClusterConfig::default());
+        let pts = vec![
+            vec![12.5, 93.0],
+            vec![16.8, 84.5],
+            vec![24.2, 69.5],
+            vec![30.5, 57.0],
+        ];
+        let labels = s.assign(&pts);
+        assert_eq!(labels, vec![0, 1, 2, 3]);
+        let ev = s.update(&pts);
+        assert!(ev.is_empty(), "no structural change expected: {ev:?}");
+        assert_eq!(s.active_states().len(), 4);
+    }
+}

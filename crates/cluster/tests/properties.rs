@@ -1,0 +1,142 @@
+//! Property-based tests for the clustering substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sentinet_cluster::{kmeans, ClusterConfig, ModelStates, StateEvent};
+
+fn cfg() -> ClusterConfig {
+    ClusterConfig {
+        alpha: 0.2,
+        merge_threshold: 1.0,
+        spawn_threshold: 10.0,
+        max_states: 12,
+    }
+}
+
+fn points(dim: usize, max_len: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(-50.0f64..50.0, dim), 1..max_len)
+}
+
+proptest! {
+    #[test]
+    fn assignments_are_nearest_active_state(pts in points(2, 20)) {
+        let s = ModelStates::new(vec![vec![0.0, 0.0], vec![20.0, 20.0]], cfg());
+        let labels = s.assign(&pts);
+        for (p, &l) in pts.iter().zip(&labels) {
+            let (nearest, d) = s.nearest(p).unwrap();
+            prop_assert_eq!(l, nearest);
+            // No active state is strictly closer.
+            for a in s.active_states() {
+                let c = s.centroid(a).unwrap();
+                let da: f64 = p.iter().zip(c).map(|(x, y)| (x - y).powi(2)).sum::<f64>().sqrt();
+                prop_assert!(da >= d - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn update_never_loses_all_states(
+        rounds in prop::collection::vec(points(2, 8), 1..10),
+    ) {
+        let mut s = ModelStates::new(vec![vec![0.0, 0.0]], cfg());
+        for pts in rounds {
+            s.update(&pts);
+            prop_assert!(!s.active_states().is_empty());
+            prop_assert!(s.active_states().len() <= 12);
+        }
+    }
+
+    #[test]
+    fn events_are_consistent_with_state_set(pts in points(2, 20)) {
+        let mut s = ModelStates::new(vec![vec![0.0, 0.0], vec![30.0, 30.0]], cfg());
+        let before = s.num_slots();
+        let events = s.update(&pts);
+        for e in &events {
+            match e {
+                StateEvent::Spawned(i) => {
+                    prop_assert!(*i >= before || s.centroid(*i).is_some());
+                    prop_assert!(s.centroid(*i).is_some(), "spawned slot must be active");
+                }
+                StateEvent::Merged { from, into } => {
+                    prop_assert!(s.centroid(*from).is_none(), "merged-from slot inactive");
+                    prop_assert!(s.centroid(*into).is_some(), "merge survivor active");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn centroids_stay_in_data_hull_after_updates(
+        pts in prop::collection::vec(prop::collection::vec(-10.0f64..10.0, 1), 2..30),
+    ) {
+        // Feeding data confined to [-10, 10] can never push a centroid
+        // outside the convex hull of {initial centroid} ∪ data.
+        let mut s = ModelStates::new(vec![vec![0.0]], ClusterConfig {
+            alpha: 0.5,
+            merge_threshold: 0.5,
+            spawn_threshold: 30.0,
+            max_states: 4,
+        });
+        for _ in 0..5 {
+            s.update(&pts);
+        }
+        for a in s.active_states() {
+            let c = s.centroid(a).unwrap()[0];
+            prop_assert!((-10.0..=10.0).contains(&c), "centroid {c}");
+        }
+    }
+
+    #[test]
+    fn spawn_if_uncovered_respects_threshold(
+        x in -100.0f64..100.0,
+    ) {
+        let mut s = ModelStates::new(vec![vec![0.0]], cfg());
+        let spawned = s.spawn_if_uncovered(&[x]);
+        if x.abs() > 10.0 {
+            prop_assert!(spawned.is_some());
+            prop_assert_eq!(s.centroid(spawned.unwrap()).unwrap(), &[x]);
+        } else {
+            prop_assert!(spawned.is_none());
+        }
+    }
+
+    #[test]
+    fn kmeans_assignments_minimize_distance(
+        pts in prop::collection::vec(prop::collection::vec(-20.0f64..20.0, 2), 4..40),
+        k in 1usize..4,
+        seed in 0u64..100,
+    ) {
+        prop_assume!(k <= pts.len());
+        let res = kmeans(&pts, k, 50, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(res.assignments.len(), pts.len());
+        prop_assert_eq!(res.centroids.len(), k);
+        for (p, &a) in pts.iter().zip(&res.assignments) {
+            let da: f64 = p.iter().zip(&res.centroids[a]).map(|(x, y)| (x - y).powi(2)).sum();
+            for c in &res.centroids {
+                let dc: f64 = p.iter().zip(c).map(|(x, y)| (x - y).powi(2)).sum();
+                prop_assert!(da <= dc + 1e-9, "assignment not nearest");
+            }
+        }
+    }
+
+    #[test]
+    fn kmeans_inertia_nonincreasing_in_k(
+        pts in prop::collection::vec(prop::collection::vec(-20.0f64..20.0, 2), 8..30),
+        seed in 0u64..50,
+    ) {
+        // More clusters cannot fit worse than best-of-restarts fewer
+        // clusters (statistically; we use the best of 3 restarts each).
+        let best = |k: usize| -> f64 {
+            (0..3)
+                .map(|r| {
+                    kmeans(&pts, k, 100, &mut StdRng::seed_from_u64(seed * 17 + r))
+                        .inertia
+                })
+                .fold(f64::INFINITY, f64::min)
+        };
+        let i1 = best(1);
+        let i4 = best(4);
+        prop_assert!(i4 <= i1 + 1e-6, "inertia grew with k: {i1} -> {i4}");
+    }
+}

@@ -1,0 +1,274 @@
+//! Confidence quantification for structural diagnoses.
+//!
+//! The Fig. 5 tree thresholds continuous statistics (Gram masses,
+//! column dominance, coefficients of variation) into hard labels. The
+//! distance between the measured statistic and its decision threshold
+//! is free information: a verdict whose deciding statistic barely
+//! cleared its threshold deserves less trust than one far past it.
+//! [`Pipeline::classify_with_confidence`](crate::Pipeline::classify_with_confidence)
+//! reports that margin, normalized into `[0, 1]`.
+
+use crate::classify::{AttackType, Diagnosis, ErrorType, NetworkEvidence, SensorEvidence};
+use crate::config::PipelineConfig;
+use sentinet_hmm::structure::{stuck_at_column, OrthogonalityReport};
+
+/// Clamps a raw margin ratio into `[0, 1]`.
+fn unit(x: f64) -> f64 {
+    x.clamp(0.0, 1.0)
+}
+
+/// Confidence in a network-level attack verdict: how far past the
+/// orthogonality tolerance the strongest deciding violation sits.
+pub fn network_confidence(
+    evidence: &NetworkEvidence<'_>,
+    verdict: &AttackType,
+    config: &PipelineConfig,
+) -> f64 {
+    let report =
+        OrthogonalityReport::analyze(evidence.b_co, config.ortho, Some(&evidence.active_rows));
+    let tol = config.ortho.max_offdiag;
+    let margin_of = |mass: f64| unit((mass - tol) / (1.0 - tol));
+    match verdict {
+        AttackType::DynamicDeletion { .. } | AttackType::Mixed => report
+            .row_violations
+            .iter()
+            .map(|v| margin_of(v.mass))
+            .fold(0.0, f64::max),
+        AttackType::DynamicCreation { created } => {
+            // Strength = the largest mass any active row places on a
+            // created column.
+            let mut best: f64 = 0.0;
+            for &r in &evidence.active_rows {
+                for &c in created {
+                    if c < evidence.b_co.num_cols() {
+                        best = best.max(evidence.b_co[(r, c)]);
+                    }
+                }
+            }
+            unit(best)
+        }
+        AttackType::DynamicChange { pairs } => {
+            // Strength = the weakest of the remapped associations.
+            pairs
+                .iter()
+                .map(|&(c, o)| evidence.b_co[(c, o)])
+                .fold(1.0, f64::min)
+        }
+    }
+}
+
+/// Confidence in a per-sensor error verdict.
+pub fn sensor_confidence(
+    sensor: &SensorEvidence<'_>,
+    verdict: &ErrorType,
+    config: &PipelineConfig,
+) -> f64 {
+    let Ok(b) = sensor.b_ce.drop_columns(&[0]) else {
+        return 0.0;
+    };
+    let active: Vec<usize> = sensor
+        .active_rows
+        .iter()
+        .copied()
+        .filter(|&i| sensor.b_ce[(i, 0)] <= 0.5)
+        .collect();
+    match verdict {
+        ErrorType::StuckAt { state } => {
+            // Margin of the weakest row's mass on the stuck column over
+            // the threshold.
+            if active.is_empty() || *state >= b.num_cols() {
+                return 0.0;
+            }
+            let min_mass = active.iter().map(|&i| b[(i, *state)]).fold(1.0, f64::min);
+            let thr = config.stuck_at_threshold;
+            // Consistency: the test must actually fire for this column.
+            if stuck_at_column(&b, thr, Some(&active)) != Some(*state) {
+                return 0.0;
+            }
+            unit((min_mass - thr) / (1.0 - thr))
+        }
+        ErrorType::Calibration { .. } | ErrorType::Additive { .. } => {
+            // Margin of the weakest association row over the threshold,
+            // scaled by the evidence breadth (pairs beyond the minimum).
+            if active.is_empty() {
+                return 0.0;
+            }
+            let thr = config.association_threshold;
+            let weakest = active
+                .iter()
+                .map(|&i| b.row(i).iter().cloned().fold(0.0, f64::max))
+                .fold(1.0, f64::min);
+            let breadth = unit(
+                (active.len() as f64 - config.min_association_pairs as f64 + 1.0)
+                    / (config.min_association_pairs as f64 + 1.0),
+            );
+            unit((weakest - thr) / (1.0 - thr)) * (0.5 + 0.5 * breadth)
+        }
+        ErrorType::Unknown => 0.0,
+    }
+}
+
+/// Confidence in an `ErrorFree` verdict: how far below the tolerances
+/// the network matrix sits, damped when the pipeline has processed only
+/// a few windows.
+pub fn clean_confidence(
+    evidence: &NetworkEvidence<'_>,
+    windows_processed: u64,
+    config: &PipelineConfig,
+) -> f64 {
+    if evidence.active_rows.is_empty() {
+        return 0.0;
+    }
+    let report =
+        OrthogonalityReport::analyze(evidence.b_co, config.ortho, Some(&evidence.active_rows));
+    let g = evidence.b_co.row_gram();
+    let mut max_off: f64 = 0.0;
+    for &i in &evidence.active_rows {
+        for &j in &evidence.active_rows {
+            if j > i {
+                max_off = max_off.max(g[i][j]);
+            }
+        }
+    }
+    let margin = unit((config.ortho.max_offdiag - max_off) / config.ortho.max_offdiag);
+    let maturity = unit(windows_processed as f64 / 48.0);
+    if report.is_orthogonal() {
+        margin * maturity
+    } else {
+        0.0
+    }
+}
+
+/// Combined accessor used by the pipeline.
+pub fn diagnosis_confidence(
+    network: &NetworkEvidence<'_>,
+    sensor: Option<&SensorEvidence<'_>>,
+    diagnosis: &Diagnosis,
+    windows_processed: u64,
+    config: &PipelineConfig,
+) -> f64 {
+    match diagnosis {
+        Diagnosis::ErrorFree => clean_confidence(network, windows_processed, config),
+        Diagnosis::Attack(a) => network_confidence(network, a, config),
+        Diagnosis::Error(e) => sensor
+            .map(|s| sensor_confidence(s, e, config))
+            .unwrap_or(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinet_hmm::StochasticMatrix;
+
+    fn cfg() -> PipelineConfig {
+        PipelineConfig::default()
+    }
+
+    fn net(b: &StochasticMatrix, rows: Vec<usize>) -> NetworkEvidence<'_> {
+        NetworkEvidence {
+            b_co: b,
+            active_rows: rows,
+            centroids: vec![Some(vec![0.0, 0.0]); b.num_rows()],
+        }
+    }
+
+    #[test]
+    fn hard_deletion_is_high_confidence() {
+        let b = StochasticMatrix::from_rows(vec![
+            vec![1.0, 0.0, 0.0],
+            vec![1.0, 0.0, 0.0], // both states emit col 0
+            vec![0.0, 0.0, 1.0],
+        ])
+        .unwrap();
+        let ev = net(&b, vec![0, 1, 2]);
+        let c = network_confidence(
+            &ev,
+            &AttackType::DynamicDeletion {
+                deleted: vec![0, 1],
+            },
+            &cfg(),
+        );
+        assert!(c > 0.95, "confidence {c}");
+    }
+
+    #[test]
+    fn marginal_deletion_is_low_confidence() {
+        let b = StochasticMatrix::from_rows(vec![
+            vec![0.75, 0.25, 0.0],
+            vec![0.9, 0.1, 0.0], // shared mass 0.7 — just over tolerance
+            vec![0.0, 0.0, 1.0],
+        ])
+        .unwrap();
+        let ev = net(&b, vec![0, 1, 2]);
+        let c = network_confidence(
+            &ev,
+            &AttackType::DynamicDeletion {
+                deleted: vec![0, 1],
+            },
+            &cfg(),
+        );
+        let hard = 0.95;
+        assert!(c < hard, "marginal case must score below hard case: {c}");
+    }
+
+    #[test]
+    fn stuck_at_confidence_tracks_column_mass() {
+        let strong =
+            StochasticMatrix::from_rows(vec![vec![0.0, 0.0, 1.0], vec![0.0, 0.0, 1.0]]).unwrap();
+        let weak =
+            StochasticMatrix::from_rows(vec![vec![0.0, 0.4, 0.6], vec![0.0, 0.45, 0.55]]).unwrap();
+        fn mk(b: &StochasticMatrix) -> SensorEvidence<'_> {
+            SensorEvidence {
+                b_ce: b,
+                active_rows: vec![0, 1],
+                alarmed: true,
+            }
+        }
+        let c_strong = sensor_confidence(&mk(&strong), &ErrorType::StuckAt { state: 1 }, &cfg());
+        let c_weak = sensor_confidence(&mk(&weak), &ErrorType::StuckAt { state: 1 }, &cfg());
+        assert!(c_strong > 0.9, "{c_strong}");
+        assert!(c_weak < c_strong, "{c_weak} vs {c_strong}");
+    }
+
+    #[test]
+    fn unknown_is_zero_confidence() {
+        let b = StochasticMatrix::uniform(2, 3).unwrap();
+        let ev = SensorEvidence {
+            b_ce: &b,
+            active_rows: vec![0, 1],
+            alarmed: true,
+        };
+        assert_eq!(sensor_confidence(&ev, &ErrorType::Unknown, &cfg()), 0.0);
+    }
+
+    #[test]
+    fn clean_confidence_needs_maturity_and_orthogonality() {
+        let b = StochasticMatrix::identity(3).unwrap();
+        let ev = net(&b, vec![0, 1, 2]);
+        let young = clean_confidence(&ev, 2, &cfg());
+        let mature = clean_confidence(&ev, 200, &cfg());
+        assert!(mature > 0.9, "{mature}");
+        assert!(young < 0.1, "{young}");
+        // Non-orthogonal matrix: zero clean confidence.
+        let bad = StochasticMatrix::from_rows(vec![vec![1.0, 0.0], vec![1.0, 0.0]]).unwrap();
+        let ev_bad = net(&bad, vec![0, 1]);
+        assert_eq!(clean_confidence(&ev_bad, 200, &cfg()), 0.0);
+    }
+
+    #[test]
+    fn mismatched_stuck_state_scores_zero() {
+        // Claiming the wrong column must not earn confidence.
+        let b =
+            StochasticMatrix::from_rows(vec![vec![0.0, 0.0, 1.0], vec![0.0, 0.0, 1.0]]).unwrap();
+        let ev = SensorEvidence {
+            b_ce: &b,
+            active_rows: vec![0, 1],
+            alarmed: true,
+        };
+        assert_eq!(
+            sensor_confidence(&ev, &ErrorType::StuckAt { state: 0 }, &cfg()),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,826 @@
+//! The collector-node detection pipeline (paper Fig. 1).
+//!
+//! One [`Pipeline`] instance runs on the data collector (base station /
+//! cluster head) and executes, per observation window:
+//!
+//! 1. **Windowing** (Eq. 1) — incremental, via [`crate::window::Windower`];
+//! 2. **Model State Identification** — online clustering with merge and
+//!    spawn ([`sentinet_cluster::ModelStates`]), bootstrapped from the
+//!    first window by k-means when no historical states are given;
+//! 3. **Observable / Correct State Identification** and per-sensor
+//!    mapping (Eqs. 2–4);
+//! 4. **Alarm Generation** — raw alarm for every sensor whose label
+//!    disagrees with the correct state;
+//! 5. **Alarm Filtering** — k-of-n or SPRT per sensor;
+//! 6. **Error/Attack Track Management** — per-sensor tracks feeding the
+//!    `M_CE` estimators with `e_i = l_j` or ⊥;
+//! 7. **HMM estimation** — the global `M_CO` (correct → observable) and
+//!    per-sensor `M_CE` (correct → error) models, plus the Markov
+//!    models `M_C` and `M_O`;
+//! 8. **Classification** on demand via [`Pipeline::classify`].
+
+use crate::classify::{
+    classify_network, classify_sensor, AttackType, Diagnosis, NetworkEvidence, SensorEvidence,
+};
+use crate::config::{FilterPolicy, PipelineConfig};
+use crate::window::{identify_states, ObservationWindow, WindowStates, Windower};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sentinet_cluster::{kmeans, ModelStates, StateEvent};
+use sentinet_filter::{AlarmFilter, KOfNFilter, Sprt, SprtAlarmFilter};
+use sentinet_hmm::{MarkovChain, OnlineHmmEstimator, OnlineMarkovEstimator, StochasticMatrix};
+use sentinet_sim::{Reading, SensorId, Timestamp, Trace};
+use std::collections::BTreeMap;
+
+/// Symbol index reserved for the fictitious ⊥ state of `M_CE`
+/// (the sensor agrees with the correct state while its track is open).
+pub const BOT_SYMBOL: usize = 0;
+
+/// Summary of one processed observation window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowOutcome {
+    /// Window index (0-based since stream start).
+    pub index: u64,
+    /// Window start time.
+    pub start: Timestamp,
+    /// Observable environment state `o_i`.
+    pub observable: usize,
+    /// Correct environment state `c_i`.
+    pub correct: usize,
+    /// Sensors whose window label disagreed with `c_i` (raw alarms).
+    pub raw_alarms: Vec<SensorId>,
+    /// Sensors whose filtered alarm is raised after this window.
+    pub filtered_alarms: Vec<SensorId>,
+    /// Structural clustering events (spawns/merges) this window.
+    pub cluster_events: Vec<StateEvent>,
+}
+
+/// Open/close record of one error/attack track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrackRecord {
+    /// Window index at which the filtered alarm opened the track.
+    pub opened: u64,
+    /// Window index at which it cleared, if it has.
+    pub closed: Option<u64>,
+}
+
+#[derive(Debug)]
+struct SensorState {
+    filter: Box<dyn AlarmFilter>,
+    m_ce: OnlineHmmEstimator,
+    track_open: bool,
+    tracks: Vec<TrackRecord>,
+    raw_history: Vec<(u64, bool)>,
+    ever_alarmed: bool,
+}
+
+/// The full detection/diagnosis pipeline of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sentinet_core::{Pipeline, PipelineConfig};
+/// use sentinet_sim::{gdi, simulate};
+///
+/// let cfg = gdi::day_config();
+/// let trace = simulate(&cfg, &mut rand::rngs::StdRng::seed_from_u64(1));
+/// let mut pipeline = Pipeline::new(PipelineConfig::default(), cfg.sample_period);
+/// let outcomes = pipeline.process_trace(&trace);
+/// assert!(!outcomes.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct Pipeline {
+    config: PipelineConfig,
+    windower: Windower,
+    rng: StdRng,
+    states: Option<ModelStates>,
+    m_co: Option<OnlineHmmEstimator>,
+    m_c: Option<OnlineMarkovEstimator>,
+    m_o: Option<OnlineMarkovEstimator>,
+    sensors: BTreeMap<SensorId, SensorState>,
+    windows_processed: u64,
+    bootstrap_points: Vec<Vec<f64>>,
+    /// Per processed decisive window: (window index, correct state,
+    /// observable state) — the `c_i`/`o_i` sequences of §3.
+    state_history: Vec<(u64, usize, usize)>,
+}
+
+impl Pipeline {
+    /// Creates a pipeline; `sample_period` is the sensor sampling period
+    /// in seconds (window duration = `config.window_samples ×
+    /// sample_period`, per Table 1's `w`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`PipelineConfig::validate`]) or `sample_period == 0`.
+    pub fn new(config: PipelineConfig, sample_period: u64) -> Self {
+        config.validate();
+        assert!(sample_period > 0, "sample period must be positive");
+        let windower = Windower::new(config.window_samples as u64 * sample_period);
+        let rng = StdRng::seed_from_u64(config.seed);
+        let mut pipeline = Self {
+            config,
+            windower,
+            rng,
+            states: None,
+            m_co: None,
+            m_c: None,
+            m_o: None,
+            sensors: BTreeMap::new(),
+            windows_processed: 0,
+            bootstrap_points: Vec::new(),
+            state_history: Vec::new(),
+        };
+        if let Some(init) = pipeline.config.initial_states.clone() {
+            pipeline.install_states(init);
+        }
+        pipeline
+    }
+
+    fn install_states(&mut self, centroids: Vec<Vec<f64>>) {
+        let m = centroids.len();
+        self.states = Some(ModelStates::new(centroids, self.config.cluster.clone()));
+        self.m_co = Some(
+            OnlineHmmEstimator::new(m, m, self.config.beta, self.config.gamma)
+                .expect("validated learning factors"),
+        );
+        self.m_c = Some(
+            OnlineMarkovEstimator::new(m, self.config.beta).expect("validated learning factors"),
+        );
+        self.m_o = Some(
+            OnlineMarkovEstimator::new(m, self.config.beta).expect("validated learning factors"),
+        );
+    }
+
+    fn make_filter(&self) -> Box<dyn AlarmFilter> {
+        match self.config.filter {
+            FilterPolicy::KOfN { k, n } => Box::new(KOfNFilter::new(k, n)),
+            FilterPolicy::Sprt {
+                p0,
+                p1,
+                alpha,
+                beta,
+            } => Box::new(SprtAlarmFilter::new(Sprt::new(p0, p1, alpha, beta))),
+        }
+    }
+
+    /// Initial `M_CE` observation matrix: hidden state `i`'s identity
+    /// prior sits on symbol `i + 1` (symbol 0 is ⊥).
+    fn make_m_ce(&self, num_slots: usize) -> OnlineHmmEstimator {
+        let rows: Vec<Vec<f64>> = (0..num_slots)
+            .map(|i| {
+                let mut r = vec![0.0; num_slots + 1];
+                r[i + 1] = 1.0;
+                r
+            })
+            .collect();
+        let b = StochasticMatrix::from_rows(rows).expect("rows are one-hot");
+        let a = StochasticMatrix::identity(num_slots).expect("num_slots > 0");
+        OnlineHmmEstimator::with_initial(a, b, self.config.beta, self.config.gamma)
+            .expect("validated learning factors")
+    }
+
+    /// Grows every estimator to match the current model-state slot
+    /// count (no-op when nothing spawned).
+    fn grow_estimators(&mut self) {
+        let slots = match &self.states {
+            Some(s) => s.num_slots(),
+            None => return,
+        };
+        if let Some(m_co) = self.m_co.as_mut() {
+            m_co.grow(slots, slots);
+        }
+        if let Some(m_c) = self.m_c.as_mut() {
+            m_c.grow(slots);
+        }
+        if let Some(m_o) = self.m_o.as_mut() {
+            m_o.grow(slots);
+        }
+        for s in self.sensors.values_mut() {
+            s.m_ce.grow(slots, slots + 1);
+        }
+    }
+
+    /// Feeds one delivered reading; returns outcomes for any windows
+    /// completed by this reading.
+    ///
+    /// # Panics
+    ///
+    /// Panics if readings arrive out of time order.
+    pub fn push_reading(
+        &mut self,
+        time: Timestamp,
+        sensor: SensorId,
+        reading: Reading,
+    ) -> Vec<WindowOutcome> {
+        let completed = self.windower.push(time, sensor, reading);
+        completed
+            .into_iter()
+            .filter_map(|w| self.process_window(w))
+            .collect()
+    }
+
+    /// Processes an entire trace (delivered records only — lost and
+    /// malformed packets never reach the collector's analysis, as in
+    /// the paper) and flushes the final partial window.
+    pub fn process_trace(&mut self, trace: &Trace) -> Vec<WindowOutcome> {
+        let mut outcomes = Vec::new();
+        for (time, sensor, reading) in trace.delivered() {
+            outcomes.extend(self.push_reading(time, sensor, reading.clone()));
+        }
+        outcomes.extend(self.finalize());
+        outcomes
+    }
+
+    /// Flushes the in-progress window at end of stream.
+    pub fn finalize(&mut self) -> Vec<WindowOutcome> {
+        match self.windower.finish() {
+            Some(w) => self.process_window(w).into_iter().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    fn process_window(&mut self, window: ObservationWindow) -> Option<WindowOutcome> {
+        if self.states.is_none() {
+            // Bootstrap: accumulate sensor representatives until k-means
+            // has enough points for the requested initial state count.
+            self.bootstrap_points
+                .extend(window.sensor_means().into_values());
+            let k = self.config.num_initial_states;
+            if self.bootstrap_points.len() < k.max(2) {
+                return None;
+            }
+            let points = std::mem::take(&mut self.bootstrap_points);
+            let init = kmeans(&points, k, 100, &mut self.rng).centroids;
+            self.install_states(init);
+            // One bootstrap window rarely spans the environment's full
+            // range, so several of the k centroids land on top of each
+            // other; run one clustering round immediately so the merge
+            // pass collapses them before any state identification.
+            self.states
+                .as_mut()
+                .expect("just installed")
+                .update(&points);
+        }
+
+        // An attack can shift the window mean into a region no sensor
+        // reading occupies; the observable state of Eq. 2 must still be
+        // able to name it, so spawn a model state there when uncovered.
+        if let Some(mean) = window.trimmed_mean(self.config.observable_trim) {
+            if self
+                .states
+                .as_mut()
+                .expect("installed above")
+                .spawn_if_uncovered(&mean)
+                .is_some()
+            {
+                self.grow_estimators();
+            }
+        }
+
+        let ws: WindowStates = identify_states(
+            &window,
+            self.states.as_ref().expect("installed above"),
+            self.config.observable_trim,
+            self.config.majority_fraction,
+        )?;
+
+        if ws.decisive {
+            self.state_history
+                .push((self.windows_processed, ws.correct, ws.observable));
+            // Update the global models.
+            let m_co = self.m_co.as_mut().expect("installed with states");
+            m_co.observe(ws.correct, ws.observable)
+                .expect("states within estimator dims");
+            self.m_c
+                .as_mut()
+                .expect("installed")
+                .observe(ws.correct)
+                .expect("state in range");
+            self.m_o
+                .as_mut()
+                .expect("installed")
+                .observe(ws.observable)
+                .expect("state in range");
+        }
+
+        // Per-sensor alarms, filtering, tracks, M_CE updates.
+        let window_index = self.windows_processed;
+        let mut raw_alarms = Vec::new();
+        let mut filtered_alarms = Vec::new();
+        let num_slots = self.states.as_ref().expect("installed").num_slots();
+        for (&id, &label) in ws.labels.iter().filter(|_| ws.decisive) {
+            if !self.sensors.contains_key(&id) {
+                let filter = self.make_filter();
+                let m_ce = self.make_m_ce(num_slots);
+                self.sensors.insert(
+                    id,
+                    SensorState {
+                        filter,
+                        m_ce,
+                        track_open: false,
+                        tracks: Vec::new(),
+                        raw_history: Vec::new(),
+                        ever_alarmed: false,
+                    },
+                );
+            }
+            let sensor = self.sensors.get_mut(&id).expect("inserted above");
+            let raw = label != ws.correct;
+            sensor.raw_history.push((window_index, raw));
+            if raw {
+                raw_alarms.push(id);
+            }
+            let filtered = sensor.filter.push(raw);
+            if filtered {
+                filtered_alarms.push(id);
+                sensor.ever_alarmed = true;
+            }
+            match (sensor.track_open, filtered) {
+                (false, true) => {
+                    sensor.track_open = true;
+                    sensor.tracks.push(TrackRecord {
+                        opened: window_index,
+                        closed: None,
+                    });
+                }
+                (true, false) => {
+                    sensor.track_open = false;
+                    if let Some(t) = sensor.tracks.last_mut() {
+                        t.closed = Some(window_index);
+                    }
+                }
+                _ => {}
+            }
+            if sensor.track_open {
+                let symbol = if raw { label + 1 } else { BOT_SYMBOL };
+                sensor
+                    .m_ce
+                    .observe(ws.correct, symbol)
+                    .expect("state and symbol within estimator dims");
+            }
+        }
+
+        // Model-state maintenance (Eqs. 5–6 + merge/spawn), then grow
+        // every estimator to the new slot count.
+        let points: Vec<Vec<f64>> = ws.representatives.values().cloned().collect();
+        let cluster_events = self.states.as_mut().expect("installed").update(&points);
+        self.grow_estimators();
+
+        self.windows_processed += 1;
+        Some(WindowOutcome {
+            index: window_index,
+            start: window.start,
+            observable: ws.observable,
+            correct: ws.correct,
+            raw_alarms,
+            filtered_alarms,
+            cluster_events,
+        })
+    }
+
+    /// Number of windows fully processed (post-bootstrap).
+    pub fn windows_processed(&self) -> u64 {
+        self.windows_processed
+    }
+
+    /// The current model states, once bootstrapped.
+    pub fn model_states(&self) -> Option<&ModelStates> {
+        self.states.as_ref()
+    }
+
+    /// The global `M_CO` estimator, once bootstrapped.
+    pub fn m_co(&self) -> Option<&OnlineHmmEstimator> {
+        self.m_co.as_ref()
+    }
+
+    /// The per-sensor `M_CE` estimator.
+    pub fn m_ce(&self, sensor: SensorId) -> Option<&OnlineHmmEstimator> {
+        self.sensors.get(&sensor).map(|s| &s.m_ce)
+    }
+
+    /// The error/attack-free Markov model `M_C` of the environment —
+    /// the pipeline's user-facing deliverable (paper Fig. 7).
+    pub fn correct_model(&self) -> Option<MarkovChain> {
+        self.m_c
+            .as_ref()
+            .map(|m| m.to_chain().expect("valid chain"))
+    }
+
+    /// The Markov model `M_O` of the observable states (useful for the
+    /// random-noise discussion of §3.4).
+    pub fn observable_model(&self) -> Option<MarkovChain> {
+        self.m_o
+            .as_ref()
+            .map(|m| m.to_chain().expect("valid chain"))
+    }
+
+    /// Sensors seen so far.
+    pub fn sensor_ids(&self) -> Vec<SensorId> {
+        self.sensors.keys().copied().collect()
+    }
+
+    /// The raw-alarm history of a sensor as `(window, raw)` pairs
+    /// (paper Fig. 12).
+    pub fn raw_alarm_history(&self, sensor: SensorId) -> Option<&[(u64, bool)]> {
+        self.sensors.get(&sensor).map(|s| s.raw_history.as_slice())
+    }
+
+    /// The error/attack tracks opened for a sensor.
+    pub fn tracks(&self, sensor: SensorId) -> Option<&[TrackRecord]> {
+        self.sensors.get(&sensor).map(|s| s.tracks.as_slice())
+    }
+
+    /// Whether a filtered alarm was ever raised for the sensor.
+    pub fn ever_alarmed(&self, sensor: SensorId) -> bool {
+        self.sensors
+            .get(&sensor)
+            .map(|s| s.ever_alarmed)
+            .unwrap_or(false)
+    }
+
+    /// Centroids by slot (merged-away slots keep their last value).
+    fn centroid_table(&self) -> Vec<Option<Vec<f64>>> {
+        match &self.states {
+            Some(states) => (0..states.num_slots())
+                .map(|i| states.centroid_any(i).map(<[f64]>::to_vec))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Network-level evidence for classification.
+    fn network_evidence(&self) -> Option<NetworkEvidence<'_>> {
+        let m_co = self.m_co.as_ref()?;
+        let active_rows: Vec<usize> = m_co
+            .observation_evidence()
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c >= self.config.min_state_evidence)
+            .map(|(i, _)| i)
+            .collect();
+        Some(NetworkEvidence {
+            b_co: m_co.observation(),
+            active_rows,
+            centroids: self.centroid_table(),
+        })
+    }
+
+    /// Classifies the network-level situation: `Some(attack)` when the
+    /// `M_CO` structure carries an attack signature.
+    pub fn network_attack(&self) -> Option<AttackType> {
+        let ev = self.network_evidence()?;
+        classify_network(&ev, &self.config)
+    }
+
+    /// Classifies one sensor per the paper's Fig. 5 tree.
+    ///
+    /// A sensor that never raised a filtered alarm is
+    /// [`Diagnosis::ErrorFree`]; if the network-level `M_CO` shows an
+    /// attack signature, every alarmed sensor reports that attack;
+    /// otherwise the sensor's own `M_CE` decides the error type.
+    pub fn classify(&self, sensor: SensorId) -> Diagnosis {
+        let Some(state) = self.sensors.get(&sensor) else {
+            return Diagnosis::ErrorFree;
+        };
+        if !state.ever_alarmed {
+            return Diagnosis::ErrorFree;
+        }
+        let Some(net) = self.network_evidence() else {
+            return Diagnosis::ErrorFree;
+        };
+        if let Some(attack) = classify_network(&net, &self.config) {
+            return Diagnosis::Attack(attack);
+        }
+        let active_rows: Vec<usize> = state
+            .m_ce
+            .observation_evidence()
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c >= self.config.min_state_evidence)
+            .map(|(i, _)| i)
+            .collect();
+        let ev = SensorEvidence {
+            b_ce: state.m_ce.observation(),
+            active_rows,
+            alarmed: state.ever_alarmed,
+        };
+        classify_sensor(&net, &ev, &self.config)
+    }
+
+    /// Classifies one sensor and reports the confidence of the verdict
+    /// — the normalized margin by which the deciding structural
+    /// statistic cleared its threshold (see [`crate::confidence`]).
+    pub fn classify_with_confidence(&self, sensor: SensorId) -> (Diagnosis, f64) {
+        let diagnosis = self.classify(sensor);
+        let Some(net) = self.network_evidence() else {
+            return (diagnosis, 0.0);
+        };
+        let state = self.sensors.get(&sensor);
+        let sensor_ev = state.map(|s| {
+            let active_rows: Vec<usize> = s
+                .m_ce
+                .observation_evidence()
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c >= self.config.min_state_evidence)
+                .map(|(i, _)| i)
+                .collect();
+            SensorEvidence {
+                b_ce: s.m_ce.observation(),
+                active_rows,
+                alarmed: s.ever_alarmed,
+            }
+        });
+        let confidence = crate::confidence::diagnosis_confidence(
+            &net,
+            sensor_ev.as_ref(),
+            &diagnosis,
+            self.windows_processed,
+            &self.config,
+        );
+        (diagnosis, confidence)
+    }
+
+    /// Classifies every sensor seen so far.
+    pub fn classify_all(&self) -> BTreeMap<SensorId, Diagnosis> {
+        self.sensor_ids()
+            .into_iter()
+            .map(|id| (id, self.classify(id)))
+            .collect()
+    }
+
+    /// The `(window, correct, observable)` state sequence of every
+    /// decisive window — the paper's `c_i` and `o_i` series.
+    pub fn state_history(&self) -> &[(u64, usize, usize)] {
+        &self.state_history
+    }
+
+    /// The error signature of one sensor: for each hidden state with
+    /// evidence (and not ⊥-dominated), the dominant error symbol of its
+    /// `M_CE` row. Symbols are `slot + 1` indices (0 = ⊥), matching
+    /// [`BOT_SYMBOL`].
+    fn error_signature(&self, sensor: SensorId) -> BTreeMap<usize, usize> {
+        let Some(state) = self.sensors.get(&sensor) else {
+            return BTreeMap::new();
+        };
+        let b = state.m_ce.observation();
+        state
+            .m_ce
+            .observation_evidence()
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c >= self.config.min_state_evidence)
+            .filter(|(i, _)| b[(*i, BOT_SYMBOL)] <= 0.5)
+            .map(|(i, _)| {
+                let row = b.row(i);
+                let dominant = row
+                    .iter()
+                    .enumerate()
+                    .skip(1) // never pick ⊥ as the signature symbol
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+                    .map(|(k, _)| k)
+                    .expect("rows are non-empty");
+                (i, dominant)
+            })
+            .collect()
+    }
+
+    /// Groups the sensors that ever raised a filtered alarm by the
+    /// similarity of their error behaviour: two sensors belong to the
+    /// same group when their `M_CE` signatures (hidden state → dominant
+    /// error symbol) agree on more than half of their shared hidden
+    /// states.
+    ///
+    /// Coordination is the hallmark of the paper's attack model — an
+    /// adversary reprograms *several* nodes to forge the same values —
+    /// while independent faults produce idiosyncratic signatures. The
+    /// grouping therefore separates attack participants from a sensor
+    /// that merely happens to be faulty during an attack (which the
+    /// Fig. 5 tree alone cannot; see `examples/server_farm.rs`).
+    pub fn coordinated_groups(&self) -> Vec<Vec<SensorId>> {
+        let alarmed: Vec<SensorId> = self
+            .sensor_ids()
+            .into_iter()
+            .filter(|&id| self.ever_alarmed(id))
+            .collect();
+        let signatures: Vec<BTreeMap<usize, usize>> =
+            alarmed.iter().map(|&id| self.error_signature(id)).collect();
+        let similar = |a: &BTreeMap<usize, usize>, b: &BTreeMap<usize, usize>| -> bool {
+            let shared: Vec<_> = a.keys().filter(|k| b.contains_key(k)).collect();
+            if shared.is_empty() {
+                return false;
+            }
+            let agree = shared.iter().filter(|&&&k| a[&k] == b[&k]).count();
+            2 * agree >= shared.len()
+        };
+        // Greedy agglomeration: join the first group containing any
+        // similar member (single-linkage).
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for (i, sig) in signatures.iter().enumerate() {
+            match groups
+                .iter_mut()
+                .find(|g| g.iter().any(|&j| similar(&signatures[j], sig)))
+            {
+                Some(g) => g.push(i),
+                None => groups.push(vec![i]),
+            }
+        }
+        groups
+            .into_iter()
+            .map(|g| g.into_iter().map(|i| alarmed[i]).collect())
+            .collect()
+    }
+
+    /// Offline Viterbi smoothing: decodes the most likely hidden-state
+    /// path for the recorded observable sequence under the learned
+    /// `M_CO`. On clean data this agrees with the majority-voted
+    /// correct states; large disagreements flag windows whose majority
+    /// estimate the temporal model considers implausible.
+    ///
+    /// Returns `None` before bootstrap or when no decisive window has
+    /// been processed; also `None` if the learned model assigns the
+    /// observed sequence zero probability (possible after structural
+    /// growth mid-stream).
+    pub fn smoothed_correct_states(&self) -> Option<Vec<usize>> {
+        let m_co = self.m_co.as_ref()?;
+        if self.state_history.is_empty() {
+            return None;
+        }
+        let observables: Vec<usize> = self.state_history.iter().map(|&(_, _, o)| o).collect();
+        let hmm = m_co.to_hmm().ok()?;
+        hmm.viterbi(&observables).ok().map(|v| v.states)
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use sentinet_sim::{gdi, simulate};
+
+    fn quiet_day_trace() -> (Trace, u64) {
+        let mut cfg = gdi::day_config();
+        cfg.loss_prob = 0.0;
+        cfg.malformed_prob = 0.0;
+        (
+            simulate(&cfg, &mut StdRng::seed_from_u64(11)),
+            cfg.sample_period,
+        )
+    }
+
+    #[test]
+    fn clean_day_bootstraps_and_produces_windows() {
+        let (trace, period) = quiet_day_trace();
+        let mut p = Pipeline::new(PipelineConfig::default(), period);
+        let outcomes = p.process_trace(&trace);
+        // 24 one-hour windows; the first also seeds the bootstrap but is
+        // still identified and processed.
+        assert_eq!(outcomes.len(), 24, "{}", outcomes.len());
+        assert!(p.model_states().is_some());
+        assert!(p.m_co().is_some());
+    }
+
+    #[test]
+    fn explicit_initial_states_skip_bootstrap() {
+        let (trace, period) = quiet_day_trace();
+        let cfg = PipelineConfig {
+            initial_states: Some(vec![
+                vec![12.0, 94.0],
+                vec![17.0, 84.0],
+                vec![24.0, 70.0],
+                vec![31.0, 56.0],
+            ]),
+            ..Default::default()
+        };
+        let mut p = Pipeline::new(cfg, period);
+        let outcomes = p.process_trace(&trace);
+        assert_eq!(outcomes.len(), 24);
+    }
+
+    #[test]
+    fn clean_trace_has_low_false_filtered_alarms() {
+        let (trace, period) = quiet_day_trace();
+        let mut p = Pipeline::new(PipelineConfig::default(), period);
+        let outcomes = p.process_trace(&trace);
+        let filtered: usize = outcomes.iter().map(|o| o.filtered_alarms.len()).sum();
+        assert_eq!(filtered, 0, "clean data should raise no filtered alarms");
+        for id in p.sensor_ids() {
+            assert_eq!(p.classify(id), Diagnosis::ErrorFree);
+        }
+    }
+
+    #[test]
+    fn observable_equals_correct_on_clean_data() {
+        let (trace, period) = quiet_day_trace();
+        let mut p = Pipeline::new(PipelineConfig::default(), period);
+        let outcomes = p.process_trace(&trace);
+        // During a transition hour the overall-mean state can differ
+        // from the majority state by one neighbor, so require agreement
+        // in the large majority of windows rather than all of them.
+        let mismatches = outcomes
+            .iter()
+            .filter(|o| o.observable != o.correct)
+            .count();
+        assert!(
+            mismatches * 5 <= outcomes.len(),
+            "{mismatches}/{} windows disagreed",
+            outcomes.len()
+        );
+    }
+
+    #[test]
+    fn correct_model_is_available() {
+        let (trace, period) = quiet_day_trace();
+        let mut p = Pipeline::new(PipelineConfig::default(), period);
+        p.process_trace(&trace);
+        let mc = p.correct_model().unwrap();
+        assert!(mc.num_states() >= 4);
+        mc.transition().check(1e-6).unwrap();
+    }
+
+    #[test]
+    fn raw_history_recorded_per_sensor() {
+        let (trace, period) = quiet_day_trace();
+        let mut p = Pipeline::new(PipelineConfig::default(), period);
+        let outcomes = p.process_trace(&trace);
+        let h = p.raw_alarm_history(SensorId(0)).unwrap();
+        assert_eq!(h.len(), outcomes.len());
+    }
+
+    #[test]
+    fn unknown_sensor_queries_are_none_or_default() {
+        let (trace, period) = quiet_day_trace();
+        let mut p = Pipeline::new(PipelineConfig::default(), period);
+        p.process_trace(&trace);
+        let ghost = SensorId(99);
+        assert!(p.m_ce(ghost).is_none());
+        assert!(p.raw_alarm_history(ghost).is_none());
+        assert!(!p.ever_alarmed(ghost));
+        assert_eq!(p.classify(ghost), Diagnosis::ErrorFree);
+    }
+
+    #[test]
+    fn empty_trace_is_harmless() {
+        let mut p = Pipeline::new(PipelineConfig::default(), 300);
+        let outcomes = p.process_trace(&Trace::new());
+        assert!(outcomes.is_empty());
+        assert!(p.model_states().is_none());
+        assert!(p.correct_model().is_none());
+        assert!(p.network_attack().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "sample period")]
+    fn zero_sample_period_panics() {
+        Pipeline::new(PipelineConfig::default(), 0);
+    }
+
+    #[test]
+    fn state_history_covers_decisive_windows() {
+        let (trace, period) = quiet_day_trace();
+        let mut p = Pipeline::new(PipelineConfig::default(), period);
+        let outcomes = p.process_trace(&trace);
+        assert!(!p.state_history().is_empty());
+        assert!(p.state_history().len() <= outcomes.len());
+        for &(w, c, o) in p.state_history() {
+            assert!(w < p.windows_processed());
+            let slots = p.model_states().unwrap().num_slots();
+            assert!(c < slots && o < slots);
+        }
+    }
+
+    #[test]
+    fn viterbi_smoothing_agrees_with_majority_on_clean_data() {
+        let (trace, period) = quiet_day_trace();
+        let mut p = Pipeline::new(PipelineConfig::default(), period);
+        p.process_trace(&trace);
+        let smoothed = p.smoothed_correct_states().expect("model available");
+        let majority: Vec<usize> = p.state_history().iter().map(|&(_, c, _)| c).collect();
+        assert_eq!(smoothed.len(), majority.len());
+        let agree = smoothed
+            .iter()
+            .zip(&majority)
+            .filter(|(a, b)| a == b)
+            .count();
+        assert!(
+            agree * 10 >= majority.len() * 8,
+            "smoothing agreement {agree}/{}",
+            majority.len()
+        );
+    }
+
+    #[test]
+    fn smoothing_without_data_is_none() {
+        let p = Pipeline::new(PipelineConfig::default(), 300);
+        assert!(p.smoothed_correct_states().is_none());
+        assert!(p.state_history().is_empty());
+    }
+}

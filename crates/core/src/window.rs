@@ -1,0 +1,420 @@
+//! Observation windowing (paper Eq. 1) and per-window state
+//! identification (Eqs. 2–4).
+//!
+//! The collector groups delivered readings into windows of `w` sampling
+//! instants. Within a window, each sensor contributes up to `w` readings
+//! (GDI: `w = 12` five-minute samples ⇒ one-hour windows holding ≈ 100
+//! usable readings of 120 sent — matching the paper's accounting).
+//!
+//! Per-window quantities:
+//!
+//! - the **observable state** `o_i` — the model state nearest the mean
+//!   of *all* delivered readings (Eq. 2);
+//! - per-sensor **state labels** `l_j` — each sensor's window-mean
+//!   reading mapped to its nearest model state (Eq. 3, applied to the
+//!   sensor's representative so a faulty sensor casts one vote, not
+//!   `w`);
+//! - the **correct state** `c_i` — the label shared by the largest
+//!   group of sensors (Eq. 4), valid while a majority of sensors is
+//!   uncompromised.
+
+use sentinet_cluster::ModelStates;
+use sentinet_sim::{Reading, SensorId, Timestamp};
+use std::collections::BTreeMap;
+
+/// All delivered readings of one observation window, grouped by sensor.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ObservationWindow {
+    /// Window index `i` (0-based).
+    pub index: u64,
+    /// Start time of the window (inclusive).
+    pub start: Timestamp,
+    /// Delivered readings per sensor, in arrival order.
+    pub readings: BTreeMap<SensorId, Vec<Reading>>,
+}
+
+impl ObservationWindow {
+    /// Total delivered readings in the window.
+    pub fn num_readings(&self) -> usize {
+        self.readings.values().map(Vec::len).sum()
+    }
+
+    /// True when no sensor delivered anything.
+    pub fn is_empty(&self) -> bool {
+        self.readings.is_empty()
+    }
+
+    /// Mean of all delivered readings (the Eq. 2 aggregate), `None` for
+    /// an empty window.
+    pub fn overall_mean(&self) -> Option<Vec<f64>> {
+        let mut sum: Option<Vec<f64>> = None;
+        let mut count = 0.0;
+        for r in self.readings.values().flatten() {
+            let s = sum.get_or_insert_with(|| vec![0.0; r.dims()]);
+            for (acc, &v) in s.iter_mut().zip(r.values()) {
+                *acc += v;
+            }
+            count += 1.0;
+        }
+        sum.map(|mut s| {
+            s.iter_mut().for_each(|x| *x /= count);
+            s
+        })
+    }
+
+    /// Robust variant of [`ObservationWindow::overall_mean`]: drops the
+    /// `trim` fraction of readings farthest (Euclidean) from the
+    /// coordinate-wise median before averaging.
+    ///
+    /// With `trim = 0` this is exactly the paper's Eq. 2 aggregate. A
+    /// positive trim keeps a *single* wildly faulty sensor (≈ 1/K of
+    /// the readings) from dragging the observable state off the correct
+    /// one, while a coordinated attack on ⅓ of the sensors still
+    /// shifts the mean — see `DESIGN.md` for the analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ trim < 0.5`.
+    pub fn trimmed_mean(&self, trim: f64) -> Option<Vec<f64>> {
+        assert!((0.0..0.5).contains(&trim), "trim must be in [0, 0.5)");
+        if trim == 0.0 {
+            return self.overall_mean();
+        }
+        let all: Vec<&Reading> = self.readings.values().flatten().collect();
+        if all.is_empty() {
+            return None;
+        }
+        let dims = all[0].dims();
+        // Coordinate-wise median.
+        let mut median = Vec::with_capacity(dims);
+        for d in 0..dims {
+            let mut xs: Vec<f64> = all.iter().map(|r| r.values()[d]).collect();
+            xs.sort_by(|a, b| a.partial_cmp(b).expect("readings are finite"));
+            median.push(xs[xs.len() / 2]);
+        }
+        // Sort by distance from the median, drop the tail.
+        let mut by_dist: Vec<(f64, &Reading)> =
+            all.iter().map(|r| (r.distance(&median), *r)).collect();
+        by_dist.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("distances are finite"));
+        let keep = (all.len() as f64 * (1.0 - trim)).ceil().max(1.0) as usize;
+        let kept = &by_dist[..keep.min(by_dist.len())];
+        let mut mean = vec![0.0; dims];
+        for (_, r) in kept {
+            for (m, &v) in mean.iter_mut().zip(r.values()) {
+                *m += v;
+            }
+        }
+        mean.iter_mut().for_each(|m| *m /= kept.len() as f64);
+        Some(mean)
+    }
+
+    /// Per-sensor window-mean readings (each sensor's representative).
+    pub fn sensor_means(&self) -> BTreeMap<SensorId, Vec<f64>> {
+        self.readings
+            .iter()
+            .filter(|(_, rs)| !rs.is_empty())
+            .map(|(&id, rs)| {
+                let dims = rs[0].dims();
+                let mut m = vec![0.0; dims];
+                for r in rs {
+                    for (acc, &v) in m.iter_mut().zip(r.values()) {
+                        *acc += v;
+                    }
+                }
+                m.iter_mut().for_each(|x| *x /= rs.len() as f64);
+                (id, m)
+            })
+            .collect()
+    }
+}
+
+/// Incremental windower: feed `(time, sensor, reading)` in time order,
+/// receive completed [`ObservationWindow`]s.
+#[derive(Debug, Clone)]
+pub struct Windower {
+    window_duration: u64,
+    current: ObservationWindow,
+    started: bool,
+}
+
+impl Windower {
+    /// Creates a windower with windows of `window_duration` seconds
+    /// (`w · sample_period`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_duration == 0`.
+    pub fn new(window_duration: u64) -> Self {
+        assert!(window_duration > 0, "window duration must be positive");
+        Self {
+            window_duration,
+            current: ObservationWindow::default(),
+            started: false,
+        }
+    }
+
+    /// Window length in seconds.
+    pub fn window_duration(&self) -> u64 {
+        self.window_duration
+    }
+
+    /// Feeds one delivered reading. Returns completed windows (possibly
+    /// more than one if the stream jumps over empty windows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` precedes the current window (records must
+    /// arrive in time order, as [`sentinet_sim::Trace`] guarantees).
+    pub fn push(
+        &mut self,
+        time: Timestamp,
+        sensor: SensorId,
+        reading: Reading,
+    ) -> Vec<ObservationWindow> {
+        let target_index = time / self.window_duration;
+        if !self.started {
+            self.started = true;
+            self.current.index = target_index;
+            self.current.start = target_index * self.window_duration;
+        }
+        assert!(
+            target_index >= self.current.index,
+            "reading at t={time} precedes current window {}",
+            self.current.index
+        );
+        let mut completed = Vec::new();
+        while target_index > self.current.index {
+            let next_index = self.current.index + 1;
+            let done = std::mem::take(&mut self.current);
+            // Skip emitting windows in which nothing arrived at all;
+            // they carry no information (the paper requires w "large
+            // enough to create nonempty sets").
+            if !done.is_empty() {
+                completed.push(done);
+            }
+            self.current.index = next_index;
+            self.current.start = next_index * self.window_duration;
+        }
+        self.current.index = target_index;
+        self.current.start = target_index * self.window_duration;
+        self.current
+            .readings
+            .entry(sensor)
+            .or_default()
+            .push(reading);
+        completed
+    }
+
+    /// Flushes the in-progress window (end of stream).
+    pub fn finish(&mut self) -> Option<ObservationWindow> {
+        if self.current.is_empty() {
+            None
+        } else {
+            let done = std::mem::take(&mut self.current);
+            self.current.index = done.index + 1;
+            self.current.start = self.current.index * self.window_duration;
+            Some(done)
+        }
+    }
+}
+
+/// The per-window state-identification outcome (Eqs. 2–4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowStates {
+    /// The observable environment state `o_i` (Eq. 2).
+    pub observable: usize,
+    /// The correct environment state `c_i` (Eq. 4).
+    pub correct: usize,
+    /// Per-sensor labels `l_j` (Eq. 3) over window-mean readings.
+    pub labels: BTreeMap<SensorId, usize>,
+    /// The per-sensor representatives used for labeling, for clustering
+    /// updates downstream.
+    pub representatives: BTreeMap<SensorId, Vec<f64>>,
+    /// Whether the winning label holds a *strict majority* of the
+    /// reporting sensors. Eq. 4 is only valid under the paper's
+    /// majority assumption; windows without a strict majority (e.g. an
+    /// honest split across a state boundary plus compromised sensors)
+    /// are ambiguous and should not train models or drive alarms.
+    pub decisive: bool,
+}
+
+/// Computes Eqs. 2–4 for `window` against the current model states.
+///
+/// `trim` is the robust-mean trim fraction for the observable state
+/// (`0` = the paper's exact Eq. 2; see
+/// [`ObservationWindow::trimmed_mean`]).
+///
+/// Returns `None` for an empty window.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ trim < 0.5`.
+pub fn identify_states(
+    window: &ObservationWindow,
+    states: &ModelStates,
+    trim: f64,
+    majority_fraction: f64,
+) -> Option<WindowStates> {
+    let overall = window.trimmed_mean(trim)?;
+    let observable = states.nearest(&overall)?.0;
+    let representatives = window.sensor_means();
+    let mut labels = BTreeMap::new();
+    let mut votes: BTreeMap<usize, usize> = BTreeMap::new();
+    for (&id, mean) in &representatives {
+        let l = states.nearest(mean)?.0;
+        labels.insert(id, l);
+        *votes.entry(l).or_insert(0) += 1;
+    }
+    // Eq. 4: the state backed by the most sensors. Ties break toward
+    // the lower state index (deterministic).
+    let (&correct, &max_votes) = votes
+        .iter()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))?;
+    let decisive = max_votes as f64 > majority_fraction * labels.len() as f64;
+    Some(WindowStates {
+        observable,
+        correct,
+        labels,
+        representatives,
+        decisive,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinet_cluster::ClusterConfig;
+
+    fn states2() -> ModelStates {
+        ModelStates::new(
+            vec![vec![0.0, 0.0], vec![10.0, 10.0]],
+            ClusterConfig {
+                alpha: 0.1,
+                merge_threshold: 1.0,
+                spawn_threshold: 50.0,
+                max_states: 8,
+            },
+        )
+    }
+
+    fn win(readings: &[(u16, Vec<f64>)]) -> ObservationWindow {
+        let mut w = ObservationWindow::default();
+        for (s, v) in readings {
+            w.readings
+                .entry(SensorId(*s))
+                .or_default()
+                .push(Reading::new(v.clone()));
+        }
+        w
+    }
+
+    #[test]
+    fn windower_groups_by_duration() {
+        let mut w = Windower::new(3_600);
+        assert!(w.push(0, SensorId(0), Reading::new(vec![1.0])).is_empty());
+        assert!(w.push(300, SensorId(1), Reading::new(vec![2.0])).is_empty());
+        let done = w.push(3_600, SensorId(0), Reading::new(vec![3.0]));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].index, 0);
+        assert_eq!(done[0].num_readings(), 2);
+        let tail = w.finish().unwrap();
+        assert_eq!(tail.index, 1);
+        assert_eq!(tail.num_readings(), 1);
+    }
+
+    #[test]
+    fn windower_skips_empty_gaps() {
+        let mut w = Windower::new(100);
+        w.push(0, SensorId(0), Reading::new(vec![1.0]));
+        let done = w.push(1_000, SensorId(0), Reading::new(vec![2.0]));
+        // Only the non-empty window 0 is emitted; windows 1..9 had no data.
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].index, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes current window")]
+    fn out_of_order_panics() {
+        let mut w = Windower::new(100);
+        w.push(500, SensorId(0), Reading::new(vec![1.0]));
+        w.push(100, SensorId(0), Reading::new(vec![1.0]));
+    }
+
+    #[test]
+    fn windower_starts_at_first_reading_window() {
+        let mut w = Windower::new(100);
+        let done = w.push(550, SensorId(0), Reading::new(vec![1.0]));
+        assert!(done.is_empty());
+        let tail = w.finish().unwrap();
+        assert_eq!(tail.index, 5);
+        assert_eq!(tail.start, 500);
+    }
+
+    #[test]
+    fn finish_on_empty_is_none() {
+        let mut w = Windower::new(100);
+        assert!(w.finish().is_none());
+    }
+
+    #[test]
+    fn overall_mean_and_sensor_means() {
+        let w = win(&[
+            (0, vec![1.0, 2.0]),
+            (0, vec![3.0, 4.0]),
+            (1, vec![10.0, 10.0]),
+        ]);
+        assert_eq!(w.overall_mean().unwrap(), vec![14.0 / 3.0, 16.0 / 3.0]);
+        let means = w.sensor_means();
+        assert_eq!(means[&SensorId(0)], vec![2.0, 3.0]);
+        assert_eq!(means[&SensorId(1)], vec![10.0, 10.0]);
+    }
+
+    #[test]
+    fn empty_window_mean_is_none() {
+        let w = ObservationWindow::default();
+        assert!(w.overall_mean().is_none());
+        assert!(identify_states(&w, &states2(), 0.0, 0.5).is_none());
+    }
+
+    #[test]
+    fn identify_states_majority_vote() {
+        // Three sensors near state 0, one outlier near state 1.
+        let w = win(&[
+            (0, vec![0.1, 0.2]),
+            (1, vec![-0.3, 0.1]),
+            (2, vec![0.2, -0.1]),
+            (3, vec![9.5, 10.2]),
+        ]);
+        let s = identify_states(&w, &states2(), 0.0, 0.5).unwrap();
+        assert_eq!(s.correct, 0);
+        assert_eq!(s.labels[&SensorId(3)], 1);
+        assert_eq!(s.labels[&SensorId(0)], 0);
+        // Overall mean is dragged toward the outlier but stays nearer 0.
+        assert_eq!(s.observable, 0);
+    }
+
+    #[test]
+    fn observable_can_differ_from_correct() {
+        // Two honest at state 0, two attackers pushing hard: the mean
+        // crosses to state 1's basin while the majority label stays 0...
+        // with 2-2 votes, tie-breaking favors the lower index.
+        let w = win(&[
+            (0, vec![0.0, 0.0]),
+            (1, vec![0.5, 0.5]),
+            (2, vec![20.0, 20.0]),
+            (3, vec![20.0, 20.0]),
+        ]);
+        let s = identify_states(&w, &states2(), 0.0, 0.5).unwrap();
+        assert_eq!(s.observable, 1, "mean (10.1, 10.1) is nearer state 1");
+        assert_eq!(s.correct, 0, "tie breaks to lower state index");
+    }
+
+    #[test]
+    fn single_sensor_window() {
+        let w = win(&[(5, vec![9.0, 9.0])]);
+        let s = identify_states(&w, &states2(), 0.0, 0.5).unwrap();
+        assert_eq!(s.correct, 1);
+        assert_eq!(s.observable, 1);
+        assert_eq!(s.representatives.len(), 1);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests for the core pipeline's invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sentinet_cluster::{ClusterConfig, ModelStates};
+use sentinet_core::{identify_states, ObservationWindow, Pipeline, PipelineConfig, Windower};
+use sentinet_sim::{Reading, SensorId, Trace, TraceRecord};
+
+fn window_from(points: &[(u16, Vec<f64>)]) -> ObservationWindow {
+    let mut w = ObservationWindow::default();
+    for (s, v) in points {
+        w.readings
+            .entry(SensorId(*s))
+            .or_default()
+            .push(Reading::new(v.clone()));
+    }
+    w
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn trimmed_mean_within_data_hull(
+        pts in prop::collection::vec((0u16..5, prop::collection::vec(-50.0f64..50.0, 1)), 1..40),
+        trim in 0.0f64..0.45,
+    ) {
+        let w = window_from(&pts);
+        let mean = w.trimmed_mean(trim).expect("non-empty");
+        let lo = pts.iter().map(|(_, v)| v[0]).fold(f64::INFINITY, f64::min);
+        let hi = pts.iter().map(|(_, v)| v[0]).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(mean[0] >= lo - 1e-9 && mean[0] <= hi + 1e-9);
+    }
+
+    #[test]
+    fn trim_zero_equals_plain_mean(
+        pts in prop::collection::vec((0u16..5, prop::collection::vec(-50.0f64..50.0, 2)), 1..30),
+    ) {
+        let w = window_from(&pts);
+        prop_assert_eq!(w.trimmed_mean(0.0), w.overall_mean());
+    }
+
+    #[test]
+    fn trimmed_mean_ignores_single_wild_outlier(
+        honest in prop::collection::vec((0u16..4, Just(vec![10.0, 10.0])), 8..20),
+        outlier in 100.0f64..1_000.0,
+    ) {
+        let mut pts = honest;
+        pts.push((4, vec![outlier, outlier]));
+        let w = window_from(&pts);
+        let mean = w.trimmed_mean(0.2).expect("non-empty");
+        prop_assert!((mean[0] - 10.0).abs() < 1e-9, "outlier leaked: {mean:?}");
+    }
+
+    #[test]
+    fn identify_states_correct_backed_by_majority_when_decisive(
+        pts in prop::collection::vec((0u16..6, prop::collection::vec(-30.0f64..30.0, 1)), 2..24),
+    ) {
+        let states = ModelStates::new(
+            vec![vec![-20.0], vec![0.0], vec![20.0]],
+            ClusterConfig {
+                alpha: 0.1,
+                merge_threshold: 1.0,
+                spawn_threshold: 100.0,
+                max_states: 4,
+            },
+        );
+        let w = window_from(&pts);
+        if let Some(ws) = identify_states(&w, &states, 0.0, 0.5) {
+            // The winning state's vote count really is the max.
+            let mut votes = std::collections::BTreeMap::new();
+            for l in ws.labels.values() {
+                *votes.entry(*l).or_insert(0usize) += 1;
+            }
+            let max = votes.values().max().copied().unwrap_or(0);
+            prop_assert_eq!(votes.get(&ws.correct).copied().unwrap_or(0), max);
+            if ws.decisive {
+                prop_assert!(2 * max > ws.labels.len());
+            }
+        }
+    }
+
+    #[test]
+    fn windower_partitions_all_readings(
+        times in prop::collection::vec(0u64..50_000, 1..100),
+    ) {
+        let mut sorted = times;
+        sorted.sort_unstable();
+        let mut w = Windower::new(3_600);
+        let mut seen = 0usize;
+        for &t in &sorted {
+            let done = w.push(t, SensorId(0), Reading::new(vec![1.0]));
+            seen += done.iter().map(|d| d.num_readings()).sum::<usize>();
+        }
+        seen += w.finish().map(|d| d.num_readings()).unwrap_or(0);
+        prop_assert_eq!(seen, sorted.len());
+    }
+
+    #[test]
+    fn windower_windows_are_time_disjoint(
+        times in prop::collection::vec(0u64..100_000, 2..100),
+    ) {
+        let mut sorted = times;
+        sorted.sort_unstable();
+        let mut w = Windower::new(1_000);
+        let mut indices = Vec::new();
+        for &t in &sorted {
+            for d in w.push(t, SensorId(0), Reading::new(vec![0.0])) {
+                indices.push(d.index);
+            }
+        }
+        if let Some(d) = w.finish() {
+            indices.push(d.index);
+        }
+        // Strictly increasing window indices — no window emitted twice.
+        for pair in indices.windows(2) {
+            prop_assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn pipeline_never_panics_on_arbitrary_small_traces(
+        recs in prop::collection::vec(
+            (0u64..20_000, 0u16..4, prop::collection::vec(-30.0f64..30.0, 2)),
+            0..60,
+        ),
+    ) {
+        let records: Vec<TraceRecord> = recs
+            .into_iter()
+            .map(|(t, s, v)| TraceRecord {
+                time: t,
+                sensor: SensorId(s),
+                payload: sentinet_sim::Payload::Delivered(Reading::new(v)),
+            })
+            .collect();
+        let trace = Trace::from_records(records);
+        let mut p = Pipeline::new(PipelineConfig::default(), 300);
+        let _ = p.process_trace(&trace);
+        // Classification of any sensor id is total.
+        for s in 0..5u16 {
+            let _ = p.classify(SensorId(s));
+        }
+        let _ = p.network_attack();
+    }
+
+    #[test]
+    fn pipeline_is_deterministic(
+        seed in 0u64..50,
+    ) {
+        let mut cfg = sentinet_sim::gdi::day_config();
+        cfg.duration = 6 * 3600;
+        let trace = sentinet_sim::simulate(&cfg, &mut StdRng::seed_from_u64(seed));
+        let run = || {
+            let mut p = Pipeline::new(PipelineConfig::default(), cfg.sample_period);
+            let outcomes = p.process_trace(&trace);
+            (outcomes, p.classify_all())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

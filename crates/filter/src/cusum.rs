@@ -1,0 +1,156 @@
+//! Tabular CUSUM change-detection over a numeric statistic.
+//!
+//! The paper cites the CUSUM procedure (Basseville & Nikiforov) as a
+//! candidate for smoothing raw alarm streams. This is the standard
+//! two-sided tabular CUSUM for detecting a shift of a process mean:
+//!
+//! `S⁺ ← max(0, S⁺ + (x − μ0 − κ))`, alarm when `S⁺ > h`
+//! `S⁻ ← max(0, S⁻ + (μ0 − x − κ))`, alarm when `S⁻ > h`
+//!
+//! where `κ` is the allowance (half the shift to detect) and `h` the
+//! decision interval.
+
+/// Two-sided tabular CUSUM detector.
+///
+/// # Examples
+///
+/// ```
+/// use sentinet_filter::Cusum;
+///
+/// // Detect a mean shift away from 0 of ≥ 1.0, with allowance 0.5.
+/// let mut c = Cusum::new(0.0, 0.5, 4.0);
+/// let mut alarmed = false;
+/// for _ in 0..10 {
+///     alarmed = c.push(1.5); // persistent upward shift
+///     if alarmed { break; }
+/// }
+/// assert!(alarmed);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cusum {
+    mu0: f64,
+    kappa: f64,
+    h: f64,
+    s_hi: f64,
+    s_lo: f64,
+}
+
+impl Cusum {
+    /// Creates a detector around in-control mean `mu0` with allowance
+    /// `kappa` and decision interval `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kappa < 0`, `h <= 0`, or any parameter is not finite.
+    pub fn new(mu0: f64, kappa: f64, h: f64) -> Self {
+        assert!(
+            mu0.is_finite() && kappa >= 0.0 && kappa.is_finite() && h > 0.0 && h.is_finite(),
+            "invalid CUSUM parameters mu0={mu0}, kappa={kappa}, h={h}"
+        );
+        Self {
+            mu0,
+            kappa,
+            h,
+            s_hi: 0.0,
+            s_lo: 0.0,
+        }
+    }
+
+    /// Feeds one observation; returns whether either cumulative sum has
+    /// crossed the decision interval.
+    pub fn push(&mut self, x: f64) -> bool {
+        self.s_hi = (self.s_hi + (x - self.mu0 - self.kappa)).max(0.0);
+        self.s_lo = (self.s_lo + (self.mu0 - x - self.kappa)).max(0.0);
+        self.is_alarmed()
+    }
+
+    /// Whether the detector is currently alarmed.
+    pub fn is_alarmed(&self) -> bool {
+        self.s_hi > self.h || self.s_lo > self.h
+    }
+
+    /// The upper cumulative sum `S⁺`.
+    pub fn upper_sum(&self) -> f64 {
+        self.s_hi
+    }
+
+    /// The lower cumulative sum `S⁻`.
+    pub fn lower_sum(&self) -> f64 {
+        self.s_lo
+    }
+
+    /// Resets both sums.
+    pub fn reset(&mut self) {
+        self.s_hi = 0.0;
+        self.s_lo = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upward_shift_detected() {
+        let mut c = Cusum::new(0.0, 0.5, 4.0);
+        let mut steps = 0;
+        while !c.push(2.0) {
+            steps += 1;
+            assert!(steps < 50);
+        }
+        // Shift of 2 with allowance 0.5 accumulates 1.5/step: h=4 → 3 steps.
+        assert!(steps <= 3, "steps {steps}");
+        assert!(c.upper_sum() > 4.0);
+    }
+
+    #[test]
+    fn downward_shift_detected() {
+        let mut c = Cusum::new(10.0, 0.5, 4.0);
+        let mut alarmed = false;
+        for _ in 0..10 {
+            alarmed = c.push(8.0);
+            if alarmed {
+                break;
+            }
+        }
+        assert!(alarmed);
+        assert!(c.lower_sum() > 4.0);
+    }
+
+    #[test]
+    fn in_control_noise_stays_quiet() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut c = Cusum::new(0.0, 1.0, 8.0);
+        for _ in 0..5_000 {
+            // Uniform noise in [-1, 1]: |x - mu| never exceeds kappa.
+            assert!(!c.push(rng.gen_range(-1.0..1.0)));
+        }
+    }
+
+    #[test]
+    fn sums_never_negative() {
+        let mut c = Cusum::new(0.0, 0.5, 4.0);
+        for x in [-3.0, -5.0, -1.0, 4.0, -10.0] {
+            c.push(x);
+            assert!(c.upper_sum() >= 0.0);
+            assert!(c.lower_sum() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn reset_clears_alarm() {
+        let mut c = Cusum::new(0.0, 0.0, 1.0);
+        c.push(10.0);
+        assert!(c.is_alarmed());
+        c.reset();
+        assert!(!c.is_alarmed());
+        assert_eq!(c.upper_sum(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid CUSUM")]
+    fn bad_params_panic() {
+        Cusum::new(0.0, -1.0, 4.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! The k-of-n sliding-window alarm filter.
+//!
+//! The paper's simplest Alarm Filtering policy: "generate a filtered
+//! alarm only after receiving k raw alarms in the last n time steps"
+//! (§3.1). The filter also *clears*: once fewer than `k` of the last `n`
+//! steps are raw alarms, the filtered alarm drops.
+
+use std::collections::VecDeque;
+
+/// Sliding-window k-of-n boolean filter.
+///
+/// # Examples
+///
+/// ```
+/// use sentinet_filter::KOfNFilter;
+///
+/// let mut f = KOfNFilter::new(2, 3);
+/// assert!(!f.push(true));  // 1 of last 3
+/// assert!(f.push(true));   // 2 of last 3 → filtered alarm
+/// assert!(f.push(false));  // still 2 of last 3
+/// assert!(!f.push(false)); // 1 of last 3 → cleared
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KOfNFilter {
+    k: usize,
+    n: usize,
+    window: VecDeque<bool>,
+    count: usize,
+}
+
+impl KOfNFilter {
+    /// Creates a filter requiring `k` raw alarms within the last `n`
+    /// steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= k <= n`.
+    pub fn new(k: usize, n: usize) -> Self {
+        assert!(k >= 1 && k <= n, "require 1 <= k <= n (got k={k}, n={n})");
+        Self {
+            k,
+            n,
+            window: VecDeque::with_capacity(n),
+            count: 0,
+        }
+    }
+
+    /// The `k` parameter.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The window length `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Feeds one raw alarm flag; returns the filtered alarm state.
+    pub fn push(&mut self, raw: bool) -> bool {
+        if self.window.len() == self.n {
+            if self.window.pop_front() == Some(true) {
+                self.count -= 1;
+            }
+        }
+        self.window.push_back(raw);
+        if raw {
+            self.count += 1;
+        }
+        self.count >= self.k
+    }
+
+    /// Current filtered state without feeding a new observation.
+    pub fn is_raised(&self) -> bool {
+        self.count >= self.k
+    }
+
+    /// Clears all history.
+    pub fn reset(&mut self) {
+        self.window.clear();
+        self.count = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raises_after_k_in_window() {
+        let mut f = KOfNFilter::new(3, 5);
+        assert!(!f.push(true));
+        assert!(!f.push(true));
+        assert!(f.push(true));
+        assert!(f.is_raised());
+    }
+
+    #[test]
+    fn sparse_alarms_do_not_raise() {
+        let mut f = KOfNFilter::new(3, 5);
+        for i in 0..50 {
+            // One alarm every 5 steps: never 3 within any 5-window.
+            assert!(!f.push(i % 5 == 0), "raised at step {i}");
+        }
+    }
+
+    #[test]
+    fn clears_when_alarms_age_out() {
+        let mut f = KOfNFilter::new(2, 3);
+        f.push(true);
+        assert!(f.push(true));
+        assert!(f.push(false));
+        assert!(!f.push(false)); // first true aged out
+        assert!(!f.is_raised());
+    }
+
+    #[test]
+    fn k_equals_one_passes_through() {
+        let mut f = KOfNFilter::new(1, 4);
+        assert!(f.push(true));
+        assert!(f.push(false)); // still within window
+        assert!(f.push(false));
+        assert!(f.push(false));
+        assert!(!f.push(false)); // aged out
+    }
+
+    #[test]
+    fn k_equals_n_requires_full_window() {
+        let mut f = KOfNFilter::new(3, 3);
+        assert!(!f.push(true));
+        assert!(!f.push(true));
+        assert!(f.push(true));
+        assert!(!f.push(false));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut f = KOfNFilter::new(1, 2);
+        f.push(true);
+        assert!(f.is_raised());
+        f.reset();
+        assert!(!f.is_raised());
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= k <= n")]
+    fn invalid_params_panic() {
+        KOfNFilter::new(4, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= k <= n")]
+    fn zero_k_panics() {
+        KOfNFilter::new(0, 3);
+    }
+
+    #[test]
+    fn getters() {
+        let f = KOfNFilter::new(2, 7);
+        assert_eq!(f.k(), 2);
+        assert_eq!(f.n(), 7);
+    }
+}

@@ -1,0 +1,159 @@
+//! Alarm filtering and change detection for the `sentinet`
+//! sensor-network error/attack detector.
+//!
+//! The paper's Alarm Filtering module (§3.1) smooths noisy raw alarm
+//! streams (Fig. 12 shows ≈ 1.5 % false raw alarms on a healthy sensor)
+//! before they open error/attack tracks. Four interchangeable policies
+//! are provided:
+//!
+//! - [`KOfNFilter`] — the paper's simple "k raw alarms in the last n
+//!   steps" filter;
+//! - [`Sprt`] — Wald's Sequential Probability Ratio Test on the alarm
+//!   rate;
+//! - [`Cusum`] — tabular CUSUM on a numeric statistic;
+//! - [`EwmaChart`] — EWMA control chart.
+//!
+//! Boolean-input policies implement [`AlarmFilter`], so the detection
+//! pipeline can swap them at run time.
+//!
+//! # Examples
+//!
+//! ```
+//! use sentinet_filter::{AlarmFilter, KOfNFilter, SprtAlarmFilter};
+//!
+//! let mut filters: Vec<Box<dyn AlarmFilter>> = vec![
+//!     Box::new(KOfNFilter::new(3, 5)),
+//!     Box::new(SprtAlarmFilter::balanced()),
+//! ];
+//! for f in &mut filters {
+//!     for _ in 0..10 {
+//!         f.push(true);
+//!     }
+//!     assert!(f.is_raised());
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cusum;
+mod ewma;
+mod kofn;
+mod sprt;
+
+pub use cusum::Cusum;
+pub use ewma::EwmaChart;
+pub use kofn::KOfNFilter;
+pub use sprt::{Sprt, SprtDecision};
+
+/// A boolean alarm smoother: raw alarms in, filtered alarm state out.
+///
+/// Implementations must be monotone in the obvious sense: a stream of
+/// `true` eventually raises, a stream of `false` eventually clears (or
+/// keeps the filter silent).
+pub trait AlarmFilter: std::fmt::Debug + Send {
+    /// Feeds one raw alarm flag; returns the filtered alarm state.
+    fn push(&mut self, raw: bool) -> bool;
+    /// The current filtered alarm state.
+    fn is_raised(&self) -> bool;
+    /// Clears all filter memory.
+    fn reset(&mut self);
+}
+
+impl AlarmFilter for KOfNFilter {
+    fn push(&mut self, raw: bool) -> bool {
+        KOfNFilter::push(self, raw)
+    }
+    fn is_raised(&self) -> bool {
+        KOfNFilter::is_raised(self)
+    }
+    fn reset(&mut self) {
+        KOfNFilter::reset(self)
+    }
+}
+
+/// [`Sprt`] adapted to the [`AlarmFilter`] interface: `AcceptH1` raises
+/// the filtered alarm; `AcceptH0` clears it and restarts the test so
+/// the sensor keeps being monitored.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SprtAlarmFilter {
+    sprt: Sprt,
+    raised: bool,
+}
+
+impl SprtAlarmFilter {
+    /// Wraps an [`Sprt`] as an alarm filter.
+    pub fn new(sprt: Sprt) -> Self {
+        Self {
+            sprt,
+            raised: false,
+        }
+    }
+
+    /// A reasonable default: healthy rate 5 %, faulty rate 60 %, 1 %
+    /// error rates (matches the paper's Fig. 12 false-alarm regime).
+    pub fn balanced() -> Self {
+        Self::new(Sprt::new(0.05, 0.6, 0.01, 0.01))
+    }
+}
+
+impl AlarmFilter for SprtAlarmFilter {
+    fn push(&mut self, raw: bool) -> bool {
+        match self.sprt.push(raw) {
+            SprtDecision::AcceptH1 => {
+                self.raised = true;
+                self.sprt.reset();
+            }
+            SprtDecision::AcceptH0 => {
+                self.raised = false;
+                self.sprt.reset();
+            }
+            SprtDecision::Continue => {}
+        }
+        self.raised
+    }
+    fn is_raised(&self) -> bool {
+        self.raised
+    }
+    fn reset(&mut self) {
+        self.sprt.reset();
+        self.raised = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sprt_filter_raises_and_clears() {
+        let mut f = SprtAlarmFilter::balanced();
+        for _ in 0..20 {
+            f.push(true);
+        }
+        assert!(f.is_raised());
+        for _ in 0..100 {
+            f.push(false);
+        }
+        assert!(!f.is_raised());
+    }
+
+    #[test]
+    fn trait_object_usage() {
+        let mut f: Box<dyn AlarmFilter> = Box::new(KOfNFilter::new(2, 4));
+        f.push(true);
+        assert!(f.push(true));
+        f.reset();
+        assert!(!f.is_raised());
+    }
+
+    #[test]
+    fn sprt_filter_reset() {
+        let mut f = SprtAlarmFilter::balanced();
+        for _ in 0..20 {
+            f.push(true);
+        }
+        f.reset();
+        assert!(!f.is_raised());
+    }
+}

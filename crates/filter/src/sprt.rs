@@ -1,0 +1,203 @@
+//! Wald's Sequential Probability Ratio Test over Bernoulli alarms.
+//!
+//! The paper suggests SPRT as a "sophisticated" alarm filter (§3.1,
+//! citing Basseville & Nikiforov). We test
+//!
+//! - `H0`: raw alarms fire with probability `p0` (healthy sensor), vs
+//! - `H1`: raw alarms fire with probability `p1 > p0` (faulty sensor),
+//!
+//! accumulating the log-likelihood ratio and comparing with the Wald
+//! thresholds `A = ln((1−β)/α)` and `B = ln(β/(1−α))` for the chosen
+//! error rates.
+
+/// Outcome of feeding one observation to an [`Sprt`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SprtDecision {
+    /// Evidence insufficient; keep observing.
+    Continue,
+    /// `H0` accepted (behaving like a healthy sensor).
+    AcceptH0,
+    /// `H1` accepted (behaving like a faulty/malicious sensor).
+    AcceptH1,
+}
+
+/// Bernoulli SPRT.
+///
+/// # Examples
+///
+/// ```
+/// use sentinet_filter::{Sprt, SprtDecision};
+///
+/// let mut t = Sprt::new(0.05, 0.6, 0.01, 0.01);
+/// let mut verdict = SprtDecision::Continue;
+/// for _ in 0..20 {
+///     verdict = t.push(true); // constant raw alarms
+///     if verdict != SprtDecision::Continue { break; }
+/// }
+/// assert_eq!(verdict, SprtDecision::AcceptH1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sprt {
+    llr_true: f64,
+    llr_false: f64,
+    upper: f64,
+    lower: f64,
+    llr: f64,
+    steps: u64,
+}
+
+impl Sprt {
+    /// Creates a test of `H0: p = p0` vs `H1: p = p1`, with type-I error
+    /// `alpha` (false acceptance of `H1`) and type-II error `beta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p0 < p1 < 1` and `alpha`, `beta` ∈ (0, 0.5).
+    pub fn new(p0: f64, p1: f64, alpha: f64, beta: f64) -> Self {
+        assert!(
+            0.0 < p0 && p0 < p1 && p1 < 1.0,
+            "require 0 < p0 < p1 < 1 (got p0={p0}, p1={p1})"
+        );
+        assert!(
+            (0.0..0.5).contains(&alpha) && alpha > 0.0 && (0.0..0.5).contains(&beta) && beta > 0.0,
+            "error rates must be in (0, 0.5)"
+        );
+        Self {
+            llr_true: (p1 / p0).ln(),
+            llr_false: ((1.0 - p1) / (1.0 - p0)).ln(),
+            upper: ((1.0 - beta) / alpha).ln(),
+            lower: (beta / (1.0 - alpha)).ln(),
+            llr: 0.0,
+            steps: 0,
+        }
+    }
+
+    /// Feeds one raw alarm flag, returning the running decision. After a
+    /// terminal decision the test keeps reporting it until [`Sprt::reset`].
+    pub fn push(&mut self, raw: bool) -> SprtDecision {
+        if self.decision() == SprtDecision::Continue {
+            self.llr += if raw { self.llr_true } else { self.llr_false };
+            self.steps += 1;
+        }
+        self.decision()
+    }
+
+    /// Current decision.
+    pub fn decision(&self) -> SprtDecision {
+        if self.llr >= self.upper {
+            SprtDecision::AcceptH1
+        } else if self.llr <= self.lower {
+            SprtDecision::AcceptH0
+        } else {
+            SprtDecision::Continue
+        }
+    }
+
+    /// Observations consumed so far (stops counting once decided).
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The running log-likelihood ratio.
+    pub fn log_likelihood_ratio(&self) -> f64 {
+        self.llr
+    }
+
+    /// Restarts the test.
+    pub fn reset(&mut self) {
+        self.llr = 0.0;
+        self.steps = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_alarms_accept_h1_quickly() {
+        let mut t = Sprt::new(0.05, 0.6, 0.01, 0.01);
+        let mut steps = 0;
+        loop {
+            steps += 1;
+            if t.push(true) == SprtDecision::AcceptH1 {
+                break;
+            }
+            assert!(steps < 100, "did not decide");
+        }
+        assert!(steps <= 5, "took {steps} steps");
+    }
+
+    #[test]
+    fn no_alarms_accept_h0() {
+        let mut t = Sprt::new(0.05, 0.6, 0.01, 0.01);
+        let mut verdict = SprtDecision::Continue;
+        for _ in 0..200 {
+            verdict = t.push(false);
+            if verdict != SprtDecision::Continue {
+                break;
+            }
+        }
+        assert_eq!(verdict, SprtDecision::AcceptH0);
+    }
+
+    #[test]
+    fn decision_is_sticky_until_reset() {
+        let mut t = Sprt::new(0.05, 0.6, 0.01, 0.01);
+        for _ in 0..20 {
+            t.push(true);
+        }
+        assert_eq!(t.decision(), SprtDecision::AcceptH1);
+        let steps = t.steps();
+        for _ in 0..20 {
+            assert_eq!(t.push(false), SprtDecision::AcceptH1);
+        }
+        assert_eq!(t.steps(), steps, "steps must freeze after decision");
+        t.reset();
+        assert_eq!(t.decision(), SprtDecision::Continue);
+    }
+
+    #[test]
+    fn h0_rate_stream_rarely_accepts_h1() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut h1_accepts = 0;
+        for _ in 0..500 {
+            let mut t = Sprt::new(0.05, 0.6, 0.01, 0.01);
+            loop {
+                match t.push(rng.gen::<f64>() < 0.05) {
+                    SprtDecision::AcceptH0 => break,
+                    SprtDecision::AcceptH1 => {
+                        h1_accepts += 1;
+                        break;
+                    }
+                    SprtDecision::Continue => {}
+                }
+            }
+        }
+        // Nominal false-accept rate is 1%; allow generous slack.
+        assert!(h1_accepts <= 15, "false H1 accepts: {h1_accepts}/500");
+    }
+
+    #[test]
+    fn llr_moves_in_expected_direction() {
+        let mut t = Sprt::new(0.1, 0.5, 0.05, 0.05);
+        t.push(true);
+        assert!(t.log_likelihood_ratio() > 0.0);
+        t.reset();
+        t.push(false);
+        assert!(t.log_likelihood_ratio() < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < p0 < p1 < 1")]
+    fn invalid_probs_panic() {
+        Sprt::new(0.6, 0.5, 0.01, 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "error rates")]
+    fn invalid_rates_panic() {
+        Sprt::new(0.05, 0.6, 0.0, 0.01);
+    }
+}

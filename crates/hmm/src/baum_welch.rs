@@ -1,0 +1,330 @@
+//! Hand-rolled Baum–Welch (EM) training for discrete HMMs.
+//!
+//! Supports multiple observation sequences, Rabiner-style scaling, and
+//! Laplace smoothing to keep re-estimated parameters strictly positive.
+//! Used by the [Warrender–Forrest baseline](https://doi.org/10.1109/SECPRI.1999.766910)
+//! detector in `sentinet-baselines`; the paper's own pipeline instead
+//! uses the cheap online estimator in [`crate::online`], which is the
+//! whole point of the paper's redundancy-based approach.
+
+use crate::error::{HmmError, Result};
+use crate::hmm::Hmm;
+use crate::matrix::StochasticMatrix;
+
+/// Configuration for [`baum_welch`] training.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaumWelchConfig {
+    /// Maximum EM iterations.
+    pub max_iters: usize,
+    /// Stop when the total log-likelihood improves by less than this.
+    pub tol: f64,
+    /// Laplace smoothing pseudo-count added to every accumulator, keeping
+    /// parameters strictly positive (required for held-out scoring).
+    pub smoothing: f64,
+}
+
+impl Default for BaumWelchConfig {
+    fn default() -> Self {
+        Self {
+            max_iters: 100,
+            tol: 1e-6,
+            smoothing: 1e-6,
+        }
+    }
+}
+
+/// Outcome of a [`baum_welch`] run.
+#[derive(Debug, Clone)]
+pub struct TrainedHmm {
+    /// The re-estimated model.
+    pub hmm: Hmm,
+    /// Total log-likelihood of the training set after each iteration
+    /// (monotone non-decreasing up to smoothing effects).
+    pub log_likelihoods: Vec<f64>,
+    /// Number of EM iterations performed.
+    pub iterations: usize,
+    /// Whether the tolerance criterion was met before `max_iters`.
+    pub converged: bool,
+}
+
+/// Trains `init` on `sequences` with the Baum–Welch algorithm.
+///
+/// Each element of `sequences` is an independent observation sequence;
+/// the E-step accumulates expected counts across all of them.
+///
+/// # Errors
+///
+/// - [`HmmError::EmptySequence`] if `sequences` is empty or contains an
+///   empty sequence.
+/// - [`HmmError::SymbolOutOfRange`] if any symbol exceeds the model.
+/// - [`HmmError::ImpossibleSequence`] if a sequence has zero probability
+///   under the current model and smoothing is zero.
+///
+/// # Examples
+///
+/// ```
+/// use sentinet_hmm::{baum_welch, BaumWelchConfig, Hmm};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), sentinet_hmm::HmmError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let truth = Hmm::random(2, 3, &mut rng)?;
+/// let (_, obs) = truth.sample(200, &mut rng)?;
+/// let init = Hmm::random(2, 3, &mut rng)?;
+/// let trained = baum_welch(&init, &[obs.clone()], &BaumWelchConfig::default())?;
+/// assert!(trained.hmm.log_likelihood(&obs)? >= init.log_likelihood(&obs)?);
+/// # Ok(())
+/// # }
+/// ```
+pub fn baum_welch(
+    init: &Hmm,
+    sequences: &[Vec<usize>],
+    config: &BaumWelchConfig,
+) -> Result<TrainedHmm> {
+    if sequences.is_empty() || sequences.iter().any(|s| s.is_empty()) {
+        return Err(HmmError::EmptySequence);
+    }
+    let m = init.num_states();
+    let n = init.num_symbols();
+    let mut hmm = init.clone();
+    let mut lls: Vec<f64> = Vec::new();
+    let mut converged = false;
+    let mut iters = 0;
+
+    for _ in 0..config.max_iters {
+        iters += 1;
+        // Accumulators for expected counts.
+        let mut a_num = vec![vec![config.smoothing; m]; m];
+        let mut b_num = vec![vec![config.smoothing; n]; m];
+        let mut pi_acc = vec![config.smoothing; m];
+        let mut total_ll = 0.0;
+
+        for obs in sequences {
+            let fwd = hmm.forward(obs)?;
+            let beta_hat = hmm.backward(obs, &fwd.scale)?;
+            total_ll += fwd.log_likelihood();
+            let t_len = obs.len();
+
+            // gamma[t][i] ∝ alpha_hat[t][i] * beta_hat[t][i]
+            let mut gamma = vec![vec![0.0; m]; t_len];
+            for t in 0..t_len {
+                let mut norm = 0.0;
+                for i in 0..m {
+                    gamma[t][i] = fwd.alpha_hat[t][i] * beta_hat[t][i];
+                    norm += gamma[t][i];
+                }
+                for g in &mut gamma[t] {
+                    *g /= norm;
+                }
+            }
+
+            for i in 0..m {
+                pi_acc[i] += gamma[0][i];
+            }
+            for t in 0..t_len {
+                for i in 0..m {
+                    b_num[i][obs[t]] += gamma[t][i];
+                }
+            }
+            // xi[t][i][j] ∝ alpha_hat[t][i] a_ij b_j(o_{t+1}) beta_hat[t+1][j]
+            for t in 0..t_len - 1 {
+                let mut norm = 0.0;
+                let mut xi = vec![vec![0.0; m]; m];
+                for (i, xrow) in xi.iter_mut().enumerate() {
+                    for (j, x) in xrow.iter_mut().enumerate() {
+                        *x = fwd.alpha_hat[t][i]
+                            * hmm.transition()[(i, j)]
+                            * hmm.observation()[(j, obs[t + 1])]
+                            * beta_hat[t + 1][j];
+                        norm += *x;
+                    }
+                }
+                if norm > 0.0 {
+                    for i in 0..m {
+                        for j in 0..m {
+                            a_num[i][j] += xi[i][j] / norm;
+                        }
+                    }
+                }
+            }
+        }
+
+        // M-step: normalize the accumulators.
+        let normalize = |rows: Vec<Vec<f64>>| -> Result<StochasticMatrix> {
+            let rows = rows
+                .into_iter()
+                .map(|r| {
+                    let s: f64 = r.iter().sum();
+                    r.into_iter().map(|x| x / s).collect()
+                })
+                .collect();
+            StochasticMatrix::from_rows(rows)
+        };
+        let a = normalize(a_num)?;
+        let b = normalize(b_num)?;
+        let pi_sum: f64 = pi_acc.iter().sum();
+        let pi: Vec<f64> = pi_acc.into_iter().map(|x| x / pi_sum).collect();
+        hmm = Hmm::new(a, b, pi)?;
+
+        if let Some(&prev) = lls.last() {
+            if (total_ll - prev).abs() < config.tol {
+                lls.push(total_ll);
+                converged = true;
+                break;
+            }
+        }
+        lls.push(total_ll);
+    }
+
+    Ok(TrainedHmm {
+        hmm,
+        log_likelihoods: lls,
+        iterations: iters,
+        converged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn truth() -> Hmm {
+        let a = StochasticMatrix::from_rows(vec![vec![0.85, 0.15], vec![0.1, 0.9]]).unwrap();
+        let b = StochasticMatrix::from_rows(vec![vec![0.95, 0.05], vec![0.1, 0.9]]).unwrap();
+        Hmm::new(a, b, vec![0.5, 0.5]).unwrap()
+    }
+
+    #[test]
+    fn likelihood_is_monotone_nondecreasing() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let (_, obs) = truth().sample(300, &mut rng).unwrap();
+        let init = Hmm::random(2, 2, &mut rng).unwrap();
+        let trained = baum_welch(
+            &init,
+            &[obs],
+            &BaumWelchConfig {
+                max_iters: 30,
+                tol: 0.0,
+                smoothing: 1e-9,
+            },
+        )
+        .unwrap();
+        for w in trained.log_likelihoods.windows(2) {
+            assert!(
+                w[1] >= w[0] - 1e-7,
+                "likelihood decreased: {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn recovers_emission_structure() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (_, obs) = truth().sample(2000, &mut rng).unwrap();
+        // EM is sensitive to initialization; standard practice is random
+        // restarts keeping the best final likelihood.
+        let trained = (0..5)
+            .map(|_| {
+                let init = Hmm::random(2, 2, &mut rng).unwrap();
+                baum_welch(&init, &[obs.clone()], &BaumWelchConfig::default()).unwrap()
+            })
+            .max_by(|x, y| {
+                let lx = x.hmm.log_likelihood(&obs).unwrap();
+                let ly = y.hmm.log_likelihood(&obs).unwrap();
+                lx.partial_cmp(&ly).unwrap()
+            })
+            .unwrap();
+        // Up to state relabeling, one state should emit symbol 0 heavily
+        // and the other symbol 1.
+        let b = trained.hmm.observation();
+        let modes = b.row_argmax();
+        assert_ne!(modes[0], modes[1], "states should specialize: B = {b}");
+        let peak0 = b.row(0)[modes[0]];
+        let peak1 = b.row(1)[modes[1]];
+        assert!(peak0 > 0.8 && peak1 > 0.8, "peaks {peak0} {peak1}");
+    }
+
+    #[test]
+    fn multi_sequence_training_works() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let t = truth();
+        let seqs: Vec<Vec<usize>> = (0..5).map(|_| t.sample(100, &mut rng).unwrap().1).collect();
+        let init = Hmm::random(2, 2, &mut rng).unwrap();
+        let trained = baum_welch(&init, &seqs, &BaumWelchConfig::default()).unwrap();
+        let before: f64 = seqs.iter().map(|s| init.log_likelihood(s).unwrap()).sum();
+        let after: f64 = seqs
+            .iter()
+            .map(|s| trained.hmm.log_likelihood(s).unwrap())
+            .sum();
+        assert!(after > before);
+    }
+
+    #[test]
+    fn converges_and_reports_it() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (_, obs) = truth().sample(200, &mut rng).unwrap();
+        let init = Hmm::random(2, 2, &mut rng).unwrap();
+        let trained = baum_welch(
+            &init,
+            &[obs],
+            &BaumWelchConfig {
+                max_iters: 500,
+                tol: 1e-4,
+                smoothing: 1e-6,
+            },
+        )
+        .unwrap();
+        assert!(trained.converged);
+        assert!(trained.iterations < 500);
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        let init = Hmm::uniform(2, 2).unwrap();
+        assert_eq!(
+            baum_welch(&init, &[], &BaumWelchConfig::default()).unwrap_err(),
+            HmmError::EmptySequence
+        );
+        assert_eq!(
+            baum_welch(&init, &[vec![]], &BaumWelchConfig::default()).unwrap_err(),
+            HmmError::EmptySequence
+        );
+    }
+
+    #[test]
+    fn out_of_range_symbol_is_error() {
+        let init = Hmm::uniform(2, 2).unwrap();
+        assert!(matches!(
+            baum_welch(&init, &[vec![0, 3]], &BaumWelchConfig::default()),
+            Err(HmmError::SymbolOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn smoothing_keeps_parameters_positive() {
+        let mut rng = StdRng::seed_from_u64(13);
+        // Train on a constant sequence: without smoothing many entries
+        // would collapse to exactly zero.
+        let init = Hmm::random(2, 3, &mut rng).unwrap();
+        let trained = baum_welch(
+            &init,
+            &[vec![1; 50]],
+            &BaumWelchConfig {
+                smoothing: 1e-3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for i in 0..2 {
+            for k in 0..3 {
+                assert!(trained.hmm.observation()[(i, k)] > 0.0);
+            }
+        }
+        // A held-out symbol still has positive probability.
+        assert!(trained.hmm.log_likelihood(&[0, 2]).is_ok());
+    }
+}

@@ -1,0 +1,161 @@
+//! Error types for the `sentinet-hmm` crate.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by HMM and Markov-chain construction and inference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HmmError {
+    /// A probability vector or matrix row does not sum to one (within
+    /// tolerance) or contains entries outside `[0, 1]`.
+    NotStochastic {
+        /// Human-readable location of the offending distribution, e.g.
+        /// `"transition row 3"`.
+        what: String,
+        /// The actual sum of the distribution.
+        sum: f64,
+    },
+    /// Two objects that must agree in dimension do not.
+    DimensionMismatch {
+        /// What was being checked.
+        what: String,
+        /// Dimension expected by the receiver.
+        expected: usize,
+        /// Dimension actually supplied.
+        actual: usize,
+    },
+    /// An observation symbol index is out of range for the model.
+    SymbolOutOfRange {
+        /// The offending symbol.
+        symbol: usize,
+        /// Number of symbols in the model.
+        num_symbols: usize,
+    },
+    /// A state index is out of range for the model.
+    StateOutOfRange {
+        /// The offending state.
+        state: usize,
+        /// Number of states in the model.
+        num_states: usize,
+    },
+    /// An operation that requires a non-empty observation sequence was
+    /// given an empty one.
+    EmptySequence,
+    /// A model with zero states or zero symbols was requested.
+    EmptyModel,
+    /// The forward pass underflowed: the observation sequence has zero
+    /// probability under the model (even with scaling).
+    ImpossibleSequence {
+        /// Time step at which all forward mass vanished.
+        time: usize,
+    },
+    /// A learning factor or tolerance parameter is outside its valid
+    /// open interval.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Supplied value.
+        value: f64,
+        /// Description of the valid range, e.g. `"(0, 1)"`.
+        range: &'static str,
+    },
+}
+
+impl fmt::Display for HmmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HmmError::NotStochastic { what, sum } => {
+                write!(f, "{what} is not a probability distribution (sum = {sum})")
+            }
+            HmmError::DimensionMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "dimension mismatch in {what}: expected {expected}, got {actual}"
+            ),
+            HmmError::SymbolOutOfRange {
+                symbol,
+                num_symbols,
+            } => write!(
+                f,
+                "observation symbol {symbol} out of range for model with {num_symbols} symbols"
+            ),
+            HmmError::StateOutOfRange { state, num_states } => {
+                write!(
+                    f,
+                    "state {state} out of range for model with {num_states} states"
+                )
+            }
+            HmmError::EmptySequence => write!(f, "observation sequence is empty"),
+            HmmError::EmptyModel => write!(f, "model must have at least one state and one symbol"),
+            HmmError::ImpossibleSequence { time } => {
+                write!(
+                    f,
+                    "observation sequence has zero probability under the model at time {time}"
+                )
+            }
+            HmmError::InvalidParameter { name, value, range } => {
+                write!(f, "parameter {name} = {value} outside valid range {range}")
+            }
+        }
+    }
+}
+
+impl StdError for HmmError {}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, HmmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_not_stochastic() {
+        let e = HmmError::NotStochastic {
+            what: "transition row 2".into(),
+            sum: 0.5,
+        };
+        assert_eq!(
+            e.to_string(),
+            "transition row 2 is not a probability distribution (sum = 0.5)"
+        );
+    }
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = HmmError::DimensionMismatch {
+            what: "observation row".into(),
+            expected: 4,
+            actual: 3,
+        };
+        assert!(e.to_string().contains("expected 4, got 3"));
+    }
+
+    #[test]
+    fn display_symbol_out_of_range() {
+        let e = HmmError::SymbolOutOfRange {
+            symbol: 7,
+            num_symbols: 5,
+        };
+        assert!(e.to_string().contains("symbol 7"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HmmError>();
+    }
+
+    #[test]
+    fn display_invalid_parameter() {
+        let e = HmmError::InvalidParameter {
+            name: "alpha",
+            value: 1.5,
+            range: "(0, 1)",
+        };
+        assert!(e.to_string().contains("alpha = 1.5"));
+    }
+}

@@ -1,0 +1,206 @@
+//! Model selection: choosing the number of hidden states.
+//!
+//! §2 criticizes the Warrender–Forrest baseline because "the choice of
+//! the hidden states of the HMM is arbitrary, difficult to justify".
+//! Where no redundancy side-channel fixes the state set (as the paper's
+//! clustering does), the principled fallback is information-criterion
+//! selection: train candidates with [`baum_welch`] and pick the one
+//! minimizing the Bayesian Information Criterion
+//!
+//! `BIC(k) = −2·ln L + p(k)·ln n`,  with
+//! `p(k) = k(k−1) + k(N−1) + (k−1)` free parameters
+//! (transition rows, emission rows, initial distribution).
+
+use crate::baum_welch::{baum_welch, BaumWelchConfig, TrainedHmm};
+use crate::error::{HmmError, Result};
+use crate::hmm::Hmm;
+use rand::Rng;
+
+/// Score sheet for one candidate state count.
+#[derive(Debug, Clone)]
+pub struct CandidateScore {
+    /// Number of hidden states.
+    pub num_states: usize,
+    /// Total training log-likelihood of the best restart.
+    pub log_likelihood: f64,
+    /// Bayesian Information Criterion (lower is better).
+    pub bic: f64,
+}
+
+/// Result of [`select_num_states`].
+#[derive(Debug, Clone)]
+pub struct ModelSelection {
+    /// The winning trained model.
+    pub best: TrainedHmm,
+    /// Its state count.
+    pub best_num_states: usize,
+    /// All candidate scores, in the order given.
+    pub scores: Vec<CandidateScore>,
+}
+
+/// Number of free parameters of a `k`-state, `n`-symbol discrete HMM.
+pub fn num_free_parameters(num_states: usize, num_symbols: usize) -> usize {
+    num_states * (num_states - 1) + num_states * (num_symbols - 1) + (num_states - 1)
+}
+
+/// Trains each candidate state count (`restarts` random initializations
+/// each, keeping the best) and returns the BIC winner.
+///
+/// # Errors
+///
+/// - [`HmmError::EmptyModel`] if `candidates` is empty or contains 0,
+///   or if `num_symbols` is 0 or `restarts` is 0.
+/// - Propagates [`baum_welch`] errors (empty sequences, bad symbols).
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sentinet_hmm::selection::select_num_states;
+/// use sentinet_hmm::BaumWelchConfig;
+///
+/// # fn main() -> Result<(), sentinet_hmm::HmmError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// // Strongly 2-phase data.
+/// let seq: Vec<usize> = (0..240).map(|t| (t / 40) % 2).collect();
+/// let sel = select_num_states(&[seq], 2, &[1, 2, 3], 2, &BaumWelchConfig::default(), &mut rng)?;
+/// assert_eq!(sel.best_num_states, 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn select_num_states<R: Rng + ?Sized>(
+    sequences: &[Vec<usize>],
+    num_symbols: usize,
+    candidates: &[usize],
+    restarts: usize,
+    config: &BaumWelchConfig,
+    rng: &mut R,
+) -> Result<ModelSelection> {
+    if candidates.is_empty() || candidates.contains(&0) || num_symbols == 0 || restarts == 0 {
+        return Err(HmmError::EmptyModel);
+    }
+    let n_obs: usize = sequences.iter().map(Vec::len).sum();
+    if n_obs == 0 {
+        return Err(HmmError::EmptySequence);
+    }
+
+    let mut scores = Vec::with_capacity(candidates.len());
+    let mut best: Option<(f64, usize, TrainedHmm)> = None;
+    for &k in candidates {
+        let mut best_k: Option<(f64, TrainedHmm)> = None;
+        for _ in 0..restarts {
+            let init = Hmm::random(k, num_symbols, rng)?;
+            let trained = baum_welch(&init, sequences, config)?;
+            let ll: f64 = sequences
+                .iter()
+                .map(|s| trained.hmm.log_likelihood(s).unwrap_or(f64::NEG_INFINITY))
+                .sum();
+            if best_k.as_ref().map(|(b, _)| ll > *b).unwrap_or(true) {
+                best_k = Some((ll, trained));
+            }
+        }
+        let (ll, trained) = best_k.expect("restarts >= 1");
+        let p = num_free_parameters(k, num_symbols) as f64;
+        let bic = -2.0 * ll + p * (n_obs as f64).ln();
+        scores.push(CandidateScore {
+            num_states: k,
+            log_likelihood: ll,
+            bic,
+        });
+        if best.as_ref().map(|(b, _, _)| bic < *b).unwrap_or(true) {
+            best = Some((bic, k, trained));
+        }
+    }
+    let (_, best_num_states, best) = best.expect("candidates non-empty");
+    Ok(ModelSelection {
+        best,
+        best_num_states,
+        scores,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::StochasticMatrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn free_parameter_count() {
+        // 2 states, 3 symbols: 2·1 + 2·2 + 1 = 7.
+        assert_eq!(num_free_parameters(2, 3), 7);
+        assert_eq!(num_free_parameters(1, 4), 3);
+    }
+
+    #[test]
+    fn picks_two_states_for_two_phase_data() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let a = StochasticMatrix::from_rows(vec![vec![0.95, 0.05], vec![0.05, 0.95]]).unwrap();
+        let b = StochasticMatrix::from_rows(vec![vec![0.95, 0.05], vec![0.05, 0.95]]).unwrap();
+        let truth = Hmm::new(a, b, vec![0.5, 0.5]).unwrap();
+        let seqs: Vec<Vec<usize>> = (0..3)
+            .map(|_| truth.sample(300, &mut rng).unwrap().1)
+            .collect();
+        let sel = select_num_states(
+            &seqs,
+            2,
+            &[1, 2, 4],
+            3,
+            &BaumWelchConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(sel.best_num_states, 2, "{:?}", sel.scores);
+        // BIC must actually penalize the 4-state model relative to 2.
+        let bic = |k: usize| sel.scores.iter().find(|s| s.num_states == k).unwrap().bic;
+        assert!(bic(2) < bic(1));
+        assert!(bic(2) < bic(4));
+    }
+
+    #[test]
+    fn picks_one_state_for_iid_data() {
+        let mut rng = StdRng::seed_from_u64(9);
+        // Uniform iid symbols: no hidden structure at all.
+        let seqs: Vec<Vec<usize>> = (0..3)
+            .map(|_| (0..200).map(|_| rng.gen_range(0..3usize)).collect())
+            .collect();
+        let sel = select_num_states(
+            &seqs,
+            3,
+            &[1, 2, 3],
+            3,
+            &BaumWelchConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(sel.best_num_states, 1, "{:?}", sel.scores);
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = BaumWelchConfig::default();
+        assert!(select_num_states(&[vec![0, 1]], 2, &[], 1, &cfg, &mut rng).is_err());
+        assert!(select_num_states(&[vec![0, 1]], 2, &[0, 1], 1, &cfg, &mut rng).is_err());
+        assert!(select_num_states(&[vec![0, 1]], 2, &[1], 0, &cfg, &mut rng).is_err());
+        assert!(select_num_states(&[], 2, &[1], 1, &cfg, &mut rng).is_err());
+    }
+
+    #[test]
+    fn scores_cover_every_candidate() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let seq: Vec<usize> = (0..100).map(|t| (t / 10) % 2).collect();
+        let sel = select_num_states(
+            &[seq],
+            2,
+            &[1, 2, 3],
+            1,
+            &BaumWelchConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(sel.scores.len(), 3);
+        assert!(sel.scores.iter().all(|s| s.bic.is_finite()));
+    }
+}

@@ -1,0 +1,258 @@
+//! Hand-rolled CSV serialization of traces.
+//!
+//! Format, one record per line, header included:
+//!
+//! ```text
+//! time,sensor,status,v0,v1,...
+//! 300,0,ok,17.2,83.9
+//! 300,1,lost,,
+//! 600,1,malformed,,
+//! ```
+//!
+//! A deliberately tiny dialect (no quoting — all fields are numeric or
+//! fixed keywords) so no external CSV crate is needed.
+
+use crate::types::{Payload, Reading, SensorId, Trace, TraceRecord};
+use std::error::Error as StdError;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Errors from CSV parsing.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based line number and a reason.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "i/o error reading trace csv: {e}"),
+            CsvError::Parse { line, reason } => {
+                write!(f, "trace csv parse error at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl StdError for CsvError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            CsvError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Writes `trace` to `w` in the trace-CSV dialect.
+///
+/// `dims` is the attribute dimensionality used for the header and for
+/// padding lost/malformed rows.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_trace<W: Write>(trace: &Trace, dims: usize, mut w: W) -> Result<(), CsvError> {
+    write!(w, "time,sensor,status")?;
+    for i in 0..dims {
+        write!(w, ",v{i}")?;
+    }
+    writeln!(w)?;
+    for r in trace.records() {
+        write!(w, "{},{},", r.time, r.sensor.0)?;
+        match &r.payload {
+            Payload::Delivered(reading) => {
+                write!(w, "ok")?;
+                for v in reading.values() {
+                    write!(w, ",{v}")?;
+                }
+            }
+            Payload::Lost => {
+                write!(w, "lost")?;
+                for _ in 0..dims {
+                    write!(w, ",")?;
+                }
+            }
+            Payload::Malformed => {
+                write!(w, "malformed")?;
+                for _ in 0..dims {
+                    write!(w, ",")?;
+                }
+            }
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Reads a trace from `r` (the dialect produced by [`write_trace`]).
+///
+/// # Errors
+///
+/// - [`CsvError::Io`] on read failure.
+/// - [`CsvError::Parse`] on any malformed line, including an unknown
+///   status keyword or non-numeric values.
+pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, CsvError> {
+    let mut records = Vec::new();
+    for (idx, line) in r.lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        if idx == 0 {
+            if !line.starts_with("time,sensor,status") {
+                return Err(CsvError::Parse {
+                    line: lineno,
+                    reason: format!("unexpected header {line:?}"),
+                });
+            }
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() < 3 {
+            return Err(CsvError::Parse {
+                line: lineno,
+                reason: "fewer than 3 fields".into(),
+            });
+        }
+        let time: u64 = fields[0].parse().map_err(|e| CsvError::Parse {
+            line: lineno,
+            reason: format!("bad time {:?}: {e}", fields[0]),
+        })?;
+        let sensor: u16 = fields[1].parse().map_err(|e| CsvError::Parse {
+            line: lineno,
+            reason: format!("bad sensor {:?}: {e}", fields[1]),
+        })?;
+        let payload = match fields[2] {
+            "ok" => {
+                let mut values = Vec::with_capacity(fields.len() - 3);
+                for f in &fields[3..] {
+                    values.push(f.parse::<f64>().map_err(|e| CsvError::Parse {
+                        line: lineno,
+                        reason: format!("bad value {f:?}: {e}"),
+                    })?);
+                }
+                if values.is_empty() {
+                    return Err(CsvError::Parse {
+                        line: lineno,
+                        reason: "delivered record with no values".into(),
+                    });
+                }
+                Payload::Delivered(Reading::new(values))
+            }
+            "lost" => Payload::Lost,
+            "malformed" => Payload::Malformed,
+            other => {
+                return Err(CsvError::Parse {
+                    line: lineno,
+                    reason: format!("unknown status {other:?}"),
+                })
+            }
+        };
+        records.push(TraceRecord {
+            time,
+            sensor: SensorId(sensor),
+            payload,
+        });
+    }
+    Ok(Trace::from_records(records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::environment::EnvironmentModel;
+    use crate::network::{simulate, AttributeRange, SimConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_trace() -> Trace {
+        let cfg = SimConfig {
+            num_sensors: 3,
+            sample_period: 300,
+            duration: 1_500,
+            noise_std: vec![0.5, 1.0],
+            ranges: vec![
+                AttributeRange::new(-40.0, 60.0),
+                AttributeRange::new(0.0, 100.0),
+            ],
+            loss_prob: 0.2,
+            burst: None,
+            malformed_prob: 0.1,
+            environment: EnvironmentModel::gdi(),
+        };
+        simulate(&cfg, &mut StdRng::seed_from_u64(77))
+    }
+
+    #[test]
+    fn roundtrip_preserves_trace() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&trace, 2, &mut buf).unwrap();
+        let parsed = read_trace(&buf[..]).unwrap();
+        assert_eq!(trace, parsed);
+    }
+
+    #[test]
+    fn header_is_first_line() {
+        let mut buf = Vec::new();
+        write_trace(&sample_trace(), 2, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("time,sensor,status,v0,v1\n"));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = read_trace("nope\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_bad_status() {
+        let data = "time,sensor,status,v0\n300,0,weird,1.0\n";
+        let err = read_trace(data.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("unknown status"));
+    }
+
+    #[test]
+    fn rejects_non_numeric_value() {
+        let data = "time,sensor,status,v0\n300,0,ok,abc\n";
+        let err = read_trace(data.as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_delivered_without_values() {
+        let data = "time,sensor,status\n300,0,ok\n";
+        assert!(read_trace(data.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let data = "time,sensor,status,v0\n\n300,0,ok,1.5\n\n";
+        let t = read_trace(data.as_bytes()).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn lost_and_malformed_roundtrip() {
+        let data = "time,sensor,status,v0\n300,0,lost,\n600,1,malformed,\n";
+        let t = read_trace(data.as_bytes()).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.delivered().count(), 0);
+    }
+}
