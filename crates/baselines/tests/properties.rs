@@ -28,7 +28,7 @@ proptest! {
         states in 2usize..4,
     ) {
         let train = cyclic(period, 200, states);
-        let det = MarkovDetector::train(states, &[train.clone()], 0.01, 0.3).unwrap();
+        let det = MarkovDetector::train(states, std::slice::from_ref(&train), 0.01, 0.3).unwrap();
         // Any slice of the training sequence passes.
         for start in [0usize, 7, 23] {
             let w = &train[start..start + 40];

@@ -64,10 +64,8 @@ fn verdict_index(p: &Pipeline, truth: Truth) -> usize {
 fn main() {
     let seeds = [101u64, 202, 303, 404, 505];
     let days = 12;
-    let scenarios: Vec<(
-        Truth,
-        fn(u64, u64) -> (sentinet_sim::Trace, sentinet_sim::SimConfig),
-    )> = vec![
+    type ScenarioFn = fn(u64, u64) -> (sentinet_sim::Trace, sentinet_sim::SimConfig);
+    let scenarios: Vec<(Truth, ScenarioFn)> = vec![
         (Truth::Clean, clean_scenario),
         (Truth::StuckAt, stuck_at_scenario),
         (Truth::Calibration, calibration_scenario),
@@ -122,8 +120,8 @@ fn main() {
     ];
     for (row, name) in truth_names.iter().enumerate() {
         print!("{name:>12}");
-        for c in 0..LABELS.len() {
-            print!(" {:>5}", matrix[row][c]);
+        for cell in &matrix[row] {
+            print!(" {cell:>5}");
         }
         println!();
     }

@@ -25,7 +25,7 @@ fn main() {
     let mut windower = Windower::new(3_600);
     let mut windows: Vec<ObservationWindow> = Vec::new();
     for (t, s, r) in trace.delivered() {
-        windows.extend(windower.push(t, s, r.clone()));
+        windows.extend(windower.push(t, s, r.values()));
     }
     windows.extend(windower.finish());
 

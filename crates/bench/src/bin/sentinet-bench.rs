@@ -1,0 +1,150 @@
+//! `sentinet-bench` — headline throughput table for the sharded
+//! engine, written as machine-readable JSON.
+//!
+//! Usage: `cargo run --release -p sentinet-bench --bin sentinet-bench
+//! -- [out.json]` (default `BENCH_engine.json` in the current
+//! directory).
+//!
+//! For each network size (10/100/1000 sensors) the harness times the
+//! serial `sentinet_core::Pipeline` and the `sentinet_engine::Engine`
+//! at 1/2/4/8 shards over the same fixed-seed GDI-like trace, and
+//! reports windows/sec and delivered readings/sec (best of
+//! `REPS` runs, so transient noise doesn't pollute the table). The
+//! host core count is recorded alongside the numbers: shard speedups
+//! are only physically possible when `host_cpus > 1`, so a single-core
+//! run honestly shows the coordination overhead instead.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sentinet_core::{Pipeline, PipelineConfig};
+use sentinet_engine::Engine;
+use sentinet_sim::{gdi, simulate, Trace, DAY_S};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const REPS: usize = 3;
+
+struct Row {
+    sensors: u16,
+    days: u64,
+    mode: String,
+    shards: usize,
+    readings: usize,
+    windows: u64,
+    seconds: f64,
+}
+
+fn wide_trace(num_sensors: u16, days: u64, seed: u64) -> (Trace, u64) {
+    let mut cfg = gdi::month_config();
+    cfg.num_sensors = num_sensors;
+    cfg.duration = days * DAY_S;
+    let trace = simulate(&cfg, &mut StdRng::seed_from_u64(seed));
+    (trace, cfg.sample_period)
+}
+
+/// Best-of-`REPS` wall time for `f`, which returns the window count.
+fn time_best<F: FnMut() -> u64>(mut f: F) -> (u64, f64) {
+    let mut best = f64::INFINITY;
+    let mut windows = 0;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        windows = f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (windows, best)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_engine.json".into());
+    let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut rows: Vec<Row> = Vec::new();
+
+    // Fewer days for the wider networks keeps total runtime bounded
+    // while every cell still processes thousands of windows.
+    for &(sensors, days) in &[(10u16, 7u64), (100, 2), (1000, 1)] {
+        let (trace, period) = wide_trace(sensors, days, 42);
+        let delivered = trace.delivered().count();
+        eprintln!("— {sensors} sensors, {days} day(s), {delivered} delivered readings");
+
+        let (windows, seconds) = time_best(|| {
+            let mut p = Pipeline::new(PipelineConfig::default(), period);
+            p.process_trace(&trace);
+            p.windows_processed()
+        });
+        eprintln!(
+            "  serial: {:.3}s ({:.0} readings/s)",
+            seconds,
+            delivered as f64 / seconds
+        );
+        rows.push(Row {
+            sensors,
+            days,
+            mode: "serial".into(),
+            shards: 0,
+            readings: delivered,
+            windows,
+            seconds,
+        });
+
+        for shards in SHARD_COUNTS {
+            let engine = Engine::new(PipelineConfig::default(), period, shards);
+            let (windows, seconds) = time_best(|| engine.process_trace(&trace).windows_processed());
+            eprintln!(
+                "  engine x{shards}: {:.3}s ({:.0} readings/s)",
+                seconds,
+                delivered as f64 / seconds
+            );
+            rows.push(Row {
+                sensors,
+                days,
+                mode: "engine".into(),
+                shards,
+                readings: delivered,
+                windows,
+                seconds,
+            });
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"reps\": {REPS},");
+    json.push_str(
+        "  \"note\": \"best-of-reps wall time per cell; serial = sentinet_core::Pipeline, \
+         engine = sentinet_engine::Engine (bit-for-bit equivalent output); shard speedup \
+         over serial requires host_cpus > 1\",\n",
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let serial = rows
+            .iter()
+            .find(|s| s.sensors == r.sensors && s.mode == "serial")
+            .expect("serial row exists for every network size");
+        let _ = write!(
+            json,
+            "    {{\"sensors\": {}, \"days\": {}, \"mode\": \"{}\", \"shards\": {}, \
+             \"readings\": {}, \"windows\": {}, \"seconds\": {:.6}, \
+             \"readings_per_sec\": {:.1}, \"windows_per_sec\": {:.1}, \
+             \"speedup_vs_serial\": {:.3}}}",
+            r.sensors,
+            r.days,
+            r.mode,
+            r.shards,
+            r.readings,
+            r.windows,
+            r.seconds,
+            r.readings as f64 / r.seconds,
+            r.windows as f64 / r.seconds,
+            serial.seconds / r.seconds,
+        );
+        json.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    eprintln!("wrote {out_path}");
+}

@@ -45,6 +45,8 @@ pub struct AnalyzeArgs {
     pub window: u32,
     /// Observable-mean trim fraction.
     pub trim: f64,
+    /// Worker shards for the sharded engine (1 = serial pipeline).
+    pub shards: usize,
     /// Emit the report as one summary line per sensor only.
     pub quiet: bool,
 }
@@ -69,7 +71,7 @@ USAGE:
   sentinet simulate <out.csv> [--days N] [--seed S] [--sensors K]
                     [--fault SENSOR:MODEL] [--attack COUNT:MODEL]
   sentinet analyze <trace.csv> [--period SECS] [--window SAMPLES]
-                    [--trim FRACTION] [--quiet]
+                    [--trim FRACTION] [--shards N] [--quiet]
   sentinet help
 
 FAULT MODELS (simulate --fault):
@@ -218,6 +220,7 @@ pub fn parse<'a, I: IntoIterator<Item = &'a str>>(args: I) -> Result<Command, Pa
                 period: 300,
                 window: 12,
                 trim: 0.15,
+                shards: 1,
                 quiet: false,
             };
             while let Some(flag) = it.next() {
@@ -237,6 +240,11 @@ pub fn parse<'a, I: IntoIterator<Item = &'a str>>(args: I) -> Result<Command, Pa
                             .parse()
                             .map_err(|e| ParseError(format!("bad --trim: {e}")))?
                     }
+                    "--shards" => {
+                        parsed.shards = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad --shards: {e}")))?
+                    }
                     "--quiet" => parsed.quiet = true,
                     other => return Err(ParseError(format!("unknown flag {other:?}"))),
                 }
@@ -245,6 +253,9 @@ pub fn parse<'a, I: IntoIterator<Item = &'a str>>(args: I) -> Result<Command, Pa
                 return Err(ParseError(
                     "--period/--window must be positive, --trim in [0, 0.5)".into(),
                 ));
+            }
+            if parsed.shards == 0 {
+                return Err(ParseError("--shards must be at least 1".into()));
             }
             Ok(Command::Analyze(parsed))
         }
@@ -324,7 +335,8 @@ mod tests {
     #[test]
     fn analyze_flags() {
         match parse([
-            "analyze", "t.csv", "--period", "60", "--window", "15", "--trim", "0.1", "--quiet",
+            "analyze", "t.csv", "--period", "60", "--window", "15", "--trim", "0.1", "--shards",
+            "4", "--quiet",
         ])
         .unwrap()
         {
@@ -332,10 +344,21 @@ mod tests {
                 assert_eq!(a.period, 60);
                 assert_eq!(a.window, 15);
                 assert!((a.trim - 0.1).abs() < 1e-12);
+                assert_eq!(a.shards, 4);
                 assert!(a.quiet);
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn analyze_shards_default_and_validation() {
+        match parse(["analyze", "t.csv"]).unwrap() {
+            Command::Analyze(a) => assert_eq!(a.shards, 1),
+            other => panic!("{other:?}"),
+        }
+        let e = parse(["analyze", "t.csv", "--shards", "0"]).unwrap_err();
+        assert!(e.to_string().contains("shards"));
     }
 
     #[test]

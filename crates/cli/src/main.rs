@@ -14,6 +14,7 @@ use args::{AnalyzeArgs, Command, SimulateArgs, USAGE};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sentinet_core::{Pipeline, PipelineConfig, RecoveryPlan};
+use sentinet_engine::Engine;
 use sentinet_inject::{inject_attacks, inject_faults, AttackInjection, FaultInjection};
 use sentinet_sim::{gdi, read_trace, simulate, write_trace, SensorId, DAY_S};
 use std::fs::File;
@@ -109,16 +110,24 @@ fn run_analyze(a: AnalyzeArgs) -> Result<(), Box<dyn std::error::Error>> {
         observable_trim: a.trim,
         ..Default::default()
     };
-    let mut pipeline = Pipeline::new(config, a.period);
-    pipeline.process_trace(&trace);
-    let report = pipeline.report();
+    // Both paths produce identical reports (the engine is bit-for-bit
+    // equivalent to the pipeline); --shards > 1 fans the per-sensor
+    // stages out to worker threads.
+    let (report, plan) = if a.shards > 1 {
+        let engine = Engine::new(config, a.period, a.shards);
+        let run = engine.process_trace(&trace);
+        (run.report(), run.recovery_plan())
+    } else {
+        let mut pipeline = Pipeline::new(config, a.period);
+        pipeline.process_trace(&trace);
+        (pipeline.report(), RecoveryPlan::from_pipeline(&pipeline))
+    };
     if a.quiet {
         for s in &report.sensors {
             println!("{}\t{}", s.sensor, s.diagnosis);
         }
     } else {
         print!("{report}");
-        let plan = RecoveryPlan::from_pipeline(&pipeline);
         println!("\nrecovery plan:");
         for (id, action) in &plan.actions {
             println!("  {id}: {action:?}");

@@ -83,6 +83,9 @@ pub struct ModelStates {
     active: Vec<bool>,
     config: ClusterConfig,
     dims: usize,
+    /// Bumped on every structural or centroid change; see
+    /// [`ModelStates::generation`].
+    generation: u64,
 }
 
 impl ModelStates {
@@ -116,7 +119,15 @@ impl ModelStates {
             active,
             config,
             dims,
+            generation: 0,
         }
+    }
+
+    /// Update generation: incremented whenever the state set changes
+    /// (centroid moves, merges, spawns). Callers that derive expensive
+    /// products from the centroids can use it as a cache key.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Total slots ever allocated (active and merged-away).
@@ -193,6 +204,7 @@ impl ModelStates {
         if d > self.config.spawn_threshold && self.active_states().len() < self.config.max_states {
             self.centroids.push(point.to_vec());
             self.active.push(true);
+            self.generation += 1;
             Some(self.centroids.len() - 1)
         } else {
             None
@@ -209,6 +221,7 @@ impl ModelStates {
         if points.is_empty() {
             return events;
         }
+        self.generation += 1;
         let assignments = self.assign(points);
 
         // Eq. 6: s_k ← (1-α)·s_k + α·mean(P_k) for non-empty P_k.

@@ -161,6 +161,18 @@ pub fn classify_network(
 ) -> Option<AttackType> {
     let report =
         OrthogonalityReport::analyze(evidence.b_co, config.ortho, Some(&evidence.active_rows));
+    classify_network_with_report(evidence, &report, config)
+}
+
+/// [`classify_network`] with a precomputed orthogonality report for
+/// `evidence.b_co` (restricted to `evidence.active_rows`). Callers that
+/// memoize the report — it only changes when `M_CO` does — skip the
+/// `O(m²·n)` Gram analysis on repeated classification queries.
+pub fn classify_network_with_report(
+    evidence: &NetworkEvidence<'_>,
+    report: &OrthogonalityReport,
+    _config: &PipelineConfig,
+) -> Option<AttackType> {
     // Each active hidden row is summarized by its *substantial*
     // emissions (mass ≥ the spread floor). Hidden states and observable
     // symbols share the model-state space, so three shapes arise:

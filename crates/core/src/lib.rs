@@ -61,6 +61,7 @@ mod config;
 mod pipeline;
 pub mod recovery;
 pub mod report;
+pub mod runtime;
 pub mod window;
 
 pub use classify::{AttackType, Diagnosis, ErrorType, NetworkEvidence, SensorEvidence};
@@ -68,4 +69,8 @@ pub use config::{FilterPolicy, PipelineConfig};
 pub use pipeline::{Pipeline, TrackRecord, WindowOutcome, BOT_SYMBOL};
 pub use recovery::{RecoveryAction, RecoveryPlan};
 pub use report::{PipelineReport, SensorSummary, StateSummary};
-pub use window::{identify_states, ObservationWindow, WindowStates, Windower};
+pub use runtime::{GlobalModel, SensorRuntime, SensorStep};
+pub use window::{
+    identify_states, identify_states_with, majority_vote, ObservationWindow, SensorSamples,
+    WindowScratch, WindowStates, Windower,
+};

@@ -18,23 +18,26 @@
 //!    per-sensor `M_CE` (correct → error) models, plus the Markov
 //!    models `M_C` and `M_O`;
 //! 8. **Classification** on demand via [`Pipeline::classify`].
+//!
+//! The pipeline composes the [`crate::runtime`] building blocks
+//! serially; the sharded `sentinet-engine` drives the same blocks from
+//! multiple threads. The hot path is allocation-free in steady state:
+//! windows, their sample buffers, outcome alarm vectors, and the
+//! trimmed-mean working set are all recycled between windows.
 
-use crate::classify::{
-    classify_network, classify_sensor, AttackType, Diagnosis, NetworkEvidence, SensorEvidence,
-};
-use crate::config::{FilterPolicy, PipelineConfig};
-use crate::window::{identify_states, ObservationWindow, WindowStates, Windower};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sentinet_cluster::{kmeans, ModelStates, StateEvent};
-use sentinet_filter::{AlarmFilter, KOfNFilter, Sprt, SprtAlarmFilter};
-use sentinet_hmm::{MarkovChain, OnlineHmmEstimator, OnlineMarkovEstimator, StochasticMatrix};
+use crate::classify::{AttackType, Diagnosis};
+use crate::config::PipelineConfig;
+use crate::runtime::{GlobalModel, SensorRuntime};
+use crate::window::{identify_states_with, ObservationWindow, WindowScratch, Windower};
+use sentinet_cluster::{ModelStates, StateEvent};
+use sentinet_hmm::{MarkovChain, OnlineHmmEstimator};
 use sentinet_sim::{Reading, SensorId, Timestamp, Trace};
 use std::collections::BTreeMap;
 
-/// Symbol index reserved for the fictitious ⊥ state of `M_CE`
-/// (the sensor agrees with the correct state while its track is open).
-pub const BOT_SYMBOL: usize = 0;
+pub use crate::runtime::{TrackRecord, BOT_SYMBOL};
+
+/// Cap on pooled [`WindowOutcome`]s retained for reuse.
+const MAX_SPARE_OUTCOMES: usize = 64;
 
 /// Summary of one processed observation window.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,23 +58,18 @@ pub struct WindowOutcome {
     pub cluster_events: Vec<StateEvent>,
 }
 
-/// Open/close record of one error/attack track.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct TrackRecord {
-    /// Window index at which the filtered alarm opened the track.
-    pub opened: u64,
-    /// Window index at which it cleared, if it has.
-    pub closed: Option<u64>,
-}
-
-#[derive(Debug)]
-struct SensorState {
-    filter: Box<dyn AlarmFilter>,
-    m_ce: OnlineHmmEstimator,
-    track_open: bool,
-    tracks: Vec<TrackRecord>,
-    raw_history: Vec<(u64, bool)>,
-    ever_alarmed: bool,
+impl WindowOutcome {
+    fn blank() -> Self {
+        Self {
+            index: 0,
+            start: 0,
+            observable: 0,
+            correct: 0,
+            raw_alarms: Vec::new(),
+            filtered_alarms: Vec::new(),
+            cluster_events: Vec::new(),
+        }
+    }
 }
 
 /// The full detection/diagnosis pipeline of the paper.
@@ -91,19 +89,11 @@ struct SensorState {
 /// ```
 #[derive(Debug)]
 pub struct Pipeline {
-    config: PipelineConfig,
+    global: GlobalModel,
     windower: Windower,
-    rng: StdRng,
-    states: Option<ModelStates>,
-    m_co: Option<OnlineHmmEstimator>,
-    m_c: Option<OnlineMarkovEstimator>,
-    m_o: Option<OnlineMarkovEstimator>,
-    sensors: BTreeMap<SensorId, SensorState>,
-    windows_processed: u64,
-    bootstrap_points: Vec<Vec<f64>>,
-    /// Per processed decisive window: (window index, correct state,
-    /// observable state) — the `c_i`/`o_i` sequences of §3.
-    state_history: Vec<(u64, usize, usize)>,
+    sensors: BTreeMap<SensorId, SensorRuntime>,
+    scratch: WindowScratch,
+    spare_outcomes: Vec<WindowOutcome>,
 }
 
 impl Pipeline {
@@ -116,90 +106,14 @@ impl Pipeline {
     /// Panics if the configuration is invalid (see
     /// [`PipelineConfig::validate`]) or `sample_period == 0`.
     pub fn new(config: PipelineConfig, sample_period: u64) -> Self {
-        config.validate();
         assert!(sample_period > 0, "sample period must be positive");
         let windower = Windower::new(config.window_samples as u64 * sample_period);
-        let rng = StdRng::seed_from_u64(config.seed);
-        let mut pipeline = Self {
-            config,
+        Self {
+            global: GlobalModel::new(config),
             windower,
-            rng,
-            states: None,
-            m_co: None,
-            m_c: None,
-            m_o: None,
             sensors: BTreeMap::new(),
-            windows_processed: 0,
-            bootstrap_points: Vec::new(),
-            state_history: Vec::new(),
-        };
-        if let Some(init) = pipeline.config.initial_states.clone() {
-            pipeline.install_states(init);
-        }
-        pipeline
-    }
-
-    fn install_states(&mut self, centroids: Vec<Vec<f64>>) {
-        let m = centroids.len();
-        self.states = Some(ModelStates::new(centroids, self.config.cluster.clone()));
-        self.m_co = Some(
-            OnlineHmmEstimator::new(m, m, self.config.beta, self.config.gamma)
-                .expect("validated learning factors"),
-        );
-        self.m_c = Some(
-            OnlineMarkovEstimator::new(m, self.config.beta).expect("validated learning factors"),
-        );
-        self.m_o = Some(
-            OnlineMarkovEstimator::new(m, self.config.beta).expect("validated learning factors"),
-        );
-    }
-
-    fn make_filter(&self) -> Box<dyn AlarmFilter> {
-        match self.config.filter {
-            FilterPolicy::KOfN { k, n } => Box::new(KOfNFilter::new(k, n)),
-            FilterPolicy::Sprt {
-                p0,
-                p1,
-                alpha,
-                beta,
-            } => Box::new(SprtAlarmFilter::new(Sprt::new(p0, p1, alpha, beta))),
-        }
-    }
-
-    /// Initial `M_CE` observation matrix: hidden state `i`'s identity
-    /// prior sits on symbol `i + 1` (symbol 0 is ⊥).
-    fn make_m_ce(&self, num_slots: usize) -> OnlineHmmEstimator {
-        let rows: Vec<Vec<f64>> = (0..num_slots)
-            .map(|i| {
-                let mut r = vec![0.0; num_slots + 1];
-                r[i + 1] = 1.0;
-                r
-            })
-            .collect();
-        let b = StochasticMatrix::from_rows(rows).expect("rows are one-hot");
-        let a = StochasticMatrix::identity(num_slots).expect("num_slots > 0");
-        OnlineHmmEstimator::with_initial(a, b, self.config.beta, self.config.gamma)
-            .expect("validated learning factors")
-    }
-
-    /// Grows every estimator to match the current model-state slot
-    /// count (no-op when nothing spawned).
-    fn grow_estimators(&mut self) {
-        let slots = match &self.states {
-            Some(s) => s.num_slots(),
-            None => return,
-        };
-        if let Some(m_co) = self.m_co.as_mut() {
-            m_co.grow(slots, slots);
-        }
-        if let Some(m_c) = self.m_c.as_mut() {
-            m_c.grow(slots);
-        }
-        if let Some(m_o) = self.m_o.as_mut() {
-            m_o.grow(slots);
-        }
-        for s in self.sensors.values_mut() {
-            s.m_ce.grow(slots, slots + 1);
+            scratch: WindowScratch::new(),
+            spare_outcomes: Vec::new(),
         }
     }
 
@@ -213,9 +127,25 @@ impl Pipeline {
         &mut self,
         time: Timestamp,
         sensor: SensorId,
-        reading: Reading,
+        reading: &Reading,
     ) -> Vec<WindowOutcome> {
-        let completed = self.windower.push(time, sensor, reading);
+        self.push_values(time, sensor, reading.values())
+    }
+
+    /// Feeds one delivered reading as a raw value slice — the
+    /// allocation-free ingest path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if readings arrive out of time order or `values` is
+    /// empty.
+    pub fn push_values(
+        &mut self,
+        time: Timestamp,
+        sensor: SensorId,
+        values: &[f64],
+    ) -> Vec<WindowOutcome> {
+        let completed = self.windower.push(time, sensor, values);
         completed
             .into_iter()
             .filter_map(|w| self.process_window(w))
@@ -228,7 +158,7 @@ impl Pipeline {
     pub fn process_trace(&mut self, trace: &Trace) -> Vec<WindowOutcome> {
         let mut outcomes = Vec::new();
         for (time, sensor, reading) in trace.delivered() {
-            outcomes.extend(self.push_reading(time, sensor, reading.clone()));
+            outcomes.extend(self.push_reading(time, sensor, reading));
         }
         outcomes.extend(self.finalize());
         outcomes
@@ -242,179 +172,125 @@ impl Pipeline {
         }
     }
 
+    /// Returns a consumed outcome to the pipeline's pool so its alarm
+    /// vectors are reused by later windows (optional; capped).
+    pub fn recycle_outcome(&mut self, outcome: WindowOutcome) {
+        if self.spare_outcomes.len() < MAX_SPARE_OUTCOMES {
+            self.spare_outcomes.push(outcome);
+        }
+    }
+
     fn process_window(&mut self, window: ObservationWindow) -> Option<WindowOutcome> {
-        if self.states.is_none() {
-            // Bootstrap: accumulate sensor representatives until k-means
-            // has enough points for the requested initial state count.
-            self.bootstrap_points
-                .extend(window.sensor_means().into_values());
-            let k = self.config.num_initial_states;
-            if self.bootstrap_points.len() < k.max(2) {
-                return None;
-            }
-            let points = std::mem::take(&mut self.bootstrap_points);
-            let init = kmeans(&points, k, 100, &mut self.rng).centroids;
-            self.install_states(init);
-            // One bootstrap window rarely spans the environment's full
-            // range, so several of the k centroids land on top of each
-            // other; run one clustering round immediately so the merge
-            // pass collapses them before any state identification.
-            self.states
-                .as_mut()
-                .expect("just installed")
-                .update(&points);
+        let outcome = self.analyze_window(&window);
+        self.windower.recycle(window);
+        outcome
+    }
+
+    fn analyze_window(&mut self, window: &ObservationWindow) -> Option<WindowOutcome> {
+        if !self.global.absorb_bootstrap(window) {
+            return None;
         }
 
-        // An attack can shift the window mean into a region no sensor
-        // reading occupies; the observable state of Eq. 2 must still be
-        // able to name it, so spawn a model state there when uncovered.
-        if let Some(mean) = window.trimmed_mean(self.config.observable_trim) {
-            if self
-                .states
-                .as_mut()
-                .expect("installed above")
-                .spawn_if_uncovered(&mean)
-                .is_some()
-            {
-                self.grow_estimators();
+        let trim = self.global.config().observable_trim;
+        let mean = window.trimmed_mean_with(trim, &mut self.scratch);
+        if self.global.cover_window_mean(mean) {
+            // Field-disjoint from `mean`'s scratch borrow, so inline
+            // rather than calling `grow_sensors` (&mut self).
+            let slots = self.global.num_slots();
+            for s in self.sensors.values_mut() {
+                s.grow(slots);
             }
         }
 
-        let ws: WindowStates = identify_states(
-            &window,
-            self.states.as_ref().expect("installed above"),
-            self.config.observable_trim,
-            self.config.majority_fraction,
+        let ws = identify_states_with(
+            window,
+            self.global.states().expect("installed above"),
+            mean?,
+            self.global.config().majority_fraction,
         )?;
 
         if ws.decisive {
-            self.state_history
-                .push((self.windows_processed, ws.correct, ws.observable));
-            // Update the global models.
-            let m_co = self.m_co.as_mut().expect("installed with states");
-            m_co.observe(ws.correct, ws.observable)
-                .expect("states within estimator dims");
-            self.m_c
-                .as_mut()
-                .expect("installed")
-                .observe(ws.correct)
-                .expect("state in range");
-            self.m_o
-                .as_mut()
-                .expect("installed")
-                .observe(ws.observable)
-                .expect("state in range");
+            self.global.record_decisive(ws.correct, ws.observable);
         }
 
         // Per-sensor alarms, filtering, tracks, M_CE updates.
-        let window_index = self.windows_processed;
-        let mut raw_alarms = Vec::new();
-        let mut filtered_alarms = Vec::new();
-        let num_slots = self.states.as_ref().expect("installed").num_slots();
-        for (&id, &label) in ws.labels.iter().filter(|_| ws.decisive) {
-            if !self.sensors.contains_key(&id) {
-                let filter = self.make_filter();
-                let m_ce = self.make_m_ce(num_slots);
-                self.sensors.insert(
-                    id,
-                    SensorState {
-                        filter,
-                        m_ce,
-                        track_open: false,
-                        tracks: Vec::new(),
-                        raw_history: Vec::new(),
-                        ever_alarmed: false,
-                    },
-                );
-            }
-            let sensor = self.sensors.get_mut(&id).expect("inserted above");
-            let raw = label != ws.correct;
-            sensor.raw_history.push((window_index, raw));
-            if raw {
-                raw_alarms.push(id);
-            }
-            let filtered = sensor.filter.push(raw);
-            if filtered {
-                filtered_alarms.push(id);
-                sensor.ever_alarmed = true;
-            }
-            match (sensor.track_open, filtered) {
-                (false, true) => {
-                    sensor.track_open = true;
-                    sensor.tracks.push(TrackRecord {
-                        opened: window_index,
-                        closed: None,
-                    });
+        let window_index = self.global.windows_processed();
+        let mut outcome = self
+            .spare_outcomes
+            .pop()
+            .unwrap_or_else(WindowOutcome::blank);
+        outcome.raw_alarms.clear();
+        outcome.filtered_alarms.clear();
+        let num_slots = self.global.num_slots();
+        if ws.decisive {
+            for (&id, &label) in ws.labels.iter() {
+                let sensor = self
+                    .sensors
+                    .entry(id)
+                    .or_insert_with(|| SensorRuntime::new(self.global.config(), num_slots));
+                let step = sensor.step(window_index, label, ws.correct);
+                if step.raw {
+                    outcome.raw_alarms.push(id);
                 }
-                (true, false) => {
-                    sensor.track_open = false;
-                    if let Some(t) = sensor.tracks.last_mut() {
-                        t.closed = Some(window_index);
-                    }
+                if step.filtered {
+                    outcome.filtered_alarms.push(id);
                 }
-                _ => {}
-            }
-            if sensor.track_open {
-                let symbol = if raw { label + 1 } else { BOT_SYMBOL };
-                sensor
-                    .m_ce
-                    .observe(ws.correct, symbol)
-                    .expect("state and symbol within estimator dims");
             }
         }
 
         // Model-state maintenance (Eqs. 5–6 + merge/spawn), then grow
         // every estimator to the new slot count.
-        let points: Vec<Vec<f64>> = ws.representatives.values().cloned().collect();
-        let cluster_events = self.states.as_mut().expect("installed").update(&points);
-        self.grow_estimators();
+        let points: Vec<Vec<f64>> = ws.representatives.into_values().collect();
+        let (cluster_events, grew) = self.global.finish_window(&points);
+        if grew {
+            self.grow_sensors();
+        }
 
-        self.windows_processed += 1;
-        Some(WindowOutcome {
-            index: window_index,
-            start: window.start,
-            observable: ws.observable,
-            correct: ws.correct,
-            raw_alarms,
-            filtered_alarms,
-            cluster_events,
-        })
+        outcome.index = window_index;
+        outcome.start = window.start;
+        outcome.observable = ws.observable;
+        outcome.correct = ws.correct;
+        outcome.cluster_events = cluster_events;
+        Some(outcome)
+    }
+
+    fn grow_sensors(&mut self) {
+        let slots = self.global.num_slots();
+        for s in self.sensors.values_mut() {
+            s.grow(slots);
+        }
     }
 
     /// Number of windows fully processed (post-bootstrap).
     pub fn windows_processed(&self) -> u64 {
-        self.windows_processed
+        self.global.windows_processed()
     }
 
     /// The current model states, once bootstrapped.
     pub fn model_states(&self) -> Option<&ModelStates> {
-        self.states.as_ref()
+        self.global.states()
     }
 
     /// The global `M_CO` estimator, once bootstrapped.
     pub fn m_co(&self) -> Option<&OnlineHmmEstimator> {
-        self.m_co.as_ref()
+        self.global.m_co()
     }
 
     /// The per-sensor `M_CE` estimator.
     pub fn m_ce(&self, sensor: SensorId) -> Option<&OnlineHmmEstimator> {
-        self.sensors.get(&sensor).map(|s| &s.m_ce)
+        self.sensors.get(&sensor).map(SensorRuntime::m_ce)
     }
 
     /// The error/attack-free Markov model `M_C` of the environment —
     /// the pipeline's user-facing deliverable (paper Fig. 7).
     pub fn correct_model(&self) -> Option<MarkovChain> {
-        self.m_c
-            .as_ref()
-            .map(|m| m.to_chain().expect("valid chain"))
+        self.global.correct_model()
     }
 
     /// The Markov model `M_O` of the observable states (useful for the
     /// random-noise discussion of §3.4).
     pub fn observable_model(&self) -> Option<MarkovChain> {
-        self.m_o
-            .as_ref()
-            .map(|m| m.to_chain().expect("valid chain"))
+        self.global.observable_model()
     }
 
     /// Sensors seen so far.
@@ -425,54 +301,28 @@ impl Pipeline {
     /// The raw-alarm history of a sensor as `(window, raw)` pairs
     /// (paper Fig. 12).
     pub fn raw_alarm_history(&self, sensor: SensorId) -> Option<&[(u64, bool)]> {
-        self.sensors.get(&sensor).map(|s| s.raw_history.as_slice())
+        self.sensors.get(&sensor).map(SensorRuntime::raw_history)
     }
 
     /// The error/attack tracks opened for a sensor.
     pub fn tracks(&self, sensor: SensorId) -> Option<&[TrackRecord]> {
-        self.sensors.get(&sensor).map(|s| s.tracks.as_slice())
+        self.sensors.get(&sensor).map(SensorRuntime::tracks)
     }
 
     /// Whether a filtered alarm was ever raised for the sensor.
     pub fn ever_alarmed(&self, sensor: SensorId) -> bool {
         self.sensors
             .get(&sensor)
-            .map(|s| s.ever_alarmed)
+            .map(SensorRuntime::ever_alarmed)
             .unwrap_or(false)
     }
 
-    /// Centroids by slot (merged-away slots keep their last value).
-    fn centroid_table(&self) -> Vec<Option<Vec<f64>>> {
-        match &self.states {
-            Some(states) => (0..states.num_slots())
-                .map(|i| states.centroid_any(i).map(<[f64]>::to_vec))
-                .collect(),
-            None => Vec::new(),
-        }
-    }
-
-    /// Network-level evidence for classification.
-    fn network_evidence(&self) -> Option<NetworkEvidence<'_>> {
-        let m_co = self.m_co.as_ref()?;
-        let active_rows: Vec<usize> = m_co
-            .observation_evidence()
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c >= self.config.min_state_evidence)
-            .map(|(i, _)| i)
-            .collect();
-        Some(NetworkEvidence {
-            b_co: m_co.observation(),
-            active_rows,
-            centroids: self.centroid_table(),
-        })
-    }
-
     /// Classifies the network-level situation: `Some(attack)` when the
-    /// `M_CO` structure carries an attack signature.
+    /// `M_CO` structure carries an attack signature. Memoized on the
+    /// model generations — repeated calls after unchanged windows are
+    /// O(1).
     pub fn network_attack(&self) -> Option<AttackType> {
-        let ev = self.network_evidence()?;
-        classify_network(&ev, &self.config)
+        self.global.network_attack()
     }
 
     /// Classifies one sensor per the paper's Fig. 5 tree.
@@ -480,82 +330,33 @@ impl Pipeline {
     /// A sensor that never raised a filtered alarm is
     /// [`Diagnosis::ErrorFree`]; if the network-level `M_CO` shows an
     /// attack signature, every alarmed sensor reports that attack;
-    /// otherwise the sensor's own `M_CE` decides the error type.
+    /// otherwise the sensor's own `M_CE` decides the error type. The
+    /// verdict is memoized on the estimator generations — repeated
+    /// calls after unchanged windows are O(1).
     pub fn classify(&self, sensor: SensorId) -> Diagnosis {
-        let Some(state) = self.sensors.get(&sensor) else {
-            return Diagnosis::ErrorFree;
-        };
-        if !state.ever_alarmed {
-            return Diagnosis::ErrorFree;
-        }
-        let Some(net) = self.network_evidence() else {
-            return Diagnosis::ErrorFree;
-        };
-        if let Some(attack) = classify_network(&net, &self.config) {
-            return Diagnosis::Attack(attack);
-        }
-        let active_rows: Vec<usize> = state
-            .m_ce
-            .observation_evidence()
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c >= self.config.min_state_evidence)
-            .map(|(i, _)| i)
-            .collect();
-        let ev = SensorEvidence {
-            b_ce: state.m_ce.observation(),
-            active_rows,
-            alarmed: state.ever_alarmed,
-        };
-        classify_sensor(&net, &ev, &self.config)
+        self.global.classify(self.sensors.get(&sensor))
     }
 
     /// Classifies one sensor and reports the confidence of the verdict
     /// — the normalized margin by which the deciding structural
     /// statistic cleared its threshold (see [`crate::confidence`]).
     pub fn classify_with_confidence(&self, sensor: SensorId) -> (Diagnosis, f64) {
-        let diagnosis = self.classify(sensor);
-        let Some(net) = self.network_evidence() else {
-            return (diagnosis, 0.0);
-        };
-        let state = self.sensors.get(&sensor);
-        let sensor_ev = state.map(|s| {
-            let active_rows: Vec<usize> = s
-                .m_ce
-                .observation_evidence()
-                .iter()
-                .enumerate()
-                .filter(|(_, &c)| c >= self.config.min_state_evidence)
-                .map(|(i, _)| i)
-                .collect();
-            SensorEvidence {
-                b_ce: s.m_ce.observation(),
-                active_rows,
-                alarmed: s.ever_alarmed,
-            }
-        });
-        let confidence = crate::confidence::diagnosis_confidence(
-            &net,
-            sensor_ev.as_ref(),
-            &diagnosis,
-            self.windows_processed,
-            &self.config,
-        );
-        (diagnosis, confidence)
+        self.global
+            .classify_with_confidence(self.sensors.get(&sensor))
     }
 
     /// Classifies every sensor seen so far.
     pub fn classify_all(&self) -> BTreeMap<SensorId, Diagnosis> {
-        self.sensor_ids()
-            .into_iter()
-            .map(|id| (id, self.classify(id)))
+        self.sensors
+            .iter()
+            .map(|(&id, rt)| (id, self.global.classify(Some(rt))))
             .collect()
     }
 
     /// The `(window, correct, observable)` state sequence of every
     /// decisive window — the paper's `c_i` and `o_i` series.
     pub fn state_history(&self) -> &[(u64, usize, usize)] {
-        &self.state_history
+        self.global.state_history()
     }
 
     /// The error signature of one sensor: for each hidden state with
@@ -566,13 +367,13 @@ impl Pipeline {
         let Some(state) = self.sensors.get(&sensor) else {
             return BTreeMap::new();
         };
-        let b = state.m_ce.observation();
+        let b = state.m_ce().observation();
         state
-            .m_ce
+            .m_ce()
             .observation_evidence()
             .iter()
             .enumerate()
-            .filter(|(_, &c)| c >= self.config.min_state_evidence)
+            .filter(|(_, &c)| c >= self.global.config().min_state_evidence)
             .filter(|(i, _)| b[(*i, BOT_SYMBOL)] <= 0.5)
             .map(|(i, _)| {
                 let row = b.row(i);
@@ -645,18 +446,12 @@ impl Pipeline {
     /// observed sequence zero probability (possible after structural
     /// growth mid-stream).
     pub fn smoothed_correct_states(&self) -> Option<Vec<usize>> {
-        let m_co = self.m_co.as_ref()?;
-        if self.state_history.is_empty() {
-            return None;
-        }
-        let observables: Vec<usize> = self.state_history.iter().map(|&(_, _, o)| o).collect();
-        let hmm = m_co.to_hmm().ok()?;
-        hmm.viterbi(&observables).ok().map(|v| v.states)
+        self.global.smoothed_correct_states()
     }
 
     /// The pipeline configuration.
     pub fn config(&self) -> &PipelineConfig {
-        &self.config
+        self.global.config()
     }
 }
 
@@ -664,6 +459,7 @@ impl Pipeline {
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use sentinet_sim::{gdi, simulate};
 
     fn quiet_day_trace() -> (Trace, u64) {
@@ -822,5 +618,44 @@ mod tests {
         let p = Pipeline::new(PipelineConfig::default(), 300);
         assert!(p.smoothed_correct_states().is_none());
         assert!(p.state_history().is_empty());
+    }
+
+    #[test]
+    fn classification_memo_matches_fresh_computation() {
+        let (trace, period) = quiet_day_trace();
+        let mut p = Pipeline::new(PipelineConfig::default(), period);
+        p.process_trace(&trace);
+        for id in p.sensor_ids() {
+            let first = p.classify_with_confidence(id);
+            // Second call must hit the memo and agree exactly.
+            let second = p.classify_with_confidence(id);
+            assert_eq!(first.0, second.0);
+            assert_eq!(first.1.to_bits(), second.1.to_bits());
+        }
+        assert_eq!(p.network_attack(), p.network_attack());
+    }
+
+    #[test]
+    fn recycled_outcomes_do_not_leak_old_alarms() {
+        let (trace, period) = quiet_day_trace();
+        let mut baseline = Pipeline::new(PipelineConfig::default(), period);
+        let expected = baseline.process_trace(&trace);
+
+        let mut pooled = Pipeline::new(PipelineConfig::default(), period);
+        let mut seeded = WindowOutcome::blank();
+        seeded.raw_alarms = vec![SensorId(7); 4];
+        seeded.filtered_alarms = vec![SensorId(9); 4];
+        pooled.recycle_outcome(seeded);
+        let mut got = Vec::new();
+        for (time, sensor, reading) in trace.delivered() {
+            for outcome in pooled.push_reading(time, sensor, reading) {
+                got.push(outcome.clone());
+                pooled.recycle_outcome(outcome);
+            }
+        }
+        for outcome in pooled.finalize() {
+            got.push(outcome);
+        }
+        assert_eq!(got, expected);
     }
 }

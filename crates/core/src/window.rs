@@ -17,10 +17,75 @@
 //! - the **correct state** `c_i` — the label shared by the largest
 //!   group of sensors (Eq. 4), valid while a majority of sensors is
 //!   uncompromised.
+//!
+//! Storage is allocation-conscious: windows hold each sensor's samples
+//! in one flat `f64` buffer, the [`Windower`] recycles completed
+//! windows, and the aggregate statistics can run entirely out of a
+//! caller-owned [`WindowScratch`]. A pipeline in steady state performs
+//! no per-reading or per-window heap allocation.
 
 use sentinet_cluster::ModelStates;
-use sentinet_sim::{Reading, SensorId, Timestamp};
+use sentinet_sim::{SensorId, Timestamp};
 use std::collections::BTreeMap;
+
+/// One sensor's delivered readings within a window, stored flat
+/// (`len() × dims()` values) so a recycled window refills without
+/// per-reading allocation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SensorSamples {
+    dims: usize,
+    data: Vec<f64>,
+}
+
+impl SensorSamples {
+    /// Number of readings stored.
+    pub fn len(&self) -> usize {
+        self.data.len().checked_div(self.dims).unwrap_or(0)
+    }
+
+    /// True when the sensor delivered nothing this window.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Attribute dimensionality (0 until the first push).
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Appends one reading's attribute values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or disagrees with the dimensionality
+    /// of readings already stored.
+    pub fn push(&mut self, values: &[f64]) {
+        assert!(
+            !values.is_empty(),
+            "readings must have at least one attribute"
+        );
+        if self.data.is_empty() {
+            self.dims = values.len();
+        }
+        assert_eq!(values.len(), self.dims, "inconsistent reading dimensions");
+        self.data.extend_from_slice(values);
+    }
+
+    /// Iterates the stored readings as value slices, in arrival order.
+    pub fn iter(&self) -> std::slice::ChunksExact<'_, f64> {
+        self.data.chunks_exact(self.dims.max(1))
+    }
+
+    /// All values, flat (`len() × dims()`, row-major by arrival order).
+    pub fn as_flat(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Clears stored readings, retaining capacity for reuse.
+    fn clear(&mut self) {
+        self.data.clear();
+    }
+}
 
 /// All delivered readings of one observation window, grouped by sensor.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -29,19 +94,48 @@ pub struct ObservationWindow {
     pub index: u64,
     /// Start time of the window (inclusive).
     pub start: Timestamp,
-    /// Delivered readings per sensor, in arrival order.
-    pub readings: BTreeMap<SensorId, Vec<Reading>>,
+    /// Delivered samples per sensor. Recycled windows keep per-sensor
+    /// buffers around (cleared), so consumers must skip empty entries —
+    /// [`ObservationWindow::sensors`] does.
+    readings: BTreeMap<SensorId, SensorSamples>,
 }
 
 impl ObservationWindow {
+    /// Appends one reading's values for `sensor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or disagrees with the sensor's prior
+    /// readings in this window.
+    pub fn push(&mut self, sensor: SensorId, values: &[f64]) {
+        self.readings.entry(sensor).or_default().push(values);
+    }
+
+    /// Per-sensor samples with at least one delivered reading, in
+    /// ascending sensor order.
+    pub fn sensors(&self) -> impl Iterator<Item = (SensorId, &SensorSamples)> {
+        self.readings
+            .iter()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(&id, s)| (id, s))
+    }
+
     /// Total delivered readings in the window.
     pub fn num_readings(&self) -> usize {
-        self.readings.values().map(Vec::len).sum()
+        self.readings.values().map(SensorSamples::len).sum()
     }
 
     /// True when no sensor delivered anything.
     pub fn is_empty(&self) -> bool {
-        self.readings.is_empty()
+        self.readings.values().all(SensorSamples::is_empty)
+    }
+
+    /// Clears all samples (keeping buffers) so the window can be
+    /// refilled without allocating.
+    fn reset(&mut self) {
+        for s in self.readings.values_mut() {
+            s.clear();
+        }
     }
 
     /// Mean of all delivered readings (the Eq. 2 aggregate), `None` for
@@ -49,12 +143,14 @@ impl ObservationWindow {
     pub fn overall_mean(&self) -> Option<Vec<f64>> {
         let mut sum: Option<Vec<f64>> = None;
         let mut count = 0.0;
-        for r in self.readings.values().flatten() {
-            let s = sum.get_or_insert_with(|| vec![0.0; r.dims()]);
-            for (acc, &v) in s.iter_mut().zip(r.values()) {
-                *acc += v;
+        for (_, samples) in self.sensors() {
+            for values in samples.iter() {
+                let s = sum.get_or_insert_with(|| vec![0.0; values.len()]);
+                for (acc, &v) in s.iter_mut().zip(values) {
+                    *acc += v;
+                }
+                count += 1.0;
             }
-            count += 1.0;
         }
         sum.map(|mut s| {
             s.iter_mut().for_each(|x| *x /= count);
@@ -76,66 +172,161 @@ impl ObservationWindow {
     ///
     /// Panics unless `0 ≤ trim < 0.5`.
     pub fn trimmed_mean(&self, trim: f64) -> Option<Vec<f64>> {
+        let mut scratch = WindowScratch::default();
+        self.trimmed_mean_with(trim, &mut scratch)
+            .map(<[f64]>::to_vec)
+    }
+
+    /// Allocation-free [`ObservationWindow::trimmed_mean`]: all
+    /// intermediates live in `scratch`, and the returned slice borrows
+    /// `scratch.mean`. Bit-for-bit identical to the allocating path.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ trim < 0.5`.
+    pub fn trimmed_mean_with<'a>(
+        &self,
+        trim: f64,
+        scratch: &'a mut WindowScratch,
+    ) -> Option<&'a [f64]> {
         assert!((0.0..0.5).contains(&trim), "trim must be in [0, 0.5)");
-        if trim == 0.0 {
-            return self.overall_mean();
+        // Flatten in canonical order: ascending sensor id, arrival order.
+        scratch.flat.clear();
+        let mut dims = 0;
+        for (_, samples) in self.sensors() {
+            if dims == 0 {
+                dims = samples.dims();
+            }
+            scratch.flat.extend_from_slice(samples.as_flat());
         }
-        let all: Vec<&Reading> = self.readings.values().flatten().collect();
-        if all.is_empty() {
+        if scratch.flat.is_empty() {
             return None;
         }
-        let dims = all[0].dims();
-        // Coordinate-wise median.
-        let mut median = Vec::with_capacity(dims);
-        for d in 0..dims {
-            let mut xs: Vec<f64> = all.iter().map(|r| r.values()[d]).collect();
-            xs.sort_by(|a, b| a.partial_cmp(b).expect("readings are finite"));
-            median.push(xs[xs.len() / 2]);
+        let n = scratch.flat.len() / dims;
+        scratch.mean.clear();
+        scratch.mean.resize(dims, 0.0);
+        if trim == 0.0 {
+            for point in scratch.flat.chunks_exact(dims) {
+                for (m, &v) in scratch.mean.iter_mut().zip(point) {
+                    *m += v;
+                }
+            }
+            for m in &mut scratch.mean {
+                *m /= n as f64;
+            }
+            return Some(&scratch.mean);
         }
-        // Sort by distance from the median, drop the tail.
-        let mut by_dist: Vec<(f64, &Reading)> =
-            all.iter().map(|r| (r.distance(&median), *r)).collect();
-        by_dist.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("distances are finite"));
-        let keep = (all.len() as f64 * (1.0 - trim)).ceil().max(1.0) as usize;
-        let kept = &by_dist[..keep.min(by_dist.len())];
-        let mut mean = vec![0.0; dims];
-        for (_, r) in kept {
-            for (m, &v) in mean.iter_mut().zip(r.values()) {
+        // Coordinate-wise median: selection finds the same element a
+        // full sort would place at index len/2.
+        scratch.median.clear();
+        for d in 0..dims {
+            scratch.column.clear();
+            scratch
+                .column
+                .extend(scratch.flat.iter().skip(d).step_by(dims));
+            let mid = scratch.column.len() / 2;
+            let (_, &mut med, _) = scratch
+                .column
+                .select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).expect("readings are finite"));
+            scratch.median.push(med);
+        }
+        // Distance from the median per reading; keep the nearest `keep`.
+        // Tie-breaking on the arrival index reproduces the stable order
+        // a full stable sort over distances would yield.
+        scratch.order.clear();
+        for (i, point) in scratch.flat.chunks_exact(dims).enumerate() {
+            let d2: f64 = point
+                .iter()
+                .zip(&scratch.median)
+                .map(|(x, m)| (x - m) * (x - m))
+                .sum();
+            scratch.order.push((d2.sqrt(), i as u32));
+        }
+        let keep = ((n as f64) * (1.0 - trim)).ceil().max(1.0) as usize;
+        let keep = keep.min(n);
+        let cmp = |a: &(f64, u32), b: &(f64, u32)| {
+            a.0.partial_cmp(&b.0)
+                .expect("distances are finite")
+                .then(a.1.cmp(&b.1))
+        };
+        if keep < n {
+            scratch.order.select_nth_unstable_by(keep, cmp);
+        }
+        // Summation order matters for float reproducibility: sum the
+        // kept readings in (distance, arrival) order, as the previous
+        // sort-based implementation did.
+        let kept = &mut scratch.order[..keep];
+        kept.sort_unstable_by(cmp);
+        for &(_, i) in kept.iter() {
+            let point = &scratch.flat[i as usize * dims..(i as usize + 1) * dims];
+            for (m, &v) in scratch.mean.iter_mut().zip(point) {
                 *m += v;
             }
         }
-        mean.iter_mut().for_each(|m| *m /= kept.len() as f64);
-        Some(mean)
+        for m in &mut scratch.mean {
+            *m /= keep as f64;
+        }
+        Some(&scratch.mean)
     }
 
     /// Per-sensor window-mean readings (each sensor's representative).
     pub fn sensor_means(&self) -> BTreeMap<SensorId, Vec<f64>> {
-        self.readings
-            .iter()
-            .filter(|(_, rs)| !rs.is_empty())
-            .map(|(&id, rs)| {
-                let dims = rs[0].dims();
+        self.sensors()
+            .map(|(id, samples)| {
+                let dims = samples.dims();
                 let mut m = vec![0.0; dims];
-                for r in rs {
-                    for (acc, &v) in m.iter_mut().zip(r.values()) {
+                for values in samples.iter() {
+                    for (acc, &v) in m.iter_mut().zip(values) {
                         *acc += v;
                     }
                 }
-                m.iter_mut().for_each(|x| *x /= rs.len() as f64);
+                m.iter_mut().for_each(|x| *x /= samples.len() as f64);
                 (id, m)
             })
             .collect()
     }
 }
 
-/// Incremental windower: feed `(time, sensor, reading)` in time order,
+/// Reusable intermediates for the window aggregate statistics. One
+/// instance per pipeline; contents are meaningless between calls.
+#[derive(Debug, Clone, Default)]
+pub struct WindowScratch {
+    /// All window readings, flattened in canonical order.
+    flat: Vec<f64>,
+    /// One attribute column, for median selection.
+    column: Vec<f64>,
+    /// Coordinate-wise median of the window readings.
+    median: Vec<f64>,
+    /// (distance-from-median, arrival index) per reading.
+    order: Vec<(f64, u32)>,
+    /// The resulting mean — borrowed by `trimmed_mean_with`'s return.
+    mean: Vec<f64>,
+}
+
+impl WindowScratch {
+    /// Creates empty scratch buffers (they size themselves on use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Incremental windower: feed `(time, sensor, values)` in time order,
 /// receive completed [`ObservationWindow`]s.
+///
+/// Completed windows can be handed back via [`Windower::recycle`]; the
+/// windower then reuses their buffers instead of allocating fresh ones.
 #[derive(Debug, Clone)]
 pub struct Windower {
     window_duration: u64,
     current: ObservationWindow,
     started: bool,
+    spare: Vec<ObservationWindow>,
 }
+
+/// How many recycled windows the windower keeps around. The serial
+/// pipeline needs one; a small cushion covers bursts where a stream
+/// jump completes several windows at once.
+const MAX_SPARE_WINDOWS: usize = 8;
 
 impl Windower {
     /// Creates a windower with windows of `window_duration` seconds
@@ -150,6 +341,7 @@ impl Windower {
             window_duration,
             current: ObservationWindow::default(),
             started: false,
+            spare: Vec::new(),
         }
     }
 
@@ -158,8 +350,24 @@ impl Windower {
         self.window_duration
     }
 
-    /// Feeds one delivered reading. Returns completed windows (possibly
-    /// more than one if the stream jumps over empty windows).
+    /// Returns a processed window's buffers for reuse.
+    pub fn recycle(&mut self, window: ObservationWindow) {
+        if self.spare.len() < MAX_SPARE_WINDOWS {
+            self.spare.push(window);
+        }
+    }
+
+    /// Swaps in a cleared window for `index`, returning the finished one.
+    fn roll_to(&mut self, index: u64) -> ObservationWindow {
+        let mut fresh = self.spare.pop().unwrap_or_default();
+        fresh.reset();
+        fresh.index = index;
+        fresh.start = index * self.window_duration;
+        std::mem::replace(&mut self.current, fresh)
+    }
+
+    /// Feeds one delivered reading's values. Returns completed windows
+    /// (possibly more than one if the stream jumps over empty windows).
     ///
     /// # Panics
     ///
@@ -169,7 +377,7 @@ impl Windower {
         &mut self,
         time: Timestamp,
         sensor: SensorId,
-        reading: Reading,
+        values: &[f64],
     ) -> Vec<ObservationWindow> {
         let target_index = time / self.window_duration;
         if !self.started {
@@ -184,24 +392,19 @@ impl Windower {
         );
         let mut completed = Vec::new();
         while target_index > self.current.index {
-            let next_index = self.current.index + 1;
-            let done = std::mem::take(&mut self.current);
+            let done = self.roll_to(self.current.index + 1);
             // Skip emitting windows in which nothing arrived at all;
             // they carry no information (the paper requires w "large
             // enough to create nonempty sets").
-            if !done.is_empty() {
+            if done.is_empty() {
+                self.recycle(done);
+            } else {
                 completed.push(done);
             }
-            self.current.index = next_index;
-            self.current.start = next_index * self.window_duration;
         }
         self.current.index = target_index;
         self.current.start = target_index * self.window_duration;
-        self.current
-            .readings
-            .entry(sensor)
-            .or_default()
-            .push(reading);
+        self.current.push(sensor, values);
         completed
     }
 
@@ -210,9 +413,7 @@ impl Windower {
         if self.current.is_empty() {
             None
         } else {
-            let done = std::mem::take(&mut self.current);
-            self.current.index = done.index + 1;
-            self.current.start = self.current.index * self.window_duration;
+            let done = self.roll_to(self.current.index + 1);
             Some(done)
         }
     }
@@ -256,21 +457,26 @@ pub fn identify_states(
     majority_fraction: f64,
 ) -> Option<WindowStates> {
     let overall = window.trimmed_mean(trim)?;
-    let observable = states.nearest(&overall)?.0;
+    identify_states_with(window, states, &overall, majority_fraction)
+}
+
+/// [`identify_states`] with the window aggregate (Eq. 2 robust mean)
+/// already computed — callers that also need the mean for coverage
+/// checks avoid computing it twice.
+pub fn identify_states_with(
+    window: &ObservationWindow,
+    states: &ModelStates,
+    overall: &[f64],
+    majority_fraction: f64,
+) -> Option<WindowStates> {
+    let observable = states.nearest(overall)?.0;
     let representatives = window.sensor_means();
     let mut labels = BTreeMap::new();
-    let mut votes: BTreeMap<usize, usize> = BTreeMap::new();
     for (&id, mean) in &representatives {
         let l = states.nearest(mean)?.0;
         labels.insert(id, l);
-        *votes.entry(l).or_insert(0) += 1;
     }
-    // Eq. 4: the state backed by the most sensors. Ties break toward
-    // the lower state index (deterministic).
-    let (&correct, &max_votes) = votes
-        .iter()
-        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))?;
-    let decisive = max_votes as f64 > majority_fraction * labels.len() as f64;
+    let (correct, decisive) = majority_vote(&labels, majority_fraction)?;
     Some(WindowStates {
         observable,
         correct,
@@ -280,10 +486,33 @@ pub fn identify_states(
     })
 }
 
+/// Eq. 4: elects the state backed by the most sensor labels. Ties
+/// break toward the lower state index (deterministic). Returns the
+/// winner and whether it holds the required strict majority; `None`
+/// when no sensor voted.
+///
+/// Shared by [`identify_states_with`] and the sharded engine's
+/// coordinator so both vote identically.
+pub fn majority_vote(
+    labels: &BTreeMap<SensorId, usize>,
+    majority_fraction: f64,
+) -> Option<(usize, bool)> {
+    let mut votes: BTreeMap<usize, usize> = BTreeMap::new();
+    for &l in labels.values() {
+        *votes.entry(l).or_insert(0) += 1;
+    }
+    let (&correct, &max_votes) = votes
+        .iter()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))?;
+    let decisive = max_votes as f64 > majority_fraction * labels.len() as f64;
+    Some((correct, decisive))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use sentinet_cluster::ClusterConfig;
+    use sentinet_sim::Reading;
 
     fn states2() -> ModelStates {
         ModelStates::new(
@@ -300,10 +529,7 @@ mod tests {
     fn win(readings: &[(u16, Vec<f64>)]) -> ObservationWindow {
         let mut w = ObservationWindow::default();
         for (s, v) in readings {
-            w.readings
-                .entry(SensorId(*s))
-                .or_default()
-                .push(Reading::new(v.clone()));
+            w.push(SensorId(*s), v);
         }
         w
     }
@@ -311,9 +537,9 @@ mod tests {
     #[test]
     fn windower_groups_by_duration() {
         let mut w = Windower::new(3_600);
-        assert!(w.push(0, SensorId(0), Reading::new(vec![1.0])).is_empty());
-        assert!(w.push(300, SensorId(1), Reading::new(vec![2.0])).is_empty());
-        let done = w.push(3_600, SensorId(0), Reading::new(vec![3.0]));
+        assert!(w.push(0, SensorId(0), &[1.0]).is_empty());
+        assert!(w.push(300, SensorId(1), &[2.0]).is_empty());
+        let done = w.push(3_600, SensorId(0), &[3.0]);
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].index, 0);
         assert_eq!(done[0].num_readings(), 2);
@@ -325,8 +551,8 @@ mod tests {
     #[test]
     fn windower_skips_empty_gaps() {
         let mut w = Windower::new(100);
-        w.push(0, SensorId(0), Reading::new(vec![1.0]));
-        let done = w.push(1_000, SensorId(0), Reading::new(vec![2.0]));
+        w.push(0, SensorId(0), &[1.0]);
+        let done = w.push(1_000, SensorId(0), &[2.0]);
         // Only the non-empty window 0 is emitted; windows 1..9 had no data.
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].index, 0);
@@ -336,14 +562,14 @@ mod tests {
     #[should_panic(expected = "precedes current window")]
     fn out_of_order_panics() {
         let mut w = Windower::new(100);
-        w.push(500, SensorId(0), Reading::new(vec![1.0]));
-        w.push(100, SensorId(0), Reading::new(vec![1.0]));
+        w.push(500, SensorId(0), &[1.0]);
+        w.push(100, SensorId(0), &[1.0]);
     }
 
     #[test]
     fn windower_starts_at_first_reading_window() {
         let mut w = Windower::new(100);
-        let done = w.push(550, SensorId(0), Reading::new(vec![1.0]));
+        let done = w.push(550, SensorId(0), &[1.0]);
         assert!(done.is_empty());
         let tail = w.finish().unwrap();
         assert_eq!(tail.index, 5);
@@ -357,6 +583,28 @@ mod tests {
     }
 
     #[test]
+    fn recycled_windows_reuse_buffers_and_stay_equivalent() {
+        let mut w = Windower::new(100);
+        w.push(0, SensorId(3), &[1.0]);
+        let done = w.push(100, SensorId(3), &[2.0]).remove(0);
+        assert_eq!(done.num_readings(), 1);
+        w.recycle(done);
+        // The reading at t=100 opened window 1; completing that rolls
+        // to window 2, which is backed by the recycled window-0
+        // buffers. Stale sensor entries must not leak through.
+        let mid = w.push(250, SensorId(7), &[4.0]).remove(0);
+        assert_eq!(mid.index, 1);
+        assert_eq!(mid.num_readings(), 1);
+        w.recycle(mid);
+        let next = w.push(300, SensorId(7), &[5.0]).remove(0);
+        assert_eq!(next.index, 2);
+        assert_eq!(next.num_readings(), 1);
+        assert_eq!(next.sensors().count(), 1);
+        assert_eq!(next.sensor_means()[&SensorId(7)], vec![4.0]);
+        assert_eq!(next.overall_mean().unwrap(), vec![4.0]);
+    }
+
+    #[test]
     fn overall_mean_and_sensor_means() {
         let w = win(&[
             (0, vec![1.0, 2.0]),
@@ -367,6 +615,77 @@ mod tests {
         let means = w.sensor_means();
         assert_eq!(means[&SensorId(0)], vec![2.0, 3.0]);
         assert_eq!(means[&SensorId(1)], vec![10.0, 10.0]);
+    }
+
+    #[test]
+    fn trimmed_mean_matches_sort_based_reference() {
+        // Reference implementation: full stable sort by distance from
+        // the coordinate-wise median, as the original code did.
+        fn reference(points: &[Vec<f64>], trim: f64) -> Vec<f64> {
+            let dims = points[0].len();
+            let mut median = Vec::new();
+            for d in 0..dims {
+                let mut xs: Vec<f64> = points.iter().map(|p| p[d]).collect();
+                xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                median.push(xs[xs.len() / 2]);
+            }
+            let dist = |p: &[f64]| {
+                p.iter()
+                    .zip(&median)
+                    .map(|(x, m)| (x - m) * (x - m))
+                    .sum::<f64>()
+                    .sqrt()
+            };
+            let mut by_dist: Vec<&Vec<f64>> = points.iter().collect();
+            by_dist.sort_by(|a, b| dist(a).partial_cmp(&dist(b)).unwrap());
+            let keep = (points.len() as f64 * (1.0 - trim)).ceil().max(1.0) as usize;
+            let kept = &by_dist[..keep.min(by_dist.len())];
+            let mut mean = vec![0.0; dims];
+            for p in kept {
+                for (m, &v) in mean.iter_mut().zip(p.iter()) {
+                    *m += v;
+                }
+            }
+            mean.iter_mut().for_each(|m| *m /= kept.len() as f64);
+            mean
+        }
+
+        // Includes exact distance ties (mirror-image points) to pin the
+        // stable tie-breaking behavior.
+        let pts = vec![
+            vec![1.0, 2.0],
+            vec![-1.0, 2.0],
+            vec![3.0, -4.0],
+            vec![-3.0, 8.0],
+            vec![0.5, 2.0],
+            vec![100.0, -50.0],
+            vec![0.6, 1.9],
+        ];
+        let w = win(&pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i as u16, p.clone()))
+            .collect::<Vec<_>>());
+        for trim in [0.1, 0.15, 0.3, 0.49] {
+            let got = w.trimmed_mean(trim).unwrap();
+            let want = reference(&pts, trim);
+            for (g, e) in got.iter().zip(&want) {
+                assert_eq!(g.to_bits(), e.to_bits(), "trim {trim}");
+            }
+        }
+    }
+
+    #[test]
+    fn trimmed_mean_with_reuses_scratch() {
+        let w = win(&[(0, vec![1.0]), (1, vec![2.0]), (2, vec![50.0])]);
+        let mut scratch = WindowScratch::new();
+        let a = w.trimmed_mean_with(0.34, &mut scratch).unwrap().to_vec();
+        let b = w.trimmed_mean(0.34).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, vec![1.5], "the outlier at 50 is trimmed");
+        // Second query through the same scratch gives the same answer.
+        let c = w.trimmed_mean_with(0.34, &mut scratch).unwrap().to_vec();
+        assert_eq!(a, c);
     }
 
     #[test]
@@ -396,7 +715,7 @@ mod tests {
     #[test]
     fn observable_can_differ_from_correct() {
         // Two honest at state 0, two attackers pushing hard: the mean
-        // crosses to state 1's basin while the majority label stays 0...
+        // crosses to state 1's basin while the majority label stays 0;
         // with 2-2 votes, tie-breaking favors the lower index.
         let w = win(&[
             (0, vec![0.0, 0.0]),
@@ -416,5 +735,28 @@ mod tests {
         assert_eq!(s.correct, 1);
         assert_eq!(s.observable, 1);
         assert_eq!(s.representatives.len(), 1);
+    }
+
+    #[test]
+    fn sensor_samples_reject_dimension_mixups() {
+        let mut s = SensorSamples::default();
+        s.push(&[1.0, 2.0]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.dims(), 2);
+        let result = std::panic::catch_unwind(move || {
+            let mut s = s;
+            s.push(&[1.0]);
+        });
+        assert!(result.is_err());
+    }
+
+    // Keep the Reading type in scope for API parity checks: the
+    // pipeline feeds `Reading::values()` straight into `push`.
+    #[test]
+    fn push_accepts_reading_values() {
+        let mut w = ObservationWindow::default();
+        let r = Reading::new(vec![1.0, 2.0]);
+        w.push(SensorId(0), r.values());
+        assert_eq!(w.num_readings(), 1);
     }
 }

@@ -165,8 +165,10 @@ fn wildly_different_magnitudes_do_not_break_clustering() {
 
 #[test]
 fn window_larger_than_trace_still_finalizes() {
-    let mut cfg = PipelineConfig::default();
-    cfg.window_samples = 1_000; // window >> trace
+    let cfg = PipelineConfig {
+        window_samples: 1_000, // window >> trace
+        ..Default::default()
+    };
     let records: Vec<TraceRecord> = (0..10)
         .map(|i| record(i * 300, (i % 3) as u16, vec![20.0, 70.0]))
         .collect();

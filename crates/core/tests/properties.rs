@@ -10,10 +10,7 @@ use sentinet_sim::{Reading, SensorId, Trace, TraceRecord};
 fn window_from(points: &[(u16, Vec<f64>)]) -> ObservationWindow {
     let mut w = ObservationWindow::default();
     for (s, v) in points {
-        w.readings
-            .entry(SensorId(*s))
-            .or_default()
-            .push(Reading::new(v.clone()));
+        w.push(SensorId(*s), v);
     }
     w
 }
@@ -90,7 +87,7 @@ proptest! {
         let mut w = Windower::new(3_600);
         let mut seen = 0usize;
         for &t in &sorted {
-            let done = w.push(t, SensorId(0), Reading::new(vec![1.0]));
+            let done = w.push(t, SensorId(0), &[1.0]);
             seen += done.iter().map(|d| d.num_readings()).sum::<usize>();
         }
         seen += w.finish().map(|d| d.num_readings()).unwrap_or(0);
@@ -106,7 +103,7 @@ proptest! {
         let mut w = Windower::new(1_000);
         let mut indices = Vec::new();
         for &t in &sorted {
-            for d in w.push(t, SensorId(0), Reading::new(vec![0.0])) {
+            for d in w.push(t, SensorId(0), &[0.0]) {
                 indices.push(d.index);
             }
         }

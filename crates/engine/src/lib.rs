@@ -1,0 +1,622 @@
+//! `sentinet-engine` — sharded multi-collector execution of the
+//! detection pipeline.
+//!
+//! The serial [`sentinet_core::Pipeline`] interleaves two kinds of
+//! per-window work:
+//!
+//! - **per-sensor stages** — alarm filter update, `M_CE` online
+//!   estimation, error/attack track management — which touch only one
+//!   sensor's state ([`sentinet_core::SensorRuntime`]);
+//! - **global stages** — clustering, observable/correct state
+//!   identification, `M_CO`/`M_C`/`M_O` estimation, majority voting —
+//!   which need every sensor's vote ([`sentinet_core::GlobalModel`]).
+//!
+//! The [`Engine`] shards the per-sensor stages across `num_shards`
+//! worker threads (`crossbeam` scoped threads; sensor *s* lives on
+//! shard `s mod num_shards` for its whole life) while a single
+//! coordinator runs the global stages. Per window the coordinator
+//! hands each shard a batched **label** job (model-state snapshot +
+//! that shard's sensor representatives) and, on decisive windows, a
+//! batched **step** job; explicit **grow** jobs keep worker-side
+//! estimators sized to the coordinator's model-state slots.
+//!
+//! The majority vote itself cannot be sharded: Eq. 4 elects the state
+//! backed by the most sensors *across the whole network*, and every
+//! subsequent stage (alarm generation, `M_CO`/`M_CE` updates) consumes
+//! the elected state — so the vote is a per-window barrier between the
+//! parallel label stage and the parallel step stage.
+//!
+//! Because every per-sensor float operation happens in the same order
+//! on exactly one thread, and the global stages run unchanged on the
+//! coordinator, the engine's output is **bit-for-bit identical** to
+//! the serial pipeline at any shard count; `num_shards = 1` runs
+//! inline without spawning threads at all.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use sentinet_core::PipelineConfig;
+//! use sentinet_engine::Engine;
+//! use sentinet_sim::{gdi, simulate};
+//!
+//! let cfg = gdi::day_config();
+//! let trace = simulate(&cfg, &mut rand::rngs::StdRng::seed_from_u64(1));
+//! let engine = Engine::new(PipelineConfig::default(), cfg.sample_period, 2);
+//! let run = engine.process_trace(&trace);
+//! assert!(!run.outcomes().is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use crossbeam::channel::{Receiver, Sender};
+use sentinet_cluster::ModelStates;
+use sentinet_core::classify::{AttackType, Diagnosis};
+use sentinet_core::{
+    majority_vote, GlobalModel, ObservationWindow, PipelineConfig, PipelineReport, RecoveryAction,
+    RecoveryPlan, SensorRuntime, SensorSummary, StateSummary, TrackRecord, WindowOutcome,
+    WindowScratch, Windower,
+};
+use sentinet_hmm::OnlineHmmEstimator;
+use sentinet_sim::{SensorId, Trace};
+use std::collections::BTreeMap;
+
+/// Work dispatched from the coordinator to one shard.
+#[derive(Debug)]
+enum Job {
+    /// Label each representative against a model-state snapshot.
+    Label {
+        states: ModelStates,
+        means: Vec<(SensorId, Vec<f64>)>,
+    },
+    /// Run the per-sensor step of a decisive window.
+    Step {
+        window_index: u64,
+        correct: usize,
+        num_slots: usize,
+        labels: Vec<(SensorId, usize)>,
+    },
+    /// Grow every sensor estimator to the new slot count.
+    Grow { num_slots: usize },
+    /// Hand the shard's sensors back and exit.
+    Finish,
+}
+
+/// A shard's answer to a [`Job`].
+enum Reply {
+    Labels(Vec<(SensorId, Option<usize>)>),
+    Stepped {
+        raw: Vec<SensorId>,
+        filtered: Vec<SensorId>,
+    },
+    Done(BTreeMap<SensorId, SensorRuntime>),
+}
+
+fn shard_of(id: SensorId, num_shards: usize) -> usize {
+    id.0 as usize % num_shards
+}
+
+fn worker(config: PipelineConfig, jobs: Receiver<Job>, replies: Sender<Reply>) {
+    let mut sensors: BTreeMap<SensorId, SensorRuntime> = BTreeMap::new();
+    for job in jobs.iter() {
+        match job {
+            Job::Label { states, means } => {
+                let labels = means
+                    .iter()
+                    .map(|(id, mean)| (*id, states.nearest(mean).map(|(s, _)| s)))
+                    .collect();
+                let _ = replies.send(Reply::Labels(labels));
+            }
+            Job::Step {
+                window_index,
+                correct,
+                num_slots,
+                labels,
+            } => {
+                let mut raw = Vec::new();
+                let mut filtered = Vec::new();
+                for (id, label) in labels {
+                    let sensor = sensors
+                        .entry(id)
+                        .or_insert_with(|| SensorRuntime::new(&config, num_slots));
+                    let step = sensor.step(window_index, label, correct);
+                    if step.raw {
+                        raw.push(id);
+                    }
+                    if step.filtered {
+                        filtered.push(id);
+                    }
+                }
+                let _ = replies.send(Reply::Stepped { raw, filtered });
+            }
+            Job::Grow { num_slots } => {
+                for s in sensors.values_mut() {
+                    s.grow(num_slots);
+                }
+            }
+            Job::Finish => {
+                let _ = replies.send(Reply::Done(std::mem::take(&mut sensors)));
+                return;
+            }
+        }
+    }
+}
+
+/// How the coordinator executes per-sensor work: inline on its own
+/// thread (`num_shards = 1`) or fanned out to worker shards.
+// One Backend exists per run, so the Inline/Threads size gap is moot.
+#[allow(clippy::large_enum_variant)]
+enum Backend {
+    Inline {
+        config: PipelineConfig,
+        sensors: BTreeMap<SensorId, SensorRuntime>,
+    },
+    Threads {
+        senders: Vec<Sender<Job>>,
+        replies: Receiver<Reply>,
+    },
+}
+
+impl Backend {
+    /// Labels every representative; `None` if any sensor falls outside
+    /// all active model states (the serial pipeline then drops the
+    /// whole window, so the engine must too).
+    fn label(
+        &mut self,
+        states: &ModelStates,
+        representatives: &BTreeMap<SensorId, Vec<f64>>,
+    ) -> Option<BTreeMap<SensorId, usize>> {
+        match self {
+            Backend::Inline { .. } => {
+                let mut labels = BTreeMap::new();
+                for (&id, mean) in representatives {
+                    labels.insert(id, states.nearest(mean)?.0);
+                }
+                Some(labels)
+            }
+            Backend::Threads { senders, replies } => {
+                let num_shards = senders.len();
+                let mut batches: Vec<Vec<(SensorId, Vec<f64>)>> = vec![Vec::new(); num_shards];
+                for (&id, mean) in representatives {
+                    batches[shard_of(id, num_shards)].push((id, mean.clone()));
+                }
+                for (sender, means) in senders.iter().zip(batches) {
+                    sender
+                        .send(Job::Label {
+                            states: states.clone(),
+                            means,
+                        })
+                        .expect("worker alive");
+                }
+                let mut labels = BTreeMap::new();
+                let mut missing = false;
+                for _ in 0..num_shards {
+                    match replies.recv().expect("worker alive") {
+                        Reply::Labels(batch) => {
+                            for (id, label) in batch {
+                                match label {
+                                    Some(l) => {
+                                        labels.insert(id, l);
+                                    }
+                                    None => missing = true,
+                                }
+                            }
+                        }
+                        _ => unreachable!("label job answered with label reply"),
+                    }
+                }
+                if missing {
+                    None
+                } else {
+                    Some(labels)
+                }
+            }
+        }
+    }
+
+    /// Runs the per-sensor step of a decisive window; returns the raw
+    /// and filtered alarm lists in ascending sensor order (the serial
+    /// pipeline's iteration order).
+    fn step(
+        &mut self,
+        window_index: u64,
+        correct: usize,
+        num_slots: usize,
+        labels: &BTreeMap<SensorId, usize>,
+    ) -> (Vec<SensorId>, Vec<SensorId>) {
+        match self {
+            Backend::Inline { config, sensors } => {
+                let mut raw_alarms = Vec::new();
+                let mut filtered_alarms = Vec::new();
+                for (&id, &label) in labels {
+                    let sensor = sensors
+                        .entry(id)
+                        .or_insert_with(|| SensorRuntime::new(config, num_slots));
+                    let step = sensor.step(window_index, label, correct);
+                    if step.raw {
+                        raw_alarms.push(id);
+                    }
+                    if step.filtered {
+                        filtered_alarms.push(id);
+                    }
+                }
+                (raw_alarms, filtered_alarms)
+            }
+            Backend::Threads { senders, replies } => {
+                let num_shards = senders.len();
+                let mut batches: Vec<Vec<(SensorId, usize)>> = vec![Vec::new(); num_shards];
+                for (&id, &label) in labels {
+                    batches[shard_of(id, num_shards)].push((id, label));
+                }
+                for (sender, labels) in senders.iter().zip(batches) {
+                    sender
+                        .send(Job::Step {
+                            window_index,
+                            correct,
+                            num_slots,
+                            labels,
+                        })
+                        .expect("worker alive");
+                }
+                let mut raw_alarms = Vec::new();
+                let mut filtered_alarms = Vec::new();
+                for _ in 0..num_shards {
+                    match replies.recv().expect("worker alive") {
+                        Reply::Stepped { raw, filtered } => {
+                            raw_alarms.extend(raw);
+                            filtered_alarms.extend(filtered);
+                        }
+                        _ => unreachable!("step job answered with step reply"),
+                    }
+                }
+                raw_alarms.sort_unstable();
+                filtered_alarms.sort_unstable();
+                (raw_alarms, filtered_alarms)
+            }
+        }
+    }
+
+    /// Resizes every shard's estimators after model-state growth.
+    fn grow(&mut self, num_slots: usize) {
+        match self {
+            Backend::Inline { sensors, .. } => {
+                for s in sensors.values_mut() {
+                    s.grow(num_slots);
+                }
+            }
+            Backend::Threads { senders, .. } => {
+                for sender in senders {
+                    sender.send(Job::Grow { num_slots }).expect("worker alive");
+                }
+            }
+        }
+    }
+
+    /// Collects every shard's sensors back onto the coordinator.
+    fn finish(self) -> BTreeMap<SensorId, SensorRuntime> {
+        match self {
+            Backend::Inline { sensors, .. } => sensors,
+            Backend::Threads { senders, replies } => {
+                for sender in &senders {
+                    sender.send(Job::Finish).expect("worker alive");
+                }
+                let num_shards = senders.len();
+                drop(senders);
+                let mut sensors = BTreeMap::new();
+                for _ in 0..num_shards {
+                    match replies.recv().expect("worker alive") {
+                        Reply::Done(batch) => sensors.extend(batch),
+                        _ => unreachable!("finish job answered with done reply"),
+                    }
+                }
+                sensors
+            }
+        }
+    }
+}
+
+/// Sharded multi-collector engine over one trace.
+///
+/// Construct once, then [`Engine::process_trace`] per trace. The
+/// engine is the batch counterpart to the streaming
+/// [`sentinet_core::Pipeline`]: it owns the shard pool for the
+/// duration of a trace and returns an [`EngineRun`] exposing the same
+/// post-run queries.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    config: PipelineConfig,
+    sample_period: u64,
+    num_shards: usize,
+}
+
+impl Engine {
+    /// Creates an engine; `sample_period` as in
+    /// [`sentinet_core::Pipeline::new`], `num_shards ≥ 1` worker
+    /// shards (1 = inline serial execution, no threads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid, `sample_period == 0`,
+    /// or `num_shards == 0`.
+    pub fn new(config: PipelineConfig, sample_period: u64, num_shards: usize) -> Self {
+        config.validate();
+        assert!(sample_period > 0, "sample period must be positive");
+        assert!(num_shards > 0, "need at least one shard");
+        Self {
+            config,
+            sample_period,
+            num_shards,
+        }
+    }
+
+    /// The configured shard count.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// Processes a whole trace and returns the completed run.
+    pub fn process_trace(&self, trace: &Trace) -> EngineRun {
+        if self.num_shards == 1 {
+            let mut backend = Backend::Inline {
+                config: self.config.clone(),
+                sensors: BTreeMap::new(),
+            };
+            let (global, outcomes) = self.drive(trace, &mut backend);
+            EngineRun {
+                global,
+                sensors: backend.finish(),
+                outcomes,
+            }
+        } else {
+            crossbeam::thread::scope(|scope| {
+                let (reply_tx, reply_rx) = crossbeam::channel::unbounded();
+                let mut senders = Vec::with_capacity(self.num_shards);
+                for _ in 0..self.num_shards {
+                    let (job_tx, job_rx) = crossbeam::channel::unbounded();
+                    let reply_tx = reply_tx.clone();
+                    let config = self.config.clone();
+                    scope.spawn(move |_| worker(config, job_rx, reply_tx));
+                    senders.push(job_tx);
+                }
+                let mut backend = Backend::Threads {
+                    senders,
+                    replies: reply_rx,
+                };
+                let (global, outcomes) = self.drive(trace, &mut backend);
+                EngineRun {
+                    global,
+                    sensors: backend.finish(),
+                    outcomes,
+                }
+            })
+            .expect("worker threads join cleanly")
+        }
+    }
+
+    /// The coordinator loop: windowing plus the global stages, with
+    /// per-sensor stages delegated to the backend.
+    fn drive(&self, trace: &Trace, backend: &mut Backend) -> (GlobalModel, Vec<WindowOutcome>) {
+        let mut global = GlobalModel::new(self.config.clone());
+        let mut windower = Windower::new(self.config.window_samples as u64 * self.sample_period);
+        let mut scratch = WindowScratch::new();
+        let mut outcomes = Vec::new();
+        for (time, sensor, reading) in trace.delivered() {
+            for window in windower.push(time, sensor, reading.values()) {
+                if let Some(o) = Self::window_pass(&mut global, backend, &mut scratch, &window) {
+                    outcomes.push(o);
+                }
+                windower.recycle(window);
+            }
+        }
+        if let Some(window) = windower.finish() {
+            if let Some(o) = Self::window_pass(&mut global, backend, &mut scratch, &window) {
+                outcomes.push(o);
+            }
+        }
+        (global, outcomes)
+    }
+
+    /// One window through the same stage order as the serial
+    /// pipeline's `analyze_window`.
+    fn window_pass(
+        global: &mut GlobalModel,
+        backend: &mut Backend,
+        scratch: &mut WindowScratch,
+        window: &ObservationWindow,
+    ) -> Option<WindowOutcome> {
+        if !global.absorb_bootstrap(window) {
+            return None;
+        }
+        let trim = global.config().observable_trim;
+        let majority_fraction = global.config().majority_fraction;
+        let mean = window.trimmed_mean_with(trim, scratch);
+        if global.cover_window_mean(mean) {
+            backend.grow(global.num_slots());
+        }
+        let mean = mean?;
+
+        let representatives = window.sensor_means();
+        let (observable, labels) = {
+            let states = global.states().expect("bootstrapped above");
+            let observable = states.nearest(mean)?.0;
+            (observable, backend.label(states, &representatives)?)
+        };
+        let (correct, decisive) = majority_vote(&labels, majority_fraction)?;
+
+        if decisive {
+            global.record_decisive(correct, observable);
+        }
+
+        let window_index = global.windows_processed();
+        let num_slots = global.num_slots();
+        let (raw_alarms, filtered_alarms) = if decisive {
+            backend.step(window_index, correct, num_slots, &labels)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+
+        let points: Vec<Vec<f64>> = representatives.into_values().collect();
+        let (cluster_events, grew) = global.finish_window(&points);
+        if grew {
+            backend.grow(global.num_slots());
+        }
+
+        Some(WindowOutcome {
+            index: window_index,
+            start: window.start,
+            observable,
+            correct,
+            raw_alarms,
+            filtered_alarms,
+            cluster_events,
+        })
+    }
+}
+
+/// A completed engine run: every window outcome plus the final models,
+/// answering the same post-run queries as the serial pipeline.
+#[derive(Debug)]
+pub struct EngineRun {
+    global: GlobalModel,
+    sensors: BTreeMap<SensorId, SensorRuntime>,
+    outcomes: Vec<WindowOutcome>,
+}
+
+impl EngineRun {
+    /// Every processed window, in order.
+    pub fn outcomes(&self) -> &[WindowOutcome] {
+        &self.outcomes
+    }
+
+    /// Consumes the run, returning the outcomes.
+    pub fn into_outcomes(self) -> Vec<WindowOutcome> {
+        self.outcomes
+    }
+
+    /// The global model (states, `M_CO`, histories).
+    pub fn global(&self) -> &GlobalModel {
+        &self.global
+    }
+
+    /// Number of windows fully processed (post-bootstrap).
+    pub fn windows_processed(&self) -> u64 {
+        self.global.windows_processed()
+    }
+
+    /// Sensors seen so far.
+    pub fn sensor_ids(&self) -> Vec<SensorId> {
+        self.sensors.keys().copied().collect()
+    }
+
+    /// The per-sensor `M_CE` estimator.
+    pub fn m_ce(&self, sensor: SensorId) -> Option<&OnlineHmmEstimator> {
+        self.sensors.get(&sensor).map(SensorRuntime::m_ce)
+    }
+
+    /// The raw-alarm history of a sensor as `(window, raw)` pairs.
+    pub fn raw_alarm_history(&self, sensor: SensorId) -> Option<&[(u64, bool)]> {
+        self.sensors.get(&sensor).map(SensorRuntime::raw_history)
+    }
+
+    /// The error/attack tracks opened for a sensor.
+    pub fn tracks(&self, sensor: SensorId) -> Option<&[TrackRecord]> {
+        self.sensors.get(&sensor).map(SensorRuntime::tracks)
+    }
+
+    /// Whether a filtered alarm was ever raised for the sensor.
+    pub fn ever_alarmed(&self, sensor: SensorId) -> bool {
+        self.sensors
+            .get(&sensor)
+            .map(SensorRuntime::ever_alarmed)
+            .unwrap_or(false)
+    }
+
+    /// Memoized network-level verdict (see
+    /// [`sentinet_core::Pipeline::network_attack`]).
+    pub fn network_attack(&self) -> Option<AttackType> {
+        self.global.network_attack()
+    }
+
+    /// Classifies one sensor (see [`sentinet_core::Pipeline::classify`]).
+    pub fn classify(&self, sensor: SensorId) -> Diagnosis {
+        self.global.classify(self.sensors.get(&sensor))
+    }
+
+    /// Classifies one sensor with the verdict's confidence.
+    pub fn classify_with_confidence(&self, sensor: SensorId) -> (Diagnosis, f64) {
+        self.global
+            .classify_with_confidence(self.sensors.get(&sensor))
+    }
+
+    /// Classifies every sensor seen so far.
+    pub fn classify_all(&self) -> BTreeMap<SensorId, Diagnosis> {
+        self.sensors
+            .iter()
+            .map(|(&id, rt)| (id, self.global.classify(Some(rt))))
+            .collect()
+    }
+
+    /// The `(window, correct, observable)` decisive-window history.
+    pub fn state_history(&self) -> &[(u64, usize, usize)] {
+        self.global.state_history()
+    }
+
+    /// Builds the operator-facing snapshot, identical in content to
+    /// [`sentinet_core::Pipeline::report`] on the same trace.
+    pub fn report(&self) -> PipelineReport {
+        let key_states = match (self.global.states(), self.global.correct_model()) {
+            (Some(states), Some(m_c)) => m_c
+                .key_states(self.global.config().key_state_occupancy)
+                .into_iter()
+                .filter_map(|slot| {
+                    states.centroid_any(slot).map(|c| StateSummary {
+                        slot,
+                        centroid: c.to_vec(),
+                        occupancy: m_c.occupancy()[slot],
+                    })
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+        let sensors = self
+            .sensors
+            .iter()
+            .map(|(&id, rt)| {
+                let hist = rt.raw_history();
+                let raw_alarm_rate = if hist.is_empty() {
+                    0.0
+                } else {
+                    hist.iter().filter(|(_, r)| *r).count() as f64 / hist.len() as f64
+                };
+                SensorSummary {
+                    sensor: id,
+                    diagnosis: self.global.classify(Some(rt)),
+                    raw_alarm_rate,
+                    tracks: rt.tracks().iter().map(|t| (t.opened, t.closed)).collect(),
+                }
+            })
+            .collect();
+        PipelineReport {
+            windows_processed: self.global.windows_processed(),
+            key_states,
+            network_attack: self.network_attack(),
+            sensors,
+        }
+    }
+
+    /// Builds the recovery plan from the run's diagnoses, identical to
+    /// [`sentinet_core::RecoveryPlan::from_pipeline`] on the same
+    /// trace.
+    pub fn recovery_plan(&self) -> RecoveryPlan {
+        let actions = self
+            .sensors
+            .iter()
+            .map(|(&id, rt)| {
+                let d = self.global.classify(Some(rt));
+                (id, RecoveryAction::for_diagnosis(&d))
+            })
+            .collect();
+        RecoveryPlan { actions }
+    }
+}

@@ -57,10 +57,8 @@ impl KOfNFilter {
 
     /// Feeds one raw alarm flag; returns the filtered alarm state.
     pub fn push(&mut self, raw: bool) -> bool {
-        if self.window.len() == self.n {
-            if self.window.pop_front() == Some(true) {
-                self.count -= 1;
-            }
+        if self.window.len() == self.n && self.window.pop_front() == Some(true) {
+            self.count -= 1;
         }
         self.window.push_back(raw);
         if raw {

@@ -71,7 +71,7 @@ pub struct TrainedHmm {
 /// let truth = Hmm::random(2, 3, &mut rng)?;
 /// let (_, obs) = truth.sample(200, &mut rng)?;
 /// let init = Hmm::random(2, 3, &mut rng)?;
-/// let trained = baum_welch(&init, &[obs.clone()], &BaumWelchConfig::default())?;
+/// let trained = baum_welch(&init, std::slice::from_ref(&obs), &BaumWelchConfig::default())?;
 /// assert!(trained.hmm.log_likelihood(&obs)? >= init.log_likelihood(&obs)?);
 /// # Ok(())
 /// # }
@@ -230,7 +230,12 @@ mod tests {
         let trained = (0..5)
             .map(|_| {
                 let init = Hmm::random(2, 2, &mut rng).unwrap();
-                baum_welch(&init, &[obs.clone()], &BaumWelchConfig::default()).unwrap()
+                baum_welch(
+                    &init,
+                    std::slice::from_ref(&obs),
+                    &BaumWelchConfig::default(),
+                )
+                .unwrap()
             })
             .max_by(|x, y| {
                 let lx = x.hmm.log_likelihood(&obs).unwrap();

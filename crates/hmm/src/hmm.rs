@@ -59,6 +59,22 @@ impl Forward {
     }
 }
 
+/// Reusable buffers for [`Hmm::log_likelihood_into`]: two state-sized
+/// vectors that persist across calls so repeated scoring allocates
+/// nothing after the first evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct ForwardScratch {
+    alpha: Vec<f64>,
+    next: Vec<f64>,
+}
+
+impl ForwardScratch {
+    /// Creates empty scratch buffers (they size themselves on use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Result of Viterbi decoding: the maximum-probability state path and
 /// its log-probability.
 #[derive(Debug, Clone, PartialEq)]
@@ -283,6 +299,48 @@ impl Hmm {
         Ok(self.forward(obs)?.log_likelihood())
     }
 
+    /// [`Hmm::log_likelihood`] with caller-provided scratch buffers:
+    /// after warm-up no allocation happens, which matters when scoring
+    /// thousands of sliding windows against the same model. The result
+    /// is bit-identical to the allocating path (same operation order).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Hmm::forward`].
+    pub fn log_likelihood_into(&self, obs: &[usize], scratch: &mut ForwardScratch) -> Result<f64> {
+        self.check_symbols(obs)?;
+        let m = self.num_states();
+        let alpha = &mut scratch.alpha;
+        let next = &mut scratch.next;
+        alpha.clear();
+        alpha.extend((0..m).map(|i| self.pi[i] * self.b[(i, obs[0])]));
+        let c0: f64 = alpha.iter().sum();
+        if c0 <= 0.0 {
+            return Err(HmmError::ImpossibleSequence { time: 0 });
+        }
+        alpha.iter_mut().for_each(|x| *x /= c0);
+        let mut ll = c0.ln();
+        for (t, &o) in obs.iter().enumerate().skip(1) {
+            next.clear();
+            next.resize(m, 0.0);
+            for (j, nx) in next.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for (i, &ai) in alpha.iter().enumerate() {
+                    acc += ai * self.a[(i, j)];
+                }
+                *nx = acc * self.b[(j, o)];
+            }
+            let c: f64 = next.iter().sum();
+            if c <= 0.0 {
+                return Err(HmmError::ImpossibleSequence { time: t });
+            }
+            next.iter_mut().for_each(|x| *x /= c);
+            ll += c.ln();
+            std::mem::swap(alpha, next);
+        }
+        Ok(ll)
+    }
+
     /// Posterior state marginals `γ[t][i] = Pr{s_t = S_i | O, λ}`.
     ///
     /// # Errors
@@ -443,6 +501,26 @@ mod tests {
                 "obs {obs:?}: scaled {ll} vs brute {bf}"
             );
         }
+    }
+
+    #[test]
+    fn scratch_forward_matches_allocating_forward() {
+        let h = toy();
+        let mut scratch = ForwardScratch::new();
+        for obs in [vec![0], vec![0, 1], vec![1, 1, 0], vec![0, 1, 0, 1, 1]] {
+            let alloc = h.log_likelihood(&obs).unwrap();
+            let reused = h.log_likelihood_into(&obs, &mut scratch).unwrap();
+            assert_eq!(alloc.to_bits(), reused.to_bits(), "obs {obs:?}");
+        }
+        // Error paths behave the same.
+        assert!(matches!(
+            h.log_likelihood_into(&[], &mut scratch),
+            Err(HmmError::EmptySequence)
+        ));
+        assert!(matches!(
+            h.log_likelihood_into(&[9], &mut scratch),
+            Err(HmmError::SymbolOutOfRange { .. })
+        ));
     }
 
     #[test]

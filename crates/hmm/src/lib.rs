@@ -43,6 +43,9 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Indexed loops are the natural idiom for the dense matrix recurrences
+// throughout this crate; iterator rewrites obscure the paper's algebra.
+#![allow(clippy::needless_range_loop)]
 
 mod error;
 mod hmm;
@@ -57,7 +60,7 @@ pub mod structure;
 
 pub use baum_welch::{baum_welch, BaumWelchConfig, TrainedHmm};
 pub use error::{HmmError, Result};
-pub use hmm::{Forward, Hmm, ViterbiPath};
+pub use hmm::{Forward, ForwardScratch, Hmm, ViterbiPath};
 pub use markov::{MarkovChain, OnlineMarkovEstimator};
 pub use matrix::{validate_distribution, StochasticMatrix, STOCHASTIC_TOL};
 pub use online::OnlineHmmEstimator;

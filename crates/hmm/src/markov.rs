@@ -283,7 +283,7 @@ impl OnlineMarkovEstimator {
         let add = num_states.saturating_sub(self.num_states());
         if add > 0 {
             self.transition.grow(add, add);
-            self.visits.extend(std::iter::repeat(0).take(add));
+            self.visits.extend(std::iter::repeat_n(0, add));
         }
     }
 

@@ -58,6 +58,9 @@ pub struct OnlineHmmEstimator {
     /// actually been updated (identity rows are priors, not evidence).
     obs_counts: Vec<u64>,
     steps: u64,
+    /// Bumped on every update that can change `A`/`B`; see
+    /// [`OnlineHmmEstimator::generation`].
+    generation: u64,
 }
 
 impl OnlineHmmEstimator {
@@ -98,6 +101,7 @@ impl OnlineHmmEstimator {
             state_counts: vec![0; num_states],
             obs_counts: vec![0; num_states],
             steps: 0,
+            generation: 0,
         })
     }
 
@@ -156,7 +160,19 @@ impl OnlineHmmEstimator {
             gamma,
             prev_state: None,
             steps: 0,
+            generation: 0,
         })
+    }
+
+    /// Update generation: incremented by every [`observe`] and by every
+    /// [`grow`] that actually changes a dimension. Results derived from
+    /// `A`/`B` (Gram matrices, structural tests) stay valid while the
+    /// generation is unchanged, so it serves as a cheap cache key.
+    ///
+    /// [`observe`]: OnlineHmmEstimator::observe
+    /// [`grow`]: OnlineHmmEstimator::grow
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Number of hidden states currently tracked.
@@ -215,6 +231,7 @@ impl OnlineHmmEstimator {
         self.obs_counts[state] += 1;
         self.prev_state = Some(state);
         self.steps += 1;
+        self.generation += 1;
         Ok(())
     }
 
@@ -227,11 +244,12 @@ impl OnlineHmmEstimator {
         let add_y = num_symbols.saturating_sub(self.num_symbols());
         if add_s > 0 {
             self.a.grow(add_s, add_s);
-            self.state_counts.extend(std::iter::repeat(0).take(add_s));
-            self.obs_counts.extend(std::iter::repeat(0).take(add_s));
+            self.state_counts.extend(std::iter::repeat_n(0, add_s));
+            self.obs_counts.extend(std::iter::repeat_n(0, add_s));
         }
         if add_s > 0 || add_y > 0 {
             self.b.grow(add_s, add_y);
+            self.generation += 1;
         }
     }
 
@@ -396,6 +414,18 @@ mod tests {
             est.observe(0, 2),
             Err(HmmError::SymbolOutOfRange { .. })
         ));
+    }
+
+    #[test]
+    fn generation_tracks_updates() {
+        let mut est = OnlineHmmEstimator::new(2, 2, 0.9, 0.9).unwrap();
+        assert_eq!(est.generation(), 0);
+        est.observe(0, 0).unwrap();
+        assert_eq!(est.generation(), 1);
+        est.grow(2, 2); // no-op: dimensions unchanged
+        assert_eq!(est.generation(), 1);
+        est.grow(3, 3);
+        assert_eq!(est.generation(), 2);
     }
 
     #[test]

@@ -159,6 +159,118 @@ impl OrthogonalityReport {
     }
 }
 
+/// Memoized one-to-one association result (`None` = no association).
+type CachedAssociation = Option<Vec<(usize, usize)>>;
+
+/// Cache key for the parameterized structural tests: an estimator's
+/// update generation plus the query parameters.
+#[derive(Debug, Clone, PartialEq)]
+struct CacheKey {
+    generation: u64,
+    max_offdiag: f64,
+    min_diag: f64,
+    threshold: f64,
+    active_rows: Option<Vec<usize>>,
+}
+
+impl CacheKey {
+    fn new(generation: u64, active_rows: Option<&[usize]>) -> Self {
+        Self {
+            generation,
+            max_offdiag: 0.0,
+            min_diag: 0.0,
+            threshold: 0.0,
+            active_rows: active_rows.map(<[usize]>::to_vec),
+        }
+    }
+}
+
+/// Memoized structural analysis of one evolving observation matrix.
+///
+/// The Gram-matrix orthogonality analysis is `O(m²·n)` and the pipeline
+/// consults it on every `classify`/`network_attack`/confidence query —
+/// typically many times between matrix updates. Keying each result on
+/// the estimator's *update generation* (see
+/// `OnlineHmmEstimator::generation`) makes repeated queries after
+/// unchanged windows O(1): the caller passes the current generation and
+/// the cache recomputes only when it, or a query parameter, changed.
+#[derive(Debug, Clone, Default)]
+pub struct StructureCache {
+    ortho: Option<(CacheKey, OrthogonalityReport)>,
+    stuck: Option<(CacheKey, Option<usize>)>,
+    assoc: Option<(CacheKey, CachedAssociation)>,
+    recomputes: u64,
+}
+
+impl StructureCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Memoized [`OrthogonalityReport::analyze`]. `generation` must
+    /// uniquely identify the current contents of `b`.
+    pub fn orthogonality(
+        &mut self,
+        generation: u64,
+        b: &StochasticMatrix,
+        tol: OrthoTolerance,
+        active_rows: Option<&[usize]>,
+    ) -> &OrthogonalityReport {
+        let mut key = CacheKey::new(generation, active_rows);
+        key.max_offdiag = tol.max_offdiag;
+        key.min_diag = tol.min_diag;
+        if !matches!(&self.ortho, Some((k, _)) if *k == key) {
+            self.recomputes += 1;
+            let report = OrthogonalityReport::analyze(b, tol, active_rows);
+            self.ortho = Some((key, report));
+        }
+        &self.ortho.as_ref().expect("just filled").1
+    }
+
+    /// Memoized [`stuck_at_column`].
+    pub fn stuck_at(
+        &mut self,
+        generation: u64,
+        b: &StochasticMatrix,
+        threshold: f64,
+        active_rows: Option<&[usize]>,
+    ) -> Option<usize> {
+        let mut key = CacheKey::new(generation, active_rows);
+        key.threshold = threshold;
+        if !matches!(&self.stuck, Some((k, _)) if *k == key) {
+            self.recomputes += 1;
+            let column = stuck_at_column(b, threshold, active_rows);
+            self.stuck = Some((key, column));
+        }
+        self.stuck.as_ref().expect("just filled").1
+    }
+
+    /// Memoized [`one_to_one_association`].
+    pub fn association(
+        &mut self,
+        generation: u64,
+        b: &StochasticMatrix,
+        threshold: f64,
+        active_rows: Option<&[usize]>,
+    ) -> Option<&[(usize, usize)]> {
+        let mut key = CacheKey::new(generation, active_rows);
+        key.threshold = threshold;
+        if !matches!(&self.assoc, Some((k, _)) if *k == key) {
+            self.recomputes += 1;
+            let pairs = one_to_one_association(b, threshold, active_rows);
+            self.assoc = Some((key, pairs));
+        }
+        self.assoc.as_ref().expect("just filled").1.as_deref()
+    }
+
+    /// How many underlying analyses have actually run — the observable
+    /// that memoization works (stays flat across repeated queries).
+    pub fn recomputes(&self) -> u64 {
+        self.recomputes
+    }
+}
+
 /// Tests Eq. 7: does `b` have a single column that holds (approximately)
 /// all the mass of every row? Returns that column's index if so.
 ///
@@ -261,7 +373,7 @@ fn permutations(n: usize, f: &mut impl FnMut(&[usize])) {
         }
         for i in 0..k {
             heaps(k - 1, arr, f);
-            if k % 2 == 0 {
+            if k.is_multiple_of(2) {
                 arr.swap(i, k - 1);
             } else {
                 arr.swap(0, k - 1);
@@ -452,6 +564,56 @@ mod tests {
         let a = StochasticMatrix::uniform(2, 3).unwrap();
         let b = StochasticMatrix::uniform(2, 3).unwrap();
         assert!(aligned_b_distance(&a, &b) < 1e-12);
+    }
+
+    #[test]
+    fn structure_cache_hits_on_same_generation() {
+        let b = b_identityish();
+        let mut cache = StructureCache::new();
+        let tol = OrthoTolerance::default();
+        let first = cache.orthogonality(1, &b, tol, None).clone();
+        assert_eq!(cache.recomputes(), 1);
+        for _ in 0..10 {
+            let again = cache.orthogonality(1, &b, tol, None);
+            assert_eq!(*again, first);
+        }
+        assert_eq!(cache.recomputes(), 1, "repeated queries must be cached");
+        // A new generation forces exactly one recomputation.
+        cache.orthogonality(2, &b, tol, None);
+        assert_eq!(cache.recomputes(), 2);
+    }
+
+    #[test]
+    fn structure_cache_distinguishes_parameters() {
+        let b = StochasticMatrix::from_rows(vec![vec![0.0, 1.0], vec![0.4, 0.6]]).unwrap();
+        let mut cache = StructureCache::new();
+        assert_eq!(cache.stuck_at(1, &b, 0.5, None), Some(1));
+        assert_eq!(cache.stuck_at(1, &b, 0.5, None), Some(1));
+        assert_eq!(cache.recomputes(), 1);
+        // Different threshold is a different query, not a cache hit.
+        assert_eq!(cache.stuck_at(1, &b, 0.9, None), None);
+        assert_eq!(cache.recomputes(), 2);
+        // Different active mask likewise.
+        assert_eq!(cache.stuck_at(1, &b, 0.9, Some(&[0])), Some(1));
+        assert_eq!(cache.recomputes(), 3);
+    }
+
+    #[test]
+    fn structure_cache_association_matches_uncached() {
+        let b = StochasticMatrix::from_rows(vec![
+            vec![0.0, 0.86, 0.0, 0.14],
+            vec![0.0, 0.0, 0.85, 0.15],
+            vec![0.87, 0.0, 0.0, 0.13],
+        ])
+        .unwrap();
+        let mut cache = StructureCache::new();
+        let direct = one_to_one_association(&b, 0.5, None);
+        assert_eq!(
+            cache.association(7, &b, 0.5, None).map(<[_]>::to_vec),
+            direct
+        );
+        cache.association(7, &b, 0.5, None);
+        assert_eq!(cache.recomputes(), 1);
     }
 
     #[test]

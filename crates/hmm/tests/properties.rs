@@ -1,5 +1,7 @@
 //! Property-based tests for the HMM substrate's core invariants.
 
+#![allow(clippy::needless_range_loop)]
+
 use proptest::prelude::*;
 use sentinet_hmm::structure::{OrthoTolerance, OrthogonalityReport};
 use sentinet_hmm::{

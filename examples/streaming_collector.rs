@@ -48,7 +48,7 @@ fn main() {
     let mut alarm_announced = false;
     for (time, sensor, reading) in replayed.delivered() {
         // Each reading may complete one or more observation windows.
-        for outcome in pipeline.push_reading(time, sensor, reading.clone()) {
+        for outcome in pipeline.push_reading(time, sensor, reading) {
             if !outcome.filtered_alarms.is_empty() && !alarm_announced {
                 alarm_announced = true;
                 println!(

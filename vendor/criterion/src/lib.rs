@@ -1,0 +1,116 @@
+//! Offline stand-in for the subset of `criterion 0.5` this workspace
+//! uses: `Criterion::bench_function`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Timing is a simple warm-up-then-sample loop reporting min/mean wall
+//! time per iteration — adequate for relative comparisons on one
+//! machine, with none of the real crate's statistics.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped (accepted, not interpreted).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Collects timing samples for one benchmark.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` over several iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+        let budget = Duration::from_millis(300);
+        let start = Instant::now();
+        while self.samples.len() < 3 || (start.elapsed() < budget && self.samples.len() < 200) {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup` (setup excluded).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let budget = Duration::from_millis(300);
+        let start = Instant::now();
+        while self.samples.len() < 3 || (start.elapsed() < budget && self.samples.len() < 200) {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+/// Registry of benchmarks; prints one line per benchmark.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs `f` with a [`Bencher`] and reports the timing.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        let n = bencher.samples.len().max(1) as u32;
+        let total: Duration = bencher.samples.iter().sum();
+        let mean = total / n;
+        let min = bencher.samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "{id:<40} time: [min {} mean {}] ({} samples)",
+            fmt_duration(min),
+            fmt_duration(mean),
+            n
+        );
+        self
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
