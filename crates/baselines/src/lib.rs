@@ -13,7 +13,7 @@
 //! feeds them the same quantized window states the `sentinet` pipeline
 //! produces, so the comparison in `exp_baselines` is apples-to-apples.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod markov_detector;

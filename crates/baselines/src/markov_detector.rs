@@ -89,6 +89,7 @@ impl MarkovDetector {
             .enumerate()
             .map(|(i, row)| {
                 let s: f64 = row.iter().sum();
+                // sentinet-allow(float-eq): an exactly-zero row sum cannot be normalised; the guard falls back to uniform
                 if s == 0.0 {
                     let mut r = vec![0.0; num_states];
                     r[i] = 1.0;

@@ -90,6 +90,7 @@ impl HmmDetector {
                 best = Some((ll, trained.hmm));
             }
         }
+        // sentinet-allow(expect-used): at least one restart always runs, so a best-scoring model exists
         self.model = Some(best.expect("three restarts ran").1);
         Ok(())
     }
@@ -132,6 +133,7 @@ impl HmmDetector {
     ///
     /// Panics if called before [`HmmDetector::train`].
     pub fn score(&self, window: &[usize]) -> Result<f64, HmmError> {
+        // sentinet-allow(expect-used): detect is documented to require train() first; absence is a caller bug
         let model = self.model.as_ref().expect("train the detector first");
         match model.log_likelihood(window) {
             Ok(ll) => Ok(ll / window.len() as f64),
@@ -151,6 +153,7 @@ impl HmmDetector {
     /// Panics if called before [`HmmDetector::train`] and
     /// [`HmmDetector::calibrate`].
     pub fn is_anomalous(&self, window: &[usize]) -> Result<bool, HmmError> {
+        // sentinet-allow(expect-used): score is documented to require calibrate() first; absence is a caller bug
         let eta = self.threshold.expect("calibrate the detector first");
         Ok(self.score(window)? < eta)
     }

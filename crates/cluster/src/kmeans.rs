@@ -62,6 +62,7 @@ pub fn kmeans<R: Rng + ?Sized>(
             })
             .collect();
         let total: f64 = d2.iter().sum();
+        // sentinet-allow(float-eq): an exactly-zero weight total means all points coincide; take the uniform fallback
         if total == 0.0 {
             // All points coincide with existing centroids; duplicate one.
             centroids.push(points[rng.gen_range(0..points.len())].clone());
@@ -87,11 +88,8 @@ pub fn kmeans<R: Rng + ?Sized>(
         let mut changed = false;
         for (i, p) in points.iter().enumerate() {
             let best = (0..k)
-                .min_by(|&a, &b| {
-                    sq_dist(p, &centroids[a])
-                        .partial_cmp(&sq_dist(p, &centroids[b]))
-                        .expect("distances are not NaN")
-                })
+                .min_by(|&a, &b| sq_dist(p, &centroids[a]).total_cmp(&sq_dist(p, &centroids[b])))
+                // sentinet-allow(expect-used): k >= 1 is asserted at entry, so a nearest centroid always exists
                 .expect("k > 0");
             if assignments[i] != best {
                 assignments[i] = best;
@@ -115,10 +113,10 @@ pub fn kmeans<R: Rng + ?Sized>(
                     .enumerate()
                     .max_by(|(_, a), (_, b)| {
                         sq_dist(a, &centroids[assignments[0]])
-                            .partial_cmp(&sq_dist(b, &centroids[assignments[0]]))
-                            .expect("distances are not NaN")
+                            .total_cmp(&sq_dist(b, &centroids[assignments[0]]))
                     })
                     .map(|(i, _)| i)
+                    // sentinet-allow(expect-used): the caller guarantees a non-empty point set before seeding
                     .expect("points is non-empty");
                 centroids[c] = points[far].clone();
                 changed = true;

@@ -25,7 +25,7 @@
 //! assert_eq!(states.active_states().len(), 2);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod kmeans;

@@ -176,7 +176,7 @@ impl ModelStates {
         self.active_states()
             .into_iter()
             .map(|i| (i, dist(&self.centroids[i], point)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are not NaN"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
     }
 
     /// Maps each observation to its nearest state — the `l_j` labels of
@@ -184,6 +184,7 @@ impl ModelStates {
     pub fn assign(&self, points: &[Vec<f64>]) -> Vec<usize> {
         points
             .iter()
+            // sentinet-allow(expect-used): merges always leave a survivor, so an active state exists
             .map(|p| self.nearest(p).expect("at least one active state").0)
             .collect()
     }
@@ -200,11 +201,13 @@ impl ModelStates {
     ///
     /// Panics if `point` has the wrong dimensionality.
     pub fn spawn_if_uncovered(&mut self, point: &[f64]) -> Option<usize> {
+        // sentinet-allow(expect-used): merges always leave a survivor, so an active state exists
         let (_, d) = self.nearest(point).expect("at least one active state");
         if d > self.config.spawn_threshold && self.active_states().len() < self.config.max_states {
             self.centroids.push(point.to_vec());
             self.active.push(true);
             self.generation += 1;
+            self.assert_invariants("spawn_if_uncovered");
             Some(self.centroids.len() - 1)
         } else {
             None
@@ -268,6 +271,7 @@ impl ModelStates {
         // Spawn pass: points beyond the spawn threshold from every
         // active state create new states (capped).
         for p in points {
+            // sentinet-allow(expect-used): merges always leave a survivor, so an active state exists
             let (_, d) = self.nearest(p).expect("at least one active state");
             if d > self.config.spawn_threshold
                 && self.active_states().len() < self.config.max_states
@@ -277,8 +281,33 @@ impl ModelStates {
                 events.push(StateEvent::Spawned(self.centroids.len() - 1));
             }
         }
+        self.assert_invariants("update");
         events
     }
+
+    /// Asserts the structural invariants after a mutation: at least one
+    /// active state survives, and every active centroid is finite.
+    /// Compiles to nothing unless the `check-invariants` feature is on;
+    /// `xtask analyze` runs the test suite with it enabled.
+    #[cfg(feature = "check-invariants")]
+    fn assert_invariants(&self, context: &str) {
+        debug_assert!(
+            self.active.iter().any(|&a| a),
+            "{context}: every model-state slot is inactive"
+        );
+        for (i, c) in self.centroids.iter().enumerate() {
+            if self.active[i] {
+                debug_assert!(
+                    c.iter().all(|x| x.is_finite()),
+                    "{context}: centroid {i} contains a non-finite entry: {c:?}"
+                );
+            }
+        }
+    }
+
+    #[cfg(not(feature = "check-invariants"))]
+    #[inline(always)]
+    fn assert_invariants(&self, _context: &str) {}
 }
 
 fn dist(a: &[f64], b: &[f64]) -> f64 {

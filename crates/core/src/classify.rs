@@ -325,6 +325,7 @@ pub fn classify_sensor(
         if ratios.len() < config.min_association_pairs {
             return false;
         }
+        // sentinet-allow(expect-used): windows handed to mean_var are non-empty by construction
         let mv = mean_var(&ratios).expect("non-empty");
         mv.var.sqrt() <= config.constancy_cv * mv.mean.abs().max(1e-9)
     });
@@ -336,6 +337,7 @@ pub fn classify_sensor(
     let diff_stats: Vec<_> = (0..dims)
         .map(|d| {
             let diffs: Vec<f64> = pairs.iter().map(|(c, e)| c[d] - e[d]).collect();
+            // sentinet-allow(expect-used): windows handed to mean_var are non-empty by construction
             mean_var(&diffs).expect("non-empty")
         })
         .collect();

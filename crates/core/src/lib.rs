@@ -52,7 +52,7 @@
 //! assert!(pipeline.ever_alarmed(SensorId(6)));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod classify;

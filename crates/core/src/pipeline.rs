@@ -204,7 +204,7 @@ impl Pipeline {
 
         let ws = identify_states_with(
             window,
-            self.global.states().expect("installed above"),
+            self.global.states()?,
             mean?,
             self.global.config().majority_fraction,
         )?;
@@ -375,16 +375,15 @@ impl Pipeline {
             .enumerate()
             .filter(|(_, &c)| c >= self.global.config().min_state_evidence)
             .filter(|(i, _)| b[(*i, BOT_SYMBOL)] <= 0.5)
-            .map(|(i, _)| {
+            .filter_map(|(i, _)| {
                 let row = b.row(i);
                 let dominant = row
                     .iter()
                     .enumerate()
                     .skip(1) // never pick ⊥ as the signature symbol
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
-                    .map(|(k, _)| k)
-                    .expect("rows are non-empty");
-                (i, dominant)
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(k, _)| k)?;
+                Some((i, dominant))
             })
             .collect()
     }

@@ -152,6 +152,7 @@ impl SensorRuntime {
             let symbol = if raw { label + 1 } else { BOT_SYMBOL };
             self.m_ce
                 .observe(correct, symbol)
+                // sentinet-allow(expect-used): symbol and state counts are sized by grow before observe runs
                 .expect("state and symbol within estimator dims");
         }
         SensorStep { raw, filtered }
@@ -188,9 +189,12 @@ fn make_m_ce(config: &PipelineConfig, num_slots: usize) -> OnlineHmmEstimator {
             r
         })
         .collect();
+    // sentinet-allow(expect-used): one-hot rows are stochastic by construction
     let b = StochasticMatrix::from_rows(rows).expect("rows are one-hot");
+    // sentinet-allow(expect-used): num_slots >= 1 is asserted at bootstrap
     let a = StochasticMatrix::identity(num_slots).expect("num_slots > 0");
     OnlineHmmEstimator::with_initial(a, b, config.beta, config.gamma)
+        // sentinet-allow(expect-used): learning factors were validated by PipelineConfig::validate
         .expect("validated learning factors")
 }
 
@@ -258,12 +262,15 @@ impl GlobalModel {
         self.states = Some(ModelStates::new(centroids, self.config.cluster.clone()));
         self.m_co = Some(
             OnlineHmmEstimator::new(m, m, self.config.beta, self.config.gamma)
+                // sentinet-allow(expect-used): learning factors were validated by PipelineConfig::validate
                 .expect("validated learning factors"),
         );
         self.m_c = Some(
+            // sentinet-allow(expect-used): learning factors were validated by PipelineConfig::validate
             OnlineMarkovEstimator::new(m, self.config.beta).expect("validated learning factors"),
         );
         self.m_o = Some(
+            // sentinet-allow(expect-used): learning factors were validated by PipelineConfig::validate
             OnlineMarkovEstimator::new(m, self.config.beta).expect("validated learning factors"),
         );
     }
@@ -311,6 +318,7 @@ impl GlobalModel {
         // pass collapses them before any state identification.
         self.states
             .as_mut()
+            // sentinet-allow(expect-used): the global stages install states at bootstrap, before any decisive window
             .expect("just installed")
             .update(&points);
         true
@@ -328,6 +336,7 @@ impl GlobalModel {
         let spawned = self
             .states
             .as_mut()
+            // sentinet-allow(expect-used): the global stages install states at bootstrap, before any decisive window
             .expect("bootstrapped before covering")
             .spawn_if_uncovered(mean)
             .is_some();
@@ -344,18 +353,24 @@ impl GlobalModel {
             .push((self.windows_processed, correct, observable));
         self.m_co
             .as_mut()
+            // sentinet-allow(expect-used): estimators are installed at bootstrap, before any decisive window
             .expect("installed with states")
             .observe(correct, observable)
+            // sentinet-allow(expect-used): slots are grown in lockstep with the state set
             .expect("states within estimator dims");
         self.m_c
             .as_mut()
+            // sentinet-allow(expect-used): estimators are installed at bootstrap, before any decisive window
             .expect("installed")
             .observe(correct)
+            // sentinet-allow(expect-used): slots are grown in lockstep with the state set
             .expect("state in range");
         self.m_o
             .as_mut()
+            // sentinet-allow(expect-used): estimators are installed at bootstrap, before any decisive window
             .expect("installed")
             .observe(observable)
+            // sentinet-allow(expect-used): slots are grown in lockstep with the state set
             .expect("state in range");
     }
 
@@ -369,6 +384,7 @@ impl GlobalModel {
         let events = self
             .states
             .as_mut()
+            // sentinet-allow(expect-used): estimators are installed at bootstrap, before any decisive window
             .expect("bootstrapped before finishing")
             .update(points);
         self.grow_global();
@@ -400,6 +416,7 @@ impl GlobalModel {
     pub fn correct_model(&self) -> Option<MarkovChain> {
         self.m_c
             .as_ref()
+            // sentinet-allow(expect-used): online estimator rows stay row-stochastic, so to_chain cannot fail
             .map(|m| m.to_chain().expect("valid chain"))
     }
 
@@ -407,6 +424,7 @@ impl GlobalModel {
     pub fn observable_model(&self) -> Option<MarkovChain> {
         self.m_o
             .as_ref()
+            // sentinet-allow(expect-used): online estimator rows stay row-stochastic, so to_chain cannot fail
             .map(|m| m.to_chain().expect("valid chain"))
     }
 
@@ -478,6 +496,7 @@ impl GlobalModel {
                 structure,
             });
         }
+        // sentinet-allow(expect-used): the memo entry is filled on the line above
         Some(f(memo.as_ref().expect("just filled"), m_co))
     }
 
@@ -543,6 +562,7 @@ impl GlobalModel {
         let diagnosis = match self.network_attack() {
             Some(attack) => Diagnosis::Attack(attack),
             None => {
+                // sentinet-allow(expect-used): the generation stamp check guarantees the evidence entry exists
                 let net = self.network_evidence().expect("stamp checked");
                 let ev = self.sensor_evidence(rt);
                 classify_sensor(&net, &ev, &self.config)

@@ -205,6 +205,8 @@ impl ObservationWindow {
         let n = scratch.flat.len() / dims;
         scratch.mean.clear();
         scratch.mean.resize(dims, 0.0);
+        // sentinet-allow(float-eq): exact zero selects the untrimmed
+        // fast path; any positive trim takes the median path below.
         if trim == 0.0 {
             for point in scratch.flat.chunks_exact(dims) {
                 for (m, &v) in scratch.mean.iter_mut().zip(point) {
@@ -227,7 +229,7 @@ impl ObservationWindow {
             let mid = scratch.column.len() / 2;
             let (_, &mut med, _) = scratch
                 .column
-                .select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).expect("readings are finite"));
+                .select_nth_unstable_by(mid, |a, b| a.total_cmp(b));
             scratch.median.push(med);
         }
         // Distance from the median per reading; keep the nearest `keep`.
@@ -244,11 +246,7 @@ impl ObservationWindow {
         }
         let keep = ((n as f64) * (1.0 - trim)).ceil().max(1.0) as usize;
         let keep = keep.min(n);
-        let cmp = |a: &(f64, u32), b: &(f64, u32)| {
-            a.0.partial_cmp(&b.0)
-                .expect("distances are finite")
-                .then(a.1.cmp(&b.1))
-        };
+        let cmp = |a: &(f64, u32), b: &(f64, u32)| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1));
         if keep < n {
             scratch.order.select_nth_unstable_by(keep, cmp);
         }

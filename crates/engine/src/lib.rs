@@ -32,6 +32,12 @@
 //! the serial pipeline at any shard count; `num_shards = 1` runs
 //! inline without spawning threads at all.
 //!
+//! The worker/coordinator message protocol is public in [`protocol`],
+//! and the coordinator loop is generic over [`ShardBackend`], so the
+//! `xtask` shard-schedule model checker can drive the *same* stage
+//! code under every worker/coordinator interleaving and assert the
+//! majority-vote barrier yields bit-identical outcomes.
+//!
 //! # Examples
 //!
 //! ```
@@ -47,7 +53,7 @@
 //! assert!(!run.outcomes().is_empty());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 use crossbeam::channel::{Receiver, Sender};
@@ -62,89 +68,251 @@ use sentinet_hmm::OnlineHmmEstimator;
 use sentinet_sim::{SensorId, Trace};
 use std::collections::BTreeMap;
 
-/// Work dispatched from the coordinator to one shard.
-#[derive(Debug)]
-enum Job {
-    /// Label each representative against a model-state snapshot.
-    Label {
-        states: ModelStates,
-        means: Vec<(SensorId, Vec<f64>)>,
-    },
-    /// Run the per-sensor step of a decisive window.
-    Step {
-        window_index: u64,
-        correct: usize,
-        num_slots: usize,
-        labels: Vec<(SensorId, usize)>,
-    },
-    /// Grow every sensor estimator to the new slot count.
-    Grow { num_slots: usize },
-    /// Hand the shard's sensors back and exit.
-    Finish,
+pub mod protocol {
+    //! The worker/coordinator message protocol of the sharded engine.
+    //!
+    //! One [`ShardWorker`] lives on each worker thread and owns the
+    //! [`SensorRuntime`]s of its shard. The coordinator sends [`Job`]s,
+    //! the worker answers with [`Reply`]s, and the coordinator folds
+    //! arrival-ordered replies back into the serial pipeline's shapes
+    //! via [`collect_labels`] / [`collect_steps`].
+    //!
+    //! Everything here is deterministic given a delivery order, which
+    //! is exactly what the `xtask` model checker exploits: it replays
+    //! the protocol under every worker/coordinator schedule and asserts
+    //! the fold is order-insensitive.
+
+    use super::*;
+
+    /// Work dispatched from the coordinator to one shard.
+    #[derive(Debug)]
+    pub enum Job {
+        /// Label each representative against a model-state snapshot.
+        Label {
+            /// Snapshot of the coordinator's model states.
+            states: ModelStates,
+            /// This shard's `(sensor, window-mean)` representatives.
+            means: Vec<(SensorId, Vec<f64>)>,
+        },
+        /// Run the per-sensor step of a decisive window.
+        Step {
+            /// Index of the window being stepped.
+            window_index: u64,
+            /// The majority-elected correct state `c_i`.
+            correct: usize,
+            /// Model-state slot count (sizes new estimators).
+            num_slots: usize,
+            /// This shard's `(sensor, label)` pairs.
+            labels: Vec<(SensorId, usize)>,
+        },
+        /// Grow every sensor estimator to the new slot count.
+        Grow {
+            /// New model-state slot count.
+            num_slots: usize,
+        },
+        /// Hand the shard's sensors back and exit.
+        Finish,
+    }
+
+    /// A shard's answer to a [`Job`].
+    #[derive(Debug)]
+    pub enum Reply {
+        /// Labels for a [`Job::Label`]; `None` marks a sensor outside
+        /// every active model state.
+        Labels(Vec<(SensorId, Option<usize>)>),
+        /// Alarm lists for a [`Job::Step`], in the shard's ascending
+        /// sensor order.
+        Stepped {
+            /// Sensors whose label disagreed with the correct state.
+            raw: Vec<SensorId>,
+            /// Sensors whose filtered alarm is raised after this window.
+            filtered: Vec<SensorId>,
+        },
+        /// The shard's sensors, answering [`Job::Finish`].
+        Done(BTreeMap<SensorId, SensorRuntime>),
+    }
+
+    /// The shard that owns sensor `id` under `num_shards` shards.
+    pub fn shard_of(id: SensorId, num_shards: usize) -> usize {
+        id.0 as usize % num_shards
+    }
+
+    /// The per-sensor half of the engine: executes [`Job`]s against the
+    /// shard's own [`SensorRuntime`]s. Used verbatim by the engine's
+    /// worker threads and by the `xtask` schedule explorer.
+    #[derive(Debug)]
+    pub struct ShardWorker {
+        config: PipelineConfig,
+        sensors: BTreeMap<SensorId, SensorRuntime>,
+    }
+
+    impl ShardWorker {
+        /// Creates a worker with no sensors yet (they appear on their
+        /// first [`Job::Step`]).
+        pub fn new(config: PipelineConfig) -> Self {
+            Self {
+                config,
+                sensors: BTreeMap::new(),
+            }
+        }
+
+        /// Executes one job. [`Job::Grow`] has no reply; every other
+        /// job answers with exactly one [`Reply`]. After [`Job::Finish`]
+        /// the worker is empty and should not be reused.
+        pub fn handle(&mut self, job: Job) -> Option<Reply> {
+            match job {
+                Job::Label { states, means } => {
+                    let labels = means
+                        .iter()
+                        .map(|(id, mean)| (*id, states.nearest(mean).map(|(s, _)| s)))
+                        .collect();
+                    Some(Reply::Labels(labels))
+                }
+                Job::Step {
+                    window_index,
+                    correct,
+                    num_slots,
+                    labels,
+                } => {
+                    let mut raw = Vec::new();
+                    let mut filtered = Vec::new();
+                    for (id, label) in labels {
+                        let sensor = self
+                            .sensors
+                            .entry(id)
+                            .or_insert_with(|| SensorRuntime::new(&self.config, num_slots));
+                        let step = sensor.step(window_index, label, correct);
+                        if step.raw {
+                            raw.push(id);
+                        }
+                        if step.filtered {
+                            filtered.push(id);
+                        }
+                    }
+                    Some(Reply::Stepped { raw, filtered })
+                }
+                Job::Grow { num_slots } => {
+                    for s in self.sensors.values_mut() {
+                        s.grow(num_slots);
+                    }
+                    None
+                }
+                Job::Finish => Some(Reply::Done(std::mem::take(&mut self.sensors))),
+            }
+        }
+
+        /// The shard's sensors (for post-run inspection).
+        pub fn sensors(&self) -> &BTreeMap<SensorId, SensorRuntime> {
+            &self.sensors
+        }
+
+        /// Consumes the worker, returning its sensors.
+        pub fn into_sensors(self) -> BTreeMap<SensorId, SensorRuntime> {
+            self.sensors
+        }
+    }
+
+    /// Folds label replies (in arrival order) into the serial
+    /// pipeline's label map. Returns `None` if any sensor fell outside
+    /// every active model state — the serial pipeline then drops the
+    /// whole window, so the engine must too — or if a reply is not a
+    /// [`Reply::Labels`] (protocol corruption; unreachable with the
+    /// engine's own workers).
+    ///
+    /// The fold is insensitive to arrival order: labels land in a
+    /// [`BTreeMap`] keyed by sensor. The model checker asserts this
+    /// under every schedule.
+    pub fn collect_labels(replies: Vec<Reply>) -> Option<BTreeMap<SensorId, usize>> {
+        let mut labels = BTreeMap::new();
+        for reply in replies {
+            let Reply::Labels(batch) = reply else {
+                debug_assert!(false, "label barrier answered with a non-label reply");
+                return None;
+            };
+            for (id, label) in batch {
+                labels.insert(id, label?);
+            }
+        }
+        Some(labels)
+    }
+
+    /// Folds step replies (in arrival order) into ascending-sensor
+    /// alarm lists — the serial pipeline's iteration order. The final
+    /// sort is what makes the fold arrival-order-insensitive; replies
+    /// that are not [`Reply::Stepped`] are ignored (protocol
+    /// corruption; unreachable with the engine's own workers).
+    pub fn collect_steps(replies: Vec<Reply>) -> (Vec<SensorId>, Vec<SensorId>) {
+        let mut raw_alarms = Vec::new();
+        let mut filtered_alarms = Vec::new();
+        for reply in replies {
+            let Reply::Stepped { raw, filtered } = reply else {
+                debug_assert!(false, "step barrier answered with a non-step reply");
+                continue;
+            };
+            raw_alarms.extend(raw);
+            filtered_alarms.extend(filtered);
+        }
+        raw_alarms.sort_unstable();
+        filtered_alarms.sort_unstable();
+        (raw_alarms, filtered_alarms)
+    }
 }
 
-/// A shard's answer to a [`Job`].
-enum Reply {
-    Labels(Vec<(SensorId, Option<usize>)>),
-    Stepped {
-        raw: Vec<SensorId>,
-        filtered: Vec<SensorId>,
-    },
-    Done(BTreeMap<SensorId, SensorRuntime>),
-}
-
-fn shard_of(id: SensorId, num_shards: usize) -> usize {
-    id.0 as usize % num_shards
-}
+use protocol::{collect_labels, collect_steps, shard_of, Job, Reply, ShardWorker};
 
 fn worker(config: PipelineConfig, jobs: Receiver<Job>, replies: Sender<Reply>) {
-    let mut sensors: BTreeMap<SensorId, SensorRuntime> = BTreeMap::new();
+    let mut shard = ShardWorker::new(config);
     for job in jobs.iter() {
-        match job {
-            Job::Label { states, means } => {
-                let labels = means
-                    .iter()
-                    .map(|(id, mean)| (*id, states.nearest(mean).map(|(s, _)| s)))
-                    .collect();
-                let _ = replies.send(Reply::Labels(labels));
-            }
-            Job::Step {
-                window_index,
-                correct,
-                num_slots,
-                labels,
-            } => {
-                let mut raw = Vec::new();
-                let mut filtered = Vec::new();
-                for (id, label) in labels {
-                    let sensor = sensors
-                        .entry(id)
-                        .or_insert_with(|| SensorRuntime::new(&config, num_slots));
-                    let step = sensor.step(window_index, label, correct);
-                    if step.raw {
-                        raw.push(id);
-                    }
-                    if step.filtered {
-                        filtered.push(id);
-                    }
-                }
-                let _ = replies.send(Reply::Stepped { raw, filtered });
-            }
-            Job::Grow { num_slots } => {
-                for s in sensors.values_mut() {
-                    s.grow(num_slots);
-                }
-            }
-            Job::Finish => {
-                let _ = replies.send(Reply::Done(std::mem::take(&mut sensors)));
+        let last = matches!(job, Job::Finish);
+        if let Some(reply) = shard.handle(job) {
+            if replies.send(reply).is_err() {
+                // Coordinator is gone (it panicked); nothing to answer.
                 return;
             }
+        }
+        if last {
+            return;
         }
     }
 }
 
-/// How the coordinator executes per-sensor work: inline on its own
-/// thread (`num_shards = 1`) or fanned out to worker shards.
+/// How the coordinator executes per-sensor work. The engine ships two
+/// implementations — inline (serial, `num_shards = 1`) and thread-pool
+/// backed — and the `xtask` model checker adds a schedule-exploring
+/// third, all driven by the same [`window_pass`] coordinator code.
+pub trait ShardBackend {
+    /// Labels every representative; `None` if any sensor falls outside
+    /// all active model states (the serial pipeline then drops the
+    /// whole window, so the engine must too).
+    fn label(
+        &mut self,
+        states: &ModelStates,
+        representatives: &BTreeMap<SensorId, Vec<f64>>,
+    ) -> Option<BTreeMap<SensorId, usize>>;
+
+    /// Runs the per-sensor step of a decisive window; returns the raw
+    /// and filtered alarm lists in ascending sensor order (the serial
+    /// pipeline's iteration order).
+    fn step(
+        &mut self,
+        window_index: u64,
+        correct: usize,
+        num_slots: usize,
+        labels: &BTreeMap<SensorId, usize>,
+    ) -> (Vec<SensorId>, Vec<SensorId>);
+
+    /// Resizes every shard's estimators after model-state growth.
+    fn grow(&mut self, num_slots: usize);
+}
+
+/// The engine's own backends: inline on the coordinator's thread
+/// (`num_shards = 1`) or fanned out to worker shards.
+///
+/// A channel failure means a worker thread died mid-protocol (it
+/// panicked inside per-sensor code). The threaded paths then return a
+/// neutral value instead of panicking here: the run's results are
+/// discarded anyway when `crossbeam::thread::scope` re-raises the
+/// worker's panic at join.
 // One Backend exists per run, so the Inline/Threads size gap is moot.
 #[allow(clippy::large_enum_variant)]
 enum Backend {
@@ -158,10 +326,7 @@ enum Backend {
     },
 }
 
-impl Backend {
-    /// Labels every representative; `None` if any sensor falls outside
-    /// all active model states (the serial pipeline then drops the
-    /// whole window, so the engine must too).
+impl ShardBackend for Backend {
     fn label(
         &mut self,
         states: &ModelStates,
@@ -187,37 +352,17 @@ impl Backend {
                             states: states.clone(),
                             means,
                         })
-                        .expect("worker alive");
+                        .ok()?;
                 }
-                let mut labels = BTreeMap::new();
-                let mut missing = false;
+                let mut arrivals = Vec::with_capacity(num_shards);
                 for _ in 0..num_shards {
-                    match replies.recv().expect("worker alive") {
-                        Reply::Labels(batch) => {
-                            for (id, label) in batch {
-                                match label {
-                                    Some(l) => {
-                                        labels.insert(id, l);
-                                    }
-                                    None => missing = true,
-                                }
-                            }
-                        }
-                        _ => unreachable!("label job answered with label reply"),
-                    }
+                    arrivals.push(replies.recv().ok()?);
                 }
-                if missing {
-                    None
-                } else {
-                    Some(labels)
-                }
+                collect_labels(arrivals)
             }
         }
     }
 
-    /// Runs the per-sensor step of a decisive window; returns the raw
-    /// and filtered alarm lists in ascending sensor order (the serial
-    /// pipeline's iteration order).
     fn step(
         &mut self,
         window_index: u64,
@@ -250,34 +395,30 @@ impl Backend {
                     batches[shard_of(id, num_shards)].push((id, label));
                 }
                 for (sender, labels) in senders.iter().zip(batches) {
-                    sender
+                    if sender
                         .send(Job::Step {
                             window_index,
                             correct,
                             num_slots,
                             labels,
                         })
-                        .expect("worker alive");
-                }
-                let mut raw_alarms = Vec::new();
-                let mut filtered_alarms = Vec::new();
-                for _ in 0..num_shards {
-                    match replies.recv().expect("worker alive") {
-                        Reply::Stepped { raw, filtered } => {
-                            raw_alarms.extend(raw);
-                            filtered_alarms.extend(filtered);
-                        }
-                        _ => unreachable!("step job answered with step reply"),
+                        .is_err()
+                    {
+                        return (Vec::new(), Vec::new());
                     }
                 }
-                raw_alarms.sort_unstable();
-                filtered_alarms.sort_unstable();
-                (raw_alarms, filtered_alarms)
+                let mut arrivals = Vec::with_capacity(num_shards);
+                for _ in 0..num_shards {
+                    match replies.recv() {
+                        Ok(reply) => arrivals.push(reply),
+                        Err(_) => return (Vec::new(), Vec::new()),
+                    }
+                }
+                collect_steps(arrivals)
             }
         }
     }
 
-    /// Resizes every shard's estimators after model-state growth.
     fn grow(&mut self, num_slots: usize) {
         match self {
             Backend::Inline { sensors, .. } => {
@@ -287,27 +428,31 @@ impl Backend {
             }
             Backend::Threads { senders, .. } => {
                 for sender in senders {
-                    sender.send(Job::Grow { num_slots }).expect("worker alive");
+                    let _ = sender.send(Job::Grow { num_slots });
                 }
             }
         }
     }
+}
 
+impl Backend {
     /// Collects every shard's sensors back onto the coordinator.
     fn finish(self) -> BTreeMap<SensorId, SensorRuntime> {
         match self {
             Backend::Inline { sensors, .. } => sensors,
             Backend::Threads { senders, replies } => {
                 for sender in &senders {
-                    sender.send(Job::Finish).expect("worker alive");
+                    let _ = sender.send(Job::Finish);
                 }
                 let num_shards = senders.len();
                 drop(senders);
                 let mut sensors = BTreeMap::new();
                 for _ in 0..num_shards {
-                    match replies.recv().expect("worker alive") {
-                        Reply::Done(batch) => sensors.extend(batch),
-                        _ => unreachable!("finish job answered with done reply"),
+                    match replies.recv() {
+                        Ok(Reply::Done(batch)) => sensors.extend(batch),
+                        // A dead or confused worker: stop collecting;
+                        // the scope join re-raises its panic.
+                        Ok(_) | Err(_) => break,
                     }
                 }
                 sensors
@@ -362,14 +507,15 @@ impl Engine {
                 config: self.config.clone(),
                 sensors: BTreeMap::new(),
             };
-            let (global, outcomes) = self.drive(trace, &mut backend);
+            let (global, outcomes) =
+                drive_trace(&self.config, self.sample_period, trace, &mut backend);
             EngineRun {
                 global,
                 sensors: backend.finish(),
                 outcomes,
             }
         } else {
-            crossbeam::thread::scope(|scope| {
+            let run = crossbeam::thread::scope(|scope| {
                 let (reply_tx, reply_rx) = crossbeam::channel::unbounded();
                 let mut senders = Vec::with_capacity(self.num_shards);
                 for _ in 0..self.num_shards {
@@ -383,95 +529,108 @@ impl Engine {
                     senders,
                     replies: reply_rx,
                 };
-                let (global, outcomes) = self.drive(trace, &mut backend);
+                let (global, outcomes) =
+                    drive_trace(&self.config, self.sample_period, trace, &mut backend);
                 EngineRun {
                     global,
                     sensors: backend.finish(),
                     outcomes,
                 }
-            })
-            .expect("worker threads join cleanly")
-        }
-    }
-
-    /// The coordinator loop: windowing plus the global stages, with
-    /// per-sensor stages delegated to the backend.
-    fn drive(&self, trace: &Trace, backend: &mut Backend) -> (GlobalModel, Vec<WindowOutcome>) {
-        let mut global = GlobalModel::new(self.config.clone());
-        let mut windower = Windower::new(self.config.window_samples as u64 * self.sample_period);
-        let mut scratch = WindowScratch::new();
-        let mut outcomes = Vec::new();
-        for (time, sensor, reading) in trace.delivered() {
-            for window in windower.push(time, sensor, reading.values()) {
-                if let Some(o) = Self::window_pass(&mut global, backend, &mut scratch, &window) {
-                    outcomes.push(o);
-                }
-                windower.recycle(window);
+            });
+            match run {
+                Ok(run) => run,
+                Err(panic) => std::panic::resume_unwind(panic),
             }
         }
-        if let Some(window) = windower.finish() {
-            if let Some(o) = Self::window_pass(&mut global, backend, &mut scratch, &window) {
+    }
+}
+
+/// The coordinator loop: windowing plus the global stages, with
+/// per-sensor stages delegated to `backend`. This is the exact loop
+/// [`Engine::process_trace`] runs; it is public so the `xtask`
+/// schedule explorer can drive it with a schedule-controlled backend.
+pub fn drive_trace(
+    config: &PipelineConfig,
+    sample_period: u64,
+    trace: &Trace,
+    backend: &mut impl ShardBackend,
+) -> (GlobalModel, Vec<WindowOutcome>) {
+    let mut global = GlobalModel::new(config.clone());
+    let mut windower = Windower::new(config.window_samples as u64 * sample_period);
+    let mut scratch = WindowScratch::new();
+    let mut outcomes = Vec::new();
+    for (time, sensor, reading) in trace.delivered() {
+        for window in windower.push(time, sensor, reading.values()) {
+            if let Some(o) = window_pass(&mut global, backend, &mut scratch, &window) {
                 outcomes.push(o);
             }
+            windower.recycle(window);
         }
-        (global, outcomes)
+    }
+    if let Some(window) = windower.finish() {
+        if let Some(o) = window_pass(&mut global, backend, &mut scratch, &window) {
+            outcomes.push(o);
+        }
+    }
+    (global, outcomes)
+}
+
+/// One window through the same stage order as the serial pipeline's
+/// `analyze_window`: bootstrap absorption, observable-state coverage,
+/// the parallel label stage, the majority-vote barrier, the parallel
+/// step stage, and model-state maintenance.
+pub fn window_pass(
+    global: &mut GlobalModel,
+    backend: &mut impl ShardBackend,
+    scratch: &mut WindowScratch,
+    window: &ObservationWindow,
+) -> Option<WindowOutcome> {
+    if !global.absorb_bootstrap(window) {
+        return None;
+    }
+    let trim = global.config().observable_trim;
+    let majority_fraction = global.config().majority_fraction;
+    let mean = window.trimmed_mean_with(trim, scratch);
+    if global.cover_window_mean(mean) {
+        backend.grow(global.num_slots());
+    }
+    let mean = mean?;
+
+    let representatives = window.sensor_means();
+    let (observable, labels) = {
+        let states = global.states()?;
+        let observable = states.nearest(mean)?.0;
+        (observable, backend.label(states, &representatives)?)
+    };
+    let (correct, decisive) = majority_vote(&labels, majority_fraction)?;
+
+    if decisive {
+        global.record_decisive(correct, observable);
     }
 
-    /// One window through the same stage order as the serial
-    /// pipeline's `analyze_window`.
-    fn window_pass(
-        global: &mut GlobalModel,
-        backend: &mut Backend,
-        scratch: &mut WindowScratch,
-        window: &ObservationWindow,
-    ) -> Option<WindowOutcome> {
-        if !global.absorb_bootstrap(window) {
-            return None;
-        }
-        let trim = global.config().observable_trim;
-        let majority_fraction = global.config().majority_fraction;
-        let mean = window.trimmed_mean_with(trim, scratch);
-        if global.cover_window_mean(mean) {
-            backend.grow(global.num_slots());
-        }
-        let mean = mean?;
+    let window_index = global.windows_processed();
+    let num_slots = global.num_slots();
+    let (raw_alarms, filtered_alarms) = if decisive {
+        backend.step(window_index, correct, num_slots, &labels)
+    } else {
+        (Vec::new(), Vec::new())
+    };
 
-        let representatives = window.sensor_means();
-        let (observable, labels) = {
-            let states = global.states().expect("bootstrapped above");
-            let observable = states.nearest(mean)?.0;
-            (observable, backend.label(states, &representatives)?)
-        };
-        let (correct, decisive) = majority_vote(&labels, majority_fraction)?;
-
-        if decisive {
-            global.record_decisive(correct, observable);
-        }
-
-        let window_index = global.windows_processed();
-        let num_slots = global.num_slots();
-        let (raw_alarms, filtered_alarms) = if decisive {
-            backend.step(window_index, correct, num_slots, &labels)
-        } else {
-            (Vec::new(), Vec::new())
-        };
-
-        let points: Vec<Vec<f64>> = representatives.into_values().collect();
-        let (cluster_events, grew) = global.finish_window(&points);
-        if grew {
-            backend.grow(global.num_slots());
-        }
-
-        Some(WindowOutcome {
-            index: window_index,
-            start: window.start,
-            observable,
-            correct,
-            raw_alarms,
-            filtered_alarms,
-            cluster_events,
-        })
+    let points: Vec<Vec<f64>> = representatives.into_values().collect();
+    let (cluster_events, grew) = global.finish_window(&points);
+    if grew {
+        backend.grow(global.num_slots());
     }
+
+    Some(WindowOutcome {
+        index: window_index,
+        start: window.start,
+        observable,
+        correct,
+        raw_alarms,
+        filtered_alarms,
+        cluster_events,
+    })
 }
 
 /// A completed engine run: every window outcome plus the final models,

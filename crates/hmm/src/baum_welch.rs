@@ -113,6 +113,12 @@ pub fn baum_welch(
                     gamma[t][i] = fwd.alpha_hat[t][i] * beta_hat[t][i];
                     norm += gamma[t][i];
                 }
+                // A zero norm means the model assigns the suffix from t
+                // zero probability; dividing would poison gamma with
+                // NaNs that smoothing cannot repair.
+                if norm <= 0.0 || !norm.is_finite() {
+                    return Err(HmmError::ImpossibleSequence { time: t });
+                }
                 for g in &mut gamma[t] {
                     *g /= norm;
                 }

@@ -406,7 +406,8 @@ impl Hmm {
         let (mut state, &log_prob) = delta
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("log probs are not NaN"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            // sentinet-allow(expect-used): models are constructed with at least one state
             .expect("model has at least one state");
         if log_prob == f64::NEG_INFINITY {
             return Err(HmmError::ImpossibleSequence { time: t_len - 1 });

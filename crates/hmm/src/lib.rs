@@ -41,7 +41,7 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 // Indexed loops are the natural idiom for the dense matrix recurrences
 // throughout this crate; iterator rewrites obscure the paper's algebra.

@@ -102,6 +102,7 @@ impl MarkovChain {
             .enumerate()
             .map(|(i, row)| {
                 let s: f64 = row.iter().sum();
+                // sentinet-allow(float-eq): an exactly-zero row sum cannot be normalised; the guard falls back to uniform
                 if s == 0.0 {
                     // Never-left state: model as an absorbing self-loop.
                     let mut r = vec![0.0; num_states];

@@ -232,8 +232,33 @@ impl StochasticMatrix {
         for (j, x) in row.iter_mut().enumerate() {
             *x = (1.0 - eta) * *x + if j == k { eta } else { 0.0 };
         }
+        self.assert_invariants("reinforce");
         Ok(())
     }
+
+    /// Asserts the row-stochastic invariant (finite entries, every row
+    /// summing to one within [`STOCHASTIC_TOL`]) after a mutation.
+    /// Compiles to nothing unless the `check-invariants` feature is on;
+    /// `xtask analyze` runs the test suite with it enabled.
+    #[cfg(feature = "check-invariants")]
+    fn assert_invariants(&self, context: &str) {
+        for (i, r) in self.iter_rows().enumerate() {
+            debug_assert!(
+                r.iter().all(|x| x.is_finite()),
+                "{context}: row {i} contains a non-finite entry: {r:?}"
+            );
+            let sum: f64 = r.iter().sum();
+            debug_assert!(
+                (sum - 1.0).abs() <= STOCHASTIC_TOL,
+                "{context}: row {i} sums to {sum} (drift {:e})",
+                (sum - 1.0).abs()
+            );
+        }
+    }
+
+    #[cfg(not(feature = "check-invariants"))]
+    #[inline(always)]
+    fn assert_invariants(&self, _context: &str) {}
 
     /// Grows the matrix by one row and one column (for square use) or by
     /// the requested amounts, placing the new row's mass on the new last
@@ -266,6 +291,7 @@ impl StochasticMatrix {
             self.data.extend_from_slice(&row);
             self.rows += 1;
         }
+        self.assert_invariants("grow");
     }
 
     /// Computes the Gram matrix of the rows: `G[i][j] = Σ_k m[i][k]·m[j][k]`.
@@ -339,9 +365,9 @@ impl StochasticMatrix {
             .map(|r| {
                 r.iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN in stochastic matrix"))
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(j, _)| j)
-                    .expect("rows are non-empty")
+                    .unwrap_or(0)
             })
             .collect()
     }

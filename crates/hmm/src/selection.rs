@@ -99,6 +99,7 @@ pub fn select_num_states<R: Rng + ?Sized>(
                 best_k = Some((ll, trained));
             }
         }
+        // sentinet-allow(expect-used): restarts >= 1 is validated at entry
         let (ll, trained) = best_k.expect("restarts >= 1");
         let p = num_free_parameters(k, num_symbols) as f64;
         let bic = -2.0 * ll + p * (n_obs as f64).ln();
@@ -111,6 +112,7 @@ pub fn select_num_states<R: Rng + ?Sized>(
             best = Some((bic, k, trained));
         }
     }
+    // sentinet-allow(expect-used): at least one candidate is trained per restart
     let (_, best_num_states, best) = best.expect("candidates non-empty");
     Ok(ModelSelection {
         best,

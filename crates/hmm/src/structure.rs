@@ -225,6 +225,7 @@ impl StructureCache {
             let report = OrthogonalityReport::analyze(b, tol, active_rows);
             self.ortho = Some((key, report));
         }
+        // sentinet-allow(expect-used): the memo entry is filled on the line above
         &self.ortho.as_ref().expect("just filled").1
     }
 
@@ -243,6 +244,7 @@ impl StructureCache {
             let column = stuck_at_column(b, threshold, active_rows);
             self.stuck = Some((key, column));
         }
+        // sentinet-allow(expect-used): the memo entry is filled on the line above
         self.stuck.as_ref().expect("just filled").1
     }
 
@@ -261,6 +263,7 @@ impl StructureCache {
             let pairs = one_to_one_association(b, threshold, active_rows);
             self.assoc = Some((key, pairs));
         }
+        // sentinet-allow(expect-used): the memo entry is filled on the line above
         self.assoc.as_ref().expect("just filled").1.as_deref()
     }
 
@@ -311,10 +314,7 @@ pub fn one_to_one_association(
     let mut used = vec![false; b.num_cols()];
     for &i in &rows {
         let row = b.row(i);
-        let (k, &mass) = row
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN in stochastic matrix"))?;
+        let (k, &mass) = row.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1))?;
         if mass < threshold || used[k] {
             return None;
         }

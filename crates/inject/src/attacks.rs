@@ -193,6 +193,7 @@ fn mean_of(records: &[sentinet_sim::TraceRecord], idxs: &[usize]) -> Vec<f64> {
     let first = idxs
         .iter()
         .find_map(|&i| records[i].payload.reading())
+        // sentinet-allow(expect-used): the attack model guarantees at least one delivered reading per window
         .expect("at least one delivered reading");
     let dims = first.dims();
     let mut sum = vec![0.0; dims];

@@ -173,6 +173,7 @@ fn apply_fault<R: Rng + ?Sized>(
                 .map(|(&x, &s)| x + Gaussian::new(0.0, s).sample(rng))
                 .collect()
         }
+        // sentinet-allow(panic-used): Outage is rewritten into per-reading drops at delivery and never reaches sampling
         FaultModel::Outage { .. } => unreachable!("outage handled at delivery level"),
     };
     Reading::new(raw.iter().zip(ranges).map(|(&x, r)| r.clamp(x)).collect())

@@ -36,7 +36,7 @@
 //! assert_eq!(faulty.len(), clean.len());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod attacks;

@@ -22,7 +22,7 @@
 //! assert_eq!(trace.sensors().len(), 10);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod csv;

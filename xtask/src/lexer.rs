@@ -1,0 +1,510 @@
+//! A small hand-rolled Rust lexer for the project lint engine.
+//!
+//! The lints in [`crate::lint`] are textual, so before matching they
+//! need a view of the source where comments and literal contents
+//! cannot produce false positives. [`SourceMap::new`] produces that
+//! view:
+//!
+//! - `masked` is the source with every comment and every string/char
+//!   literal body replaced by spaces (newlines kept, so byte offsets
+//!   and line numbers are unchanged);
+//! - `suppressions` lists every `// sentinet-allow(lint): reason`
+//!   comment with its line;
+//! - `test_regions` covers `#[cfg(test)] mod … { … }` blocks and
+//!   `#[test] fn … { … }` bodies, which most lints exempt.
+//!
+//! This is deliberately not a full parser: it understands exactly the
+//! token classes needed to blank out non-code text (line and nested
+//! block comments, plain/raw/byte strings, char literals vs.
+//! lifetimes) and to match braces.
+
+/// One `// sentinet-allow(lint-name): reason` comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// 1-based line of the comment.
+    pub line: usize,
+    /// The lint name inside the parentheses.
+    pub lint: String,
+    /// Whether a non-empty reason follows the `):`.
+    pub has_reason: bool,
+}
+
+/// Masked view of one source file plus the lint-relevant side tables.
+#[derive(Debug)]
+pub struct SourceMap {
+    /// Source with comments and literal bodies blanked (same length).
+    pub masked: String,
+    /// Every `sentinet-allow` comment found, in line order.
+    pub suppressions: Vec<Suppression>,
+    /// Byte ranges (in `masked`) of test-only code.
+    pub test_regions: Vec<(usize, usize)>,
+    /// For each 0-based line: byte offset of its first character.
+    pub line_starts: Vec<usize>,
+    /// For each 0-based line: true if it holds no code (blank, or only
+    /// comments). Used to let a suppression cover the statement that
+    /// follows a run of comment lines.
+    pub comment_only: Vec<bool>,
+}
+
+impl SourceMap {
+    /// Lexes `source` into a masked view.
+    pub fn new(source: &str) -> Self {
+        let bytes = source.as_bytes();
+        let mut masked: Vec<u8> = Vec::with_capacity(bytes.len());
+        let mut suppressions = Vec::new();
+        let mut line = 1usize;
+        let mut i = 0usize;
+
+        // Blank a byte (newlines survive so offsets/lines are stable).
+        fn blank(out: &mut Vec<u8>, b: u8) {
+            out.push(if b == b'\n' { b'\n' } else { b' ' });
+        }
+
+        while i < bytes.len() {
+            let b = bytes[i];
+            match b {
+                b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                    let end = bytes[i..]
+                        .iter()
+                        .position(|&c| c == b'\n')
+                        .map(|p| i + p)
+                        .unwrap_or(bytes.len());
+                    let text = &source[i..end];
+                    if let Some(s) = parse_allow(text, line) {
+                        suppressions.push(s);
+                    }
+                    for &c in &bytes[i..end] {
+                        blank(&mut masked, c);
+                    }
+                    i = end;
+                }
+                b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                    let mut depth = 1usize;
+                    blank(&mut masked, b'/');
+                    blank(&mut masked, b'*');
+                    i += 2;
+                    while i < bytes.len() && depth > 0 {
+                        if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                            depth += 1;
+                            blank(&mut masked, bytes[i]);
+                            blank(&mut masked, bytes[i + 1]);
+                            i += 2;
+                        } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                            depth -= 1;
+                            blank(&mut masked, bytes[i]);
+                            blank(&mut masked, bytes[i + 1]);
+                            i += 2;
+                        } else {
+                            if bytes[i] == b'\n' {
+                                line += 1;
+                            }
+                            blank(&mut masked, bytes[i]);
+                            i += 1;
+                        }
+                    }
+                }
+                b'"' => i = mask_string(bytes, i, &mut masked, &mut line),
+                b'r' | b'b'
+                    if is_raw_or_byte_string(bytes, i) && !prev_is_ident(bytes, i, &masked) =>
+                {
+                    i = mask_raw_or_byte(bytes, i, &mut masked, &mut line);
+                }
+                b'\'' => {
+                    if is_char_literal(bytes, i) {
+                        i = mask_char(bytes, i, &mut masked);
+                    } else {
+                        // A lifetime: keep it.
+                        masked.push(b'\'');
+                        i += 1;
+                    }
+                }
+                _ => {
+                    if b == b'\n' {
+                        line += 1;
+                    }
+                    masked.push(b);
+                    i += 1;
+                }
+            }
+        }
+
+        let masked = String::from_utf8(masked).unwrap_or_default();
+        let line_starts = compute_line_starts(&masked);
+        let comment_only = compute_comment_only(source, &masked, &line_starts);
+        let test_regions = find_test_regions(&masked);
+        Self {
+            masked,
+            suppressions,
+            test_regions,
+            line_starts,
+            comment_only,
+        }
+    }
+
+    /// 1-based line containing byte `offset`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// Whether byte `offset` falls inside test-only code.
+    pub fn in_test_region(&self, offset: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(s, e)| offset >= s && offset < e)
+    }
+
+    /// Whether a finding of `lint` on 1-based `line` is suppressed: a
+    /// `sentinet-allow(lint)` comment sits on the same line, or on the
+    /// run of comment-only lines directly above it.
+    pub fn is_suppressed(&self, lint: &str, line: usize) -> bool {
+        let covers = |sup: &Suppression| sup.lint == lint && sup.has_reason;
+        if self
+            .suppressions
+            .iter()
+            .any(|s| s.line == line && covers(s))
+        {
+            return true;
+        }
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            let idx = l - 1;
+            if idx >= self.comment_only.len() || !self.comment_only[idx] {
+                return false;
+            }
+            if self.suppressions.iter().any(|s| s.line == l && covers(s)) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+fn parse_allow(comment: &str, line: usize) -> Option<Suppression> {
+    let rest = comment.split("sentinet-allow(").nth(1)?;
+    let close = rest.find(')')?;
+    let lint = rest[..close].trim().to_string();
+    let tail = rest[close + 1..].trim_start();
+    let has_reason = tail.strip_prefix(':').is_some_and(|r| !r.trim().is_empty());
+    Some(Suppression {
+        line,
+        lint,
+        has_reason,
+    })
+}
+
+fn prev_is_ident(bytes: &[u8], i: usize, _masked: &[u8]) -> bool {
+    i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_')
+}
+
+fn is_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    match bytes.get(j) {
+        Some(b'"') => true,
+        Some(b'\'') => bytes[i] == b'b', // byte char b'x'
+        Some(b'r') => {
+            let mut k = j + 1;
+            while bytes.get(k) == Some(&b'#') {
+                k += 1;
+            }
+            bytes.get(k) == Some(&b'"')
+        }
+        _ => false,
+    }
+}
+
+fn mask_string(bytes: &[u8], start: usize, out: &mut Vec<u8>, line: &mut usize) -> usize {
+    out.push(b' ');
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if i + 1 < bytes.len() => {
+                out.push(b' ');
+                if bytes[i + 1] == b'\n' {
+                    *line += 1;
+                    out.push(b'\n');
+                } else {
+                    out.push(b' ');
+                }
+                i += 2;
+            }
+            b'"' => {
+                out.push(b' ');
+                return i + 1;
+            }
+            b'\n' => {
+                *line += 1;
+                out.push(b'\n');
+                i += 1;
+            }
+            _ => {
+                out.push(b' ');
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+fn mask_raw_or_byte(bytes: &[u8], start: usize, out: &mut Vec<u8>, line: &mut usize) -> usize {
+    let mut i = start;
+    if bytes[i] == b'b' {
+        out.push(b' ');
+        i += 1;
+    }
+    if bytes.get(i) == Some(&b'\'') {
+        // Byte char literal b'x'.
+        return mask_char(bytes, i, out);
+    }
+    if bytes.get(i) == Some(&b'"') {
+        return mask_string(bytes, i, out, line);
+    }
+    // Raw string r#*"..."#*.
+    out.push(b' '); // the 'r'
+    i += 1;
+    let mut hashes = 0usize;
+    while bytes.get(i) == Some(&b'#') {
+        out.push(b' ');
+        hashes += 1;
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'"') {
+        return i;
+    }
+    out.push(b' ');
+    i += 1;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let mut k = 0usize;
+            while k < hashes && bytes.get(i + 1 + k) == Some(&b'#') {
+                k += 1;
+            }
+            if k == hashes {
+                for _ in 0..=hashes {
+                    out.push(b' ');
+                }
+                return i + 1 + hashes;
+            }
+        }
+        if bytes[i] == b'\n' {
+            *line += 1;
+            out.push(b'\n');
+        } else {
+            out.push(b' ');
+        }
+        i += 1;
+    }
+    i
+}
+
+fn is_char_literal(bytes: &[u8], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        Some(b'\\') => true,
+        Some(_) => bytes.get(i + 2) == Some(&b'\''),
+        None => false,
+    }
+}
+
+fn mask_char(bytes: &[u8], start: usize, out: &mut Vec<u8>) -> usize {
+    out.push(b' ');
+    let mut i = start + 1;
+    if bytes.get(i) == Some(&b'\\') {
+        out.push(b' ');
+        out.push(b' ');
+        i += 2;
+    } else if i < bytes.len() {
+        out.push(b' ');
+        i += 1;
+    }
+    // Consume up to the closing quote (unicode escapes span bytes).
+    while i < bytes.len() && bytes[i] != b'\'' && bytes[i] != b'\n' {
+        out.push(b' ');
+        i += 1;
+    }
+    if bytes.get(i) == Some(&b'\'') {
+        out.push(b' ');
+        i += 1;
+    }
+    i
+}
+
+fn compute_line_starts(s: &str) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, b) in s.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+fn compute_comment_only(source: &str, masked: &str, line_starts: &[usize]) -> Vec<bool> {
+    let n = line_starts.len();
+    let mut flags = Vec::with_capacity(n);
+    for (idx, &start) in line_starts.iter().enumerate() {
+        let end = line_starts
+            .get(idx + 1)
+            .map(|&e| e.saturating_sub(1))
+            .unwrap_or(masked.len());
+        let masked_line = masked.get(start..end).unwrap_or("");
+        let source_line = source.get(start..end).unwrap_or("");
+        let no_code = masked_line.trim().is_empty();
+        let has_comment = source_line.contains("//") || source_line.contains("/*");
+        flags.push(no_code && (has_comment || source_line.trim().is_empty()));
+    }
+    flags
+}
+
+/// Finds `#[cfg(test)] mod … { … }` and `#[test] fn … { … }` spans in
+/// the masked source.
+fn find_test_regions(masked: &str) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    for marker in ["#[cfg(test)]", "#[test]"] {
+        let mut from = 0usize;
+        while let Some(pos) = masked[from..].find(marker) {
+            let at = from + pos;
+            from = at + marker.len();
+            if let Some((open, close)) = item_body_after(masked, at + marker.len()) {
+                regions.push((open, close));
+            }
+        }
+    }
+    regions
+}
+
+/// From `start`, skips whitespace and further attributes, then finds
+/// the brace-matched body of the next item. Returns `(open, close)`
+/// byte offsets, `close` exclusive.
+fn item_body_after(masked: &str, start: usize) -> Option<(usize, usize)> {
+    let bytes = masked.as_bytes();
+    let mut i = start;
+    // Skip whitespace and stacked attributes like #[allow(...)].
+    loop {
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if bytes.get(i) == Some(&b'#') && bytes.get(i + 1) == Some(&b'[') {
+            let mut depth = 0usize;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'[' => depth += 1,
+                    b']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        } else {
+            break;
+        }
+    }
+    let open = masked[i..].find('{').map(|p| i + p)?;
+    // An item signature never legitimately spans a `}` before its body
+    // opens; bail out if one appears (attribute on a non-block item).
+    if masked[i..open].contains('}') || masked[i..open].contains(';') {
+        return None;
+    }
+    let close = match_brace(masked, open)?;
+    Some((open, close + 1))
+}
+
+/// Offset of the `}` matching the `{` at `open` (masked text).
+pub fn match_brace(masked: &str, open: usize) -> Option<usize> {
+    let bytes = masked.as_bytes();
+    debug_assert_eq!(bytes.get(open), Some(&b'{'));
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_comments_and_strings() {
+        let src = "let x = \"panic!()\"; // panic!()\nlet y = 1;";
+        let map = SourceMap::new(src);
+        assert!(!map.masked.contains("panic"));
+        assert!(map.masked.contains("let y = 1;"));
+        assert_eq!(map.masked.len(), src.len());
+    }
+
+    #[test]
+    fn masks_raw_strings_and_chars() {
+        let src = "let s = r#\"unwrap()\"#; let c = '\\n'; let l: &'static str = \"x\";";
+        let map = SourceMap::new(src);
+        assert!(!map.masked.contains("unwrap"));
+        assert!(map.masked.contains("&'static str"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* a /* b */ c */ let z = 2;";
+        let map = SourceMap::new(src);
+        assert!(!map.masked.contains('a'));
+        assert!(map.masked.contains("let z = 2;"));
+    }
+
+    #[test]
+    fn finds_suppressions_and_coverage() {
+        let src = "// sentinet-allow(float-eq): exact sentinel\n// more words\nif x == 0.0 {}\nif y == 0.0 {}\n";
+        let map = SourceMap::new(src);
+        assert_eq!(map.suppressions.len(), 1);
+        assert!(map.is_suppressed("float-eq", 3));
+        assert!(!map.is_suppressed("float-eq", 4));
+        assert!(!map.is_suppressed("unwrap-used", 3));
+    }
+
+    #[test]
+    fn reasonless_suppression_does_not_apply() {
+        let src = "// sentinet-allow(unwrap-used)\nlet v = o.unwrap();\n";
+        let map = SourceMap::new(src);
+        assert_eq!(map.suppressions.len(), 1);
+        assert!(!map.suppressions[0].has_reason);
+        assert!(!map.is_suppressed("unwrap-used", 2));
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_mod_and_test_fn() {
+        let src = "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n#[test]\nfn t() { y.unwrap(); }\n";
+        let map = SourceMap::new(src);
+        assert_eq!(map.test_regions.len(), 2);
+        let helper_at = src.find("helper").unwrap();
+        assert!(map.in_test_region(helper_at));
+        let y_at = src.find("y.unwrap").unwrap();
+        assert!(map.in_test_region(y_at));
+        let x_at = src.find("x.unwrap").unwrap();
+        assert!(!map.in_test_region(x_at));
+    }
+
+    #[test]
+    fn line_of_maps_offsets() {
+        let map = SourceMap::new("a\nbb\nccc\n");
+        assert_eq!(map.line_of(0), 1);
+        assert_eq!(map.line_of(2), 2);
+        assert_eq!(map.line_of(5), 3);
+    }
+}

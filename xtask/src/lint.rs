@@ -1,0 +1,583 @@
+//! The project lint engine.
+//!
+//! Ten textual lints over the workspace's library crates, built on the
+//! masked source view of [`crate::lexer`] — no rustc plugin, fully
+//! offline. Findings are suppressed inline with
+//! `// sentinet-allow(lint-name): reason` on the same line or on the
+//! comment block directly above; the reason is mandatory.
+//!
+//! | lint | fires on |
+//! |---|---|
+//! | `unwrap-used` | `.unwrap()` in library code |
+//! | `expect-used` | `.expect(…)` in library code |
+//! | `panic-used` | `panic!` / `unreachable!` / `todo!` / `unimplemented!` |
+//! | `dbg-used` | `dbg!` / `println!` / `print!` / `eprintln!` / `eprint!` |
+//! | `float-eq` | `==` / `!=` with a float-literal operand |
+//! | `unseeded-rng` | `thread_rng` / `from_entropy` / `rand::random` |
+//! | `missing-forbid-unsafe` | `lib.rs` without `#![forbid(unsafe_code)]` |
+//! | `missing-deny-docs` | `lib.rs` without `#![deny(missing_docs)]` |
+//! | `hot-path-alloc` | allocation markers in registered hot functions |
+//! | `thread-spawn` | `thread::spawn` outside `crates/engine` |
+//!
+//! Test code (`#[cfg(test)] mod`s and `#[test]` fns) is exempt from
+//! all except the header lints, and the `cli`/`bench` crates are
+//! exempt from the panic-family, `dbg-used` and header lints (they are
+//! terminal programs where aborting and printing are the interface).
+//! `assert!`/`debug_assert!` are deliberately allowed: validated
+//! preconditions are part of the API contract.
+
+use crate::lexer::{match_brace, SourceMap};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Every lint name, for suppression validation.
+pub const LINTS: &[&str] = &[
+    "unwrap-used",
+    "expect-used",
+    "panic-used",
+    "dbg-used",
+    "float-eq",
+    "unseeded-rng",
+    "missing-forbid-unsafe",
+    "missing-deny-docs",
+    "hot-path-alloc",
+    "thread-spawn",
+];
+
+/// Functions that must stay lexically allocation-free, keyed by a path
+/// suffix of the file that defines them. These are the PR-1 hot paths:
+/// the steady-state ingest/window/update code the benches measure.
+pub const HOT_PATHS: &[(&str, &[&str])] = &[
+    ("core/src/window.rs", &["push", "trimmed_mean_with"]),
+    ("core/src/pipeline.rs", &["push_values"]),
+    ("hmm/src/matrix.rs", &["reinforce"]),
+    ("hmm/src/online.rs", &["observe"]),
+];
+
+/// Allocation markers searched inside hot-path function bodies.
+/// `Vec::new()`/`.collect()` into pre-sized scratch are not markers:
+/// the hot bodies reuse recycled buffers, and an empty `Vec::new` does
+/// not touch the allocator.
+const ALLOC_MARKERS: &[&str] = &[
+    "vec![",
+    ".to_vec()",
+    ".to_owned()",
+    ".to_string()",
+    "String::from(",
+    "format!",
+    "Box::new(",
+    "with_capacity(",
+    ".clone()",
+];
+
+/// Crates whose code is a terminal program rather than a library.
+const EXEMPT_CRATES: &[&str] = &["cli", "bench"];
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// File the finding is in.
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: usize,
+    /// Lint name.
+    pub lint: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.lint,
+            self.message
+        )
+    }
+}
+
+/// What the lint engine knows about the file being checked.
+#[derive(Debug, Clone, Default)]
+pub struct FileContext {
+    /// The file belongs to an exempt (terminal-program) crate.
+    pub exempt_crate: bool,
+    /// The file is a crate root (`lib.rs`) subject to header lints.
+    pub is_lib_root: bool,
+    /// The file belongs to `crates/engine` (may spawn threads).
+    pub engine_crate: bool,
+    /// Hot-path function names registered for this file.
+    pub hot_functions: Vec<String>,
+}
+
+impl FileContext {
+    /// Builds the context for a workspace file at `path` (used by the
+    /// directory walker; tests construct contexts directly).
+    pub fn for_path(path: &Path) -> Self {
+        let p = path.to_string_lossy().replace('\\', "/");
+        let crate_name = p
+            .split("crates/")
+            .nth(1)
+            .and_then(|rest| rest.split('/').next())
+            .unwrap_or("");
+        let hot_functions = HOT_PATHS
+            .iter()
+            .find(|(suffix, _)| p.ends_with(suffix))
+            .map(|(_, fns)| fns.iter().map(|s| s.to_string()).collect())
+            .unwrap_or_default();
+        Self {
+            exempt_crate: EXEMPT_CRATES.contains(&crate_name),
+            is_lib_root: p.ends_with("src/lib.rs"),
+            engine_crate: crate_name == "engine",
+            hot_functions,
+        }
+    }
+}
+
+/// Runs every lint over one file.
+pub fn lint_source(path: &Path, source: &str, ctx: &FileContext) -> Vec<Finding> {
+    let map = SourceMap::new(source);
+    let mut findings = Vec::new();
+    let mut push = |map: &SourceMap, offset: usize, lint: &str, message: String| {
+        let line = map.line_of(offset);
+        if !map.is_suppressed(lint, line) {
+            findings.push(Finding {
+                file: path.to_path_buf(),
+                line,
+                lint: lint.to_string(),
+                message,
+            });
+        }
+    };
+
+    // Panic-family, dbg and rng lints: library code only, tests exempt.
+    if !ctx.exempt_crate {
+        for offset in find_all(&map.masked, ".unwrap()") {
+            if !map.in_test_region(offset) {
+                push(
+                    &map,
+                    offset,
+                    "unwrap-used",
+                    "`.unwrap()` in library code; return a typed error or justify with sentinet-allow".into(),
+                );
+            }
+        }
+        for offset in find_all(&map.masked, ".expect(") {
+            if !map.in_test_region(offset) {
+                push(
+                    &map,
+                    offset,
+                    "expect-used",
+                    "`.expect(…)` in library code; return a typed error or justify with sentinet-allow".into(),
+                );
+            }
+        }
+        for mac in ["panic!", "unreachable!", "todo!", "unimplemented!"] {
+            for offset in find_macro(&map.masked, mac) {
+                if !map.in_test_region(offset) {
+                    push(
+                        &map,
+                        offset,
+                        "panic-used",
+                        format!("`{mac}` in library code; prefer a typed error (assert!/debug_assert! are fine)"),
+                    );
+                }
+            }
+        }
+        for mac in ["dbg!", "println!", "print!", "eprintln!", "eprint!"] {
+            for offset in find_macro(&map.masked, mac) {
+                if !map.in_test_region(offset) {
+                    push(
+                        &map,
+                        offset,
+                        "dbg-used",
+                        format!("`{mac}` in library code; return data instead of printing"),
+                    );
+                }
+            }
+        }
+    }
+
+    // Float equality and unseeded RNG apply everywhere outside tests.
+    for (offset, op, lhs, rhs) in find_float_eq(&map.masked) {
+        if !map.in_test_region(offset) {
+            push(
+                &map,
+                offset,
+                "float-eq",
+                format!("float literal compared with `{op}` (`{lhs} {op} {rhs}`); use an epsilon or total_cmp"),
+            );
+        }
+    }
+    for needle in ["thread_rng", "from_entropy", "rand::random"] {
+        for offset in find_word(&map.masked, needle) {
+            if !map.in_test_region(offset) {
+                push(
+                    &map,
+                    offset,
+                    "unseeded-rng",
+                    format!("`{needle}` breaks reproducibility; seed a StdRng explicitly"),
+                );
+            }
+        }
+    }
+
+    // Crate-root header lints (never suppressible by test regions).
+    if ctx.is_lib_root && !ctx.exempt_crate {
+        if !map.masked.contains("#![forbid(unsafe_code)]") {
+            push(
+                &map,
+                0,
+                "missing-forbid-unsafe",
+                "crate root lacks `#![forbid(unsafe_code)]`".into(),
+            );
+        }
+        if !map.masked.contains("#![deny(missing_docs)]") {
+            push(
+                &map,
+                0,
+                "missing-deny-docs",
+                "crate root lacks `#![deny(missing_docs)]`".into(),
+            );
+        }
+    }
+
+    // Hot-path allocation lint: registered functions only.
+    for func in &ctx.hot_functions {
+        for (open, close) in function_bodies(&map.masked, func) {
+            if map.in_test_region(open) {
+                continue;
+            }
+            let body = &map.masked[open..close];
+            for marker in ALLOC_MARKERS {
+                for pos in find_all(body, marker) {
+                    push(
+                        &map,
+                        open + pos,
+                        "hot-path-alloc",
+                        format!(
+                            "`{marker}` inside hot-path fn `{func}` (registered allocation-free)"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // Thread spawning is the engine's monopoly.
+    if !ctx.engine_crate {
+        for offset in find_all(&map.masked, "thread::spawn") {
+            if !map.in_test_region(offset) {
+                push(
+                    &map,
+                    offset,
+                    "thread-spawn",
+                    "`thread::spawn` outside crates/engine; route concurrency through the engine"
+                        .into(),
+                );
+            }
+        }
+    }
+
+    // Malformed or unknown suppressions are findings themselves, so a
+    // typo cannot silently disable a lint.
+    for sup in &map.suppressions {
+        if !LINTS.contains(&sup.lint.as_str()) {
+            findings.push(Finding {
+                file: path.to_path_buf(),
+                line: sup.line,
+                lint: "unknown-suppression".into(),
+                message: format!("sentinet-allow names unknown lint `{}`", sup.lint),
+            });
+        } else if !sup.has_reason {
+            findings.push(Finding {
+                file: path.to_path_buf(),
+                line: sup.line,
+                lint: "unknown-suppression".into(),
+                message: format!(
+                    "sentinet-allow({}) lacks a reason; write `// sentinet-allow({}): why`",
+                    sup.lint, sup.lint
+                ),
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| (a.line, &a.lint).cmp(&(b.line, &b.lint)));
+    findings
+}
+
+/// Lints every `.rs` file under `crates/*/src` of `repo_root`.
+pub fn lint_workspace(repo_root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    let crates_dir = repo_root.join("crates");
+    for entry in std::fs::read_dir(&crates_dir)? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            collect_rs_files(&src, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut findings = Vec::new();
+    for file in files {
+        let source = std::fs::read_to_string(&file)?;
+        let ctx = FileContext::for_path(&file);
+        let rel = file.strip_prefix(repo_root).unwrap_or(&file).to_path_buf();
+        findings.extend(lint_source(&rel, &source, &ctx));
+    }
+    Ok(findings)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Byte offsets of every occurrence of `needle` in `hay`.
+fn find_all(hay: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(pos) = hay[from..].find(needle) {
+        out.push(from + pos);
+        from += pos + needle.len();
+    }
+    out
+}
+
+/// Macro invocations: the name must start a token (not `.foo!` or part
+/// of a longer identifier like `eprintln!` when searching `print!`).
+fn find_macro(hay: &str, mac: &str) -> Vec<usize> {
+    find_all(hay, mac)
+        .into_iter()
+        .filter(|&pos| {
+            let before = hay[..pos].bytes().next_back();
+            !matches!(before, Some(b) if b.is_ascii_alphanumeric() || b == b'_' || b == b'.')
+        })
+        .collect()
+}
+
+/// Identifier-ish occurrences: not embedded in a longer identifier.
+fn find_word(hay: &str, word: &str) -> Vec<usize> {
+    find_all(hay, word)
+        .into_iter()
+        .filter(|&pos| {
+            let before = hay[..pos].bytes().next_back();
+            let after = hay.as_bytes().get(pos + word.len());
+            let ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+            !matches!(before, Some(b) if ident(b)) && !matches!(after, Some(&b) if ident(b))
+        })
+        .collect()
+}
+
+/// `==`/`!=` comparisons where either operand is a float literal.
+/// Returns `(offset, operator, lhs, rhs)`.
+fn find_float_eq(masked: &str) -> Vec<(usize, &'static str, String, String)> {
+    let bytes = masked.as_bytes();
+    let mut out = Vec::new();
+    for op in ["==", "!="] {
+        for pos in find_all(masked, op) {
+            // Exclude `<=`, `>=`, `===`-like runs and `!=` inside `=!=`.
+            let before = pos.checked_sub(1).map(|i| bytes[i]);
+            let after = bytes.get(pos + 2).copied();
+            if matches!(before, Some(b'=') | Some(b'<') | Some(b'>') | Some(b'!'))
+                || after == Some(b'=')
+            {
+                continue;
+            }
+            let lhs = token_before(masked, pos);
+            let rhs = token_after(masked, pos + 2);
+            if is_float_literal(&lhs) || is_float_literal(&rhs) {
+                out.push((pos, if op == "==" { "==" } else { "!=" }, lhs, rhs));
+            }
+        }
+    }
+    out.sort_by_key(|&(pos, ..)| pos);
+    out
+}
+
+fn token_before(hay: &str, end: usize) -> String {
+    let bytes = hay.as_bytes();
+    let mut i = end;
+    while i > 0 && bytes[i - 1] == b' ' {
+        i -= 1;
+    }
+    let stop = i;
+    while i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || matches!(bytes[i - 1], b'_' | b'.')) {
+        i -= 1;
+    }
+    hay[i..stop].to_string()
+}
+
+fn token_after(hay: &str, start: usize) -> String {
+    let bytes = hay.as_bytes();
+    let mut i = start;
+    while i < bytes.len() && bytes[i] == b' ' {
+        i += 1;
+    }
+    let begin = i;
+    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || matches!(bytes[i], b'_' | b'.')) {
+        i += 1;
+    }
+    hay[begin..i].to_string()
+}
+
+/// A numeric token that is a float: starts with a digit and has a
+/// decimal point, a pure-digit exponent, or an f32/f64 suffix.
+fn is_float_literal(token: &str) -> bool {
+    let Some(first) = token.bytes().next() else {
+        return false;
+    };
+    if !first.is_ascii_digit() {
+        return false;
+    }
+    if token.contains('.') {
+        return true;
+    }
+    let digits = |s: &str| !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit() || b == b'_');
+    if let Some(mantissa) = token
+        .strip_suffix("f32")
+        .or_else(|| token.strip_suffix("f64"))
+    {
+        if digits(mantissa) {
+            return true;
+        }
+    }
+    match token.split_once(['e', 'E']) {
+        Some((mantissa, exponent)) => digits(mantissa) && digits(exponent),
+        None => false,
+    }
+}
+
+/// Brace-matched bodies of every `fn <name>` in the masked source.
+fn function_bodies(masked: &str, name: &str) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for pos in find_all(masked, &format!("fn {name}")) {
+        // The name must end the identifier: `fn push(` but not `fn push_values(`.
+        let after = masked.as_bytes().get(pos + 3 + name.len());
+        if matches!(after, Some(&b) if b.is_ascii_alphanumeric() || b == b'_') {
+            continue;
+        }
+        let sig_end = pos + 3 + name.len();
+        if let Some(open) = masked[sig_end..].find('{').map(|p| sig_end + p) {
+            if masked[sig_end..open].contains(';') {
+                continue; // a trait method declaration, no body
+            }
+            if let Some(close) = match_brace(masked, open) {
+                out.push((open, close + 1));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> FileContext {
+        FileContext::default()
+    }
+
+    fn run(src: &str) -> Vec<Finding> {
+        lint_source(Path::new("test.rs"), src, &ctx())
+    }
+
+    #[test]
+    fn detects_unwrap_outside_tests_only() {
+        let src = "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod t { fn b() { y.unwrap(); } }\n";
+        let f = run(src);
+        assert_eq!(f.iter().filter(|f| f.lint == "unwrap-used").count(), 1);
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        let f = run("fn a() { x.unwrap_or(1); x.unwrap_or_default(); }\n");
+        assert!(f.iter().all(|f| f.lint != "unwrap-used"));
+    }
+
+    #[test]
+    fn string_contents_do_not_fire() {
+        let f = run("fn a() { let s = \".unwrap() panic! 1.0 == 2.0\"; drop(s); }\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn float_eq_needs_float_literal() {
+        let f = run("fn a() { if x == 0.0 {} if a == b {} if n == 3 {} }\n");
+        assert_eq!(f.iter().filter(|f| f.lint == "float-eq").count(), 1);
+    }
+
+    #[test]
+    fn comparison_operators_do_not_fire_float_eq() {
+        let f = run("fn a() { if x <= 0.0 {} if x >= 1.0 {} }\n");
+        assert!(f.iter().all(|f| f.lint != "float-eq"));
+    }
+
+    #[test]
+    fn suppression_with_reason_silences() {
+        let src = "fn a() {\n    // sentinet-allow(unwrap-used): invariant documented\n    x.unwrap();\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn unknown_suppression_is_reported() {
+        let src = "// sentinet-allow(no-such-lint): whatever\nfn a() {}\n";
+        let f = run(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].lint, "unknown-suppression");
+    }
+
+    #[test]
+    fn header_lints_fire_on_lib_root() {
+        let mut c = ctx();
+        c.is_lib_root = true;
+        let f = lint_source(Path::new("crates/x/src/lib.rs"), "//! docs\n", &c);
+        let lints: Vec<_> = f.iter().map(|f| f.lint.as_str()).collect();
+        assert!(lints.contains(&"missing-forbid-unsafe"));
+        assert!(lints.contains(&"missing-deny-docs"));
+    }
+
+    #[test]
+    fn hot_path_alloc_checks_registered_fn_only() {
+        let mut c = ctx();
+        c.hot_functions = vec!["push".into()];
+        let src =
+            "fn push(&mut self) { let v = x.to_vec(); }\nfn other() { let w = y.to_vec(); }\n";
+        let f = lint_source(Path::new("w.rs"), src, &c);
+        assert_eq!(f.iter().filter(|f| f.lint == "hot-path-alloc").count(), 1);
+    }
+
+    #[test]
+    fn exempt_crate_skips_panic_family() {
+        let mut c = ctx();
+        c.exempt_crate = true;
+        let f = lint_source(
+            Path::new("cli.rs"),
+            "fn a() { panic!(); x.unwrap(); }\n",
+            &c,
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn thread_spawn_flagged_outside_engine() {
+        let f = run("fn a() { std::thread::spawn(|| {}); }\n");
+        assert_eq!(f.iter().filter(|f| f.lint == "thread-spawn").count(), 1);
+        let mut c = ctx();
+        c.engine_crate = true;
+        let f = lint_source(
+            Path::new("e.rs"),
+            "fn a() { std::thread::spawn(|| {}); }\n",
+            &c,
+        );
+        assert!(f.is_empty());
+    }
+}

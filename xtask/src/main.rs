@@ -1,0 +1,157 @@
+//! `cargo run -p xtask -- <command>` — workspace automation CLI.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use xtask::{bench_check, lint, model_check};
+
+const USAGE: &str = "\
+Usage: cargo run -p xtask -- <command>
+
+Commands:
+  analyze [--skip-invariants]  run lints, the shard-schedule model checker
+                               and (unless skipped) the test suite under
+                               the check-invariants feature
+  lint [PATH...]               run the lint engine over the workspace, or
+                               over the given files only
+  model-check                  exhaustively explore shard schedules and
+                               assert serial equivalence
+  bench-check [FILE]           validate BENCH_engine.json (default) or FILE
+";
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask lives one level under the repo root")
+        .to_path_buf()
+}
+
+fn run_lint(paths: &[String]) -> Result<(), String> {
+    let findings = if paths.is_empty() {
+        lint::lint_workspace(&repo_root()).map_err(|e| format!("lint walk failed: {e}"))?
+    } else {
+        let mut findings = Vec::new();
+        for p in paths {
+            let path = PathBuf::from(p);
+            let source =
+                std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+            let ctx = lint::FileContext::for_path(&path);
+            findings.extend(lint::lint_source(&path, &source, &ctx));
+        }
+        findings
+    };
+    for f in &findings {
+        eprintln!("{f}");
+    }
+    if findings.is_empty() {
+        println!("lint: clean");
+        Ok(())
+    } else {
+        Err(format!("lint: {} finding(s)", findings.len()))
+    }
+}
+
+fn run_model_check() -> Result<(), String> {
+    let report = model_check::explore().map_err(|e| format!("model-check: {e}"))?;
+    println!(
+        "model-check: {} schedules explored over {} windows × {} sensors, all bit-identical to serial",
+        report.schedules, report.windows, report.sensors
+    );
+    if report.schedules < 24 {
+        return Err(format!(
+            "model-check: only {} schedules explored (expected ≥ 24); scenario too small",
+            report.schedules
+        ));
+    }
+    Ok(())
+}
+
+fn run_bench_check(file: Option<&str>) -> Result<(), String> {
+    let path = match file {
+        Some(f) => PathBuf::from(f),
+        None => repo_root().join("BENCH_engine.json"),
+    };
+    let input = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let problems = bench_check::validate(&input);
+    for p in &problems {
+        eprintln!("{}: {p}", path.display());
+    }
+    if problems.is_empty() {
+        println!("bench-check: {} valid", path.display());
+        Ok(())
+    } else {
+        Err(format!("bench-check: {} problem(s)", problems.len()))
+    }
+}
+
+fn run_invariant_tests() -> Result<(), String> {
+    println!("invariants: running numeric test suites with --features check-invariants");
+    let status = std::process::Command::new(env!("CARGO"))
+        .current_dir(repo_root())
+        .args([
+            "test",
+            "-q",
+            "-p",
+            "sentinet-hmm",
+            "-p",
+            "sentinet-cluster",
+            "-p",
+            "sentinet-core",
+            "-p",
+            "sentinet-engine",
+            "--features",
+            "sentinet-core/check-invariants,sentinet-engine/check-invariants",
+        ])
+        .status()
+        .map_err(|e| format!("invariants: failed to spawn cargo: {e}"))?;
+    if status.success() {
+        println!("invariants: test suite green under check-invariants");
+        Ok(())
+    } else {
+        Err("invariants: test suite failed under check-invariants".into())
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("analyze") => {
+            let skip_invariants = args.iter().any(|a| a == "--skip-invariants");
+            let mut failures = Vec::new();
+            for step in [
+                run_lint(&[]),
+                run_model_check(),
+                run_bench_check(None),
+                if skip_invariants {
+                    Ok(())
+                } else {
+                    run_invariant_tests()
+                },
+            ] {
+                if let Err(e) = step {
+                    eprintln!("{e}");
+                    failures.push(e);
+                }
+            }
+            if failures.is_empty() {
+                println!("analyze: all checks passed");
+                Ok(())
+            } else {
+                Err(format!("analyze: {} check(s) failed", failures.len()))
+            }
+        }
+        Some("lint") => run_lint(&args[1..]),
+        Some("model-check") => run_model_check(),
+        Some("bench-check") => run_bench_check(args.get(1).map(String::as_str)),
+        _ => {
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

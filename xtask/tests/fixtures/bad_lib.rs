@@ -1,0 +1,19 @@
+//! Seeded-bad fixture: with a lib-root context registering `hot` as a
+//! hot-path function, every one of the ten lints fires exactly once.
+//! (This file is test data — it is never compiled.)
+
+pub fn violations(maybe: Option<u32>, x: f64) -> u32 {
+    let a = maybe.unwrap();
+    let b = maybe.expect("present");
+    if x == 1.0 {
+        panic!("boom");
+    }
+    dbg!(a);
+    let _rng = thread_rng();
+    std::thread::spawn(|| {});
+    a + b
+}
+
+pub fn hot(buf: &mut Vec<f64>, other: &[f64]) {
+    *buf = other.to_vec();
+}

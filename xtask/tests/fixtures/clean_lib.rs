@@ -1,0 +1,10 @@
+//! A well-formed crate root: headers present, no panics, no prints.
+//! (This file is test data — it is never compiled.)
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// Adds one, fallibly.
+pub fn add_one(x: u32) -> Option<u32> {
+    x.checked_add(1)
+}

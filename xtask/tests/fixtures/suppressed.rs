@@ -1,0 +1,27 @@
+//! The same violations as `bad_lib.rs`, each silenced by an inline
+//! `sentinet-allow` with a reason. The lint engine must report nothing.
+//! (This file is test data — it is never compiled.)
+
+pub fn suppressed(maybe: Option<u32>, x: f64) -> u32 {
+    // sentinet-allow(unwrap-used): fixture exercises suppression
+    let a = maybe.unwrap();
+    // sentinet-allow(expect-used): fixture exercises suppression
+    let b = maybe.expect("present");
+    // sentinet-allow(float-eq): fixture exercises suppression
+    if x == 1.0 {
+        // sentinet-allow(panic-used): fixture exercises suppression
+        panic!("boom");
+    }
+    // sentinet-allow(dbg-used): fixture exercises suppression
+    dbg!(a);
+    // sentinet-allow(unseeded-rng): fixture exercises suppression
+    let _rng = thread_rng();
+    // sentinet-allow(thread-spawn): fixture exercises suppression
+    std::thread::spawn(|| {});
+    a + b
+}
+
+pub fn hot(buf: &mut Vec<f64>, other: &[f64]) {
+    // sentinet-allow(hot-path-alloc): fixture exercises suppression
+    *buf = other.to_vec();
+}
