@@ -38,7 +38,12 @@ fn bench_throughput(c: &mut Criterion) {
     for shards in [1usize, 4] {
         let engine = Engine::new(PipelineConfig::default(), period, shards);
         c.bench_function(&format!("throughput/engine_{shards}_shards"), |b| {
-            b.iter(|| engine.process_trace(black_box(&trace)).windows_processed())
+            b.iter(|| {
+                engine
+                    .process_trace(black_box(&trace))
+                    .expect("healthy run")
+                    .windows_processed()
+            })
         });
     }
 }

@@ -91,7 +91,12 @@ fn main() {
 
         for shards in SHARD_COUNTS {
             let engine = Engine::new(PipelineConfig::default(), period, shards);
-            let (windows, seconds) = time_best(|| engine.process_trace(&trace).windows_processed());
+            let (windows, seconds) = time_best(|| {
+                engine
+                    .process_trace(&trace)
+                    .expect("healthy run")
+                    .windows_processed()
+            });
             eprintln!(
                 "  engine x{shards}: {:.3}s ({:.0} readings/s)",
                 seconds,

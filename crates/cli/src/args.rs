@@ -47,6 +47,12 @@ pub struct AnalyzeArgs {
     pub trim: f64,
     /// Worker shards for the sharded engine (1 = serial pipeline).
     pub shards: usize,
+    /// Chaos-testing seed: inject a seeded fault plan (worker panics,
+    /// dropped/delayed replies) into the supervised engine. `None`
+    /// disables chaos.
+    pub chaos_seed: Option<u64>,
+    /// Restart budget per shard per window before quarantine.
+    pub max_shard_restarts: u32,
     /// Emit the report as one summary line per sensor only.
     pub quiet: bool,
 }
@@ -72,7 +78,15 @@ USAGE:
                     [--fault SENSOR:MODEL] [--attack COUNT:MODEL]
   sentinet analyze <trace.csv> [--period SECS] [--window SAMPLES]
                     [--trim FRACTION] [--shards N] [--quiet]
+                    [--chaos-seed S] [--max-shard-restarts N]
   sentinet help
+
+CHAOS TESTING (analyze):
+  --chaos-seed S           inject a seeded, replayable fault plan
+                           (worker panics, dropped/delayed replies)
+                           into the supervised sharded engine
+  --max-shard-restarts N   per-window crash budget before a shard is
+                           quarantined (default 3)
 
 FAULT MODELS (simulate --fault):
   6:stuck=15,1        sensor 6 stuck at (15, 1)
@@ -221,6 +235,8 @@ pub fn parse<'a, I: IntoIterator<Item = &'a str>>(args: I) -> Result<Command, Pa
                 window: 12,
                 trim: 0.15,
                 shards: 1,
+                chaos_seed: None,
+                max_shard_restarts: 3,
                 quiet: false,
             };
             while let Some(flag) = it.next() {
@@ -244,6 +260,18 @@ pub fn parse<'a, I: IntoIterator<Item = &'a str>>(args: I) -> Result<Command, Pa
                         parsed.shards = take_value(flag, &mut it)?
                             .parse()
                             .map_err(|e| ParseError(format!("bad --shards: {e}")))?
+                    }
+                    "--chaos-seed" => {
+                        parsed.chaos_seed = Some(
+                            take_value(flag, &mut it)?
+                                .parse()
+                                .map_err(|e| ParseError(format!("bad --chaos-seed: {e}")))?,
+                        )
+                    }
+                    "--max-shard-restarts" => {
+                        parsed.max_shard_restarts = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad --max-shard-restarts: {e}")))?
                     }
                     "--quiet" => parsed.quiet = true,
                     other => return Err(ParseError(format!("unknown flag {other:?}"))),
@@ -349,6 +377,35 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn analyze_chaos_flags() {
+        match parse(["analyze", "t.csv"]).unwrap() {
+            Command::Analyze(a) => {
+                assert_eq!(a.chaos_seed, None);
+                assert_eq!(a.max_shard_restarts, 3);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse([
+            "analyze",
+            "t.csv",
+            "--chaos-seed",
+            "99",
+            "--max-shard-restarts",
+            "5",
+        ])
+        .unwrap()
+        {
+            Command::Analyze(a) => {
+                assert_eq!(a.chaos_seed, Some(99));
+                assert_eq!(a.max_shard_restarts, 5);
+            }
+            other => panic!("{other:?}"),
+        }
+        let e = parse(["analyze", "t.csv", "--chaos-seed", "x"]).unwrap_err();
+        assert!(e.to_string().contains("chaos-seed"));
     }
 
     #[test]

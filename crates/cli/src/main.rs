@@ -14,9 +14,9 @@ use args::{AnalyzeArgs, Command, SimulateArgs, USAGE};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sentinet_core::{Pipeline, PipelineConfig, RecoveryPlan};
-use sentinet_engine::Engine;
+use sentinet_engine::{ChaosPlan, Engine, SupervisorConfig};
 use sentinet_inject::{inject_attacks, inject_faults, AttackInjection, FaultInjection};
-use sentinet_sim::{gdi, read_trace, simulate, write_trace, SensorId, DAY_S};
+use sentinet_sim::{gdi, read_trace_sanitized, simulate, write_trace, SensorId, DAY_S};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
@@ -101,7 +101,20 @@ fn run_simulate(a: SimulateArgs) -> Result<(), Box<dyn std::error::Error>> {
 
 fn run_analyze(a: AnalyzeArgs) -> Result<(), Box<dyn std::error::Error>> {
     let file = File::open(&a.input)?;
-    let trace = read_trace(BufReader::new(file))?;
+    // Sanitized ingest: NaN/∞ payloads, duplicate and out-of-order
+    // timestamps are dropped and accounted for instead of aborting
+    // (or, worse, panicking inside the estimators).
+    let (trace, ingest) = read_trace_sanitized(BufReader::new(file))?;
+    if !ingest.is_clean() {
+        eprintln!(
+            "warning: ingest rejected {} of {} delivered record(s):",
+            ingest.rejected.len(),
+            ingest.accepted + ingest.rejected.len()
+        );
+        for e in &ingest.rejected {
+            eprintln!("  {e}");
+        }
+    }
     if trace.is_empty() {
         return Err("trace contains no records".into());
     }
@@ -112,10 +125,37 @@ fn run_analyze(a: AnalyzeArgs) -> Result<(), Box<dyn std::error::Error>> {
     };
     // Both paths produce identical reports (the engine is bit-for-bit
     // equivalent to the pipeline); --shards > 1 fans the per-sensor
-    // stages out to worker threads.
-    let (report, plan) = if a.shards > 1 {
-        let engine = Engine::new(config, a.period, a.shards);
-        let run = engine.process_trace(&trace);
+    // stages out to supervised worker threads, and --chaos-seed forces
+    // the supervised engine so the fault plan has workers to kill.
+    let (report, plan) = if a.shards > 1 || a.chaos_seed.is_some() {
+        let mut engine =
+            Engine::new(config, a.period, a.shards).with_supervisor(SupervisorConfig {
+                max_shard_restarts: a.max_shard_restarts,
+                ..SupervisorConfig::default()
+            });
+        if let Some(seed) = a.chaos_seed {
+            let windows = trace
+                .records()
+                .last()
+                .map(|r| r.time / (u64::from(a.window) * a.period))
+                .unwrap_or(1)
+                .max(1);
+            let chaos = ChaosPlan::seeded(seed, a.shards, windows, 4);
+            eprintln!(
+                "chaos: injecting {} fault(s) from seed {seed}",
+                chaos.faults.len()
+            );
+            engine = engine.with_chaos(chaos);
+        }
+        let run = engine.process_trace(&trace)?;
+        if let Some(degraded) = run.degraded() {
+            eprintln!("warning: {degraded}");
+        } else if !run.shard_restarts().is_empty() {
+            eprintln!(
+                "chaos: all crashes recovered exactly (restarts: {:?})",
+                run.shard_restarts()
+            );
+        }
         (run.report(), run.recovery_plan())
     } else {
         let mut pipeline = Pipeline::new(config, a.period);

@@ -1,0 +1,499 @@
+//! Checkpoint snapshots of per-sensor pipeline state.
+//!
+//! The sharded engine's supervisor checkpoints every
+//! [`SensorRuntime`](crate::SensorRuntime) at each window boundary so a
+//! crashed shard can be respawned and replayed without losing model
+//! state. A [`SensorSnapshot`] is plain data — the alarm filter's
+//! [`FilterSnapshot`], the `M_CE` [`EstimatorState`] (which carries the
+//! estimator's generation counter, keeping memo caches coherent across
+//! a restore), and the track/alarm history — so it crosses thread
+//! boundaries freely and can be serialized.
+//!
+//! The durable wire format is the hand-rolled text codec below
+//! ([`encode_shard`]/[`decode_shard`]): floating-point fields are
+//! written as the hexadecimal IEEE-754 bit pattern (`f64::to_bits`), so
+//! a round-trip is bit-exact — the property the engine's kill-anywhere
+//! determinism proof rests on. The `serde` derives on the snapshot
+//! types are the workspace's usual offline marker stubs (see
+//! `vendor/README.md`); they document intent but do no serialization.
+
+use crate::runtime::TrackRecord;
+use sentinet_filter::FilterSnapshot;
+use sentinet_hmm::EstimatorState;
+use sentinet_sim::SensorId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Plain-data image of one [`SensorRuntime`](crate::SensorRuntime),
+/// produced by [`SensorRuntime::snapshot`](crate::SensorRuntime::snapshot).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensorSnapshot {
+    /// Alarm-filter state.
+    pub filter: FilterSnapshot,
+    /// `M_CE` estimator state (includes its generation counter).
+    pub m_ce: EstimatorState,
+    /// Whether an error/attack track is currently open.
+    pub track_open: bool,
+    /// All tracks opened so far.
+    pub tracks: Vec<TrackRecord>,
+    /// Raw-alarm history as `(window, raw)` pairs.
+    pub raw_history: Vec<(u64, bool)>,
+    /// Whether a filtered alarm was ever raised.
+    pub ever_alarmed: bool,
+}
+
+/// Error decoding or restoring a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The checkpoint text failed to parse at `line`.
+    Malformed {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The checkpoint parsed but failed semantic re-validation.
+    Invalid(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Malformed { line, reason } => {
+                write!(f, "malformed checkpoint at line {line}: {reason}")
+            }
+            CheckpointError::Invalid(reason) => write!(f, "invalid checkpoint: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+const MAGIC: &str = "sentinet-checkpoint v1";
+
+fn hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn put_row(out: &mut String, tag: &str, row: &[f64]) {
+    out.push_str(tag);
+    for v in row {
+        out.push(' ');
+        out.push_str(&hex(*v));
+    }
+    out.push('\n');
+}
+
+/// Encodes one shard's sensors as durable checkpoint text.
+pub fn encode_shard(sensors: &[(SensorId, SensorSnapshot)]) -> String {
+    let mut out = String::new();
+    out.push_str(MAGIC);
+    out.push('\n');
+    for (id, snap) in sensors {
+        out.push_str(&format!("sensor {}\n", id.0));
+        match &snap.filter {
+            FilterSnapshot::KOfN { k, n, window } => {
+                let bits: String = window.iter().map(|&b| if b { '1' } else { '0' }).collect();
+                let bits = if bits.is_empty() { "-".into() } else { bits };
+                out.push_str(&format!("filter kofn {k} {n} {bits}\n"));
+            }
+            FilterSnapshot::Sprt {
+                llr_true,
+                llr_false,
+                upper,
+                lower,
+                llr,
+                steps,
+                raised,
+            } => {
+                out.push_str(&format!(
+                    "filter sprt {} {} {} {} {} {steps} {}\n",
+                    hex(*llr_true),
+                    hex(*llr_false),
+                    hex(*upper),
+                    hex(*lower),
+                    hex(*llr),
+                    u8::from(*raised),
+                ));
+            }
+        }
+        let m = &snap.m_ce;
+        let prev = m.prev_state.map_or("-".into(), |p| p.to_string());
+        out.push_str(&format!(
+            "mce {} {} {prev} {} {}\n",
+            hex(m.beta),
+            hex(m.gamma),
+            m.steps,
+            m.generation,
+        ));
+        for row in &m.a {
+            put_row(&mut out, "a", row);
+        }
+        for row in &m.b {
+            put_row(&mut out, "b", row);
+        }
+        let join = |v: &[u64]| v.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+        out.push_str(&format!(
+            "counts {} {}\n",
+            join(&m.state_counts),
+            join(&m.obs_counts)
+        ));
+        out.push_str(&format!("track {}\n", u8::from(snap.track_open)));
+        out.push_str("tracks");
+        if snap.tracks.is_empty() {
+            out.push_str(" -");
+        }
+        for t in &snap.tracks {
+            let closed = t.closed.map_or("-".into(), |c| c.to_string());
+            out.push_str(&format!(" {}:{closed}", t.opened));
+        }
+        out.push('\n');
+        out.push_str("raw");
+        if snap.raw_history.is_empty() {
+            out.push_str(" -");
+        }
+        for (w, raw) in &snap.raw_history {
+            out.push_str(&format!(" {w}:{}", u8::from(*raw)));
+        }
+        out.push('\n');
+        out.push_str(&format!("alarmed {}\n", u8::from(snap.ever_alarmed)));
+        out.push_str("end\n");
+    }
+    out
+}
+
+/// Cursor over checkpoint lines, tracking the 1-based position for
+/// error reporting.
+struct Lines<'a> {
+    iter: std::iter::Enumerate<std::str::Lines<'a>>,
+    pos: usize,
+}
+
+impl<'a> Lines<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            iter: text.lines().enumerate(),
+            pos: 0,
+        }
+    }
+
+    fn next(&mut self) -> Option<&'a str> {
+        let (i, line) = self.iter.next()?;
+        self.pos = i + 1;
+        Some(line)
+    }
+
+    fn fail<T>(&self, reason: impl Into<String>) -> Result<T, CheckpointError> {
+        Err(CheckpointError::Malformed {
+            line: self.pos,
+            reason: reason.into(),
+        })
+    }
+}
+
+fn parse_hex(lines: &Lines<'_>, s: &str) -> Result<f64, CheckpointError> {
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|e| CheckpointError::Malformed {
+            line: lines.pos,
+            reason: format!("bad hex float `{s}`: {e}"),
+        })
+}
+
+fn parse_num<T: std::str::FromStr>(lines: &Lines<'_>, s: &str) -> Result<T, CheckpointError>
+where
+    T::Err: fmt::Display,
+{
+    s.parse().map_err(|e| CheckpointError::Malformed {
+        line: lines.pos,
+        reason: format!("bad number `{s}`: {e}"),
+    })
+}
+
+fn parse_counts(lines: &Lines<'_>, s: &str) -> Result<Vec<u64>, CheckpointError> {
+    if s.is_empty() {
+        return lines.fail("empty count vector");
+    }
+    s.split(',').map(|c| parse_num(lines, c)).collect()
+}
+
+/// Decodes checkpoint text produced by [`encode_shard`].
+///
+/// # Errors
+///
+/// [`CheckpointError::Malformed`] on any syntax problem, with the
+/// offending line. Semantic validation (stochastic rows etc.) happens
+/// when the snapshot is restored into a runtime.
+pub fn decode_shard(text: &str) -> Result<Vec<(SensorId, SensorSnapshot)>, CheckpointError> {
+    let mut lines = Lines::new(text);
+    match lines.next() {
+        Some(MAGIC) => {}
+        Some(other) => return lines.fail(format!("bad magic `{other}`")),
+        None => return lines.fail("empty checkpoint"),
+    }
+    let mut sensors = Vec::new();
+    while let Some(line) = lines.next() {
+        if line.is_empty() {
+            continue;
+        }
+        let Some(id) = line.strip_prefix("sensor ") else {
+            return lines.fail(format!("expected `sensor <id>`, got `{line}`"));
+        };
+        let id = SensorId(parse_num(&lines, id)?);
+
+        // Filter line.
+        let Some(filter_line) = lines.next() else {
+            return lines.fail("truncated: missing filter line");
+        };
+        let filter = if let Some(rest) = filter_line.strip_prefix("filter kofn ") {
+            let parts: Vec<&str> = rest.split(' ').collect();
+            if parts.len() != 3 {
+                return lines.fail("filter kofn needs `k n bits`");
+            }
+            let window = if parts[2] == "-" {
+                Vec::new()
+            } else {
+                parts[2]
+                    .chars()
+                    .map(|c| match c {
+                        '0' => Ok(false),
+                        '1' => Ok(true),
+                        other => Err(CheckpointError::Malformed {
+                            line: lines.pos,
+                            reason: format!("bad window bit `{other}`"),
+                        }),
+                    })
+                    .collect::<Result<_, _>>()?
+            };
+            FilterSnapshot::KOfN {
+                k: parse_num(&lines, parts[0])?,
+                n: parse_num(&lines, parts[1])?,
+                window,
+            }
+        } else if let Some(rest) = filter_line.strip_prefix("filter sprt ") {
+            let parts: Vec<&str> = rest.split(' ').collect();
+            if parts.len() != 7 {
+                return lines.fail("filter sprt needs 7 fields");
+            }
+            FilterSnapshot::Sprt {
+                llr_true: parse_hex(&lines, parts[0])?,
+                llr_false: parse_hex(&lines, parts[1])?,
+                upper: parse_hex(&lines, parts[2])?,
+                lower: parse_hex(&lines, parts[3])?,
+                llr: parse_hex(&lines, parts[4])?,
+                steps: parse_num(&lines, parts[5])?,
+                raised: parts[6] == "1",
+            }
+        } else {
+            return lines.fail(format!("expected filter line, got `{filter_line}`"));
+        };
+
+        // Estimator header.
+        let Some(mce_line) = lines.next() else {
+            return lines.fail("truncated: missing mce line");
+        };
+        let Some(rest) = mce_line.strip_prefix("mce ") else {
+            return lines.fail(format!("expected mce line, got `{mce_line}`"));
+        };
+        let parts: Vec<&str> = rest.split(' ').collect();
+        if parts.len() != 5 {
+            return lines.fail("mce needs `beta gamma prev steps generation`");
+        }
+        let beta = parse_hex(&lines, parts[0])?;
+        let gamma = parse_hex(&lines, parts[1])?;
+        let prev_state = if parts[2] == "-" {
+            None
+        } else {
+            Some(parse_num(&lines, parts[2])?)
+        };
+        let steps = parse_num(&lines, parts[3])?;
+        let generation = parse_num(&lines, parts[4])?;
+
+        // Matrix rows, then counts.
+        let mut a: Vec<Vec<f64>> = Vec::new();
+        let mut b: Vec<Vec<f64>> = Vec::new();
+        let (state_counts, obs_counts) = loop {
+            let Some(row_line) = lines.next() else {
+                return lines.fail("truncated: missing counts line");
+            };
+            if let Some(rest) = row_line.strip_prefix("a ") {
+                let row = rest
+                    .split(' ')
+                    .map(|s| parse_hex(&lines, s))
+                    .collect::<Result<Vec<f64>, _>>()?;
+                a.push(row);
+            } else if let Some(rest) = row_line.strip_prefix("b ") {
+                let row = rest
+                    .split(' ')
+                    .map(|s| parse_hex(&lines, s))
+                    .collect::<Result<Vec<f64>, _>>()?;
+                b.push(row);
+            } else if let Some(rest) = row_line.strip_prefix("counts ") {
+                let parts: Vec<&str> = rest.split(' ').collect();
+                if parts.len() != 2 {
+                    return lines.fail("counts needs two vectors");
+                }
+                break (
+                    parse_counts(&lines, parts[0])?,
+                    parse_counts(&lines, parts[1])?,
+                );
+            } else {
+                return lines.fail(format!("expected a/b/counts line, got `{row_line}`"));
+            }
+        };
+
+        // Track flag, tracks, raw history, alarmed flag, end marker.
+        let track_open = match lines.next() {
+            Some("track 0") => false,
+            Some("track 1") => true,
+            _ => return lines.fail("expected `track 0|1`"),
+        };
+        let Some(tracks_line) = lines.next() else {
+            return lines.fail("truncated: missing tracks line");
+        };
+        let Some(rest) = tracks_line.strip_prefix("tracks") else {
+            return lines.fail(format!("expected tracks line, got `{tracks_line}`"));
+        };
+        let mut tracks = Vec::new();
+        for item in rest.split_whitespace() {
+            if item == "-" {
+                continue;
+            }
+            let Some((opened, closed)) = item.split_once(':') else {
+                return lines.fail(format!("bad track `{item}`"));
+            };
+            tracks.push(TrackRecord {
+                opened: parse_num(&lines, opened)?,
+                closed: if closed == "-" {
+                    None
+                } else {
+                    Some(parse_num(&lines, closed)?)
+                },
+            });
+        }
+        let Some(raw_line) = lines.next() else {
+            return lines.fail("truncated: missing raw line");
+        };
+        let Some(rest) = raw_line.strip_prefix("raw") else {
+            return lines.fail(format!("expected raw line, got `{raw_line}`"));
+        };
+        let mut raw_history = Vec::new();
+        for item in rest.split_whitespace() {
+            if item == "-" {
+                continue;
+            }
+            let Some((w, r)) = item.split_once(':') else {
+                return lines.fail(format!("bad raw entry `{item}`"));
+            };
+            raw_history.push((parse_num(&lines, w)?, r == "1"));
+        }
+        let ever_alarmed = match lines.next() {
+            Some("alarmed 0") => false,
+            Some("alarmed 1") => true,
+            _ => return lines.fail("expected `alarmed 0|1`"),
+        };
+        match lines.next() {
+            Some("end") => {}
+            _ => return lines.fail("expected `end`"),
+        }
+
+        sensors.push((
+            id,
+            SensorSnapshot {
+                filter,
+                m_ce: EstimatorState {
+                    a,
+                    b,
+                    beta,
+                    gamma,
+                    prev_state,
+                    state_counts,
+                    obs_counts,
+                    steps,
+                    generation,
+                },
+                track_open,
+                tracks,
+                raw_history,
+                ever_alarmed,
+            },
+        ));
+    }
+    Ok(sensors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FilterPolicy, PipelineConfig};
+    use crate::runtime::SensorRuntime;
+
+    fn runtime_with_history(config: &PipelineConfig) -> SensorRuntime {
+        let mut rt = SensorRuntime::new(config, 3);
+        for w in 0..12u64 {
+            // Disagreements on a burst so tracks open, close, reopen.
+            let label = if (3..7).contains(&w) || w >= 10 { 2 } else { 1 };
+            rt.step(w, label, 1);
+        }
+        rt
+    }
+
+    #[test]
+    fn shard_codec_round_trips_kofn_and_sprt() {
+        for filter in [
+            FilterPolicy::KOfN { k: 2, n: 4 },
+            FilterPolicy::Sprt {
+                p0: 0.05,
+                p1: 0.6,
+                alpha: 0.01,
+                beta: 0.01,
+            },
+        ] {
+            let config = PipelineConfig {
+                filter,
+                ..PipelineConfig::default()
+            };
+            let shard = vec![
+                (SensorId(0), runtime_with_history(&config).snapshot()),
+                (SensorId(7), SensorRuntime::new(&config, 2).snapshot()),
+            ];
+            let decoded = decode_shard(&encode_shard(&shard)).expect("round trip");
+            assert_eq!(decoded, shard);
+        }
+    }
+
+    #[test]
+    fn decode_reports_offending_line() {
+        let config = PipelineConfig::default();
+        let shard = vec![(SensorId(1), runtime_with_history(&config).snapshot())];
+        let mut text = encode_shard(&shard);
+        text = text.replace("alarmed", "alarme");
+        let err = decode_shard(&text).expect_err("corrupted");
+        match err {
+            CheckpointError::Malformed { line, .. } => assert!(line > 1),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_magic_and_empty() {
+        assert!(decode_shard("").is_err());
+        assert!(decode_shard("not a checkpoint\n").is_err());
+    }
+
+    #[test]
+    fn restored_runtime_continues_bit_identically() {
+        let config = PipelineConfig::default();
+        let mut original = runtime_with_history(&config);
+        let decoded =
+            decode_shard(&encode_shard(&[(SensorId(0), original.snapshot())])).expect("round trip");
+        let mut restored =
+            SensorRuntime::from_snapshot(decoded[0].1.clone()).expect("valid snapshot");
+        for w in 12..30u64 {
+            let label = if w % 3 == 0 { 2 } else { 1 };
+            assert_eq!(original.step(w, label, 1), restored.step(w, label, 1));
+        }
+        assert_eq!(original.m_ce(), restored.m_ce());
+        assert_eq!(original.tracks(), restored.tracks());
+    }
+}

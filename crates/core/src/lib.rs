@@ -55,6 +55,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
 pub mod classify;
 pub mod confidence;
 mod config;
@@ -64,10 +65,11 @@ pub mod report;
 pub mod runtime;
 pub mod window;
 
+pub use checkpoint::{CheckpointError, SensorSnapshot};
 pub use classify::{AttackType, Diagnosis, ErrorType, NetworkEvidence, SensorEvidence};
 pub use config::{FilterPolicy, PipelineConfig};
 pub use pipeline::{Pipeline, TrackRecord, WindowOutcome, BOT_SYMBOL};
-pub use recovery::{RecoveryAction, RecoveryPlan};
+pub use recovery::{DegradedStatus, RecoveryAction, RecoveryPlan};
 pub use report::{PipelineReport, SensorSummary, StateSummary};
 pub use runtime::{GlobalModel, SensorRuntime, SensorStep};
 pub use window::{

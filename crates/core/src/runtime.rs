@@ -158,6 +158,46 @@ impl SensorRuntime {
         SensorStep { raw, filtered }
     }
 
+    /// Captures the complete per-sensor state for checkpointing. The
+    /// snapshot is plain data (see [`crate::checkpoint`]); restoring it
+    /// with [`SensorRuntime::from_snapshot`] yields a runtime whose
+    /// behaviour — filter outputs, `M_CE` updates, diagnoses — is
+    /// bit-identical from this point on. The diagnosis memo is not
+    /// captured: it is a cache keyed on generation counters and
+    /// rebuilds on first use.
+    pub fn snapshot(&self) -> crate::checkpoint::SensorSnapshot {
+        crate::checkpoint::SensorSnapshot {
+            filter: self.filter.snapshot(),
+            m_ce: self.m_ce.export_state(),
+            track_open: self.track_open,
+            tracks: self.tracks.clone(),
+            raw_history: self.raw_history.clone(),
+            ever_alarmed: self.ever_alarmed,
+        }
+    }
+
+    /// Rebuilds a runtime from a checkpoint snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::checkpoint::CheckpointError::Invalid`] if the embedded
+    /// estimator state fails re-validation (corrupt checkpoint).
+    pub fn from_snapshot(
+        snapshot: crate::checkpoint::SensorSnapshot,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        let m_ce = OnlineHmmEstimator::import_state(snapshot.m_ce)
+            .map_err(|e| crate::checkpoint::CheckpointError::Invalid(e.to_string()))?;
+        Ok(Self {
+            filter: snapshot.filter.restore(),
+            m_ce,
+            track_open: snapshot.track_open,
+            tracks: snapshot.tracks,
+            raw_history: snapshot.raw_history,
+            ever_alarmed: snapshot.ever_alarmed,
+            memo: RefCell::new(None),
+        })
+    }
+
     /// The sensor's `M_CE` estimator.
     pub fn m_ce(&self) -> &OnlineHmmEstimator {
         &self.m_ce

@@ -1,0 +1,304 @@
+//! Deterministic chaos plans: seeded, replayable system-fault
+//! injection for the sharded engine.
+//!
+//! A [`ChaosPlan`] names *where* a fault fires — shard, window, and
+//! protocol point (label or step barrier) — and *what* fires: a worker
+//! panic, a swallowed reply, or a delayed reply. The supervisor
+//! ([`crate::supervisor`]) arms each fault just before dispatching the
+//! matching job, so the same plan against the same trace reproduces
+//! the same crash sites exactly; the `xtask` model checker exploits
+//! this to prove kill-anywhere determinism, and the
+//! `sentinet --chaos-seed` flag exposes [`ChaosPlan::seeded`] plans to
+//! operators.
+//!
+//! Window coordinates count *label barriers*: window 0 is the first
+//! post-bootstrap window that reaches the label stage. A fault aimed
+//! at a window the run never reaches simply never fires.
+//!
+//! [`corrupt_records`] covers the third fault class — ingest-boundary
+//! corruption (NaN/∞ payloads, duplicated and reordered timestamps) —
+//! to be fed through the `sentinet-sim` sanitizer rather than the
+//! shard protocol.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sentinet_sim::RawRecord;
+
+/// Which protocol barrier of a window a fault fires at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPoint {
+    /// The label barrier (before the majority vote).
+    Label,
+    /// The step barrier of a decisive window (after the vote). If the
+    /// window is indecisive the barrier never happens and the fault
+    /// does not fire.
+    Step,
+}
+
+/// What happens to the worker when a fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The worker panics inside the per-sensor code path; the panic is
+    /// caught by the worker's unwind boundary and reported to the
+    /// supervisor as a crash.
+    Panic,
+    /// The worker executes the job but swallows its reply and keeps
+    /// running — a hung/partitioned worker. The supervisor's reply
+    /// timeout treats it as crashed and supersedes it.
+    DropReply,
+    /// The worker sleeps before answering. Below the supervisor's
+    /// reply timeout this is harmless jitter; above it, the worker is
+    /// superseded and its late reply discarded by the epoch filter.
+    DelayReply {
+        /// How long the worker sleeps before replying.
+        millis: u64,
+    },
+}
+
+/// One scheduled fault: fire `kind` the next `count` times shard
+/// `shard` receives the `point` job of window `window`.
+///
+/// `count > 1` re-fires the fault on the supervisor's re-delivery
+/// after recovery, so `count = max_shard_restarts + 1` is the recipe
+/// for forcing a quarantine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// The shard whose worker is targeted.
+    pub shard: usize,
+    /// Window coordinate (label-barrier count, 0-based).
+    pub window: u64,
+    /// Which barrier of that window.
+    pub point: FaultPoint,
+    /// What fires.
+    pub kind: FaultKind,
+    /// How many times it fires before burning out.
+    pub count: u32,
+}
+
+/// A deterministic, replayable fault schedule for one engine run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ChaosPlan {
+    /// The scheduled faults, matched in order.
+    pub faults: Vec<FaultSpec>,
+}
+
+impl ChaosPlan {
+    /// An empty plan (no faults — the engine's default).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Adds one fault to the plan.
+    #[must_use]
+    pub fn with_fault(mut self, spec: FaultSpec) -> Self {
+        self.faults.push(spec);
+        self
+    }
+
+    /// The single-fault plan used throughout the test suites: one
+    /// worker panic at the given shard/window/point.
+    pub fn panic_at(shard: usize, window: u64, point: FaultPoint) -> Self {
+        Self::new().with_fault(FaultSpec {
+            shard,
+            window,
+            point,
+            kind: FaultKind::Panic,
+            count: 1,
+        })
+    }
+
+    /// A reproducible random plan: `num_faults` single-shot faults
+    /// drawn uniformly over `num_shards × num_windows × {label, step}`
+    /// and the three fault kinds. The same seed always yields the same
+    /// plan — this is what `--chaos-seed` runs.
+    pub fn seeded(seed: u64, num_shards: usize, num_windows: u64, num_faults: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shards = num_shards.max(1);
+        let windows = num_windows.max(1) as usize;
+        let mut plan = Self::new();
+        for _ in 0..num_faults {
+            let shard = rng.gen_range(0usize..shards);
+            let window = rng.gen_range(0usize..windows) as u64;
+            let point = if rng.gen_range(0usize..2) == 0 {
+                FaultPoint::Label
+            } else {
+                FaultPoint::Step
+            };
+            let kind = match rng.gen_range(0usize..3) {
+                0 => FaultKind::Panic,
+                1 => FaultKind::DropReply,
+                _ => FaultKind::DelayReply {
+                    millis: rng.gen_range(1u64..6),
+                },
+            };
+            plan = plan.with_fault(FaultSpec {
+                shard,
+                window,
+                point,
+                kind,
+                count: 1,
+            });
+        }
+        plan
+    }
+
+    /// Consumes one firing of the first matching live fault, if any.
+    /// Called by the supervisor just before dispatching the matching
+    /// job; decrementing on fire is what makes re-delivery after a
+    /// recovery run clean (for `count = 1`) or crash again (for
+    /// higher counts).
+    pub(crate) fn take(
+        &mut self,
+        shard: usize,
+        window: u64,
+        point: FaultPoint,
+    ) -> Option<FaultKind> {
+        let fault = self
+            .faults
+            .iter_mut()
+            .find(|f| f.shard == shard && f.window == window && f.point == point && f.count > 0)?;
+        fault.count -= 1;
+        Some(fault.kind)
+    }
+}
+
+/// Corrupts a record stream the way broken ADCs and store-and-forward
+/// radios do: NaN/∞ payloads, duplicated timestamps, and stale
+/// (out-of-order) retransmissions, each injected with probability
+/// `rate` per record, deterministically from `seed`. Every clean
+/// record is preserved; corruption is either applied to a copy's
+/// payload or appended as an extra record, so feeding the output
+/// through the `sentinet-sim` sanitizer must recover exactly the
+/// accepted originals.
+pub fn corrupt_records(records: &[RawRecord], seed: u64, rate: f64) -> Vec<RawRecord> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(records.len());
+    for record in records {
+        let corrupt = rng.gen::<f64>() < rate;
+        let pick = rng.gen_range(0usize..4);
+        match (corrupt, pick) {
+            (true, 0) => {
+                let mut bad = record.clone();
+                if let Some(v) = bad.values.first_mut() {
+                    *v = f64::NAN;
+                }
+                out.push(bad);
+            }
+            (true, 1) => {
+                let mut bad = record.clone();
+                if let Some(v) = bad.values.last_mut() {
+                    *v = f64::INFINITY;
+                }
+                out.push(bad);
+            }
+            (true, 2) => {
+                out.push(record.clone());
+                out.push(record.clone()); // duplicate timestamp
+            }
+            (true, _) => {
+                out.push(record.clone());
+                let mut stale = record.clone();
+                stale.time = stale.time.saturating_sub(1);
+                out.push(stale); // out-of-order retransmission
+            }
+            (false, _) => out.push(record.clone()),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinet_sim::{sanitize_records, SensorId};
+
+    #[test]
+    fn take_matches_and_burns_out() {
+        let mut plan = ChaosPlan::panic_at(1, 3, FaultPoint::Label);
+        assert_eq!(plan.take(0, 3, FaultPoint::Label), None);
+        assert_eq!(plan.take(1, 2, FaultPoint::Label), None);
+        assert_eq!(plan.take(1, 3, FaultPoint::Step), None);
+        assert_eq!(plan.take(1, 3, FaultPoint::Label), Some(FaultKind::Panic));
+        assert_eq!(plan.take(1, 3, FaultPoint::Label), None, "burned out");
+    }
+
+    #[test]
+    fn multi_count_faults_refire() {
+        let mut plan = ChaosPlan::new().with_fault(FaultSpec {
+            shard: 0,
+            window: 0,
+            point: FaultPoint::Step,
+            kind: FaultKind::DropReply,
+            count: 2,
+        });
+        assert!(plan.take(0, 0, FaultPoint::Step).is_some());
+        assert!(plan.take(0, 0, FaultPoint::Step).is_some());
+        assert!(plan.take(0, 0, FaultPoint::Step).is_none());
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_bounded() {
+        let a = ChaosPlan::seeded(42, 3, 10, 8);
+        let b = ChaosPlan::seeded(42, 3, 10, 8);
+        assert_eq!(a, b);
+        assert_eq!(a.faults.len(), 8);
+        for f in &a.faults {
+            assert!(f.shard < 3);
+            assert!(f.window < 10);
+            assert_eq!(f.count, 1);
+        }
+        let c = ChaosPlan::seeded(43, 3, 10, 8);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn corrupt_records_is_deterministic_and_sanitizer_recovers() {
+        let clean: Vec<RawRecord> = (0..50)
+            .map(|i| RawRecord {
+                time: 300 * (i as u64 + 1),
+                sensor: SensorId((i % 5) as u16),
+                values: vec![15.0 + i as f64 * 0.1, 80.0],
+            })
+            .collect();
+        let a = corrupt_records(&clean, 7, 0.4);
+        let b = corrupt_records(&clean, 7, 0.4);
+        // Bitwise comparison: injected NaNs are != themselves.
+        let bits = |records: &[RawRecord]| -> Vec<(u64, u16, Vec<u64>)> {
+            records
+                .iter()
+                .map(|r| {
+                    let vs = r.values.iter().map(|v| v.to_bits()).collect();
+                    (r.time, r.sensor.0, vs)
+                })
+                .collect()
+        };
+        assert_eq!(bits(&a), bits(&b), "same seed, same corruption");
+        assert!(a.len() > clean.len(), "duplicates/replays were appended");
+
+        let (trace, report) = sanitize_records(a);
+        assert!(!report.is_clean(), "corruption must be caught");
+        // Every record the sanitizer accepted is finite and per-sensor
+        // strictly increasing — the estimators never see the garbage.
+        assert_eq!(trace.delivered().count(), report.accepted);
+        for (_, _, reading) in trace.delivered() {
+            assert!(reading.values().iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let clean: Vec<RawRecord> = (0..10)
+            .map(|i| RawRecord {
+                time: 300 * (i as u64 + 1),
+                sensor: SensorId(0),
+                values: vec![1.0],
+            })
+            .collect();
+        assert_eq!(corrupt_records(&clean, 1, 0.0), clean);
+    }
+}

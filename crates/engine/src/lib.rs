@@ -12,13 +12,13 @@
 //!   which need every sensor's vote ([`sentinet_core::GlobalModel`]).
 //!
 //! The [`Engine`] shards the per-sensor stages across `num_shards`
-//! worker threads (`crossbeam` scoped threads; sensor *s* lives on
-//! shard `s mod num_shards` for its whole life) while a single
-//! coordinator runs the global stages. Per window the coordinator
-//! hands each shard a batched **label** job (model-state snapshot +
-//! that shard's sensor representatives) and, on decisive windows, a
-//! batched **step** job; explicit **grow** jobs keep worker-side
-//! estimators sized to the coordinator's model-state slots.
+//! worker threads (sensor *s* lives on shard `s mod num_shards` for
+//! its whole life) while a single coordinator runs the global stages.
+//! Per window the coordinator hands each shard a batched **label** job
+//! (model-state snapshot + that shard's sensor representatives) and,
+//! on decisive windows, a batched **step** job; explicit **grow** jobs
+//! keep worker-side estimators sized to the coordinator's model-state
+//! slots.
 //!
 //! The majority vote itself cannot be sharded: Eq. 4 elects the state
 //! backed by the most sensors *across the whole network*, and every
@@ -31,6 +31,17 @@
 //! coordinator, the engine's output is **bit-for-bit identical** to
 //! the serial pipeline at any shard count; `num_shards = 1` runs
 //! inline without spawning threads at all.
+//!
+//! Multi-shard runs are **supervised** (see [`supervisor`]): each
+//! worker is checkpointed every window, a crashed worker is restored
+//! from its checkpoint and replayed, and a worker that keeps crashing
+//! is quarantined — the run then completes degraded
+//! ([`EngineRun::degraded`]) instead of aborting. The [`chaos`] module
+//! injects deterministic worker faults through the same seam so the
+//! recovery machinery is testable; the headline invariant — any fault
+//! plan within the restart budget yields output bit-identical to the
+//! uninterrupted serial pipeline — is checked by the `xtask` model
+//! checker's fault schedules.
 //!
 //! The worker/coordinator message protocol is public in [`protocol`],
 //! and the coordinator loop is generic over [`ShardBackend`], so the
@@ -49,24 +60,31 @@
 //! let cfg = gdi::day_config();
 //! let trace = simulate(&cfg, &mut rand::rngs::StdRng::seed_from_u64(1));
 //! let engine = Engine::new(PipelineConfig::default(), cfg.sample_period, 2);
-//! let run = engine.process_trace(&trace);
+//! let run = engine.process_trace(&trace).expect("workers healthy");
 //! assert!(!run.outcomes().is_empty());
+//! assert!(run.degraded().is_none());
 //! ```
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
-use crossbeam::channel::{Receiver, Sender};
 use sentinet_cluster::ModelStates;
 use sentinet_core::classify::{AttackType, Diagnosis};
 use sentinet_core::{
-    majority_vote, GlobalModel, ObservationWindow, PipelineConfig, PipelineReport, RecoveryAction,
-    RecoveryPlan, SensorRuntime, SensorSummary, StateSummary, TrackRecord, WindowOutcome,
-    WindowScratch, Windower,
+    majority_vote, DegradedStatus, GlobalModel, ObservationWindow, PipelineConfig, PipelineReport,
+    RecoveryAction, RecoveryPlan, SensorRuntime, SensorSummary, StateSummary, TrackRecord,
+    WindowOutcome, WindowScratch, Windower,
 };
 use sentinet_hmm::OnlineHmmEstimator;
 use sentinet_sim::{SensorId, Trace};
 use std::collections::BTreeMap;
+use std::fmt;
+
+pub mod chaos;
+pub mod supervisor;
+
+pub use chaos::{ChaosPlan, FaultKind, FaultPoint, FaultSpec};
+pub use supervisor::SupervisorConfig;
 
 pub mod protocol {
     //! The worker/coordinator message protocol of the sharded engine.
@@ -83,9 +101,13 @@ pub mod protocol {
     //! the fold is order-insensitive.
 
     use super::*;
+    use sentinet_core::{CheckpointError, SensorSnapshot};
 
     /// Work dispatched from the coordinator to one shard.
-    #[derive(Debug)]
+    ///
+    /// `Clone` so the supervisor can keep a replay log and re-deliver
+    /// an in-flight job to a restarted worker.
+    #[derive(Debug, Clone)]
     pub enum Job {
         /// Label each representative against a model-state snapshot.
         Label {
@@ -110,6 +132,8 @@ pub mod protocol {
             /// New model-state slot count.
             num_slots: usize,
         },
+        /// Snapshot every sensor's state for the supervisor checkpoint.
+        Snapshot,
         /// Hand the shard's sensors back and exit.
         Finish,
     }
@@ -128,6 +152,8 @@ pub mod protocol {
             /// Sensors whose filtered alarm is raised after this window.
             filtered: Vec<SensorId>,
         },
+        /// Per-sensor checkpoints, answering [`Job::Snapshot`].
+        Snapshot(Vec<(SensorId, SensorSnapshot)>),
         /// The shard's sensors, answering [`Job::Finish`].
         Done(BTreeMap<SensorId, SensorRuntime>),
     }
@@ -154,6 +180,35 @@ pub mod protocol {
                 config,
                 sensors: BTreeMap::new(),
             }
+        }
+
+        /// Rebuilds a worker from checkpointed sensor state, as taken
+        /// by [`ShardWorker::snapshot`] — the supervisor's restart
+        /// path.
+        ///
+        /// # Errors
+        ///
+        /// [`CheckpointError`] if any snapshot is internally
+        /// inconsistent (see
+        /// [`SensorRuntime::from_snapshot`](sentinet_core::SensorRuntime::from_snapshot)).
+        pub fn from_snapshot(
+            config: PipelineConfig,
+            snapshots: Vec<(SensorId, SensorSnapshot)>,
+        ) -> Result<Self, CheckpointError> {
+            let mut sensors = BTreeMap::new();
+            for (id, snap) in snapshots {
+                sensors.insert(id, SensorRuntime::from_snapshot(snap)?);
+            }
+            Ok(Self { config, sensors })
+        }
+
+        /// Checkpoints every sensor the shard owns, in ascending
+        /// sensor order.
+        pub fn snapshot(&self) -> Vec<(SensorId, SensorSnapshot)> {
+            self.sensors
+                .iter()
+                .map(|(&id, rt)| (id, rt.snapshot()))
+                .collect()
         }
 
         /// Executes one job. [`Job::Grow`] has no reply; every other
@@ -197,6 +252,7 @@ pub mod protocol {
                     }
                     None
                 }
+                Job::Snapshot => Some(Reply::Snapshot(self.snapshot())),
                 Job::Finish => Some(Reply::Done(std::mem::take(&mut self.sensors))),
             }
         }
@@ -258,109 +314,109 @@ pub mod protocol {
     }
 }
 
-use protocol::{collect_labels, collect_steps, shard_of, Job, Reply, ShardWorker};
+/// A failure of the shard protocol that the supervisor could not hide.
+///
+/// With the supervised backend these are edge conditions — worker
+/// crashes are absorbed by restart/quarantine — but the coordinator
+/// loop is typed to surface them instead of silently answering neutral
+/// values as the pre-supervisor engine did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// A worker vanished and could not be restored or quarantined.
+    WorkerLost {
+        /// The shard whose worker was lost.
+        shard: usize,
+    },
+    /// A reply violated the protocol (wrong variant for the barrier).
+    Protocol {
+        /// The offending shard.
+        shard: usize,
+        /// What the coordinator expected vs. saw.
+        what: String,
+    },
+}
 
-fn worker(config: PipelineConfig, jobs: Receiver<Job>, replies: Sender<Reply>) {
-    let mut shard = ShardWorker::new(config);
-    for job in jobs.iter() {
-        let last = matches!(job, Job::Finish);
-        if let Some(reply) = shard.handle(job) {
-            if replies.send(reply).is_err() {
-                // Coordinator is gone (it panicked); nothing to answer.
-                return;
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::WorkerLost { shard } => {
+                write!(f, "shard {shard}: worker lost beyond recovery")
             }
-        }
-        if last {
-            return;
+            ShardError::Protocol { shard, what } => {
+                write!(f, "shard {shard}: protocol violation: {what}")
+            }
         }
     }
 }
 
+impl std::error::Error for ShardError {}
+
 /// How the coordinator executes per-sensor work. The engine ships two
-/// implementations — inline (serial, `num_shards = 1`) and thread-pool
-/// backed — and the `xtask` model checker adds a schedule-exploring
-/// third, all driven by the same [`window_pass`] coordinator code.
+/// implementations — inline (serial, `num_shards = 1`) and the
+/// supervised thread pool — and the `xtask` model checker adds a
+/// schedule-exploring third, all driven by the same [`window_pass`]
+/// coordinator code.
 pub trait ShardBackend {
-    /// Labels every representative; `None` if any sensor falls outside
-    /// all active model states (the serial pipeline then drops the
-    /// whole window, so the engine must too).
+    /// Labels every representative; `Ok(None)` if any sensor falls
+    /// outside all active model states (the serial pipeline then drops
+    /// the whole window, so the engine must too).
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError`] if a shard's worker failed beyond recovery.
     fn label(
         &mut self,
         states: &ModelStates,
         representatives: &BTreeMap<SensorId, Vec<f64>>,
-    ) -> Option<BTreeMap<SensorId, usize>>;
+    ) -> Result<Option<BTreeMap<SensorId, usize>>, ShardError>;
 
     /// Runs the per-sensor step of a decisive window; returns the raw
     /// and filtered alarm lists in ascending sensor order (the serial
     /// pipeline's iteration order).
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError`] if a shard's worker failed beyond recovery.
     fn step(
         &mut self,
         window_index: u64,
         correct: usize,
         num_slots: usize,
         labels: &BTreeMap<SensorId, usize>,
-    ) -> (Vec<SensorId>, Vec<SensorId>);
+    ) -> Result<(Vec<SensorId>, Vec<SensorId>), ShardError>;
 
     /// Resizes every shard's estimators after model-state growth.
-    fn grow(&mut self, num_slots: usize);
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError`] if a shard's worker failed beyond recovery.
+    fn grow(&mut self, num_slots: usize) -> Result<(), ShardError>;
 }
 
-/// The engine's own backends: inline on the coordinator's thread
-/// (`num_shards = 1`) or fanned out to worker shards.
-///
-/// A channel failure means a worker thread died mid-protocol (it
-/// panicked inside per-sensor code). The threaded paths then return a
-/// neutral value instead of panicking here: the run's results are
-/// discarded anyway when `crossbeam::thread::scope` re-raises the
-/// worker's panic at join.
-// One Backend exists per run, so the Inline/Threads size gap is moot.
-#[allow(clippy::large_enum_variant)]
-enum Backend {
-    Inline {
-        config: PipelineConfig,
-        sensors: BTreeMap<SensorId, SensorRuntime>,
-    },
-    Threads {
-        senders: Vec<Sender<Job>>,
-        replies: Receiver<Reply>,
-    },
+/// The single-shard backend: per-sensor stages run inline on the
+/// coordinator's thread, no channels, no allocation beyond the sensor
+/// map itself. This is the engine's no-chaos hot path.
+struct InlineBackend {
+    config: PipelineConfig,
+    sensors: BTreeMap<SensorId, SensorRuntime>,
 }
 
-impl ShardBackend for Backend {
+impl ShardBackend for InlineBackend {
     fn label(
         &mut self,
         states: &ModelStates,
         representatives: &BTreeMap<SensorId, Vec<f64>>,
-    ) -> Option<BTreeMap<SensorId, usize>> {
-        match self {
-            Backend::Inline { .. } => {
-                let mut labels = BTreeMap::new();
-                for (&id, mean) in representatives {
-                    labels.insert(id, states.nearest(mean)?.0);
+    ) -> Result<Option<BTreeMap<SensorId, usize>>, ShardError> {
+        let mut labels = BTreeMap::new();
+        for (&id, mean) in representatives {
+            match states.nearest(mean) {
+                Some((label, _)) => {
+                    labels.insert(id, label);
                 }
-                Some(labels)
-            }
-            Backend::Threads { senders, replies } => {
-                let num_shards = senders.len();
-                let mut batches: Vec<Vec<(SensorId, Vec<f64>)>> = vec![Vec::new(); num_shards];
-                for (&id, mean) in representatives {
-                    batches[shard_of(id, num_shards)].push((id, mean.clone()));
-                }
-                for (sender, means) in senders.iter().zip(batches) {
-                    sender
-                        .send(Job::Label {
-                            states: states.clone(),
-                            means,
-                        })
-                        .ok()?;
-                }
-                let mut arrivals = Vec::with_capacity(num_shards);
-                for _ in 0..num_shards {
-                    arrivals.push(replies.recv().ok()?);
-                }
-                collect_labels(arrivals)
+                None => return Ok(None),
             }
         }
+        Ok(Some(labels))
     }
 
     fn step(
@@ -369,95 +425,30 @@ impl ShardBackend for Backend {
         correct: usize,
         num_slots: usize,
         labels: &BTreeMap<SensorId, usize>,
-    ) -> (Vec<SensorId>, Vec<SensorId>) {
-        match self {
-            Backend::Inline { config, sensors } => {
-                let mut raw_alarms = Vec::new();
-                let mut filtered_alarms = Vec::new();
-                for (&id, &label) in labels {
-                    let sensor = sensors
-                        .entry(id)
-                        .or_insert_with(|| SensorRuntime::new(config, num_slots));
-                    let step = sensor.step(window_index, label, correct);
-                    if step.raw {
-                        raw_alarms.push(id);
-                    }
-                    if step.filtered {
-                        filtered_alarms.push(id);
-                    }
-                }
-                (raw_alarms, filtered_alarms)
+    ) -> Result<(Vec<SensorId>, Vec<SensorId>), ShardError> {
+        let mut raw_alarms = Vec::new();
+        let mut filtered_alarms = Vec::new();
+        for (&id, &label) in labels {
+            let sensor = self
+                .sensors
+                .entry(id)
+                .or_insert_with(|| SensorRuntime::new(&self.config, num_slots));
+            let step = sensor.step(window_index, label, correct);
+            if step.raw {
+                raw_alarms.push(id);
             }
-            Backend::Threads { senders, replies } => {
-                let num_shards = senders.len();
-                let mut batches: Vec<Vec<(SensorId, usize)>> = vec![Vec::new(); num_shards];
-                for (&id, &label) in labels {
-                    batches[shard_of(id, num_shards)].push((id, label));
-                }
-                for (sender, labels) in senders.iter().zip(batches) {
-                    if sender
-                        .send(Job::Step {
-                            window_index,
-                            correct,
-                            num_slots,
-                            labels,
-                        })
-                        .is_err()
-                    {
-                        return (Vec::new(), Vec::new());
-                    }
-                }
-                let mut arrivals = Vec::with_capacity(num_shards);
-                for _ in 0..num_shards {
-                    match replies.recv() {
-                        Ok(reply) => arrivals.push(reply),
-                        Err(_) => return (Vec::new(), Vec::new()),
-                    }
-                }
-                collect_steps(arrivals)
+            if step.filtered {
+                filtered_alarms.push(id);
             }
         }
+        Ok((raw_alarms, filtered_alarms))
     }
 
-    fn grow(&mut self, num_slots: usize) {
-        match self {
-            Backend::Inline { sensors, .. } => {
-                for s in sensors.values_mut() {
-                    s.grow(num_slots);
-                }
-            }
-            Backend::Threads { senders, .. } => {
-                for sender in senders {
-                    let _ = sender.send(Job::Grow { num_slots });
-                }
-            }
+    fn grow(&mut self, num_slots: usize) -> Result<(), ShardError> {
+        for s in self.sensors.values_mut() {
+            s.grow(num_slots);
         }
-    }
-}
-
-impl Backend {
-    /// Collects every shard's sensors back onto the coordinator.
-    fn finish(self) -> BTreeMap<SensorId, SensorRuntime> {
-        match self {
-            Backend::Inline { sensors, .. } => sensors,
-            Backend::Threads { senders, replies } => {
-                for sender in &senders {
-                    let _ = sender.send(Job::Finish);
-                }
-                let num_shards = senders.len();
-                drop(senders);
-                let mut sensors = BTreeMap::new();
-                for _ in 0..num_shards {
-                    match replies.recv() {
-                        Ok(Reply::Done(batch)) => sensors.extend(batch),
-                        // A dead or confused worker: stop collecting;
-                        // the scope join re-raises its panic.
-                        Ok(_) | Err(_) => break,
-                    }
-                }
-                sensors
-            }
-        }
+        Ok(())
     }
 }
 
@@ -473,6 +464,8 @@ pub struct Engine {
     config: PipelineConfig,
     sample_period: u64,
     num_shards: usize,
+    supervisor: SupervisorConfig,
+    chaos: ChaosPlan,
 }
 
 impl Engine {
@@ -492,7 +485,25 @@ impl Engine {
             config,
             sample_period,
             num_shards,
+            supervisor: SupervisorConfig::default(),
+            chaos: ChaosPlan::new(),
         }
+    }
+
+    /// Replaces the supervisor tunables (restart budget, reply
+    /// timeout, backoff) used by multi-shard runs.
+    pub fn with_supervisor(mut self, supervisor: SupervisorConfig) -> Self {
+        self.supervisor = supervisor;
+        self
+    }
+
+    /// Arms a chaos plan: the listed faults are injected into worker
+    /// shards at the chosen windows. A non-empty plan forces the
+    /// supervised backend even at one shard, since faults need a
+    /// worker thread to kill.
+    pub fn with_chaos(mut self, chaos: ChaosPlan) -> Self {
+        self.chaos = chaos;
+        self
     }
 
     /// The configured shard count.
@@ -501,46 +512,45 @@ impl Engine {
     }
 
     /// Processes a whole trace and returns the completed run.
-    pub fn process_trace(&self, trace: &Trace) -> EngineRun {
-        if self.num_shards == 1 {
-            let mut backend = Backend::Inline {
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError`] only if a worker failed beyond what the
+    /// supervisor can recover or quarantine — crashes within the
+    /// restart budget are invisible here, and crashes beyond it
+    /// surface as [`EngineRun::degraded`], not as an error.
+    pub fn process_trace(&self, trace: &Trace) -> Result<EngineRun, ShardError> {
+        if self.num_shards == 1 && self.chaos.is_empty() {
+            let mut backend = InlineBackend {
                 config: self.config.clone(),
                 sensors: BTreeMap::new(),
             };
             let (global, outcomes) =
-                drive_trace(&self.config, self.sample_period, trace, &mut backend);
-            EngineRun {
+                drive_trace(&self.config, self.sample_period, trace, &mut backend)?;
+            Ok(EngineRun {
                 global,
-                sensors: backend.finish(),
+                sensors: backend.sensors,
                 outcomes,
-            }
+                degraded: None,
+                shard_restarts: Vec::new(),
+            })
         } else {
-            let run = crossbeam::thread::scope(|scope| {
-                let (reply_tx, reply_rx) = crossbeam::channel::unbounded();
-                let mut senders = Vec::with_capacity(self.num_shards);
-                for _ in 0..self.num_shards {
-                    let (job_tx, job_rx) = crossbeam::channel::unbounded();
-                    let reply_tx = reply_tx.clone();
-                    let config = self.config.clone();
-                    scope.spawn(move |_| worker(config, job_rx, reply_tx));
-                    senders.push(job_tx);
-                }
-                let mut backend = Backend::Threads {
-                    senders,
-                    replies: reply_rx,
-                };
-                let (global, outcomes) =
-                    drive_trace(&self.config, self.sample_period, trace, &mut backend);
-                EngineRun {
-                    global,
-                    sensors: backend.finish(),
-                    outcomes,
-                }
-            });
-            match run {
-                Ok(run) => run,
-                Err(panic) => std::panic::resume_unwind(panic),
-            }
+            let mut backend = supervisor::SupervisedBackend::launch(
+                self.config.clone(),
+                self.supervisor.clone(),
+                self.chaos.clone(),
+                self.num_shards,
+            );
+            let (global, outcomes) =
+                drive_trace(&self.config, self.sample_period, trace, &mut backend)?;
+            let harvest = backend.finish()?;
+            Ok(EngineRun {
+                global,
+                sensors: harvest.sensors,
+                outcomes,
+                degraded: harvest.degraded,
+                shard_restarts: harvest.shard_restarts,
+            })
         }
     }
 }
@@ -549,60 +559,81 @@ impl Engine {
 /// per-sensor stages delegated to `backend`. This is the exact loop
 /// [`Engine::process_trace`] runs; it is public so the `xtask`
 /// schedule explorer can drive it with a schedule-controlled backend.
+///
+/// # Errors
+///
+/// Propagates the backend's [`ShardError`]s.
 pub fn drive_trace(
     config: &PipelineConfig,
     sample_period: u64,
     trace: &Trace,
     backend: &mut impl ShardBackend,
-) -> (GlobalModel, Vec<WindowOutcome>) {
+) -> Result<(GlobalModel, Vec<WindowOutcome>), ShardError> {
     let mut global = GlobalModel::new(config.clone());
     let mut windower = Windower::new(config.window_samples as u64 * sample_period);
     let mut scratch = WindowScratch::new();
     let mut outcomes = Vec::new();
     for (time, sensor, reading) in trace.delivered() {
         for window in windower.push(time, sensor, reading.values()) {
-            if let Some(o) = window_pass(&mut global, backend, &mut scratch, &window) {
+            if let Some(o) = window_pass(&mut global, backend, &mut scratch, &window)? {
                 outcomes.push(o);
             }
             windower.recycle(window);
         }
     }
     if let Some(window) = windower.finish() {
-        if let Some(o) = window_pass(&mut global, backend, &mut scratch, &window) {
+        if let Some(o) = window_pass(&mut global, backend, &mut scratch, &window)? {
             outcomes.push(o);
         }
     }
-    (global, outcomes)
+    Ok((global, outcomes))
 }
 
 /// One window through the same stage order as the serial pipeline's
 /// `analyze_window`: bootstrap absorption, observable-state coverage,
 /// the parallel label stage, the majority-vote barrier, the parallel
-/// step stage, and model-state maintenance.
+/// step stage, and model-state maintenance. `Ok(None)` means the
+/// window was dropped (bootstrap, indecisive vote, uncovered mean) —
+/// exactly when the serial pipeline drops it.
+///
+/// # Errors
+///
+/// Propagates the backend's [`ShardError`]s.
 pub fn window_pass(
     global: &mut GlobalModel,
     backend: &mut impl ShardBackend,
     scratch: &mut WindowScratch,
     window: &ObservationWindow,
-) -> Option<WindowOutcome> {
+) -> Result<Option<WindowOutcome>, ShardError> {
     if !global.absorb_bootstrap(window) {
-        return None;
+        return Ok(None);
     }
     let trim = global.config().observable_trim;
     let majority_fraction = global.config().majority_fraction;
     let mean = window.trimmed_mean_with(trim, scratch);
     if global.cover_window_mean(mean) {
-        backend.grow(global.num_slots());
+        backend.grow(global.num_slots())?;
     }
-    let mean = mean?;
+    let Some(mean) = mean else {
+        return Ok(None);
+    };
 
     let representatives = window.sensor_means();
     let (observable, labels) = {
-        let states = global.states()?;
-        let observable = states.nearest(mean)?.0;
-        (observable, backend.label(states, &representatives)?)
+        let Some(states) = global.states() else {
+            return Ok(None);
+        };
+        let Some((observable, _)) = states.nearest(mean) else {
+            return Ok(None);
+        };
+        match backend.label(states, &representatives)? {
+            Some(labels) => (observable, labels),
+            None => return Ok(None),
+        }
     };
-    let (correct, decisive) = majority_vote(&labels, majority_fraction)?;
+    let Some((correct, decisive)) = majority_vote(&labels, majority_fraction) else {
+        return Ok(None);
+    };
 
     if decisive {
         global.record_decisive(correct, observable);
@@ -611,7 +642,7 @@ pub fn window_pass(
     let window_index = global.windows_processed();
     let num_slots = global.num_slots();
     let (raw_alarms, filtered_alarms) = if decisive {
-        backend.step(window_index, correct, num_slots, &labels)
+        backend.step(window_index, correct, num_slots, &labels)?
     } else {
         (Vec::new(), Vec::new())
     };
@@ -619,10 +650,10 @@ pub fn window_pass(
     let points: Vec<Vec<f64>> = representatives.into_values().collect();
     let (cluster_events, grew) = global.finish_window(&points);
     if grew {
-        backend.grow(global.num_slots());
+        backend.grow(global.num_slots())?;
     }
 
-    Some(WindowOutcome {
+    Ok(Some(WindowOutcome {
         index: window_index,
         start: window.start,
         observable,
@@ -630,7 +661,7 @@ pub fn window_pass(
         raw_alarms,
         filtered_alarms,
         cluster_events,
-    })
+    }))
 }
 
 /// A completed engine run: every window outcome plus the final models,
@@ -640,6 +671,8 @@ pub struct EngineRun {
     global: GlobalModel,
     sensors: BTreeMap<SensorId, SensorRuntime>,
     outcomes: Vec<WindowOutcome>,
+    degraded: Option<DegradedStatus>,
+    shard_restarts: Vec<(usize, u32)>,
 }
 
 impl EngineRun {
@@ -661,6 +694,22 @@ impl EngineRun {
     /// Number of windows fully processed (post-bootstrap).
     pub fn windows_processed(&self) -> u64 {
         self.global.windows_processed()
+    }
+
+    /// `Some` iff the supervisor quarantined at least one shard: the
+    /// listed sensors stopped being stepped (and voting) partway
+    /// through the run. A run that recovered every crash within budget
+    /// reports `None` here and is bit-identical to the serial
+    /// pipeline.
+    pub fn degraded(&self) -> Option<&DegradedStatus> {
+        self.degraded.as_ref()
+    }
+
+    /// `(shard, restart count)` for every shard the supervisor
+    /// respawned at least once, quarantined or not. Non-empty with
+    /// `degraded() == None` means every crash was recovered exactly.
+    pub fn shard_restarts(&self) -> &[(usize, u32)] {
+        &self.shard_restarts
     }
 
     /// Sensors seen so far.
@@ -722,7 +771,8 @@ impl EngineRun {
     }
 
     /// Builds the operator-facing snapshot, identical in content to
-    /// [`sentinet_core::Pipeline::report`] on the same trace.
+    /// [`sentinet_core::Pipeline::report`] on the same trace — plus
+    /// the degraded-mode status when shards were quarantined.
     pub fn report(&self) -> PipelineReport {
         let key_states = match (self.global.states(), self.global.correct_model()) {
             (Some(states), Some(m_c)) => m_c
@@ -761,12 +811,16 @@ impl EngineRun {
             key_states,
             network_attack: self.network_attack(),
             sensors,
+            degraded: self.degraded.clone(),
         }
     }
 
     /// Builds the recovery plan from the run's diagnoses, identical to
     /// [`sentinet_core::RecoveryPlan::from_pipeline`] on the same
-    /// trace.
+    /// trace — except that quarantined sensors are forced to
+    /// [`RecoveryAction::MaskAndService`]: their shard stopped
+    /// contributing mid-run, so they need servicing regardless of what
+    /// their stale data says.
     pub fn recovery_plan(&self) -> RecoveryPlan {
         let actions = self
             .sensors
@@ -776,6 +830,10 @@ impl EngineRun {
                 (id, RecoveryAction::for_diagnosis(&d))
             })
             .collect();
-        RecoveryPlan { actions }
+        let mut plan = RecoveryPlan { actions };
+        if let Some(degraded) = &self.degraded {
+            plan.mask_quarantined(degraded);
+        }
+        plan
     }
 }

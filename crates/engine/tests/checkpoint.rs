@@ -1,0 +1,189 @@
+//! Checkpoint round-trip at the system level: snapshotting every
+//! sensor through the text codec and restoring must preserve the
+//! operator-facing outputs — diagnosis, confidence, alarm and track
+//! history — bit-for-bit, and a restored worker must continue exactly
+//! like the original.
+
+use sentinet_core::checkpoint::{decode_shard, encode_shard};
+use sentinet_core::{Pipeline, PipelineConfig, SensorRuntime};
+use sentinet_engine::protocol::{collect_labels, collect_steps, Job, Reply, ShardWorker};
+use sentinet_engine::{drive_trace, ShardBackend, ShardError};
+use sentinet_inject::{inject_faults, FaultInjection, FaultModel};
+use sentinet_sim::{gdi, simulate, SensorId, Trace, DAY_S};
+use std::collections::BTreeMap;
+
+/// A trivially faithful one-worker backend: every job runs in-process,
+/// so the resulting `GlobalModel` and sensors are reachable directly.
+struct LocalBackend {
+    worker: ShardWorker,
+}
+
+impl ShardBackend for LocalBackend {
+    fn label(
+        &mut self,
+        states: &sentinet_cluster::ModelStates,
+        representatives: &BTreeMap<SensorId, Vec<f64>>,
+    ) -> Result<Option<BTreeMap<SensorId, usize>>, ShardError> {
+        let means = representatives
+            .iter()
+            .map(|(&id, mean)| (id, mean.clone()))
+            .collect();
+        let reply = self
+            .worker
+            .handle(Job::Label {
+                states: states.clone(),
+                means,
+            })
+            .expect("label replies");
+        Ok(collect_labels(vec![reply]))
+    }
+
+    fn step(
+        &mut self,
+        window_index: u64,
+        correct: usize,
+        num_slots: usize,
+        labels: &BTreeMap<SensorId, usize>,
+    ) -> Result<(Vec<SensorId>, Vec<SensorId>), ShardError> {
+        let reply = self
+            .worker
+            .handle(Job::Step {
+                window_index,
+                correct,
+                num_slots,
+                labels: labels.iter().map(|(&id, &l)| (id, l)).collect(),
+            })
+            .expect("step replies");
+        Ok(collect_steps(vec![reply]))
+    }
+
+    fn grow(&mut self, num_slots: usize) -> Result<(), ShardError> {
+        assert!(self.worker.handle(Job::Grow { num_slots }).is_none());
+        Ok(())
+    }
+}
+
+fn scenario() -> (Trace, u64) {
+    let mut cfg = gdi::month_config();
+    cfg.duration = 3 * DAY_S;
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(41);
+    let clean = simulate(&cfg, &mut rng);
+    let faulty = inject_faults(
+        &clean,
+        &[FaultInjection::from_onset(
+            SensorId(2),
+            FaultModel::StuckAt {
+                value: vec![15.0, 1.0],
+            },
+            DAY_S,
+        )],
+        &cfg.ranges,
+        &mut rng,
+    );
+    (faulty, cfg.sample_period)
+}
+
+#[test]
+fn restore_preserves_classification_and_alarm_outputs() {
+    let (trace, period) = scenario();
+    let config = PipelineConfig::default();
+
+    // Serial reference for the classification outputs.
+    let mut pipeline = Pipeline::new(config.clone(), period);
+    pipeline.process_trace(&trace);
+
+    let mut backend = LocalBackend {
+        worker: ShardWorker::new(config.clone()),
+    };
+    let (global, _) = drive_trace(&config, period, &trace, &mut backend).expect("local backend");
+
+    let shard = backend.worker.snapshot();
+    let decoded = decode_shard(&encode_shard(&shard)).expect("codec round trip");
+    assert_eq!(decoded, shard, "codec changed the snapshot");
+
+    let restored_worker = ShardWorker::from_snapshot(config, decoded).expect("snapshots are valid");
+    let originals = backend.worker.into_sensors();
+    let restored = restored_worker.into_sensors();
+    assert_eq!(
+        originals.keys().collect::<Vec<_>>(),
+        restored.keys().collect::<Vec<_>>()
+    );
+    assert!(originals.keys().any(|&id| id == SensorId(2)));
+
+    for (id, original) in &originals {
+        let twin = &restored[id];
+        // Classification and confidence from the restored state must be
+        // bit-identical to both the original runtime and the pipeline.
+        assert_eq!(
+            global.classify(Some(original)),
+            global.classify(Some(twin)),
+            "{id}: diagnosis changed across restore"
+        );
+        let (diag_orig, conf_orig) = global.classify_with_confidence(Some(original));
+        let (diag_twin, conf_twin) = global.classify_with_confidence(Some(twin));
+        assert_eq!(diag_orig, diag_twin, "{id}");
+        assert_eq!(conf_orig.to_bits(), conf_twin.to_bits(), "{id}: confidence");
+        assert_eq!(diag_twin, pipeline.classify(*id), "{id}: vs serial");
+
+        // Alarm and track products survive the round trip exactly.
+        assert_eq!(original.raw_history(), twin.raw_history(), "{id}");
+        assert_eq!(original.tracks(), twin.tracks(), "{id}");
+        assert_eq!(original.ever_alarmed(), twin.ever_alarmed(), "{id}");
+        assert_eq!(original.m_ce(), twin.m_ce(), "{id}");
+    }
+}
+
+#[test]
+fn restored_worker_continues_bit_identically_mid_run() {
+    let (trace, period) = scenario();
+    let config = PipelineConfig::default();
+
+    let mut backend = LocalBackend {
+        worker: ShardWorker::new(config.clone()),
+    };
+    drive_trace(&config, period, &trace, &mut backend).expect("local backend");
+
+    // Restore mid-state, then step both workers through the same
+    // additional windows: every reply must match.
+    let decoded = decode_shard(&encode_shard(&backend.worker.snapshot())).expect("round trip");
+    let mut twin = ShardWorker::from_snapshot(config, decoded).expect("valid snapshots");
+    let ids: Vec<SensorId> = backend
+        .worker
+        .snapshot()
+        .iter()
+        .map(|(id, _)| *id)
+        .collect();
+    let start = 1000u64;
+    for w in 0..8u64 {
+        let labels: Vec<(SensorId, usize)> = ids
+            .iter()
+            .map(|&id| (id, if (w + u64::from(id.0)) % 3 == 0 { 1 } else { 0 }))
+            .collect();
+        let job = Job::Step {
+            window_index: start + w,
+            correct: 0,
+            num_slots: 2,
+            labels,
+        };
+        let (a, b) = (backend.worker.handle(job.clone()), twin.handle(job));
+        match (a, b) {
+            (
+                Some(Reply::Stepped { raw, filtered }),
+                Some(Reply::Stepped {
+                    raw: raw_t,
+                    filtered: filtered_t,
+                }),
+            ) => {
+                assert_eq!(raw, raw_t, "window {w}: raw alarms diverged");
+                assert_eq!(filtered, filtered_t, "window {w}: filtered alarms diverged");
+            }
+            other => panic!("unexpected replies {other:?}"),
+        }
+    }
+    let (a, b): (BTreeMap<_, SensorRuntime>, BTreeMap<_, SensorRuntime>) =
+        (backend.worker.into_sensors(), twin.into_sensors());
+    for (id, original) in &a {
+        assert_eq!(original.m_ce(), b[id].m_ce(), "{id}: M_CE diverged");
+        assert_eq!(original.tracks(), b[id].tracks(), "{id}: tracks diverged");
+    }
+}

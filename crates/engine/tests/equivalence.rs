@@ -69,8 +69,10 @@ fn assert_equivalent(trace: &Trace, sample_period: u64, num_shards: usize) {
     let serial_outcomes = pipeline.process_trace(trace);
 
     let engine = Engine::new(PipelineConfig::default(), sample_period, num_shards);
-    let run = engine.process_trace(trace);
+    let run = engine.process_trace(trace).expect("healthy run");
 
+    assert!(run.degraded().is_none(), "no faults, no degradation");
+    assert!(run.shard_restarts().is_empty(), "no faults, no restarts");
     assert_eq!(
         run.outcomes(),
         serial_outcomes.as_slice(),
@@ -126,8 +128,8 @@ fn creation_attack_trace_is_shard_invariant() {
 fn engine_runs_are_deterministic_across_repeats() {
     let (trace, period) = stuck_at_scenario(33);
     let engine = Engine::new(PipelineConfig::default(), period, 3);
-    let a = engine.process_trace(&trace);
-    let b = engine.process_trace(&trace);
+    let a = engine.process_trace(&trace).expect("healthy run");
+    let b = engine.process_trace(&trace).expect("healthy run");
     assert_eq!(a.outcomes(), b.outcomes());
     assert_eq!(a.classify_all(), b.classify_all());
 }

@@ -55,6 +55,25 @@ impl KOfNFilter {
         self.n
     }
 
+    /// Rebuilds a filter from checkpointed parts; the raised count is
+    /// recomputed from the window so it cannot drift from the data.
+    pub(crate) fn from_parts(k: usize, n: usize, window: Vec<bool>) -> Self {
+        assert!(k >= 1 && k <= n, "require 1 <= k <= n (got k={k}, n={n})");
+        assert!(window.len() <= n, "window longer than n");
+        let count = window.iter().filter(|&&b| b).count();
+        Self {
+            k,
+            n,
+            window: window.into(),
+            count,
+        }
+    }
+
+    /// The window contents, oldest first (for checkpointing).
+    pub(crate) fn window_bits(&self) -> Vec<bool> {
+        self.window.iter().copied().collect()
+    }
+
     /// Feeds one raw alarm flag; returns the filtered alarm state.
     pub fn push(&mut self, raw: bool) -> bool {
         if self.window.len() == self.n && self.window.pop_front() == Some(true) {

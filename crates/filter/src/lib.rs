@@ -58,6 +58,69 @@ pub trait AlarmFilter: std::fmt::Debug + Send {
     fn is_raised(&self) -> bool;
     /// Clears all filter memory.
     fn reset(&mut self);
+    /// Captures the complete filter state for checkpointing; feeding
+    /// the snapshot to [`FilterSnapshot::restore`] yields a filter that
+    /// behaves bit-identically from this point on.
+    fn snapshot(&self) -> FilterSnapshot;
+}
+
+/// Plain-data image of an [`AlarmFilter`]'s state, used by the engine
+/// supervisor to checkpoint and restore per-sensor runtimes across
+/// shard crashes.
+///
+/// All floating-point fields are stored verbatim (log-domain for SPRT),
+/// so `restore` reproduces the source filter bit-for-bit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FilterSnapshot {
+    /// State of a [`KOfNFilter`]: parameters plus the boolean window,
+    /// oldest entry first.
+    KOfN {
+        /// Raw alarms required within the window.
+        k: usize,
+        /// Window length.
+        n: usize,
+        /// Window contents, oldest first (`len <= n`).
+        window: Vec<bool>,
+    },
+    /// State of a [`SprtAlarmFilter`]: the fixed log-domain constants,
+    /// the running log-likelihood ratio, and the latched output.
+    Sprt {
+        /// Per-alarm LLR increment.
+        llr_true: f64,
+        /// Per-silence LLR increment.
+        llr_false: f64,
+        /// Wald upper threshold `A`.
+        upper: f64,
+        /// Wald lower threshold `B`.
+        lower: f64,
+        /// Running log-likelihood ratio.
+        llr: f64,
+        /// Observations consumed since the last reset.
+        steps: u64,
+        /// Latched filtered-alarm output.
+        raised: bool,
+    },
+}
+
+impl FilterSnapshot {
+    /// Rebuilds the filter this snapshot was taken from.
+    pub fn restore(self) -> Box<dyn AlarmFilter> {
+        match self {
+            FilterSnapshot::KOfN { k, n, window } => Box::new(KOfNFilter::from_parts(k, n, window)),
+            FilterSnapshot::Sprt {
+                llr_true,
+                llr_false,
+                upper,
+                lower,
+                llr,
+                steps,
+                raised,
+            } => Box::new(SprtAlarmFilter {
+                sprt: Sprt::from_parts(llr_true, llr_false, upper, lower, llr, steps),
+                raised,
+            }),
+        }
+    }
 }
 
 impl AlarmFilter for KOfNFilter {
@@ -69,6 +132,13 @@ impl AlarmFilter for KOfNFilter {
     }
     fn reset(&mut self) {
         KOfNFilter::reset(self)
+    }
+    fn snapshot(&self) -> FilterSnapshot {
+        FilterSnapshot::KOfN {
+            k: self.k(),
+            n: self.n(),
+            window: self.window_bits(),
+        }
     }
 }
 
@@ -119,6 +189,18 @@ impl AlarmFilter for SprtAlarmFilter {
         self.sprt.reset();
         self.raised = false;
     }
+    fn snapshot(&self) -> FilterSnapshot {
+        let (llr_true, llr_false, upper, lower, llr, steps) = self.sprt.parts();
+        FilterSnapshot::Sprt {
+            llr_true,
+            llr_false,
+            upper,
+            lower,
+            llr,
+            steps,
+            raised: self.raised,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -155,5 +237,27 @@ mod tests {
         }
         f.reset();
         assert!(!f.is_raised());
+    }
+
+    /// Snapshot/restore must be transparent: the restored filter and
+    /// the original produce identical outputs on any continuation.
+    #[test]
+    fn snapshot_restore_is_transparent() {
+        let continuation = [true, false, true, true, false, false, true, false];
+        let originals: Vec<Box<dyn AlarmFilter>> = vec![
+            Box::new(KOfNFilter::new(2, 4)),
+            Box::new(SprtAlarmFilter::balanced()),
+        ];
+        for mut original in originals {
+            for i in 0..7 {
+                original.push(i % 3 == 0);
+            }
+            let mut restored = original.snapshot().restore();
+            assert_eq!(restored.is_raised(), original.is_raised());
+            for &raw in &continuation {
+                assert_eq!(original.push(raw), restored.push(raw));
+            }
+            assert_eq!(original.snapshot(), restored.snapshot());
+        }
     }
 }

@@ -72,6 +72,40 @@ impl Sprt {
         }
     }
 
+    /// Rebuilds a test from checkpointed parts, bypassing the
+    /// probability-space constructor: the stored values are log-domain
+    /// already, so they round-trip bit-exactly.
+    pub(crate) fn from_parts(
+        llr_true: f64,
+        llr_false: f64,
+        upper: f64,
+        lower: f64,
+        llr: f64,
+        steps: u64,
+    ) -> Self {
+        Self {
+            llr_true,
+            llr_false,
+            upper,
+            lower,
+            llr,
+            steps,
+        }
+    }
+
+    /// The fixed and running log-domain parts, for checkpointing:
+    /// `(llr_true, llr_false, upper, lower, llr, steps)`.
+    pub(crate) fn parts(&self) -> (f64, f64, f64, f64, f64, u64) {
+        (
+            self.llr_true,
+            self.llr_false,
+            self.upper,
+            self.lower,
+            self.llr,
+            self.steps,
+        )
+    }
+
     /// Feeds one raw alarm flag, returning the running decision. After a
     /// terminal decision the test keeps reporting it until [`Sprt::reset`].
     pub fn push(&mut self, raw: bool) -> SprtDecision {

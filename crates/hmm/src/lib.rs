@@ -63,6 +63,6 @@ pub use error::{HmmError, Result};
 pub use hmm::{Forward, ForwardScratch, Hmm, ViterbiPath};
 pub use markov::{MarkovChain, OnlineMarkovEstimator};
 pub use matrix::{validate_distribution, StochasticMatrix, STOCHASTIC_TOL};
-pub use online::OnlineHmmEstimator;
+pub use online::{EstimatorState, OnlineHmmEstimator};
 pub use online_em::OnlineEmEstimator;
 pub use selection::{select_num_states, ModelSelection};

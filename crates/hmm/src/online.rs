@@ -287,6 +287,92 @@ impl OnlineHmmEstimator {
     pub fn to_hmm(&self) -> Result<Hmm> {
         Hmm::new(self.a.clone(), self.b.clone(), self.occupancy())
     }
+
+    /// Captures the complete estimator state as plain data for
+    /// checkpointing. [`OnlineHmmEstimator::import_state`] rebuilds an
+    /// estimator that is `==` to this one (all floats verbatim, the
+    /// generation counter included, so memo caches keyed on
+    /// [`OnlineHmmEstimator::generation`] stay coherent across a
+    /// restore).
+    pub fn export_state(&self) -> EstimatorState {
+        EstimatorState {
+            a: self.a.iter_rows().map(<[f64]>::to_vec).collect(),
+            b: self.b.iter_rows().map(<[f64]>::to_vec).collect(),
+            beta: self.beta,
+            gamma: self.gamma,
+            prev_state: self.prev_state,
+            state_counts: self.state_counts.clone(),
+            obs_counts: self.obs_counts.clone(),
+            steps: self.steps,
+            generation: self.generation,
+        }
+    }
+
+    /// Rebuilds an estimator from an exported state, re-validating the
+    /// matrix invariants (a corrupt checkpoint must fail loudly, not
+    /// poison the estimates).
+    ///
+    /// # Errors
+    ///
+    /// - Matrix construction errors if the rows are not stochastic or
+    ///   are ragged.
+    /// - [`HmmError::DimensionMismatch`] if `b`/counts disagree with
+    ///   `a`'s state count, or `prev_state` is out of range.
+    /// - [`HmmError::InvalidParameter`] for out-of-range learning
+    ///   factors.
+    pub fn import_state(state: EstimatorState) -> Result<Self> {
+        let a = StochasticMatrix::from_rows(state.a)?;
+        let b = StochasticMatrix::from_rows(state.b)?;
+        let mut est = Self::with_initial(a, b, state.beta, state.gamma)?;
+        let m = est.num_states();
+        if state.state_counts.len() != m || state.obs_counts.len() != m {
+            return Err(HmmError::DimensionMismatch {
+                what: "checkpoint count vectors".into(),
+                expected: m,
+                actual: state.state_counts.len(),
+            });
+        }
+        if let Some(prev) = state.prev_state {
+            if prev >= m {
+                return Err(HmmError::StateOutOfRange {
+                    state: prev,
+                    num_states: m,
+                });
+            }
+        }
+        est.prev_state = state.prev_state;
+        est.state_counts = state.state_counts;
+        est.obs_counts = state.obs_counts;
+        est.steps = state.steps;
+        est.generation = state.generation;
+        Ok(est)
+    }
+}
+
+/// Plain-data image of an [`OnlineHmmEstimator`], produced by
+/// [`OnlineHmmEstimator::export_state`] for checkpoint/restore. Matrix
+/// rows are stored verbatim (row-major `Vec<Vec<f64>>`), so a
+/// round-trip is bit-exact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EstimatorState {
+    /// Rows of the transition matrix **A** (square).
+    pub a: Vec<Vec<f64>>,
+    /// Rows of the observation matrix **B** (`a.len()` rows).
+    pub b: Vec<Vec<f64>>,
+    /// Transition learning factor β.
+    pub beta: f64,
+    /// Observation learning factor γ.
+    pub gamma: f64,
+    /// Hidden state seen at the previous step, if any.
+    pub prev_state: Option<usize>,
+    /// Visit counts per hidden state.
+    pub state_counts: Vec<u64>,
+    /// Update counts per observation row.
+    pub obs_counts: Vec<u64>,
+    /// Total `observe` calls.
+    pub steps: u64,
+    /// Update-generation counter at capture time.
+    pub generation: u64,
 }
 
 #[cfg(test)]
@@ -433,5 +519,47 @@ mod tests {
         let mut est = OnlineHmmEstimator::new(3, 3, 0.9, 0.9).unwrap();
         est.observe(1, 1).unwrap();
         assert_eq!(est.observation_evidence(), &[0, 1, 0]);
+    }
+
+    #[test]
+    fn export_import_round_trip_is_exact() {
+        let mut est = OnlineHmmEstimator::new(3, 4, 0.9, 0.7).unwrap();
+        for t in 0..37usize {
+            est.observe(t % 3, (t * 5) % 4).unwrap();
+        }
+        est.grow(4, 5);
+        let restored = OnlineHmmEstimator::import_state(est.export_state()).unwrap();
+        assert_eq!(restored, est);
+        assert_eq!(restored.generation(), est.generation());
+        // Futures must stay identical, not just the snapshot instant.
+        let mut a = est;
+        let mut b = restored;
+        for t in 0..11usize {
+            a.observe(t % 4, t % 5).unwrap();
+            b.observe(t % 4, t % 5).unwrap();
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn import_rejects_corrupt_checkpoints() {
+        let est = OnlineHmmEstimator::new(2, 2, 0.9, 0.9).unwrap();
+        let mut bad = est.export_state();
+        bad.a[0][0] = 0.7; // row no longer sums to 1
+        assert!(OnlineHmmEstimator::import_state(bad).is_err());
+
+        let mut bad = est.export_state();
+        bad.state_counts.push(0);
+        assert!(matches!(
+            OnlineHmmEstimator::import_state(bad),
+            Err(HmmError::DimensionMismatch { .. })
+        ));
+
+        let mut bad = est.export_state();
+        bad.prev_state = Some(9);
+        assert!(matches!(
+            OnlineHmmEstimator::import_state(bad),
+            Err(HmmError::StateOutOfRange { .. })
+        ));
     }
 }

@@ -12,6 +12,7 @@
 //! A deliberately tiny dialect (no quoting — all fields are numeric or
 //! fixed keywords) so no external CSV crate is needed.
 
+use crate::sanitize::{IngestReport, RawRecord, Sanitizer};
 use crate::types::{Payload, Reading, SensorId, Trace, TraceRecord};
 use std::error::Error as StdError;
 use std::fmt;
@@ -98,15 +99,65 @@ pub fn write_trace<W: Write>(trace: &Trace, dims: usize, mut w: W) -> Result<(),
     Ok(())
 }
 
-/// Reads a trace from `r` (the dialect produced by [`write_trace`]).
-///
-/// # Errors
-///
-/// - [`CsvError::Io`] on read failure.
-/// - [`CsvError::Parse`] on any malformed line, including an unknown
-///   status keyword or non-numeric values.
-pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, CsvError> {
-    let mut records = Vec::new();
+/// One parsed CSV row before validation: either a delivered reading
+/// with raw (not yet finite-checked) values, or a lost/malformed stub.
+enum ParsedRow {
+    Delivered(RawRecord),
+    Stub(TraceRecord),
+}
+
+/// Parses the syntactic layer of one data row; value semantics
+/// (finiteness, ordering) are left to the caller.
+fn parse_row(lineno: usize, line: &str) -> Result<ParsedRow, CsvError> {
+    let fields: Vec<&str> = line.split(',').collect();
+    if fields.len() < 3 {
+        return Err(CsvError::Parse {
+            line: lineno,
+            reason: "fewer than 3 fields".into(),
+        });
+    }
+    let time: u64 = fields[0].parse().map_err(|e| CsvError::Parse {
+        line: lineno,
+        reason: format!("bad time {:?}: {e}", fields[0]),
+    })?;
+    let sensor: u16 = fields[1].parse().map_err(|e| CsvError::Parse {
+        line: lineno,
+        reason: format!("bad sensor {:?}: {e}", fields[1]),
+    })?;
+    match fields[2] {
+        "ok" => {
+            let mut values = Vec::with_capacity(fields.len() - 3);
+            for f in &fields[3..] {
+                values.push(f.parse::<f64>().map_err(|e| CsvError::Parse {
+                    line: lineno,
+                    reason: format!("bad value {f:?}: {e}"),
+                })?);
+            }
+            Ok(ParsedRow::Delivered(RawRecord {
+                time,
+                sensor: SensorId(sensor),
+                values,
+            }))
+        }
+        "lost" => Ok(ParsedRow::Stub(TraceRecord {
+            time,
+            sensor: SensorId(sensor),
+            payload: Payload::Lost,
+        })),
+        "malformed" => Ok(ParsedRow::Stub(TraceRecord {
+            time,
+            sensor: SensorId(sensor),
+            payload: Payload::Malformed,
+        })),
+        other => Err(CsvError::Parse {
+            line: lineno,
+            reason: format!("unknown status {other:?}"),
+        }),
+    }
+}
+
+fn parse_rows<R: BufRead>(r: R) -> Result<Vec<(usize, ParsedRow)>, CsvError> {
+    let mut rows = Vec::new();
     for (idx, line) in r.lines().enumerate() {
         let line = line?;
         let lineno = idx + 1;
@@ -122,54 +173,81 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, CsvError> {
         if line.trim().is_empty() {
             continue;
         }
-        let fields: Vec<&str> = line.split(',').collect();
-        if fields.len() < 3 {
-            return Err(CsvError::Parse {
-                line: lineno,
-                reason: "fewer than 3 fields".into(),
-            });
-        }
-        let time: u64 = fields[0].parse().map_err(|e| CsvError::Parse {
-            line: lineno,
-            reason: format!("bad time {:?}: {e}", fields[0]),
-        })?;
-        let sensor: u16 = fields[1].parse().map_err(|e| CsvError::Parse {
-            line: lineno,
-            reason: format!("bad sensor {:?}: {e}", fields[1]),
-        })?;
-        let payload = match fields[2] {
-            "ok" => {
-                let mut values = Vec::with_capacity(fields.len() - 3);
-                for f in &fields[3..] {
-                    values.push(f.parse::<f64>().map_err(|e| CsvError::Parse {
-                        line: lineno,
-                        reason: format!("bad value {f:?}: {e}"),
-                    })?);
-                }
-                if values.is_empty() {
+        rows.push((lineno, parse_row(lineno, &line)?));
+    }
+    Ok(rows)
+}
+
+/// Reads a trace from `r` (the dialect produced by [`write_trace`]).
+///
+/// This is the *strict* reader: any semantic defect — empty or
+/// non-finite values included, which `"NaN".parse::<f64>()` happily
+/// produces — is a typed [`CsvError::Parse`], never a panic. Use
+/// [`read_trace_sanitized`] to degrade gracefully instead of failing
+/// the whole file.
+///
+/// # Errors
+///
+/// - [`CsvError::Io`] on read failure.
+/// - [`CsvError::Parse`] on any malformed line, including an unknown
+///   status keyword, non-numeric values, and non-finite values.
+pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, CsvError> {
+    let mut records = Vec::new();
+    for (lineno, row) in parse_rows(r)? {
+        match row {
+            ParsedRow::Delivered(raw) => {
+                if raw.values.is_empty() {
                     return Err(CsvError::Parse {
                         line: lineno,
                         reason: "delivered record with no values".into(),
                     });
                 }
-                Payload::Delivered(Reading::new(values))
+                if let Some(v) = raw.values.iter().find(|v| !v.is_finite()) {
+                    return Err(CsvError::Parse {
+                        line: lineno,
+                        reason: format!("non-finite value {v}"),
+                    });
+                }
+                records.push(TraceRecord {
+                    time: raw.time,
+                    sensor: raw.sensor,
+                    payload: Payload::Delivered(Reading::new(raw.values)),
+                });
             }
-            "lost" => Payload::Lost,
-            "malformed" => Payload::Malformed,
-            other => {
-                return Err(CsvError::Parse {
-                    line: lineno,
-                    reason: format!("unknown status {other:?}"),
-                })
-            }
-        };
-        records.push(TraceRecord {
-            time,
-            sensor: SensorId(sensor),
-            payload,
-        });
+            ParsedRow::Stub(record) => records.push(record),
+        }
     }
     Ok(Trace::from_records(records))
+}
+
+/// Reads a trace from `r`, routing delivered rows through the ingest
+/// [`Sanitizer`]: NaN/Inf payloads, duplicate and out-of-order
+/// timestamps, and empty/ragged readings are *dropped and accounted
+/// for* in the returned [`IngestReport`] instead of failing the file.
+/// Syntax errors (bad header, unknown status, non-numeric fields) still
+/// fail hard — a file that corrupt is not a sensor fault.
+///
+/// # Errors
+///
+/// - [`CsvError::Io`] on read failure.
+/// - [`CsvError::Parse`] on syntactically malformed lines.
+pub fn read_trace_sanitized<R: BufRead>(r: R) -> Result<(Trace, IngestReport), CsvError> {
+    let mut sanitizer = Sanitizer::new();
+    let mut report = IngestReport::default();
+    let mut records = Vec::new();
+    for (_, row) in parse_rows(r)? {
+        match row {
+            ParsedRow::Delivered(raw) => match sanitizer.accept(raw) {
+                Ok(record) => {
+                    records.push(record);
+                    report.accepted += 1;
+                }
+                Err(e) => report.rejected.push(e),
+            },
+            ParsedRow::Stub(record) => records.push(record),
+        }
+    }
+    Ok((Trace::from_records(records), report))
 }
 
 #[cfg(test)]
@@ -254,5 +332,35 @@ mod tests {
         let t = read_trace(data.as_bytes()).unwrap();
         assert_eq!(t.len(), 2);
         assert_eq!(t.delivered().count(), 0);
+    }
+
+    #[test]
+    fn strict_reader_rejects_non_finite_values() {
+        for bad in ["NaN", "inf", "-inf"] {
+            let data = format!("time,sensor,status,v0\n300,0,ok,{bad}\n");
+            let err = read_trace(data.as_bytes()).unwrap_err();
+            assert!(err.to_string().contains("non-finite"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn sanitized_reader_drops_and_accounts_for_bad_rows() {
+        let data = "time,sensor,status,v0\n\
+                    300,0,ok,17.0\n\
+                    300,0,ok,17.5\n\
+                    600,0,ok,NaN\n\
+                    600,1,lost,\n\
+                    900,0,ok,18.0\n";
+        let (trace, report) = read_trace_sanitized(data.as_bytes()).unwrap();
+        assert_eq!(report.accepted, 2);
+        assert_eq!(report.rejected.len(), 2); // duplicate + NaN
+        assert_eq!(trace.delivered().count(), 2);
+        assert_eq!(trace.len(), 3); // the lost stub passes through
+    }
+
+    #[test]
+    fn sanitized_reader_still_fails_on_syntax_errors() {
+        let data = "time,sensor,status,v0\n300,0,weird,1.0\n";
+        assert!(read_trace_sanitized(data.as_bytes()).is_err());
     }
 }

@@ -29,11 +29,13 @@ pub mod csv;
 mod environment;
 pub mod gdi;
 mod network;
+pub mod sanitize;
 mod stats;
 mod types;
 
-pub use csv::{read_trace, write_trace, CsvError};
+pub use csv::{read_trace, read_trace_sanitized, write_trace, CsvError};
 pub use environment::{DiurnalParams, EnvironmentModel, DAY_S};
 pub use network::{ground_truth, simulate, AttributeRange, BurstLoss, SimConfig};
+pub use sanitize::{sanitize_records, IngestError, IngestReport, RawRecord, Sanitizer};
 pub use stats::{clamp, standard_normal, Gaussian};
 pub use types::{Payload, Reading, SensorId, Timestamp, Trace, TraceRecord};

@@ -58,6 +58,7 @@ pub mod thread {
 pub mod channel {
     use std::sync::mpsc;
     use std::sync::{Arc, Mutex};
+    use std::time::Duration;
 
     /// Error returned when the receiving side is gone.
     #[derive(Debug, PartialEq, Eq)]
@@ -67,9 +68,36 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the deadline; senders may still
+        /// be alive.
+        Timeout,
+        /// The channel is empty and every sender is dropped.
+        Disconnected,
+    }
+
+    /// Sending half: either an unbounded `mpsc::Sender` or a
+    /// backpressured `mpsc::SyncSender`, so `bounded` channels really
+    /// block producers like crossbeam's do.
+    enum Tx<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Tx<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Tx::Unbounded(tx) => Tx::Unbounded(tx.clone()),
+                Tx::Bounded(tx) => Tx::Bounded(tx.clone()),
+            }
+        }
+    }
+
     /// Cloneable sending half.
     pub struct Sender<T> {
-        inner: mpsc::Sender<T>,
+        inner: Tx<T>,
     }
 
     impl<T> Clone for Sender<T> {
@@ -82,10 +110,12 @@ pub mod channel {
 
     impl<T> Sender<T> {
         /// Sends a message, failing if all receivers are dropped.
+        /// On a bounded channel this blocks while the buffer is full.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.inner
-                .send(value)
-                .map_err(|mpsc::SendError(v)| SendError(v))
+            match &self.inner {
+                Tx::Unbounded(tx) => tx.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+                Tx::Bounded(tx) => tx.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+            }
         }
     }
 
@@ -113,6 +143,18 @@ pub mod channel {
                 .map_err(|mpsc::RecvError| RecvError)
         }
 
+        /// Blocks until a message arrives or `timeout` elapses.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner
+                .lock()
+                .expect("channel receiver poisoned")
+                .recv_timeout(timeout)
+                .map_err(|e| match e {
+                    mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                    mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+                })
+        }
+
         /// Drains messages until the channel closes.
         pub fn iter(&self) -> Iter<'_, T> {
             Iter { receiver: self }
@@ -136,16 +178,28 @@ pub mod channel {
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
         (
-            Sender { inner: tx },
+            Sender {
+                inner: Tx::Unbounded(tx),
+            },
             Receiver {
                 inner: Arc::new(Mutex::new(rx)),
             },
         )
     }
 
-    /// A "bounded" channel (backpressure is not emulated).
-    pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
-        unbounded()
+    /// A bounded FIFO channel with real backpressure: `send` blocks
+    /// once `cap` messages are buffered. A capacity of zero is bumped
+    /// to one (rendezvous channels deadlock single-threaded callers).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap.max(1));
+        (
+            Sender {
+                inner: Tx::Bounded(tx),
+            },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+            },
+        )
     }
 }
 
@@ -183,5 +237,41 @@ mod tests {
         drop((tx, tx2));
         let got: Vec<i32> = rx.iter().collect();
         assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn bounded_channel_applies_backpressure() {
+        let (tx, rx) = super::channel::bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        // Buffer full: a third send must block until the consumer
+        // drains, which we prove by sending from another thread.
+        let handle = std::thread::spawn(move || {
+            tx.send(3).unwrap();
+            "sent"
+        });
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(handle.join().unwrap(), "sent");
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn recv_timeout_distinguishes_timeout_from_disconnect() {
+        use super::channel::RecvTimeoutError;
+        use std::time::Duration;
+        let (tx, rx) = super::channel::bounded::<i32>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 }

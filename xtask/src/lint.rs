@@ -1,7 +1,7 @@
 //! The project lint engine.
 //!
-//! Ten textual lints over the workspace's library crates, built on the
-//! masked source view of [`crate::lexer`] — no rustc plugin, fully
+//! Twelve textual lints over the workspace's library crates, built on
+//! the masked source view of [`crate::lexer`] — no rustc plugin, fully
 //! offline. Findings are suppressed inline with
 //! `// sentinet-allow(lint-name): reason` on the same line or on the
 //! comment block directly above; the reason is mandatory.
@@ -18,13 +18,19 @@
 //! | `missing-deny-docs` | `lib.rs` without `#![deny(missing_docs)]` |
 //! | `hot-path-alloc` | allocation markers in registered hot functions |
 //! | `thread-spawn` | `thread::spawn` outside `crates/engine` |
+//! | `resume-unwind` | `resume_unwind` outside the engine supervisor |
+//! | `unbounded-channel` | `unbounded` channels outside the engine supervisor |
 //!
 //! Test code (`#[cfg(test)] mod`s and `#[test]` fns) is exempt from
 //! all except the header lints, and the `cli`/`bench` crates are
 //! exempt from the panic-family, `dbg-used` and header lints (they are
 //! terminal programs where aborting and printing are the interface).
 //! `assert!`/`debug_assert!` are deliberately allowed: validated
-//! preconditions are part of the API contract.
+//! preconditions are part of the API contract. Crash recovery is the
+//! engine supervisor's monopoly: everywhere else, a worker panic must
+//! surface as a typed `ShardError` (never be re-raised) and channels
+//! must be bounded so a stuck consumer back-pressures instead of
+//! buffering without limit.
 
 use crate::lexer::{match_brace, SourceMap};
 use std::fmt;
@@ -42,6 +48,8 @@ pub const LINTS: &[&str] = &[
     "missing-deny-docs",
     "hot-path-alloc",
     "thread-spawn",
+    "resume-unwind",
+    "unbounded-channel",
 ];
 
 /// Functions that must stay lexically allocation-free, keyed by a path
@@ -108,6 +116,9 @@ pub struct FileContext {
     pub is_lib_root: bool,
     /// The file belongs to `crates/engine` (may spawn threads).
     pub engine_crate: bool,
+    /// The file is the engine supervisor (may resume unwinds and own
+    /// unbounded channels as part of crash recovery).
+    pub supervisor_file: bool,
     /// Hot-path function names registered for this file.
     pub hot_functions: Vec<String>,
 }
@@ -131,6 +142,7 @@ impl FileContext {
             exempt_crate: EXEMPT_CRATES.contains(&crate_name),
             is_lib_root: p.ends_with("src/lib.rs"),
             engine_crate: crate_name == "engine",
+            supervisor_file: p.ends_with("engine/src/supervisor.rs"),
             hot_functions,
         }
     }
@@ -276,6 +288,32 @@ pub fn lint_source(path: &Path, source: &str, ctx: &FileContext) -> Vec<Finding>
                     "thread-spawn",
                     "`thread::spawn` outside crates/engine; route concurrency through the engine"
                         .into(),
+                );
+            }
+        }
+    }
+
+    // Crash recovery is the supervisor's monopoly: panics must surface
+    // as typed errors (not be re-raised) and channels must be bounded
+    // so a stuck consumer back-pressures instead of buffering forever.
+    if !ctx.supervisor_file {
+        for offset in find_word(&map.masked, "resume_unwind") {
+            if !map.in_test_region(offset) {
+                push(
+                    &map,
+                    offset,
+                    "resume-unwind",
+                    "`resume_unwind` outside the engine supervisor; surface the crash as a typed ShardError instead".into(),
+                );
+            }
+        }
+        for offset in find_word(&map.masked, "unbounded") {
+            if !map.in_test_region(offset) {
+                push(
+                    &map,
+                    offset,
+                    "unbounded-channel",
+                    "unbounded channel outside the engine supervisor; use `bounded` with an explicit capacity".into(),
                 );
             }
         }
@@ -564,6 +602,21 @@ mod tests {
             "fn a() { panic!(); x.unwrap(); }\n",
             &c,
         );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn supervisor_monopoly_lints_fire_elsewhere_only() {
+        let src = "fn a(p: P) { let (tx, rx) = unbounded(); std::panic::resume_unwind(p); }\n";
+        let f = run(src);
+        assert_eq!(f.iter().filter(|f| f.lint == "resume-unwind").count(), 1);
+        assert_eq!(
+            f.iter().filter(|f| f.lint == "unbounded-channel").count(),
+            1
+        );
+        let mut c = ctx();
+        c.supervisor_file = true;
+        let f = lint_source(Path::new("crates/engine/src/supervisor.rs"), src, &c);
         assert!(f.is_empty(), "{f:?}");
     }
 

@@ -14,7 +14,8 @@ Commands:
   lint [PATH...]               run the lint engine over the workspace, or
                                over the given files only
   model-check                  exhaustively explore shard schedules and
-                               assert serial equivalence
+                               fault (crash/drop) schedules and assert
+                               serial equivalence after recovery
   bench-check [FILE]           validate BENCH_engine.json (default) or FILE
 ";
 
@@ -62,6 +63,11 @@ fn run_model_check() -> Result<(), String> {
             report.schedules
         ));
     }
+    let faults = model_check::explore_faults().map_err(|e| format!("model-check: {e}"))?;
+    println!(
+        "model-check: {} fault schedules recovered bit-identically ({} quarantine check(s))",
+        faults.schedules, faults.quarantines
+    );
     Ok(())
 }
 

@@ -1,6 +1,6 @@
 //! Seeded-bad fixture: with a lib-root context registering `hot` as a
-//! hot-path function, every one of the ten lints fires exactly once.
-//! (This file is test data — it is never compiled.)
+//! hot-path function, every one of the twelve lints fires exactly
+//! once. (This file is test data — it is never compiled.)
 
 pub fn violations(maybe: Option<u32>, x: f64) -> u32 {
     let a = maybe.unwrap();
@@ -12,6 +12,11 @@ pub fn violations(maybe: Option<u32>, x: f64) -> u32 {
     let _rng = thread_rng();
     std::thread::spawn(|| {});
     a + b
+}
+
+pub fn crashy(payload: Box<dyn std::any::Any + Send>) {
+    let (_tx, _rx) = unbounded::<u32>();
+    std::panic::resume_unwind(payload);
 }
 
 pub fn hot(buf: &mut Vec<f64>, other: &[f64]) {

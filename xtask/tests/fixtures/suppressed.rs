@@ -25,3 +25,10 @@ pub fn hot(buf: &mut Vec<f64>, other: &[f64]) {
     // sentinet-allow(hot-path-alloc): fixture exercises suppression
     *buf = other.to_vec();
 }
+
+pub fn crashy(payload: Box<dyn std::any::Any + Send>) {
+    // sentinet-allow(unbounded-channel): fixture exercises suppression
+    let (_tx, _rx) = unbounded::<u32>();
+    // sentinet-allow(resume-unwind): fixture exercises suppression
+    std::panic::resume_unwind(payload);
+}

@@ -29,6 +29,7 @@ fn full_ctx() -> FileContext {
         exempt_crate: false,
         is_lib_root: true,
         engine_crate: false,
+        supervisor_file: false,
         hot_functions: vec!["hot".into()],
     }
 }
