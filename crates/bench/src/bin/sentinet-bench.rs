@@ -13,12 +13,22 @@
 //! host core count is recorded alongside the numbers: shard speedups
 //! are only physically possible when `host_cpus > 1`, so a single-core
 //! run honestly shows the coordination overhead instead.
+//!
+//! Two trailing `ingest` rows time the same 10-sensor trace through
+//! the durable gateway — real loopback TCP, stop-and-wait acks, WAL
+//! append before every ack — at `fsync: never` and `fsync: batch:64`,
+//! so the cost of durability is measured, not guessed.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sentinet_core::{Pipeline, PipelineConfig};
 use sentinet_engine::Engine;
-use sentinet_sim::{gdi, simulate, Trace, DAY_S};
+use sentinet_gateway::{
+    trace_to_raw, Collector, FsyncPolicy, GatewayConfig, SensorUplink, Server, ServerConfig,
+    UplinkConfig,
+};
+use sentinet_sim::{gdi, simulate, RawRecord, SensorId, Trace, DAY_S};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -29,6 +39,8 @@ struct Row {
     sensors: u16,
     days: u64,
     mode: String,
+    /// `Some` only for ingest rows: the WAL fsync policy under test.
+    fsync: Option<String>,
     shards: usize,
     readings: usize,
     windows: u64,
@@ -51,6 +63,56 @@ fn time_best<F: FnMut() -> u64>(mut f: F) -> (u64, f64) {
         let start = Instant::now();
         windows = f();
         best = best.min(start.elapsed().as_secs_f64());
+    }
+    (windows, best)
+}
+
+/// Best-of-`REPS` wall time for the full durable ingest path: a real
+/// loopback TCP server, a stop-and-wait uplink delivering every record
+/// in order, WAL append before each ack, and the final pipeline
+/// flush + sync. The clock covers first connect through `finish()`.
+fn time_ingest(records: &[RawRecord], fsync: FsyncPolicy) -> (u64, f64) {
+    let mut best = f64::INFINITY;
+    let mut windows = 0;
+    for rep in 0..REPS {
+        let dir = std::env::temp_dir().join(format!(
+            "sentinet-bench-ingest-{}-{fsync}-{rep}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = GatewayConfig::new(&dir);
+        config.wal.fsync = fsync;
+        let (mut collector, _) = Collector::open(config).expect("open gateway collector");
+        let server = Server::start(ServerConfig::default()).expect("bind loopback server");
+        let addr = server.addr().to_string();
+        let client_records = records.to_vec();
+        let start = Instant::now();
+        // sentinet-allow(thread-spawn): the bench client must run concurrently
+        // with the server it is timing; all I/O goes through the gateway's
+        // own uplink.
+        let client = std::thread::spawn(move || {
+            let mut uplink = SensorUplink::new(UplinkConfig::new(addr));
+            let mut seqs: BTreeMap<SensorId, u64> = BTreeMap::new();
+            for r in &client_records {
+                let seq = seqs.entry(r.sensor).or_insert(0);
+                uplink
+                    .send_at(r.sensor, *seq, r.time, &r.values)
+                    .expect("durable send over loopback");
+                *seq += 1;
+            }
+            uplink.finish().expect("fin/finack");
+        });
+        server.run(&mut collector).expect("serve loopback stream");
+        client.join().expect("uplink client thread");
+        let report = collector.finish().expect("finish gateway run");
+        best = best.min(start.elapsed().as_secs_f64());
+        assert_eq!(
+            report.ingest.accepted,
+            records.len(),
+            "ingest bench must accept every delivered record"
+        );
+        windows = report.pipeline.windows_processed;
+        let _ = std::fs::remove_dir_all(&dir);
     }
     (windows, best)
 }
@@ -83,6 +145,7 @@ fn main() {
             sensors,
             days,
             mode: "serial".into(),
+            fsync: None,
             shards: 0,
             readings: delivered,
             windows,
@@ -106,12 +169,38 @@ fn main() {
                 sensors,
                 days,
                 mode: "engine".into(),
+                fsync: None,
                 shards,
                 readings: delivered,
                 windows,
                 seconds,
             });
         }
+    }
+
+    // Durable-ingest rows: the smallest sweep trace again, but through
+    // the full gateway (loopback TCP + stop-and-wait acks + WAL), once
+    // per fsync policy. The speedup column is honest overhead: the
+    // ratio to the serial in-process pipeline over the same trace.
+    let (trace, _) = wide_trace(10, 7, 42);
+    let records = trace_to_raw(&trace);
+    for fsync in [FsyncPolicy::Never, FsyncPolicy::Batch(64)] {
+        let (windows, seconds) = time_ingest(&records, fsync);
+        eprintln!(
+            "  ingest fsync={fsync}: {:.3}s ({:.0} readings/s)",
+            seconds,
+            records.len() as f64 / seconds
+        );
+        rows.push(Row {
+            sensors: 10,
+            days: 7,
+            mode: "ingest".into(),
+            fsync: Some(fsync.to_string()),
+            shards: 0,
+            readings: records.len(),
+            windows,
+            seconds,
+        });
     }
 
     let mut json = String::new();
@@ -121,7 +210,8 @@ fn main() {
     json.push_str(
         "  \"note\": \"best-of-reps wall time per cell; serial = sentinet_core::Pipeline, \
          engine = sentinet_engine::Engine (bit-for-bit equivalent output); shard speedup \
-         over serial requires host_cpus > 1\",\n",
+         over serial requires host_cpus > 1; ingest = durable gateway over loopback TCP \
+         (stop-and-wait acks, WAL append before each ack) at the named fsync policy\",\n",
     );
     json.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -129,9 +219,14 @@ fn main() {
             .iter()
             .find(|s| s.sensors == r.sensors && s.mode == "serial")
             .expect("serial row exists for every network size");
+        let fsync = r
+            .fsync
+            .as_ref()
+            .map(|p| format!("\"fsync\": \"{p}\", "))
+            .unwrap_or_default();
         let _ = write!(
             json,
-            "    {{\"sensors\": {}, \"days\": {}, \"mode\": \"{}\", \"shards\": {}, \
+            "    {{\"sensors\": {}, \"days\": {}, \"mode\": \"{}\", {fsync}\"shards\": {}, \
              \"readings\": {}, \"windows\": {}, \"seconds\": {:.6}, \
              \"readings_per_sec\": {:.1}, \"windows_per_sec\": {:.1}, \
              \"speedup_vs_serial\": {:.3}}}",

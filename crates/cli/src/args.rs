@@ -2,6 +2,7 @@
 //! dependency list; the grammar is small enough that a table-driven
 //! parser stays clearer than a framework).
 
+use sentinet_gateway::FsyncPolicy;
 use sentinet_inject::{AttackModel, FaultModel};
 use sentinet_sim::SensorId;
 use std::fmt;
@@ -13,6 +14,10 @@ pub enum Command {
     Simulate(SimulateArgs),
     /// Run the detection pipeline over a trace CSV.
     Analyze(AnalyzeArgs),
+    /// Run the durable live-ingest daemon over a socket.
+    Serve(ServeArgs),
+    /// Replay a write-ahead log offline into a report.
+    ReplayWal(ReplayWalArgs),
     /// Print usage.
     Help,
 }
@@ -57,6 +62,53 @@ pub struct AnalyzeArgs {
     pub quiet: bool,
 }
 
+/// Arguments of `sentinet serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Write-ahead log directory (created if missing).
+    pub wal_dir: String,
+    /// Endpoint to bind: `HOST:PORT` or `unix:/path`.
+    pub bind: String,
+    /// Sensor sampling period in seconds.
+    pub period: u64,
+    /// Observation window size in samples.
+    pub window: u32,
+    /// Observable-mean trim fraction.
+    pub trim: f64,
+    /// WAL fsync policy.
+    pub fsync: FsyncPolicy,
+    /// Reorder watermark delay in stream seconds.
+    pub watermark: u64,
+    /// Silence deadline in stream seconds (`None` disables liveness).
+    pub silence_deadline: Option<u64>,
+    /// Checkpoint every N WAL records (0 disables).
+    pub checkpoint_every: u64,
+    /// Chaos hook: abort the process after appending N WAL records.
+    pub crash_after: Option<u64>,
+    /// Emit the report as one summary line per sensor only.
+    pub quiet: bool,
+}
+
+/// Arguments of `sentinet replay-wal`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayWalArgs {
+    /// Write-ahead log directory to replay.
+    pub wal_dir: String,
+    /// Sensor sampling period in seconds.
+    pub period: u64,
+    /// Observation window size in samples.
+    pub window: u32,
+    /// Observable-mean trim fraction.
+    pub trim: f64,
+    /// Reorder watermark delay in stream seconds.
+    pub watermark: u64,
+    /// Re-run the released stream through the sharded engine with this
+    /// many shards and verify bit-identical reports (1 skips).
+    pub shards: usize,
+    /// Emit the report as one summary line per sensor only.
+    pub quiet: bool,
+}
+
 /// Parse failure with a user-facing message.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError(pub String);
@@ -79,7 +131,25 @@ USAGE:
   sentinet analyze <trace.csv> [--period SECS] [--window SAMPLES]
                     [--trim FRACTION] [--shards N] [--quiet]
                     [--chaos-seed S] [--max-shard-restarts N]
+  sentinet serve --wal-dir DIR [--bind HOST:PORT|unix:/path]
+                    [--period SECS] [--window SAMPLES] [--trim FRACTION]
+                    [--fsync never|batch:N|always] [--watermark SECS]
+                    [--silence-deadline SECS] [--checkpoint-every N]
+                    [--crash-after N] [--quiet]
+  sentinet replay-wal --wal-dir DIR [--period SECS] [--window SAMPLES]
+                    [--trim FRACTION] [--watermark SECS] [--shards N]
+                    [--quiet]
   sentinet help
+
+LIVE INGEST (serve / replay-wal):
+  serve binds a socket, prints `listening on ADDR` on stdout, and runs
+  the durable collector until a client sends Fin: every accepted frame
+  is WAL-appended before it is acked, so `kill -9` at any point (try
+  --crash-after N) resumes to a bit-identical report on restart.
+  replay-wal rebuilds the report offline from a WAL directory;
+  --shards N > 1 additionally re-runs the released stream through the
+  supervised engine and verifies the reports match bit for bit.
+  --silence-deadline 0 disables liveness tracking.
 
 CHAOS TESTING (analyze):
   --chaos-seed S           inject a seeded, replayable fault plan
@@ -287,8 +357,136 @@ pub fn parse<'a, I: IntoIterator<Item = &'a str>>(args: I) -> Result<Command, Pa
             }
             Ok(Command::Analyze(parsed))
         }
+        Some("serve") => {
+            let mut wal_dir = None;
+            let mut parsed = ServeArgs {
+                wal_dir: String::new(),
+                bind: "127.0.0.1:0".into(),
+                period: 300,
+                window: 12,
+                trim: 0.15,
+                fsync: FsyncPolicy::Batch(64),
+                watermark: 1800,
+                silence_deadline: Some(3600),
+                checkpoint_every: 256,
+                crash_after: None,
+                quiet: false,
+            };
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--wal-dir" => wal_dir = Some(take_value(flag, &mut it)?.to_string()),
+                    "--bind" => parsed.bind = take_value(flag, &mut it)?.to_string(),
+                    "--period" => {
+                        parsed.period = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad --period: {e}")))?
+                    }
+                    "--window" => {
+                        parsed.window = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad --window: {e}")))?
+                    }
+                    "--trim" => {
+                        parsed.trim = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad --trim: {e}")))?
+                    }
+                    "--fsync" => {
+                        parsed.fsync = FsyncPolicy::parse(take_value(flag, &mut it)?)
+                            .map_err(|e| ParseError(format!("bad --fsync: {e}")))?
+                    }
+                    "--watermark" => {
+                        parsed.watermark = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad --watermark: {e}")))?
+                    }
+                    "--silence-deadline" => {
+                        let secs: u64 = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad --silence-deadline: {e}")))?;
+                        parsed.silence_deadline = (secs > 0).then_some(secs);
+                    }
+                    "--checkpoint-every" => {
+                        parsed.checkpoint_every = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad --checkpoint-every: {e}")))?
+                    }
+                    "--crash-after" => {
+                        parsed.crash_after = Some(
+                            take_value(flag, &mut it)?
+                                .parse()
+                                .map_err(|e| ParseError(format!("bad --crash-after: {e}")))?,
+                        )
+                    }
+                    "--quiet" => parsed.quiet = true,
+                    other => return Err(ParseError(format!("unknown flag {other:?}"))),
+                }
+            }
+            parsed.wal_dir = wal_dir.ok_or_else(|| ParseError("serve needs --wal-dir".into()))?;
+            if parsed.period == 0 || parsed.window == 0 || !(0.0..0.5).contains(&parsed.trim) {
+                return Err(ParseError(
+                    "--period/--window must be positive, --trim in [0, 0.5)".into(),
+                ));
+            }
+            Ok(Command::Serve(parsed))
+        }
+        Some("replay-wal") => {
+            let mut wal_dir = None;
+            let mut parsed = ReplayWalArgs {
+                wal_dir: String::new(),
+                period: 300,
+                window: 12,
+                trim: 0.15,
+                watermark: 1800,
+                shards: 1,
+                quiet: false,
+            };
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--wal-dir" => wal_dir = Some(take_value(flag, &mut it)?.to_string()),
+                    "--period" => {
+                        parsed.period = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad --period: {e}")))?
+                    }
+                    "--window" => {
+                        parsed.window = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad --window: {e}")))?
+                    }
+                    "--trim" => {
+                        parsed.trim = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad --trim: {e}")))?
+                    }
+                    "--watermark" => {
+                        parsed.watermark = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad --watermark: {e}")))?
+                    }
+                    "--shards" => {
+                        parsed.shards = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad --shards: {e}")))?
+                    }
+                    "--quiet" => parsed.quiet = true,
+                    other => return Err(ParseError(format!("unknown flag {other:?}"))),
+                }
+            }
+            parsed.wal_dir =
+                wal_dir.ok_or_else(|| ParseError("replay-wal needs --wal-dir".into()))?;
+            if parsed.period == 0 || parsed.window == 0 || !(0.0..0.5).contains(&parsed.trim) {
+                return Err(ParseError(
+                    "--period/--window must be positive, --trim in [0, 0.5)".into(),
+                ));
+            }
+            if parsed.shards == 0 {
+                return Err(ParseError("--shards must be at least 1".into()));
+            }
+            Ok(Command::ReplayWal(parsed))
+        }
         Some(other) => Err(ParseError(format!(
-            "unknown command {other:?} (simulate|analyze|help)"
+            "unknown command {other:?} (simulate|analyze|serve|replay-wal|help)"
         ))),
     }
 }
@@ -416,6 +614,77 @@ mod tests {
         }
         let e = parse(["analyze", "t.csv", "--shards", "0"]).unwrap_err();
         assert!(e.to_string().contains("shards"));
+    }
+
+    #[test]
+    fn serve_defaults_and_flags() {
+        match parse(["serve", "--wal-dir", "/tmp/wal"]).unwrap() {
+            Command::Serve(a) => {
+                assert_eq!(a.wal_dir, "/tmp/wal");
+                assert_eq!(a.bind, "127.0.0.1:0");
+                assert_eq!(a.fsync, FsyncPolicy::Batch(64));
+                assert_eq!(a.watermark, 1800);
+                assert_eq!(a.silence_deadline, Some(3600));
+                assert_eq!(a.crash_after, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse([
+            "serve",
+            "--wal-dir",
+            "w",
+            "--bind",
+            "unix:/tmp/s.sock",
+            "--fsync",
+            "never",
+            "--watermark",
+            "600",
+            "--silence-deadline",
+            "0",
+            "--crash-after",
+            "40",
+            "--quiet",
+        ])
+        .unwrap()
+        {
+            Command::Serve(a) => {
+                assert_eq!(a.bind, "unix:/tmp/s.sock");
+                assert_eq!(a.fsync, FsyncPolicy::Never);
+                assert_eq!(a.watermark, 600);
+                assert_eq!(a.silence_deadline, None);
+                assert_eq!(a.crash_after, Some(40));
+                assert!(a.quiet);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(["serve"])
+            .unwrap_err()
+            .to_string()
+            .contains("wal-dir"));
+        assert!(parse(["serve", "--wal-dir", "w", "--fsync", "sometimes"])
+            .unwrap_err()
+            .to_string()
+            .contains("fsync"));
+    }
+
+    #[test]
+    fn replay_wal_flags() {
+        match parse(["replay-wal", "--wal-dir", "w", "--shards", "4"]).unwrap() {
+            Command::ReplayWal(a) => {
+                assert_eq!(a.wal_dir, "w");
+                assert_eq!(a.shards, 4);
+                assert_eq!(a.watermark, 1800);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(["replay-wal"])
+            .unwrap_err()
+            .to_string()
+            .contains("wal-dir"));
+        assert!(parse(["replay-wal", "--wal-dir", "w", "--shards", "0"])
+            .unwrap_err()
+            .to_string()
+            .contains("shards"));
     }
 
     #[test]

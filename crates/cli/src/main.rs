@@ -6,15 +6,22 @@
 //!   GDI-like trace CSV with optional fault/attack injections;
 //! - `sentinet analyze out.csv` runs the full detection pipeline over
 //!   any trace CSV (simulated or real) and prints the diagnosis report
-//!   plus the recommended recovery plan.
+//!   plus the recommended recovery plan;
+//! - `sentinet serve --wal-dir w` runs the durable live-ingest daemon:
+//!   frames arrive over a socket, are WAL-appended before being acked,
+//!   and a killed process resumes to a bit-identical report;
+//! - `sentinet replay-wal --wal-dir w` rebuilds that report offline
+//!   from the log alone (optionally cross-checking the sharded
+//!   engine).
 
 mod args;
 
-use args::{AnalyzeArgs, Command, SimulateArgs, USAGE};
+use args::{AnalyzeArgs, Command, ReplayWalArgs, ServeArgs, SimulateArgs, USAGE};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sentinet_core::{Pipeline, PipelineConfig, RecoveryPlan};
+use sentinet_core::{Pipeline, PipelineConfig, PipelineReport, RecoveryPlan};
 use sentinet_engine::{ChaosPlan, Engine, SupervisorConfig};
+use sentinet_gateway::{Collector, GatewayConfig, GatewayReport, Server, ServerConfig};
 use sentinet_inject::{inject_attacks, inject_faults, AttackInjection, FaultInjection};
 use sentinet_sim::{gdi, read_trace_sanitized, simulate, write_trace, SensorId, DAY_S};
 use std::fs::File;
@@ -37,6 +44,8 @@ fn main() -> ExitCode {
         }
         Command::Simulate(a) => run_simulate(a),
         Command::Analyze(a) => run_analyze(a),
+        Command::Serve(a) => run_serve(a),
+        Command::ReplayWal(a) => run_replay_wal(a),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -162,7 +171,58 @@ fn run_analyze(a: AnalyzeArgs) -> Result<(), Box<dyn std::error::Error>> {
         pipeline.process_trace(&trace);
         (pipeline.report(), RecoveryPlan::from_pipeline(&pipeline))
     };
-    if a.quiet {
+    print_pipeline_report(&report, &plan, a.quiet);
+    Ok(())
+}
+
+/// Builds the gateway configuration shared by `serve` and
+/// `replay-wal`; both must agree on every knob that shapes the report,
+/// or a replayed log would not reproduce the live run.
+fn gateway_config(
+    wal_dir: &str,
+    period: u64,
+    window: u32,
+    trim: f64,
+    watermark: u64,
+) -> GatewayConfig {
+    let mut config = GatewayConfig::new(wal_dir);
+    config.pipeline = PipelineConfig {
+        window_samples: window,
+        observable_trim: trim,
+        ..Default::default()
+    };
+    config.sample_period = period;
+    config.reorder.watermark_delay = watermark;
+    config
+}
+
+/// Prints a finished gateway run (diagnosis stdout, accounting stderr)
+/// and applies the same exit-3-when-flagged scripting contract as
+/// `analyze`. Keeping accounting off stdout keeps reports comparable
+/// byte for byte across live, crashed-and-resumed, and replayed runs.
+fn finish_gateway_report(report: &GatewayReport, quiet: bool) {
+    let ingest = &report.ingest;
+    if !ingest.rejected.is_empty() {
+        eprintln!(
+            "warning: sanitizer rejected {} record(s):",
+            ingest.rejected.len()
+        );
+        for e in &ingest.rejected {
+            eprintln!("  {e}");
+        }
+    }
+    eprintln!(
+        "ingest: {} accepted, {} duplicate(s), {} late, {} shed",
+        ingest.accepted, ingest.duplicates, ingest.late, ingest.shed
+    );
+    if report.liveness.episodes > 0 || !report.liveness.is_live() {
+        eprintln!("warning: {}", report.liveness);
+    }
+    print_pipeline_report(&report.pipeline, &report.plan, quiet);
+}
+
+fn print_pipeline_report(report: &PipelineReport, plan: &RecoveryPlan, quiet: bool) {
+    if quiet {
         for s in &report.sensors {
             println!("{}\t{}", s.sensor, s.diagnosis);
         }
@@ -173,9 +233,83 @@ fn run_analyze(a: AnalyzeArgs) -> Result<(), Box<dyn std::error::Error>> {
             println!("  {id}: {action:?}");
         }
     }
-    // Exit semantics for scripting: nonzero when anything was flagged.
     if report.flagged().count() > 0 || report.network_attack.is_some() {
         std::process::exit(3);
     }
+}
+
+fn run_serve(a: ServeArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let mut config = gateway_config(&a.wal_dir, a.period, a.window, a.trim, a.watermark);
+    config.wal.fsync = a.fsync;
+    config.wal.crash_after = a.crash_after;
+    config.silence_deadline = a.silence_deadline;
+    config.checkpoint_every = a.checkpoint_every;
+    let (mut collector, info) = Collector::open(config)?;
+    if info.replayed > 0 {
+        eprintln!(
+            "recovered {} record(s) from the wal{}",
+            info.replayed,
+            match info.verified_cursor {
+                Some(cursor) => format!(" (checkpoint verified at cursor {cursor})"),
+                None => String::new(),
+            }
+        );
+    }
+    let server = Server::start(ServerConfig {
+        bind: a.bind.clone(),
+        ..ServerConfig::default()
+    })?;
+    // Scripts (and the crash-recovery tests) parse this line to learn
+    // the resolved ephemeral port; stdout is line-buffered, so it is
+    // visible before the first client connects.
+    println!("listening on {}", server.addr());
+    let stats = server.run(&mut collector)?;
+    eprintln!(
+        "served {} connection(s), {} dropped on bad frames",
+        stats.connections, stats.bad_frames
+    );
+    for e in &stats.frame_errors {
+        eprintln!("  dropped connection: {e}");
+    }
+    let report = collector.finish()?;
+    finish_gateway_report(&report, a.quiet);
+    Ok(())
+}
+
+fn run_replay_wal(a: ReplayWalArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let mut config = gateway_config(&a.wal_dir, a.period, a.window, a.trim, a.watermark);
+    // Offline replay must not rewrite the log's checkpoints.
+    config.checkpoint_every = 0;
+    config.record_released = a.shards > 1;
+    let (collector, info) = Collector::open(config)?;
+    eprintln!("replayed {} record(s) from the wal", info.replayed);
+    let report = collector.finish()?;
+    if let Some(trace) = &report.released {
+        // Cross-check: the sharded engine over the released stream
+        // must reproduce the collector's report bit for bit.
+        let engine = Engine::new(
+            PipelineConfig {
+                window_samples: a.window,
+                observable_trim: a.trim,
+                ..Default::default()
+            },
+            a.period,
+            a.shards,
+        )
+        .with_supervisor(SupervisorConfig::default());
+        let run = engine.process_trace(trace)?;
+        if format!("{}", run.report()) != format!("{}", report.pipeline) {
+            return Err(format!(
+                "engine replay with {} shards diverged from the collector's report",
+                a.shards
+            )
+            .into());
+        }
+        eprintln!(
+            "engine replay with {} shard(s): bit-identical report",
+            a.shards
+        );
+    }
+    finish_gateway_report(&report, a.quiet);
     Ok(())
 }

@@ -1,0 +1,192 @@
+//! Whole-process crash-recovery tests: run the real `sentinet serve`
+//! daemon, kill it without ceremony mid-stream — both via the WAL's
+//! chaos abort hook (`--crash-after`) and via a raw SIGKILL — restart
+//! it on the same WAL directory, re-deliver the stream through the
+//! retrying uplink, and require the final report byte-identical to an
+//! uninterrupted run. `replay-wal` over the survivor's log (with a
+//! sharded-engine cross-check) must print the same report again.
+
+use sentinet_gateway::{SensorUplink, UplinkConfig};
+use sentinet_sim::SensorId;
+use std::io::{BufRead, BufReader, Read};
+use std::process::{Child, ChildStdout, Command, Stdio};
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sentinet-gateway-crash-{name}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The deterministic test stream: two sensors, 120 sampling ticks.
+fn stream() -> Vec<(SensorId, u64, u64, Vec<f64>)> {
+    let mut out = Vec::new();
+    for i in 0..120u64 {
+        let t = 300 * (i + 1);
+        for s in 0..2u16 {
+            let v = 20.0 + (i % 7) as f64 + f64::from(s);
+            out.push((SensorId(s), i, t, vec![v, v + 30.0]));
+        }
+    }
+    out
+}
+
+/// Spawns `sentinet serve` and reads the `listening on ADDR` line.
+fn spawn_serve(
+    wal_dir: &std::path::Path,
+    extra: &[&str],
+) -> (Child, BufReader<ChildStdout>, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_sentinet"))
+        .args([
+            "serve",
+            "--wal-dir",
+            wal_dir.to_str().unwrap(),
+            "--watermark",
+            "600",
+            "--checkpoint-every",
+            "64",
+            "--fsync",
+            "never",
+        ])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn serve");
+    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("read listening line");
+    let addr = line
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected first line {line:?}"))
+        .trim()
+        .to_string();
+    (child, stdout, addr)
+}
+
+/// A snappy uplink: a dead server should fail fast, not after the
+/// production backoff schedule.
+fn uplink(addr: String) -> SensorUplink {
+    let mut config = UplinkConfig::new(addr);
+    config.ack_timeout = std::time::Duration::from_millis(300);
+    config.max_attempts = 5;
+    config.backoff_base = std::time::Duration::from_millis(10);
+    SensorUplink::new(config)
+}
+
+/// Sends the whole stream (stopping at the first exhausted retry) and
+/// returns how many records were durably acked.
+fn send_all(uplink: &mut SensorUplink, records: &[(SensorId, u64, u64, Vec<f64>)]) -> usize {
+    for (i, (s, seq, t, v)) in records.iter().enumerate() {
+        if uplink.send_at(*s, *seq, *t, v).is_err() {
+            return i;
+        }
+    }
+    records.len()
+}
+
+/// Runs serve over the full stream uninterrupted and returns its
+/// post-`listening` stdout (the report).
+fn uninterrupted_run(name: &str) -> String {
+    let dir = tmpdir(name);
+    let (mut child, mut stdout, addr) = spawn_serve(&dir, &[]);
+    let mut up = uplink(addr);
+    assert_eq!(send_all(&mut up, &stream()), stream().len());
+    up.finish().expect("fin/finack");
+    let mut rest = String::new();
+    stdout.read_to_string(&mut rest).expect("read report");
+    let status = child.wait().expect("wait serve");
+    assert!(status.success(), "clean serve run must exit 0: {status:?}");
+    std::fs::remove_dir_all(&dir).ok();
+    rest
+}
+
+/// Restarts serve over a crashed WAL dir, re-delivers the full stream
+/// from sequence zero (dedup absorbs everything already durable), and
+/// returns the report stdout.
+fn resume_run(dir: &std::path::Path) -> String {
+    let (mut child, mut stdout, addr) = spawn_serve(dir, &[]);
+    let mut up = uplink(addr);
+    assert_eq!(send_all(&mut up, &stream()), stream().len());
+    up.finish().expect("fin/finack");
+    let mut rest = String::new();
+    stdout.read_to_string(&mut rest).expect("read report");
+    let status = child.wait().expect("wait serve");
+    assert!(status.success(), "resumed serve must exit 0: {status:?}");
+    rest
+}
+
+fn replay_wal(dir: &std::path::Path, shards: &str) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_sentinet"))
+        .args([
+            "replay-wal",
+            "--wal-dir",
+            dir.to_str().unwrap(),
+            "--watermark",
+            "600",
+            "--shards",
+            shards,
+        ])
+        .output()
+        .expect("spawn replay-wal");
+    assert!(
+        out.status.success(),
+        "replay-wal failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 report")
+}
+
+#[test]
+fn crash_after_abort_resumes_bit_identically() {
+    let baseline = uninterrupted_run("abort-base");
+    assert!(baseline.contains("recovery plan"), "{baseline}");
+
+    // The daemon aborts itself (as if kill -9) during the 150th WAL
+    // append — mid-stream, between checkpoints.
+    let dir = tmpdir("abort-crash");
+    let (mut child, _stdout, addr) = spawn_serve(&dir, &["--crash-after", "150"]);
+    let mut up = uplink(addr);
+    let sent = send_all(&mut up, &stream());
+    assert!(sent < stream().len(), "daemon should have died mid-stream");
+    let status = child.wait().expect("wait crashed serve");
+    assert!(!status.success(), "abort must not look like a clean exit");
+
+    let resumed = resume_run(&dir);
+    assert_eq!(
+        resumed, baseline,
+        "resumed report differs from uninterrupted run"
+    );
+
+    // The WAL alone reproduces the same report, and the sharded engine
+    // agrees with it bit for bit.
+    let replayed = replay_wal(&dir, "2");
+    assert_eq!(replayed, baseline, "replay-wal report differs");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sigkill_mid_stream_resumes_bit_identically() {
+    let baseline = uninterrupted_run("kill-base");
+
+    let dir = tmpdir("kill-crash");
+    let (mut child, _stdout, addr) = spawn_serve(&dir, &[]);
+    let mut up = uplink(addr);
+    // 130 acked records are durable; then the process is SIGKILLed.
+    let prefix = &stream()[..130];
+    assert_eq!(send_all(&mut up, prefix), prefix.len());
+    child.kill().expect("SIGKILL serve");
+    let status = child.wait().expect("wait killed serve");
+    assert!(!status.success());
+
+    let resumed = resume_run(&dir);
+    assert_eq!(
+        resumed, baseline,
+        "resumed report differs from uninterrupted run"
+    );
+    let replayed = replay_wal(&dir, "1");
+    assert_eq!(replayed, baseline, "replay-wal report differs");
+    std::fs::remove_dir_all(&dir).ok();
+}

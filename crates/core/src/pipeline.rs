@@ -298,6 +298,18 @@ impl Pipeline {
         self.sensors.keys().copied().collect()
     }
 
+    /// Per-sensor runtime snapshots in sensor-id order, in the format
+    /// [`crate::checkpoint::encode_shard`] accepts. External recovery
+    /// layers (the gateway's WAL checkpointing) use this to fingerprint
+    /// pipeline state at a known ingest cursor and verify a replayed
+    /// run reproduces it bit-exactly.
+    pub fn sensor_snapshots(&self) -> Vec<(SensorId, crate::checkpoint::SensorSnapshot)> {
+        self.sensors
+            .iter()
+            .map(|(id, rt)| (*id, rt.snapshot()))
+            .collect()
+    }
+
     /// The raw-alarm history of a sensor as `(window, raw)` pairs
     /// (paper Fig. 12).
     pub fn raw_alarm_history(&self, sensor: SensorId) -> Option<&[(u64, bool)]> {

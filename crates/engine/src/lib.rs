@@ -83,7 +83,7 @@ use std::fmt;
 pub mod chaos;
 pub mod supervisor;
 
-pub use chaos::{ChaosPlan, FaultKind, FaultPoint, FaultSpec};
+pub use chaos::{corrupt_frames, corrupt_records, ChaosPlan, FaultKind, FaultPoint, FaultSpec};
 pub use supervisor::SupervisorConfig;
 
 pub mod protocol {

@@ -1,0 +1,342 @@
+//! `SensorUplink`: the sensor-side client with retry, backoff and
+//! reconnection.
+//!
+//! The uplink is stop-and-wait: each reading is framed with a
+//! per-sensor sequence number, sent, and retransmitted until the
+//! server acknowledges that exact `(sensor, seq)` — with capped
+//! exponential backoff plus seeded jitter between attempts, so a
+//! retry storm from many motes decorrelates deterministically. An I/O
+//! error tears the connection down and the next attempt reconnects,
+//! which transparently rides out a server restart: whatever lost its
+//! ack is re-sent on the new connection and the server's sequence
+//! dedup absorbs anything that was already durable.
+//!
+//! [`SensorUplink::send_at`] exposes the raw `(seq, …)` coordinate so
+//! the network simulator can inject duplicates and reordering through
+//! the real client path.
+
+use crate::frame::{encode_frame, FrameBuffer, Message, PROTOCOL_VERSION};
+use crate::net::{is_timeout, Stream};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sentinet_sim::{SensorId, Timestamp};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{Read, Write};
+use std::time::{Duration, Instant};
+
+/// Uplink tuning.
+#[derive(Debug, Clone)]
+pub struct UplinkConfig {
+    /// Endpoint to connect to: `"127.0.0.1:4410"` or `"unix:/path"`.
+    pub connect: String,
+    /// How long one attempt waits for its ack before retrying.
+    pub ack_timeout: Duration,
+    /// Attempts per frame before giving up.
+    pub max_attempts: u32,
+    /// First backoff delay; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Seed for the jitter added to each backoff.
+    pub jitter_seed: u64,
+}
+
+impl UplinkConfig {
+    /// Defaults for `connect`: 500 ms ack wait, 8 attempts, 25 ms
+    /// base / 2 s cap backoff.
+    pub fn new(connect: impl Into<String>) -> Self {
+        Self {
+            connect: connect.into(),
+            ack_timeout: Duration::from_millis(500),
+            max_attempts: 8,
+            backoff_base: Duration::from_millis(25),
+            backoff_cap: Duration::from_secs(2),
+            jitter_seed: 7,
+        }
+    }
+}
+
+/// Why the uplink gave up.
+#[derive(Debug)]
+pub enum UplinkError {
+    /// Every attempt at one frame went unacknowledged.
+    Exhausted {
+        /// Sensor of the abandoned frame.
+        sensor: SensorId,
+        /// Sequence number of the abandoned frame.
+        seq: u64,
+        /// Attempts made.
+        attempts: u32,
+    },
+    /// Every attempt at the `Fin` handshake went unacknowledged.
+    FinExhausted {
+        /// Attempts made.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for UplinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UplinkError::Exhausted {
+                sensor,
+                seq,
+                attempts,
+            } => write!(
+                f,
+                "no ack for {sensor} seq {seq} after {attempts} attempt(s)"
+            ),
+            UplinkError::FinExhausted { attempts } => {
+                write!(f, "no fin-ack after {attempts} attempt(s)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UplinkError {}
+
+/// The sensor-side client. One uplink may carry any number of
+/// sensors' streams (a cluster head relaying for its motes).
+pub struct SensorUplink {
+    config: UplinkConfig,
+    conn: Option<(Stream, FrameBuffer)>,
+    next_seq: BTreeMap<SensorId, u64>,
+    rng: StdRng,
+    /// Frames retransmitted at least once (for harness assertions).
+    pub retransmits: u64,
+}
+
+impl fmt::Debug for SensorUplink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SensorUplink")
+            .field("connect", &self.config.connect)
+            .field("retransmits", &self.retransmits)
+            .finish()
+    }
+}
+
+impl SensorUplink {
+    /// A disconnected uplink; the first send connects lazily.
+    pub fn new(config: UplinkConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.jitter_seed);
+        Self {
+            config,
+            conn: None,
+            next_seq: BTreeMap::new(),
+            rng,
+            retransmits: 0,
+        }
+    }
+
+    /// Sends one reading, assigning the sensor's next sequence number;
+    /// returns it. Blocks until acked or attempts are exhausted.
+    ///
+    /// # Errors
+    ///
+    /// [`UplinkError::Exhausted`] when every attempt times out.
+    pub fn send(
+        &mut self,
+        sensor: SensorId,
+        time: Timestamp,
+        values: &[f64],
+    ) -> Result<u64, UplinkError> {
+        let seq = {
+            let next = self.next_seq.entry(sensor).or_insert(0);
+            let seq = *next;
+            *next += 1;
+            seq
+        };
+        self.send_at(sensor, seq, time, values)?;
+        Ok(seq)
+    }
+
+    /// Sends one frame under an explicit sequence number — the hook
+    /// the network simulator uses to inject duplicate deliveries
+    /// through the real retry path.
+    ///
+    /// # Errors
+    ///
+    /// [`UplinkError::Exhausted`] when every attempt times out.
+    pub fn send_at(
+        &mut self,
+        sensor: SensorId,
+        seq: u64,
+        time: Timestamp,
+        values: &[f64],
+    ) -> Result<(), UplinkError> {
+        let frame = encode_frame(&Message::Data {
+            sensor,
+            seq,
+            time,
+            values: values.to_vec(),
+        });
+        for attempt in 0..self.config.max_attempts {
+            if attempt > 0 {
+                self.retransmits += 1;
+                self.backoff(attempt);
+            }
+            if self.attempt(&frame, |msg| {
+                matches!(msg, Message::Ack { sensor: s, seq: q } if *s == sensor && *q == seq)
+            }) {
+                return Ok(());
+            }
+        }
+        Err(UplinkError::Exhausted {
+            sensor,
+            seq,
+            attempts: self.config.max_attempts,
+        })
+    }
+
+    /// Ends the stream: sends `Fin` until `FinAck` arrives, then
+    /// closes the connection.
+    ///
+    /// # Errors
+    ///
+    /// [`UplinkError::FinExhausted`] when every attempt times out.
+    pub fn finish(mut self) -> Result<(), UplinkError> {
+        let frame = encode_frame(&Message::Fin);
+        for attempt in 0..self.config.max_attempts {
+            if attempt > 0 {
+                self.backoff(attempt);
+            }
+            if self.attempt(&frame, |msg| matches!(msg, Message::FinAck)) {
+                if let Some((stream, _)) = self.conn.take() {
+                    let _ = stream.shutdown();
+                }
+                return Ok(());
+            }
+        }
+        Err(UplinkError::FinExhausted {
+            attempts: self.config.max_attempts,
+        })
+    }
+
+    /// One attempt: ensure a connection, write the frame, wait for a
+    /// message matching `is_ack`. Returns `false` on timeout (keeping
+    /// the connection) or I/O error (dropping it so the next attempt
+    /// redials).
+    fn attempt(&mut self, frame: &[u8], is_ack: impl Fn(&Message) -> bool) -> bool {
+        if !self.ensure_connected() {
+            return false;
+        }
+        let Some((mut stream, mut fb)) = self.conn.take() else {
+            return false;
+        };
+        match attempt_on(
+            &mut stream,
+            &mut fb,
+            frame,
+            &is_ack,
+            self.config.ack_timeout,
+        ) {
+            Attempt::Acked => {
+                self.conn = Some((stream, fb));
+                true
+            }
+            Attempt::Timeout => {
+                // The server may just be slow: keep the connection,
+                // the retransmit rides the same stream.
+                self.conn = Some((stream, fb));
+                false
+            }
+            Attempt::Broken => {
+                let _ = stream.shutdown();
+                false
+            }
+        }
+    }
+
+    fn ensure_connected(&mut self) -> bool {
+        if self.conn.is_some() {
+            return true;
+        }
+        let Ok(stream) = Stream::connect(&self.config.connect) else {
+            return false;
+        };
+        // Read in short slices so the ack deadline stays responsive.
+        let per_read = (self.config.ack_timeout / 4).max(Duration::from_millis(10));
+        if stream.set_read_timeout(Some(per_read)).is_err() {
+            return false;
+        }
+        let mut stream = stream;
+        let hello = encode_frame(&Message::Hello {
+            version: PROTOCOL_VERSION,
+        });
+        if stream.write_all(&hello).is_err() {
+            return false;
+        }
+        self.conn = Some((stream, FrameBuffer::new()));
+        true
+    }
+
+    /// Sleeps `min(cap, base · 2^(attempt−1))` plus up to 50% seeded
+    /// jitter, so synchronized retry storms from many motes spread
+    /// out deterministically.
+    fn backoff(&mut self, attempt: u32) {
+        let base = self.config.backoff_base.as_millis() as u64;
+        let cap = self.config.backoff_cap.as_millis() as u64;
+        let exp = base.saturating_mul(1u64 << attempt.saturating_sub(1).min(20));
+        let delay = exp.min(cap);
+        let jitter = if delay > 1 {
+            self.rng.gen_range(0..delay / 2 + 1)
+        } else {
+            0
+        };
+        std::thread::sleep(Duration::from_millis(delay + jitter));
+    }
+}
+
+/// Result of one write-and-await-ack attempt.
+enum Attempt {
+    /// The expected ack arrived.
+    Acked,
+    /// The deadline passed without it (connection still healthy).
+    Timeout,
+    /// The connection failed (I/O error, EOF, or a frame error).
+    Broken,
+}
+
+fn attempt_on(
+    stream: &mut Stream,
+    fb: &mut FrameBuffer,
+    frame: &[u8],
+    is_ack: &impl Fn(&Message) -> bool,
+    ack_timeout: Duration,
+) -> Attempt {
+    if stream
+        .write_all(frame)
+        .and_then(|()| stream.flush())
+        .is_err()
+    {
+        return Attempt::Broken;
+    }
+    let deadline = Instant::now() + ack_timeout;
+    let mut buf = [0u8; 4096];
+    loop {
+        // Drain anything already buffered first — the ack may have
+        // arrived alongside one for an earlier retransmit.
+        loop {
+            match fb.next_message() {
+                Ok(Some(msg)) => {
+                    if is_ack(&msg) {
+                        return Attempt::Acked;
+                    }
+                    // Stale ack from an earlier frame: skip it.
+                }
+                Ok(None) => break,
+                Err(_) => return Attempt::Broken,
+            }
+        }
+        if Instant::now() >= deadline {
+            return Attempt::Timeout;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return Attempt::Broken,
+            Ok(n) => fb.feed(&buf[..n]),
+            Err(e) if is_timeout(&e) => continue,
+            Err(_) => return Attempt::Broken,
+        }
+    }
+}

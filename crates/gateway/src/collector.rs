@@ -1,0 +1,696 @@
+//! The durable collector: WAL-backed admission into the detection
+//! pipeline.
+//!
+//! Every delivered frame passes through one fixed sequence of gates:
+//!
+//! ```text
+//! frame → seq dedup → WAL append → ack → reorder buffer → sanitizer
+//!       → core::Pipeline
+//! ```
+//!
+//! The WAL append happens *before* the ack, so an acknowledged record
+//! is durable; everything after the ack (reordering, late/shed drops,
+//! sanitization) is a pure deterministic function of the admitted
+//! record sequence. Crash recovery exploits exactly that: on open the
+//! WAL's records are replayed through the identical admission path, so
+//! the rebuilt pipeline is bit-for-bit the state the crashed process
+//! would have reached — a `kill -9` at any point resumes to a
+//! [`PipelineReport`] identical to an uninterrupted run.
+//!
+//! Periodic checkpoints reuse [`core::checkpoint`](sentinet_core::checkpoint):
+//! a checkpoint records the WAL cursor plus the
+//! [`encode_shard`] fingerprint of every sensor's runtime state at that
+//! cursor. Replay re-derives the fingerprint when it passes the cursor
+//! and fails loudly on mismatch, so silent WAL corruption (or a
+//! non-deterministic code change) cannot masquerade as a clean
+//! recovery. (Resuming *from* the snapshot without replay would also
+//! need a global-model snapshot, which the clustering state does not
+//! yet support — see DESIGN.md §12.)
+//!
+//! Liveness: sensors that fall silent do not stall anything — the
+//! window barrier is driven by whatever data does arrive. When a
+//! sensor's last admission falls a configurable deadline behind the
+//! reorder watermark it is declared silent and surfaced in
+//! [`LivenessStatus`] (the paper's missing-packet semantics: its
+//! absence from the window is itself the signal), recovering
+//! automatically if it reports again.
+
+use crate::reorder::{AdmitOutcome, ReorderBuffer, ReorderConfig};
+use crate::wal::{Wal, WalConfig, WalError, WalRecord};
+use sentinet_core::checkpoint::encode_shard;
+use sentinet_core::{Pipeline, PipelineConfig, PipelineReport, RecoveryPlan};
+use sentinet_sim::{IngestReport, RawRecord, Sanitizer, SensorId, Timestamp, Trace, TraceRecord};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::fs;
+use std::path::PathBuf;
+
+/// Marker line opening a gateway checkpoint file.
+const CHECKPOINT_MAGIC: &str = "sentinet-gateway-checkpoint v1";
+/// Checkpoint file name inside the WAL directory.
+const CHECKPOINT_FILE: &str = "checkpoint.ck";
+
+/// Full gateway configuration.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Detection-pipeline configuration.
+    pub pipeline: PipelineConfig,
+    /// Sensor sampling period in seconds.
+    pub sample_period: u64,
+    /// Write-ahead log configuration.
+    pub wal: WalConfig,
+    /// Reorder buffer tuning.
+    pub reorder: ReorderConfig,
+    /// Declare a sensor silent once its last admission falls this far
+    /// behind the watermark (`None` disables liveness tracking).
+    pub silence_deadline: Option<Timestamp>,
+    /// Write a checkpoint every N WAL records (0 disables).
+    pub checkpoint_every: u64,
+    /// Record the released stream as a [`Trace`] from the very first
+    /// record — including recovery replay, which happens inside
+    /// [`Collector::open`] before [`record_released_trace`]
+    /// (`Collector::record_released_trace`) could be called.
+    pub record_released: bool,
+}
+
+impl GatewayConfig {
+    /// Defaults around a WAL directory: paper-default pipeline, 300 s
+    /// sampling, 30 min watermark, checkpoint every 256 records.
+    pub fn new(wal_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            pipeline: PipelineConfig::default(),
+            sample_period: 300,
+            wal: WalConfig::new(wal_dir),
+            reorder: ReorderConfig::default(),
+            silence_deadline: Some(3600),
+            checkpoint_every: 256,
+            record_released: false,
+        }
+    }
+}
+
+/// A gateway-level failure.
+#[derive(Debug)]
+pub enum GatewayError {
+    /// The write-ahead log failed.
+    Wal(WalError),
+    /// The checkpoint file exists but cannot be parsed.
+    CheckpointMalformed(String),
+    /// Replay reached the checkpoint cursor with different pipeline
+    /// state than the checkpoint recorded.
+    CheckpointMismatch {
+        /// WAL cursor the checkpoint was taken at.
+        cursor: u64,
+    },
+    /// The checkpoint cursor lies beyond the recovered WAL — the log
+    /// lost durable records the checkpoint had seen (e.g. power loss
+    /// under `fsync=never`).
+    CheckpointAhead {
+        /// WAL cursor the checkpoint was taken at.
+        cursor: u64,
+        /// Records actually recovered from the WAL.
+        recovered: u64,
+    },
+    /// Filesystem error outside the WAL itself.
+    Io(PathBuf, std::io::Error),
+}
+
+impl fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GatewayError::Wal(e) => write!(f, "{e}"),
+            GatewayError::CheckpointMalformed(reason) => {
+                write!(f, "malformed gateway checkpoint: {reason}")
+            }
+            GatewayError::CheckpointMismatch { cursor } => write!(
+                f,
+                "checkpoint mismatch at wal cursor {cursor}: replay diverged from checkpointed state"
+            ),
+            GatewayError::CheckpointAhead { cursor, recovered } => write!(
+                f,
+                "checkpoint cursor {cursor} beyond recovered wal ({recovered} records); \
+                 log lost durable data (consider fsync=always)"
+            ),
+            GatewayError::Io(path, e) => write!(f, "gateway io error at {}: {e}", path.display()),
+        }
+    }
+}
+
+impl std::error::Error for GatewayError {}
+
+impl From<WalError> for GatewayError {
+    fn from(e: WalError) -> Self {
+        GatewayError::Wal(e)
+    }
+}
+
+/// Per-sensor sequence-number deduplication window.
+#[derive(Debug, Default)]
+struct SeqTracker {
+    /// Lowest sequence number not yet seen.
+    next: u64,
+    /// Seen sequence numbers above `next` (out-of-order arrivals).
+    above: BTreeSet<u64>,
+}
+
+impl SeqTracker {
+    /// Records `seq`; returns `true` if it was new.
+    fn observe(&mut self, seq: u64) -> bool {
+        if seq < self.next || self.above.contains(&seq) {
+            return false;
+        }
+        if seq == self.next {
+            self.next += 1;
+            while self.above.remove(&self.next) {
+                self.next += 1;
+            }
+        } else {
+            self.above.insert(seq);
+        }
+        true
+    }
+}
+
+/// What the server should tell the client about a delivered frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliverOutcome {
+    /// New record, now durable: ack it.
+    Accepted,
+    /// Retransmission of an already-durable record: re-ack it.
+    Duplicate,
+}
+
+/// What recovery found on open.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryInfo {
+    /// Records replayed from the WAL.
+    pub replayed: u64,
+    /// WAL cursor of the checkpoint that was verified bit-exactly
+    /// during replay, if one existed.
+    pub verified_cursor: Option<u64>,
+}
+
+/// Current silence accounting (the gateway's degraded-mode surface,
+/// alongside the engine's `DegradedStatus`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LivenessStatus {
+    /// Sensors currently past their silence deadline, with the stream
+    /// time each was last heard from.
+    pub silent: Vec<(SensorId, Timestamp)>,
+    /// Silence episodes declared over the whole run, including ones
+    /// that later recovered.
+    pub episodes: usize,
+}
+
+impl LivenessStatus {
+    /// Whether every sensor is currently reporting.
+    pub fn is_live(&self) -> bool {
+        self.silent.is_empty()
+    }
+}
+
+impl fmt::Display for LivenessStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "liveness: silent sensors [")?;
+        for (i, (s, last)) in self.silent.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} (last heard t={last})", s.0)?;
+        }
+        write!(f, "], {} episode(s) total", self.episodes)
+    }
+}
+
+/// Everything a finished gateway run produced.
+#[derive(Debug, Clone)]
+pub struct GatewayReport {
+    /// The detection pipeline's report — bit-comparable across runs.
+    pub pipeline: PipelineReport,
+    /// Ingest accounting: sanitizer rejections plus transport-layer
+    /// duplicate/late/shed counts.
+    pub ingest: IngestReport,
+    /// Silence accounting.
+    pub liveness: LivenessStatus,
+    /// Recommended per-sensor recovery actions.
+    pub plan: RecoveryPlan,
+    /// The complete released stream (present when recording was on —
+    /// see [`GatewayConfig::record_released`]). Unlike
+    /// [`Collector::released_trace`] mid-run, this includes the
+    /// records the final flush released.
+    pub released: Option<Trace>,
+}
+
+/// The durable collector. Create with [`Collector::open`], feed with
+/// [`deliver`](Collector::deliver), close with
+/// [`finish`](Collector::finish).
+pub struct Collector {
+    config: GatewayConfig,
+    wal: Wal,
+    pipeline: Pipeline,
+    sanitizer: Sanitizer,
+    reorder: ReorderBuffer,
+    seqs: BTreeMap<SensorId, SeqTracker>,
+    seq_duplicates: usize,
+    accepted: usize,
+    rejected: Vec<sentinet_sim::IngestError>,
+    last_heard: BTreeMap<SensorId, Timestamp>,
+    silent: BTreeSet<SensorId>,
+    episodes: usize,
+    released_scratch: Vec<RawRecord>,
+    trace_log: Option<Vec<TraceRecord>>,
+}
+
+impl fmt::Debug for Collector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Collector")
+            .field("wal", &self.wal)
+            .field("accepted", &self.accepted)
+            .finish()
+    }
+}
+
+impl Collector {
+    /// Opens the collector over its WAL directory, replaying any
+    /// existing log through the admission path (verifying the latest
+    /// checkpoint on the way) so the pipeline resumes exactly where
+    /// the previous process died.
+    ///
+    /// # Errors
+    ///
+    /// Any [`GatewayError`]; corruption and checkpoint divergence are
+    /// loud failures, never silent data loss.
+    pub fn open(config: GatewayConfig) -> Result<(Self, RecoveryInfo), GatewayError> {
+        let checkpoint = read_checkpoint(&config.wal.dir)?;
+        let (wal, records) = Wal::open(config.wal.clone())?;
+        let pipeline = Pipeline::new(config.pipeline.clone(), config.sample_period);
+        let reorder = ReorderBuffer::new(config.reorder.clone());
+        let trace_log = config.record_released.then(Vec::new);
+        let mut collector = Self {
+            config,
+            wal,
+            pipeline,
+            sanitizer: Sanitizer::new(),
+            reorder,
+            seqs: BTreeMap::new(),
+            seq_duplicates: 0,
+            accepted: 0,
+            rejected: Vec::new(),
+            last_heard: BTreeMap::new(),
+            silent: BTreeSet::new(),
+            episodes: 0,
+            released_scratch: Vec::new(),
+            trace_log,
+        };
+
+        if let Some((cursor, _)) = &checkpoint {
+            if *cursor > records.len() as u64 {
+                return Err(GatewayError::CheckpointAhead {
+                    cursor: *cursor,
+                    recovered: records.len() as u64,
+                });
+            }
+        }
+        let mut verified_cursor = None;
+        for (i, record) in records.iter().enumerate() {
+            collector
+                .seqs
+                .entry(record.sensor)
+                .or_default()
+                .observe(record.seq);
+            collector.admit(record.raw());
+            if let Some((cursor, fingerprint)) = &checkpoint {
+                if *cursor == (i + 1) as u64 {
+                    let now = encode_shard(&collector.pipeline.sensor_snapshots());
+                    if now != *fingerprint {
+                        return Err(GatewayError::CheckpointMismatch { cursor: *cursor });
+                    }
+                    verified_cursor = Some(*cursor);
+                }
+            }
+        }
+        let info = RecoveryInfo {
+            replayed: records.len() as u64,
+            verified_cursor,
+        };
+        Ok((collector, info))
+    }
+
+    /// Starts recording the released (post-reorder, pre-sanitize
+    /// accepted) stream as a [`Trace`], for re-running through the
+    /// sharded engine. Call before any records are delivered.
+    pub fn record_released_trace(&mut self) {
+        self.trace_log = Some(Vec::new());
+    }
+
+    /// Handles one delivered `Data` frame. `Accepted` and `Duplicate`
+    /// both mean "durable, send the ack".
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError`] if the WAL append or checkpoint write fails.
+    pub fn deliver(
+        &mut self,
+        sensor: SensorId,
+        seq: u64,
+        time: Timestamp,
+        values: Vec<f64>,
+    ) -> Result<DeliverOutcome, GatewayError> {
+        if !self.seqs.entry(sensor).or_default().observe(seq) {
+            self.seq_duplicates += 1;
+            return Ok(DeliverOutcome::Duplicate);
+        }
+        let record = WalRecord {
+            sensor,
+            seq,
+            time,
+            values,
+        };
+        self.wal.append(&record)?;
+        self.admit(record.raw());
+        let logged = self.wal.records_logged();
+        if self.config.checkpoint_every > 0 && logged.is_multiple_of(self.config.checkpoint_every) {
+            self.write_checkpoint(logged)?;
+        }
+        Ok(DeliverOutcome::Accepted)
+    }
+
+    /// Runs one admitted record through reorder → sanitize → pipeline.
+    fn admit(&mut self, record: RawRecord) {
+        let sensor = record.sensor;
+        let time = record.time;
+        if self.reorder.offer(record) == AdmitOutcome::Admitted {
+            let heard = self.last_heard.entry(sensor).or_insert(time);
+            if time > *heard {
+                *heard = time;
+            }
+            // A reappearing sensor clears its silence (the episode
+            // stays counted).
+            self.silent.remove(&sensor);
+        }
+        let mut released = std::mem::take(&mut self.released_scratch);
+        self.reorder.drain_ready(&mut released);
+        for raw in released.drain(..) {
+            self.ingest_released(raw);
+        }
+        self.released_scratch = released;
+        self.update_liveness();
+    }
+
+    fn ingest_released(&mut self, raw: RawRecord) {
+        match self.sanitizer.accept(raw) {
+            Ok(record) => {
+                self.accepted += 1;
+                if let Some(reading) = record.payload.reading() {
+                    let outcomes =
+                        self.pipeline
+                            .push_values(record.time, record.sensor, reading.values());
+                    for outcome in outcomes {
+                        self.pipeline.recycle_outcome(outcome);
+                    }
+                }
+                if let Some(log) = &mut self.trace_log {
+                    log.push(record);
+                }
+            }
+            Err(e) => self.rejected.push(e),
+        }
+    }
+
+    fn update_liveness(&mut self) {
+        let Some(deadline) = self.config.silence_deadline else {
+            return;
+        };
+        let Some(watermark) = self.reorder.watermark() else {
+            return;
+        };
+        for (&sensor, &heard) in &self.last_heard {
+            if watermark > heard.saturating_add(deadline) && self.silent.insert(sensor) {
+                self.episodes += 1;
+            }
+        }
+    }
+
+    fn write_checkpoint(&mut self, cursor: u64) -> Result<(), GatewayError> {
+        // The WAL prefix must be durable before the checkpoint can
+        // reference it, or a power cut could leave the checkpoint
+        // pointing past the recovered log.
+        self.wal.sync()?;
+        let mut text = String::new();
+        text.push_str(CHECKPOINT_MAGIC);
+        text.push('\n');
+        text.push_str(&format!("cursor {cursor}\n"));
+        text.push_str(&encode_shard(&self.pipeline.sensor_snapshots()));
+        let dir = &self.config.wal.dir;
+        let tmp = dir.join("checkpoint.tmp");
+        let path = dir.join(CHECKPOINT_FILE);
+        fs::write(&tmp, &text).map_err(|e| GatewayError::Io(tmp.clone(), e))?;
+        fs::rename(&tmp, &path).map_err(|e| GatewayError::Io(path.clone(), e))?;
+        Ok(())
+    }
+
+    /// Ingest accounting so far (transport counters merged in).
+    pub fn ingest_report(&self) -> IngestReport {
+        let stats = self.reorder.stats();
+        IngestReport {
+            accepted: self.accepted,
+            rejected: self.rejected.clone(),
+            duplicates: self.seq_duplicates + stats.duplicates,
+            late: stats.late,
+            shed: stats.shed,
+        }
+    }
+
+    /// Current silence accounting.
+    pub fn liveness(&self) -> LivenessStatus {
+        LivenessStatus {
+            silent: self
+                .silent
+                .iter()
+                .map(|s| (*s, self.last_heard.get(s).copied().unwrap_or(0)))
+                .collect(),
+            episodes: self.episodes,
+        }
+    }
+
+    /// The released trace recorded since
+    /// [`record_released_trace`](Collector::record_released_trace).
+    pub fn released_trace(&self) -> Option<Trace> {
+        self.trace_log
+            .as_ref()
+            .map(|records| Trace::from_records(records.clone()))
+    }
+
+    /// Records currently in the WAL (the checkpoint cursor domain).
+    pub fn wal_records(&self) -> u64 {
+        self.wal.records_logged()
+    }
+
+    /// End of stream: flushes the reorder buffer and the final window,
+    /// syncs the WAL, and produces the run's report.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError`] if the final WAL sync fails.
+    pub fn finish(mut self) -> Result<GatewayReport, GatewayError> {
+        let mut released = std::mem::take(&mut self.released_scratch);
+        self.reorder.flush(&mut released);
+        for raw in released.drain(..) {
+            self.ingest_released(raw);
+        }
+        for outcome in self.pipeline.finalize() {
+            self.pipeline.recycle_outcome(outcome);
+        }
+        self.wal.sync()?;
+        let ingest = self.ingest_report();
+        let liveness = self.liveness();
+        let plan = RecoveryPlan::from_pipeline(&self.pipeline);
+        let released = self.trace_log.take().map(Trace::from_records);
+        Ok(GatewayReport {
+            pipeline: self.pipeline.report(),
+            ingest,
+            liveness,
+            plan,
+            released,
+        })
+    }
+}
+
+/// Reads and parses the checkpoint file, if present, returning the
+/// cursor and the expected [`encode_shard`] fingerprint.
+fn read_checkpoint(dir: &std::path::Path) -> Result<Option<(u64, String)>, GatewayError> {
+    let path = dir.join(CHECKPOINT_FILE);
+    let text = match fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(GatewayError::Io(path, e)),
+    };
+    let mut lines = text.splitn(3, '\n');
+    if lines.next() != Some(CHECKPOINT_MAGIC) {
+        return Err(GatewayError::CheckpointMalformed(
+            "missing magic header".into(),
+        ));
+    }
+    let cursor = lines
+        .next()
+        .and_then(|l| l.strip_prefix("cursor "))
+        .and_then(|n| n.parse::<u64>().ok())
+        .ok_or_else(|| GatewayError::CheckpointMalformed("bad cursor line".into()))?;
+    let fingerprint = lines.next().unwrap_or("").to_string();
+    Ok(Some((cursor, fingerprint)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sentinet-collector-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn config(dir: &PathBuf) -> GatewayConfig {
+        let mut c = GatewayConfig::new(dir);
+        c.reorder.watermark_delay = 600;
+        c.checkpoint_every = 16;
+        c
+    }
+
+    /// A small deterministic two-sensor stream.
+    fn stream(n: u64) -> Vec<(SensorId, u64, Timestamp, Vec<f64>)> {
+        let mut out = Vec::new();
+        for i in 0..n {
+            let t = 300 * (i + 1);
+            for s in 0..2u16 {
+                let v = 20.0 + (i % 7) as f64 + s as f64;
+                out.push((SensorId(s), i, t, vec![v, v + 30.0]));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn seq_tracker_dedups_and_advances() {
+        let mut t = SeqTracker::default();
+        assert!(t.observe(0));
+        assert!(t.observe(2));
+        assert!(!t.observe(0));
+        assert!(!t.observe(2));
+        assert!(t.observe(1));
+        assert!(!t.observe(1));
+        assert!(t.observe(3));
+        assert_eq!(t.next, 4);
+        assert!(t.above.is_empty());
+    }
+
+    #[test]
+    fn duplicate_delivery_is_reacked_not_reprocessed() {
+        let dir = tmpdir("dup");
+        let (mut c, _) = Collector::open(config(&dir)).unwrap();
+        for (s, seq, t, v) in stream(20) {
+            assert_eq!(c.deliver(s, seq, t, v).unwrap(), DeliverOutcome::Accepted);
+        }
+        // Redeliver a prefix: all duplicates, all re-acked.
+        for (s, seq, t, v) in stream(5) {
+            assert_eq!(c.deliver(s, seq, t, v).unwrap(), DeliverOutcome::Duplicate);
+        }
+        let report = c.finish().unwrap();
+        assert_eq!(report.ingest.duplicates, 10);
+        assert_eq!(report.ingest.accepted, 40);
+        assert!(report.ingest.rejected.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn restart_resumes_bit_identically() {
+        let dir_a = tmpdir("resume-a");
+        let dir_b = tmpdir("resume-b");
+        let records = stream(120);
+
+        // Uninterrupted run.
+        let (mut c, _) = Collector::open(config(&dir_a)).unwrap();
+        for (s, seq, t, v) in records.clone() {
+            c.deliver(s, seq, t, v).unwrap();
+        }
+        let baseline = c.finish().unwrap();
+
+        // Interrupted run: drop the collector cold mid-stream (the
+        // in-process analogue of kill -9), reopen, keep going — with
+        // a retransmitted overlap to exercise recovered dedup state.
+        let (mut c, _) = Collector::open(config(&dir_b)).unwrap();
+        for (s, seq, t, v) in records[..150].iter().cloned() {
+            c.deliver(s, seq, t, v).unwrap();
+        }
+        drop(c); // no finish(), no flush: simulated crash
+        let (mut c2, info) = Collector::open(config(&dir_b)).unwrap();
+        assert_eq!(info.replayed, 150);
+        assert!(info.verified_cursor.is_some(), "checkpoint verified");
+        for (s, seq, t, v) in records[140..].iter().cloned() {
+            c2.deliver(s, seq, t, v).unwrap();
+        }
+        let resumed = c2.finish().unwrap();
+
+        assert_eq!(
+            format!("{}", baseline.pipeline),
+            format!("{}", resumed.pipeline)
+        );
+        assert_eq!(baseline.ingest.accepted, resumed.ingest.accepted);
+        assert_eq!(resumed.ingest.duplicates, 10, "overlap re-acked");
+        fs::remove_dir_all(&dir_a).unwrap();
+        fs::remove_dir_all(&dir_b).unwrap();
+    }
+
+    #[test]
+    fn tampered_checkpoint_fails_loudly() {
+        let dir = tmpdir("tamper");
+        let (mut c, _) = Collector::open(config(&dir)).unwrap();
+        for (s, seq, t, v) in stream(40) {
+            c.deliver(s, seq, t, v).unwrap();
+        }
+        drop(c);
+        // Corrupt the checkpoint fingerprint.
+        let path = dir.join(CHECKPOINT_FILE);
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, text.replace("sensor 0", "sensor 9")).unwrap();
+        assert!(matches!(
+            Collector::open(config(&dir)),
+            Err(GatewayError::CheckpointMismatch { .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn silence_deadline_surfaces_silent_sensor() {
+        let dir = tmpdir("silence");
+        let mut cfg = config(&dir);
+        cfg.silence_deadline = Some(900);
+        cfg.reorder.watermark_delay = 0;
+        let (mut c, _) = Collector::open(cfg).unwrap();
+        // Sensor 1 stops reporting at t=600; sensor 0 keeps going.
+        let mut seq = [0u64; 2];
+        for i in 1..=20u64 {
+            let t = 300 * i;
+            c.deliver(SensorId(0), seq[0], t, vec![20.0, 50.0]).unwrap();
+            seq[0] += 1;
+            if t <= 600 {
+                c.deliver(SensorId(1), seq[1], t, vec![21.0, 51.0]).unwrap();
+                seq[1] += 1;
+            }
+        }
+        let live = c.liveness();
+        assert_eq!(live.silent, vec![(SensorId(1), 600)]);
+        assert_eq!(live.episodes, 1);
+        // It comes back: silence clears but the episode stays counted.
+        c.deliver(SensorId(1), seq[1], 6300, vec![21.0, 51.0])
+            .unwrap();
+        let live = c.liveness();
+        assert!(live.is_live());
+        assert_eq!(live.episodes, 1);
+        let report = c.finish().unwrap();
+        assert!(report.liveness.is_live());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,66 @@
+//! CRC-32 (IEEE 802.3 polynomial, reflected) for frame and WAL record
+//! integrity.
+//!
+//! The vendored dependency set has no checksum crate, so the gateway
+//! carries the standard table-driven implementation: the same
+//! polynomial as zlib/Ethernet, table built once at compile time by a
+//! `const fn`. Every framed payload — on the socket and in the
+//! write-ahead log — is followed by this checksum, so a flipped bit or
+//! a torn tail is detected before the payload is parsed.
+
+/// The reflected IEEE polynomial (0x04C11DB7 bit-reversed).
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut n = 0usize;
+    while n < 256 {
+        let mut c = n as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[n] = c;
+        n += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC-32 of `data` (IEEE, reflected, init/final-xor `0xFFFF_FFFF`) —
+/// matches zlib's `crc32(0, data)`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789" under CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_checksum() {
+        let data = b"sentinet gateway frame payload".to_vec();
+        let clean = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), clean, "byte {byte} bit {bit}");
+            }
+        }
+    }
+}

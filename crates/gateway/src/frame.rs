@@ -1,0 +1,483 @@
+//! Length-prefixed, CRC-framed wire protocol.
+//!
+//! Every frame on the socket (and every record in the WAL, which
+//! reuses the same payload codec) has the shape
+//!
+//! ```text
+//! [u32 payload_len LE] [payload bytes] [u32 crc32(payload) LE]
+//! ```
+//!
+//! and every payload starts with a one-byte message tag. Floating
+//! point values travel as IEEE-754 bit patterns (`f64::to_bits`), so a
+//! reading round-trips bit-exactly — including the NaN/∞ payloads a
+//! broken ADC produces, which must reach the sanitizer unchanged for
+//! its accounting to be faithful.
+//!
+//! Decoding is incremental: a [`FrameBuffer`] is fed raw socket bytes
+//! as they arrive (reads use short timeouts, never blocking forever)
+//! and yields complete messages. A CRC mismatch or an oversized length
+//! prefix is connection-fatal — after corruption the stream offset can
+//! no longer be trusted, so the peer closes and the client's retry
+//! loop re-delivers anything unacknowledged on a fresh connection.
+
+use crate::crc::crc32;
+use sentinet_sim::{SensorId, Timestamp};
+use std::fmt;
+
+/// Hard cap on a frame payload; anything larger is corruption.
+pub const MAX_PAYLOAD: usize = 1 << 20;
+
+/// Protocol version carried by [`Message::Hello`].
+pub const PROTOCOL_VERSION: u32 = 1;
+
+const TAG_HELLO: u8 = 1;
+const TAG_DATA: u8 = 2;
+const TAG_ACK: u8 = 3;
+const TAG_FIN: u8 = 4;
+const TAG_FIN_ACK: u8 = 5;
+
+/// One protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Client greeting; carries the protocol version.
+    Hello {
+        /// Wire protocol version (see [`PROTOCOL_VERSION`]).
+        version: u32,
+    },
+    /// One sensor reading with its per-sensor sequence number.
+    Data {
+        /// Reporting sensor.
+        sensor: SensorId,
+        /// Per-sensor sequence number assigned by the client.
+        seq: u64,
+        /// Sample timestamp.
+        time: Timestamp,
+        /// Attribute values (possibly empty or non-finite — the
+        /// sanitizer, not the codec, polices value semantics).
+        values: Vec<f64>,
+    },
+    /// Server acknowledgment: the `(sensor, seq)` record is durable.
+    Ack {
+        /// Acknowledged sensor.
+        sensor: SensorId,
+        /// Acknowledged sequence number.
+        seq: u64,
+    },
+    /// Client end-of-stream: flush and finalize.
+    Fin,
+    /// Server acknowledgment of [`Message::Fin`].
+    FinAck,
+}
+
+/// A frame- or payload-level decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix exceeds [`MAX_PAYLOAD`].
+    TooLarge {
+        /// The claimed payload length.
+        len: usize,
+    },
+    /// The payload checksum did not match its CRC trailer.
+    BadCrc {
+        /// CRC computed over the received payload.
+        computed: u32,
+        /// CRC carried by the frame.
+        carried: u32,
+    },
+    /// The payload tag byte is unknown.
+    UnknownTag(u8),
+    /// The payload was shorter than its tag requires.
+    ShortPayload {
+        /// The offending tag.
+        tag: u8,
+        /// Bytes present.
+        len: usize,
+    },
+    /// The stream ended in the middle of a frame.
+    Truncated,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::TooLarge { len } => {
+                write!(f, "frame length {len} exceeds cap {MAX_PAYLOAD}")
+            }
+            FrameError::BadCrc { computed, carried } => {
+                write!(
+                    f,
+                    "frame crc mismatch (computed {computed:08x}, carried {carried:08x})"
+                )
+            }
+            FrameError::UnknownTag(tag) => write!(f, "unknown message tag {tag}"),
+            FrameError::ShortPayload { tag, len } => {
+                write!(f, "payload too short ({len} bytes) for tag {tag}")
+            }
+            FrameError::Truncated => write!(f, "stream ended mid-frame"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Cursor over a payload slice with typed underrun errors.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    tag: u8,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let s = &self.bytes[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(FrameError::ShortPayload {
+                tag: self.tag,
+                len: self.bytes.len(),
+            }),
+        }
+    }
+
+    fn u16(&mut self) -> Result<u16, FrameError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+}
+
+/// Appends the payload of a `Data` message (tag included) to `out`.
+/// The WAL reuses exactly this encoding for its records, so wire and
+/// log bytes can share one decoder.
+pub fn encode_data_payload(
+    sensor: SensorId,
+    seq: u64,
+    time: Timestamp,
+    values: &[f64],
+    out: &mut Vec<u8>,
+) {
+    out.push(TAG_DATA);
+    put_u16(out, sensor.0);
+    put_u64(out, seq);
+    put_u64(out, time);
+    put_u16(out, values.len() as u16);
+    for v in values {
+        put_u64(out, v.to_bits());
+    }
+}
+
+/// Appends the payload bytes of `msg` to `out`.
+pub fn encode_payload(msg: &Message, out: &mut Vec<u8>) {
+    match msg {
+        Message::Hello { version } => {
+            out.push(TAG_HELLO);
+            put_u32(out, *version);
+        }
+        Message::Data {
+            sensor,
+            seq,
+            time,
+            values,
+        } => encode_data_payload(*sensor, *seq, *time, values, out),
+        Message::Ack { sensor, seq } => {
+            out.push(TAG_ACK);
+            put_u16(out, sensor.0);
+            put_u64(out, *seq);
+        }
+        Message::Fin => out.push(TAG_FIN),
+        Message::FinAck => out.push(TAG_FIN_ACK),
+    }
+}
+
+/// Decodes one payload (tag byte first) into a [`Message`].
+///
+/// # Errors
+///
+/// [`FrameError::UnknownTag`] / [`FrameError::ShortPayload`] on a
+/// malformed payload.
+pub fn decode_payload(payload: &[u8]) -> Result<Message, FrameError> {
+    let (&tag, rest) = match payload.split_first() {
+        Some(split) => split,
+        None => return Err(FrameError::ShortPayload { tag: 0, len: 0 }),
+    };
+    let mut cur = Cursor {
+        bytes: rest,
+        pos: 0,
+        tag,
+    };
+    let msg = match tag {
+        TAG_HELLO => Message::Hello {
+            version: cur.u32()?,
+        },
+        TAG_DATA => {
+            let sensor = SensorId(cur.u16()?);
+            let seq = cur.u64()?;
+            let time = cur.u64()?;
+            let n = cur.u16()? as usize;
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                values.push(f64::from_bits(cur.u64()?));
+            }
+            Message::Data {
+                sensor,
+                seq,
+                time,
+                values,
+            }
+        }
+        TAG_ACK => Message::Ack {
+            sensor: SensorId(cur.u16()?),
+            seq: cur.u64()?,
+        },
+        TAG_FIN => Message::Fin,
+        TAG_FIN_ACK => Message::FinAck,
+        other => return Err(FrameError::UnknownTag(other)),
+    };
+    if cur.pos != rest.len() {
+        return Err(FrameError::ShortPayload {
+            tag,
+            len: payload.len(),
+        });
+    }
+    Ok(msg)
+}
+
+/// Wraps already-encoded payload bytes in the frame envelope
+/// (`len` prefix + CRC trailer), appending to `out`.
+pub fn frame_payload(payload: &[u8], out: &mut Vec<u8>) {
+    put_u32(out, payload.len() as u32);
+    out.extend_from_slice(payload);
+    put_u32(out, crc32(payload));
+}
+
+/// Encodes `msg` as one complete frame (envelope included).
+pub fn encode_frame(msg: &Message) -> Vec<u8> {
+    let mut payload = Vec::new();
+    encode_payload(msg, &mut payload);
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    frame_payload(&payload, &mut out);
+    out
+}
+
+/// Incremental frame decoder: feed raw stream bytes, pop messages.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends freshly read stream bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact lazily so long sessions don't grow without bound.
+        if self.start > 0 && self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start > 4096 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered but not yet consumed.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Pops the next complete message, `Ok(None)` if more bytes are
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// Any [`FrameError`]; after an error the stream offset is
+    /// untrustworthy and the connection should be closed.
+    pub fn next_message(&mut self) -> Result<Option<Message>, FrameError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        if len > MAX_PAYLOAD {
+            return Err(FrameError::TooLarge { len });
+        }
+        if avail.len() < 4 + len + 4 {
+            return Ok(None);
+        }
+        let payload = &avail[4..4 + len];
+        let carried = u32::from_le_bytes([
+            avail[4 + len],
+            avail[5 + len],
+            avail[6 + len],
+            avail[7 + len],
+        ]);
+        let computed = crc32(payload);
+        if computed != carried {
+            return Err(FrameError::BadCrc { computed, carried });
+        }
+        let msg = decode_payload(payload)?;
+        self.start += 4 + len + 4;
+        Ok(Some(msg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(sensor: u16, seq: u64, time: u64, values: Vec<f64>) -> Message {
+        Message::Data {
+            sensor: SensorId(sensor),
+            seq,
+            time,
+            values,
+        }
+    }
+
+    #[test]
+    fn roundtrip_every_message_kind() {
+        let messages = vec![
+            Message::Hello {
+                version: PROTOCOL_VERSION,
+            },
+            data(3, 42, 600, vec![17.25, -80.5]),
+            data(0, 0, 0, vec![]),
+            Message::Ack {
+                sensor: SensorId(7),
+                seq: 9,
+            },
+            Message::Fin,
+            Message::FinAck,
+        ];
+        let mut fb = FrameBuffer::new();
+        for m in &messages {
+            fb.feed(&encode_frame(m));
+        }
+        for m in &messages {
+            assert_eq!(fb.next_message().unwrap().unwrap(), *m);
+        }
+        assert_eq!(fb.next_message().unwrap(), None);
+    }
+
+    #[test]
+    fn nan_and_infinity_roundtrip_bit_exactly() {
+        let values = vec![f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0];
+        let mut fb = FrameBuffer::new();
+        fb.feed(&encode_frame(&data(1, 1, 300, values.clone())));
+        let Some(Message::Data { values: got, .. }) = fb.next_message().unwrap() else {
+            panic!("expected data");
+        };
+        let bits = |vs: &[f64]| vs.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&got), bits(&values));
+    }
+
+    #[test]
+    fn partial_feeds_reassemble() {
+        let frame = encode_frame(&data(2, 5, 900, vec![1.0, 2.0]));
+        let mut fb = FrameBuffer::new();
+        for b in &frame {
+            assert!(fb.next_message().unwrap().is_none());
+            fb.feed(std::slice::from_ref(b));
+        }
+        assert!(fb.next_message().unwrap().is_some());
+    }
+
+    #[test]
+    fn crc_flip_is_detected() {
+        let mut frame = encode_frame(&data(2, 5, 900, vec![1.0]));
+        let n = frame.len();
+        frame[n - 1] ^= 0x01; // flip a CRC trailer bit
+        let mut fb = FrameBuffer::new();
+        fb.feed(&frame);
+        assert!(matches!(fb.next_message(), Err(FrameError::BadCrc { .. })));
+    }
+
+    #[test]
+    fn payload_flip_is_detected() {
+        let mut frame = encode_frame(&data(2, 5, 900, vec![1.0]));
+        frame[6] ^= 0x80; // flip a payload bit
+        let mut fb = FrameBuffer::new();
+        fb.feed(&frame);
+        assert!(matches!(fb.next_message(), Err(FrameError::BadCrc { .. })));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_fatal() {
+        let mut fb = FrameBuffer::new();
+        fb.feed(&(MAX_PAYLOAD as u32 + 1).to_le_bytes());
+        fb.feed(&[0; 8]);
+        assert!(matches!(
+            fb.next_message(),
+            Err(FrameError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        let mut payload = vec![99u8];
+        payload.extend_from_slice(&[0; 4]);
+        let mut framed = Vec::new();
+        frame_payload(&payload, &mut framed);
+        let mut fb = FrameBuffer::new();
+        fb.feed(&framed);
+        assert!(matches!(fb.next_message(), Err(FrameError::UnknownTag(99))));
+    }
+
+    #[test]
+    fn trailing_garbage_in_payload_is_rejected() {
+        let mut payload = Vec::new();
+        encode_payload(&Message::Fin, &mut payload);
+        payload.push(0xAB); // extra byte after a complete Fin
+        let mut framed = Vec::new();
+        frame_payload(&payload, &mut framed);
+        let mut fb = FrameBuffer::new();
+        fb.feed(&framed);
+        assert!(matches!(
+            fb.next_message(),
+            Err(FrameError::ShortPayload { .. })
+        ));
+    }
+
+    #[test]
+    fn buffer_compaction_preserves_stream() {
+        let mut fb = FrameBuffer::new();
+        let m = data(1, 7, 300, vec![3.5]);
+        for _ in 0..2000 {
+            fb.feed(&encode_frame(&m));
+            assert_eq!(fb.next_message().unwrap().unwrap(), m);
+        }
+        assert_eq!(fb.pending(), 0);
+    }
+}

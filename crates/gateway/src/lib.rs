@@ -1,0 +1,53 @@
+//! `sentinet-gateway` — the durable streaming front end that turns the
+//! detection pipeline into a long-running service.
+//!
+//! The paper's collector ingests live, lossy mote traffic; this crate
+//! supplies that operating mode for `sentinet` (which otherwise
+//! processes offline CSV traces). Three guarantees, std-only (no async
+//! runtime — plain threads, bounded channels, socket timeouts):
+//!
+//! 1. **Reliable transport** ([`frame`], [`client`], [`server`]):
+//!    length-prefixed CRC-framed messages over TCP or Unix sockets;
+//!    per-sensor sequence numbers; a stop-and-wait client with capped
+//!    exponential backoff, seeded jitter, and reconnection; server-side
+//!    dedup plus a watermark reorder buffer ([`reorder`]) so bounded
+//!    network reordering is repaired rather than rejected; bounded
+//!    queues with explicit, counted drop-oldest load shedding.
+//! 2. **Durability** ([`wal`], [`collector`]): every admitted record
+//!    is appended to a segmented CRC-framed write-ahead log before it
+//!    is acknowledged; on restart the log replays through the
+//!    identical admission path (verified against periodic
+//!    `core::checkpoint` fingerprints), so `kill -9` at any point
+//!    resumes to a bit-identical `PipelineReport`.
+//! 3. **Liveness** ([`collector`]): a silent sensor never stalls the
+//!    window barrier — it is declared missing after a stream-time
+//!    deadline and surfaced in [`LivenessStatus`].
+//!
+//! [`netsim`] drives all of it from seeded BurstLoss-shaped delivery
+//! schedules, in-process or over a real socket.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod collector;
+pub mod crc;
+pub mod frame;
+mod net;
+pub mod netsim;
+pub mod reorder;
+pub mod server;
+pub mod wal;
+
+pub use client::{SensorUplink, UplinkConfig, UplinkError};
+pub use collector::{
+    Collector, DeliverOutcome, GatewayConfig, GatewayError, GatewayReport, LivenessStatus,
+    RecoveryInfo,
+};
+pub use frame::{FrameBuffer, FrameError, Message, MAX_PAYLOAD, PROTOCOL_VERSION};
+pub use netsim::{
+    deliver_schedule, delivery_schedule, drive_uplink, trace_to_raw, Emission, NetsimConfig,
+};
+pub use reorder::{AdmitOutcome, ReorderBuffer, ReorderConfig, ReorderStats};
+pub use server::{Server, ServerConfig, ServerStats};
+pub use wal::{FsyncPolicy, Wal, WalConfig, WalError, WalRecord};

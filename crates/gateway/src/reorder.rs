@@ -1,0 +1,301 @@
+//! Watermark reorder buffer.
+//!
+//! Store-and-forward radios and retries deliver records out of
+//! timestamp order. The sanitizer deliberately rejects out-of-order
+//! records (reordering there would break replay determinism), so
+//! without help every late packet would become silent data loss. This
+//! buffer holds admitted records and releases them in `(time, sensor)`
+//! order once they fall behind a watermark, turning bounded network
+//! reordering into in-order delivery and leaving the sanitizer's
+//! rejection as a last-resort guard rather than the common path.
+//!
+//! Invariants, which together guarantee the released stream always
+//! satisfies the sanitizer's ordering rules:
+//!
+//! * The **watermark** is `max(admitted time) − watermark_delay`.
+//!   Records are released (sorted) only once their time is at or below
+//!   the watermark, so any record arriving within `watermark_delay` of
+//!   the newest data is re-sequenced losslessly.
+//! * A record older than the watermark at arrival, or at or before its
+//!   sensor's last released time, is dropped as **late** (counted) —
+//!   it can no longer be placed without violating release order.
+//! * A record whose `(time, sensor)` slot is already buffered is a
+//!   **duplicate** (counted); the first arrival wins.
+//! * Each sensor may buffer at most `per_sensor_capacity` records;
+//!   overflow **sheds** that sensor's oldest buffered record
+//!   (counted) — explicit drop-oldest load shedding, never an
+//!   unbounded queue and never a silent drop.
+
+use sentinet_sim::{RawRecord, SensorId, Timestamp};
+use std::collections::BTreeMap;
+
+/// Reorder buffer tuning.
+#[derive(Debug, Clone)]
+pub struct ReorderConfig {
+    /// How far behind the newest admitted time a record may arrive and
+    /// still be re-sequenced.
+    pub watermark_delay: Timestamp,
+    /// Buffered-record cap per sensor; overflow sheds oldest.
+    pub per_sensor_capacity: usize,
+}
+
+impl Default for ReorderConfig {
+    fn default() -> Self {
+        Self {
+            watermark_delay: 1800,
+            per_sensor_capacity: 64,
+        }
+    }
+}
+
+/// What happened to one offered record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitOutcome {
+    /// Buffered (possibly shedding an older record to make room).
+    Admitted,
+    /// Dropped: behind the watermark or its sensor's released history.
+    Late,
+    /// Dropped: its `(time, sensor)` slot is already buffered.
+    Duplicate,
+}
+
+/// Transport-layer drop accounting, merged into the ingest report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReorderStats {
+    /// Same-slot duplicates dropped (first arrival kept).
+    pub duplicates: usize,
+    /// Records dropped as behind the watermark.
+    pub late: usize,
+    /// Records shed oldest-first under per-sensor overflow.
+    pub shed: usize,
+}
+
+/// The buffer itself. Feed with [`offer`](ReorderBuffer::offer), drain
+/// with [`drain_ready`](ReorderBuffer::drain_ready), and
+/// [`flush`](ReorderBuffer::flush) at end of stream.
+#[derive(Debug)]
+pub struct ReorderBuffer {
+    config: ReorderConfig,
+    buffer: BTreeMap<(Timestamp, SensorId), Vec<f64>>,
+    buffered_per_sensor: BTreeMap<SensorId, usize>,
+    last_released: BTreeMap<SensorId, Timestamp>,
+    watermark: Option<Timestamp>,
+    stats: ReorderStats,
+}
+
+impl ReorderBuffer {
+    /// An empty buffer.
+    pub fn new(config: ReorderConfig) -> Self {
+        Self {
+            config,
+            buffer: BTreeMap::new(),
+            buffered_per_sensor: BTreeMap::new(),
+            last_released: BTreeMap::new(),
+            watermark: None,
+            stats: ReorderStats::default(),
+        }
+    }
+
+    /// The current release watermark, if any record has been admitted.
+    pub fn watermark(&self) -> Option<Timestamp> {
+        self.watermark
+    }
+
+    /// Drop accounting so far.
+    pub fn stats(&self) -> ReorderStats {
+        self.stats
+    }
+
+    /// Offers one deduplicated record. On `Admitted` the record is
+    /// buffered; call [`drain_ready`](ReorderBuffer::drain_ready) to
+    /// collect whatever the (possibly advanced) watermark now frees.
+    pub fn offer(&mut self, record: RawRecord) -> AdmitOutcome {
+        let RawRecord {
+            time,
+            sensor,
+            values,
+        } = record;
+        if let Some(w) = self.watermark {
+            if time < w {
+                self.stats.late += 1;
+                return AdmitOutcome::Late;
+            }
+        }
+        if let Some(&released) = self.last_released.get(&sensor) {
+            if time <= released {
+                self.stats.late += 1;
+                return AdmitOutcome::Late;
+            }
+        }
+        if self.buffer.contains_key(&(time, sensor)) {
+            self.stats.duplicates += 1;
+            return AdmitOutcome::Duplicate;
+        }
+
+        let buffered = self.buffered_per_sensor.entry(sensor).or_insert(0);
+        if *buffered >= self.config.per_sensor_capacity {
+            // Shed this sensor's oldest buffered record to make room.
+            let oldest = self.buffer.keys().find(|(_, s)| *s == sensor).copied();
+            if let Some(key) = oldest {
+                self.buffer.remove(&key);
+                *buffered -= 1;
+                self.stats.shed += 1;
+            }
+        }
+        *buffered += 1;
+        self.buffer.insert((time, sensor), values);
+
+        let horizon = time.saturating_sub(self.config.watermark_delay);
+        if self.watermark.is_none_or(|w| horizon > w) {
+            self.watermark = Some(horizon);
+        }
+        AdmitOutcome::Admitted
+    }
+
+    /// Moves every buffered record at or below the watermark into
+    /// `out`, in `(time, sensor)` order.
+    pub fn drain_ready(&mut self, out: &mut Vec<RawRecord>) {
+        let Some(w) = self.watermark else { return };
+        self.release_through(w, out);
+    }
+
+    /// End of stream: releases everything still buffered, in order.
+    pub fn flush(&mut self, out: &mut Vec<RawRecord>) {
+        self.release_through(Timestamp::MAX, out);
+    }
+
+    fn release_through(&mut self, limit: Timestamp, out: &mut Vec<RawRecord>) {
+        while let Some((&(time, sensor), _)) = self.buffer.iter().next() {
+            if time > limit {
+                break;
+            }
+            if let Some(values) = self.buffer.remove(&(time, sensor)) {
+                if let Some(count) = self.buffered_per_sensor.get_mut(&sensor) {
+                    *count = count.saturating_sub(1);
+                }
+                self.last_released.insert(sensor, time);
+                out.push(RawRecord {
+                    time,
+                    sensor,
+                    values,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(time: u64, sensor: u16, v: f64) -> RawRecord {
+        RawRecord {
+            time,
+            sensor: SensorId(sensor),
+            values: vec![v],
+        }
+    }
+
+    fn cfg(delay: u64, cap: usize) -> ReorderConfig {
+        ReorderConfig {
+            watermark_delay: delay,
+            per_sensor_capacity: cap,
+        }
+    }
+
+    #[test]
+    fn reordered_within_watermark_comes_out_sorted() {
+        let mut rb = ReorderBuffer::new(cfg(1000, 16));
+        for t in [600u64, 300, 900, 1200, 1500] {
+            assert_eq!(rb.offer(raw(t, 1, t as f64)), AdmitOutcome::Admitted);
+        }
+        let mut out = Vec::new();
+        rb.flush(&mut out);
+        let times: Vec<u64> = out.iter().map(|r| r.time).collect();
+        assert_eq!(times, vec![300, 600, 900, 1200, 1500]);
+        assert_eq!(rb.stats(), ReorderStats::default());
+    }
+
+    #[test]
+    fn watermark_releases_progressively() {
+        let mut rb = ReorderBuffer::new(cfg(600, 16));
+        rb.offer(raw(300, 1, 1.0));
+        rb.offer(raw(600, 1, 2.0));
+        let mut out = Vec::new();
+        rb.drain_ready(&mut out);
+        assert!(out.is_empty(), "nothing behind watermark yet");
+        rb.offer(raw(1200, 1, 3.0)); // watermark now 600
+        rb.drain_ready(&mut out);
+        assert_eq!(
+            out.iter().map(|r| r.time).collect::<Vec<_>>(),
+            vec![300, 600]
+        );
+    }
+
+    #[test]
+    fn behind_watermark_is_late() {
+        let mut rb = ReorderBuffer::new(cfg(300, 16));
+        rb.offer(raw(3000, 1, 1.0)); // watermark 2700
+        assert_eq!(rb.offer(raw(600, 1, 2.0)), AdmitOutcome::Late);
+        assert_eq!(rb.stats().late, 1);
+    }
+
+    #[test]
+    fn same_slot_is_duplicate_first_wins() {
+        let mut rb = ReorderBuffer::new(cfg(1000, 16));
+        rb.offer(raw(300, 1, 1.0));
+        assert_eq!(rb.offer(raw(300, 1, 99.0)), AdmitOutcome::Duplicate);
+        let mut out = Vec::new();
+        rb.flush(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].values, vec![1.0]);
+        assert_eq!(rb.stats().duplicates, 1);
+    }
+
+    #[test]
+    fn overflow_sheds_oldest_per_sensor() {
+        let mut rb = ReorderBuffer::new(cfg(u64::MAX, 3));
+        for t in [300u64, 600, 900, 1200] {
+            rb.offer(raw(t, 1, t as f64));
+        }
+        assert_eq!(rb.stats().shed, 1);
+        let mut out = Vec::new();
+        rb.flush(&mut out);
+        assert_eq!(
+            out.iter().map(|r| r.time).collect::<Vec<_>>(),
+            vec![600, 900, 1200],
+            "oldest record shed"
+        );
+    }
+
+    #[test]
+    fn released_stream_is_per_sensor_strictly_increasing() {
+        let mut rb = ReorderBuffer::new(cfg(600, 8));
+        let mut out = Vec::new();
+        // Interleave two sensors with jitter and a straggler.
+        for (t, s) in [
+            (600u64, 1u16),
+            (300, 2),
+            (900, 1),
+            (600, 2),
+            (1500, 1),
+            (1200, 2),
+            (900, 2),
+            (2400, 1),
+        ] {
+            rb.offer(raw(t, s, 1.0));
+            rb.drain_ready(&mut out);
+        }
+        rb.flush(&mut out);
+        let mut last: BTreeMap<SensorId, u64> = BTreeMap::new();
+        let mut last_global = 0u64;
+        for r in &out {
+            assert!(r.time >= last_global, "global order violated");
+            last_global = r.time;
+            if let Some(&prev) = last.get(&r.sensor) {
+                assert!(r.time > prev, "per-sensor order violated");
+            }
+            last.insert(r.sensor, r.time);
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! The gateway daemon: socket front end for the [`Collector`].
+//!
+//! Threading model (the gateway shares the engine's thread-spawning
+//! privilege — see the `thread-spawn` lint):
+//!
+//! * an **accept thread** polls the listener non-blocking, spawning one
+//!   **reader thread** per connection;
+//! * each reader decodes frames incrementally (reads are bounded by a
+//!   read timeout so a dead peer can never wedge a thread) and pushes
+//!   events into one **bounded** channel — when the channel fills, the
+//!   reader blocks, it stops reading its socket, and the kernel's
+//!   receive window pushes back on the sender: backpressure end to
+//!   end, no queue without a limit anywhere;
+//! * the caller's thread runs [`Server::run`], draining events into
+//!   the collector and writing acks back on a cloned write half.
+//!
+//! A frame-level error (bad CRC, oversized length) is
+//! connection-fatal: the stream offset can no longer be trusted, so
+//! the connection is dropped, the event is counted, and the client's
+//! retry protocol re-delivers whatever lost its ack. A `Fin` frame
+//! (acked with `FinAck`) ends the run: the server shuts down its
+//! threads and the collector can be finished for a report.
+
+use crate::collector::{Collector, GatewayError};
+use crate::frame::{encode_frame, FrameBuffer, FrameError, Message, PROTOCOL_VERSION};
+use crate::net::{is_timeout, Listener, Stream};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tuning.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Endpoint to bind: `"127.0.0.1:0"` or `"unix:/path"`.
+    pub bind: String,
+    /// Per-read socket timeout (also the shutdown poll interval for
+    /// reader threads).
+    pub read_timeout: Duration,
+    /// Capacity of the bounded ingest event queue.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            bind: "127.0.0.1:0".into(),
+            read_timeout: Duration::from_millis(200),
+            queue_capacity: 1024,
+        }
+    }
+}
+
+/// Transport-level accounting from one serve run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Connections dropped on a frame-level decode error.
+    pub bad_frames: u64,
+    /// The decode error behind each dropped connection, in order
+    /// (surfaced by the CLI on stderr).
+    pub frame_errors: Vec<FrameError>,
+}
+
+/// One event from the socket threads to the collector loop.
+enum Event {
+    /// Connection `id` opened; carries the ack write half.
+    Opened(u64, Stream),
+    /// Connection `id` decoded one message.
+    Msg(u64, Message),
+    /// Connection `id` died on a frame error.
+    BadFrame(u64, FrameError),
+    /// Connection `id` closed (EOF or I/O error).
+    Closed(u64),
+}
+
+/// A started gateway server. Create with [`Server::start`] (which
+/// spawns the socket threads), then drive the collector with
+/// [`Server::run`].
+pub struct Server {
+    addr: String,
+    shutdown: Arc<AtomicBool>,
+    events: Receiver<Event>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the endpoint and spawns the accept thread.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] if the endpoint cannot be bound.
+    pub fn start(config: ServerConfig) -> io::Result<Self> {
+        let (listener, addr) = Listener::bind(&config.bind)?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = bounded(config.queue_capacity);
+        let accept_shutdown = Arc::clone(&shutdown);
+        let read_timeout = config.read_timeout;
+        let accept_thread = std::thread::spawn(move || {
+            accept_loop(listener, tx, accept_shutdown, read_timeout);
+        });
+        Ok(Self {
+            addr,
+            shutdown,
+            events: rx,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The resolved address clients should connect to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// A flag that stops the server when set (for soak harnesses that
+    /// end a run without a `Fin`).
+    pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Drains delivered frames into `collector` until a client sends
+    /// `Fin` (or the shutdown flag is raised), acking each durable
+    /// record, then tears the socket threads down. The collector is
+    /// left ready for [`Collector::finish`].
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError`] if the collector's WAL fails; socket-level
+    /// errors are per-connection events, not run failures.
+    pub fn run(mut self, collector: &mut Collector) -> Result<ServerStats, GatewayError> {
+        let mut stats = ServerStats::default();
+        let result = self.event_loop(collector, &mut stats);
+        // Stop the socket threads and unblock any reader stuck on a
+        // full queue by draining until every sender is gone.
+        self.shutdown.store(true, Ordering::SeqCst);
+        while !matches!(
+            self.events.recv_timeout(Duration::from_millis(50)),
+            Err(RecvTimeoutError::Disconnected)
+        ) {}
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        result.map(|()| stats)
+    }
+
+    fn event_loop(
+        &mut self,
+        collector: &mut Collector,
+        stats: &mut ServerStats,
+    ) -> Result<(), GatewayError> {
+        let mut writers: BTreeMap<u64, Stream> = BTreeMap::new();
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            let event = match self.events.recv_timeout(Duration::from_millis(100)) {
+                Ok(e) => e,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return Ok(()),
+            };
+            match event {
+                Event::Opened(id, writer) => {
+                    stats.connections += 1;
+                    writers.insert(id, writer);
+                }
+                Event::Msg(
+                    id,
+                    Message::Data {
+                        sensor,
+                        seq,
+                        time,
+                        values,
+                    },
+                ) => {
+                    // Both outcomes (new or duplicate) mean durable:
+                    // ack either way. A failed ack write is the
+                    // client's problem — it retries and the seq dedup
+                    // absorbs the re-delivery.
+                    collector.deliver(sensor, seq, time, values)?;
+                    if let Some(w) = writers.get_mut(&id) {
+                        let _ = w.write_all(&encode_frame(&Message::Ack { sensor, seq }));
+                    }
+                }
+                Event::Msg(id, Message::Fin) => {
+                    if let Some(w) = writers.get_mut(&id) {
+                        let _ = w.write_all(&encode_frame(&Message::FinAck));
+                        let _ = w.flush();
+                    }
+                    return Ok(());
+                }
+                Event::Msg(_, Message::Hello { .. }) => {
+                    // Version 1 accepts all hellos; kept for evolution.
+                }
+                Event::Msg(_, Message::Ack { .. } | Message::FinAck) => {
+                    // Server-bound streams should not carry acks;
+                    // ignore rather than kill the connection.
+                }
+                Event::BadFrame(id, e) => {
+                    stats.bad_frames += 1;
+                    stats.frame_errors.push(e);
+                    if let Some(w) = writers.remove(&id) {
+                        let _ = w.shutdown();
+                    }
+                }
+                Event::Closed(id) => {
+                    writers.remove(&id);
+                }
+            }
+        }
+    }
+}
+
+fn accept_loop(
+    listener: Listener,
+    events: Sender<Event>,
+    shutdown: Arc<AtomicBool>,
+    read_timeout: Duration,
+) {
+    let mut readers: Vec<JoinHandle<()>> = Vec::new();
+    let mut next_id = 0u64;
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok(stream) => {
+                let id = next_id;
+                next_id += 1;
+                let ok = stream.set_read_timeout(Some(read_timeout)).is_ok()
+                    && stream
+                        .set_write_timeout(Some(Duration::from_secs(5)))
+                        .is_ok();
+                let writer = stream.try_clone();
+                match (ok, writer) {
+                    (true, Ok(writer)) => {
+                        if events.send(Event::Opened(id, writer)).is_err() {
+                            return;
+                        }
+                        let tx = events.clone();
+                        let sd = Arc::clone(&shutdown);
+                        readers.push(std::thread::spawn(move || {
+                            reader_loop(id, stream, tx, sd);
+                        }));
+                    }
+                    _ => {
+                        let _ = stream.shutdown();
+                    }
+                }
+            }
+            Err(e) if is_timeout(&e) => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+    for handle in readers {
+        let _ = handle.join();
+    }
+}
+
+fn reader_loop(id: u64, mut stream: Stream, events: Sender<Event>, shutdown: Arc<AtomicBool>) {
+    let mut fb = FrameBuffer::new();
+    let mut buf = [0u8; 8192];
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                let _ = events.send(Event::Closed(id));
+                return;
+            }
+            Ok(n) => {
+                fb.feed(&buf[..n]);
+                loop {
+                    match fb.next_message() {
+                        Ok(Some(msg)) => {
+                            // Blocking send on the bounded queue is the
+                            // backpressure point.
+                            if events.send(Event::Msg(id, msg)).is_err() {
+                                return;
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(e) => {
+                            let _ = stream.shutdown();
+                            let _ = events.send(Event::BadFrame(id, e));
+                            return;
+                        }
+                    }
+                }
+            }
+            Err(e) if is_timeout(&e) => continue,
+            Err(_) => {
+                let _ = events.send(Event::Closed(id));
+                return;
+            }
+        }
+    }
+}
+
+/// A Hello frame for clients to open with (re-exported convenience).
+pub fn hello_frame() -> Vec<u8> {
+    encode_frame(&Message::Hello {
+        version: PROTOCOL_VERSION,
+    })
+}

@@ -1,0 +1,560 @@
+//! Append-only segmented write-ahead log.
+//!
+//! Every admitted record is logged *before* it is acknowledged to the
+//! client, so an ack means durable: after a crash the daemon replays
+//! the log through the identical accept path and resumes bit-exactly.
+//!
+//! On-disk layout: a directory of segments named `wal-00000001.seg`,
+//! `wal-00000002.seg`, … — each a concatenation of records in the same
+//! `[u32 len][payload][u32 crc]` framing as the wire protocol (the
+//! payload is exactly a `Data` frame payload, so wire and log share one
+//! codec). A segment rolls once it would exceed the configured size.
+//!
+//! Opening scans all segments in order. A decode failure in the *last*
+//! segment is treated as a torn tail — the segment is truncated at the
+//! failure offset and everything before it is recovered exactly. (A
+//! mid-file bit flip in the last segment is indistinguishable from a
+//! torn tail by construction, so later records are discarded with it;
+//! the client retry protocol re-delivers anything that lost its ack.)
+//! A decode failure in an *earlier* segment cannot be a torn tail and
+//! is reported as corruption instead of being silently dropped.
+//!
+//! Durability against power loss is governed by [`FsyncPolicy`]. Note
+//! that a `kill -9` does not lose page-cache writes — only the machine
+//! dying does — so even `fsync=never` survives process kill.
+
+use crate::frame::{
+    decode_payload, encode_data_payload, frame_payload, FrameError, Message, MAX_PAYLOAD,
+};
+use sentinet_sim::{RawRecord, SensorId, Timestamp};
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// One durable record: an admitted sensor reading plus the sequence
+/// number it arrived under (kept so replay can rebuild the
+/// deduplication state and recognise post-restart retries).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecord {
+    /// Reporting sensor.
+    pub sensor: SensorId,
+    /// Per-sensor sequence number the record arrived under.
+    pub seq: u64,
+    /// Sample timestamp.
+    pub time: Timestamp,
+    /// Attribute values, preserved bit-exactly.
+    pub values: Vec<f64>,
+}
+
+impl WalRecord {
+    /// The reading as the sanitizer's input type.
+    pub fn raw(&self) -> RawRecord {
+        RawRecord {
+            time: self.time,
+            sensor: self.sensor,
+            values: self.values.clone(),
+        }
+    }
+}
+
+/// When the log forces data to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Never fsync (still survives `kill -9`; loses data on power cut).
+    Never,
+    /// Fsync after every N appended records.
+    Batch(u32),
+    /// Fsync after every append.
+    Always,
+}
+
+impl FsyncPolicy {
+    /// Parses `never`, `always`, or `batch:N`.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        match text {
+            "never" => Ok(FsyncPolicy::Never),
+            "always" => Ok(FsyncPolicy::Always),
+            other => match other.strip_prefix("batch:") {
+                Some(n) => match n.parse::<u32>() {
+                    Ok(n) if n > 0 => Ok(FsyncPolicy::Batch(n)),
+                    _ => Err(format!("bad fsync batch size `{n}`")),
+                },
+                None => Err(format!(
+                    "unknown fsync policy `{other}` (expected never | always | batch:N)"
+                )),
+            },
+        }
+    }
+}
+
+impl fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsyncPolicy::Never => write!(f, "never"),
+            FsyncPolicy::Batch(n) => write!(f, "batch:{n}"),
+            FsyncPolicy::Always => write!(f, "always"),
+        }
+    }
+}
+
+/// Write-ahead log configuration.
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Directory holding the segments (created if absent).
+    pub dir: PathBuf,
+    /// Roll to a new segment once the current one would exceed this.
+    pub segment_max_bytes: u64,
+    /// Durability policy.
+    pub fsync: FsyncPolicy,
+    /// Chaos hook: abort the whole process (as if `kill -9`) right
+    /// after the Nth append of this process's lifetime.
+    pub crash_after: Option<u64>,
+}
+
+impl WalConfig {
+    /// A config with default segment size (4 MiB) and no fsync.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            segment_max_bytes: 4 << 20,
+            fsync: FsyncPolicy::Never,
+            crash_after: None,
+        }
+    }
+}
+
+/// A WAL failure.
+#[derive(Debug)]
+pub enum WalError {
+    /// Filesystem error, with the path involved.
+    Io(PathBuf, std::io::Error),
+    /// A non-final segment failed to decode — real corruption, not a
+    /// torn tail.
+    Corrupt {
+        /// The corrupt segment.
+        segment: PathBuf,
+        /// Byte offset of the undecodable record.
+        offset: u64,
+        /// What went wrong there.
+        reason: FrameError,
+    },
+    /// A decoded record was not a `Data` payload.
+    ForeignRecord {
+        /// The segment holding it.
+        segment: PathBuf,
+        /// Byte offset of the record.
+        offset: u64,
+    },
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(path, e) => write!(f, "wal io error at {}: {e}", path.display()),
+            WalError::Corrupt {
+                segment,
+                offset,
+                reason,
+            } => write!(
+                f,
+                "wal corruption in {} at byte {offset}: {reason}",
+                segment.display()
+            ),
+            WalError::ForeignRecord { segment, offset } => write!(
+                f,
+                "non-data record in {} at byte {offset}",
+                segment.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+fn segment_name(index: u64) -> String {
+    format!("wal-{index:08}.seg")
+}
+
+fn io_err(path: &Path, e: std::io::Error) -> WalError {
+    WalError::Io(path.to_path_buf(), e)
+}
+
+/// How far a scan of one segment's bytes got.
+enum SegmentScan {
+    /// Every byte decoded.
+    Clean,
+    /// Decoding failed at this offset for this reason.
+    Failed(u64, FrameError),
+}
+
+/// Decodes records from `bytes`, pushing onto `out`. Returns where the
+/// scan stopped. `ForeignRecord` (a syntactically valid non-Data
+/// payload) is real corruption even in the last segment, so it is
+/// returned as a hard error directly.
+fn scan_segment(
+    segment: &Path,
+    bytes: &[u8],
+    out: &mut Vec<WalRecord>,
+) -> Result<SegmentScan, WalError> {
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let rest = &bytes[pos..];
+        if rest.len() < 4 {
+            return Ok(SegmentScan::Failed(pos as u64, FrameError::Truncated));
+        }
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+        if len > MAX_PAYLOAD {
+            return Ok(SegmentScan::Failed(
+                pos as u64,
+                FrameError::TooLarge { len },
+            ));
+        }
+        if rest.len() < 4 + len + 4 {
+            return Ok(SegmentScan::Failed(pos as u64, FrameError::Truncated));
+        }
+        let payload = &rest[4..4 + len];
+        let carried =
+            u32::from_le_bytes([rest[4 + len], rest[5 + len], rest[6 + len], rest[7 + len]]);
+        let computed = crate::crc::crc32(payload);
+        if computed != carried {
+            return Ok(SegmentScan::Failed(
+                pos as u64,
+                FrameError::BadCrc { computed, carried },
+            ));
+        }
+        match decode_payload(payload) {
+            Ok(Message::Data {
+                sensor,
+                seq,
+                time,
+                values,
+            }) => out.push(WalRecord {
+                sensor,
+                seq,
+                time,
+                values,
+            }),
+            Ok(_) => {
+                return Err(WalError::ForeignRecord {
+                    segment: segment.to_path_buf(),
+                    offset: pos as u64,
+                })
+            }
+            Err(reason) => return Ok(SegmentScan::Failed(pos as u64, reason)),
+        }
+        pos += 4 + len + 4;
+    }
+    Ok(SegmentScan::Clean)
+}
+
+/// An open write-ahead log, positioned for appending.
+pub struct Wal {
+    config: WalConfig,
+    file: File,
+    segment_index: u64,
+    segment_path: PathBuf,
+    segment_bytes: u64,
+    appended_this_process: u64,
+    records_logged: u64,
+    pending_sync: u32,
+    scratch: Vec<u8>,
+}
+
+impl fmt::Debug for Wal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Wal")
+            .field("segment_index", &self.segment_index)
+            .field("records_logged", &self.records_logged)
+            .finish()
+    }
+}
+
+impl Wal {
+    /// Opens (creating if needed) the log in `config.dir`, recovering
+    /// all decodable records and truncating a torn tail.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] on filesystem failure, [`WalError::Corrupt`]
+    /// if a non-final segment fails to decode.
+    pub fn open(config: WalConfig) -> Result<(Self, Vec<WalRecord>), WalError> {
+        fs::create_dir_all(&config.dir).map_err(|e| io_err(&config.dir, e))?;
+        let mut indices: Vec<u64> = Vec::new();
+        let entries = fs::read_dir(&config.dir).map_err(|e| io_err(&config.dir, e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err(&config.dir, e))?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(idx) = name
+                .strip_prefix("wal-")
+                .and_then(|r| r.strip_suffix(".seg"))
+                .and_then(|digits| digits.parse::<u64>().ok())
+            {
+                indices.push(idx);
+            }
+        }
+        indices.sort_unstable();
+        if indices.is_empty() {
+            indices.push(1);
+            let path = config.dir.join(segment_name(1));
+            File::create(&path).map_err(|e| io_err(&path, e))?;
+        }
+
+        let mut records = Vec::new();
+        let last = indices.len() - 1;
+        let mut tail_len = 0u64;
+        for (i, &idx) in indices.iter().enumerate() {
+            let path = config.dir.join(segment_name(idx));
+            let mut bytes = Vec::new();
+            File::open(&path)
+                .and_then(|mut f| f.read_to_end(&mut bytes))
+                .map_err(|e| io_err(&path, e))?;
+            match scan_segment(&path, &bytes, &mut records)? {
+                SegmentScan::Clean => {
+                    if i == last {
+                        tail_len = bytes.len() as u64;
+                    }
+                }
+                SegmentScan::Failed(offset, reason) => {
+                    if i == last {
+                        // Torn tail: keep the clean prefix, drop the rest.
+                        let f = OpenOptions::new()
+                            .write(true)
+                            .open(&path)
+                            .map_err(|e| io_err(&path, e))?;
+                        f.set_len(offset).map_err(|e| io_err(&path, e))?;
+                        f.sync_all().map_err(|e| io_err(&path, e))?;
+                        tail_len = offset;
+                    } else {
+                        return Err(WalError::Corrupt {
+                            segment: path,
+                            offset,
+                            reason,
+                        });
+                    }
+                }
+            }
+        }
+
+        let segment_index = indices[last];
+        let segment_path = config.dir.join(segment_name(segment_index));
+        let file = OpenOptions::new()
+            .append(true)
+            .open(&segment_path)
+            .map_err(|e| io_err(&segment_path, e))?;
+        let records_logged = records.len() as u64;
+        Ok((
+            Self {
+                config,
+                file,
+                segment_index,
+                segment_path,
+                segment_bytes: tail_len,
+                appended_this_process: 0,
+                records_logged,
+                pending_sync: 0,
+                scratch: Vec::new(),
+            },
+            records,
+        ))
+    }
+
+    /// Total records in the log, recovered plus appended — the cursor
+    /// checkpoints reference.
+    pub fn records_logged(&self) -> u64 {
+        self.records_logged
+    }
+
+    /// Appends one record durably (per the fsync policy).
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] on write failure.
+    pub fn append(&mut self, record: &WalRecord) -> Result<(), WalError> {
+        self.scratch.clear();
+        encode_data_payload(
+            record.sensor,
+            record.seq,
+            record.time,
+            &record.values,
+            &mut self.scratch,
+        );
+        let mut framed = Vec::with_capacity(self.scratch.len() + 8);
+        frame_payload(&self.scratch, &mut framed);
+
+        if self.segment_bytes > 0
+            && self.segment_bytes + framed.len() as u64 > self.config.segment_max_bytes
+        {
+            self.roll_segment()?;
+        }
+
+        self.file
+            .write_all(&framed)
+            .map_err(|e| io_err(&self.segment_path, e))?;
+        self.segment_bytes += framed.len() as u64;
+        self.records_logged += 1;
+        self.appended_this_process += 1;
+
+        match self.config.fsync {
+            FsyncPolicy::Never => {}
+            FsyncPolicy::Always => {
+                self.file
+                    .sync_data()
+                    .map_err(|e| io_err(&self.segment_path, e))?;
+            }
+            FsyncPolicy::Batch(n) => {
+                self.pending_sync += 1;
+                if self.pending_sync >= n {
+                    self.file
+                        .sync_data()
+                        .map_err(|e| io_err(&self.segment_path, e))?;
+                    self.pending_sync = 0;
+                }
+            }
+        }
+
+        if self.config.crash_after == Some(self.appended_this_process) {
+            // Chaos coordinate: die as if `kill -9`, mid-everything.
+            std::process::abort();
+        }
+        Ok(())
+    }
+
+    /// Forces all buffered appends to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] on fsync failure.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        self.file
+            .sync_data()
+            .map_err(|e| io_err(&self.segment_path, e))?;
+        self.pending_sync = 0;
+        Ok(())
+    }
+
+    fn roll_segment(&mut self) -> Result<(), WalError> {
+        self.file
+            .sync_data()
+            .map_err(|e| io_err(&self.segment_path, e))?;
+        self.segment_index += 1;
+        self.segment_path = self.config.dir.join(segment_name(self.segment_index));
+        self.file = File::create(&self.segment_path).map_err(|e| io_err(&self.segment_path, e))?;
+        self.segment_bytes = 0;
+        self.pending_sync = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sentinet-wal-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn rec(sensor: u16, seq: u64, time: u64, v: f64) -> WalRecord {
+        WalRecord {
+            sensor: SensorId(sensor),
+            seq,
+            time,
+            values: vec![v, v + 1.0],
+        }
+    }
+
+    #[test]
+    fn append_then_reopen_recovers_everything() {
+        let dir = tmpdir("roundtrip");
+        let originals: Vec<WalRecord> = (0..50)
+            .map(|i| rec(1, i, 300 * (i + 1), i as f64))
+            .collect();
+        {
+            let (mut wal, recovered) = Wal::open(WalConfig::new(&dir)).unwrap();
+            assert!(recovered.is_empty());
+            for r in &originals {
+                wal.append(r).unwrap();
+            }
+        }
+        let (wal, recovered) = Wal::open(WalConfig::new(&dir)).unwrap();
+        assert_eq!(recovered, originals);
+        assert_eq!(wal.records_logged(), 50);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segments_roll_and_recover_in_order() {
+        let dir = tmpdir("roll");
+        let mut config = WalConfig::new(&dir);
+        config.segment_max_bytes = 64; // force frequent rolls
+        let originals: Vec<WalRecord> = (0..40).map(|i| rec(2, i, 300 * (i + 1), 0.5)).collect();
+        {
+            let (mut wal, _) = Wal::open(config.clone()).unwrap();
+            for r in &originals {
+                wal.append(r).unwrap();
+            }
+        }
+        let segs = fs::read_dir(&dir).unwrap().count();
+        assert!(segs > 1, "expected multiple segments, got {segs}");
+        let (_, recovered) = Wal::open(config).unwrap();
+        assert_eq!(recovered, originals);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_to_clean_prefix() {
+        let dir = tmpdir("torn");
+        {
+            let (mut wal, _) = Wal::open(WalConfig::new(&dir)).unwrap();
+            for i in 0..10 {
+                wal.append(&rec(1, i, 300 * (i + 1), 1.0)).unwrap();
+            }
+        }
+        let seg = dir.join(segment_name(1));
+        let len = fs::metadata(&seg).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&seg).unwrap();
+        f.set_len(len - 3).unwrap(); // tear mid-record
+        drop(f);
+        let (_, recovered) = Wal::open(WalConfig::new(&dir)).unwrap();
+        assert_eq!(recovered.len(), 9);
+        // Appending after truncation continues cleanly.
+        let (mut wal, _) = Wal::open(WalConfig::new(&dir)).unwrap();
+        wal.append(&rec(1, 9, 3000, 1.0)).unwrap();
+        drop(wal);
+        let (_, recovered) = Wal::open(WalConfig::new(&dir)).unwrap();
+        assert_eq!(recovered.len(), 10);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_in_earlier_segment_is_a_hard_error() {
+        let dir = tmpdir("corrupt");
+        let mut config = WalConfig::new(&dir);
+        config.segment_max_bytes = 64;
+        {
+            let (mut wal, _) = Wal::open(config.clone()).unwrap();
+            for i in 0..40 {
+                wal.append(&rec(1, i, 300 * (i + 1), 1.0)).unwrap();
+            }
+        }
+        // Flip a byte in the first segment's first record payload.
+        let seg = dir.join(segment_name(1));
+        let mut bytes = fs::read(&seg).unwrap();
+        bytes[6] ^= 0xFF;
+        fs::write(&seg, &bytes).unwrap();
+        assert!(matches!(Wal::open(config), Err(WalError::Corrupt { .. })));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsync_policies_parse() {
+        assert_eq!(FsyncPolicy::parse("never"), Ok(FsyncPolicy::Never));
+        assert_eq!(FsyncPolicy::parse("always"), Ok(FsyncPolicy::Always));
+        assert_eq!(FsyncPolicy::parse("batch:8"), Ok(FsyncPolicy::Batch(8)));
+        assert!(FsyncPolicy::parse("batch:0").is_err());
+        assert!(FsyncPolicy::parse("sometimes").is_err());
+    }
+}

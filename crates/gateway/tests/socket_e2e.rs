@@ -1,0 +1,271 @@
+//! Socket-level end-to-end tests: a real `Server` + `Collector` on one
+//! side, a retrying `SensorUplink` on the other, over loopback TCP and
+//! Unix sockets. A seeded lossy delivery schedule driven through the
+//! wire must land on the same bit-identical report as in-process
+//! in-order delivery, wire-level corruption (via the engine's chaos
+//! frame corrupter) must be rejected without polluting the pipeline,
+//! and the whole path must survive a long soak.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sentinet_engine::corrupt_frames;
+use sentinet_gateway::frame::encode_frame;
+use sentinet_gateway::server::hello_frame;
+use sentinet_gateway::{
+    delivery_schedule, drive_uplink, trace_to_raw, Collector, FrameBuffer, FrameError,
+    GatewayConfig, GatewayReport, Message, NetsimConfig, SensorUplink, Server, ServerConfig,
+    UplinkConfig,
+};
+use sentinet_sim::{gdi, simulate, RawRecord, SensorId, DAY_S};
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sentinet-e2e-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn gdi_records(days: u64, sensors: u16, seed: u64) -> Vec<RawRecord> {
+    let mut cfg = gdi::month_config();
+    cfg.duration = days * DAY_S;
+    cfg.num_sensors = sensors;
+    let mut rng = StdRng::seed_from_u64(seed);
+    trace_to_raw(&simulate(&cfg, &mut rng))
+}
+
+fn in_order_report(name: &str, records: &[RawRecord]) -> GatewayReport {
+    let dir = tmpdir(name);
+    let (mut collector, _) = Collector::open(GatewayConfig::new(&dir)).expect("open");
+    let mut seqs: BTreeMap<SensorId, u64> = BTreeMap::new();
+    for r in records {
+        let seq = seqs.entry(r.sensor).or_insert(0);
+        collector
+            .deliver(r.sensor, *seq, r.time, r.values.clone())
+            .expect("deliver");
+        *seq += 1;
+    }
+    let report = collector.finish().expect("finish");
+    fs::remove_dir_all(&dir).ok();
+    report
+}
+
+/// Runs a server on `bind`, drives `schedule` through a real uplink in
+/// a client thread, and returns the finished report.
+fn serve_schedule(
+    name: &str,
+    bind: &str,
+    schedule: Vec<sentinet_gateway::Emission>,
+) -> GatewayReport {
+    let dir = tmpdir(name);
+    let (mut collector, _) = Collector::open(GatewayConfig::new(&dir)).expect("open");
+    let server = Server::start(ServerConfig {
+        bind: bind.into(),
+        ..ServerConfig::default()
+    })
+    .expect("bind server");
+    let addr = server.addr().to_string();
+    let client = std::thread::spawn(move || {
+        let mut uplink = SensorUplink::new(UplinkConfig::new(addr));
+        drive_uplink(&mut uplink, &schedule).expect("uplink delivery");
+        uplink.finish().expect("fin/finack");
+    });
+    let stats = server.run(&mut collector).expect("serve");
+    client.join().expect("client thread");
+    assert_eq!(stats.bad_frames, 0, "clean client tripped frame errors");
+    let report = collector.finish().expect("finish");
+    fs::remove_dir_all(&dir).ok();
+    report
+}
+
+#[test]
+fn tcp_uplink_matches_in_order_delivery() {
+    let records = gdi_records(1, 3, 21);
+    let baseline = in_order_report("tcp-base", &records);
+    let schedule = delivery_schedule(&records, &NetsimConfig::default());
+    let report = serve_schedule("tcp-run", "127.0.0.1:0", schedule);
+    assert_eq!(
+        format!("{}", report.pipeline),
+        format!("{}", baseline.pipeline),
+        "socket delivery diverged from in-order"
+    );
+    assert!(report.ingest.rejected.is_empty());
+    assert_eq!(report.ingest.accepted, baseline.ingest.accepted);
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_uplink_matches_in_order_delivery() {
+    let records = gdi_records(1, 2, 22);
+    let baseline = in_order_report("unix-base", &records);
+    let schedule = delivery_schedule(
+        &records,
+        &NetsimConfig {
+            seed: 5,
+            ..NetsimConfig::default()
+        },
+    );
+    let sock = std::env::temp_dir().join(format!("sentinet-e2e-{}.sock", std::process::id()));
+    let bind = format!("unix:{}", sock.display());
+    let report = serve_schedule("unix-run", &bind, schedule);
+    assert_eq!(
+        format!("{}", report.pipeline),
+        format!("{}", baseline.pipeline)
+    );
+    let _ = fs::remove_file(&sock);
+}
+
+/// The engine's frame corrupter feeds the gateway's decoder directly:
+/// a duplicated frame decodes twice, a torn frame stays pending (never
+/// a phantom message), and a flipped CRC byte is rejected loudly.
+#[test]
+fn corrupt_frames_exercise_every_decoder_path() {
+    let frame = encode_frame(&Message::Data {
+        sensor: SensorId(1),
+        seq: 7,
+        time: 300,
+        values: vec![20.0, 50.0],
+    });
+    let frames: Vec<Vec<u8>> = vec![frame.clone(); 64];
+    let corrupted = corrupt_frames(&frames, 99, 1.0);
+    // Duplicate mode grows the output; with rate 1.0 every clean
+    // element is such a duplicated copy.
+    assert!(
+        corrupted.len() > frames.len(),
+        "no duplicate mode at rate 1.0"
+    );
+
+    let (mut dups, mut torn, mut bad_crc) = (0usize, 0, 0);
+    for bytes in &corrupted {
+        let mut fb = FrameBuffer::new();
+        fb.feed(bytes);
+        if *bytes == frame {
+            // A duplicated copy decodes cleanly.
+            assert!(matches!(fb.next_message(), Ok(Some(Message::Data { .. }))));
+            assert!(matches!(fb.next_message(), Ok(None)));
+            dups += 1;
+        } else if bytes.len() < frame.len() {
+            // Torn mode: the decoder waits for more bytes (or rejects
+            // on a damaged length prefix) — it never invents a message.
+            match fb.next_message() {
+                Ok(None) => torn += 1,
+                Err(_) => torn += 1,
+                Ok(Some(_)) => panic!("torn frame decoded as a full message"),
+            }
+        } else {
+            // Flip mode targets the CRC trailer.
+            assert!(matches!(fb.next_message(), Err(FrameError::BadCrc { .. })));
+            bad_crc += 1;
+        }
+    }
+    assert!(
+        dups > 0 && torn > 0 && bad_crc > 0,
+        "{dups}/{torn}/{bad_crc}"
+    );
+}
+
+/// A rogue connection replaying CRC-flipped frames is dropped and
+/// counted, while a clean client on the same server is unaffected:
+/// the final report matches clean in-order delivery exactly.
+#[test]
+fn corrupted_connections_are_dropped_without_polluting_the_report() {
+    let records = gdi_records(1, 2, 23);
+    let baseline = in_order_report("rogue-base", &records);
+
+    // Frames replaying the stream's first record; corrupt until the
+    // deterministic search finds a seed where every frame lands in
+    // flip-CRC mode (so every rogue connection must die on BadCrc).
+    let first = &records[0];
+    let frame = encode_frame(&Message::Data {
+        sensor: first.sensor,
+        seq: 0,
+        time: first.time,
+        values: first.values.clone(),
+    });
+    let frames = vec![frame.clone(); 3];
+    let flipped = (0..500u64)
+        .map(|seed| corrupt_frames(&frames, seed, 1.0))
+        .find(|out| out.iter().all(|f| f.len() == frame.len() && *f != frame))
+        .expect("a seed where all frames flip a CRC byte");
+
+    let dir = tmpdir("rogue-run");
+    let (mut collector, _) = Collector::open(GatewayConfig::new(&dir)).expect("open");
+    let server = Server::start(ServerConfig::default()).expect("bind server");
+    let addr = server.addr().to_string();
+    let rogue_count = flipped.len() as u64;
+    let client_records = records.clone();
+    let client = std::thread::spawn(move || {
+        // Rogue phase first: each bad frame on its own connection; the
+        // server must shut each one down (observed as EOF here).
+        for bad in &flipped {
+            let mut conn = TcpStream::connect(&addr).expect("rogue connect");
+            conn.set_read_timeout(Some(Duration::from_secs(10)))
+                .expect("timeout");
+            conn.write_all(&hello_frame()).expect("hello");
+            conn.write_all(bad).expect("bad frame");
+            let mut sink = [0u8; 256];
+            loop {
+                match conn.read(&mut sink) {
+                    Ok(0) => break,
+                    Ok(_) => continue,
+                    Err(e) => panic!("rogue read: {e}"),
+                }
+            }
+        }
+        // Clean phase: the full stream, in order, through the uplink.
+        let mut uplink = SensorUplink::new(UplinkConfig::new(addr));
+        let mut seqs: BTreeMap<SensorId, u64> = BTreeMap::new();
+        for r in &client_records {
+            let seq = seqs.entry(r.sensor).or_insert(0);
+            uplink
+                .send_at(r.sensor, *seq, r.time, &r.values)
+                .expect("send");
+            *seq += 1;
+        }
+        uplink.finish().expect("fin/finack");
+    });
+    let stats = server.run(&mut collector).expect("serve");
+    client.join().expect("client thread");
+    assert_eq!(stats.bad_frames, rogue_count, "{:?}", stats.frame_errors);
+    assert!(stats
+        .frame_errors
+        .iter()
+        .all(|e| matches!(e, FrameError::BadCrc { .. })));
+
+    let report = collector.finish().expect("finish");
+    fs::remove_dir_all(&dir).ok();
+    assert_eq!(
+        format!("{}", report.pipeline),
+        format!("{}", baseline.pipeline),
+        "rogue frames leaked into the pipeline"
+    );
+}
+
+/// Long soak over loopback: a week of four sensors through a lossy
+/// seeded schedule, retries and dedup doing real work. Run with
+/// `cargo test -p sentinet-gateway -- --ignored`.
+#[test]
+#[ignore = "soak: long-running, exercised by the CI gateway job"]
+fn soak_week_long_lossy_stream_over_tcp() {
+    let records = gdi_records(7, 4, 24);
+    let baseline = in_order_report("soak-base", &records);
+    let schedule = delivery_schedule(
+        &records,
+        &NetsimConfig {
+            seed: 77,
+            dup_rate: 0.1,
+            ..NetsimConfig::default()
+        },
+    );
+    let report = serve_schedule("soak-run", "127.0.0.1:0", schedule);
+    assert_eq!(
+        format!("{}", report.pipeline),
+        format!("{}", baseline.pipeline)
+    );
+    assert!(report.ingest.rejected.is_empty());
+    assert!(report.ingest.duplicates > 0, "soak never exercised dedup");
+}

@@ -120,12 +120,28 @@ impl fmt::Display for IngestError {
 impl std::error::Error for IngestError {}
 
 /// Summary of one sanitization pass.
+///
+/// The gateway's transport layer resolves most delivery pathologies
+/// *before* the sanitizer sees them (sequence-number deduplication,
+/// watermark reordering, bounded-queue load shedding); those outcomes
+/// are tallied in the transport-layer counters below so the report
+/// accounts for every delivered record, while `rejected` stays the
+/// sanitizer's own last-resort catalogue.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct IngestReport {
     /// Records accepted into the trace.
     pub accepted: usize,
     /// Every rejection, in input order.
     pub rejected: Vec<IngestError>,
+    /// Retransmitted frames dropped by sequence-number deduplication,
+    /// plus same-timestamp duplicates caught by the reorder buffer.
+    pub duplicates: usize,
+    /// Records that arrived behind the reorder watermark and were
+    /// dropped as hopelessly late.
+    pub late: usize,
+    /// Records dropped oldest-first under overload (explicit load
+    /// shedding, never silent).
+    pub shed: usize,
 }
 
 impl IngestReport {

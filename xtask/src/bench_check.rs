@@ -5,6 +5,9 @@
 //! on. `cargo run -p xtask -- bench-check` fails CI when that file is
 //! malformed: missing keys, non-finite numbers, unknown modes, or
 //! sensor counts that are not monotone non-decreasing across rows.
+//! `ingest` rows (gateway loopback throughput) must also name their
+//! `fsync` policy, and are exempt from the sensors-monotone rule —
+//! they are appended after the shard sweep rather than sorted into it.
 //!
 //! The vendored `serde` is a derive stub without a JSON backend, so
 //! this module carries its own minimal recursive-descent JSON parser —
@@ -325,18 +328,39 @@ pub fn validate(input: &str) -> Vec<String> {
                 Some(_) => {}
             }
         }
-        match row.get("mode") {
-            Some(Json::Str(mode)) if mode == "serial" || mode == "engine" => {}
-            Some(Json::Str(mode)) => problems.push(format!(
-                "results[{i}].mode must be `serial` or `engine`, got `{mode}`"
-            )),
-            Some(v) => problems.push(format!(
-                "results[{i}].mode must be a string, got {}",
-                v.type_name()
-            )),
-            None => {} // already reported by the key loop
-        }
-        if let Some(Json::Num(sensors)) = row.get("sensors") {
+        let mode = match row.get("mode") {
+            Some(Json::Str(mode)) if mode == "serial" || mode == "engine" || mode == "ingest" => {
+                Some(mode.as_str())
+            }
+            Some(Json::Str(mode)) => {
+                problems.push(format!(
+                    "results[{i}].mode must be `serial`, `engine`, or `ingest`, got `{mode}`"
+                ));
+                None
+            }
+            Some(v) => {
+                problems.push(format!(
+                    "results[{i}].mode must be a string, got {}",
+                    v.type_name()
+                ));
+                None
+            }
+            None => None, // already reported by the key loop
+        };
+        if mode == Some("ingest") {
+            match row.get("fsync") {
+                Some(Json::Str(policy)) if !policy.is_empty() => {}
+                Some(v) => problems.push(format!(
+                    "results[{i}].fsync must be a non-empty string, got {}",
+                    v.type_name()
+                )),
+                None => problems.push(format!(
+                    "results[{i}] missing key `fsync` (required for ingest rows)"
+                )),
+            }
+        } else if let Some(Json::Num(sensors)) = row.get("sensors") {
+            // Ingest rows ride after the shard sweep; only the sweep
+            // itself must keep sensors monotone.
             if let Some(prev) = prev_sensors {
                 if *sensors < prev {
                     problems.push(format!(
@@ -424,6 +448,29 @@ mod tests {
         let d = doc(&[row(10, "warp")]);
         let problems = validate(&d);
         assert!(problems.iter().any(|p| p.contains("mode")), "{problems:?}");
+    }
+
+    #[test]
+    fn ingest_row_requires_fsync_and_skips_monotone() {
+        // A trailing ingest row with fewer sensors than the sweep is
+        // fine — as long as it names its fsync policy.
+        let ingest = row(10, "ingest").replace(
+            "\"mode\": \"ingest\"",
+            "\"mode\": \"ingest\", \"fsync\": \"batch:64\"",
+        );
+        let d = doc(&[row(100, "serial"), ingest]);
+        assert!(validate(&d).is_empty(), "{:?}", validate(&d));
+
+        let d = doc(&[row(100, "serial"), row(10, "ingest")]);
+        let problems = validate(&d);
+        assert!(
+            problems.iter().any(|p| p.contains("`fsync`")),
+            "{problems:?}"
+        );
+        assert!(
+            !problems.iter().any(|p| p.contains("monotone")),
+            "{problems:?}"
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The project lint engine.
 //!
-//! Twelve textual lints over the workspace's library crates, built on
+//! Fourteen textual lints over the workspace's library crates, built on
 //! the masked source view of [`crate::lexer`] — no rustc plugin, fully
 //! offline. Findings are suppressed inline with
 //! `// sentinet-allow(lint-name): reason` on the same line or on the
@@ -17,9 +17,11 @@
 //! | `missing-forbid-unsafe` | `lib.rs` without `#![forbid(unsafe_code)]` |
 //! | `missing-deny-docs` | `lib.rs` without `#![deny(missing_docs)]` |
 //! | `hot-path-alloc` | allocation markers in registered hot functions |
-//! | `thread-spawn` | `thread::spawn` outside `crates/engine` |
+//! | `thread-spawn` | `thread::spawn` outside `crates/engine` / `crates/gateway` |
 //! | `resume-unwind` | `resume_unwind` outside the engine supervisor |
 //! | `unbounded-channel` | `unbounded` channels outside the engine supervisor |
+//! | `net-outside-gateway` | `std::net` / `std::os::unix::net` outside `crates/gateway` |
+//! | `socket-read-timeout` | socket reads in a file that never sets a read timeout |
 //!
 //! Test code (`#[cfg(test)] mod`s and `#[test]` fns) is exempt from
 //! all except the header lints, and the `cli`/`bench` crates are
@@ -30,7 +32,11 @@
 //! engine supervisor's monopoly: everywhere else, a worker panic must
 //! surface as a typed `ShardError` (never be re-raised) and channels
 //! must be bounded so a stuck consumer back-pressures instead of
-//! buffering without limit.
+//! buffering without limit. Live network I/O is likewise the gateway's
+//! monopoly: raw sockets elsewhere would bypass its framing, dedup,
+//! WAL, and backpressure, and any file naming a socket stream type
+//! that reads from it must configure a read timeout so a dead peer
+//! cannot wedge a thread forever.
 
 use crate::lexer::{match_brace, SourceMap};
 use std::fmt;
@@ -50,6 +56,8 @@ pub const LINTS: &[&str] = &[
     "thread-spawn",
     "resume-unwind",
     "unbounded-channel",
+    "net-outside-gateway",
+    "socket-read-timeout",
 ];
 
 /// Functions that must stay lexically allocation-free, keyed by a path
@@ -116,6 +124,9 @@ pub struct FileContext {
     pub is_lib_root: bool,
     /// The file belongs to `crates/engine` (may spawn threads).
     pub engine_crate: bool,
+    /// The file belongs to `crates/gateway` (may spawn threads and
+    /// open sockets — live I/O is its monopoly).
+    pub gateway_crate: bool,
     /// The file is the engine supervisor (may resume unwinds and own
     /// unbounded channels as part of crash recovery).
     pub supervisor_file: bool,
@@ -142,6 +153,7 @@ impl FileContext {
             exempt_crate: EXEMPT_CRATES.contains(&crate_name),
             is_lib_root: p.ends_with("src/lib.rs"),
             engine_crate: crate_name == "engine",
+            gateway_crate: crate_name == "gateway",
             supervisor_file: p.ends_with("engine/src/supervisor.rs"),
             hot_functions,
         }
@@ -278,18 +290,63 @@ pub fn lint_source(path: &Path, source: &str, ctx: &FileContext) -> Vec<Finding>
         }
     }
 
-    // Thread spawning is the engine's monopoly.
-    if !ctx.engine_crate {
+    // Thread spawning is shared between the engine (shard workers) and
+    // the gateway (socket accept/reader threads).
+    if !ctx.engine_crate && !ctx.gateway_crate {
         for offset in find_all(&map.masked, "thread::spawn") {
             if !map.in_test_region(offset) {
                 push(
                     &map,
                     offset,
                     "thread-spawn",
-                    "`thread::spawn` outside crates/engine; route concurrency through the engine"
+                    "`thread::spawn` outside crates/engine or crates/gateway; route concurrency through them"
                         .into(),
                 );
             }
+        }
+    }
+
+    // Live network I/O is the gateway's monopoly: raw sockets anywhere
+    // else would bypass its framing, dedup, WAL, and backpressure.
+    if !ctx.gateway_crate {
+        for needle in ["std::net", "std::os::unix::net"] {
+            for offset in find_all(&map.masked, needle) {
+                if !map.in_test_region(offset) {
+                    push(
+                        &map,
+                        offset,
+                        "net-outside-gateway",
+                        format!(
+                            "`{needle}` outside crates/gateway; route live I/O through the gateway"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // Sockets must never block forever: a file that names a socket
+    // stream type and reads from it must configure a read timeout,
+    // otherwise a dead peer wedges the reading thread. One finding per
+    // file, anchored at the first read call.
+    let names_socket = ["TcpStream", "UnixStream"]
+        .iter()
+        .flat_map(|w| find_word(&map.masked, w))
+        .any(|offset| !map.in_test_region(offset));
+    if names_socket && !map.masked.contains("set_read_timeout") {
+        let mut reads: Vec<usize> = [".read(", ".read_exact(", ".read_to_end("]
+            .iter()
+            .flat_map(|n| find_all(&map.masked, n))
+            .filter(|&offset| !map.in_test_region(offset))
+            .collect();
+        reads.sort_unstable();
+        if let Some(&first) = reads.first() {
+            push(
+                &map,
+                first,
+                "socket-read-timeout",
+                "blocking socket read in a file that never calls `set_read_timeout`; a dead peer would wedge this thread".into(),
+            );
         }
     }
 

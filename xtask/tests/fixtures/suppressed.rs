@@ -32,3 +32,9 @@ pub fn crashy(payload: Box<dyn std::any::Any + Send>) {
     // sentinet-allow(resume-unwind): fixture exercises suppression
     std::panic::resume_unwind(payload);
 }
+
+// sentinet-allow(net-outside-gateway): fixture exercises suppression
+pub fn leaky_socket(stream: &mut std::net::TcpStream, buf: &mut [u8]) {
+    // sentinet-allow(socket-read-timeout): fixture exercises suppression
+    let _ = stream.read(buf);
+}

@@ -29,6 +29,7 @@ fn full_ctx() -> FileContext {
         exempt_crate: false,
         is_lib_root: true,
         engine_crate: false,
+        gateway_crate: false,
         supervisor_file: false,
         hot_functions: vec!["hot".into()],
     }
@@ -69,6 +70,7 @@ fn bad_bench_fixture_reports_each_schema_violation() {
     assert!(has("mode"), "{problems:?}");
     assert!(has("`windows_per_sec`"), "{problems:?}");
     assert!(has("`speedup_vs_serial`"), "{problems:?}");
+    assert!(has("`fsync`"), "{problems:?}");
 }
 
 #[test]
