@@ -14,10 +14,13 @@
 //! are only physically possible when `host_cpus > 1`, so a single-core
 //! run honestly shows the coordination overhead instead.
 //!
-//! Two trailing `ingest` rows time the same 10-sensor trace through
+//! Three trailing `ingest` rows time the same 10-sensor trace through
 //! the durable gateway — real loopback TCP, stop-and-wait acks, WAL
 //! append before every ack — at `fsync: never` and `fsync: batch:64`,
-//! so the cost of durability is measured, not guessed.
+//! so the cost of durability is measured, not guessed. The third row
+//! repeats `batch:64` under a `--wal-retain-bytes`-style budget
+//! (checkpoint-gated segment reclaim), pricing bounded-disk operation
+//! against retain-everything.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -34,6 +37,10 @@ use std::time::Instant;
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const REPS: usize = 3;
+/// WAL budget for the retention-on ingest row, with segments sized so
+/// the budget spans several sealed segments.
+const RETAIN_BUDGET: u64 = 64 * 1024;
+const RETAIN_SEGMENT: u64 = 16 * 1024;
 
 struct Row {
     sensors: u16,
@@ -41,6 +48,9 @@ struct Row {
     mode: String,
     /// `Some` only for ingest rows: the WAL fsync policy under test.
     fsync: Option<String>,
+    /// `Some` only for ingest rows: `"off"` or the byte budget of
+    /// checkpoint-gated WAL retention.
+    retention: Option<String>,
     shards: usize,
     readings: usize,
     windows: u64,
@@ -71,17 +81,24 @@ fn time_best<F: FnMut() -> u64>(mut f: F) -> (u64, f64) {
 /// loopback TCP server, a stop-and-wait uplink delivering every record
 /// in order, WAL append before each ack, and the final pipeline
 /// flush + sync. The clock covers first connect through `finish()`.
-fn time_ingest(records: &[RawRecord], fsync: FsyncPolicy) -> (u64, f64) {
+fn time_ingest(records: &[RawRecord], fsync: FsyncPolicy, retain: Option<u64>) -> (u64, f64) {
     let mut best = f64::INFINITY;
     let mut windows = 0;
     for rep in 0..REPS {
         let dir = std::env::temp_dir().join(format!(
-            "sentinet-bench-ingest-{}-{fsync}-{rep}",
-            std::process::id()
+            "sentinet-bench-ingest-{}-{fsync}-{}-{rep}",
+            std::process::id(),
+            retain.map_or(0, |b| b),
         ));
+        // sentinet-allow(io-outside-vfs): bench scratch-dir cleanup, not
+        // gateway-durable state.
         let _ = std::fs::remove_dir_all(&dir);
         let mut config = GatewayConfig::new(&dir);
         config.wal.fsync = fsync;
+        if let Some(budget) = retain {
+            config.wal.retain_bytes = Some(budget);
+            config.wal.segment_max_bytes = RETAIN_SEGMENT;
+        }
         let (mut collector, _) = Collector::open(config).expect("open gateway collector");
         let server = Server::start(ServerConfig::default()).expect("bind loopback server");
         let addr = server.addr().to_string();
@@ -112,6 +129,8 @@ fn time_ingest(records: &[RawRecord], fsync: FsyncPolicy) -> (u64, f64) {
             "ingest bench must accept every delivered record"
         );
         windows = report.pipeline.windows_processed;
+        // sentinet-allow(io-outside-vfs): bench scratch-dir cleanup, not
+        // gateway-durable state.
         let _ = std::fs::remove_dir_all(&dir);
     }
     (windows, best)
@@ -146,6 +165,7 @@ fn main() {
             days,
             mode: "serial".into(),
             fsync: None,
+            retention: None,
             shards: 0,
             readings: delivered,
             windows,
@@ -170,6 +190,7 @@ fn main() {
                 days,
                 mode: "engine".into(),
                 fsync: None,
+                retention: None,
                 shards,
                 readings: delivered,
                 windows,
@@ -184,10 +205,15 @@ fn main() {
     // ratio to the serial in-process pipeline over the same trace.
     let (trace, _) = wide_trace(10, 7, 42);
     let records = trace_to_raw(&trace);
-    for fsync in [FsyncPolicy::Never, FsyncPolicy::Batch(64)] {
-        let (windows, seconds) = time_ingest(&records, fsync);
+    for (fsync, retain) in [
+        (FsyncPolicy::Never, None),
+        (FsyncPolicy::Batch(64), None),
+        (FsyncPolicy::Batch(64), Some(RETAIN_BUDGET)),
+    ] {
+        let (windows, seconds) = time_ingest(&records, fsync, retain);
+        let retention = retain.map_or_else(|| "off".to_string(), |b| b.to_string());
         eprintln!(
-            "  ingest fsync={fsync}: {:.3}s ({:.0} readings/s)",
+            "  ingest fsync={fsync} retention={retention}: {:.3}s ({:.0} readings/s)",
             seconds,
             records.len() as f64 / seconds
         );
@@ -196,6 +222,7 @@ fn main() {
             days: 7,
             mode: "ingest".into(),
             fsync: Some(fsync.to_string()),
+            retention: Some(retention),
             shards: 0,
             readings: records.len(),
             windows,
@@ -211,7 +238,9 @@ fn main() {
         "  \"note\": \"best-of-reps wall time per cell; serial = sentinet_core::Pipeline, \
          engine = sentinet_engine::Engine (bit-for-bit equivalent output); shard speedup \
          over serial requires host_cpus > 1; ingest = durable gateway over loopback TCP \
-         (stop-and-wait acks, WAL append before each ack) at the named fsync policy\",\n",
+         (stop-and-wait acks, WAL append before each ack) at the named fsync policy; \
+         retention = checkpoint-gated WAL reclaim under the named byte budget (off = \
+         retain everything)\",\n",
     );
     json.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -224,9 +253,14 @@ fn main() {
             .as_ref()
             .map(|p| format!("\"fsync\": \"{p}\", "))
             .unwrap_or_default();
+        let retention = r
+            .retention
+            .as_ref()
+            .map(|p| format!("\"retention\": \"{p}\", "))
+            .unwrap_or_default();
         let _ = write!(
             json,
-            "    {{\"sensors\": {}, \"days\": {}, \"mode\": \"{}\", {fsync}\"shards\": {}, \
+            "    {{\"sensors\": {}, \"days\": {}, \"mode\": \"{}\", {fsync}{retention}\"shards\": {}, \
              \"readings\": {}, \"windows\": {}, \"seconds\": {:.6}, \
              \"readings_per_sec\": {:.1}, \"windows_per_sec\": {:.1}, \
              \"speedup_vs_serial\": {:.3}}}",
@@ -245,6 +279,8 @@ fn main() {
     }
     json.push_str("  ]\n}\n");
 
+    // sentinet-allow(io-outside-vfs): the benchmark report is a
+    // terminal-program deliverable, not gateway-durable state.
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
     eprintln!("wrote {out_path}");
 }

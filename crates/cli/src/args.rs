@@ -83,6 +83,14 @@ pub struct ServeArgs {
     pub silence_deadline: Option<u64>,
     /// Checkpoint every N WAL records (0 disables).
     pub checkpoint_every: u64,
+    /// WAL disk budget in bytes: checkpointed segments are reclaimed
+    /// to stay under it, and ingest sheds (NACKs) when nothing is
+    /// reclaimable (`None` retains everything).
+    pub wal_retain_bytes: Option<u64>,
+    /// WAL segment roll size in bytes (`None` keeps the default).
+    /// Retention reclaims whole sealed segments, so the budget's
+    /// granularity is one segment.
+    pub wal_segment_bytes: Option<u64>,
     /// Chaos hook: abort the process after appending N WAL records.
     pub crash_after: Option<u64>,
     /// Emit the report as one summary line per sensor only.
@@ -135,6 +143,7 @@ USAGE:
                     [--period SECS] [--window SAMPLES] [--trim FRACTION]
                     [--fsync never|batch:N|always] [--watermark SECS]
                     [--silence-deadline SECS] [--checkpoint-every N]
+                    [--wal-retain-bytes N] [--wal-segment-bytes N]
                     [--crash-after N] [--quiet]
   sentinet replay-wal --wal-dir DIR [--period SECS] [--window SAMPLES]
                     [--trim FRACTION] [--watermark SECS] [--shards N]
@@ -150,6 +159,10 @@ LIVE INGEST (serve / replay-wal):
   --shards N > 1 additionally re-runs the released stream through the
   supervised engine and verifies the reports match bit for bit.
   --silence-deadline 0 disables liveness tracking.
+  --wal-retain-bytes N bounds the WAL on disk: segments wholly covered
+  by a durable checkpoint are deleted after the checkpoint commits, and
+  when nothing is reclaimable new records are shed with counted NACKs
+  instead of breaching the budget.
 
 CHAOS TESTING (analyze):
   --chaos-seed S           inject a seeded, replayable fault plan
@@ -369,6 +382,8 @@ pub fn parse<'a, I: IntoIterator<Item = &'a str>>(args: I) -> Result<Command, Pa
                 watermark: 1800,
                 silence_deadline: Some(3600),
                 checkpoint_every: 256,
+                wal_retain_bytes: None,
+                wal_segment_bytes: None,
                 crash_after: None,
                 quiet: false,
             };
@@ -410,6 +425,24 @@ pub fn parse<'a, I: IntoIterator<Item = &'a str>>(args: I) -> Result<Command, Pa
                         parsed.checkpoint_every = take_value(flag, &mut it)?
                             .parse()
                             .map_err(|e| ParseError(format!("bad --checkpoint-every: {e}")))?
+                    }
+                    "--wal-retain-bytes" => {
+                        let bytes: u64 = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad --wal-retain-bytes: {e}")))?;
+                        if bytes == 0 {
+                            return Err(ParseError("--wal-retain-bytes must be positive".into()));
+                        }
+                        parsed.wal_retain_bytes = Some(bytes);
+                    }
+                    "--wal-segment-bytes" => {
+                        let bytes: u64 = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad --wal-segment-bytes: {e}")))?;
+                        if bytes == 0 {
+                            return Err(ParseError("--wal-segment-bytes must be positive".into()));
+                        }
+                        parsed.wal_segment_bytes = Some(bytes);
                     }
                     "--crash-after" => {
                         parsed.crash_after = Some(
@@ -625,6 +658,8 @@ mod tests {
                 assert_eq!(a.fsync, FsyncPolicy::Batch(64));
                 assert_eq!(a.watermark, 1800);
                 assert_eq!(a.silence_deadline, Some(3600));
+                assert_eq!(a.wal_retain_bytes, None);
+                assert_eq!(a.wal_segment_bytes, None);
                 assert_eq!(a.crash_after, None);
             }
             other => panic!("{other:?}"),
@@ -641,6 +676,10 @@ mod tests {
             "600",
             "--silence-deadline",
             "0",
+            "--wal-retain-bytes",
+            "65536",
+            "--wal-segment-bytes",
+            "4096",
             "--crash-after",
             "40",
             "--quiet",
@@ -652,6 +691,8 @@ mod tests {
                 assert_eq!(a.fsync, FsyncPolicy::Never);
                 assert_eq!(a.watermark, 600);
                 assert_eq!(a.silence_deadline, None);
+                assert_eq!(a.wal_retain_bytes, Some(65536));
+                assert_eq!(a.wal_segment_bytes, Some(4096));
                 assert_eq!(a.crash_after, Some(40));
                 assert!(a.quiet);
             }
@@ -665,6 +706,10 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("fsync"));
+        assert!(parse(["serve", "--wal-dir", "w", "--wal-retain-bytes", "0"])
+            .unwrap_err()
+            .to_string()
+            .contains("wal-retain-bytes"));
     }
 
     #[test]

@@ -95,6 +95,8 @@ fn run_simulate(a: SimulateArgs) -> Result<(), Box<dyn std::error::Error>> {
             &cfg.ranges,
         );
     }
+    // sentinet-allow(io-outside-vfs): the simulate subcommand's CSV output
+    // is a terminal-program deliverable, not gateway-durable state.
     let file = File::create(&a.output)?;
     write_trace(&trace, 2, BufWriter::new(file))?;
     println!(
@@ -215,6 +217,26 @@ fn finish_gateway_report(report: &GatewayReport, quiet: bool) {
         "ingest: {} accepted, {} duplicate(s), {} late, {} shed",
         ingest.accepted, ingest.duplicates, ingest.late, ingest.shed
     );
+    let storage = &report.storage;
+    if !storage.is_clean() {
+        eprintln!(
+            "storage: {} budget-shed, {} rejected-while-poisoned, \
+             {} checkpoint failure(s), {} reclaim failure(s)",
+            storage.budget_shed,
+            storage.storage_rejects,
+            storage.checkpoint_failures,
+            storage.reclaim_failures
+        );
+        if let Some(err) = &storage.error {
+            eprintln!("warning: wal poisoned by storage failure: {err}");
+        }
+    }
+    if storage.reclaimed_segments > 0 {
+        eprintln!(
+            "retention: reclaimed {} checkpointed segment(s)",
+            storage.reclaimed_segments
+        );
+    }
     if report.liveness.episodes > 0 || !report.liveness.is_live() {
         eprintln!("warning: {}", report.liveness);
     }
@@ -244,14 +266,19 @@ fn run_serve(a: ServeArgs) -> Result<(), Box<dyn std::error::Error>> {
     config.wal.crash_after = a.crash_after;
     config.silence_deadline = a.silence_deadline;
     config.checkpoint_every = a.checkpoint_every;
+    config.wal.retain_bytes = a.wal_retain_bytes;
+    if let Some(bytes) = a.wal_segment_bytes {
+        config.wal.segment_max_bytes = bytes;
+    }
     let (mut collector, info) = Collector::open(config)?;
-    if info.replayed > 0 {
+    if info.replayed > 0 || info.restored_from.is_some() {
         eprintln!(
             "recovered {} record(s) from the wal{}",
             info.replayed,
-            match info.verified_cursor {
-                Some(cursor) => format!(" (checkpoint verified at cursor {cursor})"),
-                None => String::new(),
+            match (info.restored_from, info.verified_cursor) {
+                (Some(cursor), _) => format!(" (restored from checkpoint at cursor {cursor})"),
+                (None, Some(cursor)) => format!(" (checkpoint verified at cursor {cursor})"),
+                (None, None) => String::new(),
             }
         );
     }
@@ -282,6 +309,20 @@ fn run_replay_wal(a: ReplayWalArgs) -> Result<(), Box<dyn std::error::Error>> {
     config.checkpoint_every = 0;
     config.record_released = a.shards > 1;
     let (collector, info) = Collector::open(config)?;
+    if let Some(cursor) = info.restored_from {
+        if a.shards > 1 {
+            // Retention deleted the checkpointed prefix, so the
+            // released stream starts mid-run and the engine would
+            // (correctly) diverge from the restored collector.
+            return Err(format!(
+                "wal was reclaimed under a retention budget (checkpoint at cursor \
+                 {cursor}); the released stream is incomplete, so the --shards \
+                 cross-check cannot run — re-run with --shards 1"
+            )
+            .into());
+        }
+        eprintln!("restored from checkpoint at cursor {cursor}");
+    }
     eprintln!("replayed {} record(s) from the wal", info.replayed);
     let report = collector.finish()?;
     if let Some(trace) = &report.released {

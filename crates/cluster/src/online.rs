@@ -308,6 +308,88 @@ impl ModelStates {
     #[cfg(not(feature = "check-invariants"))]
     #[inline(always)]
     fn assert_invariants(&self, _context: &str) {}
+
+    /// Captures the complete state set as plain data for checkpointing.
+    /// [`ModelStates::from_snapshot`] rebuilds a set that is `==` to
+    /// this one (all floats verbatim, the generation counter included,
+    /// so memo caches keyed on [`ModelStates::generation`] stay
+    /// coherent across a restore).
+    pub fn snapshot(&self) -> StatesSnapshot {
+        StatesSnapshot {
+            centroids: self.centroids.clone(),
+            active: self.active.clone(),
+            config: self.config.clone(),
+            generation: self.generation,
+        }
+    }
+
+    /// Rebuilds a state set from a snapshot, re-validating the
+    /// structural invariants (a corrupt checkpoint must fail loudly).
+    ///
+    /// # Errors
+    ///
+    /// A description of the violated invariant.
+    pub fn from_snapshot(snapshot: StatesSnapshot) -> Result<Self, String> {
+        let StatesSnapshot {
+            centroids,
+            active,
+            config,
+            generation,
+        } = snapshot;
+        if centroids.is_empty() {
+            return Err("state snapshot has no slots".into());
+        }
+        let dims = centroids[0].len();
+        if dims == 0 {
+            return Err("state snapshot has zero-dimensional centroids".into());
+        }
+        if centroids.iter().any(|c| c.len() != dims) {
+            return Err("state snapshot has inconsistent centroid dimensions".into());
+        }
+        if active.len() != centroids.len() {
+            return Err(format!(
+                "state snapshot active flags ({}) disagree with slots ({})",
+                active.len(),
+                centroids.len()
+            ));
+        }
+        if !active.iter().any(|&a| a) {
+            return Err("state snapshot has no active slot".into());
+        }
+        if !(config.alpha > 0.0 && config.alpha < 1.0) {
+            return Err(format!("state snapshot alpha {} out of (0, 1)", config.alpha));
+        }
+        if !(config.merge_threshold >= 0.0 && config.spawn_threshold > config.merge_threshold) {
+            return Err("state snapshot thresholds inverted".into());
+        }
+        if config.max_states < centroids.len() {
+            return Err("state snapshot exceeds its own max_states".into());
+        }
+        let restored = Self {
+            centroids,
+            active,
+            config,
+            dims,
+            generation,
+        };
+        restored.assert_invariants("from_snapshot");
+        Ok(restored)
+    }
+}
+
+/// Plain-data image of a [`ModelStates`], produced by
+/// [`ModelStates::snapshot`] for checkpoint/restore. Centroids are
+/// stored verbatim, so a round-trip is bit-exact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatesSnapshot {
+    /// Every slot's centroid (active and merged-away).
+    pub centroids: Vec<Vec<f64>>,
+    /// Per-slot active flag.
+    pub active: Vec<bool>,
+    /// The clustering configuration in force at capture time.
+    pub config: ClusterConfig,
+    /// Update-generation counter at capture time.
+    pub generation: u64,
 }
 
 fn dist(a: &[f64], b: &[f64]) -> f64 {
@@ -321,6 +403,43 @@ fn dist(a: &[f64], b: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn snapshot_round_trips_bit_exactly() {
+        let mut states = ModelStates::new(
+            vec![vec![12.0, 94.0], vec![31.0, 56.0]],
+            ClusterConfig::default(),
+        );
+        states.update(&[vec![12.5, 93.0], vec![40.0, 40.0]]);
+        let restored = ModelStates::from_snapshot(states.snapshot()).unwrap();
+        assert_eq!(states, restored);
+        // Continuing both yields identical evolution.
+        let mut a = states;
+        let mut b = restored;
+        let evs_a = a.update(&[vec![13.0, 92.0]]);
+        let evs_b = b.update(&[vec![13.0, 92.0]]);
+        assert_eq!(evs_a, evs_b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_snapshot_rejects_corruption() {
+        let states = ModelStates::new(vec![vec![1.0, 2.0]], ClusterConfig::default());
+        let good = states.snapshot();
+        let mut bad = good.clone();
+        bad.active = vec![false];
+        assert!(ModelStates::from_snapshot(bad).is_err());
+        let mut bad = good.clone();
+        bad.centroids = vec![vec![1.0, 2.0], vec![3.0]];
+        assert!(ModelStates::from_snapshot(bad).is_err());
+        let mut bad = good.clone();
+        bad.config.alpha = 2.0;
+        assert!(ModelStates::from_snapshot(bad).is_err());
+        let mut bad = good;
+        bad.centroids.clear();
+        bad.active.clear();
+        assert!(ModelStates::from_snapshot(bad).is_err());
+    }
 
     fn cfg() -> ClusterConfig {
         ClusterConfig {

@@ -18,8 +18,9 @@
 //! `vendor/README.md`); they document intent but do no serialization.
 
 use crate::runtime::TrackRecord;
+use sentinet_cluster::StatesSnapshot;
 use sentinet_filter::FilterSnapshot;
-use sentinet_hmm::EstimatorState;
+use sentinet_hmm::{EstimatorState, MarkovState};
 use sentinet_sim::SensorId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -40,6 +41,76 @@ pub struct SensorSnapshot {
     pub raw_history: Vec<(u64, bool)>,
     /// Whether a filtered alarm was ever raised.
     pub ever_alarmed: bool,
+}
+
+/// Plain-data image of the in-progress observation window, produced by
+/// [`Windower::snapshot`](crate::Windower::snapshot). Only sensors with
+/// at least one delivered reading appear, so a live windower (whose
+/// recycled windows keep cleared per-sensor buffers around) and a
+/// restored one encode identically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowerSnapshot {
+    /// Whether any reading has ever arrived.
+    pub started: bool,
+    /// Index of the in-progress window.
+    pub index: u64,
+    /// Start time of the in-progress window.
+    pub start: u64,
+    /// Per-sensor `(id, dims, flat row-major samples)` for every sensor
+    /// with at least one reading in the in-progress window.
+    pub readings: Vec<(SensorId, usize, Vec<f64>)>,
+}
+
+/// The bootstrapped portion of a [`GlobalSnapshot`]: the model states
+/// and the three estimators that are installed together at bootstrap.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GlobalStates {
+    /// The evolving model-state set.
+    pub states: StatesSnapshot,
+    /// The `M_CO` (correct → observable) estimator.
+    pub m_co: EstimatorState,
+    /// The `M_C` Markov model of the correct states.
+    pub m_c: MarkovState,
+    /// The `M_O` Markov model of the observable states.
+    pub m_o: MarkovState,
+}
+
+/// Plain-data image of the [`GlobalModel`](crate::GlobalModel),
+/// produced by [`GlobalModel::snapshot`](crate::GlobalModel::snapshot).
+///
+/// The model's RNG is deliberately *not* captured: it is consumed only
+/// by the bootstrap k-means call that installs the states. Before
+/// bootstrap it is still virgin (re-seeding from `config.seed` restores
+/// it exactly); after bootstrap it is never drawn from again, so its
+/// position is irrelevant to all future behaviour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GlobalSnapshot {
+    /// Decisive windows processed so far.
+    pub windows_processed: u64,
+    /// The `(window, correct, observable)` decisive-window history.
+    pub state_history: Vec<(u64, usize, usize)>,
+    /// Window means accumulated toward the bootstrap k-means (empty
+    /// once states are installed).
+    pub bootstrap_points: Vec<Vec<f64>>,
+    /// The bootstrapped state, once installed.
+    pub states: Option<GlobalStates>,
+}
+
+/// Plain-data image of a whole [`Pipeline`](crate::Pipeline), produced
+/// by [`Pipeline::snapshot`](crate::Pipeline::snapshot): the global
+/// model, the in-progress window, and every per-sensor runtime.
+/// Restoring with [`Pipeline::from_snapshot`](crate::Pipeline::from_snapshot)
+/// yields a pipeline whose behaviour is bit-identical from this point
+/// on — this is what turns the gateway checkpoint from a verification
+/// fingerprint into a restore point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineSnapshot {
+    /// The coordinator-side global model.
+    pub global: GlobalSnapshot,
+    /// The in-progress observation window.
+    pub windower: WindowerSnapshot,
+    /// Every sensor's runtime, in ascending sensor order.
+    pub sensors: Vec<(SensorId, SensorSnapshot)>,
 }
 
 /// Error decoding or restoring a checkpoint.
@@ -422,6 +493,424 @@ pub fn decode_shard(text: &str) -> Result<Vec<(SensorId, SensorSnapshot)>, Check
     Ok(sensors)
 }
 
+const PIPELINE_MAGIC: &str = "sentinet-pipeline v1";
+
+fn put_hex_row(out: &mut String, tag: &str, row: &[f64]) {
+    out.push_str(tag);
+    for v in row {
+        out.push(' ');
+        out.push_str(&hex(*v));
+    }
+    out.push('\n');
+}
+
+fn join_u64(v: &[u64]) -> String {
+    v.iter().map(u64::to_string).collect::<Vec<_>>().join(",")
+}
+
+fn put_estimator(out: &mut String, tag: &str, m: &EstimatorState) {
+    let prev = m.prev_state.map_or("-".into(), |p| p.to_string());
+    out.push_str(&format!(
+        "{tag} {} {} {prev} {} {}\n",
+        hex(m.beta),
+        hex(m.gamma),
+        m.steps,
+        m.generation,
+    ));
+    for row in &m.a {
+        put_hex_row(out, &format!("{tag}-a"), row);
+    }
+    for row in &m.b {
+        put_hex_row(out, &format!("{tag}-b"), row);
+    }
+    out.push_str(&format!(
+        "{tag}-counts {} {}\n",
+        join_u64(&m.state_counts),
+        join_u64(&m.obs_counts)
+    ));
+}
+
+fn put_markov(out: &mut String, tag: &str, m: &MarkovState) {
+    let prev = m.prev.map_or("-".into(), |p| p.to_string());
+    out.push_str(&format!(
+        "{tag} {} {prev} {}\n",
+        hex(m.beta),
+        join_u64(&m.visits)
+    ));
+    for row in &m.transition {
+        put_hex_row(out, &format!("{tag}-row"), row);
+    }
+}
+
+/// Encodes a whole pipeline's restore-point snapshot as durable
+/// checkpoint text. Floating-point fields use the same IEEE-754
+/// bit-pattern encoding as [`encode_shard`] (whose output forms the
+/// final section), so a round-trip is bit-exact and the encoding of a
+/// live pipeline equals the encoding of its restored twin.
+pub fn encode_pipeline(snap: &PipelineSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str(PIPELINE_MAGIC);
+    out.push('\n');
+    let g = &snap.global;
+    out.push_str(&format!("windows {}\n", g.windows_processed));
+    out.push_str("history");
+    if g.state_history.is_empty() {
+        out.push_str(" -");
+    }
+    for (w, c, o) in &g.state_history {
+        out.push_str(&format!(" {w}:{c}:{o}"));
+    }
+    out.push('\n');
+    out.push_str(&format!("bootstrap {}\n", g.bootstrap_points.len()));
+    for point in &g.bootstrap_points {
+        put_hex_row(&mut out, "bp", point);
+    }
+    match &g.states {
+        None => out.push_str("states 0\n"),
+        Some(gs) => {
+            out.push_str("states 1\n");
+            let s = &gs.states;
+            out.push_str(&format!(
+                "cluster {} {} {} {} {}\n",
+                hex(s.config.alpha),
+                hex(s.config.merge_threshold),
+                hex(s.config.spawn_threshold),
+                s.config.max_states,
+                s.generation,
+            ));
+            for (centroid, active) in s.centroids.iter().zip(&s.active) {
+                put_hex_row(&mut out, &format!("slot {}", u8::from(*active)), centroid);
+            }
+            put_estimator(&mut out, "mco", &gs.m_co);
+            put_markov(&mut out, "mc", &gs.m_c);
+            put_markov(&mut out, "mo", &gs.m_o);
+        }
+    }
+    let w = &snap.windower;
+    out.push_str(&format!(
+        "windower {} {} {}\n",
+        u8::from(w.started),
+        w.index,
+        w.start
+    ));
+    for (id, dims, data) in &w.readings {
+        put_hex_row(&mut out, &format!("wsensor {} {dims}", id.0), data);
+    }
+    out.push_str("sensors\n");
+    out.push_str(&encode_shard(&snap.sensors));
+    out
+}
+
+/// Line cursor with single-line pushback, for the sections of the
+/// pipeline codec whose row counts are discovered by lookahead.
+struct Cursor<'a> {
+    lines: Vec<&'a str>,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            lines: text.lines().collect(),
+            pos: 0,
+        }
+    }
+
+    fn next(&mut self) -> Option<&'a str> {
+        let line = self.lines.get(self.pos).copied();
+        if line.is_some() {
+            self.pos += 1;
+        }
+        line
+    }
+
+    fn peek(&self) -> Option<&'a str> {
+        self.lines.get(self.pos).copied()
+    }
+
+    fn fail<T>(&self, reason: impl Into<String>) -> Result<T, CheckpointError> {
+        Err(CheckpointError::Malformed {
+            line: self.pos,
+            reason: reason.into(),
+        })
+    }
+
+    fn hexf(&self, s: &str) -> Result<f64, CheckpointError> {
+        u64::from_str_radix(s, 16)
+            .map(f64::from_bits)
+            .map_err(|e| CheckpointError::Malformed {
+                line: self.pos,
+                reason: format!("bad hex float `{s}`: {e}"),
+            })
+    }
+
+    fn num<T: std::str::FromStr>(&self, s: &str) -> Result<T, CheckpointError>
+    where
+        T::Err: fmt::Display,
+    {
+        s.parse().map_err(|e| CheckpointError::Malformed {
+            line: self.pos,
+            reason: format!("bad number `{s}`: {e}"),
+        })
+    }
+
+    fn hex_row(&self, rest: &str) -> Result<Vec<f64>, CheckpointError> {
+        rest.split_whitespace().map(|s| self.hexf(s)).collect()
+    }
+
+    fn u64s(&self, s: &str) -> Result<Vec<u64>, CheckpointError> {
+        if s.is_empty() {
+            return Err(CheckpointError::Malformed {
+                line: self.pos,
+                reason: "empty count vector".into(),
+            });
+        }
+        s.split(',').map(|c| self.num(c)).collect()
+    }
+
+    /// Consumes `<tag>-<suffix> …` rows while they match.
+    fn rows(&mut self, prefix: &str) -> Result<Vec<Vec<f64>>, CheckpointError> {
+        let mut rows = Vec::new();
+        while let Some(line) = self.peek() {
+            let Some(rest) = line.strip_prefix(prefix) else {
+                break;
+            };
+            self.pos += 1;
+            rows.push(self.hex_row(rest)?);
+        }
+        Ok(rows)
+    }
+}
+
+fn parse_estimator(cur: &mut Cursor<'_>, tag: &str) -> Result<EstimatorState, CheckpointError> {
+    let Some(line) = cur.next() else {
+        return cur.fail(format!("truncated: missing {tag} line"));
+    };
+    let Some(rest) = line.strip_prefix(&format!("{tag} ")) else {
+        return cur.fail(format!("expected {tag} line, got `{line}`"));
+    };
+    let parts: Vec<&str> = rest.split(' ').collect();
+    if parts.len() != 5 {
+        return cur.fail(format!("{tag} needs `beta gamma prev steps generation`"));
+    }
+    let beta = cur.hexf(parts[0])?;
+    let gamma = cur.hexf(parts[1])?;
+    let prev_state = if parts[2] == "-" {
+        None
+    } else {
+        Some(cur.num(parts[2])?)
+    };
+    let steps = cur.num(parts[3])?;
+    let generation = cur.num(parts[4])?;
+    let a = cur.rows(&format!("{tag}-a "))?;
+    let b = cur.rows(&format!("{tag}-b "))?;
+    let Some(counts_line) = cur.next() else {
+        return cur.fail(format!("truncated: missing {tag}-counts line"));
+    };
+    let Some(rest) = counts_line.strip_prefix(&format!("{tag}-counts ")) else {
+        return cur.fail(format!("expected {tag}-counts line, got `{counts_line}`"));
+    };
+    let parts: Vec<&str> = rest.split(' ').collect();
+    if parts.len() != 2 {
+        return cur.fail(format!("{tag}-counts needs two vectors"));
+    }
+    Ok(EstimatorState {
+        a,
+        b,
+        beta,
+        gamma,
+        prev_state,
+        state_counts: cur.u64s(parts[0])?,
+        obs_counts: cur.u64s(parts[1])?,
+        steps,
+        generation,
+    })
+}
+
+fn parse_markov(cur: &mut Cursor<'_>, tag: &str) -> Result<MarkovState, CheckpointError> {
+    let Some(line) = cur.next() else {
+        return cur.fail(format!("truncated: missing {tag} line"));
+    };
+    let Some(rest) = line.strip_prefix(&format!("{tag} ")) else {
+        return cur.fail(format!("expected {tag} line, got `{line}`"));
+    };
+    let parts: Vec<&str> = rest.split(' ').collect();
+    if parts.len() != 3 {
+        return cur.fail(format!("{tag} needs `beta prev visits`"));
+    }
+    let beta = cur.hexf(parts[0])?;
+    let prev = if parts[1] == "-" {
+        None
+    } else {
+        Some(cur.num(parts[1])?)
+    };
+    let visits = cur.u64s(parts[2])?;
+    let transition = cur.rows(&format!("{tag}-row "))?;
+    Ok(MarkovState {
+        transition,
+        beta,
+        prev,
+        visits,
+    })
+}
+
+/// Decodes checkpoint text produced by [`encode_pipeline`].
+///
+/// # Errors
+///
+/// [`CheckpointError::Malformed`] on any syntax problem. Semantic
+/// validation (stochastic rows, structural invariants) happens when the
+/// snapshot is restored into a pipeline.
+pub fn decode_pipeline(text: &str) -> Result<PipelineSnapshot, CheckpointError> {
+    let Some((head, shard_text)) = text.split_once("\nsensors\n") else {
+        return Err(CheckpointError::Malformed {
+            line: 1,
+            reason: "missing `sensors` section".into(),
+        });
+    };
+    let mut cur = Cursor::new(head);
+    match cur.next() {
+        Some(PIPELINE_MAGIC) => {}
+        Some(other) => return cur.fail(format!("bad pipeline magic `{other}`")),
+        None => return cur.fail("empty pipeline snapshot"),
+    }
+
+    let windows_processed = match cur.next().and_then(|l| l.strip_prefix("windows ")) {
+        Some(n) => cur.num(n)?,
+        None => return cur.fail("expected `windows <n>`"),
+    };
+    let Some(history_line) = cur.next().and_then(|l| l.strip_prefix("history")) else {
+        return cur.fail("expected history line");
+    };
+    let mut state_history = Vec::new();
+    for item in history_line.split_whitespace() {
+        if item == "-" {
+            continue;
+        }
+        let mut it = item.split(':');
+        let (Some(w), Some(c), Some(o), None) = (it.next(), it.next(), it.next(), it.next()) else {
+            return cur.fail(format!("bad history entry `{item}`"));
+        };
+        state_history.push((cur.num(w)?, cur.num(c)?, cur.num(o)?));
+    }
+    let bootstrap_count: usize = match cur.next().and_then(|l| l.strip_prefix("bootstrap ")) {
+        Some(n) => cur.num(n)?,
+        None => return cur.fail("expected `bootstrap <n>`"),
+    };
+    let mut bootstrap_points = Vec::with_capacity(bootstrap_count);
+    for _ in 0..bootstrap_count {
+        match cur.next().and_then(|l| l.strip_prefix("bp ")) {
+            Some(rest) => bootstrap_points.push(cur.hex_row(rest)?),
+            None => return cur.fail("truncated bootstrap points"),
+        }
+    }
+
+    let states = match cur.next() {
+        Some("states 0") => None,
+        Some("states 1") => {
+            let Some(rest) = cur.next().and_then(|l| l.strip_prefix("cluster ")) else {
+                return cur.fail("expected cluster line");
+            };
+            let parts: Vec<&str> = rest.split(' ').collect();
+            if parts.len() != 5 {
+                return cur.fail("cluster needs `alpha merge spawn max generation`");
+            }
+            let config = sentinet_cluster::ClusterConfig {
+                alpha: cur.hexf(parts[0])?,
+                merge_threshold: cur.hexf(parts[1])?,
+                spawn_threshold: cur.hexf(parts[2])?,
+                max_states: cur.num(parts[3])?,
+            };
+            let generation = cur.num(parts[4])?;
+            let mut centroids = Vec::new();
+            let mut active = Vec::new();
+            while let Some(line) = cur.peek() {
+                let Some(rest) = line.strip_prefix("slot ") else {
+                    break;
+                };
+                cur.pos += 1;
+                let (flag, row) = match rest.split_once(' ') {
+                    Some((f, r)) => (f, r),
+                    None => (rest, ""),
+                };
+                active.push(match flag {
+                    "0" => false,
+                    "1" => true,
+                    other => return cur.fail(format!("bad slot flag `{other}`")),
+                });
+                centroids.push(cur.hex_row(row)?);
+            }
+            let m_co = parse_estimator(&mut cur, "mco")?;
+            let m_c = parse_markov(&mut cur, "mc")?;
+            let m_o = parse_markov(&mut cur, "mo")?;
+            Some(GlobalStates {
+                states: StatesSnapshot {
+                    centroids,
+                    active,
+                    config,
+                    generation,
+                },
+                m_co,
+                m_c,
+                m_o,
+            })
+        }
+        _ => return cur.fail("expected `states 0|1`"),
+    };
+
+    let Some(rest) = cur.next().and_then(|l| l.strip_prefix("windower ")) else {
+        return cur.fail("expected windower line");
+    };
+    let parts: Vec<&str> = rest.split(' ').collect();
+    if parts.len() != 3 {
+        return cur.fail("windower needs `started index start`");
+    }
+    let started = match parts[0] {
+        "0" => false,
+        "1" => true,
+        other => return cur.fail(format!("bad windower started flag `{other}`")),
+    };
+    let index = cur.num(parts[1])?;
+    let start = cur.num(parts[2])?;
+    let mut readings = Vec::new();
+    while let Some(line) = cur.next() {
+        let Some(rest) = line.strip_prefix("wsensor ") else {
+            return cur.fail(format!("expected wsensor line, got `{line}`"));
+        };
+        let mut it = rest.splitn(3, ' ');
+        let (Some(id), Some(dims)) = (it.next(), it.next()) else {
+            return cur.fail("wsensor needs `id dims values…`");
+        };
+        let id = SensorId(cur.num(id)?);
+        let dims: usize = cur.num(dims)?;
+        let data = cur.hex_row(it.next().unwrap_or(""))?;
+        if dims == 0 || !data.len().is_multiple_of(dims) {
+            return cur.fail(format!(
+                "wsensor data length {} not a multiple of dims {dims}",
+                data.len()
+            ));
+        }
+        readings.push((id, dims, data));
+    }
+
+    let sensors = decode_shard(shard_text)?;
+    Ok(PipelineSnapshot {
+        global: GlobalSnapshot {
+            windows_processed,
+            state_history,
+            bootstrap_points,
+            states,
+        },
+        windower: WindowerSnapshot {
+            started,
+            index,
+            start,
+            readings,
+        },
+        sensors,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -479,6 +968,79 @@ mod tests {
     fn decode_rejects_bad_magic_and_empty() {
         assert!(decode_shard("").is_err());
         assert!(decode_shard("not a checkpoint\n").is_err());
+    }
+
+    fn sample_pipeline_snapshot(with_states: bool) -> PipelineSnapshot {
+        let config = PipelineConfig::default();
+        let states = with_states.then(|| GlobalStates {
+            states: StatesSnapshot {
+                centroids: vec![vec![1.5, -2.25], vec![0.125, 7.75], vec![0.0, 0.0]],
+                active: vec![true, true, false],
+                config: sentinet_cluster::ClusterConfig::default(),
+                generation: 4,
+            },
+            m_co: {
+                let mut est = sentinet_hmm::OnlineHmmEstimator::new(3, 3, 0.9, 0.9).unwrap();
+                est.observe(0, 1).unwrap();
+                est.observe(1, 1).unwrap();
+                est.export_state()
+            },
+            m_c: {
+                let mut m = sentinet_hmm::OnlineMarkovEstimator::new(3, 0.9).unwrap();
+                m.observe(0).unwrap();
+                m.observe(2).unwrap();
+                m.export_state()
+            },
+            m_o: sentinet_hmm::OnlineMarkovEstimator::new(3, 0.9)
+                .unwrap()
+                .export_state(),
+        });
+        PipelineSnapshot {
+            global: GlobalSnapshot {
+                windows_processed: 17,
+                state_history: vec![(3, 2, 2), (4, 3, 2)],
+                bootstrap_points: vec![vec![1.0, 2.0], vec![-0.5, f64::MIN_POSITIVE]],
+                states,
+            },
+            windower: WindowerSnapshot {
+                started: true,
+                index: 17,
+                start: 17 * 3600,
+                readings: vec![(SensorId(0), 2, vec![20.5, 50.0, 21.0, 49.5])],
+            },
+            sensors: vec![
+                (
+                    SensorId(0),
+                    runtime_with_history(&config).snapshot(),
+                ),
+                (SensorId(3), SensorRuntime::new(&config, 2).snapshot()),
+            ],
+        }
+    }
+
+    #[test]
+    fn pipeline_codec_round_trips_with_and_without_states() {
+        for with_states in [false, true] {
+            let snap = sample_pipeline_snapshot(with_states);
+            let decoded = decode_pipeline(&encode_pipeline(&snap)).expect("round trip");
+            assert_eq!(decoded, snap);
+        }
+    }
+
+    #[test]
+    fn pipeline_decode_rejects_malformed() {
+        let snap = sample_pipeline_snapshot(true);
+        let text = encode_pipeline(&snap);
+        assert!(decode_pipeline("").is_err());
+        assert!(decode_pipeline("bad magic\nsensors\n").is_err());
+        assert!(decode_pipeline(&text.replace("\nsensors\n", "\n")).is_err());
+        assert!(decode_pipeline(&text.replace("windower 1", "windower 2")).is_err());
+        assert!(decode_pipeline(&text.replace("mco-counts", "mco-count")).is_err());
+        let err = decode_pipeline(&text.replace("cluster ", "clutter ")).expect_err("corrupt");
+        match err {
+            CheckpointError::Malformed { line, .. } => assert!(line > 1),
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 
     #[test]

@@ -65,7 +65,10 @@ pub mod report;
 pub mod runtime;
 pub mod window;
 
-pub use checkpoint::{CheckpointError, SensorSnapshot};
+pub use checkpoint::{
+    decode_pipeline, encode_pipeline, CheckpointError, GlobalSnapshot, GlobalStates,
+    PipelineSnapshot, SensorSnapshot, WindowerSnapshot,
+};
 pub use classify::{AttackType, Diagnosis, ErrorType, NetworkEvidence, SensorEvidence};
 pub use config::{FilterPolicy, PipelineConfig};
 pub use pipeline::{Pipeline, TrackRecord, WindowOutcome, BOT_SYMBOL};

@@ -310,6 +310,56 @@ impl Pipeline {
             .collect()
     }
 
+    /// Captures the complete pipeline state — global model, in-progress
+    /// window, and every sensor runtime — as a restore-point
+    /// [`PipelineSnapshot`](crate::checkpoint::PipelineSnapshot).
+    /// Restoring it with [`Pipeline::from_snapshot`] under the same
+    /// config and sample period yields a pipeline that continues
+    /// bit-identically, which is what lets the gateway's WAL retention
+    /// delete replayed log prefixes without weakening its recovery
+    /// proof.
+    pub fn snapshot(&self) -> crate::checkpoint::PipelineSnapshot {
+        crate::checkpoint::PipelineSnapshot {
+            global: self.global.snapshot(),
+            windower: self.windower.snapshot(),
+            sensors: self.sensor_snapshots(),
+        }
+    }
+
+    /// Rebuilds a pipeline mid-stream from a restore-point snapshot
+    /// taken under the same `config` and `sample_period`.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::checkpoint::CheckpointError::Invalid`] if any embedded
+    /// model state fails re-validation (corrupt checkpoint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or `sample_period == 0`
+    /// (as [`Pipeline::new`]).
+    pub fn from_snapshot(
+        config: PipelineConfig,
+        sample_period: u64,
+        snapshot: crate::checkpoint::PipelineSnapshot,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        assert!(sample_period > 0, "sample period must be positive");
+        let duration = config.window_samples as u64 * sample_period;
+        let windower = Windower::from_snapshot(duration, &snapshot.windower)?;
+        let global = GlobalModel::from_snapshot(config, snapshot.global)?;
+        let mut sensors = BTreeMap::new();
+        for (id, snap) in snapshot.sensors {
+            sensors.insert(id, SensorRuntime::from_snapshot(snap)?);
+        }
+        Ok(Self {
+            global,
+            windower,
+            sensors,
+            scratch: WindowScratch::new(),
+            spare_outcomes: Vec::new(),
+        })
+    }
+
     /// The raw-alarm history of a sensor as `(window, raw)` pairs
     /// (paper Fig. 12).
     pub fn raw_alarm_history(&self, sensor: SensorId) -> Option<&[(u64, bool)]> {
@@ -510,6 +560,48 @@ mod tests {
         let mut p = Pipeline::new(cfg, period);
         let outcomes = p.process_trace(&trace);
         assert_eq!(outcomes.len(), 24);
+    }
+
+    #[test]
+    fn restored_pipeline_continues_bit_identically() {
+        let (trace, period) = quiet_day_trace();
+        let delivered: Vec<_> = trace.delivered().collect();
+        let split = delivered.len() / 2;
+
+        // Baseline: one pipeline over the whole stream.
+        let mut baseline = Pipeline::new(PipelineConfig::default(), period);
+        let mut base_outcomes = Vec::new();
+        for (time, sensor, reading) in &delivered {
+            base_outcomes.extend(baseline.push_reading(*time, *sensor, reading));
+        }
+        base_outcomes.extend(baseline.finalize());
+
+        // Snapshot mid-stream (after bootstrap has installed states),
+        // round-trip through the durable text codec, restore, continue.
+        let mut first = Pipeline::new(PipelineConfig::default(), period);
+        let mut outcomes = Vec::new();
+        for (time, sensor, reading) in &delivered[..split] {
+            outcomes.extend(first.push_reading(*time, *sensor, reading));
+        }
+        let snap = first.snapshot();
+        assert!(snap.global.states.is_some(), "bootstrap happened pre-split");
+        let decoded =
+            crate::checkpoint::decode_pipeline(&crate::checkpoint::encode_pipeline(&snap))
+                .expect("codec round trip");
+        assert_eq!(decoded, snap);
+        let mut resumed = Pipeline::from_snapshot(PipelineConfig::default(), period, decoded)
+            .expect("restore");
+        for (time, sensor, reading) in &delivered[split..] {
+            outcomes.extend(resumed.push_reading(*time, *sensor, reading));
+        }
+        outcomes.extend(resumed.finalize());
+
+        assert_eq!(outcomes, base_outcomes);
+        assert_eq!(
+            crate::checkpoint::encode_pipeline(&resumed.snapshot()),
+            crate::checkpoint::encode_pipeline(&baseline.snapshot()),
+            "restored pipeline's final state is byte-equal to the uninterrupted run"
+        );
     }
 
     #[test]

@@ -479,6 +479,87 @@ impl GlobalModel {
         &self.config
     }
 
+    /// Captures the coordinator-side state for checkpointing: the
+    /// bootstrap accumulator, decisive-window history, and — once
+    /// bootstrapped — the model states with all three global
+    /// estimators. The classification memo is a generation-keyed cache
+    /// and rebuilds on first use; the RNG is not captured because it is
+    /// consumed only by the bootstrap k-means, which by construction
+    /// has already run iff `states` is `Some` (and a restored
+    /// pre-bootstrap model re-seeds from `config.seed`, replaying the
+    /// identical draw sequence).
+    pub fn snapshot(&self) -> crate::checkpoint::GlobalSnapshot {
+        let states = match (&self.states, &self.m_co, &self.m_c, &self.m_o) {
+            (Some(s), Some(m_co), Some(m_c), Some(m_o)) => Some(crate::checkpoint::GlobalStates {
+                states: s.snapshot(),
+                m_co: m_co.export_state(),
+                m_c: m_c.export_state(),
+                m_o: m_o.export_state(),
+            }),
+            _ => None,
+        };
+        crate::checkpoint::GlobalSnapshot {
+            windows_processed: self.windows_processed,
+            state_history: self.state_history.clone(),
+            bootstrap_points: self.bootstrap_points.clone(),
+            states,
+        }
+    }
+
+    /// Rebuilds the global model from a checkpoint snapshot taken
+    /// under the same `config`. The restored model continues
+    /// bit-identically: every captured field is a deterministic
+    /// function of the processed window sequence, and the only
+    /// stochastic component (the bootstrap k-means RNG) is re-seeded
+    /// from `config.seed` exactly as [`GlobalModel::new`] does.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::checkpoint::CheckpointError::Invalid`] if an embedded
+    /// model state fails re-validation (corrupt checkpoint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (as [`GlobalModel::new`]).
+    pub fn from_snapshot(
+        config: PipelineConfig,
+        snapshot: crate::checkpoint::GlobalSnapshot,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        config.validate();
+        let invalid = crate::checkpoint::CheckpointError::Invalid;
+        let (states, m_co, m_c, m_o) = match snapshot.states {
+            None => (None, None, None, None),
+            Some(gs) => (
+                Some(ModelStates::from_snapshot(gs.states).map_err(invalid)?),
+                Some(
+                    OnlineHmmEstimator::import_state(gs.m_co)
+                        .map_err(|e| invalid(e.to_string()))?,
+                ),
+                Some(
+                    OnlineMarkovEstimator::import_state(gs.m_c)
+                        .map_err(|e| invalid(e.to_string()))?,
+                ),
+                Some(
+                    OnlineMarkovEstimator::import_state(gs.m_o)
+                        .map_err(|e| invalid(e.to_string()))?,
+                ),
+            ),
+        };
+        let rng = StdRng::seed_from_u64(config.seed);
+        Ok(Self {
+            config,
+            rng,
+            states,
+            m_co,
+            m_c,
+            m_o,
+            bootstrap_points: snapshot.bootstrap_points,
+            windows_processed: snapshot.windows_processed,
+            state_history: snapshot.state_history,
+            net_memo: RefCell::new(None),
+        })
+    }
+
     /// Identity of the current network model: changes exactly when
     /// `M_CO` or the model states change.
     fn network_stamp(&self) -> Option<(u64, u64)> {

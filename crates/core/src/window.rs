@@ -24,6 +24,7 @@
 //! caller-owned [`WindowScratch`]. A pipeline in steady state performs
 //! no per-reading or per-window heap allocation.
 
+use crate::checkpoint::{CheckpointError, WindowerSnapshot};
 use sentinet_cluster::ModelStates;
 use sentinet_sim::{SensorId, Timestamp};
 use std::collections::BTreeMap;
@@ -406,6 +407,57 @@ impl Windower {
         completed
     }
 
+    /// Captures the in-progress window as a restore-point
+    /// [`WindowerSnapshot`]. Only sensors with delivered readings are
+    /// recorded, so a live windower (whose recycled windows keep
+    /// cleared per-sensor buffers around) and its restored twin
+    /// snapshot identically.
+    pub fn snapshot(&self) -> WindowerSnapshot {
+        WindowerSnapshot {
+            started: self.started,
+            index: self.current.index,
+            start: self.current.start,
+            readings: self
+                .current
+                .sensors()
+                .map(|(id, s)| (id, s.dims(), s.as_flat().to_vec()))
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a windower mid-window from a [`WindowerSnapshot`].
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Invalid`] when a sensor's flat sample buffer
+    /// disagrees with its recorded dimensionality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_duration == 0` (as [`Windower::new`]).
+    pub fn from_snapshot(
+        window_duration: u64,
+        snapshot: &WindowerSnapshot,
+    ) -> Result<Self, CheckpointError> {
+        let mut w = Self::new(window_duration);
+        w.started = snapshot.started;
+        w.current.index = snapshot.index;
+        w.current.start = snapshot.start;
+        for (id, dims, data) in &snapshot.readings {
+            if *dims == 0 || !data.len().is_multiple_of(*dims) || data.is_empty() {
+                return Err(CheckpointError::Invalid(format!(
+                    "windower sensor {}: {} samples do not divide into dims {dims}",
+                    id.0,
+                    data.len()
+                )));
+            }
+            for values in data.chunks_exact(*dims) {
+                w.current.push(*id, values);
+            }
+        }
+        Ok(w)
+    }
+
     /// Flushes the in-progress window (end of stream).
     pub fn finish(&mut self) -> Option<ObservationWindow> {
         if self.current.is_empty() {
@@ -600,6 +652,34 @@ mod tests {
         assert_eq!(next.sensors().count(), 1);
         assert_eq!(next.sensor_means()[&SensorId(7)], vec![4.0]);
         assert_eq!(next.overall_mean().unwrap(), vec![4.0]);
+    }
+
+    #[test]
+    fn windower_snapshot_round_trips_mid_window() {
+        let mut w = Windower::new(100);
+        w.push(0, SensorId(0), &[1.0, 2.0]);
+        w.push(250, SensorId(1), &[3.0, 4.0]);
+        w.push(260, SensorId(1), &[5.0, 6.0]);
+        let snap = w.snapshot();
+        let mut restored = Windower::from_snapshot(100, &snap).expect("restore");
+        // Both continue identically: same completed window on the next
+        // roll, byte-equal re-snapshot.
+        assert_eq!(restored.snapshot(), snap);
+        let a = w.push(300, SensorId(0), &[7.0]).remove(0);
+        let b = restored.push(300, SensorId(0), &[7.0]).remove(0);
+        assert_eq!(a, b);
+        assert_eq!(a.index, 2);
+
+        // A never-started windower round-trips too.
+        let empty = Windower::new(100);
+        let snap = empty.snapshot();
+        assert!(!snap.started);
+        assert_eq!(Windower::from_snapshot(100, &snap).unwrap().snapshot(), snap);
+
+        // Corrupt dims are rejected.
+        let mut bad = w.snapshot();
+        bad.readings[0].1 = 3;
+        assert!(Windower::from_snapshot(100, &bad).is_err());
     }
 
     #[test]

@@ -176,8 +176,18 @@ impl SensorUplink {
                 self.retransmits += 1;
                 self.backoff(attempt);
             }
-            if self.attempt(&frame, |msg| {
-                matches!(msg, Message::Ack { sensor: s, seq: q } if *s == sensor && *q == seq)
+            if self.attempt(&frame, |msg| match msg {
+                Message::Ack { sensor: s, seq: q } if *s == sensor && *q == seq => {
+                    Reply::Acked
+                }
+                // A NACK means the server is alive but refused the
+                // record (poisoned storage or budget shedding): fail
+                // the attempt now instead of waiting out the ack
+                // deadline, and let backoff pace the re-offer.
+                Message::Nack { sensor: s, seq: q } if *s == sensor && *q == seq => {
+                    Reply::Nacked
+                }
+                _ => Reply::Unrelated,
             }) {
                 return Ok(());
             }
@@ -201,7 +211,10 @@ impl SensorUplink {
             if attempt > 0 {
                 self.backoff(attempt);
             }
-            if self.attempt(&frame, |msg| matches!(msg, Message::FinAck)) {
+            if self.attempt(&frame, |msg| match msg {
+                Message::FinAck => Reply::Acked,
+                _ => Reply::Unrelated,
+            }) {
                 if let Some((stream, _)) = self.conn.take() {
                     let _ = stream.shutdown();
                 }
@@ -214,10 +227,10 @@ impl SensorUplink {
     }
 
     /// One attempt: ensure a connection, write the frame, wait for a
-    /// message matching `is_ack`. Returns `false` on timeout (keeping
-    /// the connection) or I/O error (dropping it so the next attempt
-    /// redials).
-    fn attempt(&mut self, frame: &[u8], is_ack: impl Fn(&Message) -> bool) -> bool {
+    /// message `classify` marks as the ack or nack. Returns `false` on
+    /// nack or timeout (keeping the connection) or I/O error (dropping
+    /// it so the next attempt redials).
+    fn attempt(&mut self, frame: &[u8], classify: impl Fn(&Message) -> Reply) -> bool {
         if !self.ensure_connected() {
             return false;
         }
@@ -228,16 +241,16 @@ impl SensorUplink {
             &mut stream,
             &mut fb,
             frame,
-            &is_ack,
+            &classify,
             self.config.ack_timeout,
         ) {
             Attempt::Acked => {
                 self.conn = Some((stream, fb));
                 true
             }
-            Attempt::Timeout => {
-                // The server may just be slow: keep the connection,
-                // the retransmit rides the same stream.
+            Attempt::Timeout | Attempt::Nacked => {
+                // The server is slow (or alive-but-refusing): keep the
+                // connection, the retransmit rides the same stream.
                 self.conn = Some((stream, fb));
                 false
             }
@@ -288,11 +301,23 @@ impl SensorUplink {
     }
 }
 
+/// How one received message relates to the frame in flight.
+enum Reply {
+    /// The matching ack: the frame is durable.
+    Acked,
+    /// The matching NACK: the server refused the frame.
+    Nacked,
+    /// Something else (e.g. a stale ack from an earlier retransmit).
+    Unrelated,
+}
+
 /// Result of one write-and-await-ack attempt.
 enum Attempt {
     /// The expected ack arrived.
     Acked,
-    /// The deadline passed without it (connection still healthy).
+    /// The server NACKed the frame (connection still healthy).
+    Nacked,
+    /// The deadline passed without a reply (connection still healthy).
     Timeout,
     /// The connection failed (I/O error, EOF, or a frame error).
     Broken,
@@ -302,7 +327,7 @@ fn attempt_on(
     stream: &mut Stream,
     fb: &mut FrameBuffer,
     frame: &[u8],
-    is_ack: &impl Fn(&Message) -> bool,
+    classify: &impl Fn(&Message) -> Reply,
     ack_timeout: Duration,
 ) -> Attempt {
     if stream
@@ -319,12 +344,12 @@ fn attempt_on(
         // arrived alongside one for an earlier retransmit.
         loop {
             match fb.next_message() {
-                Ok(Some(msg)) => {
-                    if is_ack(&msg) {
-                        return Attempt::Acked;
-                    }
+                Ok(Some(msg)) => match classify(&msg) {
+                    Reply::Acked => return Attempt::Acked,
+                    Reply::Nacked => return Attempt::Nacked,
                     // Stale ack from an earlier frame: skip it.
-                }
+                    Reply::Unrelated => {}
+                },
                 Ok(None) => break,
                 Err(_) => return Attempt::Broken,
             }

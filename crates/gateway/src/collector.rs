@@ -17,15 +17,24 @@
 //! would have reached — a `kill -9` at any point resumes to a
 //! [`PipelineReport`] identical to an uninterrupted run.
 //!
-//! Periodic checkpoints reuse [`core::checkpoint`](sentinet_core::checkpoint):
-//! a checkpoint records the WAL cursor plus the
-//! [`encode_shard`] fingerprint of every sensor's runtime state at that
-//! cursor. Replay re-derives the fingerprint when it passes the cursor
-//! and fails loudly on mismatch, so silent WAL corruption (or a
-//! non-deterministic code change) cannot masquerade as a clean
-//! recovery. (Resuming *from* the snapshot without replay would also
-//! need a global-model snapshot, which the clustering state does not
-//! yet support — see DESIGN.md §12.)
+//! Periodic checkpoints are *restore points*: a checkpoint records the
+//! WAL cursor plus a full [`CollectorSnapshot`] (pipeline, reorder
+//! buffer, sanitizer, dedup state, liveness accounting) at that
+//! cursor. While the full log is present, replay re-derives the
+//! snapshot when it passes the cursor and fails loudly on mismatch, so
+//! silent WAL corruption (or a non-deterministic code change) cannot
+//! masquerade as a clean recovery. Once **checkpoint-gated retention**
+//! (`WalConfig::retain_bytes`) reclaims sealed segments below the
+//! cursor, recovery instead restores the snapshot and replays only the
+//! surviving tail — byte-equal to a full-log replay, because the
+//! snapshot is the state the deleted prefix would have rebuilt.
+//!
+//! Storage failures are **fail-stop** (`DESIGN.md` §13): the first
+//! failed write or fsync poisons the WAL, [`Collector::deliver`] stops
+//! acknowledging (returning [`DeliverOutcome::Rejected`] so the server
+//! NACKs), and the typed [`StorageError`] surfaces in
+//! [`GatewayReport::storage`]. Restarting on healthy storage replays
+//! the acked prefix bit-identically.
 //!
 //! Liveness: sensors that fall silent do not stall anything — the
 //! window barrier is driven by whatever data does arrive. When a
@@ -36,19 +45,22 @@
 //! automatically if it reports again.
 
 use crate::reorder::{AdmitOutcome, ReorderBuffer, ReorderConfig};
+use crate::snapshot::{decode_collector, encode_collector, CollectorSnapshot};
+use crate::vfs::{StorageError, VfsOp};
 use crate::wal::{Wal, WalConfig, WalError, WalRecord};
-use sentinet_core::checkpoint::encode_shard;
 use sentinet_core::{Pipeline, PipelineConfig, PipelineReport, RecoveryPlan};
 use sentinet_sim::{IngestReport, RawRecord, Sanitizer, SensorId, Timestamp, Trace, TraceRecord};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-use std::fs;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Marker line opening a gateway checkpoint file.
-const CHECKPOINT_MAGIC: &str = "sentinet-gateway-checkpoint v1";
+const CHECKPOINT_MAGIC: &str = "sentinet-gateway-checkpoint v2";
 /// Checkpoint file name inside the WAL directory.
 const CHECKPOINT_FILE: &str = "checkpoint.ck";
+/// Scratch name the checkpoint is written under before rename-commit.
+const CHECKPOINT_TMP: &str = "checkpoint.tmp";
 
 /// Full gateway configuration.
 #[derive(Debug, Clone)]
@@ -96,7 +108,7 @@ pub enum GatewayError {
     Wal(WalError),
     /// The checkpoint file exists but cannot be parsed.
     CheckpointMalformed(String),
-    /// Replay reached the checkpoint cursor with different pipeline
+    /// Replay reached the checkpoint cursor with different collector
     /// state than the checkpoint recorded.
     CheckpointMismatch {
         /// WAL cursor the checkpoint was taken at.
@@ -110,6 +122,13 @@ pub enum GatewayError {
         cursor: u64,
         /// Records actually recovered from the WAL.
         recovered: u64,
+    },
+    /// The WAL's replayed prefix was reclaimed by retention but the
+    /// checkpoint that justified the reclaim is gone — the log alone
+    /// can no longer rebuild collector state.
+    CheckpointMissing {
+        /// Lowest WAL segment present on disk.
+        first_segment: u64,
     },
     /// Filesystem error outside the WAL itself.
     Io(PathBuf, std::io::Error),
@@ -130,6 +149,11 @@ impl fmt::Display for GatewayError {
                 f,
                 "checkpoint cursor {cursor} beyond recovered wal ({recovered} records); \
                  log lost durable data (consider fsync=always)"
+            ),
+            GatewayError::CheckpointMissing { first_segment } => write!(
+                f,
+                "wal starts at retained segment {first_segment} but its checkpoint is missing; \
+                 cannot rebuild the reclaimed prefix"
             ),
             GatewayError::Io(path, e) => write!(f, "gateway io error at {}: {e}", path.display()),
         }
@@ -154,9 +178,14 @@ struct SeqTracker {
 }
 
 impl SeqTracker {
+    /// Whether `seq` has not been seen yet (no state change).
+    fn is_new(&self, seq: u64) -> bool {
+        seq >= self.next && !self.above.contains(&seq)
+    }
+
     /// Records `seq`; returns `true` if it was new.
     fn observe(&mut self, seq: u64) -> bool {
-        if seq < self.next || self.above.contains(&seq) {
+        if !self.is_new(seq) {
             return false;
         }
         if seq == self.next {
@@ -171,6 +200,17 @@ impl SeqTracker {
     }
 }
 
+/// Why a delivered frame was refused (the server sends a NACK).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectCause {
+    /// The WAL is poisoned by a storage failure; nothing can be made
+    /// durable until the process restarts on healthy storage.
+    Storage,
+    /// The WAL retention budget is exhausted and nothing below the
+    /// checkpoint cursor is reclaimable — counted load shedding.
+    WalBudget,
+}
+
 /// What the server should tell the client about a delivered frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DeliverOutcome {
@@ -178,16 +218,23 @@ pub enum DeliverOutcome {
     Accepted,
     /// Retransmission of an already-durable record: re-ack it.
     Duplicate,
+    /// The record could not be made durable: NACK it, never ack. The
+    /// client's retry protocol redelivers after restart/recovery.
+    Rejected(RejectCause),
 }
 
 /// What recovery found on open.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RecoveryInfo {
-    /// Records replayed from the WAL.
+    /// Records replayed from the WAL (only the tail above the restore
+    /// point, when one was used).
     pub replayed: u64,
     /// WAL cursor of the checkpoint that was verified bit-exactly
-    /// during replay, if one existed.
+    /// during full-log replay, if one existed.
     pub verified_cursor: Option<u64>,
+    /// WAL cursor of the restore-point snapshot state was rebuilt
+    /// from, when retention had reclaimed the replay prefix.
+    pub restored_from: Option<u64>,
 }
 
 /// Current silence accounting (the gateway's degraded-mode surface,
@@ -222,6 +269,40 @@ impl fmt::Display for LivenessStatus {
     }
 }
 
+/// Storage-health accounting: the fail-stop error (if any) plus the
+/// retention and shedding counters. Everything here is *about* the
+/// disk, so it is excluded from checkpoints and resets on restart.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StorageStatus {
+    /// The storage failure that poisoned the WAL, if any. While set,
+    /// every delivery is rejected (fail-stop; restart to recover).
+    pub error: Option<StorageError>,
+    /// Deliveries NACKed because the retention budget was exhausted
+    /// with nothing reclaimable.
+    pub budget_shed: usize,
+    /// Deliveries NACKed because the WAL was already poisoned.
+    pub storage_rejects: usize,
+    /// Checkpoint writes that failed to commit (the previous
+    /// checkpoint survives; retention pauses until one commits).
+    pub checkpoint_failures: usize,
+    /// Reclaims whose segment deletion failed after the checkpoint
+    /// committed (the files become leftovers the next open removes).
+    pub reclaim_failures: usize,
+    /// WAL segments deleted by checkpoint-gated retention.
+    pub reclaimed_segments: usize,
+}
+
+impl StorageStatus {
+    /// Whether storage is healthy and nothing was shed.
+    pub fn is_clean(&self) -> bool {
+        self.error.is_none()
+            && self.budget_shed == 0
+            && self.storage_rejects == 0
+            && self.checkpoint_failures == 0
+            && self.reclaim_failures == 0
+    }
+}
+
 /// Everything a finished gateway run produced.
 #[derive(Debug, Clone)]
 pub struct GatewayReport {
@@ -232,6 +313,8 @@ pub struct GatewayReport {
     pub ingest: IngestReport,
     /// Silence accounting.
     pub liveness: LivenessStatus,
+    /// Storage health: poisoning error and retention counters.
+    pub storage: StorageStatus,
     /// Recommended per-sensor recovery actions.
     pub plan: RecoveryPlan,
     /// The complete released stream (present when recording was on —
@@ -259,6 +342,11 @@ pub struct Collector {
     episodes: usize,
     released_scratch: Vec<RawRecord>,
     trace_log: Option<Vec<TraceRecord>>,
+    budget_shed: usize,
+    storage_rejects: usize,
+    checkpoint_failures: usize,
+    reclaim_failures: usize,
+    reclaimed_segments: usize,
 }
 
 impl fmt::Debug for Collector {
@@ -270,23 +358,118 @@ impl fmt::Debug for Collector {
     }
 }
 
+/// A parsed checkpoint file: header coordinates plus the snapshot
+/// body (kept as text so full-log replay can verify it byte-exactly).
+struct CheckpointData {
+    cursor: u64,
+    base_segment: u64,
+    base_records: u64,
+    body: String,
+}
+
 impl Collector {
-    /// Opens the collector over its WAL directory, replaying any
-    /// existing log through the admission path (verifying the latest
-    /// checkpoint on the way) so the pipeline resumes exactly where
-    /// the previous process died.
+    /// Opens the collector over its WAL directory, rebuilding the
+    /// state the previous process died with.
+    ///
+    /// While the full log is on disk, every record is replayed through
+    /// the admission path and the latest checkpoint is *verified*
+    /// byte-exactly in passing. Once retention has reclaimed the
+    /// prefix below the checkpoint cursor, the checkpoint's
+    /// [`CollectorSnapshot`] is restored instead and only the
+    /// surviving tail is replayed — the result is byte-equal either
+    /// way.
     ///
     /// # Errors
     ///
-    /// Any [`GatewayError`]; corruption and checkpoint divergence are
-    /// loud failures, never silent data loss.
+    /// Any [`GatewayError`]; corruption, checkpoint divergence, and a
+    /// retained log whose checkpoint is missing are loud failures,
+    /// never silent data loss.
     pub fn open(config: GatewayConfig) -> Result<(Self, RecoveryInfo), GatewayError> {
-        let checkpoint = read_checkpoint(&config.wal.dir)?;
-        let (wal, records) = Wal::open(config.wal.clone())?;
+        let checkpoint = read_checkpoint(&config.wal)?;
+        let base = checkpoint
+            .as_ref()
+            .map(|c| (c.base_segment, c.base_records));
+        let (wal, records) = match Wal::open(config.wal.clone(), base) {
+            Ok(opened) => opened,
+            Err(WalError::MissingPrefix { first_segment, .. }) if checkpoint.is_none() => {
+                return Err(GatewayError::CheckpointMissing { first_segment })
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let base_records = wal.base_records();
+        let recovered = base_records + records.len() as u64;
+        if let Some(ck) = &checkpoint {
+            if ck.cursor > recovered {
+                return Err(GatewayError::CheckpointAhead {
+                    cursor: ck.cursor,
+                    recovered,
+                });
+            }
+            if ck.cursor < ck.base_records {
+                return Err(GatewayError::CheckpointMalformed(format!(
+                    "cursor {} below base {}",
+                    ck.cursor, ck.base_records
+                )));
+            }
+        }
+
+        if let Some(ck) = checkpoint.as_ref().filter(|c| c.base_records > 0) {
+            // Restore mode: the prefix below the cursor was reclaimed;
+            // rebuild state from the snapshot, replay only the tail.
+            let snap = decode_collector(&ck.body).map_err(GatewayError::CheckpointMalformed)?;
+            let mut collector = Self::from_snapshot(config, wal, snap)?;
+            let skip = (ck.cursor - base_records) as usize;
+            for record in &records[skip..] {
+                collector
+                    .seqs
+                    .entry(record.sensor)
+                    .or_default()
+                    .observe(record.seq);
+                collector.admit(record.raw());
+            }
+            let info = RecoveryInfo {
+                replayed: (records.len() - skip) as u64,
+                verified_cursor: None,
+                restored_from: Some(ck.cursor),
+            };
+            return Ok((collector, info));
+        }
+
+        // Full-log mode: replay everything, verifying the checkpoint
+        // snapshot byte-exactly as the cursor goes by.
+        let mut collector = Self::fresh(config, wal);
+        let mut verified_cursor = None;
+        for (i, record) in records.iter().enumerate() {
+            collector
+                .seqs
+                .entry(record.sensor)
+                .or_default()
+                .observe(record.seq);
+            collector.admit(record.raw());
+            if let Some(ck) = &checkpoint {
+                if ck.cursor == (i + 1) as u64 {
+                    let now = encode_collector(&collector.snapshot());
+                    if now != ck.body {
+                        return Err(GatewayError::CheckpointMismatch { cursor: ck.cursor });
+                    }
+                    verified_cursor = Some(ck.cursor);
+                }
+            }
+        }
+        let info = RecoveryInfo {
+            replayed: records.len() as u64,
+            verified_cursor,
+            restored_from: None,
+        };
+        Ok((collector, info))
+    }
+
+    /// A collector with empty state over an opened WAL.
+    fn fresh(config: GatewayConfig, wal: Wal) -> Self {
         let pipeline = Pipeline::new(config.pipeline.clone(), config.sample_period);
         let reorder = ReorderBuffer::new(config.reorder.clone());
         let trace_log = config.record_released.then(Vec::new);
-        let mut collector = Self {
+        Self {
             config,
             wal,
             pipeline,
@@ -301,39 +484,83 @@ impl Collector {
             episodes: 0,
             released_scratch: Vec::new(),
             trace_log,
-        };
+            budget_shed: 0,
+            storage_rejects: 0,
+            checkpoint_failures: 0,
+            reclaim_failures: 0,
+            reclaimed_segments: 0,
+        }
+    }
 
-        if let Some((cursor, _)) = &checkpoint {
-            if *cursor > records.len() as u64 {
-                return Err(GatewayError::CheckpointAhead {
-                    cursor: *cursor,
-                    recovered: records.len() as u64,
-                });
-            }
-        }
-        let mut verified_cursor = None;
-        for (i, record) in records.iter().enumerate() {
-            collector
+    /// Rebuilds a collector from a restore-point snapshot. Counters
+    /// excluded from the snapshot (retransmissions, storage health,
+    /// the released-trace log) start fresh.
+    fn from_snapshot(
+        config: GatewayConfig,
+        wal: Wal,
+        snap: CollectorSnapshot,
+    ) -> Result<Self, GatewayError> {
+        let malformed = |e: String| GatewayError::CheckpointMalformed(e);
+        let pipeline =
+            Pipeline::from_snapshot(config.pipeline.clone(), config.sample_period, snap.pipeline)
+                .map_err(|e| malformed(e.to_string()))?;
+        let reorder = ReorderBuffer::from_snapshot(config.reorder.clone(), snap.reorder);
+        let sanitizer = Sanitizer::from_snapshot(snap.sanitizer);
+        let seqs = snap
+            .seqs
+            .into_iter()
+            .map(|(sensor, next, above)| {
+                (
+                    sensor,
+                    SeqTracker {
+                        next,
+                        above: above.into_iter().collect(),
+                    },
+                )
+            })
+            .collect();
+        let trace_log = config.record_released.then(Vec::new);
+        Ok(Self {
+            config,
+            wal,
+            pipeline,
+            sanitizer,
+            reorder,
+            seqs,
+            seq_duplicates: 0,
+            accepted: snap.accepted,
+            rejected: snap.rejected,
+            last_heard: snap.last_heard.into_iter().collect(),
+            silent: snap.silent.into_iter().collect(),
+            episodes: snap.episodes,
+            released_scratch: Vec::new(),
+            trace_log,
+            budget_shed: 0,
+            storage_rejects: 0,
+            checkpoint_failures: 0,
+            reclaim_failures: 0,
+            reclaimed_segments: 0,
+        })
+    }
+
+    /// The replay-deterministic image of this collector (everything a
+    /// checkpoint must carry to act as a restore point).
+    fn snapshot(&self) -> CollectorSnapshot {
+        CollectorSnapshot {
+            pipeline: self.pipeline.snapshot(),
+            reorder: self.reorder.snapshot(),
+            sanitizer: self.sanitizer.snapshot(),
+            seqs: self
                 .seqs
-                .entry(record.sensor)
-                .or_default()
-                .observe(record.seq);
-            collector.admit(record.raw());
-            if let Some((cursor, fingerprint)) = &checkpoint {
-                if *cursor == (i + 1) as u64 {
-                    let now = encode_shard(&collector.pipeline.sensor_snapshots());
-                    if now != *fingerprint {
-                        return Err(GatewayError::CheckpointMismatch { cursor: *cursor });
-                    }
-                    verified_cursor = Some(*cursor);
-                }
-            }
+                .iter()
+                .map(|(&s, t)| (s, t.next, t.above.iter().copied().collect()))
+                .collect(),
+            accepted: self.accepted,
+            rejected: self.rejected.clone(),
+            last_heard: self.last_heard.iter().map(|(&s, &t)| (s, t)).collect(),
+            silent: self.silent.iter().copied().collect(),
+            episodes: self.episodes,
         }
-        let info = RecoveryInfo {
-            replayed: records.len() as u64,
-            verified_cursor,
-        };
-        Ok((collector, info))
     }
 
     /// Starts recording the released (post-reorder, pre-sanitize
@@ -344,11 +571,16 @@ impl Collector {
     }
 
     /// Handles one delivered `Data` frame. `Accepted` and `Duplicate`
-    /// both mean "durable, send the ack".
+    /// both mean "durable, send the ack"; `Rejected` means the record
+    /// could not be made durable and must be NACKed, never acked.
     ///
     /// # Errors
     ///
-    /// [`GatewayError`] if the WAL append or checkpoint write fails.
+    /// [`GatewayError`] on non-storage failures. Storage failures are
+    /// *not* errors here: they surface as
+    /// [`DeliverOutcome::Rejected`]`(`[`RejectCause::Storage`]`)` so
+    /// the serving loop keeps running (NACKing) while the operator
+    /// reads the typed [`StorageError`] from the report.
     pub fn deliver(
         &mut self,
         sensor: SensorId,
@@ -356,7 +588,14 @@ impl Collector {
         time: Timestamp,
         values: Vec<f64>,
     ) -> Result<DeliverOutcome, GatewayError> {
-        if !self.seqs.entry(sensor).or_default().observe(seq) {
+        if self.wal.poisoned().is_some() {
+            self.storage_rejects += 1;
+            return Ok(DeliverOutcome::Rejected(RejectCause::Storage));
+        }
+        // Non-mutating dedup probe: a rejected record must leave no
+        // trace, or replay (which sees only durable records) would
+        // diverge from the live run.
+        if !self.seqs.get(&sensor).is_none_or(|t| t.is_new(seq)) {
             self.seq_duplicates += 1;
             return Ok(DeliverOutcome::Duplicate);
         }
@@ -366,13 +605,58 @@ impl Collector {
             time,
             values,
         };
-        self.wal.append(&record)?;
+        if let Some(budget) = self.config.wal.retain_bytes {
+            let frame = Wal::framed_len(&record);
+            if self.wal.total_bytes() + frame > budget {
+                self.reclaim_for_budget(budget.saturating_sub(frame))?;
+                if self.wal.poisoned().is_some() {
+                    self.storage_rejects += 1;
+                    return Ok(DeliverOutcome::Rejected(RejectCause::Storage));
+                }
+                if self.wal.total_bytes() + frame > budget {
+                    self.budget_shed += 1;
+                    return Ok(DeliverOutcome::Rejected(RejectCause::WalBudget));
+                }
+            }
+        }
+        match self.wal.append(&record) {
+            Ok(()) => {}
+            Err(WalError::Storage(_)) => {
+                self.storage_rejects += 1;
+                return Ok(DeliverOutcome::Rejected(RejectCause::Storage));
+            }
+            Err(e) => return Err(e.into()),
+        }
+        // Only now — after the append — may the sequence number be
+        // marked seen: the record is durable (or will be truncated as
+        // a torn tail, in which case it was never acked either).
+        self.seqs.entry(sensor).or_default().observe(seq);
         self.admit(record.raw());
         let logged = self.wal.records_logged();
         if self.config.checkpoint_every > 0 && logged.is_multiple_of(self.config.checkpoint_every) {
-            self.write_checkpoint(logged)?;
+            self.write_checkpoint(
+                logged,
+                self.config.wal.retain_bytes.unwrap_or(u64::MAX),
+            )?;
         }
         Ok(DeliverOutcome::Accepted)
+    }
+
+    /// Tries to bring the on-disk WAL under `target` bytes so one more
+    /// record fits the retention budget: seals a lone active segment
+    /// (sealed segments are the unit of reclaim), then checkpoints at
+    /// the current cursor, which reclaims every sealed segment below
+    /// it. Storage failures poison the WAL and are left for the caller
+    /// to observe.
+    fn reclaim_for_budget(&mut self, target: u64) -> Result<(), GatewayError> {
+        if self.wal.segments().len() == 1 && self.wal.segments()[0].records > 0 {
+            match self.wal.roll_segment() {
+                Ok(()) => {}
+                Err(WalError::Storage(_)) => return Ok(()),
+                Err(e) => return Err(e.into()),
+            }
+        }
+        self.write_checkpoint(self.wal.records_logged(), target)
     }
 
     /// Runs one admitted record through reorder → sanitize → pipeline.
@@ -431,21 +715,59 @@ impl Collector {
         }
     }
 
-    fn write_checkpoint(&mut self, cursor: u64) -> Result<(), GatewayError> {
-        // The WAL prefix must be durable before the checkpoint can
-        // reference it, or a power cut could leave the checkpoint
-        // pointing past the recovered log.
-        self.wal.sync()?;
+    /// Writes a restore-point checkpoint at `cursor` and reclaims WAL
+    /// segments down to `reclaim_budget` bytes. The commit order is
+    /// the crash-safety argument (`DESIGN.md` §13):
+    ///
+    /// 1. fsync the WAL — the checkpoint may only reference durable
+    ///    records;
+    /// 2. plan the reclaim and write the checkpoint *carrying the
+    ///    post-reclaim base* to a tmp file; rename-commit it;
+    /// 3. only then delete the planned segments.
+    ///
+    /// A crash (or failure) before the rename leaves the previous
+    /// checkpoint intact and deletes nothing; a crash between rename
+    /// and deletion leaves leftover segments below the committed base,
+    /// which the next open removes.
+    ///
+    /// Failures are absorbed into counters, not propagated: a failed
+    /// sync poisons the WAL (deliveries start rejecting), and a failed
+    /// commit keeps the previous checkpoint authoritative.
+    fn write_checkpoint(&mut self, cursor: u64, reclaim_budget: u64) -> Result<(), GatewayError> {
+        match self.wal.sync() {
+            Ok(()) => {}
+            Err(WalError::Storage(_)) => return Ok(()),
+            Err(e) => return Err(e.into()),
+        }
+        let plan = self.wal.plan_reclaim(cursor, reclaim_budget);
         let mut text = String::new();
         text.push_str(CHECKPOINT_MAGIC);
         text.push('\n');
         text.push_str(&format!("cursor {cursor}\n"));
-        text.push_str(&encode_shard(&self.pipeline.sensor_snapshots()));
+        text.push_str(&format!("base-segment {}\n", plan.base_segment));
+        text.push_str(&format!("base {}\n", plan.base_records));
+        text.push_str(&encode_collector(&self.snapshot()));
+        let vfs = Arc::clone(&self.config.wal.vfs);
         let dir = &self.config.wal.dir;
-        let tmp = dir.join("checkpoint.tmp");
+        let tmp = dir.join(CHECKPOINT_TMP);
         let path = dir.join(CHECKPOINT_FILE);
-        fs::write(&tmp, &text).map_err(|e| GatewayError::Io(tmp.clone(), e))?;
-        fs::rename(&tmp, &path).map_err(|e| GatewayError::Io(path.clone(), e))?;
+        let committed = vfs
+            .write_file(&tmp, text.as_bytes())
+            .map_err(|e| StorageError::new(VfsOp::Write, &tmp, &e))
+            .and_then(|()| {
+                vfs.rename(&tmp, &path)
+                    .map_err(|e| StorageError::new(VfsOp::Rename, &path, &e))
+            });
+        if committed.is_err() {
+            self.checkpoint_failures += 1;
+            return Ok(());
+        }
+        if !plan.is_empty() {
+            match self.wal.execute_reclaim(&plan) {
+                Ok(()) => self.reclaimed_segments += plan.delete.len(),
+                Err(_) => self.reclaim_failures += 1,
+            }
+        }
         Ok(())
     }
 
@@ -473,6 +795,19 @@ impl Collector {
         }
     }
 
+    /// Current storage health: fail-stop error plus retention and
+    /// shedding counters.
+    pub fn storage_status(&self) -> StorageStatus {
+        StorageStatus {
+            error: self.wal.poisoned().cloned(),
+            budget_shed: self.budget_shed,
+            storage_rejects: self.storage_rejects,
+            checkpoint_failures: self.checkpoint_failures,
+            reclaim_failures: self.reclaim_failures,
+            reclaimed_segments: self.reclaimed_segments,
+        }
+    }
+
     /// The released trace recorded since
     /// [`record_released_trace`](Collector::record_released_trace).
     pub fn released_trace(&self) -> Option<Trace> {
@@ -481,17 +816,28 @@ impl Collector {
             .map(|records| Trace::from_records(records.clone()))
     }
 
-    /// Records currently in the WAL (the checkpoint cursor domain).
+    /// Absolute WAL cursor: records ever logged, including any
+    /// reclaimed prefix (the checkpoint cursor domain).
     pub fn wal_records(&self) -> u64 {
         self.wal.records_logged()
+    }
+
+    /// Bytes the WAL currently occupies on disk (what
+    /// `--wal-retain-bytes` bounds).
+    pub fn wal_footprint(&self) -> u64 {
+        self.wal.total_bytes()
     }
 
     /// End of stream: flushes the reorder buffer and the final window,
     /// syncs the WAL, and produces the run's report.
     ///
+    /// Never fails on storage: a poisoned WAL (including a final sync
+    /// that fails) is reported through [`GatewayReport::storage`]
+    /// instead, so the operator always gets the run's accounting.
+    ///
     /// # Errors
     ///
-    /// [`GatewayError`] if the final WAL sync fails.
+    /// [`GatewayError`] on non-storage failures only.
     pub fn finish(mut self) -> Result<GatewayReport, GatewayError> {
         let mut released = std::mem::take(&mut self.released_scratch);
         self.reorder.flush(&mut released);
@@ -501,48 +847,74 @@ impl Collector {
         for outcome in self.pipeline.finalize() {
             self.pipeline.recycle_outcome(outcome);
         }
-        self.wal.sync()?;
+        if self.wal.poisoned().is_none() {
+            // A failure here poisons the WAL; it is surfaced via the
+            // storage status rather than aborting the report.
+            let _ = self.wal.sync();
+        }
         let ingest = self.ingest_report();
         let liveness = self.liveness();
+        let storage = self.storage_status();
         let plan = RecoveryPlan::from_pipeline(&self.pipeline);
         let released = self.trace_log.take().map(Trace::from_records);
         Ok(GatewayReport {
             pipeline: self.pipeline.report(),
             ingest,
             liveness,
+            storage,
             plan,
             released,
         })
     }
 }
 
-/// Reads and parses the checkpoint file, if present, returning the
-/// cursor and the expected [`encode_shard`] fingerprint.
-fn read_checkpoint(dir: &std::path::Path) -> Result<Option<(u64, String)>, GatewayError> {
-    let path = dir.join(CHECKPOINT_FILE);
-    let text = match fs::read_to_string(&path) {
-        Ok(t) => t,
+/// Reads and parses the checkpoint file, if present, through the
+/// configured [`Vfs`](crate::vfs::Vfs).
+fn read_checkpoint(config: &WalConfig) -> Result<Option<CheckpointData>, GatewayError> {
+    let path = config.dir.join(CHECKPOINT_FILE);
+    let bytes = match config.vfs.read(&path) {
+        Ok(b) => b,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(GatewayError::Io(path, e)),
     };
-    let mut lines = text.splitn(3, '\n');
+    let text = String::from_utf8(bytes)
+        .map_err(|_| GatewayError::CheckpointMalformed("checkpoint is not utf-8".into()))?;
+    let mut lines = text.splitn(5, '\n');
     if lines.next() != Some(CHECKPOINT_MAGIC) {
         return Err(GatewayError::CheckpointMalformed(
             "missing magic header".into(),
         ));
     }
-    let cursor = lines
-        .next()
-        .and_then(|l| l.strip_prefix("cursor "))
-        .and_then(|n| n.parse::<u64>().ok())
-        .ok_or_else(|| GatewayError::CheckpointMalformed("bad cursor line".into()))?;
-    let fingerprint = lines.next().unwrap_or("").to_string();
-    Ok(Some((cursor, fingerprint)))
+    let mut header = |tag: &str| {
+        lines
+            .next()
+            .and_then(|l| l.strip_prefix(tag))
+            .and_then(|n| n.parse::<u64>().ok())
+            .ok_or_else(|| GatewayError::CheckpointMalformed(format!("bad `{tag}` line")))
+    };
+    let cursor = header("cursor ")?;
+    let base_segment = header("base-segment ")?;
+    let base_records = header("base ")?;
+    if base_segment == 0 {
+        return Err(GatewayError::CheckpointMalformed(
+            "base-segment must be at least 1".into(),
+        ));
+    }
+    let body = lines.next().unwrap_or("").to_string();
+    Ok(Some(CheckpointData {
+        cursor,
+        base_segment,
+        base_records,
+        body,
+    }))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::{FaultPlan, FaultSpec, FaultyVfs, StorageFault};
+    use crate::wal::FsyncPolicy;
+    use std::fs;
     use std::path::PathBuf;
 
     fn tmpdir(name: &str) -> PathBuf {
@@ -572,13 +944,29 @@ mod tests {
         out
     }
 
+    /// Runs the whole stream on a fresh dir and returns the report.
+    fn baseline(name: &str, records: &[(SensorId, u64, Timestamp, Vec<f64>)]) -> GatewayReport {
+        let dir = tmpdir(name);
+        let (mut c, _) = Collector::open(config(&dir)).unwrap();
+        for (s, seq, t, v) in records.iter().cloned() {
+            assert_eq!(c.deliver(s, seq, t, v).unwrap(), DeliverOutcome::Accepted);
+        }
+        let report = c.finish().unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+        report
+    }
+
     #[test]
     fn seq_tracker_dedups_and_advances() {
         let mut t = SeqTracker::default();
+        assert!(t.is_new(0));
         assert!(t.observe(0));
         assert!(t.observe(2));
+        assert!(!t.is_new(0));
+        assert!(!t.is_new(2));
         assert!(!t.observe(0));
         assert!(!t.observe(2));
+        assert!(t.is_new(1));
         assert!(t.observe(1));
         assert!(!t.observe(1));
         assert!(t.observe(3));
@@ -601,21 +989,15 @@ mod tests {
         assert_eq!(report.ingest.duplicates, 10);
         assert_eq!(report.ingest.accepted, 40);
         assert!(report.ingest.rejected.is_empty());
+        assert!(report.storage.is_clean());
         fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn restart_resumes_bit_identically() {
-        let dir_a = tmpdir("resume-a");
         let dir_b = tmpdir("resume-b");
         let records = stream(120);
-
-        // Uninterrupted run.
-        let (mut c, _) = Collector::open(config(&dir_a)).unwrap();
-        for (s, seq, t, v) in records.clone() {
-            c.deliver(s, seq, t, v).unwrap();
-        }
-        let baseline = c.finish().unwrap();
+        let baseline = baseline("resume-a", &records);
 
         // Interrupted run: drop the collector cold mid-stream (the
         // in-process analogue of kill -9), reopen, keep going — with
@@ -628,6 +1010,7 @@ mod tests {
         let (mut c2, info) = Collector::open(config(&dir_b)).unwrap();
         assert_eq!(info.replayed, 150);
         assert!(info.verified_cursor.is_some(), "checkpoint verified");
+        assert_eq!(info.restored_from, None, "full log still present");
         for (s, seq, t, v) in records[140..].iter().cloned() {
             c2.deliver(s, seq, t, v).unwrap();
         }
@@ -639,7 +1022,6 @@ mod tests {
         );
         assert_eq!(baseline.ingest.accepted, resumed.ingest.accepted);
         assert_eq!(resumed.ingest.duplicates, 10, "overlap re-acked");
-        fs::remove_dir_all(&dir_a).unwrap();
         fs::remove_dir_all(&dir_b).unwrap();
     }
 
@@ -651,7 +1033,7 @@ mod tests {
             c.deliver(s, seq, t, v).unwrap();
         }
         drop(c);
-        // Corrupt the checkpoint fingerprint.
+        // Corrupt the checkpoint snapshot body.
         let path = dir.join(CHECKPOINT_FILE);
         let text = fs::read_to_string(&path).unwrap();
         fs::write(&path, text.replace("sensor 0", "sensor 9")).unwrap();
@@ -692,5 +1074,236 @@ mod tests {
         let report = c.finish().unwrap();
         assert!(report.liveness.is_live());
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsync_failure_stops_acking_and_restart_replays_bit_identically() {
+        let records = stream(40);
+        let expect = baseline("fsync-base", &records);
+
+        let dir = tmpdir("fsync-fault");
+        let plan = FaultPlan::new().with_fault(FaultSpec {
+            path: ".seg".into(),
+            op: VfsOp::Fsync,
+            nth: 30,
+            kind: StorageFault::FsyncFail,
+            count: 1,
+        });
+        let mut cfg = config(&dir);
+        cfg.wal.fsync = FsyncPolicy::Always;
+        cfg.wal.vfs = Arc::new(FaultyVfs::new(plan));
+        let (mut c, _) = Collector::open(cfg).unwrap();
+        let mut acked = 0usize;
+        let mut rejected = 0usize;
+        for (s, seq, t, v) in records.iter().cloned() {
+            match c.deliver(s, seq, t, v).unwrap() {
+                DeliverOutcome::Accepted => {
+                    assert_eq!(rejected, 0, "no ack may follow a storage failure");
+                    acked += 1;
+                }
+                DeliverOutcome::Duplicate => unreachable!("stream has no duplicates"),
+                DeliverOutcome::Rejected(cause) => {
+                    assert_eq!(cause, RejectCause::Storage);
+                    rejected += 1;
+                }
+            }
+        }
+        assert!(acked > 0 && rejected > 0, "fault hit mid-stream");
+        let status = c.storage_status();
+        let err = status.error.expect("wal poisoned");
+        assert_eq!(err.op, VfsOp::Fsync, "typed error names the fsync");
+        assert_eq!(status.storage_rejects, rejected);
+        let report = c.finish().unwrap();
+        assert!(report.storage.error.is_some(), "report carries the error");
+
+        // Restart on healthy storage: the acked prefix replays, and
+        // redelivering the whole stream converges to the clean run.
+        let (mut c2, info) = Collector::open(config(&dir)).unwrap();
+        assert!(info.replayed >= acked as u64, "every acked record survived");
+        for (s, seq, t, v) in records.iter().cloned() {
+            assert!(matches!(
+                c2.deliver(s, seq, t, v).unwrap(),
+                DeliverOutcome::Accepted | DeliverOutcome::Duplicate
+            ));
+        }
+        let resumed = c2.finish().unwrap();
+        assert_eq!(
+            format!("{}", expect.pipeline),
+            format!("{}", resumed.pipeline)
+        );
+        assert_eq!(expect.ingest.accepted, resumed.ingest.accepted);
+        assert!(resumed.storage.is_clean());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retention_keeps_wal_under_budget_and_restores_byte_equal() {
+        let records = stream(150);
+        let expect = baseline("retain-base", &records);
+
+        let dir = tmpdir("retain");
+        let frame = 21 + 8 * 2 + 8; // framed_len of a 2-value record
+        let budget = 4 * 16 * frame;
+        let mut cfg = config(&dir);
+        cfg.wal.segment_max_bytes = 16 * frame;
+        cfg.wal.retain_bytes = Some(budget);
+        let (mut c, _) = Collector::open(cfg.clone()).unwrap();
+        for (s, seq, t, v) in records[..200].iter().cloned() {
+            assert_eq!(c.deliver(s, seq, t, v).unwrap(), DeliverOutcome::Accepted);
+            assert!(c.wal_footprint() <= budget, "soak holds the budget");
+        }
+        let status = c.storage_status();
+        assert!(status.reclaimed_segments > 0, "retention reclaimed");
+        assert_eq!(status.budget_shed, 0, "nothing shed under this budget");
+        drop(c); // crash
+
+        // The prefix is gone, so recovery must restore the snapshot.
+        let (mut c2, info) = Collector::open(cfg.clone()).unwrap();
+        let restored = info.restored_from.expect("restore point used");
+        assert!(restored > 0 && info.replayed < 200);
+        for (s, seq, t, v) in records[190..].iter().cloned() {
+            let out = c2.deliver(s, seq, t, v).unwrap();
+            assert!(matches!(
+                out,
+                DeliverOutcome::Accepted | DeliverOutcome::Duplicate
+            ));
+            assert!(c2.wal_footprint() <= budget);
+        }
+        let resumed = c2.finish().unwrap();
+        assert_eq!(
+            format!("{}", expect.pipeline),
+            format!("{}", resumed.pipeline),
+            "retained run byte-equal to the unretained one"
+        );
+        assert_eq!(expect.ingest.accepted, resumed.ingest.accepted);
+        assert_eq!(resumed.ingest.duplicates, 10, "overlap re-acked");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_between_checkpoint_commit_and_delete_recovers() {
+        let records = stream(120);
+        let expect = baseline("leftover-base", &records);
+
+        // Every segment deletion fails: on-disk state is exactly a
+        // crash between checkpoint rename-commit and the deletes.
+        let dir = tmpdir("leftover");
+        let plan = FaultPlan::new().with_fault(FaultSpec {
+            path: ".seg".into(),
+            op: VfsOp::Remove,
+            nth: 1,
+            kind: StorageFault::Enospc,
+            count: u32::MAX,
+        });
+        let frame = 21 + 8 * 2 + 8;
+        let mut cfg = config(&dir);
+        cfg.wal.segment_max_bytes = 16 * frame;
+        cfg.wal.retain_bytes = Some(4 * 16 * frame);
+        let mut faulty = cfg.clone();
+        faulty.wal.vfs = Arc::new(FaultyVfs::new(plan));
+        let (mut c, _) = Collector::open(faulty).unwrap();
+        for (s, seq, t, v) in records[..200].iter().cloned() {
+            assert_eq!(c.deliver(s, seq, t, v).unwrap(), DeliverOutcome::Accepted);
+        }
+        let status = c.storage_status();
+        assert!(status.reclaim_failures > 0, "deletes failed");
+        assert_eq!(status.reclaimed_segments, 0);
+        assert!(status.error.is_none(), "delete failure does not poison");
+        drop(c); // crash with leftover segments on disk
+
+        // Recovery deletes the leftovers below the committed base and
+        // continues bit-identically on healthy storage.
+        assert!(dir.join("wal-00000001.seg").exists(), "leftover present");
+        let (mut c2, info) = Collector::open(cfg).unwrap();
+        assert!(!dir.join("wal-00000001.seg").exists(), "leftover removed");
+        assert!(info.restored_from.is_some());
+        for (s, seq, t, v) in records[190..].iter().cloned() {
+            c2.deliver(s, seq, t, v).unwrap();
+        }
+        let resumed = c2.finish().unwrap();
+        assert_eq!(
+            format!("{}", expect.pipeline),
+            format!("{}", resumed.pipeline)
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn budget_exhaustion_sheds_with_counted_nacks() {
+        // Checkpoints never commit (rename always fails), so retention
+        // can never reclaim: once the budget fills, deliveries are
+        // NACKed as WalBudget, not silently dropped and never acked.
+        let dir = tmpdir("shed");
+        let plan = FaultPlan::new().with_fault(FaultSpec {
+            path: CHECKPOINT_FILE.into(),
+            op: VfsOp::Rename,
+            nth: 1,
+            kind: StorageFault::Enospc,
+            count: u32::MAX,
+        });
+        let frame: u64 = 21 + 8 * 2 + 8;
+        let mut cfg = config(&dir);
+        cfg.wal.retain_bytes = Some(3 * frame);
+        cfg.wal.vfs = Arc::new(FaultyVfs::new(plan));
+        let (mut c, _) = Collector::open(cfg).unwrap();
+        let mut acked = 0usize;
+        let mut shed = 0usize;
+        for (s, seq, t, v) in stream(10) {
+            match c.deliver(s, seq, t, v).unwrap() {
+                DeliverOutcome::Accepted => acked += 1,
+                DeliverOutcome::Rejected(RejectCause::WalBudget) => shed += 1,
+                other => unreachable!("unexpected outcome {other:?}"),
+            }
+        }
+        assert_eq!(acked, 3, "budget holds exactly three frames");
+        assert_eq!(shed, 17);
+        let status = c.storage_status();
+        assert_eq!(status.budget_shed, 17);
+        assert!(status.checkpoint_failures > 0, "commit failures counted");
+        assert!(status.error.is_none(), "shedding is not poisoning");
+        let report = c.finish().unwrap();
+        assert_eq!(report.storage.budget_shed, 17);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn seeded_fault_sweep_always_recovers_to_baseline() {
+        // Kill-anywhere property: whatever a seeded fault schedule
+        // does to a run, restarting on healthy storage and
+        // redelivering the stream converges to the clean baseline.
+        let records = stream(30);
+        let expect = baseline("sweep-base", &records);
+        for seed in 0..12u64 {
+            let dir = tmpdir(&format!("sweep-{seed}"));
+            let plan = FaultPlan::seeded(seed, &[".seg", CHECKPOINT_FILE, CHECKPOINT_TMP], 3);
+            let mut cfg = config(&dir);
+            cfg.wal.fsync = FsyncPolicy::Batch(4);
+            cfg.wal.segment_max_bytes = 512;
+            cfg.wal.vfs = Arc::new(FaultyVfs::new(plan));
+            if let Ok((mut c, _)) = Collector::open(cfg) {
+                for (s, seq, t, v) in records.iter().cloned() {
+                    if c.deliver(s, seq, t, v).is_err() {
+                        break; // treat as a crash
+                    }
+                }
+                drop(c); // crash without finish
+            }
+            let (mut c, _) = Collector::open(config(&dir))
+                .unwrap_or_else(|e| panic!("seed {seed}: clean reopen failed: {e}"));
+            for (s, seq, t, v) in records.iter().cloned() {
+                let out = c.deliver(s, seq, t, v).unwrap();
+                assert!(
+                    matches!(out, DeliverOutcome::Accepted | DeliverOutcome::Duplicate),
+                    "seed {seed}: healthy storage must ack ({out:?})"
+                );
+            }
+            let report = c.finish().unwrap();
+            assert_eq!(
+                format!("{}", expect.pipeline),
+                format!("{}", report.pipeline),
+                "seed {seed}: recovery diverged from baseline"
+            );
+            fs::remove_dir_all(&dir).unwrap();
+        }
     }
 }

@@ -35,6 +35,7 @@ const TAG_DATA: u8 = 2;
 const TAG_ACK: u8 = 3;
 const TAG_FIN: u8 = 4;
 const TAG_FIN_ACK: u8 = 5;
+const TAG_NACK: u8 = 6;
 
 /// One protocol message.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,6 +68,16 @@ pub enum Message {
     Fin,
     /// Server acknowledgment of [`Message::Fin`].
     FinAck,
+    /// Negative acknowledgment: the `(sensor, seq)` record could not
+    /// be made durable (storage failure or WAL budget shedding) and
+    /// was *not* accepted. The client must not treat it as delivered;
+    /// its retry protocol redelivers later or gives up loudly.
+    Nack {
+        /// Refused sensor.
+        sensor: SensorId,
+        /// Refused sequence number.
+        seq: u64,
+    },
 }
 
 /// A frame- or payload-level decoding failure.
@@ -213,6 +224,11 @@ pub fn encode_payload(msg: &Message, out: &mut Vec<u8>) {
         }
         Message::Fin => out.push(TAG_FIN),
         Message::FinAck => out.push(TAG_FIN_ACK),
+        Message::Nack { sensor, seq } => {
+            out.push(TAG_NACK);
+            put_u16(out, sensor.0);
+            put_u64(out, *seq);
+        }
     }
 }
 
@@ -258,6 +274,10 @@ pub fn decode_payload(payload: &[u8]) -> Result<Message, FrameError> {
         },
         TAG_FIN => Message::Fin,
         TAG_FIN_ACK => Message::FinAck,
+        TAG_NACK => Message::Nack {
+            sensor: SensorId(cur.u16()?),
+            seq: cur.u64()?,
+        },
         other => return Err(FrameError::UnknownTag(other)),
     };
     if cur.pos != rest.len() {
@@ -380,6 +400,10 @@ mod tests {
             },
             Message::Fin,
             Message::FinAck,
+            Message::Nack {
+                sensor: SensorId(2),
+                seq: 11,
+            },
         ];
         let mut fb = FrameBuffer::new();
         for m in &messages {

@@ -37,17 +37,21 @@ mod net;
 pub mod netsim;
 pub mod reorder;
 pub mod server;
+pub mod snapshot;
+pub mod vfs;
 pub mod wal;
 
 pub use client::{SensorUplink, UplinkConfig, UplinkError};
 pub use collector::{
     Collector, DeliverOutcome, GatewayConfig, GatewayError, GatewayReport, LivenessStatus,
-    RecoveryInfo,
+    RecoveryInfo, RejectCause, StorageStatus,
 };
 pub use frame::{FrameBuffer, FrameError, Message, MAX_PAYLOAD, PROTOCOL_VERSION};
 pub use netsim::{
     deliver_schedule, delivery_schedule, drive_uplink, trace_to_raw, Emission, NetsimConfig,
 };
-pub use reorder::{AdmitOutcome, ReorderBuffer, ReorderConfig, ReorderStats};
+pub use reorder::{AdmitOutcome, ReorderBuffer, ReorderConfig, ReorderSnapshot, ReorderStats};
 pub use server::{Server, ServerConfig, ServerStats};
-pub use wal::{FsyncPolicy, Wal, WalConfig, WalError, WalRecord};
+pub use snapshot::CollectorSnapshot;
+pub use vfs::{FaultPlan, FaultSpec, FaultyVfs, RealVfs, StorageError, StorageFault, VFile, Vfs, VfsOp};
+pub use wal::{FsyncPolicy, ReclaimPlan, SegmentInfo, Wal, WalConfig, WalError, WalRecord};

@@ -55,6 +55,9 @@ impl Listener {
             {
                 // A stale socket file from a killed process blocks
                 // rebinding; remove it first.
+                // sentinet-allow(io-outside-vfs): a socket node is transport
+                // state, not durable data — fault injection on the unlink
+                // would only break rebinding, not durability.
                 let _ = std::fs::remove_file(path);
                 let listener = UnixListener::bind(path)?;
                 return Ok((Listener::Unix(listener), format!("unix:{path}")));

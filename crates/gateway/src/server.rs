@@ -21,7 +21,7 @@
 //! (acked with `FinAck`) ends the run: the server shuts down its
 //! threads and the collector can be finished for a report.
 
-use crate::collector::{Collector, GatewayError};
+use crate::collector::{Collector, DeliverOutcome, GatewayError};
 use crate::frame::{encode_frame, FrameBuffer, FrameError, Message, PROTOCOL_VERSION};
 use crate::net::{is_timeout, Listener, Stream};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
@@ -177,13 +177,22 @@ impl Server {
                         values,
                     },
                 ) => {
-                    // Both outcomes (new or duplicate) mean durable:
-                    // ack either way. A failed ack write is the
-                    // client's problem — it retries and the seq dedup
-                    // absorbs the re-delivery.
-                    collector.deliver(sensor, seq, time, values)?;
+                    // Accepted and Duplicate both mean durable: ack
+                    // either way. Rejected (poisoned storage or WAL
+                    // budget shedding) must never be acked — send a
+                    // NACK so the client fails fast instead of timing
+                    // out. A failed reply write is the client's
+                    // problem — it retries and the seq dedup absorbs
+                    // the re-delivery.
+                    let outcome = collector.deliver(sensor, seq, time, values)?;
+                    let reply = match outcome {
+                        DeliverOutcome::Accepted | DeliverOutcome::Duplicate => {
+                            Message::Ack { sensor, seq }
+                        }
+                        DeliverOutcome::Rejected(_) => Message::Nack { sensor, seq },
+                    };
                     if let Some(w) = writers.get_mut(&id) {
-                        let _ = w.write_all(&encode_frame(&Message::Ack { sensor, seq }));
+                        let _ = w.write_all(&encode_frame(&reply));
                     }
                 }
                 Event::Msg(id, Message::Fin) => {
@@ -196,7 +205,7 @@ impl Server {
                 Event::Msg(_, Message::Hello { .. }) => {
                     // Version 1 accepts all hellos; kept for evolution.
                 }
-                Event::Msg(_, Message::Ack { .. } | Message::FinAck) => {
+                Event::Msg(_, Message::Ack { .. } | Message::FinAck | Message::Nack { .. }) => {
                     // Server-bound streams should not carry acks;
                     // ignore rather than kill the connection.
                 }

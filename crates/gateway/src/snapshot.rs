@@ -1,0 +1,489 @@
+//! Restore-point snapshots of the whole collector.
+//!
+//! A v2 gateway checkpoint carries a [`CollectorSnapshot`] — the
+//! complete replay-deterministic state of the collector at a WAL
+//! cursor: the detection pipeline (via
+//! [`sentinet_core::checkpoint::encode_pipeline`]), the reorder
+//! buffer, the sanitizer, per-sensor sequence dedup state, and the
+//! ingest/liveness accounting. Restoring it yields a collector that
+//! continues bit-identically, which is what lets checkpoint-gated
+//! retention delete the WAL prefix below the cursor: replay of the
+//! remaining tail from the snapshot equals replay of the full log from
+//! genesis, byte for byte.
+//!
+//! Deliberately *excluded* is everything that is not a function of the
+//! admitted record sequence — retransmission counts
+//! (`seq_duplicates`), the optional released-trace log, and the
+//! storage-fault counters. Those reset on restart (the existing
+//! restart tests pin this: duplicate counts differ across a restart,
+//! reports otherwise match bit-exactly).
+//!
+//! The codec follows the workspace convention: hand-rolled line-based
+//! text, floats as IEEE-754 bit patterns (`{:016x}`), so a round-trip
+//! is bit-exact and encoding a live collector equals encoding its
+//! restored twin.
+
+use crate::reorder::{ReorderSnapshot, ReorderStats};
+use sentinet_core::checkpoint::{decode_pipeline, encode_pipeline};
+use sentinet_core::PipelineSnapshot;
+use sentinet_sim::{IngestError, SanitizerSnapshot, SensorId, Timestamp};
+
+const MAGIC: &str = "sentinet-collector v1";
+
+/// Plain-data image of a `Collector` at a WAL cursor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectorSnapshot {
+    /// The detection pipeline.
+    pub pipeline: PipelineSnapshot,
+    /// The reorder buffer (contents, watermark, drop accounting).
+    pub reorder: ReorderSnapshot,
+    /// The sanitizer's per-sensor history.
+    pub sanitizer: SanitizerSnapshot,
+    /// Per-sensor dedup state: `(sensor, next expected seq, seen seqs
+    /// above next)`.
+    pub seqs: Vec<(SensorId, u64, Vec<u64>)>,
+    /// Records accepted by the sanitizer so far.
+    pub accepted: usize,
+    /// Sanitizer rejections so far, in input order.
+    pub rejected: Vec<IngestError>,
+    /// Per-sensor last admitted timestamp.
+    pub last_heard: Vec<(SensorId, Timestamp)>,
+    /// Sensors currently declared silent.
+    pub silent: Vec<SensorId>,
+    /// Silence episodes declared so far.
+    pub episodes: usize,
+}
+
+fn hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn put_pairs(out: &mut String, tag: &str, pairs: &[(SensorId, u64)]) {
+    out.push_str(tag);
+    if pairs.is_empty() {
+        out.push_str(" -");
+    }
+    for (s, t) in pairs {
+        out.push_str(&format!(" {}:{t}", s.0));
+    }
+    out.push('\n');
+}
+
+fn put_ingest_error(out: &mut String, e: &IngestError) {
+    match e {
+        IngestError::EmptyReading { time, sensor } => {
+            out.push_str(&format!("rej empty {time} {}\n", sensor.0));
+        }
+        IngestError::NonFinite {
+            time,
+            sensor,
+            index,
+            value,
+        } => {
+            out.push_str(&format!(
+                "rej nonfinite {time} {} {index} {}\n",
+                sensor.0,
+                hex(*value)
+            ));
+        }
+        IngestError::DuplicateTimestamp { time, sensor } => {
+            out.push_str(&format!("rej dup {time} {}\n", sensor.0));
+        }
+        IngestError::OutOfOrder {
+            time,
+            sensor,
+            latest,
+        } => {
+            out.push_str(&format!("rej ooo {time} {} {latest}\n", sensor.0));
+        }
+        IngestError::DimensionMismatch {
+            time,
+            sensor,
+            expected,
+            actual,
+        } => {
+            out.push_str(&format!(
+                "rej dim {time} {} {expected} {actual}\n",
+                sensor.0
+            ));
+        }
+    }
+}
+
+/// Encodes a collector snapshot as durable checkpoint text.
+pub fn encode_collector(snap: &CollectorSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str(MAGIC);
+    out.push('\n');
+    match snap.sanitizer.dims {
+        Some(d) => out.push_str(&format!("sanitizer {d}\n")),
+        None => out.push_str("sanitizer -\n"),
+    }
+    put_pairs(&mut out, "slatest", &snap.sanitizer.latest);
+    let ReorderStats {
+        duplicates,
+        late,
+        shed,
+    } = snap.reorder.stats;
+    match snap.reorder.watermark {
+        Some(w) => out.push_str(&format!("reorder {w} {duplicates} {late} {shed}\n")),
+        None => out.push_str(&format!("reorder - {duplicates} {late} {shed}\n")),
+    }
+    for (time, sensor, values) in &snap.reorder.buffer {
+        out.push_str(&format!("rbuf {time} {}", sensor.0));
+        for v in values {
+            out.push(' ');
+            out.push_str(&hex(*v));
+        }
+        out.push('\n');
+    }
+    put_pairs(&mut out, "rrel", &snap.reorder.last_released);
+    for (sensor, next, above) in &snap.seqs {
+        let above = if above.is_empty() {
+            "-".to_string()
+        } else {
+            above
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        out.push_str(&format!("seq {} {next} {above}\n", sensor.0));
+    }
+    out.push_str(&format!("accepted {}\n", snap.accepted));
+    for e in &snap.rejected {
+        put_ingest_error(&mut out, e);
+    }
+    put_pairs(&mut out, "heard", &snap.last_heard);
+    out.push_str("silent");
+    if snap.silent.is_empty() {
+        out.push_str(" -");
+    }
+    for s in &snap.silent {
+        out.push_str(&format!(" {}", s.0));
+    }
+    out.push('\n');
+    out.push_str(&format!("episodes {}\n", snap.episodes));
+    out.push_str("pipeline\n");
+    out.push_str(&encode_pipeline(&snap.pipeline));
+    out
+}
+
+/// Line cursor over the head section, with single-line pushback for
+/// the variable-length groups.
+struct Cursor<'a> {
+    lines: Vec<&'a str>,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn next(&mut self) -> Option<&'a str> {
+        let line = self.lines.get(self.pos).copied();
+        if line.is_some() {
+            self.pos += 1;
+        }
+        line
+    }
+
+    fn fail<T>(&self, reason: impl Into<String>) -> Result<T, String> {
+        Err(format!("collector snapshot line {}: {}", self.pos, reason.into()))
+    }
+
+    fn num<T: std::str::FromStr>(&self, s: &str) -> Result<T, String> {
+        s.parse()
+            .map_err(|_| format!("collector snapshot line {}: bad number `{s}`", self.pos))
+    }
+
+    fn hexf(&self, s: &str) -> Result<f64, String> {
+        u64::from_str_radix(s, 16)
+            .map(f64::from_bits)
+            .map_err(|_| format!("collector snapshot line {}: bad hex float `{s}`", self.pos))
+    }
+
+    fn pairs(&mut self, tag: &str) -> Result<Vec<(SensorId, u64)>, String> {
+        let Some(rest) = self.next().and_then(|l| l.strip_prefix(tag)) else {
+            return self.fail(format!("expected {tag} line"));
+        };
+        let mut out = Vec::new();
+        for item in rest.split_whitespace() {
+            if item == "-" {
+                continue;
+            }
+            let Some((s, t)) = item.split_once(':') else {
+                return self.fail(format!("bad pair `{item}`"));
+            };
+            out.push((SensorId(self.num(s)?), self.num(t)?));
+        }
+        Ok(out)
+    }
+
+    /// Consumes consecutive lines starting with `prefix`.
+    fn group(&mut self, prefix: &str) -> Vec<&'a str> {
+        let mut rows = Vec::new();
+        while let Some(line) = self.lines.get(self.pos) {
+            let Some(rest) = line.strip_prefix(prefix) else {
+                break;
+            };
+            self.pos += 1;
+            rows.push(rest);
+        }
+        rows
+    }
+}
+
+fn parse_ingest_error(cur: &Cursor<'_>, rest: &str) -> Result<IngestError, String> {
+    let parts: Vec<&str> = rest.split(' ').collect();
+    let arity_err = || format!("collector snapshot line {}: bad rej arity", cur.pos);
+    match parts.first().copied() {
+        Some("empty") if parts.len() == 3 => Ok(IngestError::EmptyReading {
+            time: cur.num(parts[1])?,
+            sensor: SensorId(cur.num(parts[2])?),
+        }),
+        Some("nonfinite") if parts.len() == 5 => Ok(IngestError::NonFinite {
+            time: cur.num(parts[1])?,
+            sensor: SensorId(cur.num(parts[2])?),
+            index: cur.num(parts[3])?,
+            value: cur.hexf(parts[4])?,
+        }),
+        Some("dup") if parts.len() == 3 => Ok(IngestError::DuplicateTimestamp {
+            time: cur.num(parts[1])?,
+            sensor: SensorId(cur.num(parts[2])?),
+        }),
+        Some("ooo") if parts.len() == 4 => Ok(IngestError::OutOfOrder {
+            time: cur.num(parts[1])?,
+            sensor: SensorId(cur.num(parts[2])?),
+            latest: cur.num(parts[3])?,
+        }),
+        Some("dim") if parts.len() == 5 => Ok(IngestError::DimensionMismatch {
+            time: cur.num(parts[1])?,
+            sensor: SensorId(cur.num(parts[2])?),
+            expected: cur.num(parts[3])?,
+            actual: cur.num(parts[4])?,
+        }),
+        Some(other) if !matches!(other, "empty" | "nonfinite" | "dup" | "ooo" | "dim") => {
+            Err(format!(
+                "collector snapshot line {}: unknown rejection kind `{other}`",
+                cur.pos
+            ))
+        }
+        _ => Err(arity_err()),
+    }
+}
+
+/// Decodes checkpoint text produced by [`encode_collector`].
+///
+/// # Errors
+///
+/// A human-readable description of the first syntax problem.
+pub fn decode_collector(text: &str) -> Result<CollectorSnapshot, String> {
+    let Some((head, pipeline_text)) = text.split_once("\npipeline\n") else {
+        return Err("collector snapshot: missing pipeline section".into());
+    };
+    let mut cur = Cursor {
+        lines: head.lines().collect(),
+        pos: 0,
+    };
+    match cur.next() {
+        Some(MAGIC) => {}
+        Some(other) => return cur.fail(format!("bad magic `{other}`")),
+        None => return cur.fail("empty snapshot"),
+    }
+    let dims = match cur.next().and_then(|l| l.strip_prefix("sanitizer ")) {
+        Some("-") => None,
+        Some(d) => Some(cur.num(d)?),
+        None => return cur.fail("expected sanitizer line"),
+    };
+    let latest = cur.pairs("slatest")?;
+    let Some(rest) = cur.next().and_then(|l| l.strip_prefix("reorder ")) else {
+        return cur.fail("expected reorder line");
+    };
+    let parts: Vec<&str> = rest.split(' ').collect();
+    if parts.len() != 4 {
+        return cur.fail("reorder needs `watermark duplicates late shed`");
+    }
+    let watermark = if parts[0] == "-" {
+        None
+    } else {
+        Some(cur.num(parts[0])?)
+    };
+    let stats = ReorderStats {
+        duplicates: cur.num(parts[1])?,
+        late: cur.num(parts[2])?,
+        shed: cur.num(parts[3])?,
+    };
+    let mut buffer = Vec::new();
+    for row in cur.group("rbuf ") {
+        let mut it = row.split(' ');
+        let (Some(t), Some(s)) = (it.next(), it.next()) else {
+            return cur.fail("rbuf needs `time sensor values…`");
+        };
+        let values: Vec<f64> = it.map(|v| cur.hexf(v)).collect::<Result<_, _>>()?;
+        buffer.push((cur.num(t)?, SensorId(cur.num(s)?), values));
+    }
+    let last_released = cur.pairs("rrel")?;
+    let mut seqs = Vec::new();
+    for row in cur.group("seq ") {
+        let parts: Vec<&str> = row.split(' ').collect();
+        if parts.len() != 3 {
+            return cur.fail("seq needs `sensor next above`");
+        }
+        let above = if parts[2] == "-" {
+            Vec::new()
+        } else {
+            parts[2]
+                .split(',')
+                .map(|n| cur.num(n))
+                .collect::<Result<_, _>>()?
+        };
+        seqs.push((SensorId(cur.num(parts[0])?), cur.num(parts[1])?, above));
+    }
+    let accepted = match cur.next().and_then(|l| l.strip_prefix("accepted ")) {
+        Some(n) => cur.num(n)?,
+        None => return cur.fail("expected accepted line"),
+    };
+    let mut rejected = Vec::new();
+    for row in cur.group("rej ") {
+        rejected.push(parse_ingest_error(&cur, row)?);
+    }
+    let last_heard = cur.pairs("heard")?;
+    let Some(rest) = cur.next().and_then(|l| l.strip_prefix("silent")) else {
+        return cur.fail("expected silent line");
+    };
+    let mut silent = Vec::new();
+    for item in rest.split_whitespace() {
+        if item == "-" {
+            continue;
+        }
+        silent.push(SensorId(cur.num(item)?));
+    }
+    let episodes = match cur.next().and_then(|l| l.strip_prefix("episodes ")) {
+        Some(n) => cur.num(n)?,
+        None => return cur.fail("expected episodes line"),
+    };
+    if let Some(extra) = cur.next() {
+        return cur.fail(format!("unexpected trailing line `{extra}`"));
+    }
+    let pipeline = decode_pipeline(pipeline_text).map_err(|e| e.to_string())?;
+    Ok(CollectorSnapshot {
+        pipeline,
+        reorder: ReorderSnapshot {
+            buffer,
+            last_released,
+            watermark,
+            stats,
+        },
+        sanitizer: SanitizerSnapshot { latest, dims },
+        seqs,
+        accepted,
+        rejected,
+        last_heard,
+        silent,
+        episodes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinet_core::{Pipeline, PipelineConfig};
+
+    fn sample() -> CollectorSnapshot {
+        let mut pipeline = Pipeline::new(PipelineConfig::default(), 300);
+        for i in 0..30u64 {
+            for s in 0..3u16 {
+                let v = 20.0 + (i % 5) as f64 + f64::from(s);
+                pipeline.push_values(300 * (i + 1), SensorId(s), &[v, v + 30.0]);
+            }
+        }
+        CollectorSnapshot {
+            pipeline: pipeline.snapshot(),
+            reorder: ReorderSnapshot {
+                buffer: vec![(9300, SensorId(1), vec![24.5, 54.5])],
+                last_released: vec![(SensorId(0), 9000), (SensorId(1), 9000)],
+                watermark: Some(8700),
+                stats: ReorderStats {
+                    duplicates: 2,
+                    late: 1,
+                    shed: 0,
+                },
+            },
+            sanitizer: SanitizerSnapshot {
+                latest: vec![(SensorId(0), 9000), (SensorId(1), 9000)],
+                dims: Some(2),
+            },
+            seqs: vec![
+                (SensorId(0), 31, vec![]),
+                (SensorId(1), 30, vec![32, 33]),
+            ],
+            accepted: 88,
+            rejected: vec![
+                IngestError::EmptyReading {
+                    time: 600,
+                    sensor: SensorId(2),
+                },
+                IngestError::NonFinite {
+                    time: 900,
+                    sensor: SensorId(0),
+                    index: 1,
+                    value: f64::NEG_INFINITY,
+                },
+                IngestError::DuplicateTimestamp {
+                    time: 1200,
+                    sensor: SensorId(1),
+                },
+                IngestError::OutOfOrder {
+                    time: 300,
+                    sensor: SensorId(1),
+                    latest: 1200,
+                },
+                IngestError::DimensionMismatch {
+                    time: 1500,
+                    sensor: SensorId(2),
+                    expected: 2,
+                    actual: 3,
+                },
+            ],
+            last_heard: vec![(SensorId(0), 9000), (SensorId(1), 9300)],
+            silent: vec![SensorId(2)],
+            episodes: 1,
+        }
+    }
+
+    #[test]
+    fn collector_codec_round_trips_bit_exactly() {
+        let snap = sample();
+        let text = encode_collector(&snap);
+        let decoded = decode_collector(&text).expect("round trip");
+        assert_eq!(decoded, snap);
+        assert_eq!(encode_collector(&decoded), text);
+    }
+
+    #[test]
+    fn collector_codec_round_trips_empty_state() {
+        let snap = CollectorSnapshot {
+            pipeline: Pipeline::new(PipelineConfig::default(), 300).snapshot(),
+            reorder: ReorderSnapshot::default(),
+            sanitizer: SanitizerSnapshot::default(),
+            seqs: Vec::new(),
+            accepted: 0,
+            rejected: Vec::new(),
+            last_heard: Vec::new(),
+            silent: Vec::new(),
+            episodes: 0,
+        };
+        let decoded = decode_collector(&encode_collector(&snap)).expect("round trip");
+        assert_eq!(decoded, snap);
+    }
+
+    #[test]
+    fn collector_decode_rejects_malformed() {
+        let text = encode_collector(&sample());
+        assert!(decode_collector("").is_err());
+        assert!(decode_collector("nonsense\npipeline\n").is_err());
+        assert!(decode_collector(&text.replace("\npipeline\n", "\n")).is_err());
+        assert!(decode_collector(&text.replace("rej dup", "rej dupp")).is_err());
+        assert!(decode_collector(&text.replace("episodes 1", "episodes x")).is_err());
+        let err = decode_collector(&text.replace("accepted ", "acepted ")).expect_err("corrupt");
+        assert!(err.contains("line"), "{err}");
+    }
+}

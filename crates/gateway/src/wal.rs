@@ -22,15 +22,34 @@
 //! Durability against power loss is governed by [`FsyncPolicy`]. Note
 //! that a `kill -9` does not lose page-cache writes — only the machine
 //! dying does — so even `fsync=never` survives process kill.
+//!
+//! Two robustness mechanisms live at this layer (`DESIGN.md` §13):
+//!
+//! * **Fail-stop on storage errors.** All I/O flows through the
+//!   injectable [`Vfs`]. A failed write or fsync *poisons* the log:
+//!   the typed [`StorageError`] is captured, every subsequent append
+//!   fails with it, and nothing is ever acknowledged past it. After a
+//!   failed fsync the kernel may have silently dropped the dirty pages
+//!   (the fsyncgate lesson), so retrying would turn an I/O error into
+//!   silent data loss; crash-and-replay from the last verified cursor
+//!   is the only sound continuation.
+//! * **Checkpoint-gated retention.** The log tracks per-segment record
+//!   counts against an absolute record index. Once a checkpoint has
+//!   durably captured collector state at a cursor, sealed segments
+//!   wholly below that cursor can be reclaimed
+//!   ([`Wal::plan_reclaim`]/[`Wal::execute_reclaim`]); the log then
+//!   reopens against the checkpoint's `(base segment, base records)`
+//!   coordinates, deleting any lower-indexed leftovers from a reclaim
+//!   that crashed between checkpoint commit and segment deletion.
 
 use crate::frame::{
     decode_payload, encode_data_payload, frame_payload, FrameError, Message, MAX_PAYLOAD,
 };
+use crate::vfs::{RealVfs, StorageError, VFile, Vfs, VfsOp};
 use sentinet_sim::{RawRecord, SensorId, Timestamp};
 use std::fmt;
-use std::fs::{self, File, OpenOptions};
-use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// One durable record: an admitted sensor reading plus the sequence
 /// number it arrived under (kept so replay can rebuild the
@@ -110,16 +129,27 @@ pub struct WalConfig {
     /// Chaos hook: abort the whole process (as if `kill -9`) right
     /// after the Nth append of this process's lifetime.
     pub crash_after: Option<u64>,
+    /// The storage layer all I/O goes through ([`RealVfs`] by
+    /// default; tests inject a `FaultyVfs`).
+    pub vfs: Arc<dyn Vfs>,
+    /// On-disk budget for checkpoint-gated retention: when the log
+    /// exceeds this, the collector checkpoints and reclaims sealed
+    /// segments (and sheds with NACKs once nothing is reclaimable).
+    /// `None` retains everything.
+    pub retain_bytes: Option<u64>,
 }
 
 impl WalConfig {
-    /// A config with default segment size (4 MiB) and no fsync.
+    /// A config with default segment size (4 MiB), no fsync, real
+    /// storage, and unbounded retention.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         Self {
             dir: dir.into(),
             segment_max_bytes: 4 << 20,
             fsync: FsyncPolicy::Never,
             crash_after: None,
+            vfs: Arc::new(RealVfs),
+            retain_bytes: None,
         }
     }
 }
@@ -146,6 +176,17 @@ pub enum WalError {
         /// Byte offset of the record.
         offset: u64,
     },
+    /// The log directory starts at a segment index above the expected
+    /// base — a retained log opened without its checkpoint.
+    MissingPrefix {
+        /// The lowest segment present.
+        first_segment: u64,
+        /// The segment the caller expected the log to start at.
+        expected: u64,
+    },
+    /// A write or fsync failed; the log is poisoned (fail-stop) and
+    /// every subsequent append reports this same error.
+    Storage(StorageError),
 }
 
 impl fmt::Display for WalError {
@@ -166,6 +207,15 @@ impl fmt::Display for WalError {
                 "non-data record in {} at byte {offset}",
                 segment.display()
             ),
+            WalError::MissingPrefix {
+                first_segment,
+                expected,
+            } => write!(
+                f,
+                "wal starts at segment {first_segment}, expected {expected}: \
+                 retained log opened without its checkpoint"
+            ),
+            WalError::Storage(e) => write!(f, "wal poisoned: {e}"),
         }
     }
 }
@@ -248,24 +298,64 @@ fn scan_segment(
     Ok(SegmentScan::Clean)
 }
 
+/// Bookkeeping for one on-disk segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentInfo {
+    /// Segment index (the number in `wal-NNNNNNNN.seg`).
+    pub index: u64,
+    /// Bytes currently in the segment.
+    pub bytes: u64,
+    /// Records currently in the segment.
+    pub records: u64,
+}
+
+/// The outcome of [`Wal::plan_reclaim`]: which sealed segments a
+/// committed checkpoint at the given cursor lets the log delete, and
+/// the `(base segment, base records)` coordinates the checkpoint must
+/// record *before* the deletion happens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReclaimPlan {
+    /// Segment indices to delete, oldest first.
+    pub delete: Vec<u64>,
+    /// First surviving segment index after the reclaim.
+    pub base_segment: u64,
+    /// Absolute index of the first record in that segment.
+    pub base_records: u64,
+}
+
+impl ReclaimPlan {
+    /// Whether the plan deletes anything.
+    pub fn is_empty(&self) -> bool {
+        self.delete.is_empty()
+    }
+}
+
 /// An open write-ahead log, positioned for appending.
 pub struct Wal {
     config: WalConfig,
-    file: File,
-    segment_index: u64,
+    file: Box<dyn VFile>,
     segment_path: PathBuf,
-    segment_bytes: u64,
     appended_this_process: u64,
     records_logged: u64,
     pending_sync: u32,
     scratch: Vec<u8>,
+    /// On-disk segments, oldest first; the last entry is the one open
+    /// for appending.
+    segments: Vec<SegmentInfo>,
+    /// Absolute record index of the first record in `segments[0]` —
+    /// how many records precede the on-disk log (0 for a full log).
+    base_records: u64,
+    /// Set on the first failed write or fsync; fail-stop from then on.
+    poisoned: Option<StorageError>,
 }
 
 impl fmt::Debug for Wal {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Wal")
-            .field("segment_index", &self.segment_index)
+            .field("segments", &self.segments)
+            .field("base_records", &self.base_records)
             .field("records_logged", &self.records_logged)
+            .field("poisoned", &self.poisoned)
             .finish()
     }
 }
@@ -274,18 +364,31 @@ impl Wal {
     /// Opens (creating if needed) the log in `config.dir`, recovering
     /// all decodable records and truncating a torn tail.
     ///
+    /// `base` is the `(base segment, base records)` coordinate pair
+    /// from a durable checkpoint, for a log whose replayed prefix was
+    /// reclaimed; `None` means the log is expected from genesis
+    /// (segment 1, record 0). Segments below the base are deleted —
+    /// they are leftovers of a reclaim that crashed between checkpoint
+    /// commit and segment deletion. The returned records are the
+    /// on-disk ones; their absolute indices start at the base.
+    ///
     /// # Errors
     ///
     /// [`WalError::Io`] on filesystem failure, [`WalError::Corrupt`]
-    /// if a non-final segment fails to decode.
-    pub fn open(config: WalConfig) -> Result<(Self, Vec<WalRecord>), WalError> {
-        fs::create_dir_all(&config.dir).map_err(|e| io_err(&config.dir, e))?;
+    /// if a non-final segment fails to decode, and
+    /// [`WalError::MissingPrefix`] if the directory's first segment is
+    /// above the expected base (a retained log opened without its
+    /// checkpoint).
+    pub fn open(
+        config: WalConfig,
+        base: Option<(u64, u64)>,
+    ) -> Result<(Self, Vec<WalRecord>), WalError> {
+        let vfs = Arc::clone(&config.vfs);
+        vfs.create_dir_all(&config.dir)
+            .map_err(|e| io_err(&config.dir, e))?;
+        let (base_segment, base_records) = base.unwrap_or((1, 0));
         let mut indices: Vec<u64> = Vec::new();
-        let entries = fs::read_dir(&config.dir).map_err(|e| io_err(&config.dir, e))?;
-        for entry in entries {
-            let entry = entry.map_err(|e| io_err(&config.dir, e))?;
-            let name = entry.file_name();
-            let name = name.to_string_lossy();
+        for name in vfs.list(&config.dir).map_err(|e| io_err(&config.dir, e))? {
             if let Some(idx) = name
                 .strip_prefix("wal-")
                 .and_then(|r| r.strip_suffix(".seg"))
@@ -295,37 +398,42 @@ impl Wal {
             }
         }
         indices.sort_unstable();
+        // Segments below the base are leftovers of an interrupted
+        // reclaim: the checkpoint superseding them committed (that is
+        // where the base came from), so finish their deletion.
+        for &idx in indices.iter().filter(|&&i| i < base_segment) {
+            let path = config.dir.join(segment_name(idx));
+            vfs.remove_file(&path).map_err(|e| io_err(&path, e))?;
+        }
+        indices.retain(|&i| i >= base_segment);
+        if let Some(&first) = indices.first() {
+            if first > base_segment {
+                return Err(WalError::MissingPrefix {
+                    first_segment: first,
+                    expected: base_segment,
+                });
+            }
+        }
         if indices.is_empty() {
-            indices.push(1);
-            let path = config.dir.join(segment_name(1));
-            File::create(&path).map_err(|e| io_err(&path, e))?;
+            indices.push(base_segment);
+            let path = config.dir.join(segment_name(base_segment));
+            drop(vfs.create(&path).map_err(|e| io_err(&path, e))?);
         }
 
         let mut records = Vec::new();
+        let mut segments = Vec::with_capacity(indices.len());
         let last = indices.len() - 1;
-        let mut tail_len = 0u64;
         for (i, &idx) in indices.iter().enumerate() {
             let path = config.dir.join(segment_name(idx));
-            let mut bytes = Vec::new();
-            File::open(&path)
-                .and_then(|mut f| f.read_to_end(&mut bytes))
-                .map_err(|e| io_err(&path, e))?;
-            match scan_segment(&path, &bytes, &mut records)? {
-                SegmentScan::Clean => {
-                    if i == last {
-                        tail_len = bytes.len() as u64;
-                    }
-                }
+            let bytes = vfs.read(&path).map_err(|e| io_err(&path, e))?;
+            let before = records.len() as u64;
+            let seg_bytes = match scan_segment(&path, &bytes, &mut records)? {
+                SegmentScan::Clean => bytes.len() as u64,
                 SegmentScan::Failed(offset, reason) => {
                     if i == last {
                         // Torn tail: keep the clean prefix, drop the rest.
-                        let f = OpenOptions::new()
-                            .write(true)
-                            .open(&path)
-                            .map_err(|e| io_err(&path, e))?;
-                        f.set_len(offset).map_err(|e| io_err(&path, e))?;
-                        f.sync_all().map_err(|e| io_err(&path, e))?;
-                        tail_len = offset;
+                        vfs.truncate(&path, offset).map_err(|e| io_err(&path, e))?;
+                        offset
                     } else {
                         return Err(WalError::Corrupt {
                             segment: path,
@@ -334,44 +442,92 @@ impl Wal {
                         });
                     }
                 }
-            }
+            };
+            segments.push(SegmentInfo {
+                index: idx,
+                bytes: seg_bytes,
+                records: records.len() as u64 - before,
+            });
         }
 
-        let segment_index = indices[last];
-        let segment_path = config.dir.join(segment_name(segment_index));
-        let file = OpenOptions::new()
-            .append(true)
-            .open(&segment_path)
+        // sentinet-allow(expect-used): segments is non-empty by construction above
+        let active = *segments.last().expect("at least one segment");
+        let segment_path = config.dir.join(segment_name(active.index));
+        let file = vfs
+            .open_append(&segment_path)
             .map_err(|e| io_err(&segment_path, e))?;
-        let records_logged = records.len() as u64;
+        let records_logged = base_records + records.len() as u64;
         Ok((
             Self {
                 config,
                 file,
-                segment_index,
                 segment_path,
-                segment_bytes: tail_len,
                 appended_this_process: 0,
                 records_logged,
                 pending_sync: 0,
                 scratch: Vec::new(),
+                segments,
+                base_records,
+                poisoned: None,
             },
             records,
         ))
     }
 
-    /// Total records in the log, recovered plus appended — the cursor
-    /// checkpoints reference.
+    /// Total records ever logged (reclaimed + on disk + appended) —
+    /// the absolute cursor checkpoints reference.
     pub fn records_logged(&self) -> u64 {
         self.records_logged
+    }
+
+    /// Absolute record index of the first on-disk record (0 unless a
+    /// prefix was reclaimed).
+    pub fn base_records(&self) -> u64 {
+        self.base_records
+    }
+
+    /// Bytes currently on disk across all segments.
+    pub fn total_bytes(&self) -> u64 {
+        self.segments.iter().map(|s| s.bytes).sum()
+    }
+
+    /// On-disk segments, oldest first (the last is open for appends).
+    pub fn segments(&self) -> &[SegmentInfo] {
+        &self.segments
+    }
+
+    /// The storage error that poisoned the log, if any. A poisoned log
+    /// rejects every append with the same error and never acks.
+    pub fn poisoned(&self) -> Option<&StorageError> {
+        self.poisoned.as_ref()
+    }
+
+    /// Exact on-disk footprint of `record` (frame header + payload +
+    /// CRC trailer), for budget projection before appending.
+    pub fn framed_len(record: &WalRecord) -> u64 {
+        // Data payload: tag(1) + sensor(2) + seq(8) + time(8) +
+        // count(2) + 8 bytes per value; framing adds len(4) + crc(4).
+        21 + 8 * record.values.len() as u64 + 8
+    }
+
+    fn poison(&mut self, op: VfsOp, e: &std::io::Error) -> WalError {
+        let err = StorageError::new(op, &self.segment_path, e);
+        self.poisoned = Some(err.clone());
+        WalError::Storage(err)
     }
 
     /// Appends one record durably (per the fsync policy).
     ///
     /// # Errors
     ///
-    /// [`WalError::Io`] on write failure.
+    /// [`WalError::Storage`] on write or fsync failure — the log is
+    /// then poisoned: the data may or may not be durable, so nothing
+    /// past this point may be acknowledged, and every later append
+    /// fails with the same error.
     pub fn append(&mut self, record: &WalRecord) -> Result<(), WalError> {
+        if let Some(e) = &self.poisoned {
+            return Err(WalError::Storage(e.clone()));
+        }
         self.scratch.clear();
         encode_data_payload(
             record.sensor,
@@ -383,32 +539,36 @@ impl Wal {
         let mut framed = Vec::with_capacity(self.scratch.len() + 8);
         frame_payload(&self.scratch, &mut framed);
 
-        if self.segment_bytes > 0
-            && self.segment_bytes + framed.len() as u64 > self.config.segment_max_bytes
-        {
+        let active = self.active();
+        if active.bytes > 0 && active.bytes + framed.len() as u64 > self.config.segment_max_bytes {
             self.roll_segment()?;
         }
 
-        self.file
-            .write_all(&framed)
-            .map_err(|e| io_err(&self.segment_path, e))?;
-        self.segment_bytes += framed.len() as u64;
+        if let Err(e) = self.file.append(&framed) {
+            // The write may have torn: a prefix of the frame can be on
+            // disk. Recovery's torn-tail truncation handles it; this
+            // process must stop acking.
+            return Err(self.poison(VfsOp::Append, &e));
+        }
+        let active = self.active_mut();
+        active.bytes += framed.len() as u64;
+        active.records += 1;
         self.records_logged += 1;
         self.appended_this_process += 1;
 
         match self.config.fsync {
             FsyncPolicy::Never => {}
             FsyncPolicy::Always => {
-                self.file
-                    .sync_data()
-                    .map_err(|e| io_err(&self.segment_path, e))?;
+                if let Err(e) = self.file.fsync() {
+                    return Err(self.poison(VfsOp::Fsync, &e));
+                }
             }
             FsyncPolicy::Batch(n) => {
                 self.pending_sync += 1;
                 if self.pending_sync >= n {
-                    self.file
-                        .sync_data()
-                        .map_err(|e| io_err(&self.segment_path, e))?;
+                    if let Err(e) = self.file.fsync() {
+                        return Err(self.poison(VfsOp::Fsync, &e));
+                    }
                     self.pending_sync = 0;
                 }
             }
@@ -425,31 +585,125 @@ impl Wal {
     ///
     /// # Errors
     ///
-    /// [`WalError::Io`] on fsync failure.
+    /// [`WalError::Storage`] on fsync failure (the log is poisoned).
     pub fn sync(&mut self) -> Result<(), WalError> {
-        self.file
-            .sync_data()
-            .map_err(|e| io_err(&self.segment_path, e))?;
+        if let Some(e) = &self.poisoned {
+            return Err(WalError::Storage(e.clone()));
+        }
+        if let Err(e) = self.file.fsync() {
+            return Err(self.poison(VfsOp::Fsync, &e));
+        }
         self.pending_sync = 0;
         Ok(())
     }
 
-    fn roll_segment(&mut self) -> Result<(), WalError> {
-        self.file
-            .sync_data()
-            .map_err(|e| io_err(&self.segment_path, e))?;
-        self.segment_index += 1;
-        self.segment_path = self.config.dir.join(segment_name(self.segment_index));
-        self.file = File::create(&self.segment_path).map_err(|e| io_err(&self.segment_path, e))?;
-        self.segment_bytes = 0;
+    fn active(&self) -> SegmentInfo {
+        // sentinet-allow(expect-used): segments is non-empty from open to drop
+        *self.segments.last().expect("active segment")
+    }
+
+    fn active_mut(&mut self) -> &mut SegmentInfo {
+        // sentinet-allow(expect-used): segments is non-empty from open to drop
+        self.segments.last_mut().expect("active segment")
+    }
+
+    /// Seals the active segment (fsyncing it) and opens the next one.
+    /// Public so retention can seal a lone oversized segment, making
+    /// it reclaimable by the next checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Storage`] on fsync/create failure (the log is
+    /// poisoned).
+    pub fn roll_segment(&mut self) -> Result<(), WalError> {
+        if let Some(e) = &self.poisoned {
+            return Err(WalError::Storage(e.clone()));
+        }
+        if let Err(e) = self.file.fsync() {
+            return Err(self.poison(VfsOp::Fsync, &e));
+        }
+        let next = self.active().index + 1;
+        self.segment_path = self.config.dir.join(segment_name(next));
+        let vfs = Arc::clone(&self.config.vfs);
+        match vfs.create(&self.segment_path) {
+            Ok(file) => self.file = file,
+            Err(e) => return Err(self.poison(VfsOp::Create, &e)),
+        }
+        self.segments.push(SegmentInfo {
+            index: next,
+            bytes: 0,
+            records: 0,
+        });
         self.pending_sync = 0;
         Ok(())
+    }
+
+    /// Plans which sealed segments a durable checkpoint at `cursor`
+    /// would allow deleting, oldest first, until the log fits in
+    /// `budget` bytes (the active segment is never deleted, and no
+    /// segment holding records at or above the cursor ever is). The
+    /// plan's base coordinates must be committed in the checkpoint
+    /// *before* [`Wal::execute_reclaim`] runs, so a crash between the
+    /// two leaves only deletable leftovers.
+    pub fn plan_reclaim(&self, cursor: u64, budget: u64) -> ReclaimPlan {
+        let mut plan = ReclaimPlan {
+            delete: Vec::new(),
+            base_segment: self.segments[0].index,
+            base_records: self.base_records,
+        };
+        let mut total = self.total_bytes();
+        let mut first_record = self.base_records;
+        for seg in &self.segments[..self.segments.len() - 1] {
+            if total <= budget {
+                break;
+            }
+            let end = first_record + seg.records;
+            if end > cursor {
+                break;
+            }
+            plan.delete.push(seg.index);
+            total -= seg.bytes;
+            first_record = end;
+            plan.base_segment = seg.index + 1;
+            plan.base_records = end;
+        }
+        plan
+    }
+
+    /// Deletes the planned segments. Call only after the checkpoint
+    /// carrying the plan's base coordinates has rename-committed: the
+    /// log's bookkeeping adopts the new base unconditionally (the
+    /// logical truncation is already durable), and a file that fails
+    /// to delete is reported but becomes a leftover the next
+    /// [`Wal::open`] removes.
+    ///
+    /// # Errors
+    ///
+    /// The first deletion failure, as a typed [`StorageError`] (the
+    /// log is *not* poisoned — appends remain safe).
+    pub fn execute_reclaim(&mut self, plan: &ReclaimPlan) -> Result<(), StorageError> {
+        self.segments.retain(|s| !plan.delete.contains(&s.index));
+        self.base_records = plan.base_records;
+        let vfs = Arc::clone(&self.config.vfs);
+        let mut first_err = None;
+        for &idx in &plan.delete {
+            let path = self.config.dir.join(segment_name(idx));
+            if let Err(e) = vfs.remove_file(&path) {
+                first_err.get_or_insert(StorageError::new(VfsOp::Remove, &path, &e));
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::{FaultPlan, FaultSpec, FaultyVfs, StorageFault};
+    use std::fs;
 
     fn tmpdir(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("sentinet-wal-{name}-{}", std::process::id()));
@@ -473,15 +727,17 @@ mod tests {
             .map(|i| rec(1, i, 300 * (i + 1), i as f64))
             .collect();
         {
-            let (mut wal, recovered) = Wal::open(WalConfig::new(&dir)).unwrap();
+            let (mut wal, recovered) = Wal::open(WalConfig::new(&dir), None).unwrap();
             assert!(recovered.is_empty());
             for r in &originals {
                 wal.append(r).unwrap();
             }
+            assert_eq!(wal.total_bytes(), 50 * Wal::framed_len(&originals[0]));
         }
-        let (wal, recovered) = Wal::open(WalConfig::new(&dir)).unwrap();
+        let (wal, recovered) = Wal::open(WalConfig::new(&dir), None).unwrap();
         assert_eq!(recovered, originals);
         assert_eq!(wal.records_logged(), 50);
+        assert_eq!(wal.base_records(), 0);
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -492,14 +748,15 @@ mod tests {
         config.segment_max_bytes = 64; // force frequent rolls
         let originals: Vec<WalRecord> = (0..40).map(|i| rec(2, i, 300 * (i + 1), 0.5)).collect();
         {
-            let (mut wal, _) = Wal::open(config.clone()).unwrap();
+            let (mut wal, _) = Wal::open(config.clone(), None).unwrap();
             for r in &originals {
                 wal.append(r).unwrap();
             }
+            assert!(wal.segments().len() > 1);
         }
         let segs = fs::read_dir(&dir).unwrap().count();
         assert!(segs > 1, "expected multiple segments, got {segs}");
-        let (_, recovered) = Wal::open(config).unwrap();
+        let (_, recovered) = Wal::open(config, None).unwrap();
         assert_eq!(recovered, originals);
         fs::remove_dir_all(&dir).unwrap();
     }
@@ -508,24 +765,72 @@ mod tests {
     fn torn_tail_is_truncated_to_clean_prefix() {
         let dir = tmpdir("torn");
         {
-            let (mut wal, _) = Wal::open(WalConfig::new(&dir)).unwrap();
+            let (mut wal, _) = Wal::open(WalConfig::new(&dir), None).unwrap();
             for i in 0..10 {
                 wal.append(&rec(1, i, 300 * (i + 1), 1.0)).unwrap();
             }
         }
         let seg = dir.join(segment_name(1));
         let len = fs::metadata(&seg).unwrap().len();
-        let f = OpenOptions::new().write(true).open(&seg).unwrap();
+        let f = fs::OpenOptions::new().write(true).open(&seg).unwrap();
         f.set_len(len - 3).unwrap(); // tear mid-record
         drop(f);
-        let (_, recovered) = Wal::open(WalConfig::new(&dir)).unwrap();
+        let (_, recovered) = Wal::open(WalConfig::new(&dir), None).unwrap();
         assert_eq!(recovered.len(), 9);
         // Appending after truncation continues cleanly.
-        let (mut wal, _) = Wal::open(WalConfig::new(&dir)).unwrap();
+        let (mut wal, _) = Wal::open(WalConfig::new(&dir), None).unwrap();
         wal.append(&rec(1, 9, 3000, 1.0)).unwrap();
         drop(wal);
-        let (_, recovered) = Wal::open(WalConfig::new(&dir)).unwrap();
+        let (_, recovered) = Wal::open(WalConfig::new(&dir), None).unwrap();
         assert_eq!(recovered.len(), 10);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_at_exact_roll_boundary_recovers() {
+        let dir = tmpdir("torn-boundary");
+        let frame = Wal::framed_len(&rec(1, 0, 300, 1.0));
+        let mut config = WalConfig::new(&dir);
+        // Exactly two frames per segment: record 5 opens segment 3 at
+        // byte 0, right on the roll boundary.
+        config.segment_max_bytes = 2 * frame;
+        let originals: Vec<WalRecord> =
+            (0..5).map(|i| rec(1, i, 300 * (i + 1), i as f64)).collect();
+        {
+            let (mut wal, _) = Wal::open(config.clone(), None).unwrap();
+            for r in &originals {
+                wal.append(r).unwrap();
+            }
+            assert_eq!(
+                wal.segments()
+                    .iter()
+                    .map(|s| (s.index, s.records))
+                    .collect::<Vec<_>>(),
+                vec![(1, 2), (2, 2), (3, 1)]
+            );
+        }
+        assert_eq!(
+            fs::metadata(dir.join(segment_name(1))).unwrap().len(),
+            2 * frame,
+            "sealed segment filled to the exact boundary"
+        );
+        // Tear the frame that straddles the boundary: segment 3's only
+        // record loses its tail.
+        let seg3 = dir.join(segment_name(3));
+        let f = fs::OpenOptions::new().write(true).open(&seg3).unwrap();
+        f.set_len(frame - 5).unwrap();
+        drop(f);
+        let (wal, recovered) = Wal::open(config.clone(), None).unwrap();
+        assert_eq!(recovered, originals[..4], "boundary prefix intact");
+        assert_eq!(fs::metadata(&seg3).unwrap().len(), 0, "tail truncated");
+        drop(wal);
+        // The re-delivered record 5 lands back in segment 3 and the
+        // log recovers to the original contents.
+        let (mut wal, _) = Wal::open(config.clone(), None).unwrap();
+        wal.append(&originals[4]).unwrap();
+        drop(wal);
+        let (_, recovered) = Wal::open(config, None).unwrap();
+        assert_eq!(recovered, originals);
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -535,7 +840,7 @@ mod tests {
         let mut config = WalConfig::new(&dir);
         config.segment_max_bytes = 64;
         {
-            let (mut wal, _) = Wal::open(config.clone()).unwrap();
+            let (mut wal, _) = Wal::open(config.clone(), None).unwrap();
             for i in 0..40 {
                 wal.append(&rec(1, i, 300 * (i + 1), 1.0)).unwrap();
             }
@@ -545,7 +850,146 @@ mod tests {
         let mut bytes = fs::read(&seg).unwrap();
         bytes[6] ^= 0xFF;
         fs::write(&seg, &bytes).unwrap();
-        assert!(matches!(Wal::open(config), Err(WalError::Corrupt { .. })));
+        assert!(matches!(
+            Wal::open(config, None),
+            Err(WalError::Corrupt { .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_fsync_poisons_the_log() {
+        let dir = tmpdir("fsyncgate");
+        let plan = FaultPlan::new().with_fault(FaultSpec {
+            path: segment_name(1),
+            op: crate::vfs::VfsOp::Fsync,
+            nth: 3,
+            kind: StorageFault::FsyncFail,
+            count: 1,
+        });
+        let mut config = WalConfig::new(&dir);
+        config.fsync = FsyncPolicy::Always;
+        config.vfs = Arc::new(FaultyVfs::new(plan));
+        let (mut wal, _) = Wal::open(config, None).unwrap();
+        wal.append(&rec(1, 0, 300, 1.0)).unwrap();
+        wal.append(&rec(1, 1, 600, 2.0)).unwrap();
+        let err = wal.append(&rec(1, 2, 900, 3.0)).expect_err("fsync fault");
+        assert!(matches!(&err, WalError::Storage(e) if e.op == crate::vfs::VfsOp::Fsync));
+        assert!(wal.poisoned().is_some());
+        // Fail-stop: the fault was transient (count=1) but the log
+        // stays poisoned — no append, sync, or roll ever succeeds.
+        assert!(matches!(
+            wal.append(&rec(1, 3, 1200, 4.0)),
+            Err(WalError::Storage(_))
+        ));
+        assert!(matches!(wal.sync(), Err(WalError::Storage(_))));
+        assert!(matches!(wal.roll_segment(), Err(WalError::Storage(_))));
+        drop(wal);
+        // Reopen with clean storage: the two acked records are a
+        // prefix of recovery. The third append's bytes reached the
+        // file (only its flush promise broke) so it survives too —
+        // durable-but-unacked, exactly what the retry protocol covers.
+        let (_, recovered) = Wal::open(WalConfig::new(&dir), None).unwrap();
+        assert_eq!(recovered.len(), 3, "acked prefix plus the unacked tail");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_append_poisons_and_recovery_truncates() {
+        let dir = tmpdir("torn-append");
+        let plan = FaultPlan::new().with_fault(FaultSpec {
+            path: segment_name(1),
+            op: crate::vfs::VfsOp::Append,
+            nth: 3,
+            kind: StorageFault::TornWrite { bytes: 7 },
+            count: 1,
+        });
+        let mut config = WalConfig::new(&dir);
+        config.vfs = Arc::new(FaultyVfs::new(plan));
+        let (mut wal, _) = Wal::open(config, None).unwrap();
+        wal.append(&rec(1, 0, 300, 1.0)).unwrap();
+        wal.append(&rec(1, 1, 600, 2.0)).unwrap();
+        assert!(matches!(
+            wal.append(&rec(1, 2, 900, 3.0)),
+            Err(WalError::Storage(_))
+        ));
+        drop(wal);
+        let (_, recovered) = Wal::open(WalConfig::new(&dir), None).unwrap();
+        assert_eq!(recovered.len(), 2, "torn frame truncated away");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reclaim_deletes_only_sealed_segments_below_cursor() {
+        let dir = tmpdir("reclaim");
+        let frame = Wal::framed_len(&rec(1, 0, 300, 1.0));
+        let mut config = WalConfig::new(&dir);
+        config.segment_max_bytes = 2 * frame;
+        let (mut wal, _) = Wal::open(config.clone(), None).unwrap();
+        for i in 0..7 {
+            wal.append(&rec(1, i, 300 * (i + 1), i as f64)).unwrap();
+        }
+        // Segments: 1:[0,1] 2:[2,3] 3:[4,5] 4:[6].
+        assert_eq!(wal.segments().len(), 4);
+
+        // Cursor at 3 only frees segment 1, whatever the budget.
+        let plan = wal.plan_reclaim(3, 0);
+        assert_eq!(plan.delete, vec![1]);
+        assert_eq!((plan.base_segment, plan.base_records), (2, 2));
+
+        // Cursor at 7 with a two-segment budget frees 1 and 2; the
+        // active segment is untouchable even with budget 0.
+        let plan = wal.plan_reclaim(7, 3 * frame);
+        assert_eq!(plan.delete, vec![1, 2]);
+        let all = wal.plan_reclaim(7, 0);
+        assert_eq!(all.delete, vec![1, 2, 3]);
+        assert_eq!((all.base_segment, all.base_records), (4, 6));
+
+        wal.execute_reclaim(&plan).unwrap();
+        assert_eq!(wal.base_records(), 4);
+        assert_eq!(wal.total_bytes(), 3 * frame);
+        assert!(!dir.join(segment_name(1)).exists());
+        assert!(!dir.join(segment_name(2)).exists());
+
+        // Reopen against the committed base: tail records only,
+        // absolute cursor preserved.
+        drop(wal);
+        let (wal, recovered) = Wal::open(config.clone(), Some((3, 4))).unwrap();
+        assert_eq!(recovered.len(), 3);
+        assert_eq!(recovered[0].seq, 4);
+        assert_eq!(wal.records_logged(), 7);
+        assert_eq!(wal.base_records(), 4);
+
+        // Opening the retained log without its checkpoint is loud.
+        drop(wal);
+        assert!(matches!(
+            Wal::open(config, None),
+            Err(WalError::MissingPrefix {
+                first_segment: 3,
+                expected: 1
+            })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_deletes_leftover_segments_below_base() {
+        let dir = tmpdir("leftover");
+        let frame = Wal::framed_len(&rec(1, 0, 300, 1.0));
+        let mut config = WalConfig::new(&dir);
+        config.segment_max_bytes = 2 * frame;
+        let (mut wal, _) = Wal::open(config.clone(), None).unwrap();
+        for i in 0..5 {
+            wal.append(&rec(1, i, 300 * (i + 1), i as f64)).unwrap();
+        }
+        drop(wal);
+        // Simulate a crash between checkpoint commit (base = segment
+        // 2, record 2) and segment deletion: segment 1 is still there.
+        assert!(dir.join(segment_name(1)).exists());
+        let (wal, recovered) = Wal::open(config, Some((2, 2))).unwrap();
+        assert!(!dir.join(segment_name(1)).exists(), "leftover deleted");
+        assert_eq!(recovered.len(), 3);
+        assert_eq!(wal.records_logged(), 5);
         fs::remove_dir_all(&dir).unwrap();
     }
 

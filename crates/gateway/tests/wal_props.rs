@@ -88,7 +88,7 @@ fn batches() -> impl Strategy<Value = Vec<WalRecord>> {
 /// locate record boundaries without re-deriving the wire format).
 fn write_wal(name: &str, records: &[WalRecord]) -> (PathBuf, PathBuf, Vec<u64>) {
     let dir = tmpdir(name);
-    let (mut wal, recovered) = Wal::open(WalConfig::new(&dir)).expect("open fresh wal");
+    let (mut wal, recovered) = Wal::open(WalConfig::new(&dir), None).expect("open fresh wal");
     assert!(recovered.is_empty());
     let segment = dir.join("wal-00000001.seg");
     let mut sizes = Vec::with_capacity(records.len());
@@ -105,7 +105,7 @@ proptest! {
 
     fn roundtrip_is_bit_exact(records in batches()) {
         let (dir, _, _) = write_wal("roundtrip", &records);
-        let (_, recovered) = Wal::open(WalConfig::new(&dir)).expect("reopen");
+        let (_, recovered) = Wal::open(WalConfig::new(&dir), None).expect("reopen");
         prop_assert_eq!(recovered.len(), records.len());
         for (r, o) in recovered.iter().zip(&records) {
             prop_assert!(same_record(r, o), "roundtrip corrupted a record");
@@ -126,7 +126,7 @@ proptest! {
             fs::create_dir_all(&dir).expect("mkdir");
             fs::write(dir.join("wal-00000001.seg"), &template[..cut as usize])
                 .expect("write truncated segment");
-            let (wal, recovered) = Wal::open(WalConfig::new(&dir)).expect("torn tail must open");
+            let (wal, recovered) = Wal::open(WalConfig::new(&dir), None).expect("torn tail must open");
             prop_assert_eq!(
                 recovered.len(),
                 records.len() - 1,
@@ -154,7 +154,7 @@ proptest! {
         // The flipped byte lives inside this record index.
         let victim = sizes.iter().position(|&end| (pos as u64) < end).unwrap();
 
-        match Wal::open(WalConfig::new(&dir)) {
+        match Wal::open(WalConfig::new(&dir), None) {
             Ok((_, recovered)) => {
                 // Treated as a torn tail: everything from the damaged
                 // frame on is dropped, nothing before it is altered.

@@ -61,7 +61,7 @@ pub mod structure;
 pub use baum_welch::{baum_welch, BaumWelchConfig, TrainedHmm};
 pub use error::{HmmError, Result};
 pub use hmm::{Forward, ForwardScratch, Hmm, ViterbiPath};
-pub use markov::{MarkovChain, OnlineMarkovEstimator};
+pub use markov::{MarkovChain, MarkovState, OnlineMarkovEstimator};
 pub use matrix::{validate_distribution, StochasticMatrix, STOCHASTIC_TOL};
 pub use online::{EstimatorState, OnlineHmmEstimator};
 pub use online_em::OnlineEmEstimator;

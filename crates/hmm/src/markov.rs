@@ -288,6 +288,72 @@ impl OnlineMarkovEstimator {
         }
     }
 
+    /// Captures the complete estimator state as plain data for
+    /// checkpointing. [`OnlineMarkovEstimator::import_state`] rebuilds
+    /// an estimator that is `==` to this one (all floats verbatim), the
+    /// same contract as the HMM estimator's
+    /// [`export_state`](crate::OnlineHmmEstimator::export_state).
+    pub fn export_state(&self) -> MarkovState {
+        MarkovState {
+            transition: self.transition.iter_rows().map(<[f64]>::to_vec).collect(),
+            beta: self.beta,
+            prev: self.prev,
+            visits: self.visits.clone(),
+        }
+    }
+
+    /// Rebuilds an estimator from an exported state, re-validating the
+    /// matrix invariants (a corrupt checkpoint must fail loudly, not
+    /// poison the estimates).
+    ///
+    /// # Errors
+    ///
+    /// - Matrix construction errors if the rows are not stochastic or
+    ///   are ragged.
+    /// - [`HmmError::DimensionMismatch`] if `visits` disagrees with the
+    ///   transition matrix's state count.
+    /// - [`HmmError::StateOutOfRange`] if `prev` is out of range.
+    /// - [`HmmError::InvalidParameter`] for an out-of-range `beta`.
+    pub fn import_state(state: MarkovState) -> Result<Self> {
+        if !(state.beta > 0.0 && state.beta < 1.0) {
+            return Err(HmmError::InvalidParameter {
+                name: "beta",
+                value: state.beta,
+                range: "(0, 1)",
+            });
+        }
+        let transition = StochasticMatrix::from_rows(state.transition)?;
+        let m = transition.num_rows();
+        if transition.num_cols() != m {
+            return Err(HmmError::DimensionMismatch {
+                what: "markov transition columns".into(),
+                expected: m,
+                actual: transition.num_cols(),
+            });
+        }
+        if state.visits.len() != m {
+            return Err(HmmError::DimensionMismatch {
+                what: "markov visit counts".into(),
+                expected: m,
+                actual: state.visits.len(),
+            });
+        }
+        if let Some(prev) = state.prev {
+            if prev >= m {
+                return Err(HmmError::StateOutOfRange {
+                    state: prev,
+                    num_states: m,
+                });
+            }
+        }
+        Ok(Self {
+            transition,
+            beta: state.beta,
+            prev: state.prev,
+            visits: state.visits,
+        })
+    }
+
     /// Builds a [`MarkovChain`] snapshot with empirical occupancy.
     ///
     /// # Errors
@@ -305,6 +371,22 @@ impl OnlineMarkovEstimator {
         };
         MarkovChain::new(self.transition.clone(), occ)
     }
+}
+
+/// Plain-data image of an [`OnlineMarkovEstimator`], produced by
+/// [`OnlineMarkovEstimator::export_state`] for checkpoint/restore.
+/// Matrix rows are stored verbatim (row-major `Vec<Vec<f64>>`), so a
+/// round-trip is bit-exact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MarkovState {
+    /// Rows of the transition matrix (square).
+    pub transition: Vec<Vec<f64>>,
+    /// Transition learning factor β.
+    pub beta: f64,
+    /// State seen at the previous step, if any.
+    pub prev: Option<usize>,
+    /// Visit counts per state.
+    pub visits: Vec<u64>,
 }
 
 #[cfg(test)]
@@ -416,5 +498,50 @@ mod tests {
         let est = OnlineMarkovEstimator::new(4, 0.5).unwrap();
         let mc = est.to_chain().unwrap();
         assert_eq!(mc.occupancy(), &[0.25, 0.25, 0.25, 0.25]);
+    }
+
+    #[test]
+    fn export_import_round_trips_bit_exactly() {
+        let mut est = OnlineMarkovEstimator::new(3, 0.9).unwrap();
+        for s in [0usize, 1, 1, 2, 0, 2, 1] {
+            est.observe(s).unwrap();
+        }
+        let state = est.export_state();
+        let restored = OnlineMarkovEstimator::import_state(state).unwrap();
+        assert_eq!(est, restored);
+        // Continuing both yields identical estimates.
+        let mut a = est;
+        let mut b = restored;
+        for s in [2usize, 0, 1, 2] {
+            a.observe(s).unwrap();
+            b.observe(s).unwrap();
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn import_state_validates() {
+        let good = OnlineMarkovEstimator::new(2, 0.5).unwrap().export_state();
+        let mut bad = good.clone();
+        bad.beta = 1.5;
+        assert!(matches!(
+            OnlineMarkovEstimator::import_state(bad),
+            Err(HmmError::InvalidParameter { .. })
+        ));
+        let mut bad = good.clone();
+        bad.visits = vec![0; 3];
+        assert!(matches!(
+            OnlineMarkovEstimator::import_state(bad),
+            Err(HmmError::DimensionMismatch { .. })
+        ));
+        let mut bad = good.clone();
+        bad.prev = Some(9);
+        assert!(matches!(
+            OnlineMarkovEstimator::import_state(bad),
+            Err(HmmError::StateOutOfRange { .. })
+        ));
+        let mut bad = good;
+        bad.transition[0][0] = 0.7; // row no longer sums to 1
+        assert!(OnlineMarkovEstimator::import_state(bad).is_err());
     }
 }

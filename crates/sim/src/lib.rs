@@ -36,6 +36,8 @@ mod types;
 pub use csv::{read_trace, read_trace_sanitized, write_trace, CsvError};
 pub use environment::{DiurnalParams, EnvironmentModel, DAY_S};
 pub use network::{ground_truth, simulate, AttributeRange, BurstLoss, SimConfig};
-pub use sanitize::{sanitize_records, IngestError, IngestReport, RawRecord, Sanitizer};
+pub use sanitize::{
+    sanitize_records, IngestError, IngestReport, RawRecord, Sanitizer, SanitizerSnapshot,
+};
 pub use stats::{clamp, standard_normal, Gaussian};
 pub use types::{Payload, Reading, SensorId, Timestamp, Trace, TraceRecord};

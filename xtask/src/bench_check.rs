@@ -6,8 +6,9 @@
 //! malformed: missing keys, non-finite numbers, unknown modes, or
 //! sensor counts that are not monotone non-decreasing across rows.
 //! `ingest` rows (gateway loopback throughput) must also name their
-//! `fsync` policy, and are exempt from the sensors-monotone rule —
-//! they are appended after the shard sweep rather than sorted into it.
+//! `fsync` policy and `retention` setting (`off` or the WAL byte
+//! budget), and are exempt from the sensors-monotone rule — they are
+//! appended after the shard sweep rather than sorted into it.
 //!
 //! The vendored `serde` is a derive stub without a JSON backend, so
 //! this module carries its own minimal recursive-descent JSON parser —
@@ -358,6 +359,16 @@ pub fn validate(input: &str) -> Vec<String> {
                     "results[{i}] missing key `fsync` (required for ingest rows)"
                 )),
             }
+            match row.get("retention") {
+                Some(Json::Str(setting)) if !setting.is_empty() => {}
+                Some(v) => problems.push(format!(
+                    "results[{i}].retention must be a non-empty string, got {}",
+                    v.type_name()
+                )),
+                None => problems.push(format!(
+                    "results[{i}] missing key `retention` (required for ingest rows)"
+                )),
+            }
         } else if let Some(Json::Num(sensors)) = row.get("sensors") {
             // Ingest rows ride after the shard sweep; only the sweep
             // itself must keep sensors monotone.
@@ -451,12 +462,12 @@ mod tests {
     }
 
     #[test]
-    fn ingest_row_requires_fsync_and_skips_monotone() {
+    fn ingest_row_requires_fsync_retention_and_skips_monotone() {
         // A trailing ingest row with fewer sensors than the sweep is
-        // fine — as long as it names its fsync policy.
+        // fine — as long as it names its fsync policy and retention.
         let ingest = row(10, "ingest").replace(
             "\"mode\": \"ingest\"",
-            "\"mode\": \"ingest\", \"fsync\": \"batch:64\"",
+            "\"mode\": \"ingest\", \"fsync\": \"batch:64\", \"retention\": \"off\"",
         );
         let d = doc(&[row(100, "serial"), ingest]);
         assert!(validate(&d).is_empty(), "{:?}", validate(&d));
@@ -465,6 +476,10 @@ mod tests {
         let problems = validate(&d);
         assert!(
             problems.iter().any(|p| p.contains("`fsync`")),
+            "{problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("`retention`")),
             "{problems:?}"
         );
         assert!(

@@ -1,6 +1,6 @@
 //! The project lint engine.
 //!
-//! Fourteen textual lints over the workspace's library crates, built on
+//! Fifteen textual lints over the workspace's library crates, built on
 //! the masked source view of [`crate::lexer`] — no rustc plugin, fully
 //! offline. Findings are suppressed inline with
 //! `// sentinet-allow(lint-name): reason` on the same line or on the
@@ -22,6 +22,7 @@
 //! | `unbounded-channel` | `unbounded` channels outside the engine supervisor |
 //! | `net-outside-gateway` | `std::net` / `std::os::unix::net` outside `crates/gateway` |
 //! | `socket-read-timeout` | socket reads in a file that never sets a read timeout |
+//! | `io-outside-vfs` | raw filesystem mutation outside `gateway/src/vfs.rs` |
 //!
 //! Test code (`#[cfg(test)] mod`s and `#[test]` fns) is exempt from
 //! all except the header lints, and the `cli`/`bench` crates are
@@ -36,7 +37,11 @@
 //! monopoly: raw sockets elsewhere would bypass its framing, dedup,
 //! WAL, and backpressure, and any file naming a socket stream type
 //! that reads from it must configure a read timeout so a dead peer
-//! cannot wedge a thread forever.
+//! cannot wedge a thread forever. Durable file mutation is the storage
+//! layer's monopoly (`io-outside-vfs`): a raw `File::create`,
+//! `OpenOptions`, or `std::fs` write outside `gateway::vfs` would
+//! bypass the injectable `Vfs` seam, so disk-fault chaos could never
+//! reach it and its fsync/crash semantics would go untested.
 
 use crate::lexer::{match_brace, SourceMap};
 use std::fmt;
@@ -58,6 +63,7 @@ pub const LINTS: &[&str] = &[
     "unbounded-channel",
     "net-outside-gateway",
     "socket-read-timeout",
+    "io-outside-vfs",
 ];
 
 /// Functions that must stay lexically allocation-free, keyed by a path
@@ -130,6 +136,9 @@ pub struct FileContext {
     /// The file is the engine supervisor (may resume unwinds and own
     /// unbounded channels as part of crash recovery).
     pub supervisor_file: bool,
+    /// The file is the storage abstraction (`gateway/src/vfs.rs`),
+    /// the one place allowed to touch the real filesystem.
+    pub vfs_file: bool,
     /// Hot-path function names registered for this file.
     pub hot_functions: Vec<String>,
 }
@@ -155,6 +164,7 @@ impl FileContext {
             engine_crate: crate_name == "engine",
             gateway_crate: crate_name == "gateway",
             supervisor_file: p.ends_with("engine/src/supervisor.rs"),
+            vfs_file: p.ends_with("gateway/src/vfs.rs"),
             hot_functions,
         }
     }
@@ -347,6 +357,36 @@ pub fn lint_source(path: &Path, source: &str, ctx: &FileContext) -> Vec<Finding>
                 "socket-read-timeout",
                 "blocking socket read in a file that never calls `set_read_timeout`; a dead peer would wedge this thread".into(),
             );
+        }
+    }
+
+    // Durable file mutation is the storage layer's monopoly: a raw
+    // filesystem write outside `gateway::vfs` bypasses the injectable
+    // seam, so disk-fault chaos (ENOSPC, failed fsync, torn writes)
+    // could never reach it. Reads are deliberately not flagged — only
+    // mutation needs fault coverage to protect durability.
+    if !ctx.vfs_file {
+        for needle in [
+            "File::create(",
+            "OpenOptions::new(",
+            "fs::write(",
+            "fs::rename(",
+            "fs::remove_file(",
+            "fs::create_dir_all(",
+            "fs::remove_dir_all(",
+        ] {
+            for offset in find_macro(&map.masked, needle) {
+                if !map.in_test_region(offset) {
+                    push(
+                        &map,
+                        offset,
+                        "io-outside-vfs",
+                        format!(
+                            "`{needle}…)` outside gateway::vfs; route durable writes through the Vfs trait so fault injection covers them"
+                        ),
+                    );
+                }
+            }
         }
     }
 
@@ -675,6 +715,20 @@ mod tests {
         c.supervisor_file = true;
         let f = lint_source(Path::new("crates/engine/src/supervisor.rs"), src, &c);
         assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn raw_fs_mutation_flagged_outside_vfs() {
+        let src = "fn a(p: &Path) { std::fs::write(p, b\"x\").ok(); let f = File::create(p); }\n";
+        let f = run(src);
+        assert_eq!(f.iter().filter(|f| f.lint == "io-outside-vfs").count(), 2);
+        let mut c = ctx();
+        c.vfs_file = true;
+        let f = lint_source(Path::new("crates/gateway/src/vfs.rs"), src, &c);
+        assert!(f.is_empty(), "{f:?}");
+        // Reads stay unflagged: only mutation needs fault coverage.
+        let f = run("fn a(p: &Path) { let s = fs::read_to_string(p); let f = File::open(p); }\n");
+        assert!(f.iter().all(|f| f.lint != "io-outside-vfs"), "{f:?}");
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Seeded-bad fixture: with a lib-root context registering `hot` as a
-//! hot-path function, every one of the fourteen lints fires exactly
+//! hot-path function, every one of the fifteen lints fires exactly
 //! once. (This file is test data — it is never compiled.)
 
 pub fn violations(maybe: Option<u32>, x: f64) -> u32 {
@@ -25,4 +25,8 @@ pub fn hot(buf: &mut Vec<f64>, other: &[f64]) {
 
 pub fn leaky_socket(stream: &mut std::net::TcpStream, buf: &mut [u8]) {
     let _ = stream.read(buf);
+}
+
+pub fn sneaky_write(dir: &std::path::Path) {
+    let _ = std::fs::write(dir.join("out"), b"x");
 }

@@ -38,3 +38,8 @@ pub fn leaky_socket(stream: &mut std::net::TcpStream, buf: &mut [u8]) {
     // sentinet-allow(socket-read-timeout): fixture exercises suppression
     let _ = stream.read(buf);
 }
+
+pub fn sneaky_write(dir: &std::path::Path) {
+    // sentinet-allow(io-outside-vfs): fixture exercises suppression
+    let _ = std::fs::write(dir.join("out"), b"x");
+}

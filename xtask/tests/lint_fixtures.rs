@@ -31,6 +31,7 @@ fn full_ctx() -> FileContext {
         engine_crate: false,
         gateway_crate: false,
         supervisor_file: false,
+        vfs_file: false,
         hot_functions: vec!["hot".into()],
     }
 }
@@ -71,6 +72,7 @@ fn bad_bench_fixture_reports_each_schema_violation() {
     assert!(has("`windows_per_sec`"), "{problems:?}");
     assert!(has("`speedup_vs_serial`"), "{problems:?}");
     assert!(has("`fsync`"), "{problems:?}");
+    assert!(has("`retention`"), "{problems:?}");
 }
 
 #[test]
