@@ -93,6 +93,8 @@ pub struct ServeArgs {
     pub wal_segment_bytes: Option<u64>,
     /// Chaos hook: abort the process after appending N WAL records.
     pub crash_after: Option<u64>,
+    /// Batches a pipelined (protocol v2) client may keep in flight.
+    pub credit_window: u32,
     /// Emit the report as one summary line per sensor only.
     pub quiet: bool,
 }
@@ -144,7 +146,7 @@ USAGE:
                     [--fsync never|batch:N|always] [--watermark SECS]
                     [--silence-deadline SECS] [--checkpoint-every N]
                     [--wal-retain-bytes N] [--wal-segment-bytes N]
-                    [--crash-after N] [--quiet]
+                    [--crash-after N] [--credit-window N] [--quiet]
   sentinet replay-wal --wal-dir DIR [--period SECS] [--window SAMPLES]
                     [--trim FRACTION] [--watermark SECS] [--shards N]
                     [--quiet]
@@ -385,6 +387,7 @@ pub fn parse<'a, I: IntoIterator<Item = &'a str>>(args: I) -> Result<Command, Pa
                 wal_retain_bytes: None,
                 wal_segment_bytes: None,
                 crash_after: None,
+                credit_window: 32,
                 quiet: false,
             };
             while let Some(flag) = it.next() {
@@ -450,6 +453,15 @@ pub fn parse<'a, I: IntoIterator<Item = &'a str>>(args: I) -> Result<Command, Pa
                                 .parse()
                                 .map_err(|e| ParseError(format!("bad --crash-after: {e}")))?,
                         )
+                    }
+                    "--credit-window" => {
+                        let credits: u32 = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad --credit-window: {e}")))?;
+                        if credits == 0 {
+                            return Err(ParseError("--credit-window must be positive".into()));
+                        }
+                        parsed.credit_window = credits;
                     }
                     "--quiet" => parsed.quiet = true,
                     other => return Err(ParseError(format!("unknown flag {other:?}"))),
@@ -661,6 +673,7 @@ mod tests {
                 assert_eq!(a.wal_retain_bytes, None);
                 assert_eq!(a.wal_segment_bytes, None);
                 assert_eq!(a.crash_after, None);
+                assert_eq!(a.credit_window, 32);
             }
             other => panic!("{other:?}"),
         }
@@ -682,6 +695,8 @@ mod tests {
             "4096",
             "--crash-after",
             "40",
+            "--credit-window",
+            "8",
             "--quiet",
         ])
         .unwrap()
@@ -694,10 +709,15 @@ mod tests {
                 assert_eq!(a.wal_retain_bytes, Some(65536));
                 assert_eq!(a.wal_segment_bytes, Some(4096));
                 assert_eq!(a.crash_after, Some(40));
+                assert_eq!(a.credit_window, 8);
                 assert!(a.quiet);
             }
             other => panic!("{other:?}"),
         }
+        assert!(parse(["serve", "--wal-dir", "w", "--credit-window", "0"])
+            .unwrap_err()
+            .to_string()
+            .contains("credit-window"));
         assert!(parse(["serve"])
             .unwrap_err()
             .to_string()
@@ -706,10 +726,12 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("fsync"));
-        assert!(parse(["serve", "--wal-dir", "w", "--wal-retain-bytes", "0"])
-            .unwrap_err()
-            .to_string()
-            .contains("wal-retain-bytes"));
+        assert!(
+            parse(["serve", "--wal-dir", "w", "--wal-retain-bytes", "0"])
+                .unwrap_err()
+                .to_string()
+                .contains("wal-retain-bytes")
+        );
     }
 
     #[test]

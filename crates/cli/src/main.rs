@@ -284,6 +284,7 @@ fn run_serve(a: ServeArgs) -> Result<(), Box<dyn std::error::Error>> {
     }
     let server = Server::start(ServerConfig {
         bind: a.bind.clone(),
+        credit_window: a.credit_window,
         ..ServerConfig::default()
     })?;
     // Scripts (and the crash-recovery tests) parse this line to learn

@@ -5,11 +5,77 @@
 //! retrying uplink, and require the final report byte-identical to an
 //! uninterrupted run. `replay-wal` over the survivor's log (with a
 //! sharded-engine cross-check) must print the same report again.
+//!
+//! Two environment knobs let CI sweep the same assertions across the
+//! durability and protocol matrix without touching their strength:
+//! `SENTINET_TEST_FSYNC` overrides the daemon's `--fsync` policy
+//! (default `never`), and `SENTINET_TEST_PROTOCOL=v2` drives the
+//! stream through the pipelined `DataBatch` uplink instead of
+//! stop-and-wait.
 
-use sentinet_gateway::{SensorUplink, UplinkConfig};
+use sentinet_gateway::{PipelinedConfig, PipelinedUplink, SensorUplink, UplinkConfig, UplinkError};
 use sentinet_sim::SensorId;
 use std::io::{BufRead, BufReader, Read};
 use std::process::{Child, ChildStdout, Command, Stdio};
+
+/// Batch size for the `v2` sweep — small enough that `--crash-after`
+/// and the SIGKILL both land mid-stream with batches in flight.
+const PIPE_BATCH: usize = 8;
+
+fn fsync_policy() -> String {
+    std::env::var("SENTINET_TEST_FSYNC").unwrap_or_else(|_| "never".into())
+}
+
+fn pipelined() -> bool {
+    std::env::var("SENTINET_TEST_PROTOCOL").as_deref() == Ok("v2")
+}
+
+/// The reorder window is co-tuned with the protocol (DESIGN.md §14.4):
+/// pipelined batches arrive in per-sensor bursts spanning
+/// `batch × period` stream-seconds, so the watermark delay must cover
+/// at least two spans or cross-sensor same-era readings drop as late.
+fn watermark() -> String {
+    if pipelined() {
+        (2 * PIPE_BATCH as u64 * 300).to_string()
+    } else {
+        "600".into()
+    }
+}
+
+/// Either wire protocol behind the one interface the tests use; the
+/// assertions are identical for both.
+enum TestUplink {
+    V1(SensorUplink),
+    V2(PipelinedUplink),
+}
+
+impl TestUplink {
+    fn send_at(
+        &mut self,
+        sensor: SensorId,
+        seq: u64,
+        time: u64,
+        values: &[f64],
+    ) -> Result<(), UplinkError> {
+        match self {
+            TestUplink::V1(up) => up.send_at(sensor, seq, time, values).map(|_| ()),
+            TestUplink::V2(up) => {
+                // The pipelined client numbers the stream itself; the
+                // test stream is gapless per sensor, so they agree.
+                let got = up.send(sensor, time, values)?;
+                assert_eq!(got, seq, "pipelined uplink seq drifted from the stream");
+                Ok(())
+            }
+        }
+    }
+
+    fn finish(self) -> Result<(), UplinkError> {
+        match self {
+            TestUplink::V1(up) => up.finish(),
+            TestUplink::V2(up) => up.finish().map(|_| ()),
+        }
+    }
+}
 
 fn tmpdir(name: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!(
@@ -44,11 +110,11 @@ fn spawn_serve(
             "--wal-dir",
             wal_dir.to_str().unwrap(),
             "--watermark",
-            "600",
+            &watermark(),
             "--checkpoint-every",
             "64",
             "--fsync",
-            "never",
+            &fsync_policy(),
         ])
         .args(extra)
         .stdout(Stdio::piped())
@@ -68,17 +134,26 @@ fn spawn_serve(
 
 /// A snappy uplink: a dead server should fail fast, not after the
 /// production backoff schedule.
-fn uplink(addr: String) -> SensorUplink {
+fn uplink(addr: String) -> TestUplink {
     let mut config = UplinkConfig::new(addr);
     config.ack_timeout = std::time::Duration::from_millis(300);
     config.max_attempts = 5;
     config.backoff_base = std::time::Duration::from_millis(10);
-    SensorUplink::new(config)
+    if pipelined() {
+        let mut pipe = PipelinedConfig::new("");
+        pipe.transport = config;
+        pipe.batch_size = PIPE_BATCH;
+        pipe.max_inflight = 4;
+        TestUplink::V2(PipelinedUplink::new(pipe))
+    } else {
+        TestUplink::V1(SensorUplink::new(config))
+    }
 }
 
 /// Sends the whole stream (stopping at the first exhausted retry) and
-/// returns how many records were durably acked.
-fn send_all(uplink: &mut SensorUplink, records: &[(SensorId, u64, u64, Vec<f64>)]) -> usize {
+/// returns how many records the uplink accepted (durably acked under
+/// stop-and-wait; accepted-or-in-flight under the pipelined client).
+fn send_all(uplink: &mut TestUplink, records: &[(SensorId, u64, u64, Vec<f64>)]) -> usize {
     for (i, (s, seq, t, v)) in records.iter().enumerate() {
         if uplink.send_at(*s, *seq, *t, v).is_err() {
             return i;
@@ -125,7 +200,7 @@ fn replay_wal(dir: &std::path::Path, shards: &str) -> String {
             "--wal-dir",
             dir.to_str().unwrap(),
             "--watermark",
-            "600",
+            &watermark(),
             "--shards",
             shards,
         ])
@@ -174,7 +249,8 @@ fn sigkill_mid_stream_resumes_bit_identically() {
     let dir = tmpdir("kill-crash");
     let (mut child, _stdout, addr) = spawn_serve(&dir, &[]);
     let mut up = uplink(addr);
-    // 130 acked records are durable; then the process is SIGKILLed.
+    // 130 records go out (durably acked under stop-and-wait; some
+    // possibly still buffered under v2); then the process is SIGKILLed.
     let prefix = &stream()[..130];
     assert_eq!(send_all(&mut up, prefix), prefix.len());
     child.kill().expect("SIGKILL serve");

@@ -6,11 +6,74 @@
 //! `replay-wal` over the reclaimed log reproduces the report again —
 //! while the `--shards` cross-check refuses cleanly, because the
 //! released stream no longer covers the reclaimed prefix.
+//!
+//! Like `gateway_crash.rs`, the file is environment-parameterized so
+//! CI sweeps the durability/protocol matrix with identical
+//! assertions: `SENTINET_TEST_FSYNC` overrides `--fsync` (default
+//! `never`) and `SENTINET_TEST_PROTOCOL=v2` uses the pipelined
+//! `DataBatch` uplink instead of stop-and-wait.
 
-use sentinet_gateway::{SensorUplink, UplinkConfig};
+use sentinet_gateway::{PipelinedConfig, PipelinedUplink, SensorUplink, UplinkConfig, UplinkError};
 use sentinet_sim::SensorId;
 use std::io::{BufRead, BufReader, Read};
 use std::process::{Child, ChildStdout, Command, Stdio};
+
+/// Batch size for the `v2` sweep; a multiple of the segment and
+/// checkpoint cadences below, so reclamation trips at the same record
+/// boundaries as the per-record protocol.
+const PIPE_BATCH: usize = 8;
+
+fn fsync_policy() -> String {
+    std::env::var("SENTINET_TEST_FSYNC").unwrap_or_else(|_| "never".into())
+}
+
+fn pipelined() -> bool {
+    std::env::var("SENTINET_TEST_PROTOCOL").as_deref() == Ok("v2")
+}
+
+/// Reorder window co-tuned with the protocol (DESIGN.md §14.4): the
+/// watermark delay must cover ≥ 2 batch spans under v2.
+fn watermark() -> String {
+    if pipelined() {
+        (2 * PIPE_BATCH as u64 * 300).to_string()
+    } else {
+        "600".into()
+    }
+}
+
+/// Either wire protocol behind the one interface the test uses.
+enum TestUplink {
+    V1(SensorUplink),
+    V2(PipelinedUplink),
+}
+
+impl TestUplink {
+    fn send_at(
+        &mut self,
+        sensor: SensorId,
+        seq: u64,
+        time: u64,
+        values: &[f64],
+    ) -> Result<(), UplinkError> {
+        match self {
+            TestUplink::V1(up) => up.send_at(sensor, seq, time, values).map(|_| ()),
+            TestUplink::V2(up) => {
+                // The pipelined client numbers the stream itself; the
+                // test stream is gapless per sensor, so they agree.
+                let got = up.send(sensor, time, values)?;
+                assert_eq!(got, seq, "pipelined uplink seq drifted from the stream");
+                Ok(())
+            }
+        }
+    }
+
+    fn finish(self) -> Result<(), UplinkError> {
+        match self {
+            TestUplink::V1(up) => up.finish(),
+            TestUplink::V2(up) => up.finish().map(|_| ()),
+        }
+    }
+}
 
 /// One data frame of this stream is 45 bytes on the wire-log:
 /// 21 header + 2×8 values + 8 trailer.
@@ -53,11 +116,11 @@ fn spawn_serve(
             "--wal-dir",
             wal_dir.to_str().unwrap(),
             "--watermark",
-            "600",
+            &watermark(),
             "--checkpoint-every",
             "32",
             "--fsync",
-            "never",
+            &fsync_policy(),
         ])
         .args(extra)
         .stdout(Stdio::piped())
@@ -75,15 +138,23 @@ fn spawn_serve(
     (child, stdout, addr)
 }
 
-fn uplink(addr: String) -> SensorUplink {
+fn uplink(addr: String) -> TestUplink {
     let mut config = UplinkConfig::new(addr);
     config.ack_timeout = std::time::Duration::from_millis(300);
     config.max_attempts = 5;
     config.backoff_base = std::time::Duration::from_millis(10);
-    SensorUplink::new(config)
+    if pipelined() {
+        let mut pipe = PipelinedConfig::new("");
+        pipe.transport = config;
+        pipe.batch_size = PIPE_BATCH;
+        pipe.max_inflight = 4;
+        TestUplink::V2(PipelinedUplink::new(pipe))
+    } else {
+        TestUplink::V1(SensorUplink::new(config))
+    }
 }
 
-fn send_all(uplink: &mut SensorUplink, records: &[(SensorId, u64, u64, Vec<f64>)]) -> usize {
+fn send_all(uplink: &mut TestUplink, records: &[(SensorId, u64, u64, Vec<f64>)]) -> usize {
     for (i, (s, seq, t, v)) in records.iter().enumerate() {
         if uplink.send_at(*s, *seq, *t, v).is_err() {
             return i;
@@ -177,7 +248,7 @@ fn retention_budget_holds_and_restart_matches_unretained_baseline() {
             "--wal-dir",
             dir.to_str().unwrap(),
             "--watermark",
-            "600",
+            &watermark(),
             "--shards",
             "1",
         ])
@@ -203,7 +274,7 @@ fn retention_budget_holds_and_restart_matches_unretained_baseline() {
             "--wal-dir",
             dir.to_str().unwrap(),
             "--watermark",
-            "600",
+            &watermark(),
             "--shards",
             "2",
         ])

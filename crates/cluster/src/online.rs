@@ -357,7 +357,10 @@ impl ModelStates {
             return Err("state snapshot has no active slot".into());
         }
         if !(config.alpha > 0.0 && config.alpha < 1.0) {
-            return Err(format!("state snapshot alpha {} out of (0, 1)", config.alpha));
+            return Err(format!(
+                "state snapshot alpha {} out of (0, 1)",
+                config.alpha
+            ));
         }
         if !(config.merge_threshold >= 0.0 && config.spawn_threshold > config.merge_threshold) {
             return Err("state snapshot thresholds inverted".into());

@@ -1009,10 +1009,7 @@ mod tests {
                 readings: vec![(SensorId(0), 2, vec![20.5, 50.0, 21.0, 49.5])],
             },
             sensors: vec![
-                (
-                    SensorId(0),
-                    runtime_with_history(&config).snapshot(),
-                ),
+                (SensorId(0), runtime_with_history(&config).snapshot()),
                 (SensorId(3), SensorRuntime::new(&config, 2).snapshot()),
             ],
         }

@@ -589,8 +589,8 @@ mod tests {
             crate::checkpoint::decode_pipeline(&crate::checkpoint::encode_pipeline(&snap))
                 .expect("codec round trip");
         assert_eq!(decoded, snap);
-        let mut resumed = Pipeline::from_snapshot(PipelineConfig::default(), period, decoded)
-            .expect("restore");
+        let mut resumed =
+            Pipeline::from_snapshot(PipelineConfig::default(), period, decoded).expect("restore");
         for (time, sensor, reading) in &delivered[split..] {
             outcomes.extend(resumed.push_reading(*time, *sensor, reading));
         }

@@ -674,7 +674,10 @@ mod tests {
         let empty = Windower::new(100);
         let snap = empty.snapshot();
         assert!(!snap.started);
-        assert_eq!(Windower::from_snapshot(100, &snap).unwrap().snapshot(), snap);
+        assert_eq!(
+            Windower::from_snapshot(100, &snap).unwrap().snapshot(),
+            snap
+        );
 
         // Corrupt dims are rejected.
         let mut bad = w.snapshot();

@@ -198,6 +198,12 @@ impl SeqTracker {
         }
         true
     }
+
+    /// Highest seq such that every seq at or below it has been seen —
+    /// the cumulative-ack watermark (`None` before anything arrived).
+    fn watermark(&self) -> Option<u64> {
+        self.next.checked_sub(1)
+    }
 }
 
 /// Why a delivered frame was refused (the server sends a NACK).
@@ -221,6 +227,45 @@ pub enum DeliverOutcome {
     /// The record could not be made durable: NACK it, never ack. The
     /// client's retry protocol redelivers after restart/recovery.
     Rejected(RejectCause),
+}
+
+/// Per-stage wall time accumulated by the collector's ingest path —
+/// the bench's stage breakdown. All fields are nanoseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Batch admission: dedup/budget probes plus
+    /// reorder/sanitize/pipeline for accepted readings.
+    pub admission_ns: u64,
+    /// Inside WAL write calls.
+    pub wal_append_ns: u64,
+    /// Inside WAL fsync calls.
+    pub fsync_ns: u64,
+}
+
+/// Per-batch admission accounting from [`Collector::deliver_batch`].
+///
+/// The ack-release rule of the pipelined protocol lives in the two
+/// cursor fields: `ack_up_to` is the cumulative watermark the client
+/// may be told about, but only once the WAL's synced cursor
+/// ([`Collector::synced_cursor`]) has reached `ack_cursor` — i.e. once
+/// a completed fsync covers every record this batch appended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Readings newly admitted (appended to the WAL this call).
+    pub accepted: usize,
+    /// Readings that were retransmissions of already-logged records.
+    pub duplicates: usize,
+    /// Readings refused — everything from the `nack` coordinate on.
+    pub rejected: usize,
+    /// Cumulative ack watermark for the sensor after this batch:
+    /// every seq at or below it is logged.
+    pub ack_up_to: Option<u64>,
+    /// WAL cursor a completed fsync must cover before `ack_up_to` may
+    /// be released to the client.
+    pub ack_cursor: u64,
+    /// First refused seq and why (the selective-NACK coordinate; the
+    /// client retransmits from here).
+    pub nack: Option<(u64, RejectCause)>,
 }
 
 /// What recovery found on open.
@@ -322,6 +367,11 @@ pub struct GatewayReport {
     /// [`Collector::released_trace`] mid-run, this includes the
     /// records the final flush released.
     pub released: Option<Trace>,
+    /// Client-side transport counters (attempts, retransmits,
+    /// timeouts, NACKs, reconnects), filled in by harnesses that own
+    /// the uplink end of the run — `None` for server-only runs. Kept
+    /// out of checkpoints: it describes the wire, not the state.
+    pub uplink: Option<crate::client::UplinkStats>,
 }
 
 /// The durable collector. Create with [`Collector::open`], feed with
@@ -339,6 +389,11 @@ pub struct Collector {
     rejected: Vec<sentinet_sim::IngestError>,
     last_heard: BTreeMap<SensorId, Timestamp>,
     silent: BTreeSet<SensorId>,
+    /// Reorder watermark the last full silence scan ran at. Purely a
+    /// scan-skipping cache (never snapshotted): while the watermark is
+    /// unchanged only the sensor touched by the current admission can
+    /// change silence state, so the per-record scan collapses to O(1).
+    liveness_watermark: Option<Timestamp>,
     episodes: usize,
     released_scratch: Vec<RawRecord>,
     trace_log: Option<Vec<TraceRecord>>,
@@ -347,6 +402,9 @@ pub struct Collector {
     checkpoint_failures: usize,
     reclaim_failures: usize,
     reclaimed_segments: usize,
+    /// Wall time spent in batch admission (dedup/budget probes plus
+    /// reorder/sanitize/pipeline), for the bench stage breakdown.
+    admission_ns: u64,
 }
 
 impl fmt::Debug for Collector {
@@ -481,6 +539,7 @@ impl Collector {
             rejected: Vec::new(),
             last_heard: BTreeMap::new(),
             silent: BTreeSet::new(),
+            liveness_watermark: None,
             episodes: 0,
             released_scratch: Vec::new(),
             trace_log,
@@ -489,6 +548,7 @@ impl Collector {
             checkpoint_failures: 0,
             reclaim_failures: 0,
             reclaimed_segments: 0,
+            admission_ns: 0,
         }
     }
 
@@ -532,6 +592,7 @@ impl Collector {
             rejected: snap.rejected,
             last_heard: snap.last_heard.into_iter().collect(),
             silent: snap.silent.into_iter().collect(),
+            liveness_watermark: None,
             episodes: snap.episodes,
             released_scratch: Vec::new(),
             trace_log,
@@ -540,6 +601,7 @@ impl Collector {
             checkpoint_failures: 0,
             reclaim_failures: 0,
             reclaimed_segments: 0,
+            admission_ns: 0,
         })
     }
 
@@ -634,12 +696,180 @@ impl Collector {
         self.admit(record.raw());
         let logged = self.wal.records_logged();
         if self.config.checkpoint_every > 0 && logged.is_multiple_of(self.config.checkpoint_every) {
-            self.write_checkpoint(
-                logged,
-                self.config.wal.retain_bytes.unwrap_or(u64::MAX),
-            )?;
+            self.write_checkpoint(logged, self.config.wal.retain_bytes.unwrap_or(u64::MAX))?;
         }
         Ok(DeliverOutcome::Accepted)
+    }
+
+    /// Handles one delivered `DataBatch` frame: dedup, budget
+    /// projection, and reorder/sanitize/pipeline admission run per
+    /// reading exactly as [`Collector::deliver`] would, but the WAL
+    /// append is one contiguous extent ([`Wal::append_many`]) and the
+    /// fsync policy is charged per batch — the group-commit fast path.
+    ///
+    /// Admission stops at the first refused reading (budget exhaustion
+    /// or storage failure): the surviving prefix is logged and
+    /// admitted, the refusal coordinate comes back in
+    /// [`BatchOutcome::nack`], and the suffix is left for the client
+    /// to retransmit. Nothing in the batch may be acked until
+    /// [`Collector::synced_cursor`] reaches [`BatchOutcome::ack_cursor`].
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError`] on non-storage failures only, exactly like
+    /// [`Collector::deliver`].
+    pub fn deliver_batch(
+        &mut self,
+        sensor: SensorId,
+        first_seq: u64,
+        readings: &[(Timestamp, Vec<f64>)],
+    ) -> Result<BatchOutcome, GatewayError> {
+        let mut out = BatchOutcome {
+            accepted: 0,
+            duplicates: 0,
+            rejected: 0,
+            ack_up_to: None,
+            ack_cursor: self.wal.records_logged(),
+            nack: None,
+        };
+        if self.wal.poisoned().is_some() {
+            self.storage_rejects += readings.len();
+            out.rejected = readings.len();
+            out.nack = Some((first_seq, RejectCause::Storage));
+            return Ok(out);
+        }
+        // Pass 1: per-reading dedup probe and cumulative budget
+        // projection, collecting the admissible fresh prefix. Probes
+        // are non-mutating — a refused reading must leave no trace.
+        let mut fresh: Vec<WalRecord> = Vec::with_capacity(readings.len());
+        let mut projected = 0u64;
+        let mut reclaimed = false;
+        let admission_start = std::time::Instant::now();
+        for (i, (time, values)) in readings.iter().enumerate() {
+            let seq = first_seq + i as u64;
+            if !self.seqs.get(&sensor).is_none_or(|t| t.is_new(seq)) {
+                self.seq_duplicates += 1;
+                out.duplicates += 1;
+                continue;
+            }
+            let record = WalRecord {
+                sensor,
+                seq,
+                time: *time,
+                values: values.clone(),
+            };
+            if let Some(budget) = self.config.wal.retain_bytes {
+                let frame = Wal::framed_len(&record);
+                if self.wal.total_bytes() + projected + frame > budget && !reclaimed {
+                    // One reclaim attempt per batch, before anything
+                    // is appended (the checkpoint it writes covers
+                    // only records already durable).
+                    self.reclaim_for_budget(budget.saturating_sub(projected + frame))?;
+                    reclaimed = true;
+                }
+                if self.wal.poisoned().is_some() {
+                    self.storage_rejects += readings.len() - i;
+                    out.rejected = readings.len() - i;
+                    out.nack = Some((seq, RejectCause::Storage));
+                    break;
+                }
+                if self.wal.total_bytes() + projected + frame > budget {
+                    self.budget_shed += readings.len() - i;
+                    out.rejected = readings.len() - i;
+                    out.nack = Some((seq, RejectCause::WalBudget));
+                    break;
+                }
+                projected += frame;
+            }
+            fresh.push(record);
+        }
+        self.admission_ns = self
+            .admission_ns
+            .saturating_add(admission_start.elapsed().as_nanos() as u64);
+        // Pass 2: one contiguous WAL extent for the whole fresh
+        // prefix, then per-reading admission. Only after the append
+        // may sequence numbers be marked seen.
+        if !fresh.is_empty() {
+            let logged_before = self.wal.records_logged();
+            match self.wal.append_many(&fresh) {
+                Ok(()) => {}
+                Err(WalError::Storage(_)) => {
+                    // Part of the extent may be on disk, but nothing
+                    // was observed or admitted: the whole batch is
+                    // unacked and the client retransmits it after
+                    // restart (dedup absorbs any durable prefix).
+                    self.storage_rejects += fresh.len();
+                    out.rejected += fresh.len();
+                    // The fresh prefix precedes any budget-refused
+                    // suffix, so its first seq is the NACK coordinate.
+                    out.nack = Some((fresh[0].seq, RejectCause::Storage));
+                    return Ok(out);
+                }
+                Err(e) => return Err(e.into()),
+            }
+            out.accepted = fresh.len();
+            let admit_start = std::time::Instant::now();
+            for record in fresh {
+                self.seqs
+                    .entry(record.sensor)
+                    .or_default()
+                    .observe(record.seq);
+                self.admit(record.raw());
+            }
+            self.admission_ns = self
+                .admission_ns
+                .saturating_add(admit_start.elapsed().as_nanos() as u64);
+            let logged = self.wal.records_logged();
+            let every = self.config.checkpoint_every;
+            if every > 0 && logged_before / every < logged / every {
+                self.write_checkpoint(logged, self.config.wal.retain_bytes.unwrap_or(u64::MAX))?;
+            }
+        }
+        out.ack_cursor = self.wal.records_logged();
+        out.ack_up_to = self.seqs.get(&sensor).and_then(|t| t.watermark());
+        Ok(out)
+    }
+
+    /// Absolute WAL cursor covered by a completed fsync — the ack
+    /// gate for [`BatchOutcome::ack_cursor`].
+    pub fn synced_cursor(&self) -> u64 {
+        self.wal.synced_records()
+    }
+
+    /// Records appended but not yet covered by an fsync.
+    pub fn unsynced_records(&self) -> u64 {
+        self.wal.unsynced_records()
+    }
+
+    /// Server-side per-stage wall time accumulated so far (batch
+    /// admission, WAL writes, fsyncs) — the bench's ingest stage
+    /// breakdown. Transport stages (decode, ack) are counted by the
+    /// [`Server`](crate::server::Server) instead.
+    pub fn stage_timings(&self) -> StageTimings {
+        StageTimings {
+            admission_ns: self.admission_ns,
+            wal_append_ns: self.wal.append_ns(),
+            fsync_ns: self.wal.fsync_ns(),
+        }
+    }
+
+    /// Forces the group-commit fsync: after `Ok`, every logged record
+    /// is covered and every queued ack may be released. A storage
+    /// failure poisons the WAL (callers NACK from then on).
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError`] on non-storage failures only; fsync failure
+    /// is absorbed into the poisoned state like delivery does.
+    pub fn sync_wal(&mut self) -> Result<(), GatewayError> {
+        if self.wal.poisoned().is_some() || self.wal.unsynced_records() == 0 {
+            return Ok(());
+        }
+        match self.wal.sync() {
+            Ok(()) => Ok(()),
+            Err(WalError::Storage(_)) => Ok(()),
+            Err(e) => Err(e.into()),
+        }
     }
 
     /// Tries to bring the on-disk WAL under `target` bytes so one more
@@ -678,7 +908,7 @@ impl Collector {
             self.ingest_released(raw);
         }
         self.released_scratch = released;
-        self.update_liveness();
+        self.update_liveness(sensor);
     }
 
     fn ingest_released(&mut self, raw: RawRecord) {
@@ -701,13 +931,28 @@ impl Collector {
         }
     }
 
-    fn update_liveness(&mut self) {
+    /// Re-derives silence membership after one admission. `touched` is
+    /// the sensor the admission may have updated `last_heard` for —
+    /// while the watermark is unchanged it is the only sensor whose
+    /// silence condition can have changed, so the full scan (which
+    /// this is observably equivalent to, record for record) runs only
+    /// when the watermark advances.
+    fn update_liveness(&mut self, touched: SensorId) {
         let Some(deadline) = self.config.silence_deadline else {
             return;
         };
         let Some(watermark) = self.reorder.watermark() else {
             return;
         };
+        if self.liveness_watermark == Some(watermark) {
+            if let Some(&heard) = self.last_heard.get(&touched) {
+                if watermark > heard.saturating_add(deadline) && self.silent.insert(touched) {
+                    self.episodes += 1;
+                }
+            }
+            return;
+        }
+        self.liveness_watermark = Some(watermark);
         for (&sensor, &heard) in &self.last_heard {
             if watermark > heard.saturating_add(deadline) && self.silent.insert(sensor) {
                 self.episodes += 1;
@@ -734,10 +979,16 @@ impl Collector {
     /// sync poisons the WAL (deliveries start rejecting), and a failed
     /// commit keeps the previous checkpoint authoritative.
     fn write_checkpoint(&mut self, cursor: u64, reclaim_budget: u64) -> Result<(), GatewayError> {
-        match self.wal.sync() {
-            Ok(()) => {}
-            Err(WalError::Storage(_)) => return Ok(()),
-            Err(e) => return Err(e.into()),
+        // Skip the force when the synced watermark already covers the
+        // cursor (always true under `FsyncPolicy::Never`, and after a
+        // policy fsync covered the extent) — the sync would be a no-op
+        // and its fsync pure overhead on the group-commit hot path.
+        if self.wal.unsynced_records() > 0 {
+            match self.wal.sync() {
+                Ok(()) => {}
+                Err(WalError::Storage(_)) => return Ok(()),
+                Err(e) => return Err(e.into()),
+            }
         }
         let plan = self.wal.plan_reclaim(cursor, reclaim_budget);
         let mut text = String::new();
@@ -864,6 +1115,7 @@ impl Collector {
             storage,
             plan,
             released,
+            uplink: None,
         })
     }
 }

@@ -27,8 +27,16 @@ use std::fmt;
 /// Hard cap on a frame payload; anything larger is corruption.
 pub const MAX_PAYLOAD: usize = 1 << 20;
 
-/// Protocol version carried by [`Message::Hello`].
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Current protocol version carried by [`Message::Hello`]. Version 2
+/// adds pipelined batch frames ([`Message::DataBatch`]), cumulative
+/// acks ([`Message::AckUpTo`]) and explicit negotiation
+/// ([`Message::HelloAck`] / [`Message::HelloReject`]).
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// The original stop-and-wait protocol version (one `Data` frame per
+/// `Ack`). Still spoken by [`crate::client::SensorUplink`]; the server
+/// accepts it unchanged.
+pub const PROTOCOL_V1: u32 = 1;
 
 const TAG_HELLO: u8 = 1;
 const TAG_DATA: u8 = 2;
@@ -36,6 +44,14 @@ const TAG_ACK: u8 = 3;
 const TAG_FIN: u8 = 4;
 const TAG_FIN_ACK: u8 = 5;
 const TAG_NACK: u8 = 6;
+const TAG_DATA_BATCH: u8 = 7;
+const TAG_ACK_UP_TO: u8 = 8;
+const TAG_HELLO_ACK: u8 = 9;
+const TAG_HELLO_REJECT: u8 = 10;
+
+/// Hard cap on readings per [`Message::DataBatch`] frame (the frame
+/// must also fit [`MAX_PAYLOAD`]).
+pub const MAX_BATCH_READINGS: usize = 4096;
 
 /// One protocol message.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,6 +93,43 @@ pub enum Message {
         sensor: SensorId,
         /// Refused sequence number.
         seq: u64,
+    },
+    /// Many consecutive readings from one sensor in a single frame
+    /// (protocol v2). Reading `i` carries sequence number
+    /// `first_seq + i`; the server admits each reading individually
+    /// but logs and fsyncs the batch as one WAL extent.
+    DataBatch {
+        /// Reporting sensor.
+        sensor: SensorId,
+        /// Sequence number of the first reading in the batch.
+        first_seq: u64,
+        /// `(timestamp, values)` per reading, in sequence order.
+        readings: Vec<(Timestamp, Vec<f64>)>,
+    },
+    /// Cumulative acknowledgment (protocol v2): every reading of
+    /// `sensor` with sequence number `≤ seq` is durable — its WAL
+    /// extent is covered by a completed fsync.
+    AckUpTo {
+        /// Acknowledged sensor.
+        sensor: SensorId,
+        /// Highest durable sequence number (inclusive).
+        seq: u64,
+    },
+    /// Server reply to a v2 [`Message::Hello`]: the negotiated version
+    /// plus the initial credit grant (how many `DataBatch` frames the
+    /// client may keep in flight before waiting for acks).
+    HelloAck {
+        /// Negotiated protocol version.
+        version: u32,
+        /// Batch frames the client may keep unacknowledged.
+        credits: u32,
+    },
+    /// Server refusal of an unknown [`Message::Hello`] version; names
+    /// the highest version the server speaks so the mismatch is a
+    /// typed protocol event, not corrupt-frame noise.
+    HelloReject {
+        /// Highest protocol version the server supports.
+        supported: u32,
     },
 }
 
@@ -229,6 +282,37 @@ pub fn encode_payload(msg: &Message, out: &mut Vec<u8>) {
             put_u16(out, sensor.0);
             put_u64(out, *seq);
         }
+        Message::DataBatch {
+            sensor,
+            first_seq,
+            readings,
+        } => {
+            out.push(TAG_DATA_BATCH);
+            put_u16(out, sensor.0);
+            put_u64(out, *first_seq);
+            put_u16(out, readings.len() as u16);
+            for (time, values) in readings {
+                put_u64(out, *time);
+                put_u16(out, values.len() as u16);
+                for v in values {
+                    put_u64(out, v.to_bits());
+                }
+            }
+        }
+        Message::AckUpTo { sensor, seq } => {
+            out.push(TAG_ACK_UP_TO);
+            put_u16(out, sensor.0);
+            put_u64(out, *seq);
+        }
+        Message::HelloAck { version, credits } => {
+            out.push(TAG_HELLO_ACK);
+            put_u32(out, *version);
+            put_u32(out, *credits);
+        }
+        Message::HelloReject { supported } => {
+            out.push(TAG_HELLO_REJECT);
+            put_u32(out, *supported);
+        }
     }
 }
 
@@ -277,6 +361,37 @@ pub fn decode_payload(payload: &[u8]) -> Result<Message, FrameError> {
         TAG_NACK => Message::Nack {
             sensor: SensorId(cur.u16()?),
             seq: cur.u64()?,
+        },
+        TAG_DATA_BATCH => {
+            let sensor = SensorId(cur.u16()?);
+            let first_seq = cur.u64()?;
+            let count = cur.u16()? as usize;
+            let mut readings = Vec::with_capacity(count.min(MAX_BATCH_READINGS));
+            for _ in 0..count {
+                let time = cur.u64()?;
+                let n = cur.u16()? as usize;
+                let mut values = Vec::with_capacity(n);
+                for _ in 0..n {
+                    values.push(f64::from_bits(cur.u64()?));
+                }
+                readings.push((time, values));
+            }
+            Message::DataBatch {
+                sensor,
+                first_seq,
+                readings,
+            }
+        }
+        TAG_ACK_UP_TO => Message::AckUpTo {
+            sensor: SensorId(cur.u16()?),
+            seq: cur.u64()?,
+        },
+        TAG_HELLO_ACK => Message::HelloAck {
+            version: cur.u32()?,
+            credits: cur.u32()?,
+        },
+        TAG_HELLO_REJECT => Message::HelloReject {
+            supported: cur.u32()?,
         },
         other => return Err(FrameError::UnknownTag(other)),
     };
@@ -404,6 +519,27 @@ mod tests {
                 sensor: SensorId(2),
                 seq: 11,
             },
+            Message::DataBatch {
+                sensor: SensorId(4),
+                first_seq: 100,
+                readings: vec![(300, vec![20.5, 55.0]), (600, vec![21.0, 54.5])],
+            },
+            Message::DataBatch {
+                sensor: SensorId(0),
+                first_seq: 0,
+                readings: vec![],
+            },
+            Message::AckUpTo {
+                sensor: SensorId(4),
+                seq: 101,
+            },
+            Message::HelloAck {
+                version: PROTOCOL_VERSION,
+                credits: 32,
+            },
+            Message::HelloReject {
+                supported: PROTOCOL_VERSION,
+            },
         ];
         let mut fb = FrameBuffer::new();
         for m in &messages {
@@ -492,6 +628,70 @@ mod tests {
             fb.next_message(),
             Err(FrameError::ShortPayload { .. })
         ));
+    }
+
+    #[test]
+    fn batch_roundtrips_non_finite_values_bit_exactly() {
+        let m = Message::DataBatch {
+            sensor: SensorId(3),
+            first_seq: 7,
+            readings: vec![
+                (300, vec![f64::NAN, f64::INFINITY]),
+                (600, vec![-0.0, f64::NEG_INFINITY]),
+                (900, vec![]),
+            ],
+        };
+        let mut fb = FrameBuffer::new();
+        fb.feed(&encode_frame(&m));
+        let Some(Message::DataBatch { readings, .. }) = fb.next_message().unwrap() else {
+            panic!("expected batch");
+        };
+        let Message::DataBatch { readings: want, .. } = m else {
+            unreachable!()
+        };
+        assert_eq!(readings.len(), want.len());
+        for ((tg, vg), (tw, vw)) in readings.iter().zip(&want) {
+            assert_eq!(tg, tw);
+            let bits = |vs: &[f64]| vs.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(vg), bits(vw));
+        }
+    }
+
+    #[test]
+    fn truncated_batch_payload_is_short() {
+        let m = Message::DataBatch {
+            sensor: SensorId(1),
+            first_seq: 0,
+            readings: vec![(300, vec![1.0]), (600, vec![2.0])],
+        };
+        let mut payload = Vec::new();
+        encode_payload(&m, &mut payload);
+        payload.truncate(payload.len() - 3); // cut into the final value
+        let mut framed = Vec::new();
+        frame_payload(&payload, &mut framed);
+        let mut fb = FrameBuffer::new();
+        fb.feed(&framed);
+        assert!(matches!(
+            fb.next_message(),
+            Err(FrameError::ShortPayload { .. })
+        ));
+    }
+
+    #[test]
+    fn v1_frames_decode_unchanged_under_v2() {
+        // The v1 message set must keep its exact wire bytes so legacy
+        // stop-and-wait clients interoperate with a v2 server.
+        let hello = encode_frame(&Message::Hello {
+            version: PROTOCOL_V1,
+        });
+        let payload = [TAG_HELLO, 1, 0, 0, 0];
+        let mut want = vec![5, 0, 0, 0];
+        want.extend_from_slice(&payload);
+        want.extend_from_slice(&crate::crc::crc32(&payload).to_le_bytes());
+        assert_eq!(hello, want);
+        let data = encode_frame(&data(1, 2, 300, vec![1.5]));
+        assert_eq!(data[4], 2); // TAG_DATA survives
+        assert_eq!(data.len(), 4 + 21 + 8 + 4); // envelope + payload shape
     }
 
     #[test]

@@ -12,7 +12,11 @@
 //!    exponential backoff, seeded jitter, and reconnection; server-side
 //!    dedup plus a watermark reorder buffer ([`reorder`]) so bounded
 //!    network reordering is repaired rather than rejected; bounded
-//!    queues with explicit, counted drop-oldest load shedding.
+//!    queues with explicit, counted drop-oldest load shedding. A
+//!    version-negotiated pipelined mode (protocol v2) batches many
+//!    readings per frame under a server-granted credit window with
+//!    cumulative `AckUpTo` acks, closing the per-reading round-trip
+//!    gap while the stop-and-wait v1 path stays wire-compatible.
 //! 2. **Durability** ([`wal`], [`collector`]): every admitted record
 //!    is appended to a segmented CRC-framed write-ahead log before it
 //!    is acknowledged; on restart the log replays through the
@@ -41,17 +45,24 @@ pub mod snapshot;
 pub mod vfs;
 pub mod wal;
 
-pub use client::{SensorUplink, UplinkConfig, UplinkError};
-pub use collector::{
-    Collector, DeliverOutcome, GatewayConfig, GatewayError, GatewayReport, LivenessStatus,
-    RecoveryInfo, RejectCause, StorageStatus,
+pub use client::{
+    PipelinedConfig, PipelinedUplink, SensorUplink, UplinkConfig, UplinkError, UplinkStats,
 };
-pub use frame::{FrameBuffer, FrameError, Message, MAX_PAYLOAD, PROTOCOL_VERSION};
+pub use collector::{
+    BatchOutcome, Collector, DeliverOutcome, GatewayConfig, GatewayError, GatewayReport,
+    LivenessStatus, RecoveryInfo, RejectCause, StageTimings, StorageStatus,
+};
+pub use frame::{
+    FrameBuffer, FrameError, Message, MAX_BATCH_READINGS, MAX_PAYLOAD, PROTOCOL_V1,
+    PROTOCOL_VERSION,
+};
 pub use netsim::{
     deliver_schedule, delivery_schedule, drive_uplink, trace_to_raw, Emission, NetsimConfig,
 };
 pub use reorder::{AdmitOutcome, ReorderBuffer, ReorderConfig, ReorderSnapshot, ReorderStats};
 pub use server::{Server, ServerConfig, ServerStats};
 pub use snapshot::CollectorSnapshot;
-pub use vfs::{FaultPlan, FaultSpec, FaultyVfs, RealVfs, StorageError, StorageFault, VFile, Vfs, VfsOp};
+pub use vfs::{
+    FaultPlan, FaultSpec, FaultyVfs, RealVfs, StorageError, StorageFault, VFile, Vfs, VfsOp,
+};
 pub use wal::{FsyncPolicy, ReclaimPlan, SegmentInfo, Wal, WalConfig, WalError, WalRecord};

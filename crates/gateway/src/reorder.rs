@@ -334,7 +334,10 @@ mod tests {
         let mut a = Vec::new();
         let mut b = Vec::new();
         for (t, s) in [(1500u64, 1u16), (1200, 2), (2400, 1)] {
-            assert_eq!(rb.offer(raw(t, s, t as f64)), restored.offer(raw(t, s, t as f64)));
+            assert_eq!(
+                rb.offer(raw(t, s, t as f64)),
+                restored.offer(raw(t, s, t as f64))
+            );
             rb.drain_ready(&mut a);
             restored.drain_ready(&mut b);
         }

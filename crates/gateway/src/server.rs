@@ -22,12 +22,13 @@
 //! threads and the collector can be finished for a report.
 
 use crate::collector::{Collector, DeliverOutcome, GatewayError};
-use crate::frame::{encode_frame, FrameBuffer, FrameError, Message, PROTOCOL_VERSION};
+use crate::frame::{encode_frame, FrameBuffer, FrameError, Message, PROTOCOL_V1, PROTOCOL_VERSION};
 use crate::net::{is_timeout, Listener, Stream};
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use sentinet_sim::SensorId;
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -42,6 +43,9 @@ pub struct ServerConfig {
     pub read_timeout: Duration,
     /// Capacity of the bounded ingest event queue.
     pub queue_capacity: usize,
+    /// Batches a v2 connection may keep in flight (granted in the
+    /// `HelloAck`).
+    pub credit_window: u32,
 }
 
 impl Default for ServerConfig {
@@ -50,6 +54,7 @@ impl Default for ServerConfig {
             bind: "127.0.0.1:0".into(),
             read_timeout: Duration::from_millis(200),
             queue_capacity: 1024,
+            credit_window: 32,
         }
     }
 }
@@ -61,9 +66,30 @@ pub struct ServerStats {
     pub connections: u64,
     /// Connections dropped on a frame-level decode error.
     pub bad_frames: u64,
+    /// Hellos refused for carrying an unknown protocol version
+    /// (answered with `HelloReject`, then dropped — a typed outcome,
+    /// not corrupt-frame noise).
+    pub version_rejects: u64,
     /// The decode error behind each dropped connection, in order
     /// (surfaced by the CLI on stderr).
     pub frame_errors: Vec<FrameError>,
+    /// Wall nanoseconds reader threads spent decoding frames (bench
+    /// stage breakdown).
+    pub decode_ns: u64,
+    /// Wall nanoseconds the event loop spent writing replies (bench
+    /// stage breakdown).
+    pub ack_ns: u64,
+}
+
+/// An `AckUpTo` the collector has admitted but whose WAL extent is
+/// not yet covered by a completed fsync. Released (written to the
+/// client) only once `Collector::synced_cursor` reaches `cursor` —
+/// the ack-after-durable rule, batched.
+struct PendingAck {
+    conn: u64,
+    sensor: SensorId,
+    seq: u64,
+    cursor: u64,
 }
 
 /// One event from the socket threads to the collector loop.
@@ -83,8 +109,10 @@ enum Event {
 /// [`Server::run`].
 pub struct Server {
     addr: String,
+    credit_window: u32,
     shutdown: Arc<AtomicBool>,
     events: Receiver<Event>,
+    decode_ns: Arc<AtomicU64>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
@@ -101,13 +129,23 @@ impl Server {
         let (tx, rx) = bounded(config.queue_capacity);
         let accept_shutdown = Arc::clone(&shutdown);
         let read_timeout = config.read_timeout;
+        let decode_ns = Arc::new(AtomicU64::new(0));
+        let accept_decode_ns = Arc::clone(&decode_ns);
         let accept_thread = std::thread::spawn(move || {
-            accept_loop(listener, tx, accept_shutdown, read_timeout);
+            accept_loop(
+                listener,
+                tx,
+                accept_shutdown,
+                read_timeout,
+                accept_decode_ns,
+            );
         });
         Ok(Self {
             addr,
+            credit_window: config.credit_window,
             shutdown,
             events: rx,
+            decode_ns,
             accept_thread: Some(accept_thread),
         })
     }
@@ -145,6 +183,7 @@ impl Server {
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
+        stats.decode_ns = self.decode_ns.load(Ordering::Relaxed);
         result.map(|()| stats)
     }
 
@@ -154,14 +193,32 @@ impl Server {
         stats: &mut ServerStats,
     ) -> Result<(), GatewayError> {
         let mut writers: BTreeMap<u64, Stream> = BTreeMap::new();
+        let mut pending: Vec<PendingAck> = Vec::new();
         loop {
             if self.shutdown.load(Ordering::SeqCst) {
                 return Ok(());
             }
-            let event = match self.events.recv_timeout(Duration::from_millis(100)) {
+            // A momentarily dry queue is the flush interval: one group
+            // fsync covers every batch admitted since the last one,
+            // and the acks it unblocks are released together.
+            let event = match self.events.try_recv() {
                 Ok(e) => e,
-                Err(RecvTimeoutError::Timeout) => continue,
-                Err(RecvTimeoutError::Disconnected) => return Ok(()),
+                Err(TryRecvError::Empty) => {
+                    if !pending.is_empty() {
+                        collector.sync_wal()?;
+                        stats.ack_ns = stats.ack_ns.saturating_add(release_ready(
+                            collector,
+                            &mut writers,
+                            &mut pending,
+                        ));
+                    }
+                    match self.events.recv_timeout(Duration::from_millis(100)) {
+                        Ok(e) => e,
+                        Err(RecvTimeoutError::Timeout) => continue,
+                        Err(RecvTimeoutError::Disconnected) => return Ok(()),
+                    }
+                }
+                Err(TryRecvError::Disconnected) => return Ok(()),
             };
             match event {
                 Event::Opened(id, writer) => {
@@ -192,31 +249,119 @@ impl Server {
                         DeliverOutcome::Rejected(_) => Message::Nack { sensor, seq },
                     };
                     if let Some(w) = writers.get_mut(&id) {
+                        let ack_start = std::time::Instant::now();
                         let _ = w.write_all(&encode_frame(&reply));
+                        stats.ack_ns = stats
+                            .ack_ns
+                            .saturating_add(ack_start.elapsed().as_nanos() as u64);
+                    }
+                }
+                Event::Msg(
+                    id,
+                    Message::DataBatch {
+                        sensor,
+                        first_seq,
+                        readings,
+                    },
+                ) => {
+                    // Admission is per reading, durability per batch:
+                    // the cumulative ack is queued against the WAL
+                    // cursor the batch ended on and only released once
+                    // a completed fsync covers it. The NACK (first
+                    // refused seq) goes out immediately — refusal
+                    // needs no durability.
+                    let out = collector.deliver_batch(sensor, first_seq, &readings)?;
+                    if let Some((seq, _)) = out.nack {
+                        if let Some(w) = writers.get_mut(&id) {
+                            let ack_start = std::time::Instant::now();
+                            let _ = w.write_all(&encode_frame(&Message::Nack { sensor, seq }));
+                            stats.ack_ns = stats
+                                .ack_ns
+                                .saturating_add(ack_start.elapsed().as_nanos() as u64);
+                        }
+                    }
+                    if let Some(seq) = out.ack_up_to {
+                        pending.push(PendingAck {
+                            conn: id,
+                            sensor,
+                            seq,
+                            cursor: out.ack_cursor,
+                        });
+                        // Policy-driven fsyncs (always, batch-N) may
+                        // already cover this batch; release what can
+                        // go now and pipeline the rest.
+                        stats.ack_ns = stats.ack_ns.saturating_add(release_ready(
+                            collector,
+                            &mut writers,
+                            &mut pending,
+                        ));
                     }
                 }
                 Event::Msg(id, Message::Fin) => {
+                    // End of stream: flush the group commit so every
+                    // queued ack can be released before the FinAck.
+                    if !pending.is_empty() {
+                        collector.sync_wal()?;
+                        stats.ack_ns = stats.ack_ns.saturating_add(release_ready(
+                            collector,
+                            &mut writers,
+                            &mut pending,
+                        ));
+                    }
                     if let Some(w) = writers.get_mut(&id) {
                         let _ = w.write_all(&encode_frame(&Message::FinAck));
                         let _ = w.flush();
                     }
                     return Ok(());
                 }
-                Event::Msg(_, Message::Hello { .. }) => {
-                    // Version 1 accepts all hellos; kept for evolution.
+                Event::Msg(id, Message::Hello { version }) => {
+                    match version {
+                        PROTOCOL_V1 => {
+                            // Legacy stop-and-wait: no reply, exactly
+                            // as version 1 of the server behaved.
+                        }
+                        PROTOCOL_VERSION => {
+                            if let Some(w) = writers.get_mut(&id) {
+                                let _ = w.write_all(&encode_frame(&Message::HelloAck {
+                                    version: PROTOCOL_VERSION,
+                                    credits: self.credit_window,
+                                }));
+                            }
+                        }
+                        _ => {
+                            stats.version_rejects += 1;
+                            if let Some(mut w) = writers.remove(&id) {
+                                let _ = w.write_all(&encode_frame(&Message::HelloReject {
+                                    supported: PROTOCOL_VERSION,
+                                }));
+                                let _ = w.flush();
+                                let _ = w.shutdown();
+                            }
+                        }
+                    }
                 }
-                Event::Msg(_, Message::Ack { .. } | Message::FinAck | Message::Nack { .. }) => {
-                    // Server-bound streams should not carry acks;
+                Event::Msg(
+                    _,
+                    Message::Ack { .. }
+                    | Message::AckUpTo { .. }
+                    | Message::FinAck
+                    | Message::Nack { .. }
+                    | Message::HelloAck { .. }
+                    | Message::HelloReject { .. },
+                ) => {
+                    // Server-bound streams should not carry replies;
                     // ignore rather than kill the connection.
                 }
                 Event::BadFrame(id, e) => {
                     stats.bad_frames += 1;
                     stats.frame_errors.push(e);
+                    pending.retain(|p| p.conn != id);
                     if let Some(w) = writers.remove(&id) {
                         let _ = w.shutdown();
                     }
                 }
                 Event::Closed(id) => {
+                    pending.retain(|p| p.conn != id);
                     writers.remove(&id);
                 }
             }
@@ -224,11 +369,39 @@ impl Server {
     }
 }
 
+/// Writes every queued `AckUpTo` whose WAL cursor a completed fsync
+/// now covers; the rest stay queued. Returns the wall nanoseconds
+/// spent writing (the ack stage of the bench breakdown).
+fn release_ready(
+    collector: &Collector,
+    writers: &mut BTreeMap<u64, Stream>,
+    pending: &mut Vec<PendingAck>,
+) -> u64 {
+    let synced = collector.synced_cursor();
+    let mut spent = 0u64;
+    pending.retain(|p| {
+        if p.cursor > synced {
+            return true;
+        }
+        if let Some(w) = writers.get_mut(&p.conn) {
+            let start = std::time::Instant::now();
+            let _ = w.write_all(&encode_frame(&Message::AckUpTo {
+                sensor: p.sensor,
+                seq: p.seq,
+            }));
+            spent = spent.saturating_add(start.elapsed().as_nanos() as u64);
+        }
+        false
+    });
+    spent
+}
+
 fn accept_loop(
     listener: Listener,
     events: Sender<Event>,
     shutdown: Arc<AtomicBool>,
     read_timeout: Duration,
+    decode_ns: Arc<AtomicU64>,
 ) {
     let mut readers: Vec<JoinHandle<()>> = Vec::new();
     let mut next_id = 0u64;
@@ -249,8 +422,9 @@ fn accept_loop(
                         }
                         let tx = events.clone();
                         let sd = Arc::clone(&shutdown);
+                        let dns = Arc::clone(&decode_ns);
                         readers.push(std::thread::spawn(move || {
-                            reader_loop(id, stream, tx, sd);
+                            reader_loop(id, stream, tx, sd, dns);
                         }));
                     }
                     _ => {
@@ -269,7 +443,13 @@ fn accept_loop(
     }
 }
 
-fn reader_loop(id: u64, mut stream: Stream, events: Sender<Event>, shutdown: Arc<AtomicBool>) {
+fn reader_loop(
+    id: u64,
+    mut stream: Stream,
+    events: Sender<Event>,
+    shutdown: Arc<AtomicBool>,
+    decode_ns: Arc<AtomicU64>,
+) {
     let mut fb = FrameBuffer::new();
     let mut buf = [0u8; 8192];
     loop {
@@ -282,9 +462,16 @@ fn reader_loop(id: u64, mut stream: Stream, events: Sender<Event>, shutdown: Arc
                 return;
             }
             Ok(n) => {
+                let decode_start = std::time::Instant::now();
                 fb.feed(&buf[..n]);
                 loop {
-                    match fb.next_message() {
+                    // The decode clock covers framing + parse only;
+                    // it stops before the (possibly blocking) queue
+                    // send so backpressure is not billed as decoding.
+                    let next = fb.next_message();
+                    decode_ns
+                        .fetch_add(decode_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    match next {
                         Ok(Some(msg)) => {
                             // Blocking send on the bounded queue is the
                             // backpressure point.
@@ -310,9 +497,11 @@ fn reader_loop(id: u64, mut stream: Stream, events: Sender<Event>, shutdown: Arc
     }
 }
 
-/// A Hello frame for clients to open with (re-exported convenience).
+/// A legacy (v1) Hello frame for raw-socket clients to open with
+/// (re-exported convenience). The server sends no reply to a v1
+/// Hello, so a raw connection can stream Data frames immediately.
 pub fn hello_frame() -> Vec<u8> {
     encode_frame(&Message::Hello {
-        version: PROTOCOL_VERSION,
+        version: PROTOCOL_V1,
     })
 }

@@ -186,7 +186,11 @@ impl<'a> Cursor<'a> {
     }
 
     fn fail<T>(&self, reason: impl Into<String>) -> Result<T, String> {
-        Err(format!("collector snapshot line {}: {}", self.pos, reason.into()))
+        Err(format!(
+            "collector snapshot line {}: {}",
+            self.pos,
+            reason.into()
+        ))
     }
 
     fn num<T: std::str::FromStr>(&self, s: &str) -> Result<T, String> {
@@ -411,10 +415,7 @@ mod tests {
                 latest: vec![(SensorId(0), 9000), (SensorId(1), 9000)],
                 dims: Some(2),
             },
-            seqs: vec![
-                (SensorId(0), 31, vec![]),
-                (SensorId(1), 30, vec![32, 33]),
-            ],
+            seqs: vec![(SensorId(0), 31, vec![]), (SensorId(1), 30, vec![32, 33])],
             accepted: 88,
             rejected: vec![
                 IngestError::EmptyReading {

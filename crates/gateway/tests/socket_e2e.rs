@@ -12,9 +12,9 @@ use sentinet_engine::corrupt_frames;
 use sentinet_gateway::frame::encode_frame;
 use sentinet_gateway::server::hello_frame;
 use sentinet_gateway::{
-    delivery_schedule, drive_uplink, trace_to_raw, Collector, FrameBuffer, FrameError,
-    GatewayConfig, GatewayReport, Message, NetsimConfig, SensorUplink, Server, ServerConfig,
-    UplinkConfig,
+    delivery_schedule, drive_uplink, trace_to_raw, Collector, FrameBuffer, FrameError, FsyncPolicy,
+    GatewayConfig, GatewayReport, Message, NetsimConfig, PipelinedConfig, PipelinedUplink,
+    SensorUplink, Server, ServerConfig, UplinkConfig,
 };
 use sentinet_sim::{gdi, simulate, RawRecord, SensorId, DAY_S};
 use std::collections::BTreeMap;
@@ -117,6 +117,132 @@ fn unix_socket_uplink_matches_in_order_delivery() {
         format!("{}", baseline.pipeline)
     );
     let _ = fs::remove_file(&sock);
+}
+
+/// The pipelined (v2) client over loopback TCP must land on the same
+/// bit-identical report as in-order in-process delivery, across fsync
+/// policies — including `batch:N`, where acks are deferred until the
+/// covering group fsync.
+#[test]
+fn pipelined_uplink_matches_in_order_delivery_across_fsync_policies() {
+    let records = gdi_records(1, 3, 31);
+    // Batching delivers one sensor's readings in bursts spanning
+    // `batch_size × sample_period` stream-seconds, so the reorder
+    // watermark must cover that skew (and the buffer must hold a
+    // batch) or other sensors' same-era readings are dropped as late.
+    // Both sides of the comparison get the same tuning.
+    let tune = |dir: &PathBuf| {
+        let mut cfg = GatewayConfig::new(dir);
+        cfg.reorder.watermark_delay = 2 * 64 * 300;
+        cfg.reorder.per_sensor_capacity = 512;
+        cfg
+    };
+    let baseline = {
+        let dir = tmpdir("pipe-base");
+        let (mut collector, _) = Collector::open(tune(&dir)).expect("open");
+        let mut seqs: BTreeMap<SensorId, u64> = BTreeMap::new();
+        for r in &records {
+            let seq = seqs.entry(r.sensor).or_insert(0);
+            collector
+                .deliver(r.sensor, *seq, r.time, r.values.clone())
+                .expect("deliver");
+            *seq += 1;
+        }
+        let report = collector.finish().expect("finish");
+        fs::remove_dir_all(&dir).ok();
+        report
+    };
+    for (tag, fsync) in [
+        ("never", FsyncPolicy::Never),
+        ("batch", FsyncPolicy::Batch(64)),
+        ("always", FsyncPolicy::Always),
+    ] {
+        let dir = tmpdir(&format!("pipe-{tag}"));
+        let mut cfg = tune(&dir);
+        cfg.wal.fsync = fsync;
+        let (mut collector, _) = Collector::open(cfg).expect("open");
+        let server = Server::start(ServerConfig::default()).expect("bind server");
+        let addr = server.addr().to_string();
+        let client_records = records.clone();
+        let client = std::thread::spawn(move || {
+            let mut config = PipelinedConfig::new(addr);
+            config.batch_size = 64;
+            let mut uplink = PipelinedUplink::new(config);
+            for r in &client_records {
+                uplink.send(r.sensor, r.time, &r.values).expect("send");
+            }
+            uplink.finish().expect("fin/finack")
+        });
+        let stats = server.run(&mut collector).expect("serve");
+        let uplink_stats = client.join().expect("client thread");
+        assert_eq!(stats.bad_frames, 0, "{tag}: {:?}", stats.frame_errors);
+        assert_eq!(stats.version_rejects, 0, "{tag}");
+        let report = collector.finish().expect("finish");
+        fs::remove_dir_all(&dir).ok();
+        assert_eq!(
+            format!("{}", report.pipeline),
+            format!("{}", baseline.pipeline),
+            "{tag}: pipelined delivery diverged from in-order"
+        );
+        assert_eq!(report.ingest.accepted, baseline.ingest.accepted, "{tag}");
+        assert!(report.ingest.rejected.is_empty(), "{tag}");
+        // Every batch put on the wire came back acknowledged.
+        assert!(uplink_stats.frames_sent > 0, "{tag}");
+        assert_eq!(
+            uplink_stats.acked,
+            uplink_stats.frames_sent - uplink_stats.retransmits,
+            "{tag}: unacked batches at finish: {uplink_stats:?}"
+        );
+    }
+}
+
+/// A client announcing an unknown protocol version gets a typed
+/// `HelloReject` and is dropped; the server counts it as a version
+/// reject, not corrupt-frame noise, and keeps serving other clients.
+#[test]
+fn unknown_protocol_version_is_rejected_typed() {
+    let dir = tmpdir("ver-reject");
+    let (mut collector, _) = Collector::open(GatewayConfig::new(&dir)).expect("open");
+    let server = Server::start(ServerConfig::default()).expect("bind server");
+    let addr = server.addr().to_string();
+    let client = std::thread::spawn(move || {
+        // Rogue hello from the future.
+        let mut conn = TcpStream::connect(&addr).expect("connect");
+        conn.set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        conn.write_all(&encode_frame(&Message::Hello { version: 99 }))
+            .expect("hello");
+        let mut fb = FrameBuffer::new();
+        let mut buf = [0u8; 256];
+        let supported = 'reject: loop {
+            match fb.next_message() {
+                Ok(Some(Message::HelloReject { supported })) => break 'reject supported,
+                Ok(Some(other)) => panic!("unexpected reply {other:?}"),
+                Ok(None) => {}
+                Err(e) => panic!("frame error {e}"),
+            }
+            match conn.read(&mut buf) {
+                Ok(0) => panic!("eof before HelloReject"),
+                Ok(n) => fb.feed(&buf[..n]),
+                Err(e) => panic!("read: {e}"),
+            }
+        };
+        // A healthy v2 client on the same server is unaffected.
+        let mut config = PipelinedConfig::new(addr);
+        config.batch_size = 8;
+        let mut uplink = PipelinedUplink::new(config);
+        uplink.send(SensorId(1), 300, &[20.0, 45.0]).expect("send");
+        uplink.finish().expect("fin/finack");
+        supported
+    });
+    let stats = server.run(&mut collector).expect("serve");
+    let supported = client.join().expect("client thread");
+    assert_eq!(supported, sentinet_gateway::PROTOCOL_VERSION);
+    assert_eq!(stats.version_rejects, 1);
+    assert_eq!(stats.bad_frames, 0);
+    let report = collector.finish().expect("finish");
+    assert_eq!(report.ingest.accepted, 1);
+    fs::remove_dir_all(&dir).ok();
 }
 
 /// The engine's frame corrupter feeds the gateway's decoder directly:

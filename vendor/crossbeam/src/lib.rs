@@ -78,6 +78,16 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is momentarily empty; senders may still be
+        /// alive.
+        Empty,
+        /// The channel is empty and every sender is dropped.
+        Disconnected,
+    }
+
     /// Sending half: either an unbounded `mpsc::Sender` or a
     /// backpressured `mpsc::SyncSender`, so `bounded` channels really
     /// block producers like crossbeam's do.
@@ -152,6 +162,19 @@ pub mod channel {
                 .map_err(|e| match e {
                     mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
                     mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+                })
+        }
+
+        /// Returns a buffered message if one is ready, without
+        /// blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner
+                .lock()
+                .expect("channel receiver poisoned")
+                .try_recv()
+                .map_err(|e| match e {
+                    mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                    mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
                 })
         }
 
@@ -255,6 +278,17 @@ mod tests {
         assert_eq!(rx.recv(), Ok(2));
         assert_eq!(rx.recv(), Ok(3));
         assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn try_recv_distinguishes_empty_from_disconnect() {
+        use super::channel::TryRecvError;
+        let (tx, rx) = super::channel::bounded::<i32>(1);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(9).unwrap();
+        assert_eq!(rx.try_recv(), Ok(9));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
     }
 
     #[test]

@@ -6,9 +6,13 @@
 //! malformed: missing keys, non-finite numbers, unknown modes, or
 //! sensor counts that are not monotone non-decreasing across rows.
 //! `ingest` rows (gateway loopback throughput) must also name their
-//! `fsync` policy and `retention` setting (`off` or the WAL byte
-//! budget), and are exempt from the sensors-monotone rule — they are
-//! appended after the shard sweep rather than sorted into it.
+//! `fsync` policy, `retention` setting (`off` or the WAL byte
+//! budget), and `batch` shape (`off` for the stop-and-wait uplink or
+//! `<batch>x<window>` for the pipelined one), and are exempt from the
+//! sensors-monotone rule — they are appended after the shard sweep
+//! rather than sorted into it. When any ingest rows are present the
+//! document must also carry an `ingest_stages` object breaking one
+//! pipelined run down into finite, non-negative per-stage seconds.
 //!
 //! The vendored `serde` is a derive stub without a JSON backend, so
 //! this module carries its own minimal recursive-descent JSON parser —
@@ -253,6 +257,15 @@ impl Parser<'_> {
     }
 }
 
+/// Keys the per-stage ingest breakdown must carry, in wall seconds.
+const STAGE_KEYS: &[&str] = &[
+    "decode_s",
+    "admission_s",
+    "wal_append_s",
+    "fsync_s",
+    "ack_s",
+];
+
 /// Keys every result row must carry.
 const ROW_KEYS: &[&str] = &[
     "sensors",
@@ -315,6 +328,7 @@ pub fn validate(input: &str) -> Vec<String> {
     };
 
     let mut prev_sensors: Option<f64> = None;
+    let mut saw_ingest = false;
     for (i, row) in rows.iter().enumerate() {
         let Json::Obj(row) = row else {
             problems.push(format!("results[{i}] must be an object"));
@@ -349,6 +363,7 @@ pub fn validate(input: &str) -> Vec<String> {
             None => None, // already reported by the key loop
         };
         if mode == Some("ingest") {
+            saw_ingest = true;
             match row.get("fsync") {
                 Some(Json::Str(policy)) if !policy.is_empty() => {}
                 Some(v) => problems.push(format!(
@@ -369,6 +384,16 @@ pub fn validate(input: &str) -> Vec<String> {
                     "results[{i}] missing key `retention` (required for ingest rows)"
                 )),
             }
+            match row.get("batch") {
+                Some(Json::Str(shape)) if !shape.is_empty() => {}
+                Some(v) => problems.push(format!(
+                    "results[{i}].batch must be a non-empty string, got {}",
+                    v.type_name()
+                )),
+                None => problems.push(format!(
+                    "results[{i}] missing key `batch` (required for ingest rows)"
+                )),
+            }
         } else if let Some(Json::Num(sensors)) = row.get("sensors") {
             // Ingest rows ride after the shard sweep; only the sweep
             // itself must keep sensors monotone.
@@ -380,6 +405,31 @@ pub fn validate(input: &str) -> Vec<String> {
                 }
             }
             prev_sensors = Some(*sensors);
+        }
+    }
+
+    if saw_ingest {
+        match top.get("ingest_stages") {
+            Some(Json::Obj(stages)) => {
+                for key in STAGE_KEYS {
+                    match stages.get(*key) {
+                        Some(Json::Num(n)) if n.is_finite() && *n >= 0.0 => {}
+                        Some(v) => problems.push(format!(
+                            "`ingest_stages.{key}` must be a finite non-negative number, got {}",
+                            v.type_name()
+                        )),
+                        None => problems.push(format!("`ingest_stages` missing key `{key}`")),
+                    }
+                }
+            }
+            Some(v) => problems.push(format!(
+                "`ingest_stages` must be an object, got {}",
+                v.type_name()
+            )),
+            None => problems.push(
+                "missing required key `ingest_stages` (required when ingest rows are present)"
+                    .into(),
+            ),
         }
     }
 
@@ -461,18 +511,33 @@ mod tests {
         assert!(problems.iter().any(|p| p.contains("mode")), "{problems:?}");
     }
 
-    #[test]
-    fn ingest_row_requires_fsync_retention_and_skips_monotone() {
-        // A trailing ingest row with fewer sensors than the sweep is
-        // fine — as long as it names its fsync policy and retention.
-        let ingest = row(10, "ingest").replace(
+    /// An ingest row with the full `fsync`/`retention`/`batch` triple.
+    fn ingest_row(sensors: u32) -> String {
+        row(sensors, "ingest").replace(
             "\"mode\": \"ingest\"",
-            "\"mode\": \"ingest\", \"fsync\": \"batch:64\", \"retention\": \"off\"",
-        );
-        let d = doc(&[row(100, "serial"), ingest]);
+            "\"mode\": \"ingest\", \"fsync\": \"batch:64\", \"retention\": \"off\", \
+             \"batch\": \"256x32\"",
+        )
+    }
+
+    /// A document whose trailing ingest rows carry the stage object.
+    fn doc_with_stages(rows: &[String]) -> String {
+        doc(rows).replace(
+            "\"results\": [",
+            "\"ingest_stages\": {\"decode_s\": 0.01, \"admission_s\": 0.02, \
+             \"wal_append_s\": 0.003, \"fsync_s\": 0.1, \"ack_s\": 0.004}, \"results\": [",
+        )
+    }
+
+    #[test]
+    fn ingest_row_requires_fsync_retention_batch_and_skips_monotone() {
+        // A trailing ingest row with fewer sensors than the sweep is
+        // fine — as long as it names its fsync policy, retention, and
+        // batch shape, and the document carries the stage breakdown.
+        let d = doc_with_stages(&[row(100, "serial"), ingest_row(10)]);
         assert!(validate(&d).is_empty(), "{:?}", validate(&d));
 
-        let d = doc(&[row(100, "serial"), row(10, "ingest")]);
+        let d = doc_with_stages(&[row(100, "serial"), row(10, "ingest")]);
         let problems = validate(&d);
         assert!(
             problems.iter().any(|p| p.contains("`fsync`")),
@@ -483,7 +548,44 @@ mod tests {
             "{problems:?}"
         );
         assert!(
+            problems.iter().any(|p| p.contains("`batch`")),
+            "{problems:?}"
+        );
+        assert!(
             !problems.iter().any(|p| p.contains("monotone")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn ingest_rows_require_stage_breakdown() {
+        // Same rows, no `ingest_stages` object: one schema violation.
+        let d = doc(&[row(100, "serial"), ingest_row(10)]);
+        let problems = validate(&d);
+        assert!(
+            problems.iter().any(|p| p.contains("ingest_stages")),
+            "{problems:?}"
+        );
+        // Serial-only documents don't need it.
+        let d = doc(&[row(100, "serial")]);
+        assert!(validate(&d).is_empty(), "{:?}", validate(&d));
+    }
+
+    #[test]
+    fn stage_breakdown_rejects_missing_and_negative_stages() {
+        let d = doc_with_stages(&[row(100, "serial"), ingest_row(10)])
+            .replace("\"fsync_s\": 0.1", "\"fsync_s\": -0.1");
+        let problems = validate(&d);
+        assert!(
+            problems.iter().any(|p| p.contains("ingest_stages.fsync_s")),
+            "{problems:?}"
+        );
+
+        let d = doc_with_stages(&[row(100, "serial"), ingest_row(10)])
+            .replace("\"ack_s\": 0.004}", "\"ack_s2\": 0.004}");
+        let problems = validate(&d);
+        assert!(
+            problems.iter().any(|p| p.contains("missing key `ack_s`")),
             "{problems:?}"
         );
     }
