@@ -26,7 +26,10 @@
 //! durability and the recovery of pipelining are measured, not
 //! guessed. A final `ingest_stages` object breaks the pipelined
 //! `batch:64` run down by stage (decode / admission / WAL append /
-//! fsync / ack wall time).
+//! fsync / ack wall time, plus `other_s` for the uninstrumented
+//! remainder); the stages sum to `total_s` — the wall time of the rep
+//! they came from — and `bench-check` rejects documents where they
+//! drift more than 10% apart.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -70,7 +73,10 @@ struct Row {
     seconds: f64,
 }
 
-/// Per-stage wall time (seconds) from one ingest run.
+/// Per-stage wall time (seconds) from one ingest run. `other_s` is the
+/// uninstrumented remainder (socket waits, thread handoff, pipeline
+/// flush) so the stages sum to `total_s`, the wall time of the same
+/// rep the breakdown was taken from — `bench-check` enforces that sum.
 #[derive(Clone, Copy, Default)]
 struct Stages {
     decode_s: f64,
@@ -78,6 +84,8 @@ struct Stages {
     wal_append_s: f64,
     fsync_s: f64,
     ack_s: f64,
+    other_s: f64,
+    total_s: f64,
 }
 
 fn wide_trace(num_sensors: u16, days: u64, seed: u64) -> (Trace, u64) {
@@ -195,12 +203,19 @@ fn time_ingest(
         if elapsed < best {
             best = elapsed;
             let ns = |n: u64| n as f64 / 1e9;
+            let instrumented = ns(server_stats.decode_ns)
+                + ns(timings.admission_ns)
+                + ns(timings.wal_append_ns)
+                + ns(timings.fsync_ns)
+                + ns(server_stats.ack_ns);
             stages = Stages {
                 decode_s: ns(server_stats.decode_ns),
                 admission_s: ns(timings.admission_ns),
                 wal_append_s: ns(timings.wal_append_ns),
                 fsync_s: ns(timings.fsync_ns),
                 ack_s: ns(server_stats.ack_ns),
+                other_s: (elapsed - instrumented).max(0.0),
+                total_s: elapsed,
             };
         }
         assert_eq!(
@@ -353,7 +368,8 @@ fn main() {
          group fsync); retention = checkpoint-gated WAL reclaim under the named byte \
          budget (off = retain everything; pipelined rows checkpoint once per 32 batches); speedup_vs_serial = readings/sec ratio to the \
          serial row at the same sensor count; ingest_stages = per-stage wall seconds from \
-         the fastest pipelined fsync=batch:64 rep\",\n",
+         the fastest pipelined fsync=batch:64 rep (other_s = uninstrumented remainder, so \
+         the stages sum to total_s, the wall time of that rep)\",\n",
     );
     json.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -400,8 +416,15 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"ingest_stages\": {{\"decode_s\": {:.6}, \"admission_s\": {:.6}, \
-         \"wal_append_s\": {:.6}, \"fsync_s\": {:.6}, \"ack_s\": {:.6}}}",
-        stages.decode_s, stages.admission_s, stages.wal_append_s, stages.fsync_s, stages.ack_s,
+         \"wal_append_s\": {:.6}, \"fsync_s\": {:.6}, \"ack_s\": {:.6}, \
+         \"other_s\": {:.6}, \"total_s\": {:.6}}}",
+        stages.decode_s,
+        stages.admission_s,
+        stages.wal_append_s,
+        stages.fsync_s,
+        stages.ack_s,
+        stages.other_s,
+        stages.total_s,
     );
     json.push_str("}\n");
 

@@ -95,6 +95,9 @@ pub struct ServeArgs {
     pub crash_after: Option<u64>,
     /// Batches a pipelined (protocol v2) client may keep in flight.
     pub credit_window: u32,
+    /// Pin the server to protocol v1: v2 `Hello`s get a typed
+    /// `HelloReject { supported: 1 }` instead of a credit grant.
+    pub v1_only: bool,
     /// Emit the report as one summary line per sensor only.
     pub quiet: bool,
 }
@@ -146,7 +149,8 @@ USAGE:
                     [--fsync never|batch:N|always] [--watermark SECS]
                     [--silence-deadline SECS] [--checkpoint-every N]
                     [--wal-retain-bytes N] [--wal-segment-bytes N]
-                    [--crash-after N] [--credit-window N] [--quiet]
+                    [--crash-after N] [--credit-window N] [--v1-only]
+                    [--quiet]
   sentinet replay-wal --wal-dir DIR [--period SECS] [--window SAMPLES]
                     [--trim FRACTION] [--watermark SECS] [--shards N]
                     [--quiet]
@@ -388,6 +392,7 @@ pub fn parse<'a, I: IntoIterator<Item = &'a str>>(args: I) -> Result<Command, Pa
                 wal_segment_bytes: None,
                 crash_after: None,
                 credit_window: 32,
+                v1_only: false,
                 quiet: false,
             };
             while let Some(flag) = it.next() {
@@ -463,6 +468,7 @@ pub fn parse<'a, I: IntoIterator<Item = &'a str>>(args: I) -> Result<Command, Pa
                         }
                         parsed.credit_window = credits;
                     }
+                    "--v1-only" => parsed.v1_only = true,
                     "--quiet" => parsed.quiet = true,
                     other => return Err(ParseError(format!("unknown flag {other:?}"))),
                 }
@@ -674,6 +680,7 @@ mod tests {
                 assert_eq!(a.wal_segment_bytes, None);
                 assert_eq!(a.crash_after, None);
                 assert_eq!(a.credit_window, 32);
+                assert!(!a.v1_only);
             }
             other => panic!("{other:?}"),
         }
@@ -697,6 +704,7 @@ mod tests {
             "40",
             "--credit-window",
             "8",
+            "--v1-only",
             "--quiet",
         ])
         .unwrap()
@@ -710,6 +718,7 @@ mod tests {
                 assert_eq!(a.wal_segment_bytes, Some(4096));
                 assert_eq!(a.crash_after, Some(40));
                 assert_eq!(a.credit_window, 8);
+                assert!(a.v1_only);
                 assert!(a.quiet);
             }
             other => panic!("{other:?}"),

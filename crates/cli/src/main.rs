@@ -285,6 +285,7 @@ fn run_serve(a: ServeArgs) -> Result<(), Box<dyn std::error::Error>> {
     let server = Server::start(ServerConfig {
         bind: a.bind.clone(),
         credit_window: a.credit_window,
+        v1_only: a.v1_only,
         ..ServerConfig::default()
     })?;
     // Scripts (and the crash-recovery tests) parse this line to learn

@@ -169,8 +169,12 @@ impl From<WalError> for GatewayError {
 }
 
 /// Per-sensor sequence-number deduplication window.
+///
+/// Public so the protocol model checker (`xtask protocol-check`) can
+/// drive the *real* dedup/watermark arithmetic as its specification
+/// oracle rather than re-implementing it.
 #[derive(Debug, Default)]
-struct SeqTracker {
+pub struct SeqTracker {
     /// Lowest sequence number not yet seen.
     next: u64,
     /// Seen sequence numbers above `next` (out-of-order arrivals).
@@ -179,12 +183,12 @@ struct SeqTracker {
 
 impl SeqTracker {
     /// Whether `seq` has not been seen yet (no state change).
-    fn is_new(&self, seq: u64) -> bool {
+    pub fn is_new(&self, seq: u64) -> bool {
         seq >= self.next && !self.above.contains(&seq)
     }
 
     /// Records `seq`; returns `true` if it was new.
-    fn observe(&mut self, seq: u64) -> bool {
+    pub fn observe(&mut self, seq: u64) -> bool {
         if !self.is_new(seq) {
             return false;
         }
@@ -201,7 +205,7 @@ impl SeqTracker {
 
     /// Highest seq such that every seq at or below it has been seen —
     /// the cumulative-ack watermark (`None` before anything arrived).
-    fn watermark(&self) -> Option<u64> {
+    pub fn watermark(&self) -> Option<u64> {
         self.next.checked_sub(1)
     }
 }
@@ -1206,6 +1210,68 @@ mod tests {
         let report = c.finish().unwrap();
         fs::remove_dir_all(&dir).unwrap();
         report
+    }
+
+    /// Runs `stream(4)` through a collector configured by `tweak` on a
+    /// fault-free `FaultyVfs` and returns the total fsync count.
+    fn fsyncs_for(name: &str, tweak: impl Fn(&mut GatewayConfig)) -> u64 {
+        let dir = tmpdir(name);
+        let vfs = Arc::new(FaultyVfs::new(FaultPlan::new()));
+        let mut cfg = config(&dir);
+        cfg.wal.vfs = vfs.clone();
+        tweak(&mut cfg);
+        let expect_checkpoint = cfg.checkpoint_every != 0;
+        let (mut c, _) = Collector::open(cfg).unwrap();
+        for (s, seq, t, v) in stream(4) {
+            assert_eq!(c.deliver(s, seq, t, v).unwrap(), DeliverOutcome::Accepted);
+        }
+        c.finish().unwrap();
+        assert_eq!(
+            dir.join(CHECKPOINT_FILE).exists(),
+            expect_checkpoint,
+            "checkpoint cadence must behave as configured"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+        vfs.op_count(VfsOp::Fsync)
+    }
+
+    /// The checkpoint fast path: when the synced watermark already
+    /// covers the cursor (`Wal::unsynced_records() == 0`, as under
+    /// `FsyncPolicy::Always`), `write_checkpoint` performs zero fsync
+    /// calls — a per-record checkpoint cadence costs exactly as many
+    /// fsyncs as no checkpoints at all. Under a lazy policy the same
+    /// cadence forces syncs, which pins that the counter would have
+    /// caught a regression in the fast path.
+    #[test]
+    fn checkpoint_adds_no_fsync_when_watermark_covers_cursor() {
+        let eager_every = fsyncs_for("ckpt-eager-every", |c| {
+            c.wal.fsync = FsyncPolicy::Always;
+            c.checkpoint_every = 1;
+        });
+        let eager_finish_only = fsyncs_for("ckpt-eager-finish", |c| {
+            c.wal.fsync = FsyncPolicy::Always;
+            // No checkpoints at all: the baseline fsync count.
+            c.checkpoint_every = 0;
+        });
+        assert_eq!(
+            eager_every, eager_finish_only,
+            "checkpoints on the fast path must not add fsyncs"
+        );
+
+        let lazy_every = fsyncs_for("ckpt-lazy-every", |c| {
+            c.wal.fsync = FsyncPolicy::Batch(1_000);
+            c.checkpoint_every = 1;
+        });
+        let lazy_finish_only = fsyncs_for("ckpt-lazy-finish", |c| {
+            c.wal.fsync = FsyncPolicy::Batch(1_000);
+            c.checkpoint_every = 0;
+        });
+        assert!(
+            lazy_every > lazy_finish_only,
+            "a lazy policy must show checkpoint-forced syncs \
+             ({lazy_every} vs {lazy_finish_only}); otherwise this test \
+             could not detect fast-path regressions"
+        );
     }
 
     #[test]

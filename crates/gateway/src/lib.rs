@@ -37,6 +37,7 @@ pub mod client;
 pub mod collector;
 pub mod crc;
 pub mod frame;
+pub mod harness;
 mod net;
 pub mod netsim;
 pub mod reorder;
@@ -50,12 +51,13 @@ pub use client::{
 };
 pub use collector::{
     BatchOutcome, Collector, DeliverOutcome, GatewayConfig, GatewayError, GatewayReport,
-    LivenessStatus, RecoveryInfo, RejectCause, StageTimings, StorageStatus,
+    LivenessStatus, RecoveryInfo, RejectCause, SeqTracker, StageTimings, StorageStatus,
 };
 pub use frame::{
     FrameBuffer, FrameError, Message, MAX_BATCH_READINGS, MAX_PAYLOAD, PROTOCOL_V1,
     PROTOCOL_VERSION,
 };
+pub use harness::{AckDiscipline, QueuedAck, StepEvent, StepServer};
 pub use netsim::{
     deliver_schedule, delivery_schedule, drive_uplink, trace_to_raw, Emission, NetsimConfig,
 };

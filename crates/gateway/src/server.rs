@@ -46,6 +46,11 @@ pub struct ServerConfig {
     /// Batches a v2 connection may keep in flight (granted in the
     /// `HelloAck`).
     pub credit_window: u32,
+    /// Speak only protocol v1: a v2 `Hello` is answered with a typed
+    /// `HelloReject { supported: 1 }` and the connection is dropped,
+    /// exactly like an unknown version. Lets an operator pin a fleet
+    /// to stop-and-wait (and gives tests a live rejection path).
+    pub v1_only: bool,
 }
 
 impl Default for ServerConfig {
@@ -55,6 +60,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_millis(200),
             queue_capacity: 1024,
             credit_window: 32,
+            v1_only: false,
         }
     }
 }
@@ -110,6 +116,7 @@ enum Event {
 pub struct Server {
     addr: String,
     credit_window: u32,
+    v1_only: bool,
     shutdown: Arc<AtomicBool>,
     events: Receiver<Event>,
     decode_ns: Arc<AtomicU64>,
@@ -143,6 +150,7 @@ impl Server {
         Ok(Self {
             addr,
             credit_window: config.credit_window,
+            v1_only: config.v1_only,
             shutdown,
             events: rx,
             decode_ns,
@@ -320,7 +328,7 @@ impl Server {
                             // Legacy stop-and-wait: no reply, exactly
                             // as version 1 of the server behaved.
                         }
-                        PROTOCOL_VERSION => {
+                        PROTOCOL_VERSION if !self.v1_only => {
                             if let Some(w) = writers.get_mut(&id) {
                                 let _ = w.write_all(&encode_frame(&Message::HelloAck {
                                     version: PROTOCOL_VERSION,
@@ -329,11 +337,18 @@ impl Server {
                             }
                         }
                         _ => {
+                            // Unknown version — or v2 on a server
+                            // pinned to v1 — gets a typed reject naming
+                            // the highest version this server speaks.
                             stats.version_rejects += 1;
+                            let supported = if self.v1_only {
+                                PROTOCOL_V1
+                            } else {
+                                PROTOCOL_VERSION
+                            };
                             if let Some(mut w) = writers.remove(&id) {
-                                let _ = w.write_all(&encode_frame(&Message::HelloReject {
-                                    supported: PROTOCOL_VERSION,
-                                }));
+                                let _ =
+                                    w.write_all(&encode_frame(&Message::HelloReject { supported }));
                                 let _ = w.flush();
                                 let _ = w.shutdown();
                             }

@@ -73,7 +73,7 @@ impl StorageError {
 }
 
 /// The storage operations a fault can target.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum VfsOp {
     /// Appending bytes to an open file.
     Append,
@@ -394,12 +394,17 @@ struct PlanState {
     fired: Vec<u32>,
     /// Every fault actually injected, for test assertions.
     injected: Vec<(VfsOp, PathBuf, StorageFault)>,
+    /// Total operations observed per kind, plan-independent — the
+    /// observability hook tests use to prove an I/O fast path (e.g.
+    /// "this checkpoint issued zero fsyncs") actually ran.
+    op_counts: std::collections::BTreeMap<VfsOp, u64>,
 }
 
 impl PlanState {
     /// Registers one `op` on `path`; returns the fault to inject, if
     /// any spec's coordinates match.
     fn intercept(&mut self, op: VfsOp, path: &Path) -> Option<StorageFault> {
+        *self.op_counts.entry(op).or_insert(0) += 1;
         for (i, spec) in self.plan.faults.iter().enumerate() {
             if spec.op != op || !path.to_string_lossy().ends_with(&spec.path) {
                 continue;
@@ -445,6 +450,7 @@ impl FaultyVfs {
                 seen: vec![0; n],
                 fired: vec![0; n],
                 injected: Vec::new(),
+                op_counts: std::collections::BTreeMap::new(),
             })),
         }
     }
@@ -457,6 +463,19 @@ impl FaultyVfs {
     pub fn injected(&self) -> Vec<(VfsOp, PathBuf, StorageFault)> {
         // sentinet-allow(expect-used): lock poisoning means a panic already unwound through the vfs; propagate it
         self.state.lock().expect("fault plan lock").injected.clone()
+    }
+
+    /// Total `op` operations this vfs has intercepted (fault-injected
+    /// or not) — lets a test assert an I/O fast path, e.g. that a
+    /// checkpoint whose cursor is already synced issues zero fsyncs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a thread panicked while holding the plan lock.
+    pub fn op_count(&self, op: VfsOp) -> u64 {
+        // sentinet-allow(expect-used): lock poisoning means a panic already unwound through the vfs; propagate it
+        let state = self.state.lock().expect("fault plan lock");
+        state.op_counts.get(&op).copied().unwrap_or(0)
     }
 
     fn intercept(&self, op: VfsOp, path: &Path) -> Option<StorageFault> {

@@ -14,7 +14,7 @@ use sentinet_gateway::server::hello_frame;
 use sentinet_gateway::{
     delivery_schedule, drive_uplink, trace_to_raw, Collector, FrameBuffer, FrameError, FsyncPolicy,
     GatewayConfig, GatewayReport, Message, NetsimConfig, PipelinedConfig, PipelinedUplink,
-    SensorUplink, Server, ServerConfig, UplinkConfig,
+    SensorUplink, Server, ServerConfig, UplinkConfig, PROTOCOL_V1, PROTOCOL_VERSION,
 };
 use sentinet_sim::{gdi, simulate, RawRecord, SensorId, DAY_S};
 use std::collections::BTreeMap;
@@ -238,6 +238,65 @@ fn unknown_protocol_version_is_rejected_typed() {
     let stats = server.run(&mut collector).expect("serve");
     let supported = client.join().expect("client thread");
     assert_eq!(supported, sentinet_gateway::PROTOCOL_VERSION);
+    assert_eq!(stats.version_rejects, 1);
+    assert_eq!(stats.bad_frames, 0);
+    let report = collector.finish().expect("finish");
+    assert_eq!(report.ingest.accepted, 1);
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// A server pinned to protocol v1 rejects a current (v2) `Hello` with
+/// a typed `HelloReject { supported: 1 }`: the counter classifies it
+/// as a version reject and the reply is byte-for-byte the encoded
+/// reject frame — nothing more — before the socket closes. A legacy
+/// stop-and-wait client on the same server is still served.
+#[test]
+fn v1_only_server_rejects_v2_hello_with_exact_wire_bytes() {
+    let dir = tmpdir("v1-only");
+    let (mut collector, _) = Collector::open(GatewayConfig::new(&dir)).expect("open");
+    let server = Server::start(ServerConfig {
+        v1_only: true,
+        ..ServerConfig::default()
+    })
+    .expect("bind server");
+    let addr = server.addr().to_string();
+    let client = std::thread::spawn(move || {
+        let mut conn = TcpStream::connect(&addr).expect("connect");
+        conn.set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        conn.write_all(&encode_frame(&Message::Hello {
+            version: PROTOCOL_VERSION,
+        }))
+        .expect("hello");
+        // The server writes the reject, flushes, and shuts the socket
+        // down; everything up to EOF is the raw reject frame.
+        let mut wire = Vec::new();
+        let mut buf = [0u8; 256];
+        loop {
+            match conn.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => wire.extend_from_slice(&buf[..n]),
+                Err(e) => panic!("read: {e}"),
+            }
+        }
+        // The pinned server still speaks v1: a stop-and-wait client
+        // lands a record and terminates the run with Fin/FinAck.
+        let mut uplink = SensorUplink::new(UplinkConfig::new(addr));
+        uplink
+            .send_at(SensorId(1), 0, 300, &[20.0, 45.0])
+            .expect("send");
+        uplink.finish().expect("fin/finack");
+        wire
+    });
+    let stats = server.run(&mut collector).expect("serve");
+    let wire = client.join().expect("client thread");
+    assert_eq!(
+        wire,
+        encode_frame(&Message::HelloReject {
+            supported: PROTOCOL_V1
+        }),
+        "reject reply must be exactly one encoded HelloReject frame"
+    );
     assert_eq!(stats.version_rejects, 1);
     assert_eq!(stats.bad_frames, 0);
     let report = collector.finish().expect("finish");

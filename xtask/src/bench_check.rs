@@ -12,7 +12,10 @@
 //! sensors-monotone rule — they are appended after the shard sweep
 //! rather than sorted into it. When any ingest rows are present the
 //! document must also carry an `ingest_stages` object breaking one
-//! pipelined run down into finite, non-negative per-stage seconds.
+//! pipelined run down into finite, non-negative per-stage seconds
+//! (including the `other_s` uninstrumented remainder) that sum to
+//! within 10% of the run's `total_s` — a breakdown that does not
+//! account for the run it claims to describe is rejected.
 //!
 //! The vendored `serde` is a derive stub without a JSON backend, so
 //! this module carries its own minimal recursive-descent JSON parser —
@@ -258,13 +261,20 @@ impl Parser<'_> {
 }
 
 /// Keys the per-stage ingest breakdown must carry, in wall seconds.
+/// `other_s` is the uninstrumented remainder the bench emits so the
+/// stages account for the whole run; together they must sum to within
+/// 10% of `total_s`.
 const STAGE_KEYS: &[&str] = &[
     "decode_s",
     "admission_s",
     "wal_append_s",
     "fsync_s",
     "ack_s",
+    "other_s",
 ];
+
+/// Relative tolerance between the stage sum and `total_s`.
+const STAGE_SUM_TOLERANCE: f64 = 0.10;
 
 /// Keys every result row must carry.
 const ROW_KEYS: &[&str] = &[
@@ -411,14 +421,48 @@ pub fn validate(input: &str) -> Vec<String> {
     if saw_ingest {
         match top.get("ingest_stages") {
             Some(Json::Obj(stages)) => {
+                let mut sum = Some(0.0f64);
                 for key in STAGE_KEYS {
                     match stages.get(*key) {
-                        Some(Json::Num(n)) if n.is_finite() && *n >= 0.0 => {}
-                        Some(v) => problems.push(format!(
-                            "`ingest_stages.{key}` must be a finite non-negative number, got {}",
+                        Some(Json::Num(n)) if n.is_finite() && *n >= 0.0 => {
+                            sum = sum.map(|s| s + n);
+                        }
+                        Some(v) => {
+                            problems.push(format!(
+                                "`ingest_stages.{key}` must be a finite non-negative number, got {}",
+                                v.type_name()
+                            ));
+                            sum = None;
+                        }
+                        None => {
+                            problems.push(format!("`ingest_stages` missing key `{key}`"));
+                            sum = None;
+                        }
+                    }
+                }
+                let total = match stages.get("total_s") {
+                    Some(Json::Num(n)) if n.is_finite() && *n > 0.0 => Some(*n),
+                    Some(v) => {
+                        problems.push(format!(
+                            "`ingest_stages.total_s` must be a finite positive number, got {}",
                             v.type_name()
-                        )),
-                        None => problems.push(format!("`ingest_stages` missing key `{key}`")),
+                        ));
+                        None
+                    }
+                    None => {
+                        problems.push("`ingest_stages` missing key `total_s`".into());
+                        None
+                    }
+                };
+                // Only meaningful when every stage and the total parsed:
+                // the breakdown must account for the run it claims to
+                // describe, within tolerance for clock skew/rounding.
+                if let (Some(sum), Some(total)) = (sum, total) {
+                    if (sum - total).abs() > STAGE_SUM_TOLERANCE * total {
+                        problems.push(format!(
+                            "`ingest_stages` stage times sum to {sum:.6}s but `total_s` is \
+                             {total:.6}s (more than 10% apart)"
+                        ));
                     }
                 }
             }
@@ -521,11 +565,13 @@ mod tests {
     }
 
     /// A document whose trailing ingest rows carry the stage object.
+    /// The stages sum to 0.2 exactly, matching `total_s`.
     fn doc_with_stages(rows: &[String]) -> String {
         doc(rows).replace(
             "\"results\": [",
             "\"ingest_stages\": {\"decode_s\": 0.01, \"admission_s\": 0.02, \
-             \"wal_append_s\": 0.003, \"fsync_s\": 0.1, \"ack_s\": 0.004}, \"results\": [",
+             \"wal_append_s\": 0.003, \"fsync_s\": 0.1, \"ack_s\": 0.004, \
+             \"other_s\": 0.063, \"total_s\": 0.2}, \"results\": [",
         )
     }
 
@@ -582,12 +628,43 @@ mod tests {
         );
 
         let d = doc_with_stages(&[row(100, "serial"), ingest_row(10)])
-            .replace("\"ack_s\": 0.004}", "\"ack_s2\": 0.004}");
+            .replace("\"ack_s\": 0.004, ", "");
         let problems = validate(&d);
         assert!(
             problems.iter().any(|p| p.contains("missing key `ack_s`")),
             "{problems:?}"
         );
+    }
+
+    #[test]
+    fn stage_sum_must_match_total_within_tolerance() {
+        // The fixture stages sum to exactly total_s = 0.2: valid.
+        let d = doc_with_stages(&[row(100, "serial"), ingest_row(10)]);
+        assert!(validate(&d).is_empty(), "{:?}", validate(&d));
+
+        // Inflate the total so the stages only cover 2/3 of it.
+        let d = doc_with_stages(&[row(100, "serial"), ingest_row(10)])
+            .replace("\"total_s\": 0.2", "\"total_s\": 0.3");
+        let problems = validate(&d);
+        assert!(
+            problems.iter().any(|p| p.contains("more than 10% apart")),
+            "{problems:?}"
+        );
+
+        // A missing total is its own violation.
+        let d = doc_with_stages(&[row(100, "serial"), ingest_row(10)])
+            .replace(", \"total_s\": 0.2", "");
+        let problems = validate(&d);
+        assert!(
+            problems.iter().any(|p| p.contains("missing key `total_s`")),
+            "{problems:?}"
+        );
+
+        // Within-tolerance skew (≤ 10%) passes: clocks and rounding
+        // are allowed to disagree a little.
+        let d = doc_with_stages(&[row(100, "serial"), ingest_row(10)])
+            .replace("\"total_s\": 0.2", "\"total_s\": 0.21");
+        assert!(validate(&d).is_empty(), "{:?}", validate(&d));
     }
 
     #[test]

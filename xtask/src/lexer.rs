@@ -160,26 +160,35 @@ impl SourceMap {
     /// `sentinet-allow(lint)` comment sits on the same line, or on the
     /// run of comment-only lines directly above it.
     pub fn is_suppressed(&self, lint: &str, line: usize) -> bool {
-        let covers = |sup: &Suppression| sup.lint == lint && sup.has_reason;
-        if self
+        self.covering_suppression(lint, line).is_some()
+    }
+
+    /// The line of the `sentinet-allow(lint)` comment that suppresses a
+    /// finding of `lint` on 1-based `line`, if any — same coverage rule
+    /// as [`SourceMap::is_suppressed`]. The lint engine records which
+    /// suppression lines were actually consumed so the
+    /// `stale-suppression` lint can flag the rest.
+    pub fn covering_suppression(&self, lint: &str, line: usize) -> Option<usize> {
+        let covers = |sup: &&Suppression| sup.lint == lint && sup.has_reason;
+        if let Some(sup) = self
             .suppressions
             .iter()
-            .any(|s| s.line == line && covers(s))
+            .find(|s| s.line == line && covers(s))
         {
-            return true;
+            return Some(sup.line);
         }
         let mut l = line;
         while l > 1 {
             l -= 1;
             let idx = l - 1;
             if idx >= self.comment_only.len() || !self.comment_only[idx] {
-                return false;
+                return None;
             }
-            if self.suppressions.iter().any(|s| s.line == l && covers(s)) {
-                return true;
+            if let Some(sup) = self.suppressions.iter().find(|s| s.line == l && covers(s)) {
+                return Some(sup.line);
             }
         }
-        false
+        None
     }
 }
 

@@ -25,3 +25,4 @@ pub mod bench_check;
 pub mod lexer;
 pub mod lint;
 pub mod model_check;
+pub mod protocol_check;

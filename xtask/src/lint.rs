@@ -1,8 +1,8 @@
 //! The project lint engine.
 //!
-//! Fifteen textual lints over the workspace's library crates, built on
-//! the masked source view of [`crate::lexer`] — no rustc plugin, fully
-//! offline. Findings are suppressed inline with
+//! Seventeen textual lints over the workspace's library crates, built
+//! on the masked source view of [`crate::lexer`] — no rustc plugin,
+//! fully offline. Findings are suppressed inline with
 //! `// sentinet-allow(lint-name): reason` on the same line or on the
 //! comment block directly above; the reason is mandatory.
 //!
@@ -23,6 +23,8 @@
 //! | `net-outside-gateway` | `std::net` / `std::os::unix::net` outside `crates/gateway` |
 //! | `socket-read-timeout` | socket reads in a file that never sets a read timeout |
 //! | `io-outside-vfs` | raw filesystem mutation outside `gateway/src/vfs.rs` |
+//! | `ack-ordering` | fn writing an `Ack`/`AckUpTo` to the wire with no durability check first |
+//! | `stale-suppression` | `sentinet-allow` comment that no longer suppresses any finding |
 //!
 //! Test code (`#[cfg(test)] mod`s and `#[test]` fns) is exempt from
 //! all except the header lints, and the `cli`/`bench` crates are
@@ -42,6 +44,19 @@
 //! `OpenOptions`, or `std::fs` write outside `gateway::vfs` would
 //! bypass the injectable `Vfs` seam, so disk-fault chaos could never
 //! reach it and its fsync/crash semantics would go untested.
+//!
+//! The ack-after-durable rule of the pipelined protocol gets its own
+//! dataflow pass (`ack-ordering`): a function body that constructs a
+//! `Message::Ack` or `Message::AckUpTo` and also writes to the wire
+//! (`write_all`) must check durability first — an earlier
+//! `synced_cursor`/`sync_wal` consultation or a v1 `.deliver(` call
+//! (which is durable-before-return by contract) on the same path.
+//! Anything else is the eager-ack bug the protocol model checker
+//! (`xtask protocol-check`) exists to catch. And suppression hygiene
+//! is enforced by `stale-suppression`: a well-formed `sentinet-allow`
+//! comment that no longer silences any actual finding is itself a
+//! finding, so fixed code sheds its stale annotations instead of
+//! carrying holes a future regression could slip through.
 
 use crate::lexer::{match_brace, SourceMap};
 use std::fmt;
@@ -64,7 +79,18 @@ pub const LINTS: &[&str] = &[
     "net-outside-gateway",
     "socket-read-timeout",
     "io-outside-vfs",
+    "ack-ordering",
+    "stale-suppression",
 ];
+
+/// Needles whose word-bounded occurrence in a fn body marks an ack
+/// construction (or pattern) the `ack-ordering` lint anchors on.
+const ACK_NEEDLES: &[&str] = &["Message::Ack", "Message::AckUpTo"];
+
+/// Occurrences that dominate an ack release: consulting the fsync
+/// watermark, forcing it, or the v1 `.deliver(` path (durable before
+/// it returns, by contract).
+const ACK_DOMINATORS: &[&str] = &["synced_cursor", "sync_wal", ".deliver("];
 
 /// Functions that must stay lexically allocation-free, keyed by a path
 /// suffix of the file that defines them. These are the PR-1 hot paths:
@@ -174,15 +200,22 @@ impl FileContext {
 pub fn lint_source(path: &Path, source: &str, ctx: &FileContext) -> Vec<Finding> {
     let map = SourceMap::new(source);
     let mut findings = Vec::new();
+    // Suppression lines that actually silenced a finding; whatever is
+    // left over at the end is stale.
+    let mut used_suppressions: std::collections::BTreeSet<usize> =
+        std::collections::BTreeSet::new();
     let mut push = |map: &SourceMap, offset: usize, lint: &str, message: String| {
         let line = map.line_of(offset);
-        if !map.is_suppressed(lint, line) {
-            findings.push(Finding {
+        match map.covering_suppression(lint, line) {
+            Some(sup_line) => {
+                used_suppressions.insert(sup_line);
+            }
+            None => findings.push(Finding {
                 file: path.to_path_buf(),
                 line,
                 lint: lint.to_string(),
                 message,
-            });
+            }),
         }
     };
 
@@ -416,6 +449,44 @@ pub fn lint_source(path: &Path, source: &str, ctx: &FileContext) -> Vec<Finding>
         }
     }
 
+    // Ack-ordering: a fn body that both constructs an Ack/AckUpTo and
+    // writes to the wire must consult durability first on the same
+    // path. One finding per body, anchored at the first ack needle;
+    // nested fns are claimed innermost-first so an inner violation is
+    // not double-counted through its enclosing body.
+    let mut claimed_anchors: Vec<usize> = Vec::new();
+    let mut bodies = all_function_bodies(&map.masked);
+    bodies.sort_by_key(|&(open, close)| close - open);
+    for (open, close) in bodies {
+        if map.in_test_region(open) {
+            continue;
+        }
+        let body = &map.masked[open..close];
+        let anchor = ACK_NEEDLES.iter().flat_map(|n| find_word(body, n)).min();
+        let Some(anchor) = anchor else {
+            continue;
+        };
+        if claimed_anchors.contains(&(open + anchor)) {
+            continue;
+        }
+        if find_all(body, "write_all(").is_empty() {
+            continue;
+        }
+        let dominated = ACK_DOMINATORS
+            .iter()
+            .flat_map(|d| find_all(body, d))
+            .any(|pos| pos < anchor);
+        claimed_anchors.push(open + anchor);
+        if !dominated {
+            push(
+                &map,
+                open + anchor,
+                "ack-ordering",
+                "Ack/AckUpTo written to the wire with no dominating `synced_cursor`/`sync_wal` check; an unsynced crash would lose acked data".into(),
+            );
+        }
+    }
+
     // Malformed or unknown suppressions are findings themselves, so a
     // typo cannot silently disable a lint.
     for sup in &map.suppressions {
@@ -437,6 +508,32 @@ pub fn lint_source(path: &Path, source: &str, ctx: &FileContext) -> Vec<Finding>
                 ),
             });
         }
+    }
+
+    // Suppression hygiene: a well-formed sentinet-allow that silenced
+    // nothing is stale — the code it excused was fixed or moved, and
+    // leaving the annotation behind would mask a future regression.
+    // (Malformed suppressions were already reported above.)
+    for sup in &map.suppressions {
+        if !LINTS.contains(&sup.lint.as_str()) || !sup.has_reason {
+            continue;
+        }
+        if used_suppressions.contains(&sup.line) {
+            continue;
+        }
+        if let Some(cover) = map.covering_suppression("stale-suppression", sup.line) {
+            used_suppressions.insert(cover);
+            continue;
+        }
+        findings.push(Finding {
+            file: path.to_path_buf(),
+            line: sup.line,
+            lint: "stale-suppression".into(),
+            message: format!(
+                "sentinet-allow({}) no longer suppresses any finding; remove it",
+                sup.lint
+            ),
+        });
     }
 
     findings.sort_by(|a, b| (a.line, &a.lint).cmp(&(b.line, &b.lint)));
@@ -591,6 +688,25 @@ fn is_float_literal(token: &str) -> bool {
     }
 }
 
+/// Brace-matched bodies of every `fn` in the masked source, named or
+/// not (trait-method declarations without bodies are skipped).
+fn all_function_bodies(masked: &str) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for pos in find_word(masked, "fn") {
+        let sig_start = pos + 2;
+        let Some(open) = masked[sig_start..].find('{').map(|p| sig_start + p) else {
+            continue;
+        };
+        if masked[sig_start..open].contains(';') {
+            continue;
+        }
+        if let Some(close) = match_brace(masked, open) {
+            out.push((open, close + 1));
+        }
+    }
+    out
+}
+
 /// Brace-matched bodies of every `fn <name>` in the masked source.
 fn function_bodies(masked: &str, name: &str) -> Vec<(usize, usize)> {
     let mut out = Vec::new();
@@ -729,6 +845,46 @@ mod tests {
         // Reads stay unflagged: only mutation needs fault coverage.
         let f = run("fn a(p: &Path) { let s = fs::read_to_string(p); let f = File::open(p); }\n");
         assert!(f.iter().all(|f| f.lint != "io-outside-vfs"), "{f:?}");
+    }
+
+    #[test]
+    fn ack_ordering_requires_dominating_sync_check() {
+        // An ack written to the wire with no durability check upstream fires.
+        let bad = "fn reply(w: &mut W) {\n    let f = encode(Message::AckUpTo { sensor, seq });\n    w.write_all(&f).ok();\n}\n";
+        let f = run(bad);
+        assert_eq!(f.iter().filter(|f| f.lint == "ack-ordering").count(), 1);
+        // A `synced_cursor` comparison before the ack dominates it: silent.
+        let synced = "fn reply(w: &mut W) {\n    if cursor > self.synced_cursor() { return; }\n    let f = encode(Message::AckUpTo { sensor, seq });\n    w.write_all(&f).ok();\n}\n";
+        assert!(run(synced).iter().all(|f| f.lint != "ack-ordering"));
+        // `.deliver(` ahead of a per-reading Ack also dominates (the
+        // collector syncs before reporting an ack cursor).
+        let delivered = "fn reply(w: &mut W) {\n    let out = self.collector.deliver(&r);\n    let f = encode(Message::Ack { sensor, seq });\n    w.write_all(&f).ok();\n}\n";
+        assert!(run(delivered).iter().all(|f| f.lint != "ack-ordering"));
+        // Constructing the message without writing it is not a release.
+        let no_write =
+            "fn queue(&mut self) {\n    self.pending.push(Message::Ack { sensor, seq });\n}\n";
+        assert!(run(no_write).iter().all(|f| f.lint != "ack-ordering"));
+    }
+
+    #[test]
+    fn stale_suppression_reports_unused_allow() {
+        // The allow excuses nothing: the body has no float comparison.
+        let src = "// sentinet-allow(float-eq): excused code was rewritten\nfn a(x: f64) -> f64 { x.max(0.0) }\n";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].lint, "stale-suppression");
+        assert!(f[0].message.contains("sentinet-allow(float-eq)"));
+        // A live suppression is not stale.
+        let live = "fn a(x: f64) {\n    // sentinet-allow(float-eq): documented tolerance\n    if x == 1.0 {}\n}\n";
+        assert!(run(live).is_empty());
+        // A stale allow can itself be suppressed, one level deep.
+        let excused = "// sentinet-allow(stale-suppression): kept for doc purposes\n// sentinet-allow(float-eq): intentionally stale\nfn a(x: f64) -> f64 { x.max(0.0) }\n";
+        assert!(run(excused).is_empty());
+        // Reasonless allows are already flagged by suppression-missing-reason;
+        // the stale pass skips them rather than double-reporting.
+        let reasonless = "// sentinet-allow(float-eq)\nfn a(x: f64) -> f64 { x.max(0.0) }\n";
+        let f = run(reasonless);
+        assert!(f.iter().all(|f| f.lint != "stale-suppression"), "{f:?}");
     }
 
     #[test]

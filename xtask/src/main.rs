@@ -2,20 +2,24 @@
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use xtask::{bench_check, lint, model_check};
+use xtask::{bench_check, lint, model_check, protocol_check};
 
 const USAGE: &str = "\
 Usage: cargo run -p xtask -- <command>
 
 Commands:
-  analyze [--skip-invariants]  run lints, the shard-schedule model checker
-                               and (unless skipped) the test suite under
-                               the check-invariants feature
+  analyze [--skip-invariants]  run lints, the shard-schedule model checker,
+                               the protocol/durability checker and (unless
+                               skipped) the test suite under the
+                               check-invariants feature
   lint [PATH...]               run the lint engine over the workspace, or
                                over the given files only
   model-check                  exhaustively explore shard schedules and
                                fault (crash/drop) schedules and assert
                                serial equivalence after recovery
+  protocol-check               exhaustively explore v2 uplink interleavings
+                               (loss, reorder, reconnect, crash, poisoned
+                               WAL) against the durability invariants
   bench-check [FILE]           validate BENCH_engine.json (default) or FILE
 ";
 
@@ -24,6 +28,23 @@ fn repo_root() -> PathBuf {
         .parent()
         .expect("xtask lives one level under the repo root")
         .to_path_buf()
+}
+
+/// Single reporting path for lint results: every finding goes to stderr
+/// as `file:line: [lint] message`, then either `lint: clean` on stdout or
+/// an Err carrying the `lint: N finding(s)` summary. Both the `lint`
+/// subcommand and the `analyze` umbrella flow through here so their
+/// output is identical; the format is pinned by the fixture tests.
+fn report_findings(findings: &[lint::Finding]) -> Result<(), String> {
+    for f in findings {
+        eprintln!("{f}");
+    }
+    if findings.is_empty() {
+        println!("lint: clean");
+        Ok(())
+    } else {
+        Err(format!("lint: {} finding(s)", findings.len()))
+    }
 }
 
 fn run_lint(paths: &[String]) -> Result<(), String> {
@@ -40,15 +61,7 @@ fn run_lint(paths: &[String]) -> Result<(), String> {
         }
         findings
     };
-    for f in &findings {
-        eprintln!("{f}");
-    }
-    if findings.is_empty() {
-        println!("lint: clean");
-        Ok(())
-    } else {
-        Err(format!("lint: {} finding(s)", findings.len()))
-    }
+    report_findings(&findings)
 }
 
 fn run_model_check() -> Result<(), String> {
@@ -69,6 +82,49 @@ fn run_model_check() -> Result<(), String> {
         faults.schedules, faults.quarantines
     );
     Ok(())
+}
+
+fn run_protocol_check() -> Result<(), String> {
+    match protocol_check::check(protocol_check::Scale::Full) {
+        Ok(report) => {
+            for (name, space) in &report.spaces {
+                println!(
+                    "protocol-check: space `{name}`: {} episodes, {} transitions",
+                    space.episodes, space.transitions
+                );
+            }
+            println!(
+                "protocol-check: {} episodes, {} transitions across {} spaces, all invariants held",
+                report.episodes(),
+                report.transitions(),
+                report.spaces.len()
+            );
+            if report.transitions() <= 10_000 {
+                return Err(format!(
+                    "protocol-check: only {} transitions explored (expected > 10000); \
+                     the configured space is too small to be meaningful",
+                    report.transitions()
+                ));
+            }
+        }
+        Err(v) => return Err(format!("protocol-check: invariant violated\n{v}")),
+    }
+    // Self-test: the checker must catch a deliberately broken ack
+    // discipline (acks released before the WAL is synced). If the
+    // mutation survives, the checker is blind and its green run above
+    // proves nothing.
+    match protocol_check::check_mutation(protocol_check::Scale::Quick) {
+        Err(v) => {
+            println!(
+                "protocol-check: eager-ack mutation caught as expected ({} in space `{}`)",
+                v.invariant, v.space
+            );
+            Ok(())
+        }
+        Ok(_) => {
+            Err("protocol-check: eager-ack mutation survived undetected; checker is blind".into())
+        }
+    }
 }
 
 fn run_bench_check(file: Option<&str>) -> Result<(), String> {
@@ -126,6 +182,7 @@ fn main() -> ExitCode {
             for step in [
                 run_lint(&[]),
                 run_model_check(),
+                run_protocol_check(),
                 run_bench_check(None),
                 if skip_invariants {
                     Ok(())
@@ -147,6 +204,7 @@ fn main() -> ExitCode {
         }
         Some("lint") => run_lint(&args[1..]),
         Some("model-check") => run_model_check(),
+        Some("protocol-check") => run_protocol_check(),
         Some("bench-check") => run_bench_check(args.get(1).map(String::as_str)),
         _ => {
             eprint!("{USAGE}");

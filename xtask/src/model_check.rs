@@ -98,6 +98,12 @@ impl Schedule {
         c
     }
 
+    /// The choices taken so far (a complete replayable coordinate of
+    /// the current schedule — violation reports embed it).
+    pub fn choices(&self) -> &[usize] {
+        &self.choices
+    }
+
     /// Advances to the next unexplored schedule; false when the space
     /// is exhausted.
     pub fn advance(&mut self) -> bool {

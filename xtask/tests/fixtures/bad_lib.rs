@@ -1,5 +1,5 @@
 //! Seeded-bad fixture: with a lib-root context registering `hot` as a
-//! hot-path function, every one of the fifteen lints fires exactly
+//! hot-path function, every one of the seventeen lints fires exactly
 //! once. (This file is test data — it is never compiled.)
 
 pub fn violations(maybe: Option<u32>, x: f64) -> u32 {
@@ -29,4 +29,14 @@ pub fn leaky_socket(stream: &mut std::net::TcpStream, buf: &mut [u8]) {
 
 pub fn sneaky_write(dir: &std::path::Path) {
     let _ = std::fs::write(dir.join("out"), b"x");
+}
+
+pub fn leaky_ack(w: &mut impl std::io::Write, sensor: u16, seq: u64) {
+    let frame = encode(Message::AckUpTo { sensor, seq });
+    let _ = w.write_all(&frame);
+}
+
+// sentinet-allow(float-eq): stale — the comparison this excused was rewritten
+pub fn formerly_fuzzy(x: f64) -> f64 {
+    x.max(0.0)
 }

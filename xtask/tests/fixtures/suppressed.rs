@@ -43,3 +43,15 @@ pub fn sneaky_write(dir: &std::path::Path) {
     // sentinet-allow(io-outside-vfs): fixture exercises suppression
     let _ = std::fs::write(dir.join("out"), b"x");
 }
+
+pub fn leaky_ack(w: &mut impl std::io::Write, sensor: u16, seq: u64) {
+    // sentinet-allow(ack-ordering): fixture exercises suppression
+    let frame = encode(Message::AckUpTo { sensor, seq });
+    let _ = w.write_all(&frame);
+}
+
+// sentinet-allow(stale-suppression): fixture exercises suppression
+// sentinet-allow(float-eq): intentionally stale for the fixture
+pub fn formerly_fuzzy(x: f64) -> f64 {
+    x.max(0.0)
+}

@@ -87,6 +87,48 @@ fn lint_binary_exits_nonzero_on_seeded_bad_fixture() {
     assert!(stderr.contains("unwrap-used"), "{stderr}");
 }
 
+/// Pins the lint output contract shared by `xtask lint` and `xtask
+/// analyze`: every finding is one stderr line of the form
+/// `file:line: [lint] message`, followed by a `lint: N finding(s)`
+/// summary whose count matches the number of finding lines.
+#[test]
+fn lint_binary_output_format_is_pinned() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .arg("lint")
+        .arg(fixture("bad_lib.rs"))
+        .output()
+        .expect("xtask binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let lines: Vec<&str> = stderr.lines().filter(|l| !l.is_empty()).collect();
+    let (summary, findings) = lines.split_last().expect("at least a summary line");
+    assert!(!findings.is_empty(), "{stderr}");
+    for line in findings {
+        // `file:line: [lint] message` — path prefix, a numeric line, a
+        // bracketed lint name, then the message.
+        let rest = line
+            .strip_prefix(&*fixture("bad_lib.rs").to_string_lossy())
+            .unwrap_or_else(|| panic!("finding does not start with the file path: {line}"));
+        let rest = rest.strip_prefix(':').expect("colon after path");
+        let (line_no, rest) = rest.split_once(": [").expect("`: [` after line number");
+        assert!(
+            line_no.chars().all(|c| c.is_ascii_digit()) && !line_no.is_empty(),
+            "non-numeric line number in: {line}"
+        );
+        let (lint_name, message) = rest.split_once("] ").expect("`] ` after lint name");
+        assert!(
+            lint::LINTS.contains(&lint_name),
+            "unknown lint `{lint_name}` in: {line}"
+        );
+        assert!(!message.is_empty(), "empty message in: {line}");
+    }
+    assert_eq!(
+        *summary,
+        format!("lint: {} finding(s)", findings.len()),
+        "summary count must match the finding lines\n{stderr}"
+    );
+}
+
 #[test]
 fn lint_binary_exits_zero_on_clean_fixture() {
     let status = Command::new(env!("CARGO_BIN_EXE_xtask"))
