@@ -18,6 +18,8 @@ pub enum Command {
     Serve(ServeArgs),
     /// Replay a write-ahead log offline into a report.
     ReplayWal(ReplayWalArgs),
+    /// Drive a trace through a federated collector fleet.
+    Federate(FederateArgs),
     /// Print usage.
     Help,
 }
@@ -122,6 +124,72 @@ pub struct ReplayWalArgs {
     pub quiet: bool,
 }
 
+/// Arguments of `sentinet federate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FederateArgs {
+    /// Input CSV path.
+    pub input: String,
+    /// Root directory for the per-partition WAL directories.
+    pub wal_root: String,
+    /// Collector partitions the sensor range is split over.
+    pub partitions: usize,
+    /// Standby collectors available for failover adoption.
+    pub standbys: usize,
+    /// Drive the pipelined v2 uplink instead of stop-and-wait v1.
+    pub v2: bool,
+    /// Sensor sampling period in seconds.
+    pub period: u64,
+    /// Observation window size in samples.
+    pub window: u32,
+    /// Observable-mean trim fraction.
+    pub trim: f64,
+    /// WAL fsync policy handed to every collector (validated text,
+    /// forwarded verbatim to the spawned `serve` children).
+    pub fsync: String,
+    /// Reorder watermark delay in stream seconds.
+    pub watermark: u64,
+    /// Checkpoint every N WAL records (0 disables).
+    pub checkpoint_every: u64,
+    /// Controller silence deadline in stream seconds: a suspect
+    /// partition whose acks trail the stream clock by more than this
+    /// is declared dead and failed over.
+    pub silence_deadline: u64,
+    /// Drill: SIGKILL partition P's collector after it has been
+    /// handed N readings (`P:N`).
+    pub kill: Option<(usize, u64)>,
+    /// Standby adoption attempts before a partition orphans.
+    pub handoff_attempts: u32,
+    /// Uplink ack deadline in milliseconds.
+    pub ack_timeout_ms: u64,
+    /// Uplink attempts per frame before the link is declared down.
+    pub max_attempts: u32,
+    /// First uplink backoff delay in milliseconds.
+    pub backoff_base_ms: u64,
+    /// Uplink backoff ceiling in milliseconds.
+    pub backoff_cap_ms: u64,
+    /// Uplink backoff jitter ceiling as a percentage (0 = fully
+    /// deterministic, the drill setting).
+    pub jitter_pct: u32,
+    /// Readings per pipelined v2 batch.
+    pub batch_size: usize,
+    /// Emit the report as one summary line per sensor only.
+    pub quiet: bool,
+}
+
+/// Parses a `--kill` drill spec `PARTITION:AFTER`.
+pub fn parse_kill(spec: &str) -> Result<(usize, u64), ParseError> {
+    let (p, after) = spec
+        .split_once(':')
+        .ok_or_else(|| ParseError(format!("kill spec {spec:?} needs PARTITION:AFTER")))?;
+    let p: usize = p
+        .parse()
+        .map_err(|e| ParseError(format!("bad kill partition {p:?}: {e}")))?;
+    let after: u64 = after
+        .parse()
+        .map_err(|e| ParseError(format!("bad kill coordinate {after:?}: {e}")))?;
+    Ok((p, after))
+}
+
 /// Parse failure with a user-facing message.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError(pub String);
@@ -154,6 +222,15 @@ USAGE:
   sentinet replay-wal --wal-dir DIR [--period SECS] [--window SAMPLES]
                     [--trim FRACTION] [--watermark SECS] [--shards N]
                     [--quiet]
+  sentinet federate <trace.csv> --wal-root DIR [--partitions N]
+                    [--standbys N] [--protocol v1|v2] [--period SECS]
+                    [--window SAMPLES] [--trim FRACTION]
+                    [--fsync never|batch:N|always] [--watermark SECS]
+                    [--checkpoint-every N] [--silence-deadline SECS]
+                    [--kill PARTITION:AFTER] [--handoff-attempts N]
+                    [--ack-timeout-ms N] [--max-attempts N]
+                    [--backoff-base-ms N] [--backoff-cap-ms N]
+                    [--jitter-pct N] [--batch-size N] [--quiet]
   sentinet help
 
 LIVE INGEST (serve / replay-wal):
@@ -169,6 +246,21 @@ LIVE INGEST (serve / replay-wal):
   by a durable checkpoint are deleted after the checkpoint commits, and
   when nothing is reclaimable new records are shed with counted NACKs
   instead of breaching the budget.
+
+FEDERATION (federate):
+  federate splits the trace's sensors evenly over N collector
+  partitions, spawns one `sentinet serve` child per partition, and
+  routes every reading through the real uplink. A partition that stops
+  acking turns suspect; once its last ack trails the stream clock by
+  more than --silence-deadline it is declared dead and a standby
+  adopts its WAL (checkpoint snapshot restore + tail replay), with the
+  controller redelivering the routed backlog. With no standby left the
+  partition orphans: readings NACK, counted, never dropped. The fleet
+  diagnosis goes to stdout (byte-comparable across drilled and
+  uninterrupted runs); federation events and merged counters go to
+  stderr; exit status 3 flags a diagnosis or a degraded fleet.
+  --kill P:N SIGKILLs partition P's collector mid-stream — the
+  failover drill.
 
 CHAOS TESTING (analyze):
   --chaos-seed S           inject a seeded, replayable fault plan
@@ -536,8 +628,172 @@ pub fn parse<'a, I: IntoIterator<Item = &'a str>>(args: I) -> Result<Command, Pa
             }
             Ok(Command::ReplayWal(parsed))
         }
+        Some("federate") => {
+            let input = take_value("federate", &mut it)
+                .map_err(|_| ParseError("federate needs an input path".into()))?
+                .to_string();
+            let mut wal_root = None;
+            let mut parsed = FederateArgs {
+                input,
+                wal_root: String::new(),
+                partitions: 2,
+                standbys: 1,
+                v2: false,
+                period: 300,
+                window: 12,
+                trim: 0.15,
+                fsync: "batch:64".into(),
+                watermark: 1800,
+                checkpoint_every: 256,
+                silence_deadline: 3600,
+                kill: None,
+                handoff_attempts: 4,
+                ack_timeout_ms: 500,
+                max_attempts: 8,
+                backoff_base_ms: 25,
+                backoff_cap_ms: 2000,
+                jitter_pct: 50,
+                batch_size: 8,
+                quiet: false,
+            };
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--wal-root" => wal_root = Some(take_value(flag, &mut it)?.to_string()),
+                    "--partitions" => {
+                        parsed.partitions = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad --partitions: {e}")))?
+                    }
+                    "--standbys" => {
+                        parsed.standbys = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad --standbys: {e}")))?
+                    }
+                    "--protocol" => {
+                        parsed.v2 = match take_value(flag, &mut it)? {
+                            "v1" => false,
+                            "v2" => true,
+                            other => {
+                                return Err(ParseError(format!(
+                                    "unknown protocol {other:?} (v1|v2)"
+                                )))
+                            }
+                        }
+                    }
+                    "--period" => {
+                        parsed.period = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad --period: {e}")))?
+                    }
+                    "--window" => {
+                        parsed.window = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad --window: {e}")))?
+                    }
+                    "--trim" => {
+                        parsed.trim = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad --trim: {e}")))?
+                    }
+                    "--fsync" => {
+                        let text = take_value(flag, &mut it)?;
+                        FsyncPolicy::parse(text)
+                            .map_err(|e| ParseError(format!("bad --fsync: {e}")))?;
+                        parsed.fsync = text.to_string();
+                    }
+                    "--watermark" => {
+                        parsed.watermark = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad --watermark: {e}")))?
+                    }
+                    "--checkpoint-every" => {
+                        parsed.checkpoint_every = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad --checkpoint-every: {e}")))?
+                    }
+                    "--silence-deadline" => {
+                        parsed.silence_deadline = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad --silence-deadline: {e}")))?
+                    }
+                    "--kill" => parsed.kill = Some(parse_kill(take_value(flag, &mut it)?)?),
+                    "--handoff-attempts" => {
+                        parsed.handoff_attempts = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad --handoff-attempts: {e}")))?
+                    }
+                    "--ack-timeout-ms" => {
+                        parsed.ack_timeout_ms = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad --ack-timeout-ms: {e}")))?
+                    }
+                    "--max-attempts" => {
+                        parsed.max_attempts = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad --max-attempts: {e}")))?
+                    }
+                    "--backoff-base-ms" => {
+                        parsed.backoff_base_ms = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad --backoff-base-ms: {e}")))?
+                    }
+                    "--backoff-cap-ms" => {
+                        parsed.backoff_cap_ms = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad --backoff-cap-ms: {e}")))?
+                    }
+                    "--jitter-pct" => {
+                        parsed.jitter_pct = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad --jitter-pct: {e}")))?
+                    }
+                    "--batch-size" => {
+                        let n: usize = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad --batch-size: {e}")))?;
+                        if n == 0 {
+                            return Err(ParseError("--batch-size must be positive".into()));
+                        }
+                        parsed.batch_size = n;
+                    }
+                    "--quiet" => parsed.quiet = true,
+                    other => return Err(ParseError(format!("unknown flag {other:?}"))),
+                }
+            }
+            parsed.wal_root =
+                wal_root.ok_or_else(|| ParseError("federate needs --wal-root".into()))?;
+            if parsed.period == 0 || parsed.window == 0 || !(0.0..0.5).contains(&parsed.trim) {
+                return Err(ParseError(
+                    "--period/--window must be positive, --trim in [0, 0.5)".into(),
+                ));
+            }
+            if parsed.partitions == 0 {
+                return Err(ParseError("--partitions must be at least 1".into()));
+            }
+            if parsed.silence_deadline == 0 {
+                return Err(ParseError(
+                    "--silence-deadline must be positive (the controller cannot \
+                     declare death without a deadline)"
+                        .into(),
+                ));
+            }
+            if parsed.handoff_attempts == 0 || parsed.max_attempts == 0 {
+                return Err(ParseError(
+                    "--handoff-attempts and --max-attempts must be at least 1".into(),
+                ));
+            }
+            if let Some((p, _)) = parsed.kill {
+                if p >= parsed.partitions {
+                    return Err(ParseError(format!(
+                        "--kill partition {p} out of range (0..{})",
+                        parsed.partitions
+                    )));
+                }
+            }
+            Ok(Command::Federate(parsed))
+        }
         Some(other) => Err(ParseError(format!(
-            "unknown command {other:?} (simulate|analyze|serve|replay-wal|help)"
+            "unknown command {other:?} (simulate|analyze|serve|replay-wal|federate|help)"
         ))),
     }
 }
@@ -761,6 +1017,136 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("shards"));
+    }
+
+    #[test]
+    fn federate_defaults_and_flags() {
+        match parse(["federate", "t.csv", "--wal-root", "/tmp/fleet"]).unwrap() {
+            Command::Federate(a) => {
+                assert_eq!(a.input, "t.csv");
+                assert_eq!(a.wal_root, "/tmp/fleet");
+                assert_eq!(a.partitions, 2);
+                assert_eq!(a.standbys, 1);
+                assert!(!a.v2);
+                assert_eq!(a.fsync, "batch:64");
+                assert_eq!(a.silence_deadline, 3600);
+                assert_eq!(a.kill, None);
+                assert_eq!(a.handoff_attempts, 4);
+                assert_eq!(a.jitter_pct, 50);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse([
+            "federate",
+            "t.csv",
+            "--wal-root",
+            "w",
+            "--partitions",
+            "3",
+            "--standbys",
+            "0",
+            "--protocol",
+            "v2",
+            "--fsync",
+            "never",
+            "--silence-deadline",
+            "900",
+            "--kill",
+            "1:40",
+            "--handoff-attempts",
+            "2",
+            "--ack-timeout-ms",
+            "200",
+            "--max-attempts",
+            "3",
+            "--backoff-base-ms",
+            "5",
+            "--backoff-cap-ms",
+            "50",
+            "--jitter-pct",
+            "0",
+            "--batch-size",
+            "16",
+            "--quiet",
+        ])
+        .unwrap()
+        {
+            Command::Federate(a) => {
+                assert_eq!(a.partitions, 3);
+                assert_eq!(a.standbys, 0);
+                assert!(a.v2);
+                assert_eq!(a.fsync, "never");
+                assert_eq!(a.silence_deadline, 900);
+                assert_eq!(a.kill, Some((1, 40)));
+                assert_eq!(a.handoff_attempts, 2);
+                assert_eq!(a.ack_timeout_ms, 200);
+                assert_eq!(a.max_attempts, 3);
+                assert_eq!(a.backoff_base_ms, 5);
+                assert_eq!(a.backoff_cap_ms, 50);
+                assert_eq!(a.jitter_pct, 0);
+                assert_eq!(a.batch_size, 16);
+                assert!(a.quiet);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn federate_validation_is_descriptive() {
+        assert!(parse(["federate"])
+            .unwrap_err()
+            .to_string()
+            .contains("input path"));
+        assert!(parse(["federate", "t.csv"])
+            .unwrap_err()
+            .to_string()
+            .contains("wal-root"));
+        assert!(
+            parse(["federate", "t.csv", "--wal-root", "w", "--partitions", "0"])
+                .unwrap_err()
+                .to_string()
+                .contains("partitions")
+        );
+        assert!(
+            parse(["federate", "t.csv", "--wal-root", "w", "--protocol", "v3"])
+                .unwrap_err()
+                .to_string()
+                .contains("protocol")
+        );
+        assert!(
+            parse(["federate", "t.csv", "--wal-root", "w", "--kill", "7:10"])
+                .unwrap_err()
+                .to_string()
+                .contains("out of range")
+        );
+        assert!(
+            parse(["federate", "t.csv", "--wal-root", "w", "--kill", "bogus"])
+                .unwrap_err()
+                .to_string()
+                .contains("PARTITION:AFTER")
+        );
+        assert!(parse([
+            "federate",
+            "t.csv",
+            "--wal-root",
+            "w",
+            "--silence-deadline",
+            "0"
+        ])
+        .unwrap_err()
+        .to_string()
+        .contains("silence-deadline"));
+        assert!(parse([
+            "federate",
+            "t.csv",
+            "--wal-root",
+            "w",
+            "--fsync",
+            "sometimes"
+        ])
+        .unwrap_err()
+        .to_string()
+        .contains("fsync"));
     }
 
     #[test]

@@ -16,12 +16,17 @@
 
 mod args;
 
-use args::{AnalyzeArgs, Command, ReplayWalArgs, ServeArgs, SimulateArgs, USAGE};
+use args::{AnalyzeArgs, Command, FederateArgs, ReplayWalArgs, ServeArgs, SimulateArgs, USAGE};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sentinet_controller::{
+    Federation, FederationConfig, PartitionMap, ProcessBackend, ProcessConfig, WireProtocol,
+};
 use sentinet_core::{Pipeline, PipelineConfig, PipelineReport, RecoveryPlan};
 use sentinet_engine::{ChaosPlan, Engine, SupervisorConfig};
-use sentinet_gateway::{Collector, GatewayConfig, GatewayReport, Server, ServerConfig};
+use sentinet_gateway::{
+    Collector, GatewayConfig, GatewayReport, Server, ServerConfig, UplinkConfig,
+};
 use sentinet_inject::{inject_attacks, inject_faults, AttackInjection, FaultInjection};
 use sentinet_sim::{gdi, read_trace_sanitized, simulate, write_trace, SensorId, DAY_S};
 use std::fs::File;
@@ -46,6 +51,7 @@ fn main() -> ExitCode {
         Command::Analyze(a) => run_analyze(a),
         Command::Serve(a) => run_serve(a),
         Command::ReplayWal(a) => run_replay_wal(a),
+        Command::Federate(a) => run_federate(a),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -302,6 +308,100 @@ fn run_serve(a: ServeArgs) -> Result<(), Box<dyn std::error::Error>> {
     }
     let report = collector.finish()?;
     finish_gateway_report(&report, a.quiet);
+    Ok(())
+}
+
+fn run_federate(a: FederateArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let file = File::open(&a.input)?;
+    let (trace, ingest) = read_trace_sanitized(BufReader::new(file))?;
+    if !ingest.is_clean() {
+        eprintln!(
+            "warning: ingest rejected {} of {} delivered record(s)",
+            ingest.rejected.len(),
+            ingest.accepted + ingest.rejected.len()
+        );
+    }
+    if trace.is_empty() {
+        return Err("trace contains no records".into());
+    }
+    let num_sensors = trace
+        .delivered()
+        .map(|(_, sensor, _)| sensor.0 + 1)
+        .max()
+        .ok_or("trace delivered no records")?;
+    if (a.partitions as u64) > u64::from(num_sensors) {
+        return Err(format!(
+            "cannot split {num_sensors} sensor(s) over {} partitions",
+            a.partitions
+        )
+        .into());
+    }
+
+    let mut uplink = UplinkConfig::new("");
+    uplink.ack_timeout = std::time::Duration::from_millis(a.ack_timeout_ms);
+    uplink.max_attempts = a.max_attempts;
+    uplink.backoff_base = std::time::Duration::from_millis(a.backoff_base_ms);
+    uplink.backoff_cap = std::time::Duration::from_millis(a.backoff_cap_ms);
+    uplink.jitter_pct = a.jitter_pct;
+    let backend = ProcessBackend::new(ProcessConfig {
+        binary: std::env::current_exe()?,
+        wal_root: a.wal_root.clone().into(),
+        standbys: a.standbys,
+        protocol: if a.v2 {
+            WireProtocol::V2
+        } else {
+            WireProtocol::V1
+        },
+        serve_flags: vec![
+            "--period".into(),
+            a.period.to_string(),
+            "--window".into(),
+            a.window.to_string(),
+            "--trim".into(),
+            a.trim.to_string(),
+            "--fsync".into(),
+            a.fsync.clone(),
+            "--watermark".into(),
+            a.watermark.to_string(),
+            "--checkpoint-every".into(),
+            a.checkpoint_every.to_string(),
+        ],
+        uplink,
+        batch_size: a.batch_size,
+        kills: a.kill.into_iter().collect(),
+        replay: gateway_config(&a.wal_root, a.period, a.window, a.trim, a.watermark),
+    });
+
+    let map = PartitionMap::split_even(num_sensors, a.partitions);
+    let mut config = FederationConfig {
+        silence_deadline: a.silence_deadline,
+        ..FederationConfig::default()
+    };
+    config.handoff.max_attempts = a.handoff_attempts;
+    let mut fed = Federation::new(map, config, backend)?;
+    for (time, sensor, reading) in trace.delivered() {
+        fed.route(sensor, time, reading.values())?;
+    }
+    let fleet = fed.finish()?;
+
+    // The run facts go to stderr; stdout stays byte-comparable across
+    // drilled and uninterrupted runs, mirroring serve/replay-wal.
+    for event in &fleet.events {
+        eprintln!("federation: {event}");
+    }
+    eprint!("{}", fleet.render_accounting());
+    if a.quiet {
+        for p in &fleet.partitions {
+            for s in &p.report.pipeline.sensors {
+                println!("{}\t{}", s.sensor, s.diagnosis);
+            }
+        }
+    } else {
+        print!("{}", fleet.render_diagnosis());
+    }
+    if fleet.flagged() {
+        std::process::exit(3);
+    }
     Ok(())
 }
 

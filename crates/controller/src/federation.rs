@@ -1,0 +1,740 @@
+//! The federation engine: routes readings per-partition, watches
+//! liveness on the stream clock, and commits every partition-map
+//! transition. This file is the map's single commit path — the
+//! `partition-map-mutation` lint rejects `commit_owner` /
+//! `commit_health` calls anywhere else in library code.
+//!
+//! Failure model, mirroring the gateway's fail-stop discipline:
+//!
+//! - A link error or a storage-NACK streak marks the partition
+//!   `Suspect` and fences the link. Readings keep routing; they
+//!   buffer in the partition's routed log.
+//! - The controller clock is the maximum routed stream time (every
+//!   record advances it, whoever owns it), so a partition with no
+//!   live peers still ages. Once a suspect partition's last-acked
+//!   time trails the clock by more than the silence deadline it is
+//!   declared `Dead` and failover begins.
+//! - Failover starts a standby at the next epoch on the dead owner's
+//!   WAL directory: `Collector::open` restores the checkpoint-v2
+//!   snapshot and replays the WAL tail through the identical
+//!   admission path. The controller then redelivers its whole routed
+//!   log for the partition; WAL-append-gated dedup absorbs the
+//!   durable prefix and appends only the lost tail, in routed order —
+//!   which is what makes the merged report byte-identical to an
+//!   uninterrupted run.
+//! - When every attempt (capped exponential backoff) fails, the
+//!   partition is committed `Orphaned`: its readings NACK and are
+//!   counted, never silently dropped.
+
+use crate::partition::{PartitionHealth, PartitionId, PartitionMap};
+use crate::report::{FederationEvent, FleetReport, PartitionStatus};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sentinet_gateway::{backoff_delay, GatewayConfig, GatewayReport, RecoveryInfo};
+use sentinet_gateway::{Collector, ReportCounters, UplinkStats};
+use sentinet_sim::{SensorId, Timestamp};
+use std::fmt;
+use std::path::Path;
+use std::time::Duration;
+
+/// A link to a partition's owner died (connection loss, exhausted
+/// retries, drilled kill …). The partition turns `Suspect`.
+#[derive(Debug)]
+pub struct LinkDown(pub String);
+
+impl fmt::Display for LinkDown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A backend operation (start, finish, merge) failed.
+#[derive(Debug)]
+pub struct BackendError(pub String);
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// What a link did with one reading.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkReply {
+    /// Durably admitted (v1 stop-and-wait, or in-process deliver).
+    Acked,
+    /// Accepted into a pipelined window; durable only after the next
+    /// successful [`PartitionLink::flush`].
+    Pipelined,
+    /// The collector refused it (storage poisoned or budget shed) —
+    /// fail-stop NACK, counted by the caller.
+    Nacked,
+}
+
+/// One uplink to one partition's owning collector.
+pub trait PartitionLink {
+    /// Delivers one reading under the controller-assigned sequence
+    /// number.
+    ///
+    /// # Errors
+    ///
+    /// [`LinkDown`] when the owner is unreachable.
+    fn send(
+        &mut self,
+        sensor: SensorId,
+        seq: u64,
+        time: Timestamp,
+        values: &[f64],
+    ) -> Result<LinkReply, LinkDown>;
+
+    /// Drains any pipelined window; on success everything previously
+    /// [`LinkReply::Pipelined`] is durable.
+    ///
+    /// # Errors
+    ///
+    /// [`LinkDown`] when the owner is unreachable.
+    fn flush(&mut self) -> Result<(), LinkDown>;
+
+    /// Wire counters accumulated by this link (zeros for in-process
+    /// links, which have no wire).
+    fn stats(&self) -> UplinkStats {
+        UplinkStats::default()
+    }
+}
+
+/// Starts, fences, closes and merges partition owners. Implementations
+/// decide what a "collector" is — an in-process [`Collector`]
+/// (`InProcessBackend`) or a spawned `sentinet serve` child
+/// (`ProcessBackend`).
+pub trait PartitionBackend {
+    /// The link type this backend hands out.
+    type Link: PartitionLink;
+
+    /// Starts (epoch 1) or adopts (epoch > 1) the owner of `p`.
+    /// Adoption opens the dead owner's WAL directory, restoring its
+    /// checkpoint snapshot and replaying the tail.
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError`] when no owner/standby can start.
+    fn start(&mut self, p: PartitionId, epoch: u64) -> Result<Self::Link, BackendError>;
+
+    /// Forcibly retires a link whose owner is presumed dead or
+    /// wedged. Must be idempotent with the owner already gone.
+    fn fence(&mut self, p: PartitionId, link: Self::Link);
+
+    /// Gracefully closes a healthy owner.
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError`] when the close handshake fails (the data is
+    /// already durable; callers record the event and move on).
+    fn finish(&mut self, p: PartitionId, link: Self::Link) -> Result<(), BackendError>;
+
+    /// Rebuilds `p`'s final report by replaying its WAL through the
+    /// identical admission path.
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError`] when the replay fails.
+    fn merge_report(&mut self, p: PartitionId) -> Result<GatewayReport, BackendError>;
+}
+
+/// Retry policy for standby adoption: capped exponential backoff with
+/// optional seeded jitter (defaults keep it deterministic and fast —
+/// drills compress time; production deployments raise the caps).
+#[derive(Debug, Clone)]
+pub struct HandoffPolicy {
+    /// Adoption attempts before orphaning the partition.
+    pub max_attempts: u32,
+    /// First retry delay.
+    pub backoff_base: Duration,
+    /// Delay ceiling.
+    pub backoff_cap: Duration,
+    /// Jitter ceiling as a percentage of the delay (0 = none).
+    pub jitter_pct: u32,
+    /// Seed for the jitter RNG.
+    pub jitter_seed: u64,
+}
+
+impl Default for HandoffPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(100),
+            jitter_pct: 0,
+            jitter_seed: 11,
+        }
+    }
+}
+
+/// Federation tuning.
+#[derive(Debug, Clone)]
+pub struct FederationConfig {
+    /// Declare a suspect partition dead once its last-acked stream
+    /// time trails the controller clock by more than this (stream
+    /// seconds — one sensor sampling period is 300).
+    pub silence_deadline: Timestamp,
+    /// Consecutive storage NACKs before a partition turns suspect.
+    pub storage_strikes: u32,
+    /// Flush pipelined links every N routed readings per partition.
+    pub flush_every: usize,
+    /// Standby adoption retry policy.
+    pub handoff: HandoffPolicy,
+}
+
+impl Default for FederationConfig {
+    fn default() -> Self {
+        Self {
+            silence_deadline: 3600,
+            storage_strikes: 3,
+            flush_every: 32,
+            handoff: HandoffPolicy::default(),
+        }
+    }
+}
+
+/// A federation-level failure (routing or merging — owner failures
+/// are handled, not returned).
+#[derive(Debug)]
+pub enum FederationError {
+    /// A reading's sensor falls outside every partition range.
+    Unroutable {
+        /// The offending sensor.
+        sensor: SensorId,
+    },
+    /// An initial (epoch 1) owner could not start.
+    Bootstrap {
+        /// The partition.
+        partition: PartitionId,
+        /// The backend's complaint.
+        detail: String,
+    },
+    /// A partition's WAL replay failed during the final merge.
+    Merge {
+        /// The partition.
+        partition: PartitionId,
+        /// The backend's complaint.
+        detail: String,
+    },
+}
+
+impl fmt::Display for FederationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FederationError::Unroutable { sensor } => {
+                write!(f, "sensor {sensor} falls outside every partition range")
+            }
+            FederationError::Bootstrap { partition, detail } => {
+                write!(f, "partition {partition} failed to start: {detail}")
+            }
+            FederationError::Merge { partition, detail } => {
+                write!(f, "partition {partition} failed to merge: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FederationError {}
+
+/// Replays the WAL in `dir` through the identical admission path and
+/// returns the rebuilt report — the shared merge primitive for every
+/// backend. Checkpointing is disabled (offline replay must not
+/// rewrite the log) and storage faults/budgets are cleared: the merge
+/// reads what the owners wrote, it does not re-run their chaos.
+///
+/// # Errors
+///
+/// [`BackendError`] when the WAL cannot be opened or replayed.
+pub fn replay_report(
+    template: &GatewayConfig,
+    dir: &Path,
+) -> Result<(GatewayReport, RecoveryInfo), BackendError> {
+    let mut config = template.clone();
+    config.wal = sentinet_gateway::WalConfig::new(dir);
+    config.wal.segment_max_bytes = template.wal.segment_max_bytes;
+    config.checkpoint_every = 0;
+    let (collector, info) = Collector::open(config).map_err(|e| BackendError(e.to_string()))?;
+    let report = collector
+        .finish()
+        .map_err(|e| BackendError(e.to_string()))?;
+    Ok((report, info))
+}
+
+/// Accumulated wire counters for one partition, across every epoch's
+/// link.
+#[derive(Debug, Default, Clone, Copy)]
+struct WireTotals {
+    frames_sent: u64,
+    retransmits: u64,
+    timeouts: u64,
+    nacks: u64,
+    reconnects: u64,
+    acked: u64,
+}
+
+impl WireTotals {
+    fn add(&mut self, s: UplinkStats) {
+        self.frames_sent += s.frames_sent;
+        self.retransmits += s.retransmits;
+        self.timeouts += s.timeouts;
+        self.nacks += s.nacks;
+        self.reconnects += s.reconnects;
+        self.acked += s.acked;
+    }
+}
+
+/// One reading in a partition's routed log, with its controller-
+/// assigned per-sensor sequence number (a property of the log, never
+/// reassigned across epochs — redelivery replays the same numbers).
+#[derive(Debug, Clone)]
+struct Routed {
+    sensor: SensorId,
+    seq: u64,
+    time: Timestamp,
+    values: Vec<f64>,
+}
+
+struct PartitionState<L> {
+    link: Option<L>,
+    routed: Vec<Routed>,
+    /// Next routed index to hand to the link.
+    sent: usize,
+    /// Routed prefix known durable on the owner.
+    acked: usize,
+    /// Pipelined-but-unflushed readings on the current link.
+    unflushed: usize,
+    /// Next per-sensor sequence number for new routed readings.
+    seq_next: std::collections::BTreeMap<SensorId, u64>,
+    /// Stream time of the last durable reading.
+    progress: Option<Timestamp>,
+    strikes: u32,
+    orphan_nacks: u64,
+    failovers: u32,
+    redelivered: u64,
+    wire: WireTotals,
+}
+
+impl<L> PartitionState<L> {
+    fn new() -> Self {
+        Self {
+            link: None,
+            routed: Vec::new(),
+            sent: 0,
+            acked: 0,
+            unflushed: 0,
+            seq_next: std::collections::BTreeMap::new(),
+            progress: None,
+            strikes: 0,
+            orphan_nacks: 0,
+            failovers: 0,
+            redelivered: 0,
+            wire: WireTotals::default(),
+        }
+    }
+}
+
+/// The controller: partition map + per-partition state + backend.
+pub struct Federation<B: PartitionBackend> {
+    map: PartitionMap,
+    config: FederationConfig,
+    backend: B,
+    states: Vec<PartitionState<B::Link>>,
+    /// Max routed stream time — the liveness clock.
+    clock: Timestamp,
+    events: Vec<FederationEvent>,
+    rng: StdRng,
+}
+
+impl<B: PartitionBackend> Federation<B> {
+    /// Starts every partition's epoch-1 owner.
+    ///
+    /// # Errors
+    ///
+    /// [`FederationError::Bootstrap`] when any initial owner refuses
+    /// to start (bootstrap is not retried — there is nothing to fail
+    /// over *from* yet).
+    pub fn new(
+        map: PartitionMap,
+        config: FederationConfig,
+        backend: B,
+    ) -> Result<Self, FederationError> {
+        let seed = config.handoff.jitter_seed;
+        let mut fed = Self {
+            map,
+            config,
+            backend,
+            states: Vec::new(),
+            clock: 0,
+            events: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+        };
+        for p in 0..fed.map.len() {
+            let link = fed
+                .backend
+                .start(p, 1)
+                .map_err(|e| FederationError::Bootstrap {
+                    partition: p,
+                    detail: e.to_string(),
+                })?;
+            fed.map.commit_owner(p, 1);
+            let mut state = PartitionState::new();
+            state.link = Some(link);
+            fed.states.push(state);
+        }
+        Ok(fed)
+    }
+
+    /// The current liveness clock (max routed stream time).
+    pub fn clock(&self) -> Timestamp {
+        self.clock
+    }
+
+    /// Read access to the backend (drills inspect adoption
+    /// [`RecoveryInfo`] through this).
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// The current health of partition `p`.
+    pub fn health(&self, p: PartitionId) -> PartitionHealth {
+        self.map.health(p)
+    }
+
+    /// The federation event log so far.
+    pub fn events(&self) -> &[FederationEvent] {
+        &self.events
+    }
+
+    /// Routes one reading to its partition's owner. Readings for
+    /// suspect partitions buffer (redelivery covers them after
+    /// failover); readings for orphaned partitions NACK and are
+    /// counted.
+    ///
+    /// # Errors
+    ///
+    /// [`FederationError::Unroutable`] when no partition owns the
+    /// sensor. Owner failures are absorbed into the health machine,
+    /// never returned.
+    pub fn route(
+        &mut self,
+        sensor: SensorId,
+        time: Timestamp,
+        values: &[f64],
+    ) -> Result<(), FederationError> {
+        self.clock = self.clock.max(time);
+        let p = self
+            .map
+            .partition_of(sensor)
+            .ok_or(FederationError::Unroutable { sensor })?;
+        let state = &mut self.states[p];
+        let seq = {
+            let next = state.seq_next.entry(sensor).or_insert(0);
+            let seq = *next;
+            *next += 1;
+            seq
+        };
+        state.routed.push(Routed {
+            sensor,
+            seq,
+            time,
+            values: values.to_vec(),
+        });
+        match self.map.health(p) {
+            PartitionHealth::Ok => {
+                if let Err(reason) = self.drive(p) {
+                    self.suspect(p, reason);
+                }
+            }
+            PartitionHealth::Orphaned => self.states[p].orphan_nacks += 1,
+            // Suspect readings buffer; Dead/HandingOff never outlive
+            // the failover call that commits them.
+            _ => {}
+        }
+        self.check_liveness();
+        Ok(())
+    }
+
+    /// Delivers the routed backlog of `p` over its current link.
+    /// Returns `Err(reason)` on link loss or a NACK streak; NACK
+    /// stalls short of the streak threshold return `Ok` and retry on
+    /// the next route.
+    fn drive(&mut self, p: PartitionId) -> Result<(), String> {
+        let flush_every = self.config.flush_every.max(1);
+        let strikes_cap = self.config.storage_strikes.max(1);
+        let state = &mut self.states[p];
+        let Some(link) = state.link.as_mut() else {
+            return Err("no link to a partition marked ok".into());
+        };
+        while state.sent < state.routed.len() {
+            let r = &state.routed[state.sent];
+            match link.send(r.sensor, r.seq, r.time, &r.values) {
+                Ok(LinkReply::Acked) => {
+                    state.sent += 1;
+                    state.acked = state.sent;
+                    state.progress = Some(r.time);
+                    state.strikes = 0;
+                }
+                Ok(LinkReply::Pipelined) => {
+                    state.sent += 1;
+                    state.unflushed += 1;
+                    state.strikes = 0;
+                    if state.unflushed >= flush_every {
+                        link.flush().map_err(|e| e.to_string())?;
+                        state.acked = state.sent;
+                        state.unflushed = 0;
+                        state.progress = Some(state.routed[state.acked - 1].time);
+                    }
+                }
+                Ok(LinkReply::Nacked) => {
+                    state.strikes += 1;
+                    if state.strikes >= strikes_cap {
+                        return Err(format!(
+                            "storage NACK streak ({} consecutive)",
+                            state.strikes
+                        ));
+                    }
+                    // Leave the reading queued; the next route retries
+                    // and the streak either clears or trips.
+                    return Ok(());
+                }
+                Err(down) => return Err(down.to_string()),
+            }
+        }
+        Ok(())
+    }
+
+    /// Like [`Self::drive`], then drains any pipelined window so the
+    /// whole backlog is durable.
+    fn drive_and_flush(&mut self, p: PartitionId) -> Result<(), String> {
+        self.drive(p)?;
+        let state = &mut self.states[p];
+        if state.acked < state.sent {
+            if let Some(link) = state.link.as_mut() {
+                link.flush().map_err(|e| e.to_string())?;
+                state.acked = state.sent;
+                state.unflushed = 0;
+                state.progress = Some(state.routed[state.acked - 1].time);
+            }
+        }
+        Ok(())
+    }
+
+    /// Commits `Ok → Suspect` and fences the link. Anything the link
+    /// pipelined but never flushed is no longer known durable.
+    fn suspect(&mut self, p: PartitionId, reason: String) {
+        if self.map.health(p) != PartitionHealth::Ok {
+            return;
+        }
+        self.map.commit_health(p, PartitionHealth::Suspect);
+        self.events.push(FederationEvent::Suspect {
+            partition: p,
+            at: self.clock,
+            reason,
+        });
+        let state = &mut self.states[p];
+        state.sent = state.acked;
+        state.unflushed = 0;
+        if let Some(link) = state.link.take() {
+            state.wire.add(link.stats());
+            self.backend.fence(p, link);
+        }
+    }
+
+    /// Declares suspect partitions dead once the clock outruns their
+    /// progress by more than the silence deadline, and fails them
+    /// over.
+    fn check_liveness(&mut self) {
+        for p in 0..self.map.len() {
+            if self.map.health(p) != PartitionHealth::Suspect {
+                continue;
+            }
+            let last = self.states[p].progress;
+            let silent_for = self.clock.saturating_sub(last.unwrap_or(0));
+            if silent_for > self.config.silence_deadline {
+                self.events.push(FederationEvent::Dead {
+                    partition: p,
+                    at: self.clock,
+                    last_acked: last,
+                    deadline: self.config.silence_deadline,
+                });
+                self.map.commit_health(p, PartitionHealth::Dead);
+                self.failover(p);
+            }
+        }
+    }
+
+    /// Adopts partition `p` on a standby: `Dead → HandingOff`, then
+    /// retry `backend.start` under capped exponential backoff,
+    /// redelivering the whole routed log on each adopted link (dedup
+    /// absorbs the durable prefix). Exhaustion commits `Orphaned`.
+    fn failover(&mut self, p: PartitionId) {
+        self.map.commit_health(p, PartitionHealth::HandingOff);
+        let policy = self.config.handoff.clone();
+        for attempt in 1..=policy.max_attempts.max(1) {
+            if attempt > 1 {
+                let delay = backoff_delay(
+                    &mut self.rng,
+                    policy.backoff_base,
+                    policy.backoff_cap,
+                    policy.jitter_pct,
+                    attempt - 1,
+                );
+                std::thread::sleep(delay);
+            }
+            let epoch = self.map.epoch(p) + 1;
+            self.events.push(FederationEvent::HandoffAttempt {
+                partition: p,
+                attempt,
+                epoch,
+            });
+            let link = match self.backend.start(p, epoch) {
+                Ok(link) => link,
+                Err(_) => continue,
+            };
+            self.map.commit_owner(p, epoch);
+            let state = &mut self.states[p];
+            state.link = Some(link);
+            state.sent = 0;
+            state.acked = 0;
+            state.unflushed = 0;
+            state.strikes = 0;
+            let backlog = state.routed.len() as u64;
+            match self.drive(p) {
+                Ok(()) => {
+                    let state = &mut self.states[p];
+                    state.redelivered += backlog;
+                    state.failovers += 1;
+                    self.map.commit_health(p, PartitionHealth::Ok);
+                    self.events.push(FederationEvent::FailedOver {
+                        partition: p,
+                        at: self.clock,
+                        epoch,
+                        redelivered: backlog,
+                    });
+                    return;
+                }
+                Err(_) => {
+                    let state = &mut self.states[p];
+                    state.redelivered += state.sent as u64;
+                    state.sent = state.acked;
+                    state.unflushed = 0;
+                    if let Some(link) = state.link.take() {
+                        state.wire.add(link.stats());
+                        self.backend.fence(p, link);
+                    }
+                }
+            }
+        }
+        self.map.commit_health(p, PartitionHealth::Orphaned);
+        let state = &mut self.states[p];
+        let unacked = (state.routed.len() - state.acked) as u64;
+        state.orphan_nacks += unacked;
+        self.events.push(FederationEvent::Orphaned {
+            partition: p,
+            at: self.clock,
+            attempts: policy.max_attempts.max(1),
+            nacked: unacked,
+        });
+    }
+
+    /// Ends the stream: settles every partition (draining backlogs,
+    /// failing suspects over immediately — the stream clock has
+    /// stopped, waiting on the deadline would wait forever), closes
+    /// healthy owners, then merges every partition's WAL replay into
+    /// the [`FleetReport`].
+    ///
+    /// # Errors
+    ///
+    /// [`FederationError::Merge`] when a partition's replay fails.
+    pub fn finish(mut self) -> Result<FleetReport, FederationError> {
+        for p in 0..self.map.len() {
+            // Each loop iteration either breaks or commits a health
+            // transition; Orphaned is terminal, so this terminates
+            // after at most a handful of failovers.
+            loop {
+                match self.map.health(p) {
+                    PartitionHealth::Ok => {
+                        if let Err(reason) = self.drive_and_flush(p) {
+                            self.suspect(p, reason);
+                            continue;
+                        }
+                        if self.states[p].acked < self.states[p].routed.len() {
+                            // A NACK stall with no more routes coming:
+                            // settle it through the failover machine.
+                            self.suspect(p, "unacked backlog at end of stream".into());
+                            continue;
+                        }
+                        break;
+                    }
+                    PartitionHealth::Suspect => {
+                        let last = self.states[p].progress;
+                        self.events.push(FederationEvent::Dead {
+                            partition: p,
+                            at: self.clock,
+                            last_acked: last,
+                            deadline: self.config.silence_deadline,
+                        });
+                        self.map.commit_health(p, PartitionHealth::Dead);
+                        self.failover(p);
+                    }
+                    PartitionHealth::Orphaned => break,
+                    // failover() never returns in these states.
+                    PartitionHealth::Dead | PartitionHealth::HandingOff => break,
+                }
+            }
+            let state = &mut self.states[p];
+            if let Some(link) = state.link.take() {
+                state.wire.add(link.stats());
+                if self.map.health(p) == PartitionHealth::Ok {
+                    if let Err(e) = self.backend.finish(p, link) {
+                        self.events.push(FederationEvent::FinishFailed {
+                            partition: p,
+                            detail: e.to_string(),
+                        });
+                    }
+                } else {
+                    self.backend.fence(p, link);
+                }
+            }
+        }
+
+        let mut partitions = Vec::with_capacity(self.map.len());
+        let mut counters = ReportCounters::default();
+        for p in 0..self.map.len() {
+            let report = self
+                .backend
+                .merge_report(p)
+                .map_err(|e| FederationError::Merge {
+                    partition: p,
+                    detail: e.to_string(),
+                })?;
+            let mut c = ReportCounters::from_report(&report);
+            let wire = self.states[p].wire;
+            c.frames_sent += wire.frames_sent;
+            c.retransmits += wire.retransmits;
+            c.timeouts += wire.timeouts;
+            c.nacks += wire.nacks;
+            c.reconnects += wire.reconnects;
+            c.uplink_acked += wire.acked;
+            counters.merge(&c);
+            let state = &self.states[p];
+            partitions.push(PartitionStatus {
+                partition: p,
+                range: self.map.range(p),
+                health: self.map.health(p),
+                epoch: self.map.epoch(p),
+                failovers: state.failovers,
+                orphan_nacks: state.orphan_nacks,
+                redelivered: state.redelivered,
+                report,
+            });
+        }
+        Ok(FleetReport {
+            partitions,
+            counters,
+            events: self.events,
+        })
+    }
+}

@@ -1,0 +1,189 @@
+//! In-process backend: each partition owner is a [`Collector`] in
+//! this process, one WAL directory per partition under a common
+//! root. This is the deterministic drill harness — no sockets, no
+//! wall-clock timeouts — and the reference implementation of the
+//! handoff contract: adoption is nothing but `Collector::open` on the
+//! dead owner's WAL directory (checkpoint-v2 snapshot restore plus
+//! WAL-tail replay through the identical admission path).
+
+use crate::chaos::{CollectorFault, DrillPlan};
+use crate::federation::{
+    replay_report, BackendError, LinkDown, LinkReply, PartitionBackend, PartitionLink,
+};
+use crate::partition::PartitionId;
+use sentinet_gateway::{
+    Collector, DeliverOutcome, FaultPlan, FaultSpec, FaultyVfs, GatewayConfig, RecoveryInfo,
+    StorageFault, VfsOp,
+};
+use sentinet_sim::{SensorId, Timestamp};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Backend running every partition owner as an in-process
+/// [`Collector`].
+pub struct InProcessBackend {
+    template: GatewayConfig,
+    wal_root: PathBuf,
+    standbys: usize,
+    drill: DrillPlan,
+    fired: Vec<bool>,
+    recoveries: Vec<Option<RecoveryInfo>>,
+}
+
+impl InProcessBackend {
+    /// A backend over `partitions` WAL directories
+    /// (`wal_root/p{N}`), cloned from `template` (its `wal.dir` is
+    /// ignored). `standbys` bounds how many adoptions (epoch > 1
+    /// starts) can ever succeed; `drill` breaks epoch-1 owners at the
+    /// planned coordinates.
+    pub fn new(
+        template: GatewayConfig,
+        wal_root: impl Into<PathBuf>,
+        partitions: usize,
+        standbys: usize,
+        drill: DrillPlan,
+    ) -> Self {
+        let fired = vec![false; drill.faults.len()];
+        Self {
+            template,
+            wal_root: wal_root.into(),
+            standbys,
+            drill,
+            fired,
+            recoveries: (0..partitions).map(|_| None).collect(),
+        }
+    }
+
+    /// The [`RecoveryInfo`] of the most recent `start` for `p` —
+    /// drills assert an adoption actually restored from a checkpoint
+    /// snapshot.
+    pub fn recovery(&self, p: PartitionId) -> Option<&RecoveryInfo> {
+        self.recoveries.get(p).and_then(Option::as_ref)
+    }
+
+    fn partition_dir(&self, p: PartitionId) -> PathBuf {
+        self.wal_root.join(format!("p{p}"))
+    }
+}
+
+/// Link to an in-process collector, with the drill's kill/hang
+/// coordinate armed.
+pub struct InProcessLink {
+    collector: Option<Collector>,
+    armed: Option<(u64, CollectorFault)>,
+    delivered: u64,
+}
+
+impl PartitionLink for InProcessLink {
+    fn send(
+        &mut self,
+        sensor: SensorId,
+        seq: u64,
+        time: Timestamp,
+        values: &[f64],
+    ) -> Result<LinkReply, LinkDown> {
+        if let Some((at, fault)) = self.armed {
+            if self.delivered >= at {
+                self.armed = None;
+                if fault == CollectorFault::Kill {
+                    // Process death: in-memory state gone, WAL stays.
+                    self.collector = None;
+                }
+                return Err(LinkDown(format!(
+                    "drill {fault:?} after {at} admitted reading(s)"
+                )));
+            }
+        }
+        let Some(collector) = self.collector.as_mut() else {
+            return Err(LinkDown("collector process is gone".into()));
+        };
+        match collector.deliver(sensor, seq, time, values.to_vec()) {
+            Ok(DeliverOutcome::Accepted) | Ok(DeliverOutcome::Duplicate) => {
+                self.delivered += 1;
+                Ok(LinkReply::Acked)
+            }
+            Ok(DeliverOutcome::Rejected(_)) => Ok(LinkReply::Nacked),
+            Err(e) => Err(LinkDown(e.to_string())),
+        }
+    }
+
+    fn flush(&mut self) -> Result<(), LinkDown> {
+        Ok(())
+    }
+}
+
+impl PartitionBackend for InProcessBackend {
+    type Link = InProcessLink;
+
+    fn start(&mut self, p: PartitionId, epoch: u64) -> Result<InProcessLink, BackendError> {
+        if epoch > 1 {
+            if self.standbys == 0 {
+                return Err(BackendError(format!(
+                    "no standby available to adopt partition {p}"
+                )));
+            }
+            self.standbys -= 1;
+        }
+        let mut config = self.template.clone();
+        config.wal.dir = self.partition_dir(p);
+        config.wal.vfs = Arc::new(sentinet_gateway::RealVfs);
+        let mut armed = None;
+        if epoch == 1 {
+            for (i, f) in self.drill.faults.iter().enumerate() {
+                if f.partition != p || self.fired[i] {
+                    continue;
+                }
+                self.fired[i] = true;
+                match f.fault {
+                    CollectorFault::Poison => {
+                        // ENOSPC on the (after_records + 1)th WAL
+                        // append: the collector fail-stops and NACKs.
+                        let plan = FaultPlan::new().with_fault(FaultSpec {
+                            path: String::new(),
+                            op: VfsOp::Append,
+                            nth: f.after_records + 1,
+                            kind: StorageFault::Enospc,
+                            count: 1,
+                        });
+                        config.wal.vfs = Arc::new(FaultyVfs::new(plan));
+                    }
+                    CollectorFault::Kill | CollectorFault::Hang => {
+                        armed = Some((f.after_records, f.fault));
+                    }
+                }
+                break;
+            }
+        }
+        let (collector, info) = Collector::open(config).map_err(|e| BackendError(e.to_string()))?;
+        self.recoveries[p] = Some(info);
+        Ok(InProcessLink {
+            collector: Some(collector),
+            armed,
+            delivered: 0,
+        })
+    }
+
+    fn fence(&mut self, _p: PartitionId, link: InProcessLink) {
+        // Dropping an unfinished collector is exactly a crash: its
+        // WAL keeps everything appended so far.
+        drop(link);
+    }
+
+    fn finish(&mut self, _p: PartitionId, link: InProcessLink) -> Result<(), BackendError> {
+        match link.collector {
+            Some(collector) => collector
+                .finish()
+                .map(|_| ())
+                .map_err(|e| BackendError(e.to_string())),
+            None => Ok(()),
+        }
+    }
+
+    fn merge_report(
+        &mut self,
+        p: PartitionId,
+    ) -> Result<sentinet_gateway::GatewayReport, BackendError> {
+        let dir = self.partition_dir(p);
+        replay_report(&self.template, &dir).map(|(report, _)| report)
+    }
+}

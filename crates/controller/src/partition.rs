@@ -1,0 +1,224 @@
+//! Sensor-range partition map: which collector owns which sensors.
+//!
+//! The map is deliberately dumb data — contiguous half-open sensor
+//! ranges, each with an owner epoch and a health state. All mutation
+//! goes through the two `commit_*` methods, and the
+//! `partition-map-mutation` xtask lint pins their call sites to the
+//! federation commit path (`crates/controller/src/federation.rs`), so
+//! no backend or report code can flip ownership behind the
+//! controller's back.
+
+use sentinet_sim::SensorId;
+use std::fmt;
+
+/// Index of a partition inside a [`PartitionMap`].
+pub type PartitionId = usize;
+
+/// Lifecycle of a partition's owning collector, as seen by the
+/// controller. The only transitions are the ones the federation
+/// engine commits: `Ok → Suspect` (transport failure or storage NACK
+/// streak), `Suspect → Dead` (silence deadline elapsed on the stream
+/// clock), `Dead → HandingOff` (standby adoption starting),
+/// `HandingOff → Ok` (handoff succeeded) or `HandingOff → Orphaned`
+/// (every attempt exhausted; readings NACK from here on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionHealth {
+    /// Owner is live and acking.
+    Ok,
+    /// Owner stopped acking; the silence clock is running.
+    Suspect,
+    /// Silence deadline elapsed; owner is declared dead.
+    Dead,
+    /// A standby is adopting the dead owner's WAL.
+    HandingOff,
+    /// No standby could adopt; readings are NACKed, never dropped.
+    Orphaned,
+}
+
+impl fmt::Display for PartitionHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PartitionHealth::Ok => "ok",
+            PartitionHealth::Suspect => "suspect",
+            PartitionHealth::Dead => "dead",
+            PartitionHealth::HandingOff => "handing-off",
+            PartitionHealth::Orphaned => "orphaned",
+        })
+    }
+}
+
+/// Contiguous half-open sensor range `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SensorRange {
+    /// First sensor id in the range.
+    pub start: u16,
+    /// One past the last sensor id in the range.
+    pub end: u16,
+}
+
+impl SensorRange {
+    /// Whether `sensor` falls inside this range.
+    pub fn contains(&self, sensor: SensorId) -> bool {
+        self.start <= sensor.0 && sensor.0 < self.end
+    }
+
+    /// Number of sensors in the range.
+    pub fn len(&self) -> u16 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether the range holds no sensors.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Display for SensorRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    range: SensorRange,
+    epoch: u64,
+    health: PartitionHealth,
+}
+
+/// The partition map: who owns which contiguous sensor range, at
+/// which epoch, in which health state.
+#[derive(Debug, Clone)]
+pub struct PartitionMap {
+    slots: Vec<Slot>,
+}
+
+impl PartitionMap {
+    /// Splits `num_sensors` sensors into `partitions` contiguous
+    /// ranges as evenly as possible (earlier partitions absorb the
+    /// remainder). Every partition starts at epoch 0 (no owner) in
+    /// [`PartitionHealth::Ok`]; the federation engine commits epoch 1
+    /// when it starts the initial owners.
+    pub fn split_even(num_sensors: u16, partitions: usize) -> Self {
+        assert!(
+            partitions > 0,
+            "a partition map needs at least one partition"
+        );
+        let n = partitions as u16;
+        let per = num_sensors / n.max(1);
+        let rem = num_sensors % n.max(1);
+        let mut slots = Vec::with_capacity(partitions);
+        let mut start = 0u16;
+        for i in 0..n {
+            let width = per + u16::from(i < rem);
+            slots.push(Slot {
+                range: SensorRange {
+                    start,
+                    end: start + width,
+                },
+                epoch: 0,
+                health: PartitionHealth::Ok,
+            });
+            start += width;
+        }
+        Self { slots }
+    }
+
+    /// Number of partitions.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the map holds no partitions (never true for a map from
+    /// [`PartitionMap::split_even`]).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The partition owning `sensor`, or `None` when the sensor falls
+    /// outside every range.
+    pub fn partition_of(&self, sensor: SensorId) -> Option<PartitionId> {
+        self.slots.iter().position(|s| s.range.contains(sensor))
+    }
+
+    /// The sensor range of partition `p`.
+    pub fn range(&self, p: PartitionId) -> SensorRange {
+        self.slots[p].range
+    }
+
+    /// The owner epoch of partition `p` (0 = never owned).
+    pub fn epoch(&self, p: PartitionId) -> u64 {
+        self.slots[p].epoch
+    }
+
+    /// The health of partition `p`.
+    pub fn health(&self, p: PartitionId) -> PartitionHealth {
+        self.slots[p].health
+    }
+
+    /// Commits a new owner epoch for partition `p`. Epochs only move
+    /// forward; committing a stale epoch is a controller bug.
+    ///
+    /// Only the federation commit path may call this (enforced by the
+    /// `partition-map-mutation` lint).
+    pub fn commit_owner(&mut self, p: PartitionId, epoch: u64) {
+        assert!(
+            epoch > self.slots[p].epoch,
+            "owner epoch must advance (partition {p}: {} -> {epoch})",
+            self.slots[p].epoch
+        );
+        self.slots[p].epoch = epoch;
+    }
+
+    /// Commits a health transition for partition `p`.
+    ///
+    /// Only the federation commit path may call this (enforced by the
+    /// `partition-map-mutation` lint).
+    pub fn commit_health(&mut self, p: PartitionId, health: PartitionHealth) {
+        self.slots[p].health = health;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_even_covers_every_sensor_exactly_once() {
+        let map = PartitionMap::split_even(10, 3);
+        assert_eq!(map.len(), 3);
+        assert_eq!(map.range(0), SensorRange { start: 0, end: 4 });
+        assert_eq!(map.range(1), SensorRange { start: 4, end: 7 });
+        assert_eq!(map.range(2), SensorRange { start: 7, end: 10 });
+        for s in 0..10u16 {
+            let owners: Vec<_> = (0..map.len())
+                .filter(|&p| map.range(p).contains(SensorId(s)))
+                .collect();
+            assert_eq!(owners.len(), 1, "sensor {s} owned by {owners:?}");
+        }
+        assert_eq!(map.partition_of(SensorId(10)), None);
+    }
+
+    #[test]
+    fn commit_owner_refuses_to_move_backwards() {
+        let mut map = PartitionMap::split_even(4, 2);
+        map.commit_owner(0, 1);
+        map.commit_owner(0, 2);
+        assert_eq!(map.epoch(0), 2);
+        let r = std::panic::catch_unwind(move || map.commit_owner(0, 2));
+        assert!(r.is_err(), "stale epoch commit must panic");
+    }
+
+    #[test]
+    fn health_displays_in_kebab_case() {
+        let all = [
+            PartitionHealth::Ok,
+            PartitionHealth::Suspect,
+            PartitionHealth::Dead,
+            PartitionHealth::HandingOff,
+            PartitionHealth::Orphaned,
+        ];
+        let shown: Vec<String> = all.iter().map(|h| h.to_string()).collect();
+        assert_eq!(shown, ["ok", "suspect", "dead", "handing-off", "orphaned"]);
+    }
+}

@@ -1,0 +1,212 @@
+//! Fleet-wide reporting: per-partition status plus merged counters.
+//!
+//! The same stdout/stderr split the CLI enforces for a single
+//! collector applies fleet-wide: [`FleetReport::render_diagnosis`] is
+//! the byte-comparable stdout half (identical across an uninterrupted
+//! run and a crash-plus-failover run over the same trace), while
+//! [`FleetReport::render_accounting`] carries epochs, failover counts
+//! and merged wire counters — facts about *this* run, not the data.
+
+use crate::partition::{PartitionHealth, PartitionId, SensorRange};
+use sentinet_gateway::{GatewayReport, ReportCounters};
+use sentinet_sim::Timestamp;
+use std::fmt;
+
+/// One federation lifecycle event, in commit order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FederationEvent {
+    /// A partition's owner stopped acking.
+    Suspect {
+        /// The partition.
+        partition: PartitionId,
+        /// Stream time when the suspicion was raised.
+        at: Timestamp,
+        /// What went wrong (transport loss, NACK streak, …).
+        reason: String,
+    },
+    /// The silence deadline elapsed; the owner is declared dead.
+    Dead {
+        /// The partition.
+        partition: PartitionId,
+        /// Stream time of the declaration.
+        at: Timestamp,
+        /// Stream time of the last acked reading (`None`: never acked).
+        last_acked: Option<Timestamp>,
+        /// The configured silence deadline, for the record.
+        deadline: Timestamp,
+    },
+    /// A handoff attempt is starting.
+    HandoffAttempt {
+        /// The partition.
+        partition: PartitionId,
+        /// 1-based attempt number.
+        attempt: u32,
+        /// The epoch the standby would own.
+        epoch: u64,
+    },
+    /// A standby adopted the partition's WAL and caught up.
+    FailedOver {
+        /// The partition.
+        partition: PartitionId,
+        /// Stream time when the handoff completed.
+        at: Timestamp,
+        /// The new owner epoch.
+        epoch: u64,
+        /// Readings redelivered through the admission path (the
+        /// durable prefix deduplicates; the tail appends).
+        redelivered: u64,
+    },
+    /// Every handoff attempt failed; the partition is orphaned.
+    Orphaned {
+        /// The partition.
+        partition: PartitionId,
+        /// Stream time of the declaration.
+        at: Timestamp,
+        /// How many attempts were made before giving up.
+        attempts: u32,
+        /// Unacked readings NACKed at declaration time (later
+        /// readings for the partition NACK one by one).
+        nacked: u64,
+    },
+    /// The graceful close of a healthy partition failed (its data is
+    /// already durable; the event is bookkeeping, not loss).
+    FinishFailed {
+        /// The partition.
+        partition: PartitionId,
+        /// The backend's complaint.
+        detail: String,
+    },
+}
+
+impl fmt::Display for FederationEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FederationEvent::Suspect { partition, at, reason } => {
+                write!(f, "partition {partition} suspect at t={at}: {reason}")
+            }
+            FederationEvent::Dead { partition, at, last_acked, deadline } => match last_acked {
+                Some(t) => write!(
+                    f,
+                    "partition {partition} dead at t={at} (last acked t={t}, silence deadline {deadline})"
+                ),
+                None => write!(
+                    f,
+                    "partition {partition} dead at t={at} (never acked, silence deadline {deadline})"
+                ),
+            },
+            FederationEvent::HandoffAttempt { partition, attempt, epoch } => {
+                write!(f, "partition {partition} handoff attempt {attempt} (epoch {epoch})")
+            }
+            FederationEvent::FailedOver { partition, at, epoch, redelivered } => write!(
+                f,
+                "partition {partition} failed over to epoch {epoch} at t={at} (redelivered {redelivered} reading(s))"
+            ),
+            FederationEvent::Orphaned { partition, at, attempts, nacked } => write!(
+                f,
+                "partition {partition} orphaned at t={at} after {attempts} attempt(s): {nacked} unacked reading(s) NACKed"
+            ),
+            FederationEvent::FinishFailed { partition, detail } => {
+                write!(f, "partition {partition} finish failed: {detail}")
+            }
+        }
+    }
+}
+
+/// Final status of one partition.
+#[derive(Debug)]
+pub struct PartitionStatus {
+    /// The partition.
+    pub partition: PartitionId,
+    /// Its sensor range.
+    pub range: SensorRange,
+    /// Health at the end of the run.
+    pub health: PartitionHealth,
+    /// Owner epoch at the end of the run (1 = never failed over).
+    pub epoch: u64,
+    /// Completed failovers.
+    pub failovers: u32,
+    /// Readings NACKed because the partition was orphaned.
+    pub orphan_nacks: u64,
+    /// Readings re-sent through the admission path during handoffs.
+    pub redelivered: u64,
+    /// The partition's merged report, rebuilt by replaying its WAL
+    /// through the identical admission path.
+    pub report: GatewayReport,
+}
+
+/// The fleet-wide merge of every partition's report.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// Per-partition status, in partition order.
+    pub partitions: Vec<PartitionStatus>,
+    /// Every partition's counters summed (stable text-codec names —
+    /// see `sentinet_gateway::report_codec`).
+    pub counters: ReportCounters,
+    /// The federation event log, in commit order.
+    pub events: Vec<FederationEvent>,
+}
+
+impl FleetReport {
+    /// Whether any partition ended degraded: orphaned, or with a
+    /// storage layer that poisoned / shed / failed to checkpoint.
+    pub fn degraded(&self) -> bool {
+        self.partitions
+            .iter()
+            .any(|p| p.health == PartitionHealth::Orphaned || !p.report.storage.is_clean())
+    }
+
+    /// Whether the run warrants the scripting exit code 3: a sensor
+    /// diagnosis was flagged, a network-wide attack was called, or
+    /// the fleet itself is degraded.
+    pub fn flagged(&self) -> bool {
+        self.degraded()
+            || self.partitions.iter().any(|p| {
+                p.report.pipeline.flagged().count() > 0
+                    || p.report.pipeline.network_attack.is_some()
+            })
+    }
+
+    /// The byte-comparable diagnosis (stdout half): fleet summary
+    /// line, one health line per partition, then each partition's
+    /// pipeline report and recovery plan in the exact format the CLI
+    /// prints for a single collector. Epochs and failover counts are
+    /// deliberately absent — they describe the run, not the data, and
+    /// would break byte-identity between a drilled and an
+    /// uninterrupted run.
+    pub fn render_diagnosis(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("fleet: {} partition(s)\n", self.partitions.len()));
+        for p in &self.partitions {
+            out.push_str(&format!(
+                "partition {} [sensors {}]: {}\n",
+                p.partition, p.range, p.health
+            ));
+        }
+        for p in &self.partitions {
+            out.push_str(&format!(
+                "\n=== partition {} [sensors {}] ===\n",
+                p.partition, p.range
+            ));
+            out.push_str(&format!("{}", p.report.pipeline));
+            out.push_str("\nrecovery plan:\n");
+            for (id, action) in &p.report.plan.actions {
+                out.push_str(&format!("  {id}: {action:?}\n"));
+            }
+        }
+        out
+    }
+
+    /// The accounting half (stderr): merged counters plus the
+    /// per-partition run facts the diagnosis deliberately omits.
+    pub fn render_accounting(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("fleet counters: {}\n", self.counters));
+        for p in &self.partitions {
+            out.push_str(&format!(
+                "partition {}: epoch {}, {} failover(s), {} redelivered, {} orphan-nack(s)\n",
+                p.partition, p.epoch, p.failovers, p.redelivered, p.orphan_nacks
+            ));
+        }
+        out
+    }
+}

@@ -52,11 +52,16 @@ pub struct UplinkConfig {
     pub backoff_cap: Duration,
     /// Seed for the jitter added to each backoff.
     pub jitter_seed: u64,
+    /// Jitter ceiling as a percentage of the computed delay (0
+    /// disables jitter entirely — fully deterministic backoff, the
+    /// knob federation drills use to compress time). Values above 100
+    /// are clamped to 100.
+    pub jitter_pct: u32,
 }
 
 impl UplinkConfig {
     /// Defaults for `connect`: 500 ms ack wait, 8 attempts, 25 ms
-    /// base / 2 s cap backoff.
+    /// base / 2 s cap backoff with up to 50% seeded jitter.
     pub fn new(connect: impl Into<String>) -> Self {
         Self {
             connect: connect.into(),
@@ -65,6 +70,7 @@ impl UplinkConfig {
             backoff_base: Duration::from_millis(25),
             backoff_cap: Duration::from_secs(2),
             jitter_seed: 7,
+            jitter_pct: 50,
         }
     }
 }
@@ -361,32 +367,50 @@ impl SensorUplink {
         true
     }
 
-    /// Sleeps `min(cap, base · 2^(attempt−1))` plus up to 50% seeded
-    /// jitter, so synchronized retry storms from many motes spread
-    /// out deterministically.
+    /// Sleeps `min(cap, base · 2^(attempt−1))` plus up to
+    /// `jitter_pct`% seeded jitter, so synchronized retry storms from
+    /// many motes spread out deterministically.
     fn backoff(&mut self, attempt: u32) {
-        backoff_sleep(
-            &mut self.rng,
-            self.config.backoff_base,
-            self.config.backoff_cap,
-            attempt,
-        );
+        backoff_sleep(&mut self.rng, &self.config, attempt);
     }
 }
 
-/// Capped exponential backoff with up to 50% seeded jitter, shared by
-/// both clients.
-fn backoff_sleep(rng: &mut StdRng, base: Duration, cap: Duration, attempt: u32) {
+/// Capped exponential backoff delay: `min(cap, base · 2^(attempt−1))`
+/// plus up to `jitter_pct`% of that, drawn from the seeded `rng`.
+///
+/// Public so the controller tier can reuse the exact same retry
+/// arithmetic for failover/handoff attempts — one backoff policy
+/// across the whole transport stack, every knob configurable.
+pub fn backoff_delay(
+    rng: &mut StdRng,
+    base: Duration,
+    cap: Duration,
+    jitter_pct: u32,
+    attempt: u32,
+) -> Duration {
     let base = base.as_millis() as u64;
     let cap = cap.as_millis() as u64;
     let exp = base.saturating_mul(1u64 << attempt.saturating_sub(1).min(20));
     let delay = exp.min(cap);
-    let jitter = if delay > 1 {
-        rng.gen_range(0..delay / 2 + 1)
+    let ceiling = delay.saturating_mul(u64::from(jitter_pct.min(100))) / 100;
+    let jitter = if ceiling > 0 {
+        rng.gen_range(0..ceiling + 1)
     } else {
         0
     };
-    std::thread::sleep(Duration::from_millis(delay + jitter));
+    Duration::from_millis(delay + jitter)
+}
+
+/// Sleeps for [`backoff_delay`] under the uplink's backoff knobs —
+/// shared by both clients.
+fn backoff_sleep(rng: &mut StdRng, config: &UplinkConfig, attempt: u32) {
+    std::thread::sleep(backoff_delay(
+        rng,
+        config.backoff_base,
+        config.backoff_cap,
+        config.jitter_pct,
+        attempt,
+    ));
 }
 
 /// How one received message relates to the frame in flight.
@@ -581,12 +605,7 @@ impl PipelinedUplink {
         let frame = encode_frame(&Message::Fin);
         for attempt in 0..self.config.transport.max_attempts {
             if attempt > 0 {
-                backoff_sleep(
-                    &mut self.rng,
-                    self.config.transport.backoff_base,
-                    self.config.transport.backoff_cap,
-                    attempt,
-                );
+                backoff_sleep(&mut self.rng, &self.config.transport, attempt);
             }
             if self.conn.is_none() && self.ensure_connected().is_err() {
                 continue;
@@ -796,12 +815,7 @@ impl PipelinedUplink {
                 }
                 // Alive but refusing (poisoned storage, budget): pace
                 // the re-offer like the stop-and-wait client does.
-                backoff_sleep(
-                    &mut self.rng,
-                    self.config.transport.backoff_base,
-                    self.config.transport.backoff_cap,
-                    batch.attempts,
-                );
+                backoff_sleep(&mut self.rng, &self.config.transport, batch.attempts);
                 self.queue.push_front(batch);
                 Ok(true)
             }
@@ -830,12 +844,7 @@ impl PipelinedUplink {
         let transport = self.config.transport.clone();
         for attempt in 0..transport.max_attempts {
             if attempt > 0 {
-                backoff_sleep(
-                    &mut self.rng,
-                    transport.backoff_base,
-                    transport.backoff_cap,
-                    attempt,
-                );
+                backoff_sleep(&mut self.rng, &transport, attempt);
             }
             let Ok(stream) = Stream::connect(&transport.connect) else {
                 continue;

@@ -611,7 +611,14 @@ impl Collector {
 
     /// The replay-deterministic image of this collector (everything a
     /// checkpoint must carry to act as a restore point).
-    fn snapshot(&self) -> CollectorSnapshot {
+    ///
+    /// Public as the federation handoff export hook: a controller
+    /// transfers this snapshot (already durable inside the v2
+    /// checkpoint) to a standby, which rebuilds the dead collector's
+    /// state via [`Collector::open`] on the same WAL directory —
+    /// snapshot restore plus WAL-tail replay, the identical admission
+    /// path.
+    pub fn snapshot(&self) -> CollectorSnapshot {
         CollectorSnapshot {
             pipeline: self.pipeline.snapshot(),
             reorder: self.reorder.snapshot(),

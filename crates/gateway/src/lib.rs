@@ -41,13 +41,15 @@ pub mod harness;
 mod net;
 pub mod netsim;
 pub mod reorder;
+pub mod report_codec;
 pub mod server;
 pub mod snapshot;
 pub mod vfs;
 pub mod wal;
 
 pub use client::{
-    PipelinedConfig, PipelinedUplink, SensorUplink, UplinkConfig, UplinkError, UplinkStats,
+    backoff_delay, PipelinedConfig, PipelinedUplink, SensorUplink, UplinkConfig, UplinkError,
+    UplinkStats,
 };
 pub use collector::{
     BatchOutcome, Collector, DeliverOutcome, GatewayConfig, GatewayError, GatewayReport,
@@ -62,6 +64,7 @@ pub use netsim::{
     deliver_schedule, delivery_schedule, drive_uplink, trace_to_raw, Emission, NetsimConfig,
 };
 pub use reorder::{AdmitOutcome, ReorderBuffer, ReorderConfig, ReorderSnapshot, ReorderStats};
+pub use report_codec::{CountersError, ReportCounters, COUNTERS_MAGIC};
 pub use server::{Server, ServerConfig, ServerStats};
 pub use snapshot::CollectorSnapshot;
 pub use vfs::{

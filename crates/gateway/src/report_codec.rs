@@ -1,0 +1,401 @@
+//! Stable text codec for [`GatewayReport`] counters, so a controller
+//! tier can merge per-collector accounting without field-order (or
+//! struct-layout) coupling.
+//!
+//! Every counter travels as one `name value` line under a magic
+//! header. Names are the wire contract: decoding is keyed by name and
+//! accepts any line order, rejects unknown and duplicate names, and
+//! fails loudly when a name is missing — a silently-defaulted counter
+//! would make a fleet merge lie. The encoding is pinned by a
+//! round-trip test (including a shuffled-lines decode) so a renamed
+//! struct field cannot drift the wire format unnoticed.
+
+use crate::collector::GatewayReport;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Magic first line of the encoding.
+pub const COUNTERS_MAGIC: &str = "sentinet-report-counters v1";
+
+/// The mergeable accounting of one gateway run, under stable names.
+///
+/// Everything here is additive across collectors (the `poisoned` flag
+/// merges as a saturating OR-count: how many collectors reported a
+/// poisoned WAL), so a fleet-wide roll-up is `merge` over the parts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReportCounters {
+    /// Readings admitted through the full path (`accepted`).
+    pub accepted: u64,
+    /// Sanitizer rejections (`sanitizer-rejects`).
+    pub sanitizer_rejects: u64,
+    /// Transport-level duplicates absorbed (`duplicates`).
+    pub duplicates: u64,
+    /// Readings refused as late by the reorder buffer (`late`).
+    pub late: u64,
+    /// Readings shed by bounded reorder occupancy (`shed`).
+    pub shed: u64,
+    /// Readings NACKed on an exhausted WAL budget (`budget-shed`).
+    pub budget_shed: u64,
+    /// Readings NACKed while the WAL was poisoned (`storage-rejects`).
+    pub storage_rejects: u64,
+    /// Checkpoint writes that failed (`checkpoint-failures`).
+    pub checkpoint_failures: u64,
+    /// Reclaims whose deletion failed (`reclaim-failures`).
+    pub reclaim_failures: u64,
+    /// WAL segments reclaimed by retention (`reclaimed-segments`).
+    pub reclaimed_segments: u64,
+    /// Collectors whose WAL ended the run poisoned (`poisoned`).
+    pub poisoned: u64,
+    /// Sensors silent at end of run (`silent-sensors`).
+    pub silent_sensors: u64,
+    /// Silence episodes over the whole run (`silence-episodes`).
+    pub silence_episodes: u64,
+    /// Hellos refused for an unsupported version (`version-rejects`).
+    /// Counted by the server/harness tier; zero when unavailable.
+    pub version_rejects: u64,
+    /// Uplink frames written, retransmissions included
+    /// (`frames-sent`).
+    pub frames_sent: u64,
+    /// Uplink frames re-sent (`retransmits`).
+    pub retransmits: u64,
+    /// Uplink ack waits that hit the deadline (`timeouts`).
+    pub timeouts: u64,
+    /// NACKs the uplink received (`nacks`).
+    pub nacks: u64,
+    /// Uplink reconnections after a failure (`reconnects`).
+    pub reconnects: u64,
+    /// Uplink frames/batches fully acknowledged (`uplink-acked`).
+    pub uplink_acked: u64,
+}
+
+/// Every wire name, in encoding order. Decoding requires exactly this
+/// set (any order); encoding emits them in this order.
+const FIELDS: &[&str] = &[
+    "accepted",
+    "sanitizer-rejects",
+    "duplicates",
+    "late",
+    "shed",
+    "budget-shed",
+    "storage-rejects",
+    "checkpoint-failures",
+    "reclaim-failures",
+    "reclaimed-segments",
+    "poisoned",
+    "silent-sensors",
+    "silence-episodes",
+    "version-rejects",
+    "frames-sent",
+    "retransmits",
+    "timeouts",
+    "nacks",
+    "reconnects",
+    "uplink-acked",
+];
+
+/// A counters decode failure (typed, loud — never a silent default).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountersError(pub String);
+
+impl fmt::Display for CountersError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "report counters: {}", self.0)
+    }
+}
+
+impl std::error::Error for CountersError {}
+
+impl ReportCounters {
+    /// Extracts the mergeable counters of one finished run. The
+    /// `version-rejects` counter lives in the serving tier, not the
+    /// report — callers that have it set the field afterwards.
+    pub fn from_report(report: &GatewayReport) -> Self {
+        let uplink = report.uplink.unwrap_or_default();
+        Self {
+            accepted: report.ingest.accepted as u64,
+            sanitizer_rejects: report.ingest.rejected.len() as u64,
+            duplicates: report.ingest.duplicates as u64,
+            late: report.ingest.late as u64,
+            shed: report.ingest.shed as u64,
+            budget_shed: report.storage.budget_shed as u64,
+            storage_rejects: report.storage.storage_rejects as u64,
+            checkpoint_failures: report.storage.checkpoint_failures as u64,
+            reclaim_failures: report.storage.reclaim_failures as u64,
+            reclaimed_segments: report.storage.reclaimed_segments as u64,
+            poisoned: u64::from(report.storage.error.is_some()),
+            silent_sensors: report.liveness.silent.len() as u64,
+            silence_episodes: report.liveness.episodes as u64,
+            version_rejects: 0,
+            frames_sent: uplink.frames_sent,
+            retransmits: uplink.retransmits,
+            timeouts: uplink.timeouts,
+            nacks: uplink.nacks,
+            reconnects: uplink.reconnects,
+            uplink_acked: uplink.acked,
+        }
+    }
+
+    /// The named value, by wire name.
+    fn get(&self, name: &str) -> u64 {
+        match name {
+            "accepted" => self.accepted,
+            "sanitizer-rejects" => self.sanitizer_rejects,
+            "duplicates" => self.duplicates,
+            "late" => self.late,
+            "shed" => self.shed,
+            "budget-shed" => self.budget_shed,
+            "storage-rejects" => self.storage_rejects,
+            "checkpoint-failures" => self.checkpoint_failures,
+            "reclaim-failures" => self.reclaim_failures,
+            "reclaimed-segments" => self.reclaimed_segments,
+            "poisoned" => self.poisoned,
+            "silent-sensors" => self.silent_sensors,
+            "silence-episodes" => self.silence_episodes,
+            "version-rejects" => self.version_rejects,
+            "frames-sent" => self.frames_sent,
+            "retransmits" => self.retransmits,
+            "timeouts" => self.timeouts,
+            "nacks" => self.nacks,
+            "reconnects" => self.reconnects,
+            "uplink-acked" => self.uplink_acked,
+            _ => 0,
+        }
+    }
+
+    /// Sets the named value, by wire name; `false` for unknown names.
+    fn set(&mut self, name: &str, value: u64) -> bool {
+        let slot = match name {
+            "accepted" => &mut self.accepted,
+            "sanitizer-rejects" => &mut self.sanitizer_rejects,
+            "duplicates" => &mut self.duplicates,
+            "late" => &mut self.late,
+            "shed" => &mut self.shed,
+            "budget-shed" => &mut self.budget_shed,
+            "storage-rejects" => &mut self.storage_rejects,
+            "checkpoint-failures" => &mut self.checkpoint_failures,
+            "reclaim-failures" => &mut self.reclaim_failures,
+            "reclaimed-segments" => &mut self.reclaimed_segments,
+            "poisoned" => &mut self.poisoned,
+            "silent-sensors" => &mut self.silent_sensors,
+            "silence-episodes" => &mut self.silence_episodes,
+            "version-rejects" => &mut self.version_rejects,
+            "frames-sent" => &mut self.frames_sent,
+            "retransmits" => &mut self.retransmits,
+            "timeouts" => &mut self.timeouts,
+            "nacks" => &mut self.nacks,
+            "reconnects" => &mut self.reconnects,
+            "uplink-acked" => &mut self.uplink_acked,
+            _ => return false,
+        };
+        *slot = value;
+        true
+    }
+
+    /// Adds `other` into `self`, saturating — the fleet roll-up.
+    pub fn merge(&mut self, other: &Self) {
+        for name in FIELDS {
+            let sum = self.get(name).saturating_add(other.get(name));
+            self.set(name, sum);
+        }
+    }
+
+    /// Encodes as the stable named-line text format.
+    pub fn encode(&self) -> String {
+        let mut out = String::with_capacity(FIELDS.len() * 24);
+        out.push_str(COUNTERS_MAGIC);
+        out.push('\n');
+        for name in FIELDS {
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&self.get(name).to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Decodes the named-line format, in any line order.
+    ///
+    /// # Errors
+    ///
+    /// [`CountersError`] on a missing magic, an unknown or duplicate
+    /// name, a malformed value, or a missing field — every failure
+    /// names the offending line.
+    pub fn decode(text: &str) -> Result<Self, CountersError> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(l) if l == COUNTERS_MAGIC => {}
+            other => {
+                return Err(CountersError(format!(
+                    "bad magic line {other:?} (expected {COUNTERS_MAGIC:?})"
+                )))
+            }
+        }
+        let mut seen: BTreeMap<String, u64> = BTreeMap::new();
+        for (i, line) in lines.enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let (name, value) = line
+                .split_once(' ')
+                .ok_or_else(|| CountersError(format!("line {}: no `name value` pair", i + 2)))?;
+            if !FIELDS.contains(&name) {
+                return Err(CountersError(format!(
+                    "line {}: unknown counter `{name}`",
+                    i + 2
+                )));
+            }
+            let value: u64 = value.parse().map_err(|e| {
+                CountersError(format!("line {}: bad value for `{name}`: {e}", i + 2))
+            })?;
+            if seen.insert(name.to_string(), value).is_some() {
+                return Err(CountersError(format!(
+                    "line {}: duplicate counter `{name}`",
+                    i + 2
+                )));
+            }
+        }
+        let mut out = Self::default();
+        for name in FIELDS {
+            let value = *seen
+                .get(*name)
+                .ok_or_else(|| CountersError(format!("missing counter `{name}`")))?;
+            out.set(name, value);
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for ReportCounters {
+    /// One human-oriented summary line (the stderr roll-up format).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accepted, {} duplicate(s), {} late, {} shed, {} budget-shed, \
+             {} storage-reject(s), {} silence episode(s), {} version-reject(s)",
+            self.accepted,
+            self.duplicates,
+            self.late,
+            self.shed,
+            self.budget_shed,
+            self.storage_rejects,
+            self.silence_episodes,
+            self.version_rejects
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ReportCounters {
+        ReportCounters {
+            accepted: 240,
+            sanitizer_rejects: 3,
+            duplicates: 7,
+            late: 1,
+            shed: 2,
+            budget_shed: 4,
+            storage_rejects: 5,
+            checkpoint_failures: 0,
+            reclaim_failures: 0,
+            reclaimed_segments: 6,
+            poisoned: 1,
+            silent_sensors: 2,
+            silence_episodes: 3,
+            version_rejects: 9,
+            frames_sent: 260,
+            retransmits: 11,
+            timeouts: 8,
+            nacks: 5,
+            reconnects: 3,
+            uplink_acked: 240,
+        }
+    }
+
+    /// The literal wire format is the contract: renaming a struct
+    /// field must not silently rename a wire line.
+    #[test]
+    fn encoding_is_pinned() {
+        let expected = "sentinet-report-counters v1\n\
+                        accepted 240\n\
+                        sanitizer-rejects 3\n\
+                        duplicates 7\n\
+                        late 1\n\
+                        shed 2\n\
+                        budget-shed 4\n\
+                        storage-rejects 5\n\
+                        checkpoint-failures 0\n\
+                        reclaim-failures 0\n\
+                        reclaimed-segments 6\n\
+                        poisoned 1\n\
+                        silent-sensors 2\n\
+                        silence-episodes 3\n\
+                        version-rejects 9\n\
+                        frames-sent 260\n\
+                        retransmits 11\n\
+                        timeouts 8\n\
+                        nacks 5\n\
+                        reconnects 3\n\
+                        uplink-acked 240\n";
+        assert_eq!(sample().encode(), expected);
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let c = sample();
+        assert_eq!(ReportCounters::decode(&c.encode()).unwrap(), c);
+    }
+
+    /// Decoding is keyed by name: any line order reproduces the same
+    /// counters (the whole point — no field-order coupling).
+    #[test]
+    fn decode_accepts_shuffled_lines() {
+        let c = sample();
+        let encoded = c.encode();
+        let mut lines: Vec<&str> = encoded.lines().skip(1).collect();
+        lines.reverse();
+        let shuffled = format!("{COUNTERS_MAGIC}\n{}\n", lines.join("\n"));
+        assert_eq!(ReportCounters::decode(&shuffled).unwrap(), c);
+    }
+
+    #[test]
+    fn decode_rejects_unknown_duplicate_and_missing() {
+        let c = sample().encode();
+        let unknown = format!("{c}frobnicated 3\n");
+        assert!(ReportCounters::decode(&unknown)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown counter"));
+        let duplicate = format!("{c}accepted 240\n");
+        assert!(ReportCounters::decode(&duplicate)
+            .unwrap_err()
+            .to_string()
+            .contains("duplicate counter"));
+        let missing: String = c.lines().take(10).collect::<Vec<_>>().join("\n");
+        assert!(ReportCounters::decode(&missing)
+            .unwrap_err()
+            .to_string()
+            .contains("missing counter"));
+        assert!(ReportCounters::decode("not the magic\n")
+            .unwrap_err()
+            .to_string()
+            .contains("bad magic"));
+        let garbled = format!("{COUNTERS_MAGIC}\naccepted over9000\n");
+        assert!(ReportCounters::decode(&garbled)
+            .unwrap_err()
+            .to_string()
+            .contains("bad value"));
+    }
+
+    #[test]
+    fn merge_sums_every_counter() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.accepted, 480);
+        assert_eq!(a.version_rejects, 18);
+        assert_eq!(a.poisoned, 2);
+        assert_eq!(a.uplink_acked, 480);
+    }
+}

@@ -1,6 +1,6 @@
 //! The project lint engine.
 //!
-//! Seventeen textual lints over the workspace's library crates, built
+//! Eighteen textual lints over the workspace's library crates, built
 //! on the masked source view of [`crate::lexer`] — no rustc plugin,
 //! fully offline. Findings are suppressed inline with
 //! `// sentinet-allow(lint-name): reason` on the same line or on the
@@ -24,6 +24,7 @@
 //! | `socket-read-timeout` | socket reads in a file that never sets a read timeout |
 //! | `io-outside-vfs` | raw filesystem mutation outside `gateway/src/vfs.rs` |
 //! | `ack-ordering` | fn writing an `Ack`/`AckUpTo` to the wire with no durability check first |
+//! | `partition-map-mutation` | `.commit_owner(` / `.commit_health(` outside the federation commit path |
 //! | `stale-suppression` | `sentinet-allow` comment that no longer suppresses any finding |
 //!
 //! Test code (`#[cfg(test)] mod`s and `#[test]` fns) is exempt from
@@ -80,6 +81,7 @@ pub const LINTS: &[&str] = &[
     "socket-read-timeout",
     "io-outside-vfs",
     "ack-ordering",
+    "partition-map-mutation",
     "stale-suppression",
 ];
 
@@ -159,6 +161,13 @@ pub struct FileContext {
     /// The file belongs to `crates/gateway` (may spawn threads and
     /// open sockets — live I/O is its monopoly).
     pub gateway_crate: bool,
+    /// The file belongs to `crates/controller` (drives collectors over
+    /// the gateway's live transports, so it shares the socket grant).
+    pub controller_crate: bool,
+    /// The file is the federation commit path
+    /// (`controller/src/federation.rs`), the one place allowed to
+    /// mutate partition-map ownership or health.
+    pub controller_commit_file: bool,
     /// The file is the engine supervisor (may resume unwinds and own
     /// unbounded channels as part of crash recovery).
     pub supervisor_file: bool,
@@ -189,6 +198,8 @@ impl FileContext {
             is_lib_root: p.ends_with("src/lib.rs"),
             engine_crate: crate_name == "engine",
             gateway_crate: crate_name == "gateway",
+            controller_crate: crate_name == "controller",
+            controller_commit_file: p.ends_with("controller/src/federation.rs"),
             supervisor_file: p.ends_with("engine/src/supervisor.rs"),
             vfs_file: p.ends_with("gateway/src/vfs.rs"),
             hot_functions,
@@ -350,8 +361,10 @@ pub fn lint_source(path: &Path, source: &str, ctx: &FileContext) -> Vec<Finding>
     }
 
     // Live network I/O is the gateway's monopoly: raw sockets anywhere
-    // else would bypass its framing, dedup, WAL, and backpressure.
-    if !ctx.gateway_crate {
+    // else would bypass its framing, dedup, WAL, and backpressure. The
+    // controller tier is admitted — it federates collectors over the
+    // gateway's own transports and needs the socket types in scope.
+    if !ctx.gateway_crate && !ctx.controller_crate {
         for needle in ["std::net", "std::os::unix::net"] {
             for offset in find_all(&map.masked, needle) {
                 if !map.in_test_region(offset) {
@@ -484,6 +497,28 @@ pub fn lint_source(path: &Path, source: &str, ctx: &FileContext) -> Vec<Finding>
                 "ack-ordering",
                 "Ack/AckUpTo written to the wire with no dominating `synced_cursor`/`sync_wal` check; an unsynced crash would lose acked data".into(),
             );
+        }
+    }
+
+    // Partition ownership and health transitions are the federation
+    // commit path's monopoly: a `.commit_owner(`/`.commit_health(`
+    // call anywhere else could re-assign a partition without fencing
+    // the old owner or recording the epoch bump, silently forking the
+    // fleet's view of who may ack.
+    if !ctx.controller_commit_file {
+        for needle in [".commit_owner(", ".commit_health("] {
+            for offset in find_all(&map.masked, needle) {
+                if !map.in_test_region(offset) {
+                    push(
+                        &map,
+                        offset,
+                        "partition-map-mutation",
+                        format!(
+                            "`{needle}…)` outside controller::federation; route ownership/health transitions through the federation commit path"
+                        ),
+                    );
+                }
+            }
         }
     }
 
@@ -885,6 +920,26 @@ mod tests {
         let reasonless = "// sentinet-allow(float-eq)\nfn a(x: f64) -> f64 { x.max(0.0) }\n";
         let f = run(reasonless);
         assert!(f.iter().all(|f| f.lint != "stale-suppression"), "{f:?}");
+    }
+
+    #[test]
+    fn partition_map_mutation_flagged_outside_commit_path() {
+        let src = "fn adopt(map: &mut PartitionMap) {\n    map.commit_owner(0, 2);\n    map.commit_health(0, PartitionHealth::Ok);\n}\n";
+        let f = run(src);
+        assert_eq!(
+            f.iter()
+                .filter(|f| f.lint == "partition-map-mutation")
+                .count(),
+            2
+        );
+        // The federation commit path owns these transitions.
+        let mut c = ctx();
+        c.controller_commit_file = true;
+        let f = lint_source(Path::new("crates/controller/src/federation.rs"), src, &c);
+        assert!(f.is_empty(), "{f:?}");
+        // The definitions themselves (no leading dot) are not calls.
+        let defs = "impl PartitionMap {\n    pub fn commit_owner(&mut self, p: PartitionId, epoch: u64) {}\n}\n";
+        assert!(run(defs).iter().all(|f| f.lint != "partition-map-mutation"));
     }
 
     #[test]

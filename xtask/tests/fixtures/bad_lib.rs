@@ -1,5 +1,5 @@
 //! Seeded-bad fixture: with a lib-root context registering `hot` as a
-//! hot-path function, every one of the seventeen lints fires exactly
+//! hot-path function, every one of the eighteen lints fires exactly
 //! once. (This file is test data — it is never compiled.)
 
 pub fn violations(maybe: Option<u32>, x: f64) -> u32 {
@@ -34,6 +34,10 @@ pub fn sneaky_write(dir: &std::path::Path) {
 pub fn leaky_ack(w: &mut impl std::io::Write, sensor: u16, seq: u64) {
     let frame = encode(Message::AckUpTo { sensor, seq });
     let _ = w.write_all(&frame);
+}
+
+pub fn rogue_reassign(map: &mut PartitionMap) {
+    map.commit_owner(0, 2);
 }
 
 // sentinet-allow(float-eq): stale — the comparison this excused was rewritten

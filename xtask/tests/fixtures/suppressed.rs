@@ -50,6 +50,11 @@ pub fn leaky_ack(w: &mut impl std::io::Write, sensor: u16, seq: u64) {
     let _ = w.write_all(&frame);
 }
 
+pub fn rogue_reassign(map: &mut PartitionMap) {
+    // sentinet-allow(partition-map-mutation): fixture exercises suppression
+    map.commit_owner(0, 2);
+}
+
 // sentinet-allow(stale-suppression): fixture exercises suppression
 // sentinet-allow(float-eq): intentionally stale for the fixture
 pub fn formerly_fuzzy(x: f64) -> f64 {

@@ -30,6 +30,8 @@ fn full_ctx() -> FileContext {
         is_lib_root: true,
         engine_crate: false,
         gateway_crate: false,
+        controller_crate: false,
+        controller_commit_file: false,
         supervisor_file: false,
         vfs_file: false,
         hot_functions: vec!["hot".into()],
