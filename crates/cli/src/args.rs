@@ -100,6 +100,11 @@ pub struct ServeArgs {
     /// Pin the server to protocol v1: v2 `Hello`s get a typed
     /// `HelloReject { supported: 1 }` instead of a credit grant.
     pub v1_only: bool,
+    /// Owner epoch this collector serves under (0 = unfenced). A
+    /// fence token is persisted beside the WAL; a collector started
+    /// with a stale epoch fail-stops, and clients announcing a newer
+    /// epoch fence the running collector into typed NACKs.
+    pub epoch: u64,
     /// Emit the report as one summary line per sensor only.
     pub quiet: bool,
 }
@@ -154,9 +159,14 @@ pub struct FederateArgs {
     /// partition whose acks trail the stream clock by more than this
     /// is declared dead and failed over.
     pub silence_deadline: u64,
-    /// Drill: SIGKILL partition P's collector after it has been
-    /// handed N readings (`P:N`).
-    pub kill: Option<(usize, u64)>,
+    /// Drills: SIGKILL each listed partition's collector after it has
+    /// been handed N readings (comma-separated `P:N` specs).
+    pub kill: Vec<(usize, u64)>,
+    /// Run the seeded nemesis campaign (in-process fault composition)
+    /// instead of the file-driven federation when set.
+    pub nemesis_seed: Option<u64>,
+    /// Episodes per nemesis campaign.
+    pub episodes: u32,
     /// Standby adoption attempts before a partition orphans.
     pub handoff_attempts: u32,
     /// Uplink ack deadline in milliseconds.
@@ -190,6 +200,22 @@ pub fn parse_kill(spec: &str) -> Result<(usize, u64), ParseError> {
     Ok((p, after))
 }
 
+/// Parses a comma-separated `--kill` list `P:N[,P:N...]`, rejecting
+/// duplicate partitions (two SIGKILL coordinates for one collector
+/// would race each other and make the drill ambiguous).
+pub fn parse_kills(spec: &str) -> Result<Vec<(usize, u64)>, ParseError> {
+    let kills: Vec<(usize, u64)> = spec.split(',').map(parse_kill).collect::<Result<_, _>>()?;
+    let mut seen = std::collections::BTreeSet::new();
+    for (p, _) in &kills {
+        if !seen.insert(*p) {
+            return Err(ParseError(format!(
+                "kill list {spec:?} names partition {p} twice"
+            )));
+        }
+    }
+    Ok(kills)
+}
+
 /// Parse failure with a user-facing message.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError(pub String);
@@ -218,7 +244,7 @@ USAGE:
                     [--silence-deadline SECS] [--checkpoint-every N]
                     [--wal-retain-bytes N] [--wal-segment-bytes N]
                     [--crash-after N] [--credit-window N] [--v1-only]
-                    [--quiet]
+                    [--epoch N] [--quiet]
   sentinet replay-wal --wal-dir DIR [--period SECS] [--window SAMPLES]
                     [--trim FRACTION] [--watermark SECS] [--shards N]
                     [--quiet]
@@ -227,10 +253,11 @@ USAGE:
                     [--window SAMPLES] [--trim FRACTION]
                     [--fsync never|batch:N|always] [--watermark SECS]
                     [--checkpoint-every N] [--silence-deadline SECS]
-                    [--kill PARTITION:AFTER] [--handoff-attempts N]
+                    [--kill P:N[,P:N...]] [--handoff-attempts N]
                     [--ack-timeout-ms N] [--max-attempts N]
                     [--backoff-base-ms N] [--backoff-cap-ms N]
                     [--jitter-pct N] [--batch-size N] [--quiet]
+                    [--nemesis-seed S [--episodes N]]
   sentinet help
 
 LIVE INGEST (serve / replay-wal):
@@ -259,8 +286,19 @@ FEDERATION (federate):
   diagnosis goes to stdout (byte-comparable across drilled and
   uninterrupted runs); federation events and merged counters go to
   stderr; exit status 3 flags a diagnosis or a degraded fleet.
-  --kill P:N SIGKILLs partition P's collector mid-stream — the
-  failover drill.
+  --kill P:N[,P:N...] SIGKILLs each listed partition's collector
+  mid-stream — the failover drill; partitions may not repeat.
+  --nemesis-seed S skips the trace entirely and runs the seeded
+  in-process nemesis campaign instead: --episodes N randomized
+  episodes (default 50) composing network, process and disk faults
+  against the full federation stack, checking that no acked reading
+  is lost, the fleet diagnosis stays byte-identical to an
+  uninterrupted baseline, and fencing keeps a single writer per
+  partition. Exit status 3 reports an invariant violation.
+  serve --epoch N starts the collector fenced at owner epoch N: the
+  fence token persists beside the WAL, a stale restart fail-stops,
+  and a client announcing a newer epoch turns the running collector
+  into a zombie that NACKs every append with a typed rejection.
 
 CHAOS TESTING (analyze):
   --chaos-seed S           inject a seeded, replayable fault plan
@@ -485,6 +523,7 @@ pub fn parse<'a, I: IntoIterator<Item = &'a str>>(args: I) -> Result<Command, Pa
                 crash_after: None,
                 credit_window: 32,
                 v1_only: false,
+                epoch: 0,
                 quiet: false,
             };
             while let Some(flag) = it.next() {
@@ -561,6 +600,11 @@ pub fn parse<'a, I: IntoIterator<Item = &'a str>>(args: I) -> Result<Command, Pa
                         parsed.credit_window = credits;
                     }
                     "--v1-only" => parsed.v1_only = true,
+                    "--epoch" => {
+                        parsed.epoch = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad --epoch: {e}")))?
+                    }
                     "--quiet" => parsed.quiet = true,
                     other => return Err(ParseError(format!("unknown flag {other:?}"))),
                 }
@@ -646,7 +690,9 @@ pub fn parse<'a, I: IntoIterator<Item = &'a str>>(args: I) -> Result<Command, Pa
                 watermark: 1800,
                 checkpoint_every: 256,
                 silence_deadline: 3600,
-                kill: None,
+                kill: Vec::new(),
+                nemesis_seed: None,
+                episodes: 50,
                 handoff_attempts: 4,
                 ack_timeout_ms: 500,
                 max_attempts: 8,
@@ -716,7 +762,19 @@ pub fn parse<'a, I: IntoIterator<Item = &'a str>>(args: I) -> Result<Command, Pa
                             .parse()
                             .map_err(|e| ParseError(format!("bad --silence-deadline: {e}")))?
                     }
-                    "--kill" => parsed.kill = Some(parse_kill(take_value(flag, &mut it)?)?),
+                    "--kill" => parsed.kill = parse_kills(take_value(flag, &mut it)?)?,
+                    "--nemesis-seed" => {
+                        parsed.nemesis_seed = Some(
+                            take_value(flag, &mut it)?
+                                .parse()
+                                .map_err(|e| ParseError(format!("bad --nemesis-seed: {e}")))?,
+                        )
+                    }
+                    "--episodes" => {
+                        parsed.episodes = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("bad --episodes: {e}")))?
+                    }
                     "--handoff-attempts" => {
                         parsed.handoff_attempts = take_value(flag, &mut it)?
                             .parse()
@@ -782,13 +840,16 @@ pub fn parse<'a, I: IntoIterator<Item = &'a str>>(args: I) -> Result<Command, Pa
                     "--handoff-attempts and --max-attempts must be at least 1".into(),
                 ));
             }
-            if let Some((p, _)) = parsed.kill {
+            for &(p, _) in &parsed.kill {
                 if p >= parsed.partitions {
                     return Err(ParseError(format!(
                         "--kill partition {p} out of range (0..{})",
                         parsed.partitions
                     )));
                 }
+            }
+            if parsed.episodes == 0 {
+                return Err(ParseError("--episodes must be at least 1".into()));
             }
             Ok(Command::Federate(parsed))
         }
@@ -975,10 +1036,19 @@ mod tests {
                 assert_eq!(a.crash_after, Some(40));
                 assert_eq!(a.credit_window, 8);
                 assert!(a.v1_only);
+                assert_eq!(a.epoch, 0);
                 assert!(a.quiet);
             }
             other => panic!("{other:?}"),
         }
+        match parse(["serve", "--wal-dir", "w", "--epoch", "3"]).unwrap() {
+            Command::Serve(a) => assert_eq!(a.epoch, 3),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(["serve", "--wal-dir", "w", "--epoch", "x"])
+            .unwrap_err()
+            .to_string()
+            .contains("epoch"));
         assert!(parse(["serve", "--wal-dir", "w", "--credit-window", "0"])
             .unwrap_err()
             .to_string()
@@ -1030,7 +1100,9 @@ mod tests {
                 assert!(!a.v2);
                 assert_eq!(a.fsync, "batch:64");
                 assert_eq!(a.silence_deadline, 3600);
-                assert_eq!(a.kill, None);
+                assert_eq!(a.kill, vec![]);
+                assert_eq!(a.nemesis_seed, None);
+                assert_eq!(a.episodes, 50);
                 assert_eq!(a.handoff_attempts, 4);
                 assert_eq!(a.jitter_pct, 50);
             }
@@ -1077,7 +1149,7 @@ mod tests {
                 assert!(a.v2);
                 assert_eq!(a.fsync, "never");
                 assert_eq!(a.silence_deadline, 900);
-                assert_eq!(a.kill, Some((1, 40)));
+                assert_eq!(a.kill, vec![(1, 40)]);
                 assert_eq!(a.handoff_attempts, 2);
                 assert_eq!(a.ack_timeout_ms, 200);
                 assert_eq!(a.max_attempts, 3);
@@ -1089,6 +1161,77 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn federate_kill_accepts_a_comma_separated_list() {
+        match parse([
+            "federate",
+            "t.csv",
+            "--wal-root",
+            "w",
+            "--partitions",
+            "3",
+            "--kill",
+            "0:20,2:40",
+        ])
+        .unwrap()
+        {
+            Command::Federate(a) => assert_eq!(a.kill, vec![(0, 20), (2, 40)]),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse([
+            "federate",
+            "t.csv",
+            "--wal-root",
+            "w",
+            "--kill",
+            "0:20,0:40"
+        ])
+        .unwrap_err()
+        .to_string()
+        .contains("twice"));
+        assert!(parse([
+            "federate",
+            "t.csv",
+            "--wal-root",
+            "w",
+            "--partitions",
+            "3",
+            "--kill",
+            "0:20,7:40"
+        ])
+        .unwrap_err()
+        .to_string()
+        .contains("out of range"));
+    }
+
+    #[test]
+    fn federate_nemesis_flags() {
+        match parse([
+            "federate",
+            "t.csv",
+            "--wal-root",
+            "w",
+            "--nemesis-seed",
+            "42",
+            "--episodes",
+            "200",
+        ])
+        .unwrap()
+        {
+            Command::Federate(a) => {
+                assert_eq!(a.nemesis_seed, Some(42));
+                assert_eq!(a.episodes, 200);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(
+            parse(["federate", "t.csv", "--wal-root", "w", "--episodes", "0"])
+                .unwrap_err()
+                .to_string()
+                .contains("episodes")
+        );
     }
 
     #[test]

@@ -20,7 +20,8 @@ use args::{AnalyzeArgs, Command, FederateArgs, ReplayWalArgs, ServeArgs, Simulat
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sentinet_controller::{
-    Federation, FederationConfig, PartitionMap, ProcessBackend, ProcessConfig, WireProtocol,
+    run_campaign, Federation, FederationConfig, NemesisConfig, PartitionMap, ProcessBackend,
+    ProcessConfig, WireProtocol,
 };
 use sentinet_core::{Pipeline, PipelineConfig, PipelineReport, RecoveryPlan};
 use sentinet_engine::{ChaosPlan, Engine, SupervisorConfig};
@@ -237,6 +238,12 @@ fn finish_gateway_report(report: &GatewayReport, quiet: bool) {
             eprintln!("warning: wal poisoned by storage failure: {err}");
         }
     }
+    if let Some(epoch) = storage.fenced_by {
+        eprintln!(
+            "warning: fenced by newer owner epoch {epoch}: {} append(s) NACKed",
+            storage.fence_rejects
+        );
+    }
     if storage.reclaimed_segments > 0 {
         eprintln!(
             "retention: reclaimed {} checkpointed segment(s)",
@@ -276,6 +283,7 @@ fn run_serve(a: ServeArgs) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(bytes) = a.wal_segment_bytes {
         config.wal.segment_max_bytes = bytes;
     }
+    config.epoch = a.epoch;
     let (mut collector, info) = Collector::open(config)?;
     if info.replayed > 0 || info.restored_from.is_some() {
         eprintln!(
@@ -312,6 +320,21 @@ fn run_serve(a: ServeArgs) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn run_federate(a: FederateArgs) -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(seed) = a.nemesis_seed {
+        // Nemesis mode ignores the trace: every episode generates its
+        // own deterministic stream and fault plan from the seed.
+        let config = NemesisConfig::new(seed, a.episodes, &a.wal_root);
+        match run_campaign(&config) {
+            Ok(summary) => {
+                eprintln!("nemesis: {summary}");
+                return Ok(());
+            }
+            Err(failure) => {
+                eprintln!("nemesis: {failure}");
+                std::process::exit(3);
+            }
+        }
+    }
     let file = File::open(&a.input)?;
     let (trace, ingest) = read_trace_sanitized(BufReader::new(file))?;
     if !ingest.is_clean() {

@@ -175,6 +175,51 @@ fn sigkill_failover_reproduces_the_baseline_byte_for_byte() {
 }
 
 #[test]
+fn comma_separated_kill_list_fails_over_every_listed_partition() {
+    let root = tmpdir("kill-list");
+    let trace = simulate_trace(&root);
+
+    let base = federate(&trace, &root.join("base"), &["--standbys", "2"]);
+    assert!(
+        base.status.success(),
+        "baseline run failed: {}",
+        stderr_of(&base)
+    );
+
+    // Two drills in one run: partitions 0 and 2 lose their owners at
+    // different stream coordinates, and both must fail over.
+    let drill = federate(
+        &trace,
+        &root.join("drill"),
+        &["--standbys", "2", "--kill", "0:40,2:90"],
+    );
+    assert!(
+        drill.status.success(),
+        "drill run failed: {}",
+        stderr_of(&drill)
+    );
+    assert_eq!(
+        stdout_of(&base),
+        stdout_of(&drill),
+        "a double kill + failover must reproduce the uninterrupted fleet \
+         diagnosis byte for byte\n--- drill stderr ---\n{}",
+        stderr_of(&drill)
+    );
+
+    let events = stderr_of(&drill);
+    for p in [0, 2] {
+        assert!(
+            events.contains(&format!("partition {p} failed over to epoch 2")),
+            "missing failover for partition {p}:\n{events}"
+        );
+    }
+    assert!(
+        !events.contains("partition 1 suspect"),
+        "the unlisted partition must stay healthy:\n{events}"
+    );
+}
+
+#[test]
 fn no_standby_orphan_is_fail_stop_and_visible() {
     let root = tmpdir("orphan");
     let trace = simulate_trace(&root);

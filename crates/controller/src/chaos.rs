@@ -35,11 +35,52 @@ pub struct DrillFault {
     pub fault: CollectorFault,
 }
 
+/// How a controller↔collector link misbehaves — the network half of a
+/// nemesis plan, distinct from [`CollectorFault`] (the process half)
+/// and the gateway's `FaultPlan` (the disk half).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// Symmetric partition: sends fail while the collector stays
+    /// alive — the canonical zombie-writer setup. After the controller
+    /// fails the partition over, the old owner is exactly the stale
+    /// process epoch fencing must stop.
+    Partition,
+    /// Asymmetric one-way loss: the reading reaches the collector and
+    /// is durably admitted, but the ack never makes it back. The
+    /// controller must treat it as lost and redeliver; dedup absorbs
+    /// the duplicate.
+    AckLoss,
+    /// Duplicate delivery: the same reading arrives twice (a retry
+    /// storm shape); sequence dedup must absorb the copy.
+    Duplicate,
+    /// Delayed duplicate: a stale retransmit of the previous reading
+    /// lands just before the current one — the reorder/dedup path must
+    /// absorb it without perturbing the report.
+    Delay,
+}
+
+/// One network fault window on `partition`'s epoch-1 link: starting at
+/// the `after_records`th handled reading, the next `span` sends are
+/// shaped by `fault`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetDrill {
+    /// Partition whose epoch-1 link is shaped.
+    pub partition: PartitionId,
+    /// Handled-reading count at which the window opens.
+    pub after_records: u64,
+    /// How many sends the window covers (at least 1).
+    pub span: u64,
+    /// The shaping applied inside the window.
+    pub fault: NetFault,
+}
+
 /// A replayable set of collector faults.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DrillPlan {
     /// The faults, in no particular order; each fires at most once.
     pub faults: Vec<DrillFault>,
+    /// Network fault windows on epoch-1 links.
+    pub net: Vec<NetDrill>,
 }
 
 impl DrillPlan {
@@ -50,13 +91,20 @@ impl DrillPlan {
 
     /// Whether the plan injects nothing.
     pub fn is_empty(&self) -> bool {
-        self.faults.is_empty()
+        self.faults.is_empty() && self.net.is_empty()
     }
 
     /// Adds one fault (builder style).
     #[must_use]
     pub fn with_fault(mut self, fault: DrillFault) -> Self {
         self.faults.push(fault);
+        self
+    }
+
+    /// Adds one network fault window (builder style).
+    #[must_use]
+    pub fn with_net(mut self, net: NetDrill) -> Self {
+        self.net.push(net);
         self
     }
 

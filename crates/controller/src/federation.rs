@@ -100,6 +100,14 @@ pub trait PartitionLink {
     fn stats(&self) -> UplinkStats {
         UplinkStats::default()
     }
+
+    /// One liveness/pre-warm probe: the owner's committed fence epoch
+    /// and last checkpointed WAL cursor, or `None` when the owner is
+    /// unreachable (a missed beat, never an error). The default (no
+    /// heartbeat channel) reports nothing.
+    fn heartbeat(&mut self) -> Option<(u64, u64)> {
+        None
+    }
 }
 
 /// Starts, fences, closes and merges partition owners. Implementations
@@ -138,6 +146,11 @@ pub trait PartitionBackend {
     ///
     /// [`BackendError`] when the replay fails.
     fn merge_report(&mut self, p: PartitionId) -> Result<GatewayReport, BackendError>;
+
+    /// A heartbeat advertised `checkpoint_cursor` for `p`: stage the
+    /// owner's latest checkpoint snapshot so a standby can adopt warm
+    /// instead of cold. Default: no staging (adoption stays cold).
+    fn prewarm(&mut self, _p: PartitionId, _checkpoint_cursor: u64) {}
 }
 
 /// Retry policy for standby adoption: capped exponential backoff with
@@ -180,6 +193,17 @@ pub struct FederationConfig {
     pub storage_strikes: u32,
     /// Flush pipelined links every N routed readings per partition.
     pub flush_every: usize,
+    /// Suspicion hysteresis: consecutive missed deliveries (link
+    /// errors) before `Ok → Suspect` commits. 1 (the default, and the
+    /// pre-hysteresis behaviour) suspects on the first miss; higher
+    /// values let a single torn connection or delay spike heal in
+    /// place — the recovery is counted as a flap, not a failover.
+    pub suspect_after: u32,
+    /// Drive the link's heartbeat channel every N routed readings per
+    /// partition (0 disables). Each answered beat hands the owner's
+    /// checkpoint cursor to [`PartitionBackend::prewarm`] so standbys
+    /// stage the latest snapshot before any failover needs it.
+    pub heartbeat_every: usize,
     /// Standby adoption retry policy.
     pub handoff: HandoffPolicy,
 }
@@ -190,6 +214,8 @@ impl Default for FederationConfig {
             silence_deadline: 3600,
             storage_strikes: 3,
             flush_every: 32,
+            suspect_after: 1,
+            heartbeat_every: 0,
             handoff: HandoffPolicy::default(),
         }
     }
@@ -310,6 +336,13 @@ struct PartitionState<L> {
     /// Stream time of the last durable reading.
     progress: Option<Timestamp>,
     strikes: u32,
+    /// Consecutive missed deliveries short of the suspicion threshold.
+    miss_streak: u32,
+    /// Miss streaks that healed in place before reaching the
+    /// threshold (suspicion hysteresis absorbed them).
+    flaps: u32,
+    /// Routed readings since the last heartbeat probe.
+    since_heartbeat: usize,
     orphan_nacks: u64,
     failovers: u32,
     redelivered: u64,
@@ -327,6 +360,9 @@ impl<L> PartitionState<L> {
             seq_next: std::collections::BTreeMap::new(),
             progress: None,
             strikes: 0,
+            miss_streak: 0,
+            flaps: 0,
+            since_heartbeat: 0,
             orphan_nacks: 0,
             failovers: 0,
             redelivered: 0,
@@ -444,7 +480,16 @@ impl<B: PartitionBackend> Federation<B> {
         match self.map.health(p) {
             PartitionHealth::Ok => {
                 if let Err(reason) = self.drive(p) {
-                    self.suspect(p, reason);
+                    self.miss(p, reason);
+                } else {
+                    let state = &mut self.states[p];
+                    if state.miss_streak > 0 {
+                        // The link healed short of the suspicion
+                        // threshold: a flap, not a failover.
+                        state.miss_streak = 0;
+                        state.flaps += 1;
+                    }
+                    self.heartbeat(p);
                 }
             }
             PartitionHealth::Orphaned => self.states[p].orphan_nacks += 1,
@@ -519,6 +564,42 @@ impl<B: PartitionBackend> Federation<B> {
             }
         }
         Ok(())
+    }
+
+    /// Records one missed delivery on `p`: commits `Ok → Suspect`
+    /// only once [`FederationConfig::suspect_after`] consecutive
+    /// misses accumulate (hysteresis — a single torn connection no
+    /// longer triggers fencing churn).
+    fn miss(&mut self, p: PartitionId, reason: String) {
+        let threshold = self.config.suspect_after.max(1);
+        let state = &mut self.states[p];
+        state.miss_streak += 1;
+        if state.miss_streak >= threshold {
+            state.miss_streak = 0;
+            self.suspect(p, reason);
+        }
+    }
+
+    /// Drives the heartbeat cadence for `p`: every
+    /// [`FederationConfig::heartbeat_every`] routed readings, probe
+    /// the link and stage the advertised checkpoint cursor with the
+    /// backend so standbys pre-warm before any failover needs them.
+    fn heartbeat(&mut self, p: PartitionId) {
+        let every = self.config.heartbeat_every;
+        if every == 0 {
+            return;
+        }
+        let state = &mut self.states[p];
+        state.since_heartbeat += 1;
+        if state.since_heartbeat < every {
+            return;
+        }
+        state.since_heartbeat = 0;
+        if let Some(link) = state.link.as_mut() {
+            if let Some((_epoch, cursor)) = link.heartbeat() {
+                self.backend.prewarm(p, cursor);
+            }
+        }
     }
 
     /// Commits `Ok → Suspect` and fences the link. Anything the link
@@ -657,14 +738,23 @@ impl<B: PartitionBackend> Federation<B> {
                 match self.map.health(p) {
                     PartitionHealth::Ok => {
                         if let Err(reason) = self.drive_and_flush(p) {
-                            self.suspect(p, reason);
+                            // Hysteresis applies here too: the loop
+                            // re-drives until the streak either heals
+                            // or trips the threshold, so `miss` cannot
+                            // stall finish().
+                            self.miss(p, reason);
                             continue;
                         }
                         if self.states[p].acked < self.states[p].routed.len() {
                             // A NACK stall with no more routes coming:
                             // settle it through the failover machine.
-                            self.suspect(p, "unacked backlog at end of stream".into());
+                            self.miss(p, "unacked backlog at end of stream".into());
                             continue;
+                        }
+                        let state = &mut self.states[p];
+                        if state.miss_streak > 0 {
+                            state.miss_streak = 0;
+                            state.flaps += 1;
                         }
                         break;
                     }
@@ -718,8 +808,9 @@ impl<B: PartitionBackend> Federation<B> {
             c.nacks += wire.nacks;
             c.reconnects += wire.reconnects;
             c.uplink_acked += wire.acked;
-            counters.merge(&c);
             let state = &self.states[p];
+            c.flaps += u64::from(state.flaps);
+            counters.merge(&c);
             partitions.push(PartitionStatus {
                 partition: p,
                 range: self.map.range(p),
@@ -728,6 +819,9 @@ impl<B: PartitionBackend> Federation<B> {
                 failovers: state.failovers,
                 orphan_nacks: state.orphan_nacks,
                 redelivered: state.redelivered,
+                acked: state.acked as u64,
+                routed: state.routed.len() as u64,
+                flaps: state.flaps,
                 report,
             });
         }

@@ -34,16 +34,18 @@
 pub mod chaos;
 pub mod federation;
 pub mod inproc;
+pub mod nemesis;
 pub mod partition;
 pub mod process;
 pub mod report;
 
-pub use chaos::{CollectorFault, DrillFault, DrillPlan};
+pub use chaos::{CollectorFault, DrillFault, DrillPlan, NetDrill, NetFault};
 pub use federation::{
     replay_report, BackendError, Federation, FederationConfig, FederationError, HandoffPolicy,
     LinkDown, LinkReply, PartitionBackend, PartitionLink,
 };
-pub use inproc::{InProcessBackend, InProcessLink};
+pub use inproc::{InProcessBackend, InProcessLink, Zombie};
+pub use nemesis::{run_campaign, CampaignSummary, NemesisConfig, NemesisFailure, NemesisViolation};
 pub use partition::{PartitionHealth, PartitionId, PartitionMap, SensorRange};
 pub use process::{ProcessBackend, ProcessConfig, ProcessLink, WireProtocol};
 pub use report::{FederationEvent, FleetReport, PartitionStatus};

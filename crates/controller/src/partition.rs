@@ -209,6 +209,73 @@ mod tests {
         assert!(r.is_err(), "stale epoch commit must panic");
     }
 
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Every sensor in `[0, num_sensors)` is owned by exactly
+            /// one partition, and nothing beyond the range is owned —
+            /// including the degenerate shapes: more partitions than
+            /// sensors (zero-width ranges) and zero sensors.
+            #[test]
+            fn split_even_covers_and_is_disjoint(
+                num_sensors in 0u16..200,
+                partitions in 1usize..40,
+            ) {
+                let map = PartitionMap::split_even(num_sensors, partitions);
+                prop_assert_eq!(map.len(), partitions);
+                for s in 0..num_sensors {
+                    let owners = (0..map.len())
+                        .filter(|&p| map.range(p).contains(SensorId(s)))
+                        .count();
+                    prop_assert_eq!(owners, 1, "sensor {} owned {} times", s, owners);
+                    prop_assert!(map.partition_of(SensorId(s)).is_some());
+                }
+                prop_assert_eq!(map.partition_of(SensorId(num_sensors)), None);
+                prop_assert_eq!(map.partition_of(SensorId(u16::MAX)), None);
+            }
+
+            /// Ranges tile the sensor space contiguously in partition
+            /// order, widths never differ by more than one, and with
+            /// more partitions than sensors the surplus partitions are
+            /// exactly the zero-width tail.
+            #[test]
+            fn split_even_ranges_are_contiguous_and_balanced(
+                num_sensors in 0u16..200,
+                partitions in 1usize..40,
+            ) {
+                let map = PartitionMap::split_even(num_sensors, partitions);
+                let mut expected_start = 0u16;
+                let mut widths = Vec::new();
+                for p in 0..map.len() {
+                    let r = map.range(p);
+                    prop_assert_eq!(r.start, expected_start, "gap or overlap at partition {}", p);
+                    prop_assert!(r.end >= r.start);
+                    expected_start = r.end;
+                    widths.push(r.len());
+                }
+                prop_assert_eq!(expected_start, num_sensors, "ranges must cover the full space");
+                let min = widths.iter().copied().min().unwrap_or(0);
+                let max = widths.iter().copied().max().unwrap_or(0);
+                prop_assert!(max - min <= 1, "uneven split: widths {:?}", widths);
+                // Zero-width ranges exist iff partitions outnumber
+                // sensors, and they answer ownership queries sanely.
+                let empties = widths.iter().filter(|w| **w == 0).count();
+                let expected_empties =
+                    partitions.saturating_sub(usize::from(num_sensors).min(partitions));
+                prop_assert_eq!(empties, expected_empties);
+                for p in 0..map.len() {
+                    if map.range(p).is_empty() {
+                        for s in 0..num_sensors {
+                            prop_assert!(!map.range(p).contains(SensorId(s)));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     fn health_displays_in_kebab_case() {
         let all = [

@@ -10,8 +10,8 @@ use crate::federation::{
 };
 use crate::partition::PartitionId;
 use sentinet_gateway::{
-    GatewayConfig, GatewayReport, PipelinedConfig, PipelinedUplink, SensorUplink, UplinkConfig,
-    UplinkStats,
+    probe_heartbeat, GatewayConfig, GatewayReport, PipelinedConfig, PipelinedUplink, SensorUplink,
+    UplinkConfig, UplinkStats,
 };
 use sentinet_sim::{SensorId, Timestamp};
 use std::io::{BufRead, BufReader};
@@ -93,6 +93,9 @@ pub struct ProcessLink {
     // EPIPE the child's final report print.
     _stdout: BufReader<ChildStdout>,
     uplink: ChildUplink,
+    addr: String,
+    epoch: u64,
+    ack_timeout: std::time::Duration,
     kill_after: Option<u64>,
     handed: u64,
 }
@@ -142,6 +145,13 @@ impl PartitionLink for ProcessLink {
             ChildUplink::V2(uplink) => uplink.stats(),
         }
     }
+
+    fn heartbeat(&mut self) -> Option<(u64, u64)> {
+        // A dedicated probe connection: the v2 uplink's data socket may
+        // be mid-batch, and the v1 socket is request/response framed,
+        // so the heartbeat never rides the data path.
+        probe_heartbeat(&self.addr, self.epoch, self.ack_timeout)
+    }
 }
 
 impl PartitionBackend for ProcessBackend {
@@ -162,6 +172,9 @@ impl PartitionBackend for ProcessBackend {
             .arg("--wal-dir")
             .arg(&dir)
             .args(["--bind", "127.0.0.1:0"])
+            // The child fail-stops on a stale epoch and fences the
+            // WAL for this owner generation.
+            .args(["--epoch", &epoch.to_string()])
             .args(&self.config.serve_flags)
             .stdin(Stdio::null())
             .stdout(Stdio::piped())
@@ -189,7 +202,12 @@ impl PartitionBackend for ProcessBackend {
             }
         };
         let mut transport = self.config.uplink.clone();
-        transport.connect = addr;
+        transport.connect = addr.clone();
+        // The uplink announces the owner epoch in its Hello, so a
+        // zombie collector holding a superseded epoch NACKs instead of
+        // accepting writes behind the new owner's back.
+        transport.epoch = epoch;
+        let ack_timeout = transport.ack_timeout;
         let uplink = match self.config.protocol {
             WireProtocol::V1 => ChildUplink::V1(SensorUplink::new(transport)),
             WireProtocol::V2 => {
@@ -211,6 +229,9 @@ impl PartitionBackend for ProcessBackend {
             child,
             _stdout: stdout,
             uplink,
+            addr,
+            epoch,
+            ack_timeout,
             kill_after,
             handed: 0,
         })

@@ -129,6 +129,16 @@ pub struct PartitionStatus {
     pub orphan_nacks: u64,
     /// Readings re-sent through the admission path during handoffs.
     pub redelivered: u64,
+    /// Routed readings known durable on the owner when the stream
+    /// ended. The no-acked-loss invariant compares this against the
+    /// merged report's admission count: every acked reading must
+    /// survive into the replay.
+    pub acked: u64,
+    /// Total readings routed to the partition.
+    pub routed: u64,
+    /// Miss streaks that healed in place before reaching the
+    /// suspicion threshold (hysteresis absorbed them — no failover).
+    pub flaps: u32,
     /// The partition's merged report, rebuilt by replaying its WAL
     /// through the identical admission path.
     pub report: GatewayReport,

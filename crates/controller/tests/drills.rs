@@ -12,7 +12,7 @@
 
 use sentinet_controller::{
     CollectorFault, DrillFault, DrillPlan, Federation, FederationConfig, FederationEvent,
-    InProcessBackend, PartitionHealth, PartitionMap,
+    InProcessBackend, NetDrill, NetFault, PartitionHealth, PartitionMap,
 };
 use sentinet_gateway::GatewayConfig;
 use sentinet_sim::SensorId;
@@ -284,6 +284,81 @@ fn reclaimed_wal_forces_a_true_snapshot_restore_on_adoption() {
     for p in &fleet.partitions {
         assert_eq!(p.report.storage.budget_shed, 0, "the drill must not shed");
     }
+}
+
+/// Runs the stream through a two-partition fleet under an explicit
+/// federation config (the hysteresis drills need `suspect_after`).
+fn run_fleet_config(
+    root: &std::path::Path,
+    standbys: usize,
+    drill: DrillPlan,
+    config: FederationConfig,
+) -> sentinet_controller::FleetReport {
+    let map = PartitionMap::split_even(4, 2);
+    let backend = InProcessBackend::new(template(), root, 2, standbys, drill);
+    let mut fed = Federation::new(map, config, backend).expect("bootstrap");
+    for (sensor, time, values) in stream() {
+        fed.route(sensor, time, &values).expect("route");
+    }
+    fed.finish().expect("finish")
+}
+
+#[test]
+fn sub_threshold_miss_heals_as_a_counted_flap_not_a_failover() {
+    let base = baseline();
+    let root = tmproot("flap");
+    // One lost send on p0's link: under suspect_after = 2 the retry
+    // heals in place — no suspicion, no fencing, no failover.
+    let drill = DrillPlan::new().with_net(NetDrill {
+        partition: 0,
+        after_records: 10,
+        span: 1,
+        fault: NetFault::Partition,
+    });
+    let config = FederationConfig {
+        suspect_after: 2,
+        ..FederationConfig::default()
+    };
+    // Zero standbys: any failover would orphan and fail the asserts.
+    let fleet = run_fleet_config(&root, 0, drill, config);
+
+    assert!(
+        fleet.events.is_empty(),
+        "a flap must not reach the health machine (got {:?})",
+        fleet.events
+    );
+    let p0 = &fleet.partitions[0];
+    assert_eq!(p0.health, PartitionHealth::Ok);
+    assert_eq!(p0.epoch, 1, "no failover happened");
+    assert_eq!(p0.failovers, 0);
+    assert_eq!(p0.flaps, 1, "the healed miss streak is counted");
+    assert_eq!(fleet.counters.flaps, 1, "flaps surface in fleet counters");
+    assert_eq!(fleet.partitions[1].flaps, 0);
+    assert_eq!(
+        fleet.render_diagnosis(),
+        base.render_diagnosis(),
+        "a flap must not perturb the diagnosis"
+    );
+    assert_eq!(p0.acked, p0.routed, "everything still lands durably");
+}
+
+#[test]
+fn default_threshold_still_suspects_on_the_first_miss() {
+    // suspect_after defaults to 1 — the pre-hysteresis behaviour:
+    // the same single lost send commits suspicion and fails over.
+    let root = tmproot("flap-default");
+    let drill = DrillPlan::new().with_net(NetDrill {
+        partition: 0,
+        after_records: 10,
+        span: 1,
+        fault: NetFault::Partition,
+    });
+    let fleet = run_fleet_config(&root, 1, drill, FederationConfig::default());
+    let p0 = &fleet.partitions[0];
+    assert_eq!(p0.epoch, 2, "the first miss fails over under the default");
+    assert_eq!(p0.failovers, 1);
+    assert_eq!(p0.flaps, 0);
+    assert_eq!(fleet.counters.flaps, 0);
 }
 
 #[test]

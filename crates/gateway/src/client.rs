@@ -57,6 +57,13 @@ pub struct UplinkConfig {
     /// knob federation drills use to compress time). Values above 100
     /// are clamped to 100.
     pub jitter_pct: u32,
+    /// Fence epoch carried in the Hello handshake (0 = unfenced; the
+    /// field is then omitted from the wire so pre-fencing servers and
+    /// the pinned v1 Hello bytes are untouched). Federation links set
+    /// this to the partition's failover epoch so a collector that was
+    /// partitioned away learns it has been superseded the moment any
+    /// newer-epoch peer connects.
+    pub epoch: u64,
 }
 
 impl UplinkConfig {
@@ -71,6 +78,7 @@ impl UplinkConfig {
             backoff_cap: Duration::from_secs(2),
             jitter_seed: 7,
             jitter_pct: 50,
+            epoch: 0,
         }
     }
 }
@@ -266,6 +274,38 @@ impl SensorUplink {
         })
     }
 
+    /// Sends one `Heartbeat` probe (carrying the uplink's configured
+    /// fence epoch) and waits for the `HeartbeatAck`; returns the
+    /// server's committed fence epoch and last checkpointed WAL
+    /// cursor, or `None` when every attempt went unanswered. The
+    /// federation tier uses the pair as a liveness signal that
+    /// survives stream silence and as the pre-warm coordinate for
+    /// standbys.
+    pub fn heartbeat(&mut self) -> Option<(u64, u64)> {
+        let frame = encode_frame(&Message::Heartbeat {
+            epoch: self.config.epoch,
+        });
+        let reply = std::cell::Cell::new(None);
+        for attempt in 0..self.config.max_attempts {
+            if attempt > 0 {
+                self.backoff(attempt);
+            }
+            if self.attempt(&frame, |msg| match msg {
+                Message::HeartbeatAck {
+                    epoch,
+                    checkpoint_cursor,
+                } => {
+                    reply.set(Some((*epoch, *checkpoint_cursor)));
+                    Reply::Acked
+                }
+                _ => Reply::Unrelated,
+            }) {
+                return reply.get();
+            }
+        }
+        None
+    }
+
     /// Ends the stream: sends `Fin` until `FinAck` arrives, then
     /// closes the connection.
     ///
@@ -355,6 +395,7 @@ impl SensorUplink {
         // what v1 servers and the crash-recovery tests pinned down.
         let hello = encode_frame(&Message::Hello {
             version: PROTOCOL_V1,
+            epoch: self.config.epoch,
         });
         if stream.write_all(&hello).is_err() {
             return false;
@@ -856,6 +897,7 @@ impl PipelinedUplink {
             let mut stream = stream;
             let hello = encode_frame(&Message::Hello {
                 version: PROTOCOL_VERSION,
+                epoch: transport.epoch,
             });
             if stream
                 .write_all(&hello)
@@ -908,6 +950,49 @@ impl PipelinedUplink {
         Err(UplinkError::ConnectExhausted {
             attempts: transport.max_attempts,
         })
+    }
+}
+
+/// One-shot heartbeat over a dedicated connection: dial `connect`,
+/// send a `Heartbeat` carrying `epoch`, wait up to `timeout` for the
+/// `HeartbeatAck`, and return the server's `(fence epoch, checkpoint
+/// cursor)`. `None` on any connect, I/O, or deadline failure — the
+/// caller's liveness machine treats that as a missed beat, never an
+/// error. Kept separate from both uplinks so the federation's
+/// heartbeat channel cannot perturb the data path's retransmit state.
+pub fn probe_heartbeat(connect: &str, epoch: u64, timeout: Duration) -> Option<(u64, u64)> {
+    let stream = Stream::connect(connect).ok()?;
+    let per_read = (timeout / 4).max(Duration::from_millis(10));
+    stream.set_read_timeout(Some(per_read)).ok()?;
+    let mut stream = stream;
+    stream
+        .write_all(&encode_frame(&Message::Heartbeat { epoch }))
+        .and_then(|()| stream.flush())
+        .ok()?;
+    let mut fb = FrameBuffer::new();
+    let deadline = Instant::now() + timeout;
+    let mut buf = [0u8; 1024];
+    loop {
+        loop {
+            match fb.next_message() {
+                Ok(Some(Message::HeartbeatAck {
+                    epoch,
+                    checkpoint_cursor,
+                })) => return Some((epoch, checkpoint_cursor)),
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(_) => return None,
+            }
+        }
+        if Instant::now() >= deadline {
+            return None;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return None,
+            Ok(n) => fb.feed(&buf[..n]),
+            Err(e) if is_timeout(&e) => {}
+            Err(_) => return None,
+        }
     }
 }
 

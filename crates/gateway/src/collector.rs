@@ -57,10 +57,20 @@ use std::sync::Arc;
 
 /// Marker line opening a gateway checkpoint file.
 const CHECKPOINT_MAGIC: &str = "sentinet-gateway-checkpoint v2";
-/// Checkpoint file name inside the WAL directory.
-const CHECKPOINT_FILE: &str = "checkpoint.ck";
+/// Checkpoint file name inside the WAL directory. Public so pre-warm
+/// caches (federation standbys staging the owner's latest snapshot)
+/// can read the same bytes [`Collector::open_prewarmed`] will compare.
+pub const CHECKPOINT_FILE: &str = "checkpoint.ck";
 /// Scratch name the checkpoint is written under before rename-commit.
 const CHECKPOINT_TMP: &str = "checkpoint.tmp";
+/// Marker line opening the fence-token file.
+const FENCE_MAGIC: &str = "sentinet-fence v1";
+/// Fence-token file name inside the WAL directory: the committed
+/// owner epoch, persisted beside the WAL so a stale owner sharing the
+/// directory observes its successor.
+const FENCE_FILE: &str = "fence.tk";
+/// Scratch name the fence token is written under before rename-commit.
+const FENCE_TMP: &str = "fence.tmp";
 
 /// Full gateway configuration.
 #[derive(Debug, Clone)]
@@ -83,6 +93,38 @@ pub struct GatewayConfig {
     /// [`Collector::open`] before [`record_released_trace`]
     /// (`Collector::record_released_trace`) could be called.
     pub record_released: bool,
+    /// Owner epoch this collector claims over its WAL directory. `0`
+    /// disables fencing entirely (standalone collectors pay nothing).
+    /// With a non-zero epoch, [`Collector::open`] refuses a directory
+    /// whose persisted fence token names a newer epoch, commits its
+    /// own token otherwise, and the deliver path fail-stops with
+    /// [`RejectCause::Fenced`] once a newer committed epoch is
+    /// observed — on disk or via the wire handshake.
+    pub epoch: u64,
+    /// Whether the deliver-path fence check runs. Production is always
+    /// [`FenceCheck::Enforced`]; see [`FenceCheck::Skip`] for the
+    /// mutation seam.
+    pub fence: FenceCheck,
+}
+
+/// Whether a fenced collector actually checks for a newer committed
+/// epoch on the deliver path.
+///
+/// The shipped rule is [`FenceCheck::Enforced`]. [`FenceCheck::Skip`]
+/// deliberately re-creates the split-brain the fence exists to prevent
+/// — a partitioned-but-alive owner keeps appending to a WAL its
+/// successor now owns — so the nemesis campaign can prove it *detects*
+/// the violation (a mutation-style self-test mirroring
+/// [`AckDiscipline::Eager`](crate::harness::AckDiscipline)). Production
+/// code must never use it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FenceCheck {
+    /// Check the persisted fence token (and any wire-observed epoch)
+    /// before every append; fail-stop on a newer committed epoch.
+    Enforced,
+    /// Never check — the deliberately broken mode the nemesis
+    /// campaign's mutation self-test must catch.
+    Skip,
 }
 
 impl GatewayConfig {
@@ -97,6 +139,8 @@ impl GatewayConfig {
             silence_deadline: Some(3600),
             checkpoint_every: 256,
             record_released: false,
+            epoch: 0,
+            fence: FenceCheck::Enforced,
         }
     }
 }
@@ -130,6 +174,15 @@ pub enum GatewayError {
         /// Lowest WAL segment present on disk.
         first_segment: u64,
     },
+    /// The WAL directory's persisted fence token names a newer owner
+    /// epoch than this collector was configured with: a successor has
+    /// already committed ownership, so opening would split-brain.
+    Fenced {
+        /// Epoch committed in the fence token.
+        persisted: u64,
+        /// Epoch this collector was configured with.
+        configured: u64,
+    },
     /// Filesystem error outside the WAL itself.
     Io(PathBuf, std::io::Error),
 }
@@ -154,6 +207,13 @@ impl fmt::Display for GatewayError {
                 f,
                 "wal starts at retained segment {first_segment} but its checkpoint is missing; \
                  cannot rebuild the reclaimed prefix"
+            ),
+            GatewayError::Fenced {
+                persisted,
+                configured,
+            } => write!(
+                f,
+                "wal directory fenced at epoch {persisted}; this collector's epoch {configured} is stale"
             ),
             GatewayError::Io(path, e) => write!(f, "gateway io error at {}: {e}", path.display()),
         }
@@ -219,6 +279,10 @@ pub enum RejectCause {
     /// The WAL retention budget is exhausted and nothing below the
     /// checkpoint cursor is reclaimable — counted load shedding.
     WalBudget,
+    /// A newer committed owner epoch was observed (in the persisted
+    /// fence token or via the wire handshake): this collector is a
+    /// stale owner and fail-stops instead of racing its successor.
+    Fenced,
 }
 
 /// What the server should tell the client about a delivered frame.
@@ -284,6 +348,10 @@ pub struct RecoveryInfo {
     /// WAL cursor of the restore-point snapshot state was rebuilt
     /// from, when retention had reclaimed the replay prefix.
     pub restored_from: Option<u64>,
+    /// Whether a pre-warmed checkpoint image (staged from a heartbeat
+    /// before adoption) matched the on-disk checkpoint byte-for-byte
+    /// — the standby adopted from a snapshot it had already validated.
+    pub prewarmed: bool,
 }
 
 /// Current silence accounting (the gateway's degraded-mode surface,
@@ -339,6 +407,12 @@ pub struct StorageStatus {
     pub reclaim_failures: usize,
     /// WAL segments deleted by checkpoint-gated retention.
     pub reclaimed_segments: usize,
+    /// Deliveries NACKed because a newer committed owner epoch fenced
+    /// this collector (the expected fail-stop of a stale owner after
+    /// failover — accounted separately from storage poisoning).
+    pub fence_rejects: usize,
+    /// The newer epoch that fenced this collector, if any.
+    pub fenced_by: Option<u64>,
 }
 
 impl StorageStatus {
@@ -406,6 +480,13 @@ pub struct Collector {
     checkpoint_failures: usize,
     reclaim_failures: usize,
     reclaimed_segments: usize,
+    /// Newest owner epoch observed (persisted fence token or wire
+    /// handshake). Above `config.epoch` ⇒ this collector is fenced.
+    observed_epoch: u64,
+    fence_rejects: usize,
+    /// WAL cursor of the last committed checkpoint (0: none yet) —
+    /// what heartbeats advertise so standbys can pre-warm.
+    last_checkpoint_cursor: u64,
     /// Wall time spent in batch admission (dedup/budget probes plus
     /// reorder/sanitize/pipeline), for the bench stage breakdown.
     admission_ns: u64,
@@ -443,11 +524,57 @@ impl Collector {
     ///
     /// # Errors
     ///
-    /// Any [`GatewayError`]; corruption, checkpoint divergence, and a
-    /// retained log whose checkpoint is missing are loud failures,
-    /// never silent data loss.
+    /// Any [`GatewayError`]; corruption, checkpoint divergence, a
+    /// retained log whose checkpoint is missing, and a fence token
+    /// naming a newer epoch ([`GatewayError::Fenced`]) are loud
+    /// failures, never silent data loss.
     pub fn open(config: GatewayConfig) -> Result<(Self, RecoveryInfo), GatewayError> {
+        Self::open_prewarmed(config, None)
+    }
+
+    /// [`Collector::open`] with an optional pre-warmed checkpoint
+    /// image: the raw bytes of the partition's checkpoint file, staged
+    /// by a standby from heartbeat advertisements before adoption. The
+    /// on-disk checkpoint stays authoritative — the cached image is
+    /// compared against it and [`RecoveryInfo::prewarmed`] records
+    /// whether the standby's staged snapshot was already current.
+    ///
+    /// # Errors
+    ///
+    /// As [`Collector::open`].
+    pub fn open_prewarmed(
+        config: GatewayConfig,
+        prewarm: Option<&[u8]>,
+    ) -> Result<(Self, RecoveryInfo), GatewayError> {
+        // Fence gate first: a directory committed to a newer epoch
+        // must never be opened by a stale owner, and a newly adopting
+        // owner commits its claim before any append can happen.
+        // `FenceCheck::Skip` bypasses the gate entirely — the mutation
+        // build must be able to resurrect a stale owner to prove the
+        // nemesis campaign catches the resulting split-brain.
+        if config.epoch > 0 && config.fence == FenceCheck::Enforced {
+            let persisted = read_fence(&config.wal)?;
+            if persisted > config.epoch {
+                return Err(GatewayError::Fenced {
+                    persisted,
+                    configured: config.epoch,
+                });
+            }
+            if persisted < config.epoch {
+                write_fence(&config.wal, config.epoch)?;
+            }
+        }
+        let prewarmed = match prewarm {
+            Some(cached) => config
+                .wal
+                .vfs
+                .read(&config.wal.dir.join(CHECKPOINT_FILE))
+                .map(|disk| disk == cached)
+                .unwrap_or(false),
+            None => false,
+        };
         let checkpoint = read_checkpoint(&config.wal)?;
+        let checkpoint_cursor = checkpoint.as_ref().map_or(0, |c| c.cursor);
         let base = checkpoint
             .as_ref()
             .map(|c| (c.base_segment, c.base_records));
@@ -480,6 +607,7 @@ impl Collector {
             // rebuild state from the snapshot, replay only the tail.
             let snap = decode_collector(&ck.body).map_err(GatewayError::CheckpointMalformed)?;
             let mut collector = Self::from_snapshot(config, wal, snap)?;
+            collector.last_checkpoint_cursor = checkpoint_cursor;
             let skip = (ck.cursor - base_records) as usize;
             for record in &records[skip..] {
                 collector
@@ -493,6 +621,7 @@ impl Collector {
                 replayed: (records.len() - skip) as u64,
                 verified_cursor: None,
                 restored_from: Some(ck.cursor),
+                prewarmed,
             };
             return Ok((collector, info));
         }
@@ -500,6 +629,7 @@ impl Collector {
         // Full-log mode: replay everything, verifying the checkpoint
         // snapshot byte-exactly as the cursor goes by.
         let mut collector = Self::fresh(config, wal);
+        collector.last_checkpoint_cursor = checkpoint_cursor;
         let mut verified_cursor = None;
         for (i, record) in records.iter().enumerate() {
             collector
@@ -522,6 +652,7 @@ impl Collector {
             replayed: records.len() as u64,
             verified_cursor,
             restored_from: None,
+            prewarmed,
         };
         Ok((collector, info))
     }
@@ -552,6 +683,9 @@ impl Collector {
             checkpoint_failures: 0,
             reclaim_failures: 0,
             reclaimed_segments: 0,
+            observed_epoch: 0,
+            fence_rejects: 0,
+            last_checkpoint_cursor: 0,
             admission_ns: 0,
         }
     }
@@ -605,6 +739,9 @@ impl Collector {
             checkpoint_failures: 0,
             reclaim_failures: 0,
             reclaimed_segments: 0,
+            observed_epoch: 0,
+            fence_rejects: 0,
+            last_checkpoint_cursor: 0,
             admission_ns: 0,
         })
     }
@@ -661,6 +798,10 @@ impl Collector {
         time: Timestamp,
         values: Vec<f64>,
     ) -> Result<DeliverOutcome, GatewayError> {
+        if self.fence_breached() {
+            self.fence_rejects += 1;
+            return Ok(DeliverOutcome::Rejected(RejectCause::Fenced));
+        }
         if self.wal.poisoned().is_some() {
             self.storage_rejects += 1;
             return Ok(DeliverOutcome::Rejected(RejectCause::Storage));
@@ -743,6 +884,12 @@ impl Collector {
             ack_cursor: self.wal.records_logged(),
             nack: None,
         };
+        if self.fence_breached() {
+            self.fence_rejects += readings.len();
+            out.rejected = readings.len();
+            out.nack = Some((first_seq, RejectCause::Fenced));
+            return Ok(out);
+        }
         if self.wal.poisoned().is_some() {
             self.storage_rejects += readings.len();
             out.rejected = readings.len();
@@ -839,6 +986,50 @@ impl Collector {
         out.ack_cursor = self.wal.records_logged();
         out.ack_up_to = self.seqs.get(&sensor).and_then(|t| t.watermark());
         Ok(out)
+    }
+
+    /// Whether a newer committed owner epoch fences this collector's
+    /// appends. Unfenced collectors (`epoch == 0`) and the
+    /// [`FenceCheck::Skip`] mutation pay nothing; fenced collectors
+    /// re-read the persisted token so a successor's rename-committed
+    /// claim is observed before the next append, with a wire-observed
+    /// epoch ([`Collector::observe_epoch`]) short-circuiting the read.
+    fn fence_breached(&mut self) -> bool {
+        if self.config.epoch == 0 || self.config.fence == FenceCheck::Skip {
+            return false;
+        }
+        if self.observed_epoch > self.config.epoch {
+            return true;
+        }
+        if let Ok(persisted) = read_fence(&self.config.wal) {
+            if persisted > self.observed_epoch {
+                self.observed_epoch = persisted;
+            }
+        }
+        self.observed_epoch > self.config.epoch
+    }
+
+    /// Records an owner epoch observed on the wire (a `Hello` or
+    /// `Heartbeat` carrying a newer epoch than ours). Once a newer
+    /// epoch is observed every delivery fail-stops with
+    /// [`RejectCause::Fenced`].
+    pub fn observe_epoch(&mut self, epoch: u64) {
+        if epoch > self.observed_epoch {
+            self.observed_epoch = epoch;
+        }
+    }
+
+    /// The owner epoch this collector was configured with (0:
+    /// unfenced).
+    pub fn epoch(&self) -> u64 {
+        self.config.epoch
+    }
+
+    /// WAL cursor of the last committed checkpoint (0: none yet) —
+    /// advertised in heartbeat replies so standbys can pre-warm from
+    /// the freshest snapshot.
+    pub fn checkpoint_cursor(&self) -> u64 {
+        self.last_checkpoint_cursor
     }
 
     /// Absolute WAL cursor covered by a completed fsync — the ack
@@ -1024,6 +1215,7 @@ impl Collector {
             self.checkpoint_failures += 1;
             return Ok(());
         }
+        self.last_checkpoint_cursor = cursor;
         if !plan.is_empty() {
             match self.wal.execute_reclaim(&plan) {
                 Ok(()) => self.reclaimed_segments += plan.delete.len(),
@@ -1067,6 +1259,9 @@ impl Collector {
             checkpoint_failures: self.checkpoint_failures,
             reclaim_failures: self.reclaim_failures,
             reclaimed_segments: self.reclaimed_segments,
+            fence_rejects: self.fence_rejects,
+            fenced_by: (self.config.epoch > 0 && self.observed_epoch > self.config.epoch)
+                .then_some(self.observed_epoch),
         }
     }
 
@@ -1129,6 +1324,54 @@ impl Collector {
             uplink: None,
         })
     }
+}
+
+/// Reads the persisted fence token through the configured
+/// [`Vfs`](crate::vfs::Vfs); a missing or unreadable token reads as
+/// epoch 0 (the directory was never fenced — or the read raced the
+/// successor's rename-commit, in which case the next read observes
+/// the committed token).
+fn read_fence(config: &WalConfig) -> Result<u64, GatewayError> {
+    let path = config.dir.join(FENCE_FILE);
+    let bytes = match config.vfs.read(&path) {
+        Ok(b) => b,
+        Err(_) => return Ok(0),
+    };
+    let text = String::from_utf8(bytes)
+        .map_err(|_| GatewayError::CheckpointMalformed("fence token is not utf-8".into()))?;
+    let mut lines = text.lines();
+    if lines.next() != Some(FENCE_MAGIC) {
+        return Err(GatewayError::CheckpointMalformed(
+            "fence token missing magic header".into(),
+        ));
+    }
+    lines
+        .next()
+        .and_then(|l| l.strip_prefix("epoch "))
+        .and_then(|n| n.parse::<u64>().ok())
+        .ok_or_else(|| GatewayError::CheckpointMalformed("fence token bad `epoch` line".into()))
+}
+
+/// Commits `epoch` as the directory's fence token (tmp + rename, like
+/// the checkpoint), through the configured [`Vfs`](crate::vfs::Vfs).
+/// A failure here is an open-time error: without a committed token the
+/// single-writer guarantee cannot be made.
+fn write_fence(config: &WalConfig, epoch: u64) -> Result<(), GatewayError> {
+    let text = format!("{FENCE_MAGIC}\nepoch {epoch}\n");
+    config
+        .vfs
+        .create_dir_all(&config.dir)
+        .map_err(|e| GatewayError::Io(config.dir.clone(), e))?;
+    let tmp = config.dir.join(FENCE_TMP);
+    let path = config.dir.join(FENCE_FILE);
+    config
+        .vfs
+        .write_file(&tmp, text.as_bytes())
+        .map_err(|e| GatewayError::Io(tmp.clone(), e))?;
+    config
+        .vfs
+        .rename(&tmp, &path)
+        .map_err(|e| GatewayError::Io(path, e))
 }
 
 /// Reads and parses the checkpoint file, if present, through the
@@ -1630,5 +1873,151 @@ mod tests {
             );
             fs::remove_dir_all(&dir).unwrap();
         }
+    }
+
+    /// Epoch fencing, happy path: a successor at a newer epoch commits
+    /// its fence token on open; the superseded collector then refuses
+    /// to reopen (`GatewayError::Fenced`) — the single-writer claim is
+    /// durable before the successor ever appends.
+    #[test]
+    fn stale_epoch_cannot_reopen_fenced_wal() {
+        let dir = tmpdir("fence-reopen");
+        let mut cfg = config(&dir);
+        cfg.epoch = 1;
+        let (mut c, _) = Collector::open(cfg).unwrap();
+        for (s, seq, t, v) in stream(4) {
+            assert_eq!(c.deliver(s, seq, t, v).unwrap(), DeliverOutcome::Accepted);
+        }
+        drop(c); // crash without finish; epoch-1 token stays committed
+
+        // Failover: a successor adopts the dir at epoch 2.
+        let mut cfg = config(&dir);
+        cfg.epoch = 2;
+        let (c2, rec) = Collector::open(cfg).unwrap();
+        assert_eq!(rec.replayed, 8);
+        assert_eq!(c2.epoch(), 2);
+        drop(c2);
+
+        // The partitioned-away epoch-1 owner heals and tries to come
+        // back: it must fail-stop at open, not race the successor.
+        let mut cfg = config(&dir);
+        cfg.epoch = 1;
+        match Collector::open(cfg) {
+            Err(GatewayError::Fenced {
+                persisted,
+                configured,
+            }) => {
+                assert_eq!((persisted, configured), (2, 1));
+            }
+            other => panic!("stale reopen must be fenced, got {other:?}"),
+        }
+        // An unfenced (epoch 0) open still works — standalone
+        // single-collector deployments never see fencing.
+        let (mut c3, _) = Collector::open(config(&dir)).unwrap();
+        for (s, seq, t, v) in stream(4) {
+            assert_eq!(c3.deliver(s, seq, t, v).unwrap(), DeliverOutcome::Duplicate);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Epoch fencing, live path: a collector that *observes* a newer
+    /// epoch on the wire (Hello/Heartbeat from a newer-epoch peer)
+    /// fail-stops its deliver path with typed `Fenced` rejects and
+    /// counts them; the WAL gains no interleaved appends.
+    #[test]
+    fn wire_observed_newer_epoch_fences_deliveries() {
+        let dir = tmpdir("fence-wire");
+        let mut cfg = config(&dir);
+        cfg.epoch = 1;
+        let (mut c, _) = Collector::open(cfg).unwrap();
+        assert_eq!(
+            c.deliver(SensorId(0), 0, 300, vec![20.0, 50.0]).unwrap(),
+            DeliverOutcome::Accepted
+        );
+        c.observe_epoch(2); // a successor announced itself
+        for seq in 1..4u64 {
+            assert_eq!(
+                c.deliver(SensorId(0), seq, 300 * (seq + 1), vec![21.0, 51.0])
+                    .unwrap(),
+                DeliverOutcome::Rejected(RejectCause::Fenced)
+            );
+        }
+        let readings: Vec<(Timestamp, Vec<f64>)> =
+            vec![(1500, vec![22.0, 52.0]), (1800, vec![23.0, 53.0])];
+        let out = c.deliver_batch(SensorId(0), 4, &readings).unwrap();
+        assert_eq!(out.nack, Some((4, RejectCause::Fenced)));
+        assert_eq!(out.rejected, 2);
+        let status = c.storage_status();
+        assert_eq!(status.fence_rejects, 5);
+        assert_eq!(status.fenced_by, Some(2));
+        assert!(
+            status.is_clean(),
+            "fencing is an orderly fail-stop, not storage degradation"
+        );
+        drop(c);
+        // No interleaved appends: an unfenced reopen replays only the
+        // single record accepted before the newer epoch was observed.
+        let (_, rec) = Collector::open(config(&dir)).unwrap();
+        assert_eq!(rec.replayed, 1, "a fenced collector must not append");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// `FenceCheck::Skip` is the mutation seam: with the check
+    /// disabled, a stale collector reopens and appends straight past a
+    /// newer committed epoch — exactly the split-brain the nemesis
+    /// campaign must catch (see `xtask nemesis --mutate`).
+    #[test]
+    fn fence_check_skip_admits_split_brain() {
+        let dir = tmpdir("fence-skip");
+        let mut cfg = config(&dir);
+        cfg.epoch = 2;
+        let (c, _) = Collector::open(cfg).unwrap();
+        drop(c);
+        let mut cfg = config(&dir);
+        cfg.epoch = 1;
+        cfg.fence = FenceCheck::Skip;
+        let (mut zombie, _) = Collector::open(cfg).expect("skip must admit the stale epoch");
+        zombie.observe_epoch(2);
+        assert_eq!(
+            zombie
+                .deliver(SensorId(0), 0, 300, vec![20.0, 50.0])
+                .unwrap(),
+            DeliverOutcome::Accepted,
+            "the broken build appends where the shipped one fail-stops"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Pre-warm: a standby that cached the latest checkpoint bytes
+    /// opens with `RecoveryInfo::prewarmed` set; stale or absent cache
+    /// bytes fall back to a cold open with the same end state.
+    #[test]
+    fn prewarmed_open_matches_cold_open() {
+        let dir = tmpdir("prewarm");
+        let mut cfg = config(&dir);
+        cfg.checkpoint_every = 4;
+        let (mut c, _) = Collector::open(cfg).unwrap();
+        let records = stream(8);
+        for (s, seq, t, v) in records.iter().cloned() {
+            assert_eq!(c.deliver(s, seq, t, v).unwrap(), DeliverOutcome::Accepted);
+        }
+        drop(c);
+        let snapshot = fs::read(dir.join(CHECKPOINT_FILE)).unwrap();
+
+        let (cold, cold_rec) = Collector::open(config(&dir)).unwrap();
+        assert!(!cold_rec.prewarmed);
+        let cold_cursor = cold.checkpoint_cursor();
+        drop(cold);
+
+        let (warm, warm_rec) = Collector::open_prewarmed(config(&dir), Some(&snapshot)).unwrap();
+        assert!(warm_rec.prewarmed, "matching cache bytes count as warm");
+        assert_eq!(warm_rec.replayed, cold_rec.replayed);
+        assert_eq!(warm.checkpoint_cursor(), cold_cursor);
+        drop(warm);
+
+        let (_, stale_rec) =
+            Collector::open_prewarmed(config(&dir), Some(b"sentinet-checkpoint stale")).unwrap();
+        assert!(!stale_rec.prewarmed, "stale cache bytes are a cold open");
+        fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -48,6 +48,8 @@ const TAG_DATA_BATCH: u8 = 7;
 const TAG_ACK_UP_TO: u8 = 8;
 const TAG_HELLO_ACK: u8 = 9;
 const TAG_HELLO_REJECT: u8 = 10;
+const TAG_HEARTBEAT: u8 = 11;
+const TAG_HEARTBEAT_ACK: u8 = 12;
 
 /// Hard cap on readings per [`Message::DataBatch`] frame (the frame
 /// must also fit [`MAX_PAYLOAD`]).
@@ -56,10 +58,16 @@ pub const MAX_BATCH_READINGS: usize = 4096;
 /// One protocol message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
-    /// Client greeting; carries the protocol version.
+    /// Client greeting; carries the protocol version and (for fenced
+    /// federation links) the sender's owner epoch.
     Hello {
         /// Wire protocol version (see [`PROTOCOL_VERSION`]).
         version: u32,
+        /// Owner epoch the sender believes is current; `0` means
+        /// unfenced (standalone clients). Encoded as an optional
+        /// trailing field only when non-zero, so the v1 wire bytes a
+        /// plain `Hello` produces are unchanged.
+        epoch: u64,
     },
     /// One sensor reading with its per-sensor sequence number.
     Data {
@@ -130,6 +138,22 @@ pub enum Message {
     HelloReject {
         /// Highest protocol version the server supports.
         supported: u32,
+    },
+    /// Lightweight liveness probe from a federation controller. The
+    /// carried epoch doubles as a fence observation: a server whose
+    /// configured epoch is older fail-stops its WAL.
+    Heartbeat {
+        /// Owner epoch the controller believes is current.
+        epoch: u64,
+    },
+    /// Server reply to [`Message::Heartbeat`]: the server's own epoch
+    /// plus the WAL cursor of its last committed checkpoint, so
+    /// standbys can pre-warm from the freshest snapshot.
+    HeartbeatAck {
+        /// The server's configured owner epoch.
+        epoch: u64,
+        /// WAL cursor of the last committed checkpoint (0: none yet).
+        checkpoint_cursor: u64,
     },
 }
 
@@ -260,9 +284,14 @@ pub fn encode_data_payload(
 /// Appends the payload bytes of `msg` to `out`.
 pub fn encode_payload(msg: &Message, out: &mut Vec<u8>) {
     match msg {
-        Message::Hello { version } => {
+        Message::Hello { version, epoch } => {
             out.push(TAG_HELLO);
             put_u32(out, *version);
+            // Optional trailing field: absent when zero, keeping the
+            // pinned v1 Hello bytes byte-for-byte.
+            if *epoch > 0 {
+                put_u64(out, *epoch);
+            }
         }
         Message::Data {
             sensor,
@@ -313,6 +342,18 @@ pub fn encode_payload(msg: &Message, out: &mut Vec<u8>) {
             out.push(TAG_HELLO_REJECT);
             put_u32(out, *supported);
         }
+        Message::Heartbeat { epoch } => {
+            out.push(TAG_HEARTBEAT);
+            put_u64(out, *epoch);
+        }
+        Message::HeartbeatAck {
+            epoch,
+            checkpoint_cursor,
+        } => {
+            out.push(TAG_HEARTBEAT_ACK);
+            put_u64(out, *epoch);
+            put_u64(out, *checkpoint_cursor);
+        }
     }
 }
 
@@ -333,9 +374,13 @@ pub fn decode_payload(payload: &[u8]) -> Result<Message, FrameError> {
         tag,
     };
     let msg = match tag {
-        TAG_HELLO => Message::Hello {
-            version: cur.u32()?,
-        },
+        TAG_HELLO => {
+            let version = cur.u32()?;
+            // The epoch is an optional trailing field (pre-fencing
+            // peers never send it); absent decodes as 0 = unfenced.
+            let epoch = if cur.pos < rest.len() { cur.u64()? } else { 0 };
+            Message::Hello { version, epoch }
+        }
         TAG_DATA => {
             let sensor = SensorId(cur.u16()?);
             let seq = cur.u64()?;
@@ -392,6 +437,11 @@ pub fn decode_payload(payload: &[u8]) -> Result<Message, FrameError> {
         },
         TAG_HELLO_REJECT => Message::HelloReject {
             supported: cur.u32()?,
+        },
+        TAG_HEARTBEAT => Message::Heartbeat { epoch: cur.u64()? },
+        TAG_HEARTBEAT_ACK => Message::HeartbeatAck {
+            epoch: cur.u64()?,
+            checkpoint_cursor: cur.u64()?,
         },
         other => return Err(FrameError::UnknownTag(other)),
     };
@@ -506,6 +556,11 @@ mod tests {
         let messages = vec![
             Message::Hello {
                 version: PROTOCOL_VERSION,
+                epoch: 0,
+            },
+            Message::Hello {
+                version: PROTOCOL_VERSION,
+                epoch: 7,
             },
             data(3, 42, 600, vec![17.25, -80.5]),
             data(0, 0, 0, vec![]),
@@ -539,6 +594,11 @@ mod tests {
             },
             Message::HelloReject {
                 supported: PROTOCOL_VERSION,
+            },
+            Message::Heartbeat { epoch: 3 },
+            Message::HeartbeatAck {
+                epoch: 3,
+                checkpoint_cursor: 4096,
             },
         ];
         let mut fb = FrameBuffer::new();
@@ -683,12 +743,23 @@ mod tests {
         // stop-and-wait clients interoperate with a v2 server.
         let hello = encode_frame(&Message::Hello {
             version: PROTOCOL_V1,
+            epoch: 0,
         });
         let payload = [TAG_HELLO, 1, 0, 0, 0];
         let mut want = vec![5, 0, 0, 0];
         want.extend_from_slice(&payload);
         want.extend_from_slice(&crate::crc::crc32(&payload).to_le_bytes());
         assert_eq!(hello, want);
+        // A legacy epoch-less Hello decodes as epoch 0 (unfenced).
+        let mut fb = FrameBuffer::new();
+        fb.feed(&hello);
+        assert_eq!(
+            fb.next_message().unwrap().unwrap(),
+            Message::Hello {
+                version: PROTOCOL_V1,
+                epoch: 0,
+            }
+        );
         let data = encode_frame(&data(1, 2, 300, vec![1.5]));
         assert_eq!(data[4], 2); // TAG_DATA survives
         assert_eq!(data.len(), 4 + 21 + 8 + 4); // envelope + payload shape

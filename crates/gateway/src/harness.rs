@@ -193,34 +193,52 @@ impl StepServer {
                 }
                 replies.push((conn, Message::FinAck));
             }
-            Message::Hello { version } => match version {
-                PROTOCOL_V1 => {}
-                PROTOCOL_VERSION => {
-                    replies.push((
-                        conn,
-                        Message::HelloAck {
-                            version: PROTOCOL_VERSION,
-                            credits: self.credit_window,
-                        },
-                    ));
+            Message::Hello { version, epoch } => {
+                if epoch > 0 {
+                    self.collector.observe_epoch(epoch);
                 }
-                _ => {
-                    self.version_rejects += 1;
-                    replies.push((
-                        conn,
-                        Message::HelloReject {
-                            supported: PROTOCOL_VERSION,
-                        },
-                    ));
-                    self.disconnect(conn);
+                match version {
+                    PROTOCOL_V1 => {}
+                    PROTOCOL_VERSION => {
+                        replies.push((
+                            conn,
+                            Message::HelloAck {
+                                version: PROTOCOL_VERSION,
+                                credits: self.credit_window,
+                            },
+                        ));
+                    }
+                    _ => {
+                        self.version_rejects += 1;
+                        replies.push((
+                            conn,
+                            Message::HelloReject {
+                                supported: PROTOCOL_VERSION,
+                            },
+                        ));
+                        self.disconnect(conn);
+                    }
                 }
-            },
+            }
+            Message::Heartbeat { epoch } => {
+                if epoch > 0 {
+                    self.collector.observe_epoch(epoch);
+                }
+                replies.push((
+                    conn,
+                    Message::HeartbeatAck {
+                        epoch: self.collector.epoch(),
+                        checkpoint_cursor: self.collector.checkpoint_cursor(),
+                    },
+                ));
+            }
             Message::Ack { .. }
             | Message::AckUpTo { .. }
             | Message::FinAck
             | Message::Nack { .. }
             | Message::HelloAck { .. }
-            | Message::HelloReject { .. } => {
+            | Message::HelloReject { .. }
+            | Message::HeartbeatAck { .. } => {
                 // Server-bound streams should not carry replies;
                 // ignored, exactly as the event loop does.
             }

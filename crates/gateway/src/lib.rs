@@ -48,12 +48,13 @@ pub mod vfs;
 pub mod wal;
 
 pub use client::{
-    backoff_delay, PipelinedConfig, PipelinedUplink, SensorUplink, UplinkConfig, UplinkError,
-    UplinkStats,
+    backoff_delay, probe_heartbeat, PipelinedConfig, PipelinedUplink, SensorUplink, UplinkConfig,
+    UplinkError, UplinkStats,
 };
 pub use collector::{
-    BatchOutcome, Collector, DeliverOutcome, GatewayConfig, GatewayError, GatewayReport,
-    LivenessStatus, RecoveryInfo, RejectCause, SeqTracker, StageTimings, StorageStatus,
+    BatchOutcome, Collector, DeliverOutcome, FenceCheck, GatewayConfig, GatewayError,
+    GatewayReport, LivenessStatus, RecoveryInfo, RejectCause, SeqTracker, StageTimings,
+    StorageStatus, CHECKPOINT_FILE,
 };
 pub use frame::{
     FrameBuffer, FrameError, Message, MAX_BATCH_READINGS, MAX_PAYLOAD, PROTOCOL_V1,

@@ -66,6 +66,13 @@ pub struct ReportCounters {
     pub reconnects: u64,
     /// Uplink frames/batches fully acknowledged (`uplink-acked`).
     pub uplink_acked: u64,
+    /// Deliveries NACKed by epoch fencing — a stale owner fail-stopped
+    /// instead of racing its successor (`fence-rejects`).
+    pub fence_rejects: u64,
+    /// Suspect streaks that recovered before the hysteresis threshold
+    /// — transient link blips that did *not* trigger fencing churn
+    /// (`flaps`). Counted by the federation tier; zero elsewhere.
+    pub flaps: u64,
 }
 
 /// Every wire name, in encoding order. Decoding requires exactly this
@@ -91,6 +98,8 @@ const FIELDS: &[&str] = &[
     "nacks",
     "reconnects",
     "uplink-acked",
+    "fence-rejects",
+    "flaps",
 ];
 
 /// A counters decode failure (typed, loud — never a silent default).
@@ -132,6 +141,8 @@ impl ReportCounters {
             nacks: uplink.nacks,
             reconnects: uplink.reconnects,
             uplink_acked: uplink.acked,
+            fence_rejects: report.storage.fence_rejects as u64,
+            flaps: 0,
         }
     }
 
@@ -158,6 +169,8 @@ impl ReportCounters {
             "nacks" => self.nacks,
             "reconnects" => self.reconnects,
             "uplink-acked" => self.uplink_acked,
+            "fence-rejects" => self.fence_rejects,
+            "flaps" => self.flaps,
             _ => 0,
         }
     }
@@ -185,6 +198,8 @@ impl ReportCounters {
             "nacks" => &mut self.nacks,
             "reconnects" => &mut self.reconnects,
             "uplink-acked" => &mut self.uplink_acked,
+            "fence-rejects" => &mut self.fence_rejects,
+            "flaps" => &mut self.flaps,
             _ => return false,
         };
         *slot = value;
@@ -310,6 +325,8 @@ mod tests {
             nacks: 5,
             reconnects: 3,
             uplink_acked: 240,
+            fence_rejects: 2,
+            flaps: 1,
         }
     }
 
@@ -337,7 +354,9 @@ mod tests {
                         timeouts 8\n\
                         nacks 5\n\
                         reconnects 3\n\
-                        uplink-acked 240\n";
+                        uplink-acked 240\n\
+                        fence-rejects 2\n\
+                        flaps 1\n";
         assert_eq!(sample().encode(), expected);
     }
 

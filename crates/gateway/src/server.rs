@@ -322,7 +322,14 @@ impl Server {
                     }
                     return Ok(());
                 }
-                Event::Msg(id, Message::Hello { version }) => {
+                Event::Msg(id, Message::Hello { version, epoch }) => {
+                    // The hello's epoch is a fence observation: a
+                    // controller speaking for a newer owner epoch
+                    // proves a successor committed — this collector is
+                    // stale and must fail-stop before its next append.
+                    if epoch > 0 {
+                        collector.observe_epoch(epoch);
+                    }
                     match version {
                         PROTOCOL_V1 => {
                             // Legacy stop-and-wait: no reply, exactly
@@ -355,6 +362,21 @@ impl Server {
                         }
                     }
                 }
+                Event::Msg(id, Message::Heartbeat { epoch }) => {
+                    // Liveness probe: reply with our epoch and the
+                    // last committed checkpoint cursor (the pre-warm
+                    // coordinate). A newer carried epoch fences us.
+                    if epoch > 0 {
+                        collector.observe_epoch(epoch);
+                    }
+                    if let Some(w) = writers.get_mut(&id) {
+                        let _ = w.write_all(&encode_frame(&Message::HeartbeatAck {
+                            epoch: collector.epoch(),
+                            checkpoint_cursor: collector.checkpoint_cursor(),
+                        }));
+                        let _ = w.flush();
+                    }
+                }
                 Event::Msg(
                     _,
                     Message::Ack { .. }
@@ -362,7 +384,8 @@ impl Server {
                     | Message::FinAck
                     | Message::Nack { .. }
                     | Message::HelloAck { .. }
-                    | Message::HelloReject { .. },
+                    | Message::HelloReject { .. }
+                    | Message::HeartbeatAck { .. },
                 ) => {
                     // Server-bound streams should not carry replies;
                     // ignore rather than kill the connection.
@@ -518,5 +541,6 @@ fn reader_loop(
 pub fn hello_frame() -> Vec<u8> {
     encode_frame(&Message::Hello {
         version: PROTOCOL_V1,
+        epoch: 0,
     })
 }

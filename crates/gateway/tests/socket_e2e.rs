@@ -210,8 +210,11 @@ fn unknown_protocol_version_is_rejected_typed() {
         let mut conn = TcpStream::connect(&addr).expect("connect");
         conn.set_read_timeout(Some(Duration::from_secs(10)))
             .expect("timeout");
-        conn.write_all(&encode_frame(&Message::Hello { version: 99 }))
-            .expect("hello");
+        conn.write_all(&encode_frame(&Message::Hello {
+            version: 99,
+            epoch: 0,
+        }))
+        .expect("hello");
         let mut fb = FrameBuffer::new();
         let mut buf = [0u8; 256];
         let supported = 'reject: loop {
@@ -266,6 +269,7 @@ fn v1_only_server_rejects_v2_hello_with_exact_wire_bytes() {
             .expect("timeout");
         conn.write_all(&encode_frame(&Message::Hello {
             version: PROTOCOL_VERSION,
+            epoch: 0,
         }))
         .expect("hello");
         // The server writes the reject, flushes, and shuts the socket

@@ -21,6 +21,12 @@ Commands:
                                (loss, reorder, reconnect, crash, poisoned
                                WAL) against the durability invariants
   bench-check [FILE]           validate BENCH_engine.json (default) or FILE
+  nemesis [--seed S] [--episodes N]
+                               run the seeded nemesis campaign (default
+                               seed 12648430, 200 episodes) composing
+                               network, process and disk faults against
+                               the in-process federation, then prove the
+                               fence-check Skip mutation is caught
 ";
 
 fn repo_root() -> PathBuf {
@@ -145,6 +151,74 @@ fn run_bench_check(file: Option<&str>) -> Result<(), String> {
     }
 }
 
+/// The nemesis campaign runner: a pinned-seed randomized campaign over
+/// the in-process federation, followed by the mutation self-test —
+/// re-running a short campaign with the deliver-path fence check
+/// compiled out ([`FenceCheck::Skip`]) and requiring it to FAIL. A
+/// checker that stays green under its own mutation proves nothing.
+fn run_nemesis(args: &[String]) -> Result<(), String> {
+    use sentinet_controller::{run_campaign, NemesisConfig};
+    use sentinet_gateway::FenceCheck;
+
+    let mut seed: u64 = 0xC0_FFEE;
+    let mut episodes: u32 = 200;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .ok_or_else(|| format!("nemesis: {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("nemesis: bad --seed: {e}"))?
+            }
+            "--episodes" => {
+                episodes = value("--episodes")?
+                    .parse()
+                    .map_err(|e| format!("nemesis: bad --episodes: {e}"))?
+            }
+            other => return Err(format!("nemesis: unknown flag {other:?}")),
+        }
+    }
+    if episodes == 0 {
+        return Err("nemesis: --episodes must be at least 1".into());
+    }
+
+    let scratch = std::env::temp_dir().join(format!("sentinet-nemesis-{}", std::process::id()));
+    let summary = run_campaign(&NemesisConfig::new(
+        seed,
+        episodes,
+        scratch.join("enforced"),
+    ))
+    .map_err(|f| format!("nemesis: {f}"))?;
+    println!("nemesis: {summary}");
+    if summary.failovers == 0 || summary.zombie_probes == 0 || summary.disk_episodes == 0 {
+        return Err(format!(
+            "nemesis: degenerate campaign (failovers {}, zombie probes {}, disk episodes {}); \
+             a run that forces nothing proves nothing",
+            summary.failovers, summary.zombie_probes, summary.disk_episodes
+        ));
+    }
+
+    let mut mutated = NemesisConfig::new(seed, episodes.min(12), scratch.join("fence-skip"));
+    mutated.fence = FenceCheck::Skip;
+    let verdict = match run_campaign(&mutated) {
+        Err(failure) => {
+            println!("nemesis: fence-skip mutation caught as expected ({failure})");
+            Ok(())
+        }
+        Ok(_) => {
+            Err("nemesis: fence-skip mutation survived undetected; the campaign is blind".into())
+        }
+    };
+    // The mutated run fails by design; its debris is not a debugging
+    // artifact worth keeping.
+    let _ = std::fs::remove_dir_all(&scratch);
+    verdict
+}
+
 fn run_invariant_tests() -> Result<(), String> {
     println!("invariants: running numeric test suites with --features check-invariants");
     let status = std::process::Command::new(env!("CARGO"))
@@ -206,6 +280,7 @@ fn main() -> ExitCode {
         Some("model-check") => run_model_check(),
         Some("protocol-check") => run_protocol_check(),
         Some("bench-check") => run_bench_check(args.get(1).map(String::as_str)),
+        Some("nemesis") => run_nemesis(&args[1..]),
         _ => {
             eprint!("{USAGE}");
             return ExitCode::from(2);

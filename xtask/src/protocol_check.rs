@@ -371,6 +371,7 @@ impl<'a> Episode<'a> {
             conn,
             &encode_frame(&Message::Hello {
                 version: PROTOCOL_VERSION,
+                epoch: 0,
             }),
         );
         let event = server
