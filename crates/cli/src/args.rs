@@ -162,9 +162,18 @@ pub struct FederateArgs {
     /// Drills: SIGKILL each listed partition's collector after it has
     /// been handed N readings (comma-separated `P:N` specs).
     pub kill: Vec<(usize, u64)>,
+    /// Live migration: split partition P at sensor S once P has routed
+    /// N readings (`P:S[@N]`, N defaults to 0 — split on the first
+    /// reading).
+    pub split: Option<(usize, u16, usize)>,
+    /// Live migration: move partition P's whole range into its
+    /// adjacent partition once P has routed N readings (`P@N`).
+    pub rebalance: Option<(usize, usize)>,
     /// Run the seeded nemesis campaign (in-process fault composition)
     /// instead of the file-driven federation when set.
     pub nemesis_seed: Option<u64>,
+    /// Run the live-migration schedule inside every nemesis episode.
+    pub nemesis_migration: bool,
     /// Episodes per nemesis campaign.
     pub episodes: u32,
     /// Standby adoption attempts before a partition orphans.
@@ -216,6 +225,49 @@ pub fn parse_kills(spec: &str) -> Result<Vec<(usize, u64)>, ParseError> {
     Ok(kills)
 }
 
+/// Parses a `--split` migration spec `PARTITION:SENSOR[@AFTER]`:
+/// split partition P at sensor S once P has routed AFTER readings
+/// (AFTER defaults to 0 — split on the first reading).
+pub fn parse_split(spec: &str) -> Result<(usize, u16, usize), ParseError> {
+    let (head, after) = match spec.split_once('@') {
+        Some((head, after)) => (
+            head,
+            after
+                .parse()
+                .map_err(|e| ParseError(format!("bad split trigger {after:?}: {e}")))?,
+        ),
+        None => (spec, 0),
+    };
+    let (p, sensor) = head.split_once(':').ok_or_else(|| {
+        ParseError(format!(
+            "split spec {spec:?} needs PARTITION:SENSOR[@AFTER]"
+        ))
+    })?;
+    let p: usize = p
+        .parse()
+        .map_err(|e| ParseError(format!("bad split partition {p:?}: {e}")))?;
+    let sensor: u16 = sensor
+        .parse()
+        .map_err(|e| ParseError(format!("bad split sensor {sensor:?}: {e}")))?;
+    Ok((p, sensor, after))
+}
+
+/// Parses a `--rebalance` migration spec `PARTITION@AFTER`: move
+/// partition P's whole range into its adjacent partition once P has
+/// routed AFTER readings.
+pub fn parse_rebalance(spec: &str) -> Result<(usize, usize), ParseError> {
+    let (p, after) = spec
+        .split_once('@')
+        .ok_or_else(|| ParseError(format!("rebalance spec {spec:?} needs PARTITION@AFTER")))?;
+    let p: usize = p
+        .parse()
+        .map_err(|e| ParseError(format!("bad rebalance partition {p:?}: {e}")))?;
+    let after: usize = after
+        .parse()
+        .map_err(|e| ParseError(format!("bad rebalance trigger {after:?}: {e}")))?;
+    Ok((p, after))
+}
+
 /// Parse failure with a user-facing message.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError(pub String);
@@ -254,10 +306,12 @@ USAGE:
                     [--fsync never|batch:N|always] [--watermark SECS]
                     [--checkpoint-every N] [--silence-deadline SECS]
                     [--kill P:N[,P:N...]] [--handoff-attempts N]
+                    [--split P:S[@N]] [--rebalance P@N]
                     [--ack-timeout-ms N] [--max-attempts N]
                     [--backoff-base-ms N] [--backoff-cap-ms N]
                     [--jitter-pct N] [--batch-size N] [--quiet]
-                    [--nemesis-seed S [--episodes N]]
+                    [--nemesis-seed S [--episodes N]
+                     [--nemesis-migration]]
   sentinet help
 
 LIVE INGEST (serve / replay-wal):
@@ -288,6 +342,14 @@ FEDERATION (federate):
   stderr; exit status 3 flags a diagnosis or a degraded fleet.
   --kill P:N[,P:N...] SIGKILLs each listed partition's collector
   mid-stream — the failover drill; partitions may not repeat.
+  --split P:S[@N] migrates live: once partition P has routed N
+  readings (default 0) it splits at sensor S — the upper sub-range
+  drains, cuts a snapshot at a WAL cursor and a fresh partition adopts
+  it durably before the map commits, without stopping ingest.
+  --rebalance P@N moves partition P's whole range into its adjacent
+  partition the same way once P has routed N readings; P may name the
+  partition a --split creates (id = --partitions). Ingest never stops;
+  a crash mid-handoff rolls the migration back or forward, never both.
   --nemesis-seed S skips the trace entirely and runs the seeded
   in-process nemesis campaign instead: --episodes N randomized
   episodes (default 50) composing network, process and disk faults
@@ -295,6 +357,10 @@ FEDERATION (federate):
   is lost, the fleet diagnosis stays byte-identical to an
   uninterrupted baseline, and fencing keeps a single writer per
   partition. Exit status 3 reports an invariant violation.
+  --nemesis-migration additionally runs a live split and a
+  rebalance-back inside every episode, so the fault plan lands on the
+  handoff ladder itself, and probes fenced former owners of migrated
+  ranges to prove the cut cannot resurrect.
   serve --epoch N starts the collector fenced at owner epoch N: the
   fence token persists beside the WAL, a stale restart fail-stops,
   and a client announcing a newer epoch turns the running collector
@@ -691,8 +757,11 @@ pub fn parse<'a, I: IntoIterator<Item = &'a str>>(args: I) -> Result<Command, Pa
                 checkpoint_every: 256,
                 silence_deadline: 3600,
                 kill: Vec::new(),
+                split: None,
+                rebalance: None,
                 nemesis_seed: None,
                 episodes: 50,
+                nemesis_migration: false,
                 handoff_attempts: 4,
                 ack_timeout_ms: 500,
                 max_attempts: 8,
@@ -763,6 +832,11 @@ pub fn parse<'a, I: IntoIterator<Item = &'a str>>(args: I) -> Result<Command, Pa
                             .map_err(|e| ParseError(format!("bad --silence-deadline: {e}")))?
                     }
                     "--kill" => parsed.kill = parse_kills(take_value(flag, &mut it)?)?,
+                    "--split" => parsed.split = Some(parse_split(take_value(flag, &mut it)?)?),
+                    "--rebalance" => {
+                        parsed.rebalance = Some(parse_rebalance(take_value(flag, &mut it)?)?)
+                    }
+                    "--nemesis-migration" => parsed.nemesis_migration = true,
                     "--nemesis-seed" => {
                         parsed.nemesis_seed = Some(
                             take_value(flag, &mut it)?
@@ -850,6 +924,29 @@ pub fn parse<'a, I: IntoIterator<Item = &'a str>>(args: I) -> Result<Command, Pa
             }
             if parsed.episodes == 0 {
                 return Err(ParseError("--episodes must be at least 1".into()));
+            }
+            if parsed.nemesis_migration && parsed.nemesis_seed.is_none() {
+                return Err(ParseError(
+                    "--nemesis-migration needs --nemesis-seed".into(),
+                ));
+            }
+            if let Some((p, _, _)) = parsed.split {
+                if p >= parsed.partitions {
+                    return Err(ParseError(format!(
+                        "--split partition {p} out of range (0..{})",
+                        parsed.partitions
+                    )));
+                }
+            }
+            if let Some((p, _)) = parsed.rebalance {
+                // A rebalance may name the partition a split creates,
+                // whose id is the pre-split partition count.
+                let limit = parsed.partitions + usize::from(parsed.split.is_some());
+                if p >= limit {
+                    return Err(ParseError(format!(
+                        "--rebalance partition {p} out of range (0..{limit})"
+                    )));
+                }
             }
             Ok(Command::Federate(parsed))
         }
@@ -1207,6 +1304,60 @@ mod tests {
     }
 
     #[test]
+    fn federate_migration_flags() {
+        match parse([
+            "federate",
+            "t.csv",
+            "--wal-root",
+            "w",
+            "--partitions",
+            "2",
+            "--split",
+            "0:3@120",
+            "--rebalance",
+            "2@40",
+        ])
+        .unwrap()
+        {
+            Command::Federate(a) => {
+                assert_eq!(a.split, Some((0, 3, 120)));
+                assert_eq!(a.rebalance, Some((2, 40)));
+            }
+            other => panic!("{other:?}"),
+        }
+        // The trigger defaults to 0 when omitted.
+        match parse(["federate", "t.csv", "--wal-root", "w", "--split", "1:5"]).unwrap() {
+            Command::Federate(a) => assert_eq!(a.split, Some((1, 5, 0))),
+            other => panic!("{other:?}"),
+        }
+        assert!(
+            parse(["federate", "t.csv", "--wal-root", "w", "--split", "0"])
+                .unwrap_err()
+                .to_string()
+                .contains("PARTITION:SENSOR")
+        );
+        assert!(
+            parse(["federate", "t.csv", "--wal-root", "w", "--split", "9:1"])
+                .unwrap_err()
+                .to_string()
+                .contains("out of range")
+        );
+        assert!(
+            parse(["federate", "t.csv", "--wal-root", "w", "--rebalance", "1:9"])
+                .unwrap_err()
+                .to_string()
+                .contains("PARTITION@AFTER")
+        );
+        // Without a split, only the configured partitions exist.
+        assert!(
+            parse(["federate", "t.csv", "--wal-root", "w", "--rebalance", "2@9"])
+                .unwrap_err()
+                .to_string()
+                .contains("out of range")
+        );
+    }
+
+    #[test]
     fn federate_nemesis_flags() {
         match parse([
             "federate",
@@ -1217,12 +1368,14 @@ mod tests {
             "42",
             "--episodes",
             "200",
+            "--nemesis-migration",
         ])
         .unwrap()
         {
             Command::Federate(a) => {
                 assert_eq!(a.nemesis_seed, Some(42));
                 assert_eq!(a.episodes, 200);
+                assert!(a.nemesis_migration);
             }
             other => panic!("{other:?}"),
         }
@@ -1232,6 +1385,16 @@ mod tests {
                 .to_string()
                 .contains("episodes")
         );
+        assert!(parse([
+            "federate",
+            "t.csv",
+            "--wal-root",
+            "w",
+            "--nemesis-migration"
+        ])
+        .unwrap_err()
+        .to_string()
+        .contains("--nemesis-seed"));
     }
 
     #[test]

@@ -323,7 +323,10 @@ fn run_federate(a: FederateArgs) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(seed) = a.nemesis_seed {
         // Nemesis mode ignores the trace: every episode generates its
         // own deterministic stream and fault plan from the seed.
-        let config = NemesisConfig::new(seed, a.episodes, &a.wal_root);
+        let mut config = NemesisConfig::new(seed, a.episodes, &a.wal_root);
+        if a.nemesis_migration {
+            config = config.with_migration();
+        }
         match run_campaign(&config) {
             Ok(summary) => {
                 eprintln!("nemesis: {summary}");
@@ -395,13 +398,19 @@ fn run_federate(a: FederateArgs) -> Result<(), Box<dyn std::error::Error>> {
         replay: gateway_config(&a.wal_root, a.period, a.window, a.trim, a.watermark),
     });
 
-    let map = PartitionMap::split_even(num_sensors, a.partitions);
+    let map = PartitionMap::split_even(num_sensors, a.partitions)?;
     let mut config = FederationConfig {
         silence_deadline: a.silence_deadline,
         ..FederationConfig::default()
     };
     config.handoff.max_attempts = a.handoff_attempts;
     let mut fed = Federation::new(map, config, backend)?;
+    if let Some((p, sensor, after)) = a.split {
+        fed.schedule_split(p, SensorId(sensor), after)?;
+    }
+    if let Some((p, after)) = a.rebalance {
+        fed.schedule_rebalance(p, after);
+    }
     for (time, sensor, reading) in trace.delivered() {
         fed.route(sensor, time, reading.values())?;
     }

@@ -26,7 +26,7 @@
 //!   partition is committed `Orphaned`: its readings NACK and are
 //!   counted, never silently dropped.
 
-use crate::partition::{PartitionHealth, PartitionId, PartitionMap};
+use crate::partition::{PartitionHealth, PartitionId, PartitionMap, SensorRange};
 use crate::report::{FederationEvent, FleetReport, PartitionStatus};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -107,6 +107,51 @@ pub trait PartitionLink {
     /// heartbeat channel) reports nothing.
     fn heartbeat(&mut self) -> Option<(u64, u64)> {
         None
+    }
+
+    /// Source half of a live range migration (`MigrateOffer` →
+    /// `MigrateAccept` on the wire): the owner durably retires
+    /// `start..end`, stages the split-off snapshot, and returns the
+    /// cut's WAL cursor with the encoded snapshot payload. Safe to
+    /// retry — an interrupted cut resumes from its staged outbox.
+    /// The default has no migration channel.
+    ///
+    /// # Errors
+    ///
+    /// [`LinkDown`] when the owner is unreachable or the cut cannot
+    /// be made durable.
+    fn migrate_cut(&mut self, _start: u16, _end: u16) -> Result<(u64, Vec<u8>), LinkDown> {
+        Err(LinkDown("link has no migration channel".into()))
+    }
+
+    /// Destination half of a live range migration (`MigrateAccept` →
+    /// `MigrateDone` on the wire): the owner durably adopts the
+    /// shipped snapshot for `start..end` at the source's cut
+    /// `cursor`. The default has no migration channel.
+    ///
+    /// # Errors
+    ///
+    /// [`LinkDown`] when the owner is unreachable or the adoption
+    /// cannot be made durable.
+    fn migrate_adopt(
+        &mut self,
+        _start: u16,
+        _end: u16,
+        _cursor: u64,
+        _snapshot: &[u8],
+    ) -> Result<(), LinkDown> {
+        Err(LinkDown("link has no migration channel".into()))
+    }
+
+    /// Tells the source its shipped payload is durably adopted, so
+    /// the staged outbox copy may be dropped (`MigrateDone` on the
+    /// wire). Best-effort: a leftover outbox is inert.
+    ///
+    /// # Errors
+    ///
+    /// [`LinkDown`] when the owner is unreachable.
+    fn migrate_done(&mut self, _start: u16, _end: u16, _cursor: u64) -> Result<(), LinkDown> {
+        Err(LinkDown("link has no migration channel".into()))
     }
 }
 
@@ -244,6 +289,14 @@ pub enum FederationError {
         /// The backend's complaint.
         detail: String,
     },
+    /// A migration schedule is ill-formed (mid-flight failures are
+    /// absorbed into events, never returned).
+    Migration {
+        /// The source partition.
+        partition: PartitionId,
+        /// What is wrong with the schedule.
+        detail: String,
+    },
 }
 
 impl fmt::Display for FederationError {
@@ -257,6 +310,9 @@ impl fmt::Display for FederationError {
             }
             FederationError::Merge { partition, detail } => {
                 write!(f, "partition {partition} failed to merge: {detail}")
+            }
+            FederationError::Migration { partition, detail } => {
+                write!(f, "partition {partition} migration schedule: {detail}")
             }
         }
     }
@@ -309,6 +365,34 @@ impl WireTotals {
         self.reconnects += s.reconnects;
         self.acked += s.acked;
     }
+}
+
+/// What a scheduled live migration moves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationKind {
+    /// Split the source's range at `at`: the source keeps
+    /// `[start, at)`, a new partition appended to the map adopts
+    /// `[at, end)` on a fresh collector.
+    Split {
+        /// The split point (strictly inside the source's range).
+        at: SensorId,
+    },
+    /// Move the source's whole range into its adjacent partition's
+    /// live collector (the left neighbour when one exists, else the
+    /// right). The source ends the run owning an empty range.
+    Rebalance,
+}
+
+/// One scheduled migration, armed until the source's routed count
+/// reaches its trigger coordinate. Triggering on the routed count —
+/// not wall time or ack progress — is what keeps the cut coordinate
+/// fault-independent: a drilled and an uninterrupted run cut at the
+/// identical stream position, so their diagnoses stay byte-identical.
+#[derive(Debug, Clone)]
+struct PendingMigration {
+    source: PartitionId,
+    kind: MigrationKind,
+    after_routed: usize,
 }
 
 /// One reading in a partition's routed log, with its controller-
@@ -381,6 +465,11 @@ pub struct Federation<B: PartitionBackend> {
     clock: Timestamp,
     events: Vec<FederationEvent>,
     rng: StdRng,
+    /// Scheduled migrations not yet triggered.
+    pending_migrations: Vec<PendingMigration>,
+    migrations_started: u64,
+    migrations_completed: u64,
+    migrations_aborted: u64,
 }
 
 impl<B: PartitionBackend> Federation<B> {
@@ -405,6 +494,10 @@ impl<B: PartitionBackend> Federation<B> {
             clock: 0,
             events: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
+            pending_migrations: Vec::new(),
+            migrations_started: 0,
+            migrations_completed: 0,
+            migrations_aborted: 0,
         };
         for p in 0..fed.map.len() {
             let link = fed
@@ -497,8 +590,88 @@ impl<B: PartitionBackend> Federation<B> {
             // the failover call that commits them.
             _ => {}
         }
+        self.maybe_migrate();
         self.check_liveness();
         Ok(())
+    }
+
+    /// Schedules a split of partition `p` at `at`, triggered once `p`
+    /// has routed `after_routed` readings. The migration itself runs
+    /// synchronously inside [`Federation::route`] — the stream holds
+    /// while the sub-range quiesces, the cut ships and the new owner
+    /// adopts — so the cut always lands at the same stream coordinate
+    /// whatever faults an episode injects.
+    ///
+    /// # Errors
+    ///
+    /// [`FederationError::Migration`] when `p` does not exist or `at`
+    /// is not strictly inside `p`'s current range.
+    pub fn schedule_split(
+        &mut self,
+        p: PartitionId,
+        at: SensorId,
+        after_routed: usize,
+    ) -> Result<(), FederationError> {
+        if p >= self.map.len() {
+            return Err(FederationError::Migration {
+                partition: p,
+                detail: format!("no such partition (map holds {})", self.map.len()),
+            });
+        }
+        let range = self.map.range(p);
+        if at.0 <= range.start || at.0 >= range.end {
+            return Err(FederationError::Migration {
+                partition: p,
+                detail: format!("split point {at} not strictly inside {range}"),
+            });
+        }
+        self.pending_migrations.push(PendingMigration {
+            source: p,
+            kind: MigrationKind::Split { at },
+            after_routed,
+        });
+        Ok(())
+    }
+
+    /// Schedules a whole-range move of partition `p` into its adjacent
+    /// partition, triggered once `p` has routed `after_routed`
+    /// readings. `p` may not exist yet — a schedule may name a
+    /// partition a scheduled split will create — so validation happens
+    /// at trigger time (an unresolvable move aborts with an event,
+    /// never an error).
+    pub fn schedule_rebalance(&mut self, p: PartitionId, after_routed: usize) {
+        self.pending_migrations.push(PendingMigration {
+            source: p,
+            kind: MigrationKind::Rebalance,
+            after_routed,
+        });
+    }
+
+    /// Migration totals so far: `(started, completed, aborted)`.
+    pub fn migration_totals(&self) -> (u64, u64, u64) {
+        (
+            self.migrations_started,
+            self.migrations_completed,
+            self.migrations_aborted,
+        )
+    }
+
+    /// Fires every scheduled migration whose source has reached its
+    /// trigger coordinate. Loops so a migration that grows the map can
+    /// arm another schedule in the same route call.
+    fn maybe_migrate(&mut self) {
+        loop {
+            let Some(i) = self.pending_migrations.iter().position(|m| {
+                m.source < self.states.len() && self.states[m.source].routed.len() >= m.after_routed
+            }) else {
+                return;
+            };
+            let m = self.pending_migrations.remove(i);
+            match m.kind {
+                MigrationKind::Split { at } => self.run_split(m.source, at),
+                MigrationKind::Rebalance => self.run_rebalance(m.source),
+            }
+        }
     }
 
     /// Delivers the routed backlog of `p` over its current link.
@@ -720,6 +893,421 @@ impl<B: PartitionBackend> Federation<B> {
         });
     }
 
+    /// Settles partition `p` until its whole routed log is durably
+    /// acked, driving faults through the ordinary suspect → dead →
+    /// failover ladder (`stall_reason` labels a NACK stall with no
+    /// more routes coming). Returns whether `p` ended healthy with
+    /// nothing outstanding; `false` means it orphaned (or a failover
+    /// left it terminal).
+    fn settle(&mut self, p: PartitionId, stall_reason: &str) -> bool {
+        // Each loop iteration either returns or commits a health
+        // transition; Orphaned is terminal, so this terminates after
+        // at most a handful of failovers.
+        loop {
+            match self.map.health(p) {
+                PartitionHealth::Ok => {
+                    if let Err(reason) = self.drive_and_flush(p) {
+                        // Hysteresis applies here too: the loop
+                        // re-drives until the streak either heals or
+                        // trips the threshold, so `miss` cannot stall.
+                        self.miss(p, reason);
+                        continue;
+                    }
+                    if self.states[p].acked < self.states[p].routed.len() {
+                        // A NACK stall with no more routes coming:
+                        // settle it through the failover machine.
+                        self.miss(p, stall_reason.to_string());
+                        continue;
+                    }
+                    let state = &mut self.states[p];
+                    if state.miss_streak > 0 {
+                        state.miss_streak = 0;
+                        state.flaps += 1;
+                    }
+                    return true;
+                }
+                PartitionHealth::Suspect => {
+                    let last = self.states[p].progress;
+                    self.events.push(FederationEvent::Dead {
+                        partition: p,
+                        at: self.clock,
+                        last_acked: last,
+                        deadline: self.config.silence_deadline,
+                    });
+                    self.map.commit_health(p, PartitionHealth::Dead);
+                    self.failover(p);
+                }
+                PartitionHealth::Orphaned => return false,
+                // failover() never returns in these states.
+                PartitionHealth::Dead | PartitionHealth::HandingOff => return false,
+            }
+        }
+    }
+
+    /// Fences `p`'s current link and drives a fresh failover — the
+    /// in-migration recovery step when a cut or adopt call dies under
+    /// an injected fault. Returns whether `p` came back `Ok`.
+    fn revive(&mut self, p: PartitionId) -> bool {
+        let state = &mut self.states[p];
+        state.sent = state.acked;
+        state.unflushed = 0;
+        let last = state.progress;
+        if let Some(link) = state.link.take() {
+            state.wire.add(link.stats());
+            self.backend.fence(p, link);
+        }
+        self.events.push(FederationEvent::Dead {
+            partition: p,
+            at: self.clock,
+            last_acked: last,
+            deadline: self.config.silence_deadline,
+        });
+        self.map.commit_health(p, PartitionHealth::Dead);
+        self.failover(p);
+        self.map.health(p) == PartitionHealth::Ok
+    }
+
+    /// Drives the source-side cut for `range` on partition `p`,
+    /// reviving `p` through the failover machine between attempts
+    /// (`export_range` resumes an interrupted cut idempotently, so a
+    /// crash mid-cut retries to the identical staged payload). `p` is
+    /// committed `HandingOff` for the duration and back to `Ok` on
+    /// success.
+    fn cut_range(&mut self, p: PartitionId, range: SensorRange) -> Option<(u64, Vec<u8>)> {
+        self.map.commit_health(p, PartitionHealth::HandingOff);
+        let attempts = self.config.handoff.max_attempts.max(1);
+        for _ in 0..attempts {
+            let state = &mut self.states[p];
+            let Some(link) = state.link.as_mut() else {
+                break;
+            };
+            match link.migrate_cut(range.start, range.end) {
+                Ok(staged) => {
+                    self.map.commit_health(p, PartitionHealth::Ok);
+                    return Some(staged);
+                }
+                Err(_) => {
+                    if !self.revive(p) {
+                        return None;
+                    }
+                    // revive committed `Ok`; restate the handoff so
+                    // the health history reads true while we retry.
+                    self.map.commit_health(p, PartitionHealth::HandingOff);
+                }
+            }
+        }
+        // Exhausted with the source still alive: hand it back to
+        // ordinary routing before the caller aborts the migration.
+        if self.map.health(p) == PartitionHealth::HandingOff {
+            self.map.commit_health(p, PartitionHealth::Ok);
+        }
+        None
+    }
+
+    /// Removes every routed reading for `range` from `p`'s log, along
+    /// with the range's sequence allocators (returned for the new
+    /// owner). The drain that precedes every cut guarantees the
+    /// removed entries are durably acked, and the cut retires the
+    /// range on the source — leaving them in the log would make a
+    /// later failover redeliver readings the source now NACKs as
+    /// fenced, wedging the partition in a NACK-streak loop.
+    fn prune_routed(&mut self, p: PartitionId, range: SensorRange) -> Vec<(SensorId, u64)> {
+        let state = &mut self.states[p];
+        state
+            .routed
+            .retain(|r| !(range.start <= r.sensor.0 && r.sensor.0 < range.end));
+        state.sent = state.routed.len();
+        state.acked = state.routed.len();
+        state.unflushed = 0;
+        let moved: Vec<(SensorId, u64)> = state
+            .seq_next
+            .iter()
+            .filter(|(s, _)| range.start <= s.0 && s.0 < range.end)
+            .map(|(s, n)| (*s, *n))
+            .collect();
+        for (s, _) in &moved {
+            state.seq_next.remove(s);
+        }
+        moved
+    }
+
+    /// Runs a triggered split migration: quiesce the moving sub-range
+    /// on the source, cut a durable checkpoint-v2 snapshot at a WAL
+    /// cursor, start a fresh collector for the new partition and ship
+    /// the snapshot into it, committing the new owner epoch only once
+    /// the adoption is durable. Failures before the durable cut roll
+    /// back (the map transfer restores the source's range); failures
+    /// after it roll forward or orphan the moved range — acked
+    /// readings are never silently dropped either way.
+    fn run_split(&mut self, p: PartitionId, at: SensorId) {
+        let range = self.map.range(p);
+        let moved_range = SensorRange {
+            start: at.0,
+            end: range.end,
+        };
+        let dest_would_be = self.map.len();
+        self.events.push(FederationEvent::MigrationStarted {
+            source: p,
+            dest: dest_would_be,
+            range: moved_range,
+            at: self.clock,
+        });
+        self.migrations_started += 1;
+        if !self.settle(p, "unacked backlog at migration drain") {
+            self.migrations_aborted += 1;
+            self.events.push(FederationEvent::MigrationAborted {
+                source: p,
+                dest: dest_would_be,
+                range: moved_range,
+                at: self.clock,
+                reason: "source could not drain its backlog".into(),
+            });
+            return;
+        }
+        let q = match self.map.split_at(p, at) {
+            Ok(q) => q,
+            Err(e) => {
+                self.migrations_aborted += 1;
+                self.events.push(FederationEvent::MigrationAborted {
+                    source: p,
+                    dest: dest_would_be,
+                    range: moved_range,
+                    at: self.clock,
+                    reason: e.to_string(),
+                });
+                return;
+            }
+        };
+        self.states.push(PartitionState::new());
+        self.map.commit_health(q, PartitionHealth::HandingOff);
+        let moved_seqs = self.prune_routed(p, moved_range);
+        let Some((cursor, snapshot)) = self.cut_range(p, moved_range) else {
+            // Pre-adopt abort: give the range back to the source.
+            // If a cut attempt partially committed before the source
+            // orphaned, the range NACKs there — counted, never silent.
+            // sentinet-allow(unwrap-used): q was split off p above,
+            // so the halves are adjacent by construction.
+            self.map.transfer(q, p).unwrap();
+            self.map.commit_health(q, PartitionHealth::Ok);
+            let state = &mut self.states[p];
+            for (s, n) in moved_seqs {
+                state.seq_next.insert(s, n);
+            }
+            self.migrations_aborted += 1;
+            self.events.push(FederationEvent::MigrationAborted {
+                source: p,
+                dest: q,
+                range: moved_range,
+                at: self.clock,
+                reason: "source exhausted every cut attempt".into(),
+            });
+            return;
+        };
+        for (s, n) in moved_seqs {
+            self.states[q].seq_next.insert(s, n);
+        }
+        // Fresh-destination ladder: attempt k starts the new owner at
+        // epoch k, so a half-adopted attempt can never race its
+        // successor for the new partition's WAL directory.
+        let policy = self.config.handoff.clone();
+        let attempts = policy.max_attempts.max(1);
+        let mut adopted = None;
+        for attempt in 1..=attempts {
+            if attempt > 1 {
+                let delay = backoff_delay(
+                    &mut self.rng,
+                    policy.backoff_base,
+                    policy.backoff_cap,
+                    policy.jitter_pct,
+                    attempt - 1,
+                );
+                std::thread::sleep(delay);
+            }
+            let epoch = u64::from(attempt);
+            self.events.push(FederationEvent::HandoffAttempt {
+                partition: q,
+                attempt,
+                epoch,
+            });
+            let mut link = match self.backend.start(q, epoch) {
+                Ok(link) => link,
+                Err(_) => continue,
+            };
+            match link.migrate_adopt(moved_range.start, moved_range.end, cursor, &snapshot) {
+                Ok(()) => {
+                    adopted = Some((link, epoch));
+                    break;
+                }
+                Err(_) => self.backend.fence(q, link),
+            }
+        }
+        let Some((link, epoch)) = adopted else {
+            // Roll-forward failed past the durable cut: the moved
+            // range orphans — its readings NACK and are counted.
+            self.map.commit_health(q, PartitionHealth::Orphaned);
+            self.events.push(FederationEvent::Orphaned {
+                partition: q,
+                at: self.clock,
+                attempts,
+                nacked: 0,
+            });
+            self.migrations_aborted += 1;
+            self.events.push(FederationEvent::MigrationAborted {
+                source: p,
+                dest: q,
+                range: moved_range,
+                at: self.clock,
+                reason: "destination exhausted every adopt attempt after the cut".into(),
+            });
+            return;
+        };
+        self.map.commit_owner(q, epoch);
+        self.states[q].link = Some(link);
+        self.map.commit_health(q, PartitionHealth::Ok);
+        if let Some(link) = self.states[p].link.as_mut() {
+            // Best-effort: the destination holds the payload durably,
+            // so the source's staged outbox copy may be dropped.
+            let _ = link.migrate_done(moved_range.start, moved_range.end, cursor);
+        }
+        self.migrations_completed += 1;
+        self.events.push(FederationEvent::MigrationCompleted {
+            source: p,
+            dest: q,
+            range: moved_range,
+            at: self.clock,
+            cursor,
+            epoch,
+        });
+    }
+
+    /// Runs a triggered rebalance migration: move the source's whole
+    /// range into its adjacent partition's live collector. Both sides
+    /// drain first, the cut ships through the same durable outbox as
+    /// a split, and the destination merges the snapshot into its live
+    /// lineage (`import_range` under the adopt call). The source ends
+    /// the run owning an empty range.
+    fn run_rebalance(&mut self, p: PartitionId) {
+        let range = self.map.range(p);
+        // The left-adjacent partition when one exists, else the right
+        // — deterministic, so every run picks the same destination.
+        let dest = (0..self.map.len())
+            .find(|&d| d != p && self.map.range(d).end == range.start)
+            .or_else(|| {
+                (0..self.map.len()).find(|&d| d != p && self.map.range(d).start == range.end)
+            });
+        let Some(d) = dest else {
+            self.migrations_aborted += 1;
+            self.events.push(FederationEvent::MigrationAborted {
+                source: p,
+                dest: p,
+                range,
+                at: self.clock,
+                reason: "no adjacent partition to rebalance into".into(),
+            });
+            return;
+        };
+        self.events.push(FederationEvent::MigrationStarted {
+            source: p,
+            dest: d,
+            range,
+            at: self.clock,
+        });
+        self.migrations_started += 1;
+        if range.is_empty()
+            || !self.settle(p, "unacked backlog at migration drain")
+            || !self.settle(d, "unacked backlog at migration drain")
+        {
+            self.migrations_aborted += 1;
+            self.events.push(FederationEvent::MigrationAborted {
+                source: p,
+                dest: d,
+                range,
+                at: self.clock,
+                reason: "source or destination could not drain its backlog".into(),
+            });
+            return;
+        }
+        let moved_seqs = self.prune_routed(p, range);
+        let Some((cursor, snapshot)) = self.cut_range(p, range) else {
+            let state = &mut self.states[p];
+            for (s, n) in moved_seqs {
+                state.seq_next.insert(s, n);
+            }
+            self.migrations_aborted += 1;
+            self.events.push(FederationEvent::MigrationAborted {
+                source: p,
+                dest: d,
+                range,
+                at: self.clock,
+                reason: "source exhausted every cut attempt".into(),
+            });
+            return;
+        };
+        for (s, n) in moved_seqs {
+            self.states[d].seq_next.insert(s, n);
+        }
+        // Live-destination ladder: the adopt merges into d's running
+        // collector; a failure revives d through the ordinary
+        // failover machine (escalating its epoch) and retries.
+        let attempts = self.config.handoff.max_attempts.max(1);
+        let mut adopted = false;
+        for _ in 0..attempts {
+            if self.map.health(d) != PartitionHealth::Ok {
+                break;
+            }
+            let Some(link) = self.states[d].link.as_mut() else {
+                break;
+            };
+            match link.migrate_adopt(range.start, range.end, cursor, &snapshot) {
+                Ok(()) => {
+                    adopted = true;
+                    break;
+                }
+                Err(_) => {
+                    if !self.revive(d) {
+                        break;
+                    }
+                }
+            }
+        }
+        if !adopted {
+            // Past the durable cut with no adopter: the moved range
+            // orphans at the source — NACKed and counted, not lost
+            // (the staged outbox still holds the payload).
+            self.map.commit_health(p, PartitionHealth::Orphaned);
+            self.events.push(FederationEvent::Orphaned {
+                partition: p,
+                at: self.clock,
+                attempts,
+                nacked: 0,
+            });
+            self.migrations_aborted += 1;
+            self.events.push(FederationEvent::MigrationAborted {
+                source: p,
+                dest: d,
+                range,
+                at: self.clock,
+                reason: "destination exhausted every adopt attempt after the cut".into(),
+            });
+            return;
+        }
+        // sentinet-allow(unwrap-used): adjacency was how `d` was
+        // chosen, and neither range moved since.
+        self.map.transfer(p, d).unwrap();
+        if let Some(link) = self.states[p].link.as_mut() {
+            let _ = link.migrate_done(range.start, range.end, cursor);
+        }
+        self.migrations_completed += 1;
+        self.events.push(FederationEvent::MigrationCompleted {
+            source: p,
+            dest: d,
+            range,
+            at: self.clock,
+            cursor,
+            epoch: self.map.epoch(d),
+        });
+    }
+
     /// Ends the stream: settles every partition (draining backlogs,
     /// failing suspects over immediately — the stream clock has
     /// stopped, waiting on the deadline would wait forever), closes
@@ -731,49 +1319,7 @@ impl<B: PartitionBackend> Federation<B> {
     /// [`FederationError::Merge`] when a partition's replay fails.
     pub fn finish(mut self) -> Result<FleetReport, FederationError> {
         for p in 0..self.map.len() {
-            // Each loop iteration either breaks or commits a health
-            // transition; Orphaned is terminal, so this terminates
-            // after at most a handful of failovers.
-            loop {
-                match self.map.health(p) {
-                    PartitionHealth::Ok => {
-                        if let Err(reason) = self.drive_and_flush(p) {
-                            // Hysteresis applies here too: the loop
-                            // re-drives until the streak either heals
-                            // or trips the threshold, so `miss` cannot
-                            // stall finish().
-                            self.miss(p, reason);
-                            continue;
-                        }
-                        if self.states[p].acked < self.states[p].routed.len() {
-                            // A NACK stall with no more routes coming:
-                            // settle it through the failover machine.
-                            self.miss(p, "unacked backlog at end of stream".into());
-                            continue;
-                        }
-                        let state = &mut self.states[p];
-                        if state.miss_streak > 0 {
-                            state.miss_streak = 0;
-                            state.flaps += 1;
-                        }
-                        break;
-                    }
-                    PartitionHealth::Suspect => {
-                        let last = self.states[p].progress;
-                        self.events.push(FederationEvent::Dead {
-                            partition: p,
-                            at: self.clock,
-                            last_acked: last,
-                            deadline: self.config.silence_deadline,
-                        });
-                        self.map.commit_health(p, PartitionHealth::Dead);
-                        self.failover(p);
-                    }
-                    PartitionHealth::Orphaned => break,
-                    // failover() never returns in these states.
-                    PartitionHealth::Dead | PartitionHealth::HandingOff => break,
-                }
-            }
+            self.settle(p, "unacked backlog at end of stream");
             let state = &mut self.states[p];
             if let Some(link) = state.link.take() {
                 state.wire.add(link.stats());
@@ -825,6 +1371,9 @@ impl<B: PartitionBackend> Federation<B> {
                 report,
             });
         }
+        counters.migrations_started = self.migrations_started;
+        counters.migrations_completed = self.migrations_completed;
+        counters.migrations_aborted = self.migrations_aborted;
         Ok(FleetReport {
             partitions,
             counters,

@@ -28,8 +28,8 @@ use crate::federation::{
 };
 use crate::partition::PartitionId;
 use sentinet_gateway::{
-    Collector, DeliverOutcome, FaultPlan, FaultSpec, FaultyVfs, FenceCheck, GatewayConfig,
-    RecoveryInfo, StorageFault, Vfs, VfsOp, CHECKPOINT_FILE,
+    decode_collector, encode_collector, Collector, CutCheck, DeliverOutcome, FaultPlan, FaultSpec,
+    FaultyVfs, FenceCheck, GatewayConfig, RecoveryInfo, StorageFault, Vfs, VfsOp, CHECKPOINT_FILE,
 };
 use sentinet_sim::{SensorId, Timestamp};
 use std::path::PathBuf;
@@ -60,6 +60,7 @@ pub struct InProcessBackend {
     disk: Vec<(PartitionId, FaultPlan)>,
     disk_fired: Vec<bool>,
     fence: FenceCheck,
+    cut: CutCheck,
     pipelined: bool,
     zombies: Option<Arc<Mutex<Vec<Zombie>>>>,
     /// Checkpoint images staged by heartbeat-driven `prewarm` calls.
@@ -90,6 +91,7 @@ impl InProcessBackend {
             disk: Vec::new(),
             disk_fired: Vec::new(),
             fence: FenceCheck::Enforced,
+            cut: CutCheck::Enforced,
             pipelined: false,
             zombies: None,
             prewarm_cache: (0..partitions).map(|_| None).collect(),
@@ -104,6 +106,17 @@ impl InProcessBackend {
     #[must_use]
     pub fn with_fence(mut self, fence: FenceCheck) -> Self {
         self.fence = fence;
+        self
+    }
+
+    /// Sets the migration-cut mode stamped into every owner's
+    /// config. [`CutCheck::Skip`] is the mutation seam: the nemesis
+    /// self-test flips it to prove the migration campaign catches a
+    /// cut that ships an empty snapshot (acked readings vanishing in
+    /// the handoff).
+    #[must_use]
+    pub fn with_cut(mut self, cut: CutCheck) -> Self {
+        self.cut = cut;
         self
     }
 
@@ -198,6 +211,29 @@ impl InProcessLink {
         }
     }
 
+    /// Fires a pending drilled kill/hang once its admitted-records
+    /// coordinate has been reached. Sends and migration steps share
+    /// this check, so a fault armed between two sends lands on
+    /// whichever protocol step runs next — including a cut or adopt.
+    fn fire_armed(&mut self) -> Result<(), LinkDown> {
+        if let Some((at, fault)) = self.armed {
+            if self.delivered >= at {
+                self.armed = None;
+                match fault {
+                    // Process death: in-memory state gone, WAL stays.
+                    CollectorFault::Kill => self.collector = None,
+                    // Wedged: alive but mute until fenced.
+                    CollectorFault::Hang => self.wedged = true,
+                    CollectorFault::Poison => {}
+                }
+                return Err(LinkDown(format!(
+                    "drill {fault:?} after {at} admitted reading(s)"
+                )));
+            }
+        }
+        Ok(())
+    }
+
     /// The net fault shaping this send, if any window is open. Each
     /// shaped send consumes one unit of its window's span.
     fn shaping(&mut self) -> Option<NetFault> {
@@ -221,21 +257,7 @@ impl PartitionLink for InProcessLink {
         time: Timestamp,
         values: &[f64],
     ) -> Result<LinkReply, LinkDown> {
-        if let Some((at, fault)) = self.armed {
-            if self.delivered >= at {
-                self.armed = None;
-                match fault {
-                    // Process death: in-memory state gone, WAL stays.
-                    CollectorFault::Kill => self.collector = None,
-                    // Wedged: alive but mute until fenced.
-                    CollectorFault::Hang => self.wedged = true,
-                    CollectorFault::Poison => {}
-                }
-                return Err(LinkDown(format!(
-                    "drill {fault:?} after {at} admitted reading(s)"
-                )));
-            }
-        }
+        self.fire_armed()?;
         if self.wedged {
             return Err(LinkDown("collector is wedged".into()));
         }
@@ -364,6 +386,71 @@ impl PartitionLink for InProcessLink {
             .as_ref()
             .map(|c| (c.epoch(), c.checkpoint_cursor()))
     }
+
+    fn migrate_cut(&mut self, start: u16, end: u16) -> Result<(u64, Vec<u8>), LinkDown> {
+        // Drills and shaping windows apply to migration steps exactly
+        // as to sends: a kill armed between two sends lands here, a
+        // partition window swallows the offer before the cut runs —
+        // request lost, never half-cut.
+        self.fire_armed()?;
+        if self.wedged {
+            return Err(LinkDown("collector is wedged".into()));
+        }
+        let shaped = self.shaping();
+        self.handled += 1;
+        if shaped == Some(NetFault::Partition) {
+            return Err(LinkDown("net partition: migrate offer lost".into()));
+        }
+        let Some(collector) = self.collector.as_mut() else {
+            return Err(LinkDown("collector process is gone".into()));
+        };
+        match collector.export_range(start..end) {
+            Ok((inside, cursor)) => Ok((cursor, encode_collector(&inside).into_bytes())),
+            Err(e) => Err(LinkDown(e.to_string())),
+        }
+    }
+
+    fn migrate_adopt(
+        &mut self,
+        start: u16,
+        end: u16,
+        cursor: u64,
+        snapshot: &[u8],
+    ) -> Result<(), LinkDown> {
+        self.fire_armed()?;
+        if self.wedged {
+            return Err(LinkDown("collector is wedged".into()));
+        }
+        let shaped = self.shaping();
+        self.handled += 1;
+        if shaped == Some(NetFault::Partition) {
+            return Err(LinkDown("net partition: migrate accept lost".into()));
+        }
+        let Some(collector) = self.collector.as_mut() else {
+            return Err(LinkDown("collector process is gone".into()));
+        };
+        let text = String::from_utf8(snapshot.to_vec()).map_err(|e| LinkDown(e.to_string()))?;
+        let snap = decode_collector(&text).map_err(|e| LinkDown(e.to_string()))?;
+        collector
+            .adopt_range(start..end, cursor, &snap)
+            .map_err(|e| LinkDown(e.to_string()))
+    }
+
+    fn migrate_done(&mut self, start: u16, end: u16, _cursor: u64) -> Result<(), LinkDown> {
+        if self.wedged {
+            return Err(LinkDown("collector is wedged".into()));
+        }
+        let shaped = self.shaping();
+        self.handled += 1;
+        if shaped == Some(NetFault::Partition) {
+            return Err(LinkDown("net partition: migrate done lost".into()));
+        }
+        let Some(collector) = self.collector.as_ref() else {
+            return Err(LinkDown("collector process is gone".into()));
+        };
+        collector.clear_outbox(start..end);
+        Ok(())
+    }
 }
 
 impl PartitionBackend for InProcessBackend {
@@ -378,11 +465,18 @@ impl PartitionBackend for InProcessBackend {
             }
             self.standbys -= 1;
         }
+        // Migration-created partitions arrive with ids past the
+        // initial layout; grow the per-partition caches to match.
+        while self.prewarm_cache.len() <= p {
+            self.prewarm_cache.push(None);
+            self.recoveries.push(None);
+        }
         let mut config = self.template.clone();
         config.wal.dir = self.partition_dir(p);
         config.wal.vfs = Arc::new(sentinet_gateway::RealVfs);
         config.epoch = epoch;
         config.fence = self.fence;
+        config.cut = self.cut;
         let mut armed = None;
         let mut net = Vec::new();
         if epoch == 1 {
@@ -491,6 +585,10 @@ impl PartitionBackend for InProcessBackend {
     fn prewarm(&mut self, p: PartitionId, checkpoint_cursor: u64) {
         if checkpoint_cursor == 0 {
             return;
+        }
+        while self.prewarm_cache.len() <= p {
+            self.prewarm_cache.push(None);
+            self.recoveries.push(None);
         }
         let path = self.partition_dir(p).join(CHECKPOINT_FILE);
         if let Ok(bytes) = sentinet_gateway::RealVfs.read(&path) {

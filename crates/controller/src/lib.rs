@@ -20,6 +20,12 @@
 //!   path — then the controller redelivers its routed log (dedup
 //!   absorbs the durable prefix). Exhausted retries commit
 //!   `Orphaned`: readings NACK and are counted, never dropped.
+//! - **Migration** ([`federation`]): live, epoch-fenced range
+//!   rebalancing — a contiguous sensor sub-range drains on its source,
+//!   cuts a checkpoint-v2 snapshot at a WAL cursor, and a destination
+//!   adopts it durably before the map commits; a kill at any protocol
+//!   step either rolls back (source keeps the range) or rolls forward
+//!   (destination owns it), never both and never neither.
 //! - **Drills** ([`chaos`]): seeded, replayable [`DrillPlan`]s kill,
 //!   hang or poison collectors at chosen admitted-record coordinates,
 //!   against in-process collectors ([`inproc`]) or real spawned
@@ -42,10 +48,10 @@ pub mod report;
 pub use chaos::{CollectorFault, DrillFault, DrillPlan, NetDrill, NetFault};
 pub use federation::{
     replay_report, BackendError, Federation, FederationConfig, FederationError, HandoffPolicy,
-    LinkDown, LinkReply, PartitionBackend, PartitionLink,
+    LinkDown, LinkReply, MigrationKind, PartitionBackend, PartitionLink,
 };
 pub use inproc::{InProcessBackend, InProcessLink, Zombie};
 pub use nemesis::{run_campaign, CampaignSummary, NemesisConfig, NemesisFailure, NemesisViolation};
-pub use partition::{PartitionHealth, PartitionId, PartitionMap, SensorRange};
+pub use partition::{PartitionHealth, PartitionId, PartitionMap, PartitionMapError, SensorRange};
 pub use process::{ProcessBackend, ProcessConfig, ProcessLink, WireProtocol};
 pub use report::{FederationEvent, FleetReport, PartitionStatus};

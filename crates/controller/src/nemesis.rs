@@ -20,6 +20,15 @@
 //!    invariant 3 failing loudly through invariant 2 is exactly what
 //!    the [`FenceCheck::Skip`] mutation self-test relies on.
 //!
+//! With the migration schedule enabled ([`NemesisConfig::migration`])
+//! every episode also runs a live split plus rebalance-back while the
+//! faults land on arbitrary protocol steps — drain, cut, adopt,
+//! commit — and two extra checks apply: the diagnosis comparison runs
+//! against a baseline that executed the *same* migration schedule
+//! uninterrupted, and fenced old owners that touched a migrated range
+//! are poked with a moved-range sensor (the *cut probe*) — no sensor
+//! that changed hands may have two live writers.
+//!
 //! Plans are generated to stay *recoverable*: standbys outnumber the
 //! faults that can force a failover, and disk faults are restricted
 //! to delivery-path operations so bootstrap never dies before the
@@ -29,12 +38,13 @@
 use crate::chaos::{CollectorFault, DrillFault, DrillPlan, NetDrill, NetFault};
 use crate::federation::{replay_report, Federation, FederationConfig};
 use crate::inproc::InProcessBackend;
-use crate::partition::{PartitionHealth, PartitionMap};
+use crate::partition::{PartitionHealth, PartitionMap, SensorRange};
+use crate::report::FederationEvent;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sentinet_gateway::{
-    DeliverOutcome, FaultPlan, FaultSpec, FenceCheck, GatewayConfig, RejectCause, StorageFault,
-    VfsOp,
+    CutCheck, DeliverOutcome, FaultPlan, FaultSpec, FenceCheck, GatewayConfig, RejectCause,
+    StorageFault, VfsOp,
 };
 use sentinet_sim::SensorId;
 use std::fmt;
@@ -57,6 +67,18 @@ pub struct NemesisConfig {
     /// Deliver-path fence mode. [`FenceCheck::Skip`] is the mutation
     /// self-test: the campaign MUST fail under it.
     pub fence: FenceCheck,
+    /// Migration-cut mode. [`CutCheck::Skip`] is the migration
+    /// mutation self-test: a cut that ships an empty snapshot makes
+    /// acked readings vanish in the handoff, and the campaign MUST
+    /// catch it.
+    pub cut: CutCheck,
+    /// Run the live-migration schedule in every episode (and the
+    /// baseline): split partition 0 at its midpoint mid-stream, then
+    /// rebalance the split-off range back, with faults free to land
+    /// on any protocol step. Adds a forced post-migration partition
+    /// window so a fenced old owner holding a migrated range gets
+    /// probed after the run.
+    pub migration: bool,
     /// Scratch root for per-episode WAL directories.
     pub root: PathBuf,
 }
@@ -72,8 +94,18 @@ impl NemesisConfig {
             sensors: 4,
             ticks: 60,
             fence: FenceCheck::Enforced,
+            cut: CutCheck::Enforced,
+            migration: false,
             root: root.into(),
         }
+    }
+
+    /// The same campaign with the live-migration schedule enabled in
+    /// every episode.
+    #[must_use]
+    pub fn with_migration(mut self) -> Self {
+        self.migration = true;
+        self
     }
 }
 
@@ -192,6 +224,13 @@ pub struct CampaignSummary {
     pub fence_probe_rejects: u64,
     /// Adoptions that started from a pre-warmed checkpoint image.
     pub prewarmed_adoptions: u64,
+    /// Live migrations completed across all episodes.
+    pub migrations: u64,
+    /// Fenced old owners poked with a migrated-range sensor — the
+    /// cut probe: no sensor that moved may have two live writers.
+    pub cut_probes: u64,
+    /// Cut probes rejected with [`RejectCause::Fenced`].
+    pub cut_probe_rejects: u64,
 }
 
 impl fmt::Display for CampaignSummary {
@@ -200,7 +239,8 @@ impl fmt::Display for CampaignSummary {
             f,
             "{} episode(s): {} process / {} net / {} disk fault(s) ({} disk episode(s), \
              {} pipelined), {} failover(s), {} flap(s), {} zombie probe(s) \
-             ({} fence-rejected), {} pre-warmed adoption(s)",
+             ({} fence-rejected), {} pre-warmed adoption(s), {} migration(s), \
+             {} cut probe(s) ({} fence-rejected)",
             self.episodes,
             self.process_faults,
             self.net_faults,
@@ -211,7 +251,10 @@ impl fmt::Display for CampaignSummary {
             self.flaps,
             self.zombie_probes,
             self.fence_probe_rejects,
-            self.prewarmed_adoptions
+            self.prewarmed_adoptions,
+            self.migrations,
+            self.cut_probes,
+            self.cut_probe_rejects
         )
     }
 }
@@ -314,6 +357,20 @@ fn generate_plan(config: &NemesisConfig, episode: u32, ep_seed: u64) -> EpisodeP
             fault: NetFault::Partition,
         });
     }
+    if config.migration {
+        // Forced post-migration partition on the migration destination
+        // (partition 0): its fenced-but-live old owner holds the
+        // rebalanced-back range, so the post-run cut probe gets a
+        // zombie that adopted migrated sensors. The coordinate lands
+        // after the rebalance trigger (≈ `per_partition/2` of its own
+        // deliveries plus the migrated share).
+        drill = drill.with_net(NetDrill {
+            partition: 0,
+            after_records: per_partition * 2 / 3,
+            span: u64::from(SUSPECT_AFTER),
+            fault: NetFault::Partition,
+        });
+    }
 
     let mut disk = Vec::new();
     if rng.gen_bool(0.25) || episode % 8 == 1 {
@@ -340,19 +397,44 @@ fn generate_plan(config: &NemesisConfig, episode: u32, ep_seed: u64) -> EpisodeP
         ));
     }
 
+    // With migration on, a Partition/AckLoss window can land on the
+    // cut/adopt retry ladder, where every shaped attempt revives the
+    // partition through a fresh failover — budget the window's full
+    // span instead of one.
     let failover_capable = drill.faults.len()
         + disk.len()
         + drill
             .net
             .iter()
             .filter(|d| matches!(d.fault, NetFault::Partition | NetFault::AckLoss))
-            .count();
+            .map(|d| if config.migration { d.span as usize } else { 1 })
+            .sum::<usize>();
     EpisodePlan {
         drill,
         disk,
         standbys: failover_capable + 1,
         pipelined: episode % 2 == 1,
     }
+}
+
+/// Applies the fixed live-migration schedule when the campaign runs
+/// with migrations: split partition 0 at the midpoint of its range a
+/// third of the way into its stream, then rebalance the split-off
+/// partition (id = `config.partitions`) back into it. Triggers key on
+/// routed counts, which faults cannot perturb, so the cut lands at
+/// one stream coordinate in the baseline and every episode alike.
+fn schedule_migrations(fed: &mut Federation<InProcessBackend>, config: &NemesisConfig) {
+    if !config.migration {
+        return;
+    }
+    let width = config.sensors / config.partitions.max(1) as u16;
+    let per_partition = config.ticks * u64::from(width.max(1));
+    fed.schedule_split(0, SensorId(width / 2), (per_partition / 3) as usize)
+        // sentinet-allow(expect-used): the schedule is fixed — partition 0
+        // exists and `width / 2` is strictly inside its range for every
+        // campaign geometry; a failure here is a harness bug worth a panic.
+        .expect("the fixed migration schedule is non-degenerate");
+    fed.schedule_rebalance(config.partitions, (per_partition / 6) as usize);
 }
 
 /// First line where `baseline` and `got` differ, for a failure
@@ -393,7 +475,10 @@ pub fn run_campaign(config: &NemesisConfig) -> Result<CampaignSummary, NemesisFa
     // durable-path mutation — fault injection has nothing to cover.
     let _ = std::fs::remove_dir_all(&baseline_dir);
     let baseline = {
-        let map = PartitionMap::split_even(config.sensors, config.partitions);
+        let map = PartitionMap::split_even(config.sensors, config.partitions)
+            // sentinet-allow(expect-used): campaign geometry is fixed with
+            // sensors >= partitions, never a degenerate split.
+            .expect("nemesis fleets are non-degenerate");
         let backend = InProcessBackend::new(
             template.clone(),
             &baseline_dir,
@@ -403,6 +488,7 @@ pub fn run_campaign(config: &NemesisConfig) -> Result<CampaignSummary, NemesisFa
         );
         let mut fed = Federation::new(map, FederationConfig::default(), backend)
             .map_err(|e| fail(0, config.seed, NemesisViolation::Error(e.to_string())))?;
+        schedule_migrations(&mut fed, config);
         for (sensor, time, values) in stream(config.sensors, config.ticks) {
             fed.route(sensor, time, &values)
                 .map_err(|e| fail(0, config.seed, NemesisViolation::Error(e.to_string())))?;
@@ -429,7 +515,10 @@ pub fn run_campaign(config: &NemesisConfig) -> Result<CampaignSummary, NemesisFa
         let dir = config.root.join(format!("ep{episode}"));
         // sentinet-allow(io-outside-vfs): scratch-directory cleanup.
         let _ = std::fs::remove_dir_all(&dir);
-        let map = PartitionMap::split_even(config.sensors, config.partitions);
+        let map = PartitionMap::split_even(config.sensors, config.partitions)
+            // sentinet-allow(expect-used): campaign geometry is fixed with
+            // sensors >= partitions, never a degenerate split.
+            .expect("nemesis fleets are non-degenerate");
         let mut backend = InProcessBackend::new(
             template.clone(),
             &dir,
@@ -438,6 +527,7 @@ pub fn run_campaign(config: &NemesisConfig) -> Result<CampaignSummary, NemesisFa
             plan.drill,
         )
         .with_fence(config.fence)
+        .with_cut(config.cut)
         .with_pipelined(plan.pipelined);
         for (p, disk_plan) in plan.disk {
             backend = backend.with_disk_fault(p, disk_plan);
@@ -451,6 +541,7 @@ pub fn run_campaign(config: &NemesisConfig) -> Result<CampaignSummary, NemesisFa
         };
         let mut fed = Federation::new(map, fed_config, backend)
             .map_err(|e| fail(episode, ep_seed, NemesisViolation::Error(e.to_string())))?;
+        schedule_migrations(&mut fed, config);
         for (sensor, time, values) in stream(config.sensors, config.ticks) {
             fed.route(sensor, time, &values)
                 .map_err(|e| fail(episode, ep_seed, NemesisViolation::Error(e.to_string())))?;
@@ -492,6 +583,22 @@ pub fn run_campaign(config: &NemesisConfig) -> Result<CampaignSummary, NemesisFa
             summary.flaps += u64::from(status.flaps);
         }
 
+        // Ranges that changed hands, for the cut probe below.
+        let moved: Vec<(usize, usize, SensorRange)> = fleet
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                FederationEvent::MigrationCompleted {
+                    source,
+                    dest,
+                    range,
+                    ..
+                } => Some((*source, *dest, *range)),
+                _ => None,
+            })
+            .collect();
+        summary.migrations += moved.len() as u64;
+
         // Invariant: single writer per partition. Every fenced but
         // still-live old owner gets poked with a fresh append; epoch
         // fencing must reject it.
@@ -528,6 +635,39 @@ pub fn run_campaign(config: &NemesisConfig) -> Result<CampaignSummary, NemesisFa
                             owner_epoch,
                         },
                     ));
+                }
+            }
+            // The cut probe: if this zombie exported or adopted a
+            // migrated range while it owned the partition, a sensor
+            // from that range must reject too — a moved sensor with
+            // two live writers is the migration flavour of
+            // split-brain.
+            for (j, (source, dest, moved_range)) in moved.iter().enumerate() {
+                if *source != z.partition && *dest != z.partition {
+                    continue;
+                }
+                summary.cut_probes += 1;
+                let seq = config.ticks + 2000 + i as u64 * 16 + j as u64;
+                let time = 300 * (config.ticks + 60);
+                match z
+                    .collector
+                    .deliver(SensorId(moved_range.start), seq, time, vec![22.0, 57.0])
+                {
+                    Ok(DeliverOutcome::Rejected(RejectCause::Fenced)) => {
+                        summary.cut_probe_rejects += 1;
+                    }
+                    Ok(DeliverOutcome::Rejected(_)) | Err(_) => {}
+                    Ok(_) => {
+                        return Err(fail(
+                            episode,
+                            ep_seed,
+                            NemesisViolation::SplitBrain {
+                                partition: z.partition,
+                                zombie_epoch: z.epoch,
+                                owner_epoch,
+                            },
+                        ));
+                    }
                 }
             }
             probed.push(z.partition);

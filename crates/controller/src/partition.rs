@@ -79,6 +79,75 @@ impl fmt::Display for SensorRange {
     }
 }
 
+/// Error constructing or reshaping a [`PartitionMap`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionMapError {
+    /// `split_even` was asked for zero partitions.
+    NoPartitions,
+    /// `split_even` was asked for more partitions than sensors — the
+    /// surplus partitions could only be zero-width ranges, which
+    /// silently own nothing and rot as permanently-idle slots.
+    DegenerateSplit {
+        /// Sensors available to split.
+        num_sensors: u16,
+        /// Partitions requested.
+        partitions: usize,
+    },
+    /// `split_at` named a sensor that is not a strict interior point
+    /// of the partition's range, so one half would be empty.
+    SplitOutsideRange {
+        /// The partition asked to split.
+        partition: PartitionId,
+        /// The offending split point.
+        sensor: u16,
+        /// The partition's current range.
+        range: SensorRange,
+    },
+    /// `transfer` named two partitions whose ranges do not abut, so
+    /// the union would not be contiguous.
+    NotAdjacent {
+        /// The donating partition and its range.
+        from: (PartitionId, SensorRange),
+        /// The receiving partition and its range.
+        to: (PartitionId, SensorRange),
+    },
+}
+
+impl fmt::Display for PartitionMapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionMapError::NoPartitions => {
+                write!(f, "a partition map needs at least one partition")
+            }
+            PartitionMapError::DegenerateSplit {
+                num_sensors,
+                partitions,
+            } => write!(
+                f,
+                "cannot split {num_sensors} sensor(s) over {partitions} partitions: \
+                 every partition must own at least one sensor"
+            ),
+            PartitionMapError::SplitOutsideRange {
+                partition,
+                sensor,
+                range,
+            } => write!(
+                f,
+                "cannot split partition {partition} [sensors {range}] at sensor \
+                 {sensor}: the split point must fall strictly inside the range"
+            ),
+            PartitionMapError::NotAdjacent { from, to } => write!(
+                f,
+                "cannot transfer partition {} [sensors {}] into partition {} \
+                 [sensors {}]: the ranges do not abut",
+                from.0, from.1, to.0, to.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PartitionMapError {}
+
 #[derive(Debug, Clone)]
 struct Slot {
     range: SensorRange,
@@ -99,14 +168,24 @@ impl PartitionMap {
     /// remainder). Every partition starts at epoch 0 (no owner) in
     /// [`PartitionHealth::Ok`]; the federation engine commits epoch 1
     /// when it starts the initial owners.
-    pub fn split_even(num_sensors: u16, partitions: usize) -> Self {
-        assert!(
-            partitions > 0,
-            "a partition map needs at least one partition"
-        );
+    ///
+    /// Degenerate shapes are typed errors, not silent zero-width
+    /// ranges: zero partitions is [`PartitionMapError::NoPartitions`]
+    /// and more partitions than sensors is
+    /// [`PartitionMapError::DegenerateSplit`].
+    pub fn split_even(num_sensors: u16, partitions: usize) -> Result<Self, PartitionMapError> {
+        if partitions == 0 {
+            return Err(PartitionMapError::NoPartitions);
+        }
+        if partitions > usize::from(num_sensors) {
+            return Err(PartitionMapError::DegenerateSplit {
+                num_sensors,
+                partitions,
+            });
+        }
         let n = partitions as u16;
-        let per = num_sensors / n.max(1);
-        let rem = num_sensors % n.max(1);
+        let per = num_sensors / n;
+        let rem = num_sensors % n;
         let mut slots = Vec::with_capacity(partitions);
         let mut start = 0u16;
         for i in 0..n {
@@ -121,7 +200,7 @@ impl PartitionMap {
             });
             start += width;
         }
-        Self { slots }
+        Ok(Self { slots })
     }
 
     /// Number of partitions.
@@ -177,36 +256,209 @@ impl PartitionMap {
     pub fn commit_health(&mut self, p: PartitionId, health: PartitionHealth) {
         self.slots[p].health = health;
     }
+
+    /// Splits partition `p`'s range at `sensor`: `p` keeps
+    /// `[start, sensor)` and a new partition appended at the end of
+    /// the map adopts `[sensor, end)` at epoch 0 (no owner) in
+    /// [`PartitionHealth::Ok`]. Appending keeps every existing
+    /// [`PartitionId`] stable, so per-partition controller state never
+    /// re-keys mid-stream. Returns the new partition's id.
+    ///
+    /// The split point must fall strictly inside `p`'s range — both
+    /// halves own at least one sensor — so the cover-every-sensor-
+    /// exactly-once invariant is preserved by construction.
+    ///
+    /// Only the federation commit path may call this (enforced by the
+    /// `partition-map-mutation` lint): the caller must fence the old
+    /// ownership generation through [`PartitionMap::commit_owner`]
+    /// before routing to the new shape.
+    pub fn split_at(
+        &mut self,
+        p: PartitionId,
+        sensor: SensorId,
+    ) -> Result<PartitionId, PartitionMapError> {
+        let range = self.slots[p].range;
+        if sensor.0 <= range.start || sensor.0 >= range.end {
+            return Err(PartitionMapError::SplitOutsideRange {
+                partition: p,
+                sensor: sensor.0,
+                range,
+            });
+        }
+        self.slots[p].range.end = sensor.0;
+        self.slots.push(Slot {
+            range: SensorRange {
+                start: sensor.0,
+                end: range.end,
+            },
+            epoch: 0,
+            health: PartitionHealth::Ok,
+        });
+        Ok(self.slots.len() - 1)
+    }
+
+    /// Transfers partition `from`'s entire range into the adjacent
+    /// partition `to`: `to`'s range grows to the contiguous union and
+    /// `from` is left owning the zero-width range at the old boundary.
+    /// This is the inverse of [`PartitionMap::split_at`] — the
+    /// migration abort path uses it to return a split-off range to its
+    /// source so the map never leaks ownership.
+    ///
+    /// The two ranges must abut (`to.end == from.start` or
+    /// `from.end == to.start`); anything else would tear the
+    /// contiguous cover. Only the federation commit path may call this
+    /// (enforced by the `partition-map-mutation` lint).
+    pub fn transfer(
+        &mut self,
+        from: PartitionId,
+        to: PartitionId,
+    ) -> Result<(), PartitionMapError> {
+        let fr = self.slots[from].range;
+        let tr = self.slots[to].range;
+        if from == to || (tr.end != fr.start && fr.end != tr.start) || fr.is_empty() {
+            return Err(PartitionMapError::NotAdjacent {
+                from: (from, fr),
+                to: (to, tr),
+            });
+        }
+        if tr.end == fr.start {
+            self.slots[to].range.end = fr.end;
+            self.slots[from].range = SensorRange {
+                start: fr.end,
+                end: fr.end,
+            };
+        } else {
+            self.slots[to].range.start = fr.start;
+            self.slots[from].range = SensorRange {
+                start: fr.start,
+                end: fr.start,
+            };
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn split_even_covers_every_sensor_exactly_once() {
-        let map = PartitionMap::split_even(10, 3);
-        assert_eq!(map.len(), 3);
-        assert_eq!(map.range(0), SensorRange { start: 0, end: 4 });
-        assert_eq!(map.range(1), SensorRange { start: 4, end: 7 });
-        assert_eq!(map.range(2), SensorRange { start: 7, end: 10 });
-        for s in 0..10u16 {
+    /// Every sensor in `[0, num_sensors)` owned exactly once, nothing
+    /// else owned, ranges contiguous in partition order.
+    fn assert_covers_exactly_once(map: &PartitionMap, num_sensors: u16) {
+        for s in 0..num_sensors {
             let owners: Vec<_> = (0..map.len())
                 .filter(|&p| map.range(p).contains(SensorId(s)))
                 .collect();
             assert_eq!(owners.len(), 1, "sensor {s} owned by {owners:?}");
         }
-        assert_eq!(map.partition_of(SensorId(10)), None);
+        assert_eq!(map.partition_of(SensorId(num_sensors)), None);
+        assert_eq!(map.partition_of(SensorId(u16::MAX)), None);
+    }
+
+    #[test]
+    fn split_even_covers_every_sensor_exactly_once() {
+        let map = PartitionMap::split_even(10, 3).expect("non-degenerate");
+        assert_eq!(map.len(), 3);
+        assert_eq!(map.range(0), SensorRange { start: 0, end: 4 });
+        assert_eq!(map.range(1), SensorRange { start: 4, end: 7 });
+        assert_eq!(map.range(2), SensorRange { start: 7, end: 10 });
+        assert_covers_exactly_once(&map, 10);
+    }
+
+    #[test]
+    fn degenerate_splits_are_typed_errors() {
+        assert_eq!(
+            PartitionMap::split_even(4, 0).unwrap_err(),
+            PartitionMapError::NoPartitions
+        );
+        assert_eq!(
+            PartitionMap::split_even(3, 5).unwrap_err(),
+            PartitionMapError::DegenerateSplit {
+                num_sensors: 3,
+                partitions: 5
+            }
+        );
+        assert_eq!(
+            PartitionMap::split_even(0, 1).unwrap_err(),
+            PartitionMapError::DegenerateSplit {
+                num_sensors: 0,
+                partitions: 1
+            }
+        );
     }
 
     #[test]
     fn commit_owner_refuses_to_move_backwards() {
-        let mut map = PartitionMap::split_even(4, 2);
+        let mut map = PartitionMap::split_even(4, 2).expect("non-degenerate");
         map.commit_owner(0, 1);
         map.commit_owner(0, 2);
         assert_eq!(map.epoch(0), 2);
         let r = std::panic::catch_unwind(move || map.commit_owner(0, 2));
         assert!(r.is_err(), "stale epoch commit must panic");
+    }
+
+    #[test]
+    fn split_at_appends_the_new_partition_and_keeps_ids_stable() {
+        let mut map = PartitionMap::split_even(10, 2).expect("non-degenerate");
+        map.commit_owner(0, 1);
+        map.commit_owner(1, 1);
+        let new = map.split_at(0, SensorId(2)).expect("interior point");
+        assert_eq!(new, 2, "the split-off partition is appended");
+        assert_eq!(map.range(0), SensorRange { start: 0, end: 2 });
+        assert_eq!(map.range(1), SensorRange { start: 5, end: 10 });
+        assert_eq!(map.range(2), SensorRange { start: 2, end: 5 });
+        assert_eq!(map.epoch(2), 0, "the new partition has no owner yet");
+        assert_eq!(map.health(2), PartitionHealth::Ok);
+        assert_covers_exactly_once(&map, 10);
+    }
+
+    #[test]
+    fn split_at_rejects_boundary_and_exterior_points() {
+        let mut map = PartitionMap::split_even(10, 2).expect("non-degenerate");
+        for s in [0u16, 5, 7, 10] {
+            assert_eq!(
+                map.split_at(0, SensorId(s)).unwrap_err(),
+                PartitionMapError::SplitOutsideRange {
+                    partition: 0,
+                    sensor: s,
+                    range: SensorRange { start: 0, end: 5 },
+                },
+                "split at {s} must be rejected"
+            );
+        }
+        assert_eq!(map.len(), 2, "a rejected split must not reshape the map");
+    }
+
+    #[test]
+    fn transfer_returns_a_split_off_range_to_its_source() {
+        let mut map = PartitionMap::split_even(10, 2).expect("non-degenerate");
+        let new = map.split_at(0, SensorId(2)).expect("interior point");
+        map.transfer(new, 0).expect("adjacent ranges");
+        assert_eq!(map.range(0), SensorRange { start: 0, end: 5 });
+        assert!(map.range(new).is_empty(), "the donor is left empty");
+        assert_covers_exactly_once(&map, 10);
+    }
+
+    #[test]
+    fn transfer_rejects_non_adjacent_and_empty_donors() {
+        let mut map = PartitionMap::split_even(12, 3).expect("non-degenerate");
+        assert!(matches!(
+            map.transfer(0, 2).unwrap_err(),
+            PartitionMapError::NotAdjacent { .. }
+        ));
+        assert!(matches!(
+            map.transfer(0, 0).unwrap_err(),
+            PartitionMapError::NotAdjacent { .. }
+        ));
+        map.transfer(0, 1).expect("adjacent");
+        assert!(
+            matches!(
+                map.transfer(0, 1).unwrap_err(),
+                PartitionMapError::NotAdjacent { .. }
+            ),
+            "an empty donor has nothing to transfer"
+        );
+        assert_covers_exactly_once(&map, 12);
     }
 
     mod props {
@@ -215,43 +467,57 @@ mod tests {
 
         proptest! {
             /// Every sensor in `[0, num_sensors)` is owned by exactly
-            /// one partition, and nothing beyond the range is owned —
-            /// including the degenerate shapes: more partitions than
-            /// sensors (zero-width ranges) and zero sensors.
+            /// one partition, and nothing beyond the range is owned;
+            /// asking for more partitions than sensors (or zero of
+            /// either) is a typed error, never a map with zero-width
+            /// ranges.
             #[test]
             fn split_even_covers_and_is_disjoint(
                 num_sensors in 0u16..200,
-                partitions in 1usize..40,
+                partitions in 0usize..40,
             ) {
-                let map = PartitionMap::split_even(num_sensors, partitions);
-                prop_assert_eq!(map.len(), partitions);
-                for s in 0..num_sensors {
-                    let owners = (0..map.len())
-                        .filter(|&p| map.range(p).contains(SensorId(s)))
-                        .count();
-                    prop_assert_eq!(owners, 1, "sensor {} owned {} times", s, owners);
-                    prop_assert!(map.partition_of(SensorId(s)).is_some());
+                match PartitionMap::split_even(num_sensors, partitions) {
+                    Ok(map) => {
+                        prop_assert!(partitions >= 1 && partitions <= usize::from(num_sensors));
+                        prop_assert_eq!(map.len(), partitions);
+                        for s in 0..num_sensors {
+                            let owners = (0..map.len())
+                                .filter(|&p| map.range(p).contains(SensorId(s)))
+                                .count();
+                            prop_assert_eq!(owners, 1, "sensor {} owned {} times", s, owners);
+                            prop_assert!(map.partition_of(SensorId(s)).is_some());
+                        }
+                        prop_assert_eq!(map.partition_of(SensorId(num_sensors)), None);
+                        prop_assert_eq!(map.partition_of(SensorId(u16::MAX)), None);
+                        for p in 0..map.len() {
+                            prop_assert!(!map.range(p).is_empty(), "no silent empty ranges");
+                        }
+                    }
+                    Err(PartitionMapError::NoPartitions) => prop_assert_eq!(partitions, 0),
+                    Err(PartitionMapError::DegenerateSplit { num_sensors: n, partitions: p }) => {
+                        prop_assert_eq!((n, p), (num_sensors, partitions));
+                        prop_assert!(p > usize::from(n));
+                    }
+                    Err(other) => prop_assert!(false, "unexpected error {:?}", other),
                 }
-                prop_assert_eq!(map.partition_of(SensorId(num_sensors)), None);
-                prop_assert_eq!(map.partition_of(SensorId(u16::MAX)), None);
             }
 
             /// Ranges tile the sensor space contiguously in partition
-            /// order, widths never differ by more than one, and with
-            /// more partitions than sensors the surplus partitions are
-            /// exactly the zero-width tail.
+            /// order and widths never differ by more than one.
             #[test]
             fn split_even_ranges_are_contiguous_and_balanced(
-                num_sensors in 0u16..200,
+                num_sensors in 1u16..200,
                 partitions in 1usize..40,
             ) {
-                let map = PartitionMap::split_even(num_sensors, partitions);
+                let partitions = partitions.min(usize::from(num_sensors));
+                let map = PartitionMap::split_even(num_sensors, partitions)
+                    .expect("clamped to a non-degenerate shape");
                 let mut expected_start = 0u16;
                 let mut widths = Vec::new();
                 for p in 0..map.len() {
                     let r = map.range(p);
                     prop_assert_eq!(r.start, expected_start, "gap or overlap at partition {}", p);
-                    prop_assert!(r.end >= r.start);
+                    prop_assert!(r.end > r.start);
                     expected_start = r.end;
                     widths.push(r.len());
                 }
@@ -259,18 +525,38 @@ mod tests {
                 let min = widths.iter().copied().min().unwrap_or(0);
                 let max = widths.iter().copied().max().unwrap_or(0);
                 prop_assert!(max - min <= 1, "uneven split: widths {:?}", widths);
-                // Zero-width ranges exist iff partitions outnumber
-                // sensors, and they answer ownership queries sanely.
-                let empties = widths.iter().filter(|w| **w == 0).count();
-                let expected_empties =
-                    partitions.saturating_sub(usize::from(num_sensors).min(partitions));
-                prop_assert_eq!(empties, expected_empties);
-                for p in 0..map.len() {
-                    if map.range(p).is_empty() {
-                        for s in 0..num_sensors {
-                            prop_assert!(!map.range(p).contains(SensorId(s)));
+            }
+
+            /// Any interleaving of valid `split_at` and undo
+            /// `transfer` operations preserves cover-every-sensor-
+            /// exactly-once, and invalid operations leave the map
+            /// untouched.
+            #[test]
+            fn split_and_transfer_preserve_the_cover(
+                num_sensors in 2u16..64,
+                partitions in 1usize..6,
+                ops in proptest::collection::vec((0usize..8, 0u16..64, 0u8..2), 0..12),
+            ) {
+                let partitions = partitions.min(usize::from(num_sensors));
+                let mut map = PartitionMap::split_even(num_sensors, partitions)
+                    .expect("clamped to a non-degenerate shape");
+                for (p, s, undo) in ops {
+                    let p = p % map.len();
+                    if let Ok(new) = map.split_at(p, SensorId(s)) {
+                        prop_assert_eq!(new, map.len() - 1, "split appends");
+                        if undo == 1 {
+                            map.transfer(new, p).expect("a fresh split is adjacent to its source");
+                            prop_assert!(map.range(new).is_empty());
                         }
                     }
+                    // Valid or rejected, the cover must hold.
+                    for sensor in 0..num_sensors {
+                        let owners = (0..map.len())
+                            .filter(|&q| map.range(q).contains(SensorId(sensor)))
+                            .count();
+                        prop_assert_eq!(owners, 1, "sensor {} owned {} times", sensor, owners);
+                    }
+                    prop_assert_eq!(map.partition_of(SensorId(num_sensors)), None);
                 }
             }
         }

@@ -10,8 +10,8 @@ use crate::federation::{
 };
 use crate::partition::PartitionId;
 use sentinet_gateway::{
-    probe_heartbeat, GatewayConfig, GatewayReport, PipelinedConfig, PipelinedUplink, SensorUplink,
-    UplinkConfig, UplinkStats,
+    probe_heartbeat, probe_migrate_adopt, probe_migrate_cut, probe_migrate_done, GatewayConfig,
+    GatewayReport, PipelinedConfig, PipelinedUplink, SensorUplink, UplinkConfig, UplinkStats,
 };
 use sentinet_sim::{SensorId, Timestamp};
 use std::io::{BufRead, BufReader};
@@ -151,6 +151,54 @@ impl PartitionLink for ProcessLink {
         // be mid-batch, and the v1 socket is request/response framed,
         // so the heartbeat never rides the data path.
         probe_heartbeat(&self.addr, self.epoch, self.ack_timeout)
+    }
+
+    fn migrate_cut(&mut self, start: u16, end: u16) -> Result<(u64, Vec<u8>), LinkDown> {
+        // The SIGKILL drill fires on migration steps exactly as on
+        // sends: a coordinate reached between two sends lands on the
+        // cut — the kill-source-mid-handoff drill.
+        if self.kill_after == Some(self.handed) {
+            self.kill_after = None;
+            let _ = self.child.kill();
+            let _ = self.child.wait();
+        }
+        self.handed += 1;
+        // Like the heartbeat, migration steps ride dedicated probe
+        // connections: the data socket may be mid-batch, and a dead
+        // child simply times the probe out.
+        probe_migrate_cut(&self.addr, start, end, self.ack_timeout)
+            .ok_or_else(|| LinkDown("migrate cut probe got no durable answer".into()))
+    }
+
+    fn migrate_adopt(
+        &mut self,
+        start: u16,
+        end: u16,
+        cursor: u64,
+        snapshot: &[u8],
+    ) -> Result<(), LinkDown> {
+        // A kill coordinate of 0 on a freshly adopted destination
+        // fires here — the kill-destination-mid-adopt drill.
+        if self.kill_after == Some(self.handed) {
+            self.kill_after = None;
+            let _ = self.child.kill();
+            let _ = self.child.wait();
+        }
+        self.handed += 1;
+        probe_migrate_adopt(
+            &self.addr,
+            start,
+            end,
+            cursor,
+            snapshot.to_vec(),
+            self.ack_timeout,
+        )
+        .ok_or_else(|| LinkDown("migrate adopt probe got no durable answer".into()))
+    }
+
+    fn migrate_done(&mut self, start: u16, end: u16, cursor: u64) -> Result<(), LinkDown> {
+        probe_migrate_done(&self.addr, start, end, cursor, self.ack_timeout)
+            .ok_or_else(|| LinkDown("migrate done probe got no answer".into()))
     }
 }
 

@@ -76,6 +76,48 @@ pub enum FederationEvent {
         /// The backend's complaint.
         detail: String,
     },
+    /// A live range migration began: the moved sub-range quiesces on
+    /// the source while the handoff runs.
+    MigrationStarted {
+        /// The source partition.
+        source: PartitionId,
+        /// The destination partition.
+        dest: PartitionId,
+        /// The sensor range on the move.
+        range: SensorRange,
+        /// Stream time when the migration was triggered.
+        at: Timestamp,
+    },
+    /// A live range migration committed: the destination durably owns
+    /// the moved range and the map epoch advanced.
+    MigrationCompleted {
+        /// The source partition.
+        source: PartitionId,
+        /// The destination partition.
+        dest: PartitionId,
+        /// The sensor range that moved.
+        range: SensorRange,
+        /// Stream time of the commit.
+        at: Timestamp,
+        /// Source WAL cursor the cut was taken at.
+        cursor: u64,
+        /// The epoch the destination owns the range under.
+        epoch: u64,
+    },
+    /// A live range migration rolled back before the cut committed:
+    /// the source keeps the range, nothing moved.
+    MigrationAborted {
+        /// The source partition.
+        source: PartitionId,
+        /// The destination partition that was to adopt.
+        dest: PartitionId,
+        /// The sensor range that stayed put.
+        range: SensorRange,
+        /// Stream time of the rollback.
+        at: Timestamp,
+        /// Why the migration could not proceed.
+        reason: String,
+    },
 }
 
 impl fmt::Display for FederationEvent {
@@ -108,6 +150,18 @@ impl fmt::Display for FederationEvent {
             FederationEvent::FinishFailed { partition, detail } => {
                 write!(f, "partition {partition} finish failed: {detail}")
             }
+            FederationEvent::MigrationStarted { source, dest, range, at } => write!(
+                f,
+                "migration of sensors {range} from partition {source} to {dest} started at t={at}"
+            ),
+            FederationEvent::MigrationCompleted { source, dest, range, at, cursor, epoch } => write!(
+                f,
+                "migration of sensors {range} from partition {source} to {dest} completed at t={at} (cut cursor {cursor}, epoch {epoch})"
+            ),
+            FederationEvent::MigrationAborted { source, dest, range, at, reason } => write!(
+                f,
+                "migration of sensors {range} from partition {source} to {dest} aborted at t={at}: {reason}"
+            ),
         }
     }
 }

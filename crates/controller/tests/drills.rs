@@ -73,7 +73,7 @@ fn run_fleet_with(
     sentinet_controller::FleetReport,
     Option<sentinet_gateway::RecoveryInfo>,
 ) {
-    let map = PartitionMap::split_even(4, 2);
+    let map = PartitionMap::split_even(4, 2).expect("non-degenerate");
     let backend = InProcessBackend::new(template, root, 2, standbys, drill);
     let mut fed = Federation::new(map, FederationConfig::default(), backend).expect("bootstrap");
     for (sensor, time, values) in stream() {
@@ -294,7 +294,7 @@ fn run_fleet_config(
     drill: DrillPlan,
     config: FederationConfig,
 ) -> sentinet_controller::FleetReport {
-    let map = PartitionMap::split_even(4, 2);
+    let map = PartitionMap::split_even(4, 2).expect("non-degenerate");
     let backend = InProcessBackend::new(template(), root, 2, standbys, drill);
     let mut fed = Federation::new(map, config, backend).expect("bootstrap");
     for (sensor, time, values) in stream() {

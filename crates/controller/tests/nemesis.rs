@@ -6,7 +6,7 @@
 //! deliver-path fence check is compiled out via [`FenceCheck::Skip`].
 
 use sentinet_controller::{run_campaign, NemesisConfig, NemesisViolation};
-use sentinet_gateway::FenceCheck;
+use sentinet_gateway::{CutCheck, FenceCheck};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
@@ -58,6 +58,57 @@ fn campaigns_replay_deterministically() {
     let a = run_campaign(&NemesisConfig::new(77, 9, tmproot("det-a"))).expect("campaign a");
     let b = run_campaign(&NemesisConfig::new(77, 9, tmproot("det-b"))).expect("campaign b");
     assert_eq!(a, b, "same seed must reproduce the same campaign");
+}
+
+#[test]
+fn migration_campaign_passes_and_probes_moved_ranges() {
+    let root = tmproot("migration");
+    let config = NemesisConfig::new(0xC0FFEE, 16, &root).with_migration();
+    let summary = run_campaign(&config).expect("migration campaign must hold every invariant");
+
+    assert_eq!(summary.episodes, 16);
+    assert_eq!(
+        summary.migrations,
+        2 * u64::from(summary.episodes),
+        "every episode must complete its split and its rebalance-back"
+    );
+    assert!(summary.failovers > 0, "no fault landed on a handoff");
+    assert!(
+        summary.cut_probes > 0,
+        "no fenced owner of a migrated range was probed — the cut probe never ran"
+    );
+    assert_eq!(
+        summary.cut_probe_rejects, summary.cut_probes,
+        "every moved-range zombie append must be fence-rejected"
+    );
+}
+
+#[test]
+fn migration_campaigns_replay_deterministically() {
+    let a = run_campaign(&NemesisConfig::new(78, 7, tmproot("mig-det-a")).with_migration())
+        .expect("campaign a");
+    let b = run_campaign(&NemesisConfig::new(78, 7, tmproot("mig-det-b")).with_migration())
+        .expect("campaign b");
+    assert_eq!(a, b, "same seed must reproduce the same campaign");
+}
+
+#[test]
+fn cut_check_skip_mutation_makes_the_migration_campaign_fail() {
+    let root = tmproot("cut-skip");
+    let mut config = NemesisConfig::new(0xC0FFEE, 8, &root).with_migration();
+    config.cut = CutCheck::Skip;
+    let failure =
+        run_campaign(&config).expect_err("with the cut check compiled out, the campaign MUST fail");
+    assert!(
+        matches!(
+            failure.violation,
+            NemesisViolation::AckedLost { .. }
+                | NemesisViolation::DiagnosisDiverged { .. }
+                | NemesisViolation::Orphaned { .. }
+        ),
+        "the empty-cut mutation must surface as acked loss, divergence or an orphan, got: {failure}"
+    );
+    let _ = std::fs::remove_dir_all(&root);
 }
 
 #[test]

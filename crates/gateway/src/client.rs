@@ -996,6 +996,142 @@ pub fn probe_heartbeat(connect: &str, epoch: u64, timeout: Duration) -> Option<(
     }
 }
 
+/// One-shot migration exchange over a dedicated connection: dial
+/// `connect`, send `request`, and wait up to `timeout` for the first
+/// reply `matches` accepts. `None` on any connect, I/O, or deadline
+/// failure — the migration driver treats that as a failed step (abort
+/// or retry), never an error. Like [`probe_heartbeat`], deliberately
+/// separate from the data uplinks so migration control traffic cannot
+/// perturb retransmit state.
+fn migrate_exchange<T>(
+    connect: &str,
+    request: &Message,
+    timeout: Duration,
+    matches: impl Fn(Message) -> Option<T>,
+) -> Option<T> {
+    let stream = Stream::connect(connect).ok()?;
+    let per_read = (timeout / 4).max(Duration::from_millis(10));
+    stream.set_read_timeout(Some(per_read)).ok()?;
+    let mut stream = stream;
+    stream
+        .write_all(&encode_frame(request))
+        .and_then(|()| stream.flush())
+        .ok()?;
+    let mut fb = FrameBuffer::new();
+    let deadline = Instant::now() + timeout;
+    let mut buf = [0u8; 4096];
+    loop {
+        loop {
+            match fb.next_message() {
+                Ok(Some(msg)) => {
+                    if let Some(out) = matches(msg) {
+                        return Some(out);
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => return None,
+            }
+        }
+        if Instant::now() >= deadline {
+            return None;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return None,
+            Ok(n) => fb.feed(&buf[..n]),
+            Err(e) if is_timeout(&e) => {}
+            Err(_) => return None,
+        }
+    }
+}
+
+/// Orders the collector at `connect` to cut the sensor range
+/// `[start, end)` out of its live state (a `MigrateOffer`), returning
+/// the cut's WAL cursor and the staged sub-range snapshot bytes from
+/// the `MigrateAccept`. From the moment this returns, the source
+/// NACKs the range as fenced. `None` means the cut did not commit
+/// there — safe to retry (the cut is idempotent) or abort.
+pub fn probe_migrate_cut(
+    connect: &str,
+    start: u16,
+    end: u16,
+    timeout: Duration,
+) -> Option<(u64, Vec<u8>)> {
+    migrate_exchange(
+        connect,
+        &Message::MigrateOffer { start, end },
+        timeout,
+        |msg| match msg {
+            Message::MigrateAccept {
+                start: s,
+                end: e,
+                cursor,
+                snapshot,
+            } if (s, e) == (start, end) => Some((cursor, snapshot)),
+            _ => None,
+        },
+    )
+}
+
+/// Ships a staged sub-range snapshot to the destination collector at
+/// `connect` (a forwarded `MigrateAccept`) and waits for its
+/// `MigrateDone` — the confirmation that the restore point is durable
+/// at the new home. `None` means adoption did not commit; the staged
+/// source copy stays authoritative and the step can be retried.
+pub fn probe_migrate_adopt(
+    connect: &str,
+    start: u16,
+    end: u16,
+    cursor: u64,
+    snapshot: Vec<u8>,
+    timeout: Duration,
+) -> Option<()> {
+    migrate_exchange(
+        connect,
+        &Message::MigrateAccept {
+            start,
+            end,
+            cursor,
+            snapshot,
+        },
+        timeout,
+        |msg| match msg {
+            Message::MigrateDone {
+                start: s,
+                end: e,
+                cursor: c,
+            } if (s, e, c) == (start, end, cursor) => Some(()),
+            _ => None,
+        },
+    )
+}
+
+/// Tells the source collector at `connect` that the destination has
+/// durably adopted `[start, end)` (a forwarded `MigrateDone`), letting
+/// it drop the staged outbox payload. Best-effort by design — a
+/// leftover outbox for a retired range is inert — so `None` only
+/// means the cleanup signal was not acknowledged.
+pub fn probe_migrate_done(
+    connect: &str,
+    start: u16,
+    end: u16,
+    cursor: u64,
+    timeout: Duration,
+) -> Option<()> {
+    migrate_exchange(
+        connect,
+        &Message::MigrateDone { start, end, cursor },
+        timeout,
+        |msg| match msg {
+            Message::MigrateDone {
+                start: s,
+                end: e,
+                cursor: c,
+            } if (s, e, c) == (start, end, cursor) => Some(()),
+            _ => None,
+        },
+    )
+}
+
 fn attempt_on(
     stream: &mut Stream,
     fb: &mut FrameBuffer,

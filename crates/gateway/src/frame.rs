@@ -50,6 +50,9 @@ const TAG_HELLO_ACK: u8 = 9;
 const TAG_HELLO_REJECT: u8 = 10;
 const TAG_HEARTBEAT: u8 = 11;
 const TAG_HEARTBEAT_ACK: u8 = 12;
+const TAG_MIGRATE_OFFER: u8 = 13;
+const TAG_MIGRATE_ACCEPT: u8 = 14;
+const TAG_MIGRATE_DONE: u8 = 15;
 
 /// Hard cap on readings per [`Message::DataBatch`] frame (the frame
 /// must also fit [`MAX_PAYLOAD`]).
@@ -154,6 +157,49 @@ pub enum Message {
         epoch: u64,
         /// WAL cursor of the last committed checkpoint (0: none yet).
         checkpoint_cursor: u64,
+    },
+    /// Controller order to the current owner of `[start, end)`: cut
+    /// that sensor range out of the live collector at the current WAL
+    /// cursor and stage it for transfer. From the moment the cut
+    /// commits the range answers `Nack`/fenced, so no acked reading
+    /// can postdate the cut. The server replies with
+    /// [`Message::MigrateAccept`] carrying the staged sub-range
+    /// snapshot.
+    MigrateOffer {
+        /// First sensor id of the moving range (inclusive).
+        start: u16,
+        /// One past the last sensor id of the moving range.
+        end: u16,
+    },
+    /// The staged cut of `[start, end)`: the sub-range collector
+    /// snapshot taken at `cursor`. Sent by the source server in answer
+    /// to [`Message::MigrateOffer`], then forwarded verbatim by the
+    /// controller to the destination server, which adopts it and
+    /// answers [`Message::MigrateDone`]. The snapshot must fit one
+    /// frame ([`MAX_PAYLOAD`]), which bounds how much per-sensor state
+    /// a single migration may carry.
+    MigrateAccept {
+        /// First sensor id of the moving range (inclusive).
+        start: u16,
+        /// One past the last sensor id of the moving range.
+        end: u16,
+        /// Source WAL cursor the cut was taken at.
+        cursor: u64,
+        /// Sub-range snapshot bytes (`snapshot::encode_collector`).
+        snapshot: Vec<u8>,
+    },
+    /// The range `[start, end)` is durably adopted at its new home:
+    /// sent by the destination once the shipped snapshot's restore
+    /// point commits, and forwarded by the controller to the source as
+    /// permission to discard the staged outbox payload (the source
+    /// echoes it as an acknowledgment).
+    MigrateDone {
+        /// First sensor id of the migrated range (inclusive).
+        start: u16,
+        /// One past the last sensor id of the migrated range.
+        end: u16,
+        /// The cut cursor being confirmed.
+        cursor: u64,
     },
 }
 
@@ -354,6 +400,30 @@ pub fn encode_payload(msg: &Message, out: &mut Vec<u8>) {
             put_u64(out, *epoch);
             put_u64(out, *checkpoint_cursor);
         }
+        Message::MigrateOffer { start, end } => {
+            out.push(TAG_MIGRATE_OFFER);
+            put_u16(out, *start);
+            put_u16(out, *end);
+        }
+        Message::MigrateAccept {
+            start,
+            end,
+            cursor,
+            snapshot,
+        } => {
+            out.push(TAG_MIGRATE_ACCEPT);
+            put_u16(out, *start);
+            put_u16(out, *end);
+            put_u64(out, *cursor);
+            put_u32(out, snapshot.len() as u32);
+            out.extend_from_slice(snapshot);
+        }
+        Message::MigrateDone { start, end, cursor } => {
+            out.push(TAG_MIGRATE_DONE);
+            put_u16(out, *start);
+            put_u16(out, *end);
+            put_u64(out, *cursor);
+        }
     }
 }
 
@@ -442,6 +512,28 @@ pub fn decode_payload(payload: &[u8]) -> Result<Message, FrameError> {
         TAG_HEARTBEAT_ACK => Message::HeartbeatAck {
             epoch: cur.u64()?,
             checkpoint_cursor: cur.u64()?,
+        },
+        TAG_MIGRATE_OFFER => Message::MigrateOffer {
+            start: cur.u16()?,
+            end: cur.u16()?,
+        },
+        TAG_MIGRATE_ACCEPT => {
+            let start = cur.u16()?;
+            let end = cur.u16()?;
+            let cursor = cur.u64()?;
+            let len = cur.u32()? as usize;
+            let snapshot = cur.take(len)?.to_vec();
+            Message::MigrateAccept {
+                start,
+                end,
+                cursor,
+                snapshot,
+            }
+        }
+        TAG_MIGRATE_DONE => Message::MigrateDone {
+            start: cur.u16()?,
+            end: cur.u16()?,
+            cursor: cur.u64()?,
         },
         other => return Err(FrameError::UnknownTag(other)),
     };
@@ -600,6 +692,24 @@ mod tests {
                 epoch: 3,
                 checkpoint_cursor: 4096,
             },
+            Message::MigrateOffer { start: 2, end: 5 },
+            Message::MigrateAccept {
+                start: 2,
+                end: 5,
+                cursor: 640,
+                snapshot: b"sentinet-collector v1\n...".to_vec(),
+            },
+            Message::MigrateAccept {
+                start: 0,
+                end: 1,
+                cursor: 0,
+                snapshot: Vec::new(),
+            },
+            Message::MigrateDone {
+                start: 2,
+                end: 5,
+                cursor: 640,
+            },
         ];
         let mut fb = FrameBuffer::new();
         for m in &messages {
@@ -673,6 +783,30 @@ mod tests {
         let mut fb = FrameBuffer::new();
         fb.feed(&framed);
         assert!(matches!(fb.next_message(), Err(FrameError::UnknownTag(99))));
+    }
+
+    #[test]
+    fn migrate_accept_snapshot_length_overrun_is_rejected() {
+        let mut payload = Vec::new();
+        encode_payload(
+            &Message::MigrateAccept {
+                start: 1,
+                end: 2,
+                cursor: 9,
+                snapshot: vec![7; 4],
+            },
+            &mut payload,
+        );
+        // Claim one more snapshot byte than the payload carries.
+        let len_at = 1 + 2 + 2 + 8;
+        payload[len_at] = 5;
+        assert!(matches!(
+            decode_payload(&payload),
+            Err(FrameError::ShortPayload {
+                tag: TAG_MIGRATE_ACCEPT,
+                ..
+            })
+        ));
     }
 
     #[test]

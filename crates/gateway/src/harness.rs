@@ -232,6 +232,54 @@ impl StepServer {
                     },
                 ));
             }
+            Message::MigrateOffer { start, end } => {
+                // Source side of a live migration, exactly as the
+                // event loop: cut, release acks the cut's fsync
+                // covered, answer with the staged snapshot — or
+                // silence when the cut cannot be made durable.
+                let cut = self.collector.export_range(start..end);
+                if !self.pending.is_empty() {
+                    self.release_ready(&mut replies);
+                }
+                match cut {
+                    Ok((inside, cursor)) => replies.push((
+                        conn,
+                        Message::MigrateAccept {
+                            start,
+                            end,
+                            cursor,
+                            snapshot: crate::snapshot::encode_collector(&inside).into_bytes(),
+                        },
+                    )),
+                    Err(GatewayError::MigrationCut(_)) | Err(GatewayError::Wal(_)) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            Message::MigrateAccept {
+                start,
+                end,
+                cursor,
+                snapshot,
+            } => {
+                // Destination side: adopt, confirm only once durable.
+                let adopted = String::from_utf8(snapshot)
+                    .ok()
+                    .and_then(|text| crate::snapshot::decode_collector(&text).ok())
+                    .map(|snap| self.collector.adopt_range(start..end, cursor, &snap));
+                match adopted {
+                    Some(Ok(())) => {
+                        replies.push((conn, Message::MigrateDone { start, end, cursor }));
+                    }
+                    Some(Err(GatewayError::MigrationCut(_)))
+                    | Some(Err(GatewayError::Wal(_)))
+                    | None => {}
+                    Some(Err(e)) => return Err(e),
+                }
+            }
+            Message::MigrateDone { start, end, cursor } => {
+                self.collector.clear_outbox(start..end);
+                replies.push((conn, Message::MigrateDone { start, end, cursor }));
+            }
             Message::Ack { .. }
             | Message::AckUpTo { .. }
             | Message::FinAck

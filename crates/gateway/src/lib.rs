@@ -48,11 +48,11 @@ pub mod vfs;
 pub mod wal;
 
 pub use client::{
-    backoff_delay, probe_heartbeat, PipelinedConfig, PipelinedUplink, SensorUplink, UplinkConfig,
-    UplinkError, UplinkStats,
+    backoff_delay, probe_heartbeat, probe_migrate_adopt, probe_migrate_cut, probe_migrate_done,
+    PipelinedConfig, PipelinedUplink, SensorUplink, UplinkConfig, UplinkError, UplinkStats,
 };
 pub use collector::{
-    BatchOutcome, Collector, DeliverOutcome, FenceCheck, GatewayConfig, GatewayError,
+    BatchOutcome, Collector, CutCheck, DeliverOutcome, FenceCheck, GatewayConfig, GatewayError,
     GatewayReport, LivenessStatus, RecoveryInfo, RejectCause, SeqTracker, StageTimings,
     StorageStatus, CHECKPOINT_FILE,
 };
@@ -67,7 +67,9 @@ pub use netsim::{
 pub use reorder::{AdmitOutcome, ReorderBuffer, ReorderConfig, ReorderSnapshot, ReorderStats};
 pub use report_codec::{CountersError, ReportCounters, COUNTERS_MAGIC};
 pub use server::{Server, ServerConfig, ServerStats};
-pub use snapshot::CollectorSnapshot;
+pub use snapshot::{
+    decode_collector, encode_collector, merge_snapshot, split_snapshot, CollectorSnapshot,
+};
 pub use vfs::{
     FaultPlan, FaultSpec, FaultyVfs, RealVfs, StorageError, StorageFault, VFile, Vfs, VfsOp,
 };

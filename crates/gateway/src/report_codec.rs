@@ -73,6 +73,15 @@ pub struct ReportCounters {
     /// — transient link blips that did *not* trigger fencing churn
     /// (`flaps`). Counted by the federation tier; zero elsewhere.
     pub flaps: u64,
+    /// Live range migrations the controller began
+    /// (`migrations-started`). Federation tier only; zero elsewhere.
+    pub migrations_started: u64,
+    /// Migrations that committed the new owner
+    /// (`migrations-completed`). Federation tier only; zero elsewhere.
+    pub migrations_completed: u64,
+    /// Migrations rolled back before the cut committed
+    /// (`migrations-aborted`). Federation tier only; zero elsewhere.
+    pub migrations_aborted: u64,
 }
 
 /// Every wire name, in encoding order. Decoding requires exactly this
@@ -100,6 +109,9 @@ const FIELDS: &[&str] = &[
     "uplink-acked",
     "fence-rejects",
     "flaps",
+    "migrations-started",
+    "migrations-completed",
+    "migrations-aborted",
 ];
 
 /// A counters decode failure (typed, loud — never a silent default).
@@ -143,6 +155,9 @@ impl ReportCounters {
             uplink_acked: uplink.acked,
             fence_rejects: report.storage.fence_rejects as u64,
             flaps: 0,
+            migrations_started: 0,
+            migrations_completed: 0,
+            migrations_aborted: 0,
         }
     }
 
@@ -171,6 +186,9 @@ impl ReportCounters {
             "uplink-acked" => self.uplink_acked,
             "fence-rejects" => self.fence_rejects,
             "flaps" => self.flaps,
+            "migrations-started" => self.migrations_started,
+            "migrations-completed" => self.migrations_completed,
+            "migrations-aborted" => self.migrations_aborted,
             _ => 0,
         }
     }
@@ -200,6 +218,9 @@ impl ReportCounters {
             "uplink-acked" => &mut self.uplink_acked,
             "fence-rejects" => &mut self.fence_rejects,
             "flaps" => &mut self.flaps,
+            "migrations-started" => &mut self.migrations_started,
+            "migrations-completed" => &mut self.migrations_completed,
+            "migrations-aborted" => &mut self.migrations_aborted,
             _ => return false,
         };
         *slot = value;
@@ -327,6 +348,9 @@ mod tests {
             uplink_acked: 240,
             fence_rejects: 2,
             flaps: 1,
+            migrations_started: 4,
+            migrations_completed: 3,
+            migrations_aborted: 1,
         }
     }
 
@@ -356,7 +380,10 @@ mod tests {
                         reconnects 3\n\
                         uplink-acked 240\n\
                         fence-rejects 2\n\
-                        flaps 1\n";
+                        flaps 1\n\
+                        migrations-started 4\n\
+                        migrations-completed 3\n\
+                        migrations-aborted 1\n";
         assert_eq!(sample().encode(), expected);
     }
 
@@ -416,5 +443,8 @@ mod tests {
         assert_eq!(a.version_rejects, 18);
         assert_eq!(a.poisoned, 2);
         assert_eq!(a.uplink_acked, 480);
+        assert_eq!(a.migrations_started, 8);
+        assert_eq!(a.migrations_completed, 6);
+        assert_eq!(a.migrations_aborted, 2);
     }
 }

@@ -24,6 +24,7 @@
 use crate::collector::{Collector, DeliverOutcome, GatewayError};
 use crate::frame::{encode_frame, FrameBuffer, FrameError, Message, PROTOCOL_V1, PROTOCOL_VERSION};
 use crate::net::{is_timeout, Listener, Stream};
+use crate::snapshot::{decode_collector, encode_collector};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use sentinet_sim::SensorId;
 use std::collections::BTreeMap;
@@ -373,6 +374,92 @@ impl Server {
                         let _ = w.write_all(&encode_frame(&Message::HeartbeatAck {
                             epoch: collector.epoch(),
                             checkpoint_cursor: collector.checkpoint_cursor(),
+                        }));
+                        let _ = w.flush();
+                    }
+                }
+                Event::Msg(id, Message::MigrateOffer { start, end }) => {
+                    // Source side of a live migration: cut the range
+                    // at the current cursor and stage it for
+                    // transfer. The cut fsyncs the log before
+                    // choosing its cursor, so acks queued behind the
+                    // group commit become releasable — let none of
+                    // them trail the MigrateAccept.
+                    let cut = collector.export_range(start..end);
+                    if !pending.is_empty() {
+                        stats.ack_ns = stats.ack_ns.saturating_add(release_ready(
+                            collector,
+                            &mut writers,
+                            &mut pending,
+                        ));
+                    }
+                    match cut {
+                        Ok((inside, cursor)) => {
+                            let snapshot = encode_collector(&inside).into_bytes();
+                            if let Some(w) = writers.get_mut(&id) {
+                                let _ = w.write_all(&encode_frame(&Message::MigrateAccept {
+                                    start,
+                                    end,
+                                    cursor,
+                                    snapshot,
+                                }));
+                                let _ = w.flush();
+                            }
+                        }
+                        // A cut that cannot be made durable is
+                        // answered with silence: the controller's
+                        // deadline aborts the migration while this
+                        // collector keeps serving (or fail-stops on
+                        // its poisoned WAL) — never a half-cut.
+                        Err(GatewayError::MigrationCut(_)) | Err(GatewayError::Wal(_)) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+                Event::Msg(
+                    id,
+                    Message::MigrateAccept {
+                        start,
+                        end,
+                        cursor,
+                        snapshot,
+                    },
+                ) => {
+                    // Destination side: adopt the shipped range and
+                    // confirm only once the restore point is durable.
+                    // An undecodable or unadoptable payload gets
+                    // silence — the controller's deadline aborts and
+                    // the source's staged copy stays authoritative.
+                    let adopted = String::from_utf8(snapshot)
+                        .ok()
+                        .and_then(|text| decode_collector(&text).ok())
+                        .map(|snap| collector.adopt_range(start..end, cursor, &snap));
+                    match adopted {
+                        Some(Ok(())) => {
+                            if let Some(w) = writers.get_mut(&id) {
+                                let _ = w.write_all(&encode_frame(&Message::MigrateDone {
+                                    start,
+                                    end,
+                                    cursor,
+                                }));
+                                let _ = w.flush();
+                            }
+                        }
+                        Some(Err(GatewayError::MigrationCut(_)))
+                        | Some(Err(GatewayError::Wal(_)))
+                        | None => {}
+                        Some(Err(e)) => return Err(e),
+                    }
+                }
+                Event::Msg(id, Message::MigrateDone { start, end, cursor }) => {
+                    // The range is durable at its new home, so the
+                    // staged outbox copy is no longer needed. Echoed
+                    // back as the acknowledgment.
+                    collector.clear_outbox(start..end);
+                    if let Some(w) = writers.get_mut(&id) {
+                        let _ = w.write_all(&encode_frame(&Message::MigrateDone {
+                            start,
+                            end,
+                            cursor,
                         }));
                         let _ = w.flush();
                     }

@@ -25,7 +25,7 @@
 
 use crate::reorder::{ReorderSnapshot, ReorderStats};
 use sentinet_core::checkpoint::{decode_pipeline, encode_pipeline};
-use sentinet_core::PipelineSnapshot;
+use sentinet_core::{PipelineSnapshot, WindowerSnapshot};
 use sentinet_sim::{IngestError, SanitizerSnapshot, SensorId, Timestamp};
 
 const MAGIC: &str = "sentinet-collector v1";
@@ -167,6 +167,165 @@ pub fn encode_collector(snap: &CollectorSnapshot) -> String {
     out.push_str("pipeline\n");
     out.push_str(&encode_pipeline(&snap.pipeline));
     out
+}
+
+/// Splits `snap` into the state for sensors inside the half-open
+/// range `[range.start, range.end)` and the complement, in that
+/// order. This is the migration cut: the *inside* half ships to the
+/// destination collector, the *outside* half is what the source keeps
+/// owning.
+///
+/// Per-sensor state (pipeline runtimes, windower readings, sanitizer
+/// history, reorder buffer and release marks, dedup seqs, liveness)
+/// partitions exactly. Whole-collector state splits by two rules:
+///
+/// - *Lineage* — the global model, the in-progress window coordinates,
+///   the reorder watermark and the sanitizer dimensionality are
+///   duplicated into both halves: the migrated sensors keep being
+///   classified under the model they were trained with.
+/// - *Accounting* — `accepted`, `episodes`, the rejection log and the
+///   reorder drop counters stay with the outside half; the inside
+///   half starts a fresh ledger, exactly like any newly opened
+///   collector.
+///
+/// [`merge_snapshot`] inverts the split bit-exactly (pinned by the
+/// sub-range filter proptests), which is what the migration engine's
+/// cut-coverage check leans on: a cut that cannot be re-merged into
+/// the original snapshot byte-for-byte is refused before anything
+/// ships.
+pub fn split_snapshot(
+    snap: &CollectorSnapshot,
+    range: std::ops::Range<u16>,
+) -> (CollectorSnapshot, CollectorSnapshot) {
+    let inside = |sensor: SensorId| range.contains(&sensor.0);
+    fn part<T: Clone>(items: &[T], is_inside: impl Fn(&T) -> bool) -> (Vec<T>, Vec<T>) {
+        items.iter().cloned().partition(is_inside)
+    }
+    let (p_in, p_out) = part(&snap.pipeline.sensors, |(s, _)| inside(*s));
+    let (w_in, w_out) = part(&snap.pipeline.windower.readings, |(s, _, _)| inside(*s));
+    let (sl_in, sl_out) = part(&snap.sanitizer.latest, |(s, _)| inside(*s));
+    let (rb_in, rb_out) = part(&snap.reorder.buffer, |(_, s, _)| inside(*s));
+    let (rr_in, rr_out) = part(&snap.reorder.last_released, |(s, _)| inside(*s));
+    let (sq_in, sq_out) = part(&snap.seqs, |(s, _, _)| inside(*s));
+    let (lh_in, lh_out) = part(&snap.last_heard, |(s, _)| inside(*s));
+    let (si_in, si_out) = part(&snap.silent, |s| inside(*s));
+    let half = |sensors, readings, latest, buffer, released, seqs, heard, silent, keep_ledger| {
+        CollectorSnapshot {
+            pipeline: PipelineSnapshot {
+                global: snap.pipeline.global.clone(),
+                windower: WindowerSnapshot {
+                    started: snap.pipeline.windower.started,
+                    index: snap.pipeline.windower.index,
+                    start: snap.pipeline.windower.start,
+                    readings,
+                },
+                sensors,
+            },
+            reorder: ReorderSnapshot {
+                buffer,
+                last_released: released,
+                watermark: snap.reorder.watermark,
+                stats: if keep_ledger {
+                    snap.reorder.stats
+                } else {
+                    ReorderStats::default()
+                },
+            },
+            sanitizer: SanitizerSnapshot {
+                latest,
+                dims: snap.sanitizer.dims,
+            },
+            seqs,
+            accepted: if keep_ledger { snap.accepted } else { 0 },
+            rejected: if keep_ledger {
+                snap.rejected.clone()
+            } else {
+                Vec::new()
+            },
+            last_heard: heard,
+            silent,
+            episodes: if keep_ledger { snap.episodes } else { 0 },
+        }
+    };
+    (
+        half(p_in, w_in, sl_in, rb_in, rr_in, sq_in, lh_in, si_in, false),
+        half(
+            p_out, w_out, sl_out, rb_out, rr_out, sq_out, lh_out, si_out, true,
+        ),
+    )
+}
+
+/// Merges two [`split_snapshot`] halves back into one snapshot — the
+/// exact inverse of the split. Per-sensor lists merge by ascending
+/// sensor id (the canonical order every collector structure keeps),
+/// the reorder buffer by its `(time, sensor)` release order; lineage
+/// fields come from `outside`, and the accounting ledgers add.
+pub fn merge_snapshot(
+    outside: &CollectorSnapshot,
+    inside: &CollectorSnapshot,
+) -> CollectorSnapshot {
+    fn merge_by<T: Clone, K: Ord>(a: &[T], b: &[T], key: impl Fn(&T) -> K) -> Vec<T> {
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            if key(&a[i]) <= key(&b[j]) {
+                out.push(a[i].clone());
+                i += 1;
+            } else {
+                out.push(b[j].clone());
+                j += 1;
+            }
+        }
+        out.extend(a[i..].iter().cloned());
+        out.extend(b[j..].iter().cloned());
+        out
+    }
+    let (o, n) = (outside, inside);
+    CollectorSnapshot {
+        pipeline: PipelineSnapshot {
+            global: o.pipeline.global.clone(),
+            windower: WindowerSnapshot {
+                started: o.pipeline.windower.started,
+                index: o.pipeline.windower.index,
+                start: o.pipeline.windower.start,
+                readings: merge_by(
+                    &o.pipeline.windower.readings,
+                    &n.pipeline.windower.readings,
+                    |(s, _, _)| *s,
+                ),
+            },
+            sensors: merge_by(&o.pipeline.sensors, &n.pipeline.sensors, |(s, _)| *s),
+        },
+        reorder: ReorderSnapshot {
+            buffer: merge_by(&o.reorder.buffer, &n.reorder.buffer, |(t, s, _)| (*t, *s)),
+            last_released: merge_by(
+                &o.reorder.last_released,
+                &n.reorder.last_released,
+                |(s, _)| *s,
+            ),
+            watermark: o.reorder.watermark,
+            stats: ReorderStats {
+                duplicates: o.reorder.stats.duplicates + n.reorder.stats.duplicates,
+                late: o.reorder.stats.late + n.reorder.stats.late,
+                shed: o.reorder.stats.shed + n.reorder.stats.shed,
+            },
+        },
+        sanitizer: SanitizerSnapshot {
+            latest: merge_by(&o.sanitizer.latest, &n.sanitizer.latest, |(s, _)| *s),
+            dims: o.sanitizer.dims,
+        },
+        seqs: merge_by(&o.seqs, &n.seqs, |(s, _, _)| *s),
+        accepted: o.accepted + n.accepted,
+        rejected: o
+            .rejected
+            .iter()
+            .chain(n.rejected.iter())
+            .cloned()
+            .collect(),
+        last_heard: merge_by(&o.last_heard, &n.last_heard, |(s, _)| *s),
+        silent: merge_by(&o.silent, &n.silent, |s| *s),
+        episodes: o.episodes + n.episodes,
+    }
 }
 
 /// Line cursor over the head section, with single-line pushback for

@@ -516,6 +516,23 @@ impl Wal {
         self.config.fsync
     }
 
+    /// Adopts `to` as the log's base cursor. Only legal while the log
+    /// holds no records beyond its current base — how a migration
+    /// destination starts its accounting at the source's cut cursor,
+    /// so the restore-point checkpoints it writes later carry cursors
+    /// in the same coordinate system as the shipped snapshot. Returns
+    /// `false` (and changes nothing) if records exist on disk or `to`
+    /// would move the cursor backwards.
+    pub fn advance_base(&mut self, to: u64) -> bool {
+        if self.records_logged != self.base_records || to < self.base_records {
+            return false;
+        }
+        self.base_records = to;
+        self.records_logged = to;
+        self.synced_records = to;
+        true
+    }
+
     /// Appends since the last covering fsync (0 means every logged
     /// record is durable).
     pub fn unsynced_records(&self) -> u64 {

@@ -10,7 +10,9 @@
 use proptest::prelude::*;
 use sentinet_core::{Pipeline, PipelineConfig};
 use sentinet_gateway::snapshot::{decode_collector, encode_collector};
-use sentinet_gateway::{CollectorSnapshot, ReorderSnapshot, ReorderStats};
+use sentinet_gateway::{
+    merge_snapshot, split_snapshot, CollectorSnapshot, ReorderSnapshot, ReorderStats,
+};
 use sentinet_sim::{IngestError, SanitizerSnapshot, SensorId};
 
 /// Value pool for readings: includes NaN, ±∞, -0.0 and subnormals so
@@ -209,5 +211,79 @@ proptest! {
             Ok(decoded) => prop_assert_eq!(encode_collector(&decoded), mutated),
             Err(e) => prop_assert!(!e.is_empty(), "rejection must carry a diagnostic"),
         }
+    }
+}
+
+/// Puts a generated snapshot into the canonical order every live
+/// collector maintains (BTreeMap-backed structures: per-sensor lists
+/// ascending and duplicate-free, the reorder buffer in `(time,
+/// sensor)` release order). The sub-range split/merge contract is
+/// defined over this order — it is the only order the migration cut
+/// ever sees.
+fn canonicalize(mut snap: CollectorSnapshot) -> CollectorSnapshot {
+    fn by_sensor<T>(items: &mut Vec<T>, key: impl Fn(&T) -> u16) {
+        items.sort_by_key(|i| key(i));
+        items.dedup_by_key(|i| key(i));
+    }
+    by_sensor(&mut snap.reorder.last_released, |(s, _)| s.0);
+    by_sensor(&mut snap.sanitizer.latest, |(s, _)| s.0);
+    by_sensor(&mut snap.seqs, |(s, _, _)| s.0);
+    by_sensor(&mut snap.last_heard, |(s, _)| s.0);
+    snap.silent.sort();
+    snap.silent.dedup();
+    snap.reorder.buffer.sort_by_key(|(t, s, _)| (*t, s.0));
+    snap.reorder.buffer.dedup_by_key(|(t, s, _)| (*t, s.0));
+    snap
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The migration-cut contract: filtering a snapshot to `[a, b)`
+    /// and re-merging with its complement is byte-identical to the
+    /// original — no sensor state is lost, duplicated or reordered by
+    /// a cut, whatever the range.
+    fn sub_range_split_then_merge_is_byte_identical(
+        snap in snapshots(),
+        a in 0u16..8,
+        len in 0u16..8,
+    ) {
+        let snap = canonicalize(snap);
+        let text = encode_collector(&snap);
+        let (inside, outside) = split_snapshot(&snap, a..a + len);
+        prop_assert_eq!(encode_collector(&merge_snapshot(&outside, &inside)), text);
+    }
+
+    /// Each half owns exactly its side of the cut: per-sensor state
+    /// partitions with nothing shared, the accounting ledger stays
+    /// whole on the outside half, and the lineage fields (global
+    /// model, watermark, window coordinates) ride along into both.
+    fn sub_range_split_partitions_per_sensor_state(
+        snap in snapshots(),
+        a in 0u16..8,
+        len in 0u16..8,
+    ) {
+        let snap = canonicalize(snap);
+        let range = a..a + len;
+        let (inside, outside) = split_snapshot(&snap, range.clone());
+        for (half, want_inside) in [(&inside, true), (&outside, false)] {
+            let ok = |s: SensorId| range.contains(&s.0) == want_inside;
+            prop_assert!(half.seqs.iter().all(|(s, _, _)| ok(*s)));
+            prop_assert!(half.last_heard.iter().all(|(s, _)| ok(*s)));
+            prop_assert!(half.silent.iter().all(|s| ok(*s)));
+            prop_assert!(half.sanitizer.latest.iter().all(|(s, _)| ok(*s)));
+            prop_assert!(half.reorder.buffer.iter().all(|(_, s, _)| ok(*s)));
+            prop_assert!(half.reorder.last_released.iter().all(|(s, _)| ok(*s)));
+            prop_assert!(half.pipeline.sensors.iter().all(|(s, _)| ok(*s)));
+            prop_assert_eq!(&half.pipeline.global, &snap.pipeline.global);
+            prop_assert_eq!(half.reorder.watermark, snap.reorder.watermark);
+            prop_assert_eq!(half.sanitizer.dims, snap.sanitizer.dims);
+        }
+        prop_assert_eq!(inside.accepted, 0);
+        prop_assert_eq!(inside.episodes, 0);
+        prop_assert!(inside.rejected.is_empty());
+        prop_assert_eq!(outside.accepted, snap.accepted);
+        prop_assert_eq!(outside.episodes, snap.episodes);
+        prop_assert_eq!(outside.rejected.len(), snap.rejected.len());
     }
 }

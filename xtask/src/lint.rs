@@ -24,7 +24,7 @@
 //! | `socket-read-timeout` | socket reads in a file that never sets a read timeout |
 //! | `io-outside-vfs` | raw filesystem mutation outside `gateway/src/vfs.rs` |
 //! | `ack-ordering` | fn writing an `Ack`/`AckUpTo` to the wire with no durability check first |
-//! | `partition-map-mutation` | `.commit_owner(` / `.commit_health(` outside the federation commit path |
+//! | `partition-map-mutation` | `.commit_owner(` / `.commit_health(` / `.split_at(` / `.transfer(` outside the federation commit path |
 //! | `stale-suppression` | `sentinet-allow` comment that no longer suppresses any finding |
 //!
 //! Test code (`#[cfg(test)] mod`s and `#[test]` fns) is exempt from
@@ -500,13 +500,20 @@ pub fn lint_source(path: &Path, source: &str, ctx: &FileContext) -> Vec<Finding>
         }
     }
 
-    // Partition ownership and health transitions are the federation
-    // commit path's monopoly: a `.commit_owner(`/`.commit_health(`
-    // call anywhere else could re-assign a partition without fencing
-    // the old owner or recording the epoch bump, silently forking the
-    // fleet's view of who may ack.
+    // Partition ownership, health and range transitions are the
+    // federation commit path's monopoly: a `.commit_owner(`/
+    // `.commit_health(` call anywhere else could re-assign a partition
+    // without fencing the old owner or recording the epoch bump, and a
+    // `.split_at(`/`.transfer(` could move a sensor range without the
+    // two-phase cut/adopt handoff — either silently forks the fleet's
+    // view of who may ack.
     if !ctx.controller_commit_file {
-        for needle in [".commit_owner(", ".commit_health("] {
+        for needle in [
+            ".commit_owner(",
+            ".commit_health(",
+            ".split_at(",
+            ".transfer(",
+        ] {
             for offset in find_all(&map.masked, needle) {
                 if !map.in_test_region(offset) {
                     push(
@@ -514,7 +521,7 @@ pub fn lint_source(path: &Path, source: &str, ctx: &FileContext) -> Vec<Finding>
                         offset,
                         "partition-map-mutation",
                         format!(
-                            "`{needle}…)` outside controller::federation; route ownership/health transitions through the federation commit path"
+                            "`{needle}…)` outside controller::federation; route ownership/health/range transitions through the federation commit path"
                         ),
                     );
                 }
@@ -924,13 +931,13 @@ mod tests {
 
     #[test]
     fn partition_map_mutation_flagged_outside_commit_path() {
-        let src = "fn adopt(map: &mut PartitionMap) {\n    map.commit_owner(0, 2);\n    map.commit_health(0, PartitionHealth::Ok);\n}\n";
+        let src = "fn adopt(map: &mut PartitionMap) {\n    map.commit_owner(0, 2);\n    map.commit_health(0, PartitionHealth::Ok);\n    if let Ok(q) = map.split_at(0, SensorId(2)) {\n        let _ = map.transfer(q, 0);\n    }\n}\n";
         let f = run(src);
         assert_eq!(
             f.iter()
                 .filter(|f| f.lint == "partition-map-mutation")
                 .count(),
-            2
+            4
         );
         // The federation commit path owns these transitions.
         let mut c = ctx();

@@ -25,8 +25,12 @@ Commands:
                                run the seeded nemesis campaign (default
                                seed 12648430, 200 episodes) composing
                                network, process and disk faults against
-                               the in-process federation, then prove the
-                               fence-check Skip mutation is caught
+                               the in-process federation, then the
+                               migration campaign (a live split and a
+                               rebalance-back inside every episode, cut
+                               probes against fenced former owners),
+                               then prove the fence-check and cut-check
+                               Skip mutations are caught
 ";
 
 fn repo_root() -> PathBuf {
@@ -152,13 +156,16 @@ fn run_bench_check(file: Option<&str>) -> Result<(), String> {
 }
 
 /// The nemesis campaign runner: a pinned-seed randomized campaign over
-/// the in-process federation, followed by the mutation self-test —
-/// re-running a short campaign with the deliver-path fence check
-/// compiled out ([`FenceCheck::Skip`]) and requiring it to FAIL. A
-/// checker that stays green under its own mutation proves nothing.
+/// the in-process federation, then the migration campaign (the same
+/// fault families landing on live split/rebalance handoffs), followed
+/// by the mutation self-tests — re-running short campaigns with the
+/// deliver-path fence check ([`FenceCheck::Skip`]) and the migration
+/// cut check ([`CutCheck::Skip`]) compiled out and requiring both to
+/// FAIL. A checker that stays green under its own mutation proves
+/// nothing.
 fn run_nemesis(args: &[String]) -> Result<(), String> {
     use sentinet_controller::{run_campaign, NemesisConfig};
-    use sentinet_gateway::FenceCheck;
+    use sentinet_gateway::{CutCheck, FenceCheck};
 
     let mut seed: u64 = 0xC0_FFEE;
     let mut episodes: u32 = 200;
@@ -202,9 +209,26 @@ fn run_nemesis(args: &[String]) -> Result<(), String> {
         ));
     }
 
+    // The migration campaign: the same seed, with a live split and a
+    // rebalance-back scheduled inside every episode so the fault plan
+    // lands on the handoff ladder itself, plus cut probes against
+    // fenced former owners of migrated ranges.
+    let migration = run_campaign(
+        &NemesisConfig::new(seed, episodes, scratch.join("migration")).with_migration(),
+    )
+    .map_err(|f| format!("nemesis: migration campaign: {f}"))?;
+    println!("nemesis: migration campaign: {migration}");
+    if migration.migrations != 2 * u64::from(migration.episodes) || migration.cut_probes == 0 {
+        return Err(format!(
+            "nemesis: degenerate migration campaign ({} migration(s) over {} episodes, \
+             {} cut probe(s)); a run that moves nothing proves nothing",
+            migration.migrations, migration.episodes, migration.cut_probes
+        ));
+    }
+
     let mut mutated = NemesisConfig::new(seed, episodes.min(12), scratch.join("fence-skip"));
     mutated.fence = FenceCheck::Skip;
-    let verdict = match run_campaign(&mutated) {
+    let fence_verdict: Result<(), String> = match run_campaign(&mutated) {
         Err(failure) => {
             println!("nemesis: fence-skip mutation caught as expected ({failure})");
             Ok(())
@@ -213,10 +237,27 @@ fn run_nemesis(args: &[String]) -> Result<(), String> {
             Err("nemesis: fence-skip mutation survived undetected; the campaign is blind".into())
         }
     };
-    // The mutated run fails by design; its debris is not a debugging
+
+    // The cut-check mutation ships an empty snapshot for the moved
+    // range while still retiring it on the source; the migration
+    // campaign must catch the loss.
+    let mut cut =
+        NemesisConfig::new(seed, episodes.min(8), scratch.join("cut-skip")).with_migration();
+    cut.cut = CutCheck::Skip;
+    let cut_verdict: Result<(), String> = match run_campaign(&cut) {
+        Err(failure) => {
+            println!("nemesis: cut-skip mutation caught as expected ({failure})");
+            Ok(())
+        }
+        Ok(_) => Err(
+            "nemesis: cut-skip mutation survived undetected; the migration campaign is blind"
+                .into(),
+        ),
+    };
+    // The mutated runs fail by design; their debris is not a debugging
     // artifact worth keeping.
     let _ = std::fs::remove_dir_all(&scratch);
-    verdict
+    fence_verdict.and(cut_verdict)
 }
 
 fn run_invariant_tests() -> Result<(), String> {
